@@ -1,0 +1,353 @@
+//! 2-D geometry primitives: vectors, oriented boxes, polylines.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2-D vector / point in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East coordinate.
+    pub x: f64,
+    /// North coordinate.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm (avoids the square root).
+    pub fn norm2(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalise the zero vector");
+        Vec2::new(self.x / n, self.y / n)
+    }
+
+    /// Rotates the vector by `angle` radians (counter-clockwise).
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// The heading (atan2) of this vector in radians.
+    pub fn heading(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// An oriented rectangle (vehicle footprint).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrientedBox {
+    /// Centre position.
+    pub centre: Vec2,
+    /// Heading of the long axis, radians.
+    pub heading: f64,
+    /// Full length along the heading.
+    pub length: f64,
+    /// Full width across the heading.
+    pub width: f64,
+}
+
+impl OrientedBox {
+    /// Creates a box.
+    pub fn new(centre: Vec2, heading: f64, length: f64, width: f64) -> Self {
+        OrientedBox { centre, heading, length, width }
+    }
+
+    /// The four corners, counter-clockwise.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let fwd = Vec2::new(self.heading.cos(), self.heading.sin()) * (self.length / 2.0);
+        let side = Vec2::new(-self.heading.sin(), self.heading.cos()) * (self.width / 2.0);
+        [
+            self.centre + fwd + side,
+            self.centre - fwd + side,
+            self.centre - fwd - side,
+            self.centre + fwd - side,
+        ]
+    }
+
+    /// Separating-axis overlap test between two oriented boxes.
+    pub fn intersects(&self, other: &OrientedBox) -> bool {
+        let a = self.corners();
+        let b = other.corners();
+        let axes = [
+            (a[0] - a[1]).normalized(),
+            (a[1] - a[2]).normalized(),
+            (b[0] - b[1]).normalized(),
+            (b[1] - b[2]).normalized(),
+        ];
+        for axis in axes {
+            let (amin, amax) = project(&a, axis);
+            let (bmin, bmax) = project(&b, axis);
+            if amax < bmin || bmax < amin {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn project(corners: &[Vec2; 4], axis: Vec2) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &c in corners {
+        let d = c.dot(axis);
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, hi)
+}
+
+/// An arc-length-parameterised polyline path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Vec2>,
+    cumulative: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two points or zero-length segments.
+    pub fn new(points: Vec<Vec2>) -> Self {
+        assert!(points.len() >= 2, "polyline needs at least two points");
+        let mut cumulative = Vec::with_capacity(points.len());
+        cumulative.push(0.0);
+        for w in points.windows(2) {
+            let seg = w[0].distance(w[1]);
+            assert!(seg > 1e-9, "zero-length polyline segment");
+            cumulative.push(cumulative.last().unwrap() + seg);
+        }
+        Polyline { points, cumulative }
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    /// The waypoints.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// Point at arc length `s` (clamped to the ends).
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let s = s.clamp(0.0, self.length());
+        let seg = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => i - 1,
+        };
+        let t = (s - self.cumulative[seg]) / (self.cumulative[seg + 1] - self.cumulative[seg]);
+        let a = self.points[seg];
+        let b = self.points[seg + 1];
+        a + (b - a) * t
+    }
+
+    /// Projects a point onto the polyline: returns `(arc length, lateral
+    /// distance)` of the closest point on the path.
+    pub fn project(&self, point: Vec2) -> (f64, f64) {
+        let mut best = (0.0, f64::INFINITY);
+        for (i, w) in self.points.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            let ab = b - a;
+            let t = ((point - a).dot(ab) / ab.norm2()).clamp(0.0, 1.0);
+            let closest = a + ab * t;
+            let d = point.distance(closest);
+            if d < best.1 {
+                best = (self.cumulative[i] + ab.norm() * t, d);
+            }
+        }
+        best
+    }
+
+    /// Tangent heading (radians) at arc length `s`.
+    pub fn heading_at(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, self.length());
+        let seg = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => i - 1,
+        };
+        (self.points[seg + 1] - self.points[seg]).heading()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm2(), 25.0);
+        assert_eq!(a.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+        assert_eq!((a - a).norm(), 0.0);
+        assert_eq!((a * 2.0).x, 6.0);
+        assert_eq!((-a).y, -4.0);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let r = Vec2::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!((r.x).abs() < 1e-12 && (r.y - 1.0).abs() < 1e-12);
+        assert!((Vec2::new(0.0, 2.0).heading() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_overlap_axis_aligned() {
+        let a = OrientedBox::new(Vec2::new(0.0, 0.0), 0.0, 4.0, 2.0);
+        let b = OrientedBox::new(Vec2::new(3.0, 0.0), 0.0, 4.0, 2.0);
+        assert!(a.intersects(&b));
+        let c = OrientedBox::new(Vec2::new(10.0, 0.0), 0.0, 4.0, 2.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn box_overlap_rotated() {
+        let a = OrientedBox::new(Vec2::new(0.0, 0.0), 0.0, 4.0, 2.0);
+        // A rotated box whose corner pokes into `a`.
+        let b = OrientedBox::new(Vec2::new(2.8, 1.2), std::f64::consts::FRAC_PI_4, 4.0, 2.0);
+        assert!(a.intersects(&b));
+        // Diagonal neighbour that axis-aligned AABBs would falsely hit.
+        let c = OrientedBox::new(
+            Vec2::new(2.8, 2.4),
+            std::f64::consts::FRAC_PI_4,
+            1.0,
+            1.0,
+        );
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn box_containment_counts_as_intersection() {
+        let big = OrientedBox::new(Vec2::new(0.0, 0.0), 0.3, 10.0, 10.0);
+        let small = OrientedBox::new(Vec2::new(0.5, -0.5), 1.0, 1.0, 0.5);
+        assert!(big.intersects(&small));
+        assert!(small.intersects(&big));
+    }
+
+    #[test]
+    fn polyline_arc_length() {
+        let p = Polyline::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 5.0),
+        ]);
+        assert_eq!(p.length(), 15.0);
+        assert_eq!(p.point_at(0.0), Vec2::new(0.0, 0.0));
+        assert_eq!(p.point_at(5.0), Vec2::new(5.0, 0.0));
+        assert_eq!(p.point_at(12.0), Vec2::new(10.0, 2.0));
+        // clamped beyond the end
+        assert_eq!(p.point_at(99.0), Vec2::new(10.0, 5.0));
+        assert_eq!(p.point_at(-1.0), Vec2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn polyline_heading() {
+        let p = Polyline::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 5.0),
+        ]);
+        assert!((p.heading_at(3.0) - 0.0).abs() < 1e-12);
+        assert!((p.heading_at(12.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_projection() {
+        let p = Polyline::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+        ]);
+        // On the first segment, 2 m to the side.
+        let (s, lat) = p.project(Vec2::new(4.0, 2.0));
+        assert!((s - 4.0).abs() < 1e-12);
+        assert!((lat - 2.0).abs() < 1e-12);
+        // Around the corner on the second segment.
+        let (s, lat) = p.project(Vec2::new(11.0, 5.0));
+        assert!((s - 15.0).abs() < 1e-12);
+        assert!((lat - 1.0).abs() < 1e-12);
+        // Beyond the end clamps to the final vertex.
+        let (s, lat) = p.project(Vec2::new(10.0, 13.0));
+        assert!((s - 20.0).abs() < 1e-12);
+        assert!((lat - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_point_exactly_on_vertex() {
+        let p = Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(4.0, 0.0), Vec2::new(8.0, 0.0)]);
+        assert_eq!(p.point_at(4.0), Vec2::new(4.0, 0.0));
+        assert_eq!(p.point_at(8.0), Vec2::new(8.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_polyline_rejected() {
+        let _ = Polyline::new(vec![Vec2::new(0.0, 0.0)]);
+    }
+}

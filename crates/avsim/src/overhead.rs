@@ -1,0 +1,162 @@
+//! Overhead measurement (the paper's Table VIII).
+//!
+//! The paper measures FPS, CPU-% and GPU-% of the perception process for
+//! single- and three-version systems. This reproduction has no GPU; the
+//! mapping is documented in DESIGN.md:
+//!
+//! * **FPS** — measured wall-clock throughput of the perception pipeline
+//!   (frames ÷ time spent inside perception), as in the paper.
+//! * **CPU-%** — measured share of loop wall-time spent in perception.
+//! * **GPU-%** — a deterministic compute proxy: detector multiply-
+//!   accumulates per simulated second, as a percentage of a reference
+//!   accelerator budget ([`REFERENCE_MACS_PER_SECOND`]).
+
+use crate::perception::DetectorBank;
+use crate::runner::{run_route, RunConfig};
+use crate::town::RouteSpec;
+use serde::{Deserialize, Serialize};
+
+/// Reference accelerator throughput used to normalise the GPU-% proxy.
+pub const REFERENCE_MACS_PER_SECOND: f64 = 1.0e8;
+
+/// Mean and half-width of a normal-approximation confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+}
+
+impl Estimate {
+    /// Confidence-interval bounds `(lo, hi)`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.half_width, self.mean + self.half_width)
+    }
+
+    /// Whether two estimates' intervals overlap (the paper's significance
+    /// argument for the GPU column).
+    pub fn overlaps(&self, other: &Estimate) -> bool {
+        let (alo, ahi) = self.interval();
+        let (blo, bhi) = other.interval();
+        alo <= bhi && blo <= ahi
+    }
+}
+
+fn estimate(samples: &[f64], z: f64) -> Estimate {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return Estimate { mean, half_width: f64::INFINITY };
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    Estimate { mean, half_width: z * (var / n).sqrt() }
+}
+
+/// One row of the overhead comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Configuration label (e.g. `"Single-v"`).
+    pub system: String,
+    /// Perception throughput, frames per second of perception wall time.
+    pub fps: Estimate,
+    /// Share of loop wall time spent in perception, percent.
+    pub cpu_pct: Estimate,
+    /// MAC-proxy accelerator utilisation, percent.
+    pub gpu_pct: Estimate,
+}
+
+/// Measures the three configurations of the paper's Table VIII
+/// (single-version, three-version, three-version w/ rejuvenation) on one
+/// route, `runs` times each.
+pub fn measure_overhead(
+    route: &RouteSpec,
+    bank: &DetectorBank,
+    base_seed: u64,
+    runs: usize,
+) -> Vec<OverheadRow> {
+    let configs: [(&str, usize, bool); 3] =
+        [("Single-v", 1, false), ("Three-v", 3, false), ("Three-v w/rej", 3, true)];
+    configs
+        .iter()
+        .map(|(label, versions, proactive)| {
+            let mut fps = Vec::with_capacity(runs);
+            let mut cpu = Vec::with_capacity(runs);
+            let mut gpu = Vec::with_capacity(runs);
+            for i in 0..runs {
+                let mut cfg = RunConfig::case_study(*proactive, base_seed + i as u64);
+                cfg.perception.versions = *versions;
+                let m = run_route(route, bank, &cfg);
+                let perception_secs = m.perception_time.as_secs_f64().max(1e-9);
+                fps.push(m.frames as f64 / perception_secs);
+                cpu.push(100.0 * perception_secs / m.total_time.as_secs_f64().max(1e-9));
+                let simulated_secs = m.frames as f64 * cfg.dt;
+                gpu.push(100.0 * m.macs as f64 / simulated_secs / REFERENCE_MACS_PER_SECOND);
+            }
+            OverheadRow {
+                system: (*label).to_string(),
+                fps: estimate(&fps, 1.96),
+                cpu_pct: estimate(&cpu, 1.96),
+                gpu_pct: estimate(&gpu, 1.96),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{train_detector, yolo_mini, DetectorTrainConfig};
+    use crate::town::route;
+
+    #[test]
+    fn estimate_statistics() {
+        let e = estimate(&[1.0, 2.0, 3.0], 1.96);
+        assert!((e.mean - 2.0).abs() < 1e-12);
+        assert!(e.half_width > 0.0 && e.half_width < 2.0);
+        let (lo, hi) = e.interval();
+        assert!(lo < 2.0 && hi > 2.0);
+        let single = estimate(&[5.0], 1.96);
+        assert!(single.half_width.is_infinite());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Estimate { mean: 10.0, half_width: 2.0 };
+        let b = Estimate { mean: 11.0, half_width: 2.0 };
+        let c = Estimate { mean: 20.0, half_width: 1.0 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn three_version_costs_more_than_single() {
+        // Tiny bank + short runs: enough to compare compute, not absolute FPS.
+        let cfg = DetectorTrainConfig { scenes: 120, epochs: 2, ..DetectorTrainConfig::default() };
+        let models = (0..3)
+            .map(|i| {
+                let mut m = yolo_mini("tiny", 4, i);
+                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                m
+            })
+            .collect();
+        let bank = DetectorBank::from_models(models);
+        let r = route(1).unwrap();
+        let rows = measure_overhead(&r, &bank, 9, 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].system, "Single-v");
+        // single-version has higher FPS and lower accelerator utilisation
+        assert!(
+            rows[0].fps.mean > rows[1].fps.mean,
+            "single {} vs three {}",
+            rows[0].fps.mean,
+            rows[1].fps.mean
+        );
+        assert!(rows[0].gpu_pct.mean < rows[1].gpu_pct.mean);
+        for row in &rows {
+            assert!(row.fps.mean.is_finite() && row.fps.mean > 0.0);
+            assert!(row.cpu_pct.mean > 0.0 && row.cpu_pct.mean <= 100.0);
+        }
+    }
+}

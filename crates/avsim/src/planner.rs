@@ -1,0 +1,205 @@
+//! Adaptive-cruise planning on fused detections.
+//!
+//! The planner mirrors OpenCDA's role in the paper's pipeline: it converts
+//! the perception output into a longitudinal acceleration command. The
+//! obstacle query is *path-aware*: detections are projected back onto the
+//! route (see [`crate::runner`]), so a lead vehicle around a corner is
+//! handled exactly like one dead ahead. Per the paper's case-study
+//! semantics, a *skipped* perception frame leaves the driving properties
+//! unchanged — the previous command is held, which is exactly why
+//! persistent voter divergence (two compromised modules) is dangerous: the
+//! vehicle keeps cruising while the world changes.
+
+use mvml_core::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// What perception tells the planner each frame (after fusing and
+/// projecting onto the route): the along-path distance to the nearest
+/// obstacle, if any.
+pub type ObstacleAhead = Option<f64>;
+
+/// Planner tuning.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Desired cruising speed, m/s.
+    pub target_speed: f64,
+    /// Maximum forward acceleration, m/s².
+    pub max_accel: f64,
+    /// Maximum braking deceleration (positive), m/s².
+    pub max_brake: f64,
+    /// Standstill gap kept to obstacles, metres.
+    pub standoff: f64,
+    /// Time-headway component of the desired gap, seconds.
+    pub headway: f64,
+    /// Lateral tolerance for the path-aware obstacle projection, metres.
+    pub corridor: f64,
+    /// Comfort-braking zone: gentle deceleration starts at
+    /// `comfort_factor ×` the desired gap, extending the tolerance to brief
+    /// perception outages (an ACC staple).
+    pub comfort_factor: f64,
+    /// Gentle deceleration applied in the comfort zone, m/s² (positive).
+    pub comfort_brake: f64,
+}
+
+impl PlannerConfig {
+    /// Defaults tuned for the case-study routes.
+    pub fn for_target_speed(target_speed: f64) -> Self {
+        PlannerConfig {
+            target_speed,
+            max_accel: 2.5,
+            max_brake: 6.0,
+            standoff: 8.0,
+            headway: 1.5,
+            corridor: 2.5,
+            comfort_factor: 2.2,
+            comfort_brake: 1.6,
+        }
+    }
+}
+
+/// The stateful ACC planner.
+#[derive(Debug, Clone)]
+pub struct AccPlanner {
+    cfg: PlannerConfig,
+    last_command: f64,
+}
+
+impl AccPlanner {
+    /// Creates a planner; the initial held command is "coast" (0 m/s²).
+    pub fn new(cfg: PlannerConfig) -> Self {
+        AccPlanner { cfg, last_command: 0.0 }
+    }
+
+    /// The most recent acceleration command.
+    pub fn last_command(&self) -> f64 {
+        self.last_command
+    }
+
+    /// Computes the acceleration command for this frame.
+    ///
+    /// On [`Verdict::Output`] the command tracks the target speed and
+    /// brakes for the obstacle distance, if any; on [`Verdict::Skip`] or
+    /// [`Verdict::NoModules`] the previous command is *held* (the paper's
+    /// "driving properties remain unchanged").
+    pub fn plan(&mut self, perception: &Verdict<ObstacleAhead>, speed: f64) -> f64 {
+        if let Verdict::Output(obstacle) = perception {
+            let cruise =
+                (self.cfg.target_speed - speed).clamp(-self.cfg.max_brake, self.cfg.max_accel);
+            let command = match obstacle {
+                Some(distance) => {
+                    let desired_gap = self.cfg.standoff + self.cfg.headway * speed;
+                    if *distance < desired_gap {
+                        // Brake proportionally to the gap violation.
+                        let severity = ((desired_gap - distance) / desired_gap).clamp(0.0, 1.0);
+                        -self.cfg.max_brake * (0.4 + 0.6 * severity)
+                    } else if *distance < self.cfg.comfort_factor * desired_gap {
+                        // Comfort zone: shed speed early so brief perception
+                        // outages remain recoverable.
+                        -self.cfg.comfort_brake
+                    } else {
+                        cruise
+                    }
+                }
+                None => cruise,
+            };
+            self.last_command = command;
+        }
+        self.last_command
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> AccPlanner {
+        AccPlanner::new(PlannerConfig::for_target_speed(8.0))
+    }
+
+    #[test]
+    fn cruises_toward_target_speed_when_clear() {
+        let mut p = planner();
+        let a = p.plan(&Verdict::Output(None), 4.0);
+        assert!(a > 0.0, "should accelerate from 4 toward 8 m/s");
+        let a = p.plan(&Verdict::Output(None), 8.0);
+        assert!(a.abs() < 0.2, "near target speed, ~coast");
+        let a = p.plan(&Verdict::Output(None), 12.0);
+        assert!(a < 0.0, "above target speed, slow down");
+    }
+
+    #[test]
+    fn brakes_for_close_obstacle() {
+        let mut p = planner();
+        // obstacle at 11 m; desired gap at 8 m/s = 7 + 11.2 = 18.2 m
+        let a = p.plan(&Verdict::Output(Some(11.0)), 8.0);
+        assert!(a < -2.0, "must brake hard, got {a}");
+    }
+
+    #[test]
+    fn ignores_far_obstacles() {
+        let mut p = planner();
+        let a = p.plan(&Verdict::Output(Some(51.0)), 8.0);
+        assert!(a >= 0.0 || a.abs() < 0.2, "far obstacle must not trigger braking, got {a}");
+    }
+
+    #[test]
+    fn comfort_zone_brakes_gently() {
+        let mut p = planner();
+        // desired gap at 8 m/s = 8 + 12 = 20; comfort zone reaches 38 m.
+        let a = p.plan(&Verdict::Output(Some(30.0)), 8.0);
+        assert!(a < 0.0 && a > -3.0, "expected gentle braking, got {a}");
+        let hard = p.plan(&Verdict::Output(Some(12.0)), 8.0);
+        assert!(hard < a, "inside the gap must brake harder than the comfort zone");
+    }
+
+    #[test]
+    fn skip_holds_previous_command() {
+        let mut p = planner();
+        let cruise = p.plan(&Verdict::Output(None), 4.0);
+        assert!(cruise > 0.0);
+        let held = p.plan(&Verdict::Skip, 4.0);
+        assert_eq!(held, cruise, "skip must hold the last command");
+        let held = p.plan(&Verdict::NoModules, 4.0);
+        assert_eq!(held, cruise);
+        assert_eq!(p.last_command(), cruise);
+    }
+
+    #[test]
+    fn braking_scales_with_proximity() {
+        let mut p = planner();
+        let far = p.plan(&Verdict::Output(Some(17.0)), 8.0);
+        let near = p.plan(&Verdict::Output(Some(5.0)), 8.0);
+        assert!(near < far, "closer obstacle must brake harder ({near} vs {far})");
+    }
+
+    #[test]
+    fn braking_is_strong_enough_to_stop_in_time() {
+        // From target speed, a first detection at the desired gap must stop
+        // the vehicle before the standoff distance: integrate the control
+        // loop against a stationary obstacle.
+        let cfg = PlannerConfig::for_target_speed(8.0);
+        let mut p = AccPlanner::new(cfg);
+        let mut speed: f64 = 8.0;
+        let mut distance = cfg.standoff + cfg.headway * speed; // first sight
+        let dt = 0.05;
+        for _ in 0..600 {
+            let a = p.plan(&Verdict::Output(Some(distance)), speed);
+            speed = (speed + a * dt).max(0.0);
+            distance -= speed * dt;
+            if speed == 0.0 {
+                break;
+            }
+        }
+        assert!(speed == 0.0, "never stopped");
+        assert!(distance > 0.5, "stopped only {distance} m before the obstacle");
+    }
+
+    #[test]
+    fn resumes_when_obstacle_clears() {
+        let mut p = planner();
+        let braking = p.plan(&Verdict::Output(Some(5.0)), 6.0);
+        assert!(braking < 0.0);
+        let resumed = p.plan(&Verdict::Output(None), 1.0);
+        assert!(resumed > 0.0, "must accelerate again once the road is clear");
+    }
+}

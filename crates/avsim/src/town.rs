@@ -1,0 +1,303 @@
+//! Towns and routes (the analogue of the paper's Fig. 5: two routes in each
+//! of Town02, Town03, Town04 and Town05).
+//!
+//! Each route is a polyline the ego vehicle follows, together with the NPC
+//! traffic that makes perception safety-relevant: a lead vehicle that
+//! brakes, crossing traffic at intersections, and parked obstacles. The
+//! routes are sized for roughly 30-second runs at the route's target speed,
+//! matching the paper's simulation runs.
+
+use crate::geometry::{Polyline, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Scripted behaviour of one NPC vehicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NpcBehavior {
+    /// Drives on the *ego's* path, starting `start_offset` metres ahead,
+    /// cruising at `cruise` m/s and coming to a stop during each
+    /// `(start_time, duration)` window.
+    Lead {
+        /// Initial arc-length head start over the ego.
+        start_offset: f64,
+        /// Cruising speed, m/s.
+        cruise: f64,
+        /// Stop windows `(start_time s, duration s)`.
+        stops: Vec<(f64, f64)>,
+    },
+    /// Crosses the ego's path on its own straight path, departing at
+    /// `depart` seconds and travelling at `speed` m/s.
+    Crossing {
+        /// The crossing path (straight polyline through the ego route).
+        path: Vec<Vec2>,
+        /// Departure time, s.
+        depart: f64,
+        /// Constant speed, m/s.
+        speed: f64,
+    },
+    /// A stationary obstacle parked on the ego path at the given arc
+    /// length.
+    Parked {
+        /// Arc-length position on the ego path.
+        at_offset: f64,
+    },
+}
+
+/// One driving scenario: a route plus its traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteSpec {
+    /// Global route number (1..=8, as in the paper's Table VI).
+    pub id: usize,
+    /// The town this route belongs to.
+    pub town: String,
+    /// Ego waypoints.
+    pub waypoints: Vec<Vec2>,
+    /// Ego target cruising speed, m/s.
+    pub target_speed: f64,
+    /// Traffic.
+    pub npcs: Vec<NpcBehavior>,
+}
+
+impl RouteSpec {
+    /// The route as an arc-length polyline.
+    pub fn path(&self) -> Polyline {
+        Polyline::new(self.waypoints.clone())
+    }
+}
+
+fn v(x: f64, y: f64) -> Vec2 {
+    Vec2::new(x, y)
+}
+
+/// All eight routes of the case study, in Table VI order.
+///
+/// Routes are sized so a run completes in roughly 30–40 simulated seconds
+/// (driving time plus the lead vehicle's stop windows), matching the
+/// paper's ~600–760 frame totals. Every lead vehicle brakes to a stop
+/// twice unless a crossing vehicle supplies the second hazard.
+pub fn all_routes() -> Vec<RouteSpec> {
+    vec![
+        // ---- Town02: a compact grid town; short blocks, right-angle turns.
+        RouteSpec {
+            id: 1,
+            town: "Town02".to_string(),
+            waypoints: vec![v(0.0, 0.0), v(90.0, 0.0), v(90.0, 55.0), v(150.0, 55.0)],
+            target_speed: 8.0,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 30.0,
+                cruise: 7.0,
+                stops: vec![(9.0, 7.0), (20.0, 6.0)],
+            }],
+        },
+        RouteSpec {
+            id: 2,
+            town: "Town02".to_string(),
+            waypoints: vec![v(0.0, 0.0), v(70.0, 0.0), v(70.0, -55.0), v(140.0, -55.0)],
+            target_speed: 8.5,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 28.0,
+                cruise: 7.5,
+                stops: vec![(10.0, 6.0), (21.0, 6.0)],
+            }],
+        },
+        // ---- Town03: curved arterials and a junction with crossing traffic.
+        RouteSpec {
+            id: 3,
+            town: "Town03".to_string(),
+            waypoints: vec![
+                v(0.0, 0.0),
+                v(40.0, 2.0),
+                v(78.0, 10.0),
+                v(108.0, 26.0),
+                v(128.0, 50.0),
+                v(136.0, 82.0),
+            ],
+            target_speed: 9.0,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 26.0,
+                cruise: 8.0,
+                stops: vec![(8.0, 7.0), (19.0, 5.0)],
+            }],
+        },
+        RouteSpec {
+            id: 4,
+            town: "Town03".to_string(),
+            waypoints: vec![
+                v(0.0, 0.0),
+                v(48.0, -4.0),
+                v(90.0, -16.0),
+                v(122.0, -40.0),
+                v(150.0, -40.0),
+                v(185.0, -40.0),
+            ],
+            target_speed: 8.0,
+            npcs: vec![
+                NpcBehavior::Lead { start_offset: 32.0, cruise: 7.0, stops: vec![(11.0, 7.0)] },
+                NpcBehavior::Crossing {
+                    path: vec![v(150.0, -90.0), v(150.0, 10.0)],
+                    depart: 15.0,
+                    speed: 6.0,
+                },
+            ],
+        },
+        // ---- Town04: highway figure — long straights, higher speeds.
+        RouteSpec {
+            id: 5,
+            town: "Town04".to_string(),
+            waypoints: vec![v(0.0, 0.0), v(120.0, 0.0), v(215.0, 5.0)],
+            target_speed: 10.0,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 34.0,
+                cruise: 9.0,
+                stops: vec![(9.0, 7.0), (21.0, 6.0)],
+            }],
+        },
+        RouteSpec {
+            id: 6,
+            town: "Town04".to_string(),
+            waypoints: vec![v(0.0, 0.0), v(95.0, 0.0), v(130.0, 10.0), v(205.0, 10.0)],
+            target_speed: 9.5,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 30.0,
+                cruise: 8.5,
+                stops: vec![(8.0, 6.0), (18.0, 6.0)],
+            }],
+        },
+        // ---- Town05: wide grid with diagonal connectors and junctions.
+        RouteSpec {
+            id: 7,
+            town: "Town05".to_string(),
+            waypoints: vec![
+                v(0.0, 0.0),
+                v(60.0, 0.0),
+                v(100.0, 28.0),
+                v(150.0, 28.0),
+                v(150.0, 75.0),
+            ],
+            target_speed: 8.5,
+            npcs: vec![
+                NpcBehavior::Lead { start_offset: 28.0, cruise: 7.5, stops: vec![(10.0, 6.0)] },
+                NpcBehavior::Crossing {
+                    path: vec![v(100.0, 75.0), v(100.0, -22.0)],
+                    depart: 10.0,
+                    speed: 5.0,
+                },
+            ],
+        },
+        RouteSpec {
+            id: 8,
+            town: "Town05".to_string(),
+            waypoints: vec![
+                v(0.0, 0.0),
+                v(45.0, 32.0),
+                v(100.0, 32.0),
+                v(145.0, 65.0),
+                v(180.0, 65.0),
+            ],
+            target_speed: 8.0,
+            npcs: vec![NpcBehavior::Lead {
+                start_offset: 27.0,
+                cruise: 7.2,
+                stops: vec![(9.0, 8.0), (21.0, 5.0)],
+            }],
+        },
+    ]
+}
+
+/// Looks up a route by its global id (1..=8).
+pub fn route(id: usize) -> Option<RouteSpec> {
+    all_routes().into_iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_routes_across_four_towns() {
+        let routes = all_routes();
+        assert_eq!(routes.len(), 8);
+        let mut towns: Vec<&str> = routes.iter().map(|r| r.town.as_str()).collect();
+        towns.dedup();
+        assert_eq!(towns, vec!["Town02", "Town03", "Town04", "Town05"]);
+        for (i, r) in routes.iter().enumerate() {
+            assert_eq!(r.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn routes_are_long_enough_for_thirty_second_runs() {
+        for r in all_routes() {
+            let len = r.path().length();
+            let cover = r.target_speed * 30.0;
+            assert!(
+                len > 0.55 * cover && len < 1.5 * cover,
+                "route {} length {len} vs 30 s budget {cover}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn every_route_has_a_lead_vehicle() {
+        for r in all_routes() {
+            assert!(
+                r.npcs.iter().any(|n| matches!(n, NpcBehavior::Lead { .. })),
+                "route {} has no lead vehicle",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn lead_offsets_leave_reaction_room() {
+        for r in all_routes() {
+            for npc in &r.npcs {
+                if let NpcBehavior::Lead { start_offset, cruise, .. } = npc {
+                    assert!(*start_offset >= 20.0, "route {}", r.id);
+                    assert!(*cruise < r.target_speed + 0.1, "lead should not outrun ego");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_paths_intersect_the_route_bounding_box() {
+        for r in all_routes() {
+            for npc in &r.npcs {
+                if let NpcBehavior::Crossing { path, .. } = npc {
+                    let p = Polyline::new(path.clone());
+                    assert!(p.length() > 10.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_standard_route_is_permanently_blocked() {
+        // A parked obstacle on the ego lane would make the route impossible
+        // to complete (the ACC planner never overtakes); the standard eight
+        // routes must not contain one.
+        for r in all_routes() {
+            assert!(
+                !r.npcs.iter().any(|n| matches!(n, NpcBehavior::Parked { .. })),
+                "route {} contains a lane-blocking parked obstacle",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(route(3).unwrap().town, "Town03");
+        assert!(route(9).is_none());
+        assert!(route(0).is_none());
+    }
+
+    #[test]
+    fn routes_serde_round_trip() {
+        let r = route(1).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RouteSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,160 @@
+//! Path-following vehicles with simple longitudinal dynamics.
+
+use crate::geometry::{OrientedBox, Polyline, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Standard vehicle footprint (metres), matching a mid-size car.
+pub const VEHICLE_LENGTH: f64 = 4.5;
+/// Standard vehicle width (metres).
+pub const VEHICLE_WIDTH: f64 = 2.0;
+
+/// A vehicle locked to a polyline path, with speed controlled by
+/// longitudinal acceleration (the lateral control problem is abstracted
+/// away: perception errors in the paper's case study manifest through
+/// braking decisions, not steering).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathVehicle {
+    path: Polyline,
+    /// Arc-length position along the path.
+    s: f64,
+    /// Longitudinal speed, m/s (never negative).
+    speed: f64,
+}
+
+impl PathVehicle {
+    /// Places a vehicle on `path` at arc length `start_offset` with an
+    /// initial speed.
+    pub fn new(path: Polyline, start_offset: f64, speed: f64) -> Self {
+        PathVehicle { path, s: start_offset, speed: speed.max(0.0) }
+    }
+
+    /// Current arc-length position.
+    pub fn arc_position(&self) -> f64 {
+        self.s
+    }
+
+    /// Current speed (m/s).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// World position.
+    pub fn position(&self) -> Vec2 {
+        self.path.point_at(self.s)
+    }
+
+    /// Heading along the path, radians.
+    pub fn heading(&self) -> f64 {
+        self.path.heading_at(self.s)
+    }
+
+    /// The vehicle's oriented footprint.
+    pub fn footprint(&self) -> OrientedBox {
+        OrientedBox::new(self.position(), self.heading(), VEHICLE_LENGTH, VEHICLE_WIDTH)
+    }
+
+    /// `true` once the vehicle has reached the end of its path.
+    pub fn at_end(&self) -> bool {
+        self.s >= self.path.length() - 1e-9
+    }
+
+    /// Remaining distance to the end of the path.
+    pub fn remaining(&self) -> f64 {
+        (self.path.length() - self.s).max(0.0)
+    }
+
+    /// Advances the vehicle by `dt` seconds under acceleration `accel`
+    /// (m/s²). Speed is clamped at zero (no reversing) and the position at
+    /// the path end.
+    pub fn step(&mut self, accel: f64, dt: f64) {
+        let v0 = self.speed;
+        self.speed = (self.speed + accel * dt).max(0.0);
+        // trapezoidal advance
+        self.s = (self.s + 0.5 * (v0 + self.speed) * dt).min(self.path.length());
+    }
+
+    /// Drives toward `target_speed` with bounded acceleration, returning
+    /// the applied acceleration. Used by scripted NPC vehicles.
+    pub fn drive_toward(&mut self, target_speed: f64, max_accel: f64, max_brake: f64, dt: f64) -> f64 {
+        let error = target_speed - self.speed;
+        let accel = (error / dt.max(1e-6)).clamp(-max_brake, max_accel);
+        self.step(accel, dt);
+        accel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Polyline {
+        Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)])
+    }
+
+    #[test]
+    fn constant_speed_advances_linearly() {
+        let mut v = PathVehicle::new(straight(), 0.0, 10.0);
+        for _ in 0..20 {
+            v.step(0.0, 0.1);
+        }
+        assert!((v.arc_position() - 20.0).abs() < 1e-9);
+        assert_eq!(v.position(), Vec2::new(20.0, 0.0));
+        assert!(!v.at_end());
+        assert!((v.remaining() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn braking_stops_without_reversing() {
+        let mut v = PathVehicle::new(straight(), 0.0, 5.0);
+        for _ in 0..100 {
+            v.step(-3.0, 0.1);
+        }
+        assert_eq!(v.speed(), 0.0);
+        let pos = v.arc_position();
+        v.step(-3.0, 0.1);
+        assert_eq!(v.arc_position(), pos, "stopped vehicle must not move");
+    }
+
+    #[test]
+    fn clamps_at_path_end() {
+        let mut v = PathVehicle::new(straight(), 95.0, 20.0);
+        for _ in 0..10 {
+            v.step(0.0, 0.1);
+        }
+        assert!(v.at_end());
+        assert_eq!(v.position(), Vec2::new(100.0, 0.0));
+        assert_eq!(v.remaining(), 0.0);
+    }
+
+    #[test]
+    fn drive_toward_reaches_target() {
+        let mut v = PathVehicle::new(straight(), 0.0, 0.0);
+        for _ in 0..100 {
+            v.drive_toward(8.0, 2.5, 6.0, 0.05);
+        }
+        assert!((v.speed() - 8.0).abs() < 0.2, "speed {}", v.speed());
+        // and decelerates when the target drops
+        for _ in 0..100 {
+            v.drive_toward(0.0, 2.5, 6.0, 0.05);
+        }
+        assert!(v.speed() < 0.1);
+    }
+
+    #[test]
+    fn footprint_follows_heading() {
+        let path = Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(0.0, 50.0)]);
+        let v = PathVehicle::new(path, 10.0, 0.0);
+        let fp = v.footprint();
+        assert!((fp.heading - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(fp.centre, Vec2::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn trapezoidal_integration_is_exact_for_constant_accel() {
+        let mut v = PathVehicle::new(straight(), 0.0, 0.0);
+        v.step(2.0, 1.0);
+        // s = ½at² = 1, v = 2
+        assert!((v.arc_position() - 1.0).abs() < 1e-12);
+        assert!((v.speed() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! The simulated world: ego vehicle, scripted NPC traffic, collisions.
+
+use crate::geometry::{OrientedBox, Polyline, Vec2};
+use crate::town::{NpcBehavior, RouteSpec};
+use crate::vehicle::PathVehicle;
+
+/// Ground truth about one other actor, as a perfect sensor would see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectTruth {
+    /// World position of the actor's centre.
+    pub position: Vec2,
+    /// Actor heading, radians.
+    pub heading: f64,
+}
+
+/// One scripted NPC and its controller state.
+#[derive(Debug, Clone)]
+struct Npc {
+    vehicle: PathVehicle,
+    behavior: NpcBehavior,
+    /// Crossing NPCs only exist after departure and before path end.
+    active: bool,
+}
+
+impl Npc {
+    fn step(&mut self, time: f64, dt: f64) {
+        match &self.behavior {
+            NpcBehavior::Lead { cruise, stops, .. } => {
+                // A lead that reaches the end of the route drives off the
+                // map (otherwise it would park on the finish line).
+                if self.vehicle.at_end() {
+                    self.active = false;
+                    return;
+                }
+                let stopping = stops
+                    .iter()
+                    .any(|&(start, duration)| time >= start && time < start + duration);
+                let target = if stopping { 0.0 } else { *cruise };
+                self.vehicle.drive_toward(target, 2.5, 5.0, dt);
+            }
+            NpcBehavior::Crossing { depart, speed, .. } => {
+                if time >= *depart {
+                    self.active = !self.vehicle.at_end();
+                    if self.active {
+                        self.vehicle.drive_toward(*speed, 4.0, 6.0, dt);
+                    }
+                } else {
+                    self.active = false;
+                }
+            }
+            NpcBehavior::Parked { .. } => {}
+        }
+    }
+}
+
+/// The running world for one route.
+#[derive(Debug, Clone)]
+pub struct World {
+    ego: PathVehicle,
+    npcs: Vec<Npc>,
+    time: f64,
+    crashed: bool,
+}
+
+impl World {
+    /// Instantiates a world from a route specification; the ego starts at
+    /// the route origin at its target speed (runs begin in cruise, as in
+    /// the paper's scenarios).
+    pub fn new(route: &RouteSpec) -> Self {
+        let path = route.path();
+        let ego = PathVehicle::new(path.clone(), 0.0, route.target_speed);
+        let npcs = route
+            .npcs
+            .iter()
+            .map(|behavior| {
+                let (vehicle, active) = match behavior {
+                    NpcBehavior::Lead { start_offset, cruise, .. } => {
+                        (PathVehicle::new(path.clone(), *start_offset, *cruise), true)
+                    }
+                    NpcBehavior::Crossing { path: cp, .. } => {
+                        (PathVehicle::new(Polyline::new(cp.clone()), 0.0, 0.0), false)
+                    }
+                    NpcBehavior::Parked { at_offset } => {
+                        (PathVehicle::new(path.clone(), *at_offset, 0.0), true)
+                    }
+                };
+                Npc { vehicle, behavior: behavior.clone(), active }
+            })
+            .collect();
+        World { ego, npcs, time: 0.0, crashed: false }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The ego vehicle.
+    pub fn ego(&self) -> &PathVehicle {
+        &self.ego
+    }
+
+    /// Advances the world by `dt` with the given ego acceleration command.
+    ///
+    /// After the first collision the ego is *crashed*: it stops and stays
+    /// stopped (vehicles do not drive through each other), while scripted
+    /// NPCs continue — so a rear-ended lead that later resumes driving ends
+    /// the overlap, bounding the collision-frame count the way the paper's
+    /// per-route collision rates are bounded.
+    pub fn step(&mut self, ego_accel: f64, dt: f64) {
+        self.time += dt;
+        if self.crashed {
+            self.ego.step(-1e9, dt); // hard stop, stays put
+        } else {
+            self.ego.step(ego_accel, dt);
+        }
+        for npc in &mut self.npcs {
+            npc.step(self.time, dt);
+        }
+        if !self.crashed && self.ego_collides() {
+            self.crashed = true;
+        }
+    }
+
+    /// `true` once the ego has crashed (first collision happened).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// `true` when the ego footprint overlaps any active NPC footprint.
+    pub fn ego_collides(&self) -> bool {
+        let ego_box = self.ego.footprint();
+        self.active_footprints().any(|b| ego_box.intersects(&b))
+    }
+
+    /// `true` once the ego reached the end of the route.
+    pub fn route_completed(&self) -> bool {
+        self.ego.at_end()
+    }
+
+    /// Ground truth of all active NPC actors (the perfect-sensor input of
+    /// the perception pipeline).
+    pub fn ground_truth(&self) -> Vec<ObjectTruth> {
+        self.npcs
+            .iter()
+            .filter(|n| n.active)
+            .map(|n| ObjectTruth { position: n.vehicle.position(), heading: n.vehicle.heading() })
+            .collect()
+    }
+
+    fn active_footprints(&self) -> impl Iterator<Item = OrientedBox> + '_ {
+        self.npcs.iter().filter(|n| n.active).map(|n| n.vehicle.footprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::town::route;
+
+    #[test]
+    fn world_instantiates_every_route() {
+        for id in 1..=8 {
+            let r = route(id).unwrap();
+            let w = World::new(&r);
+            assert!(!w.ego_collides(), "route {id} starts in collision");
+            assert!(!w.route_completed());
+            assert!(!w.ground_truth().is_empty(), "route {id} has no visible traffic");
+        }
+    }
+
+    #[test]
+    fn ego_advances_and_completes_route() {
+        let r = route(1).unwrap();
+        let mut w = World::new(&r);
+        // Creep along slowly so the (faster, temporarily stopping) lead
+        // vehicle always stays ahead; with crash-stop physics a blind
+        // full-speed ego would crash instead of completing.
+        let mut steps = 0;
+        while !w.route_completed() && steps < 60_000 {
+            let accel = if w.ego().speed() > 3.0 { -1.0 } else { 0.5 };
+            w.step(accel, 0.05);
+            steps += 1;
+        }
+        assert!(w.route_completed(), "route never completed");
+        assert!(!w.crashed(), "cautious ego must not crash");
+    }
+
+    #[test]
+    fn blind_ego_rear_ends_braking_lead() {
+        // Full throttle with no perception: the braking lead vehicle must
+        // eventually be hit. This is the hazard the perception system exists
+        // to prevent.
+        let r = route(1).unwrap();
+        let mut w = World::new(&r);
+        let mut collided = false;
+        for _ in 0..1200 {
+            w.step(1.0, 0.05);
+            if w.ego_collides() {
+                collided = true;
+                break;
+            }
+        }
+        assert!(collided, "blind ego should crash into the stopping lead");
+    }
+
+    #[test]
+    fn stationary_ego_is_safe() {
+        let r = route(1).unwrap();
+        let mut w = World::new(&r);
+        for _ in 0..600 {
+            w.step(-10.0, 0.05); // brake to a halt immediately
+            assert!(!w.ego_collides(), "a stopped ego at the origin must stay safe");
+        }
+    }
+
+    #[test]
+    fn crossing_npc_appears_after_departure() {
+        let r = route(4).unwrap();
+        let mut w = World::new(&r);
+        let before = w.ground_truth().len();
+        // advance past the crossing departure (14 s)
+        for _ in 0..(15.0_f64 / 0.05) as usize {
+            w.step(0.0, 0.05);
+        }
+        let after = w.ground_truth().len();
+        assert!(after > before, "crossing vehicle never activated ({before} -> {after})");
+    }
+
+    #[test]
+    fn lead_vehicle_obeys_stop_windows() {
+        let r = route(1).unwrap(); // lead stops during [8, 15)
+        let mut w = World::new(&r);
+        // Hold the ego still so it cannot interfere.
+        let mut lead_positions = Vec::new();
+        for _ in 0..(20.0_f64 / 0.05) as usize {
+            w.step(-10.0, 0.05);
+            lead_positions.push((w.time(), w.ground_truth()[0].position));
+        }
+        let pos_at = |t: f64| {
+            lead_positions
+                .iter()
+                .min_by(|a, b| (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).unwrap())
+                .unwrap()
+                .1
+        };
+        // During the stop window the lead barely moves.
+        let p11 = pos_at(11.0);
+        let p13 = pos_at(13.0);
+        assert!(p11.distance(p13) < 1.0, "lead moved {} m while stopped", p11.distance(p13));
+        // After the window it moves again.
+        let p16 = pos_at(16.0);
+        let p19 = pos_at(19.0);
+        assert!(p16.distance(p19) > 5.0, "lead failed to resume");
+    }
+
+    #[test]
+    fn time_advances() {
+        let r = route(5).unwrap();
+        let mut w = World::new(&r);
+        w.step(0.0, 0.05);
+        w.step(0.0, 0.05);
+        assert!((w.time() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the driving simulator: world stepping,
+//! BEV rasterisation, one full perception frame, and a complete short run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvml_avsim::bev::rasterize;
+use mvml_avsim::detector::{train_detector, yolo_mini, DetectorTrainConfig};
+use mvml_avsim::perception::{DetectorBank, MultiVersionPerception};
+use mvml_avsim::runner::{run_route, RunConfig};
+use mvml_avsim::town::route;
+use mvml_avsim::{PerceptionConfig, World};
+use mvml_core::rejuvenation::ProcessConfig;
+use std::hint::black_box;
+
+fn quick_bank() -> DetectorBank {
+    let cfg = DetectorTrainConfig { scenes: 250, epochs: 3, ..DetectorTrainConfig::default() };
+    let models = (0..3)
+        .map(|i| {
+            let mut m = yolo_mini("bench", 4, i);
+            let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+            m
+        })
+        .collect();
+    DetectorBank::from_models(models)
+}
+
+fn bench_world(c: &mut Criterion) {
+    let r = route(1).expect("route");
+    c.bench_function("world_step", |b| {
+        let mut w = World::new(&r);
+        b.iter(|| {
+            w.step(black_box(0.1), 0.05);
+            black_box(w.ego_collides())
+        });
+    });
+    c.bench_function("bev_rasterize", |b| {
+        let w = World::new(&r);
+        let truth = w.ground_truth();
+        b.iter(|| rasterize(w.ego().position(), w.ego().heading(), black_box(&truth)));
+    });
+}
+
+fn bench_perception_frame(c: &mut Criterion) {
+    let bank = quick_bank();
+    let r = route(1).expect("route");
+    let w = World::new(&r);
+    let grid = rasterize(w.ego().position(), w.ego().heading(), &w.ground_truth());
+    c.bench_function("perception_frame_3v", |b| {
+        let mut p = MultiVersionPerception::new(
+            &bank,
+            PerceptionConfig::default(),
+            ProcessConfig::carla(true),
+            1,
+        );
+        b.iter(|| p.perceive(black_box(&grid)));
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let bank = quick_bank();
+    let r = route(1).expect("route");
+    let mut group = c.benchmark_group("full_run");
+    group.sample_size(10);
+    group.bench_function("route1_200frames_3v_rej", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = RunConfig::case_study(true, 5);
+                cfg.max_frames = 200;
+                cfg
+            },
+            |cfg| run_route(&r, &bank, &cfg),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world, bench_perception_frame, bench_full_run);
+criterion_main!(benches);

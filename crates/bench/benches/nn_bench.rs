@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the neural-network substrate: inference
+//! cost of the three classifier versions and the YOLO-mini detectors — the
+//! numbers behind the Table VIII compute model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvml_avsim::bev::CELLS;
+use mvml_avsim::detector::{yolo_mini, VARIANTS};
+use mvml_nn::layer::Layer;
+use mvml_nn::models::three_versions;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::Tensor;
+use std::hint::black_box;
+
+fn bench_classifier_inference(c: &mut Criterion) {
+    let cfg = SignConfig::default();
+    let data = generate(&cfg, 32, 0);
+    let (batch, _) = data.batch(&(0..32).collect::<Vec<_>>());
+    for mut model in three_versions(cfg.image_size, cfg.classes, 38) {
+        let name = format!("infer_batch32_{}", model.model_name());
+        c.bench_function(&name, |b| {
+            b.iter(|| model.forward(black_box(&batch), false));
+        });
+    }
+}
+
+fn bench_detector_inference(c: &mut Criterion) {
+    let grid = Tensor::zeros(&[1, 1, CELLS, CELLS]);
+    for (i, (name, channels)) in VARIANTS.iter().enumerate() {
+        let mut model = yolo_mini(name, *channels, i as u64);
+        c.bench_function(&format!("detector_forward_{name}"), |b| {
+            b.iter(|| model.forward(black_box(&grid), false));
+        });
+    }
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use mvml_nn::loss::softmax_cross_entropy;
+    use mvml_nn::optim::Sgd;
+    let cfg = SignConfig::default();
+    let data = generate(&cfg, 16, 0);
+    let (batch, labels) = data.batch(&(0..16).collect::<Vec<_>>());
+    let mut model = mvml_nn::models::lenet_mini(cfg.image_size, cfg.classes, 38);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    c.bench_function("train_step_batch16_lenet", |b| {
+        b.iter(|| {
+            let logits = model.forward(&batch, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            opt.step(&mut model);
+        });
+    });
+}
+
+criterion_group!(benches, bench_classifier_inference, bench_detector_inference, bench_training_step);
+criterion_main!(benches);

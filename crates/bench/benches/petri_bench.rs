@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the DSPN engine: reachability + CTMC
+//! solution of the paper's models (the inner loop of every Fig. 4 sweep)
+//! and discrete-event simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvml_core::dspn::{expected_system_reliability, reactive_only, with_proactive, SolveOptions};
+use mvml_core::SystemParams;
+use mvml_petri::{simulate, steady_state, SimConfig};
+
+fn bench_steady_state(c: &mut Criterion) {
+    let params = SystemParams::paper_table_iv();
+    c.bench_function("ctmc_solve_3v_reactive", |b| {
+        b.iter_batched(
+            || reactive_only(3, &params).expect("net").net,
+            |net| steady_state(&net).expect("solution"),
+            BatchSize::SmallInput,
+        );
+    });
+    for k in [8u32, 32] {
+        c.bench_function(&format!("dspn_solve_3v_proactive_erlang{k}"), |b| {
+            let opts = SolveOptions { erlang_k: k, ..SolveOptions::default() };
+            b.iter(|| expected_system_reliability(3, true, &params, &opts).expect("reliability"));
+        });
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let params = SystemParams::paper_table_iv();
+    let mv = with_proactive(3, &params).expect("net");
+    c.bench_function("des_simulate_3v_proactive_100k_s", |b| {
+        b.iter(|| {
+            simulate(
+                &mv.net,
+                &SimConfig { horizon: 100_000.0, warmup: 100.0, seed: 1, ..SimConfig::default() },
+            )
+            .expect("simulation")
+        });
+    });
+}
+
+criterion_group!(benches, bench_steady_state, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the trusted voter: classification voting
+//! (rules R.1–R.3) and approximate detection-set voting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvml_avsim::detector::DetectionSet;
+use mvml_avsim::perception::vote_detections;
+use mvml_core::{vote, vote_majority, VotingScheme};
+use std::hint::black_box;
+
+fn bench_label_voting(c: &mut Criterion) {
+    let agree: [Option<u32>; 3] = [Some(7), Some(7), Some(3)];
+    let disagree: [Option<u32>; 3] = [Some(1), Some(2), Some(3)];
+    let degraded: [Option<u32>; 3] = [Some(5), None, Some(5)];
+    c.bench_function("vote_majority_3_agree", |b| {
+        b.iter(|| vote_majority(black_box(&agree)));
+    });
+    c.bench_function("vote_majority_3_disagree", |b| {
+        b.iter(|| vote_majority(black_box(&disagree)));
+    });
+    c.bench_function("vote_majority_2oo2", |b| {
+        b.iter(|| vote_majority(black_box(&degraded)));
+    });
+    c.bench_function("vote_unanimous_3", |b| {
+        b.iter(|| vote(VotingScheme::Unanimous, black_box(&agree)));
+    });
+}
+
+fn bench_detection_voting(c: &mut Criterion) {
+    let a: DetectionSet = (0u16..12).collect();
+    let b_set: DetectionSet = (0u16..12).chain([40u16]).collect();
+    let garbage: DetectionSet = (0u16..1024).step_by(3).collect();
+    let proposals = [Some(a.clone()), Some(b_set.clone()), Some(garbage.clone())];
+    c.bench_function("vote_detections_3_modules", |b| {
+        b.iter(|| vote_detections(black_box(&proposals), 2));
+    });
+    let pair = [Some(a), Some(b_set), None];
+    c.bench_function("vote_detections_2_modules", |b| {
+        b.iter(|| vote_detections(black_box(&pair), 2));
+    });
+}
+
+criterion_group!(benches, bench_label_voting, bench_detection_voting);
+criterion_main!(benches);

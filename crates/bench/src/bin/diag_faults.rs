@@ -1,0 +1,206 @@
+//! Diagnostic: what do compromised detectors actually emit, and how often
+//! do healthy variants agree? Used to tune the case-study error model; not
+//! part of the paper reproduction tables.
+
+use mvml_avsim::bev::{add_sensor_noise, rasterize};
+use mvml_avsim::detector::{decode, DetectionSet};
+use mvml_avsim::geometry::Vec2;
+use mvml_avsim::perception::vote_detections;
+use mvml_avsim::world::ObjectTruth;
+use mvml_avsim::{DetectorBank, DetectorTrainConfig};
+use mvml_core::Verdict;
+use mvml_faultinject::{random_weight_inj, undo};
+use mvml_nn::layer::Layer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        DetectorTrainConfig { scenes: 300, epochs: 3, ..DetectorTrainConfig::default() }
+    } else {
+        DetectorTrainConfig::default()
+    };
+    eprintln!("training bank…");
+    let bank = DetectorBank::train(&cfg);
+    let mut models: Vec<_> = bank.models().to_vec();
+
+    let scene = |d: f64| {
+        rasterize(
+            Vec2::new(0.0, 0.0),
+            0.0,
+            &[ObjectTruth { position: Vec2::new(d, 0.0), heading: 0.0 }],
+        )
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Healthy agreement / skip rate over 200 frames.
+    let mut skips = 0;
+    let mut sizes = Vec::new();
+    for f in 0..200 {
+        let clean = scene(10.0 + (f % 40) as f64);
+        let proposals: Vec<Option<DetectionSet>> = models
+            .iter_mut()
+            .map(|m| {
+                let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+                Some(decode(&m.forward(&noisy, false), 0.5))
+            })
+            .collect();
+        sizes.push(proposals.iter().map(|p| p.as_ref().unwrap().len()).collect::<Vec<_>>());
+        if vote_detections(&proposals, 2).is_skip() {
+            skips += 1;
+        }
+    }
+    println!("healthy: skip rate {}/200, sample sizes {:?}", skips, &sizes[..4]);
+
+    // Pairwise symmetric differences between healthy variants.
+    let clean = scene(20.0);
+    let sets: Vec<DetectionSet> = models
+        .iter_mut()
+        .map(|m| {
+            let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+            decode(&m.forward(&noisy, false), 0.5)
+        })
+        .collect();
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            println!(
+                "healthy symdiff {}-{}: {} (sizes {} / {})",
+                i,
+                j,
+                sets[i].symmetric_difference_len(&sets[j]),
+                sets[i].len(),
+                sets[j].len()
+            );
+        }
+    }
+
+    // Compromised output statistics over 60 random faults per model.
+    for (mi, model) in models.iter_mut().enumerate() {
+        let mut empty = 0;
+        let mut flooded = 0;
+        let mut normal = 0;
+        let mut sizes = Vec::new();
+        for seed in 0..60u64 {
+            let rec = random_weight_inj(model, 0, -300.0, 100.0, seed * 7 + mi as u64);
+            let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+            let set = decode(&model.forward(&noisy, false), 0.5);
+            undo(model, &rec);
+            sizes.push(set.len());
+            if set.is_empty() {
+                empty += 1;
+            } else if set.len() > 50 {
+                flooded += 1;
+            } else {
+                normal += 1;
+            }
+        }
+        sizes.sort_unstable();
+        println!(
+            "model {mi}: empty {empty}/60, flooded {flooded}/60, plausible {normal}/60, median size {}",
+            sizes[30]
+        );
+    }
+
+    // What does a *pair* of compromised models do to the vote?
+    let mut agree_garbage = 0;
+    let mut skip = 0;
+    let mut ok = 0;
+    for seed in 0..60u64 {
+        let r0 = random_weight_inj(&mut models[0], 0, -300.0, 100.0, seed);
+        let r1 = random_weight_inj(&mut models[1], 0, -300.0, 100.0, seed + 1000);
+        let proposals: Vec<Option<DetectionSet>> = models
+            .iter_mut()
+            .map(|m| {
+                let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+                Some(decode(&m.forward(&noisy, false), 0.5))
+            })
+            .collect();
+        match vote_detections(&proposals, 2) {
+            Verdict::Skip => skip += 1,
+            Verdict::Output(set) => {
+                if set.nearest_obstacle_ahead(3.0).map(|d| (d - 20.0).abs() < 6.0) == Some(true) {
+                    ok += 1;
+                } else {
+                    agree_garbage += 1;
+                }
+            }
+            Verdict::NoModules => {}
+        }
+        undo(&mut models[0], &r0);
+        undo(&mut models[1], &r1);
+    }
+    println!("two compromised: skip {skip}/60, correct-output {ok}/60, wrong-output {agree_garbage}/60");
+
+    // Dangerous-miss statistic: two compromised modules, does the fused
+    // output MISS the obstacle entirely?
+    let mut missed = 0;
+    for seed in 200..260u64 {
+        let r0 = random_weight_inj(&mut models[0], 0, -300.0, 100.0, seed);
+        let r1 = random_weight_inj(&mut models[1], 0, -300.0, 100.0, seed + 1000);
+        let proposals: Vec<Option<DetectionSet>> = models
+            .iter_mut()
+            .map(|m| {
+                let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+                Some(decode(&m.forward(&noisy, false), 0.5))
+            })
+            .collect();
+        if let Verdict::Output(set) = vote_detections(&proposals, 2) {
+            if set.nearest_obstacle_ahead(3.0).is_none() {
+                missed += 1;
+            }
+        }
+        undo(&mut models[0], &r0);
+        undo(&mut models[1], &r1);
+    }
+    println!("two compromised: fused output misses the obstacle in {missed}/60 frames");
+
+    // Scan (layer, range, burst) combinations for the two- and
+    // three-compromised outcome mix (60 trials each).
+    println!("\nscan: layer/range/burst -> compromised outcome mix (60 trials each)");
+    for (layer, lo, hi, burst, three) in [
+        (2usize, -300.0f32, 100.0f32, 3usize, false),
+        (2, -500.0, 50.0, 3, false),
+        (2, -800.0, 5.0, 3, false),
+        (2, -800.0, 5.0, 2, false),
+        (2, -300.0, 100.0, 3, true),
+        (2, -500.0, 50.0, 3, true),
+        (2, -800.0, 5.0, 3, true),
+    ] {
+        let mut skip = 0;
+        let mut correct = 0;
+        let mut miss = 0;
+        let mut wrong_near = 0;
+        for seed in 0..60u64 {
+            let n_comp = if three { 3 } else { 2 };
+            let mut records = Vec::new();
+            for (m, model) in models.iter_mut().enumerate().take(n_comp) {
+                for b in 0..burst {
+                    records.push((m, random_weight_inj(model, layer, lo, hi, seed * 31 + (m * burst + b) as u64)));
+                }
+            }
+            let proposals: Vec<Option<DetectionSet>> = models
+                .iter_mut()
+                .map(|m| {
+                    let noisy = add_sensor_noise(&clean, 0.08, 0.002, &mut rng);
+                    Some(decode(&m.forward(&noisy, false), 0.5))
+                })
+                .collect();
+            match vote_detections(&proposals, 2) {
+                Verdict::Skip => skip += 1,
+                Verdict::Output(set) => match set.nearest_obstacle_ahead(3.0) {
+                    None => miss += 1,
+                    Some(d) if (d - 20.0).abs() < 6.0 => correct += 1,
+                    Some(_) => wrong_near += 1,
+                },
+                Verdict::NoModules => {}
+            }
+            for (m, rec) in records.into_iter().rev() {
+                undo(&mut models[m], &rec);
+            }
+        }
+        println!(
+            "  layer {layer} range ({lo:>6},{hi:>6}) burst {burst} threeC={three}: skip {skip:2} correct {correct:2} miss {miss:2} wrong-dist {wrong_near:2}"
+        );
+    }
+}

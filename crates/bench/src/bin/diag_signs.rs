@@ -1,0 +1,39 @@
+//! Diagnostic: sweep SyntheticSigns difficulty knobs and training settings
+//! to find the configuration landing the three versions in the paper's
+//! healthy-accuracy band (~0.92–0.96). Not part of the reproduction tables.
+
+use mvml_nn::metrics::evaluate_accuracy;
+use mvml_nn::models::three_versions;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::train::{train_classifier, TrainConfig};
+
+fn main() {
+    let combos: Vec<(f32, f64, f64, f32, usize, f32)> = vec![
+        // (noise, translate, occlusion, brightness, epochs, lr)
+        (0.10, 1.2, 0.10, 0.10, 24, 0.06),
+        (0.08, 1.0, 0.08, 0.08, 24, 0.06),
+        (0.12, 1.2, 0.12, 0.10, 24, 0.06),
+        (0.10, 1.2, 0.10, 0.10, 30, 0.08),
+    ];
+    for (noise, translate, occl, bright, epochs, lr) in combos {
+        let sign = SignConfig {
+            noise_std: noise,
+            max_translate: translate,
+            occlusion_prob: occl,
+            brightness_jitter: bright,
+            ..SignConfig::default()
+        };
+        let train = generate(&sign, sign.classes * 100, 0xA11CE);
+        let test = generate(&sign, sign.classes * 25, 0xB0B);
+        let tc = TrainConfig { epochs, batch_size: 128, lr, lr_decay: 0.93, ..TrainConfig::default() };
+        let mut accs = Vec::new();
+        for mut model in three_versions(sign.image_size, sign.classes, 38) {
+            let _ = train_classifier(&mut model, &train, &tc);
+            accs.push((model.model_name().to_string(), evaluate_accuracy(&mut model, &test, 128)));
+        }
+        println!(
+            "noise={noise} tr={translate} occ={occl} br={bright} ep={epochs} lr={lr}: {:?}",
+            accs.iter().map(|(n, a)| format!("{n}={a:.3}")).collect::<Vec<_>>()
+        );
+    }
+}

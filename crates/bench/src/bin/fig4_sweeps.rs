@@ -1,0 +1,67 @@
+//! Regenerates the paper's **Fig. 4** parameter studies: the expected
+//! output reliability of all six configurations as one parameter sweeps its
+//! range — (a) rejuvenation interval, (b) rejuvenation duration, (c) mean
+//! time to compromise, (d) error dependency α, (e) healthy inaccuracy p,
+//! (f) compromised inaccuracy p'.
+//!
+//! Usage:
+//!   `cargo run -p mvml-bench --release --bin fig4_sweeps [a..f|all] [points]`
+//!
+//! Output: one CSV-like series block per panel (x + six reliability
+//! columns), ready for plotting.
+
+use mvml_core::analysis::{linspace, sweep, SweepVariable, CONFIGURATIONS};
+use mvml_core::dspn::SolveOptions;
+use mvml_core::SystemParams;
+
+fn panel(letter: char) -> (SweepVariable, &'static str) {
+    match letter {
+        'a' => (SweepVariable::RejuvenationInterval, "rejuvenation interval 1/γ (s)"),
+        'b' => (SweepVariable::RejuvenationDuration, "rejuvenation duration 1/μr (s)"),
+        'c' => (SweepVariable::MeanTimeToCompromise, "mean time to compromise 1/λc (s)"),
+        'd' => (SweepVariable::Alpha, "error dependency α"),
+        'e' => (SweepVariable::HealthyInaccuracy, "healthy inaccuracy p"),
+        'f' => (SweepVariable::CompromisedInaccuracy, "compromised inaccuracy p'"),
+        other => panic!("unknown panel `{other}` (use a..f or all)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map_or("all".to_string(), Clone::clone);
+    let points: usize = args
+        .get(1)
+        .map(|p| p.parse().expect("points must be an integer"))
+        .unwrap_or(13);
+
+    let letters: Vec<char> = if which == "all" {
+        vec!['a', 'b', 'c', 'd', 'e', 'f']
+    } else {
+        which.chars().collect()
+    };
+
+    let base = SystemParams::paper_table_iv();
+    let opts = SolveOptions::default();
+
+    for letter in letters {
+        let (variable, label) = panel(letter);
+        let (lo, hi) = variable.paper_range();
+        eprintln!("fig 4({letter}): sweeping {label} over [{lo}, {hi}] with {points} points…");
+        let rows = sweep(variable, &linspace(lo, hi, points), &base, &opts).expect("sweep");
+
+        println!("# Fig. 4({letter}) — {label}");
+        print!("x");
+        for &(n, proactive) in &CONFIGURATIONS {
+            print!(",{}v_{}", n, if proactive { "rej" } else { "norej" });
+        }
+        println!();
+        for row in &rows {
+            print!("{:.6}", row.x);
+            for r in row.reliability {
+                print!(",{r:.6}");
+            }
+            println!();
+        }
+        println!();
+    }
+}

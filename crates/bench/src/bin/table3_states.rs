@@ -1,0 +1,88 @@
+//! Regenerates the paper's **Table III**: the per-state output reliability
+//! `R_{i,j,k}` of the reliability functions (Eqs. 4–5) at the calibrated
+//! parameters — and, with `--empirical`, cross-checks each state against an
+//! actual voting run over the test set with the corresponding number of
+//! healthy/compromised/disabled trained models.
+//!
+//! Usage: `cargo run -p mvml-bench --release --bin table3_states [--empirical] [--quick]`
+
+use mvml_bench::calibrate::{calibrate, with_compromised, CalibrationConfig};
+use mvml_bench::format::{f, render_table};
+use mvml_core::reliability::{reliability_of, SystemState};
+use mvml_core::{NVersionSystem, SystemParams};
+
+const PAPER_TABLE_III: [((usize, usize, usize), f64); 9] = [
+    ((3, 0, 0), 0.988626295),
+    ((2, 0, 1), 0.976732729),
+    ((2, 1, 0), 0.881542506),
+    ((1, 0, 2), 0.937107416),
+    ((1, 1, 1), 0.943896878),
+    ((1, 2, 0), 0.815870804),
+    ((0, 3, 0), 0.926682718),
+    ((0, 2, 1), 0.911061026),
+    ((0, 1, 2), 0.759593560),
+];
+
+fn main() {
+    let empirical = std::env::args().any(|a| a == "--empirical");
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Column 1: the functions at the paper's own calibration.
+    let paper_params = SystemParams::paper_table_iv();
+
+    // Optional columns: our calibration, analytic and empirical.
+    let calibration = if empirical {
+        let cfg = if quick { CalibrationConfig::quick() } else { CalibrationConfig::default() };
+        eprintln!("calibrating models for the empirical column…");
+        Some(calibrate(&cfg))
+    } else {
+        None
+    };
+
+    println!("Table III — output reliability of the reliability functions\n");
+    let mut headers = vec!["State (i,j,k)", "R (paper params)", "paper"];
+    if calibration.is_some() {
+        headers.push("R (our params)");
+        headers.push("empirical vote");
+    }
+    let mut rows = Vec::new();
+    for ((i, j, k), paper_value) in PAPER_TABLE_III {
+        let state = SystemState::new(i, j, k);
+        let mut row = vec![
+            format!("({i},{j},{k})"),
+            f(reliability_of(state, &paper_params), 9),
+            f(paper_value, 9),
+        ];
+        if let Some(cal) = &calibration {
+            let ours = cal.system_params();
+            row.push(f(reliability_of(state, &ours), 9));
+            row.push(f(empirical_state_reliability(cal, i, j, k), 9));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+}
+
+/// Runs the actual voter over the test set with `i` healthy models,
+/// `j` compromised (calibrated fault applied) and `k` disabled, returning
+/// the measured output reliability `1 − P(error)`.
+fn empirical_state_reliability(
+    cal: &mvml_bench::calibrate::Calibration,
+    healthy: usize,
+    compromised: usize,
+    disabled: usize,
+) -> f64 {
+    assert_eq!(healthy + compromised + disabled, 3);
+    let compromised_mask: Vec<bool> = (0..3).map(|m| m >= healthy && m < healthy + compromised).collect();
+    with_compromised(cal, &compromised_mask, cal.trained_models.clone(), |models| {
+        let mut system = NVersionSystem::new(models.to_vec());
+        for (m, &is_compromised) in compromised_mask.iter().enumerate() {
+            if m >= healthy + compromised {
+                system.module_mut(m).fail();
+            } else if is_compromised {
+                system.module_mut(m).force_state(mvml_core::ModuleState::Compromised);
+            }
+        }
+        system.evaluate(&cal.test, 128).reliability()
+    })
+}

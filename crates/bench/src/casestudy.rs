@@ -1,0 +1,69 @@
+//! Shared machinery for the CARLA-substitute case study (Tables VI–VIII):
+//! a standard trained detector bank and parallel campaign execution.
+
+use crossbeam::thread;
+use mvml_avsim::runner::{aggregate_route, RouteAggregate, RunConfig};
+use mvml_avsim::town::all_routes;
+use mvml_avsim::{DetectorBank, DetectorTrainConfig};
+
+/// Trains the standard three-variant detector bank used by every case-study
+/// experiment (deterministic given the fixed config).
+pub fn standard_bank() -> DetectorBank {
+    DetectorBank::train(&DetectorTrainConfig::default())
+}
+
+/// Runs the full eight-route campaign (`runs` per route) in parallel,
+/// one thread per route, returning aggregates in route order.
+pub fn campaign(bank: &DetectorBank, base: &RunConfig, runs: usize) -> Vec<RouteAggregate> {
+    let routes = all_routes();
+    let mut results: Vec<Option<RouteAggregate>> = vec![None; routes.len()];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for route in &routes {
+            let base = *base;
+            handles.push(scope.spawn(move |_| aggregate_route(route, bank, &base, runs)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvml_avsim::detector::{train_detector, yolo_mini};
+    use mvml_core::SystemParams;
+
+    #[test]
+    fn parallel_campaign_covers_all_routes() {
+        // Tiny bank, healthy process, single short run per route — just the
+        // plumbing, not the physics.
+        let cfg = DetectorTrainConfig { scenes: 150, epochs: 2, ..DetectorTrainConfig::default() };
+        let models = (0..3)
+            .map(|i| {
+                let mut m = yolo_mini("tiny", 4, i);
+                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                m
+            })
+            .collect();
+        let bank = DetectorBank::from_models(models);
+        let mut base = RunConfig::case_study(true, 3);
+        base.max_frames = 80;
+        base.process = mvml_core::rejuvenation::ProcessConfig {
+            params: SystemParams { mttc: 1e12, mttf: 1e12, ..SystemParams::carla_case_study() },
+            proactive: false,
+            compromised_priority: 2.0 / 3.0,
+            proportional_selection: false,
+            per_module_clocks: true,
+        };
+        let aggregates = campaign(&bank, &base, 1);
+        assert_eq!(aggregates.len(), 8);
+        for (i, a) in aggregates.iter().enumerate() {
+            assert_eq!(a.route_id, i + 1);
+            assert_eq!(a.runs, 1);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders a markdown-style table with aligned columns.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (cell, w) in cells.iter().zip(widths) {
+            out.push(' ');
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w - cell.len() + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    line(&header_cells, &widths, &mut out);
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats an optional value, printing `NA` for `None` (as the paper does
+/// for routes without collisions).
+pub fn opt(value: Option<f64>, digits: usize) -> String {
+    value.map_or_else(|| "NA".to_string(), |v| f(v, digits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.00".to_string()],
+                vec!["longer".to_string(), "2".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("| a "));
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+    }
+
+    #[test]
+    fn float_and_optional_formatting() {
+        assert_eq!(f(0.123456, 3), "0.123");
+        assert_eq!(opt(None, 2), "NA");
+        assert_eq!(opt(Some(1.5), 1), "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["x".to_string()]]);
+    }
+}

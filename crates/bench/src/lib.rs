@@ -1,0 +1,28 @@
+//! # mvml-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! shared pipelines they build on:
+//!
+//! * [`calibrate`] — the Table II pipeline (train → inject → `p`/`p'`/`α`).
+//! * [`casestudy`] — the Tables VI–VIII pipeline (detector bank, parallel
+//!   route campaigns).
+//! * [`mod@format`] — plain-text table rendering.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table2_accuracy` | Table II (healthy vs compromised accuracy) |
+//! | `table3_states` | Table III (per-state reliability functions) |
+//! | `table5_reliability` | Tables IV–V (DSPN expected reliability) |
+//! | `fig4_sweeps` | Fig. 4 (a)–(f) parameter studies |
+//! | `table6_routes` | Table VI (collision data, 8 routes, w/ vs w/o) |
+//! | `table7_interval` | Table VII (rejuvenation-interval impact) |
+//! | `table8_overhead` | Table VIII (FPS / CPU / compute overhead) |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod casestudy;
+pub mod format;

@@ -1,0 +1,275 @@
+//! Parameter studies over the DSPN models (the paper's Section VI-C,
+//! Fig. 4 (a)–(f) and Table V).
+
+use crate::dspn::{expected_system_reliability, SolveOptions};
+use crate::params::SystemParams;
+use mvml_petri::PetriError;
+use serde::{Deserialize, Serialize};
+
+/// The six system configurations compared throughout the paper.
+pub const CONFIGURATIONS: [(u32, bool); 6] = [
+    (1, false),
+    (1, true),
+    (2, false),
+    (2, true),
+    (3, false),
+    (3, true),
+];
+
+/// Human-readable label of a configuration, matching the paper's legends.
+pub fn configuration_label(n: u32, proactive: bool) -> String {
+    let base = match n {
+        1 => "Single-version",
+        2 => "Two-version",
+        3 => "Three-version",
+        _ => "N-version",
+    };
+    format!("{base} {}", if proactive { "w/ rej." } else { "w/o rej." })
+}
+
+/// The variable swept on the x-axis of each Fig. 4 panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SweepVariable {
+    /// Fig. 4(a): rejuvenation interval `1/γ` (seconds).
+    RejuvenationInterval,
+    /// Fig. 4(b): rejuvenation duration `1/μ_r` (seconds).
+    RejuvenationDuration,
+    /// Fig. 4(c): mean time to compromise `1/λ_c` (seconds).
+    MeanTimeToCompromise,
+    /// Fig. 4(d): error-probability dependency α.
+    Alpha,
+    /// Fig. 4(e): healthy inaccuracy `p`.
+    HealthyInaccuracy,
+    /// Fig. 4(f): compromised inaccuracy `p'`.
+    CompromisedInaccuracy,
+}
+
+impl SweepVariable {
+    /// The paper's sweep range for this variable.
+    pub fn paper_range(self) -> (f64, f64) {
+        match self {
+            SweepVariable::RejuvenationInterval => (30.0, 3000.0),
+            SweepVariable::RejuvenationDuration => (0.1, 10.0),
+            SweepVariable::MeanTimeToCompromise => (100.0, 7000.0),
+            SweepVariable::Alpha => (0.1, 1.0),
+            SweepVariable::HealthyInaccuracy => (0.01, 0.23),
+            SweepVariable::CompromisedInaccuracy => (0.1, 0.6),
+        }
+    }
+
+    /// Applies the value to a parameter set.
+    pub fn apply(self, base: &SystemParams, value: f64) -> SystemParams {
+        let mut p = *base;
+        match self {
+            SweepVariable::RejuvenationInterval => p.rejuvenation_interval = value,
+            SweepVariable::RejuvenationDuration => p.proactive_time = value,
+            SweepVariable::MeanTimeToCompromise => p.mttc = value,
+            SweepVariable::Alpha => p.alpha = value,
+            SweepVariable::HealthyInaccuracy => p.p = value,
+            SweepVariable::CompromisedInaccuracy => p.p_prime = value,
+        }
+        p
+    }
+}
+
+/// One row of a sweep: the x-value plus the expected reliability of all six
+/// configurations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The swept value.
+    pub x: f64,
+    /// Reliability per configuration, in [`CONFIGURATIONS`] order.
+    pub reliability: [f64; 6],
+}
+
+impl SweepRow {
+    /// Reliability of configuration `(n, proactive)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a configuration outside [`CONFIGURATIONS`].
+    pub fn of(&self, n: u32, proactive: bool) -> f64 {
+        let idx = CONFIGURATIONS
+            .iter()
+            .position(|&c| c == (n, proactive))
+            .expect("unknown configuration");
+        self.reliability[idx]
+    }
+}
+
+/// `count` evenly spaced values covering `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "need at least two points");
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+/// Sweeps `variable` over `values`, solving all six configurations at every
+/// point (the generator behind every Fig. 4 panel).
+///
+/// # Errors
+///
+/// Propagates solver errors; parameter combinations violating the paper's
+/// boundary constraints surface as `InvalidParameter`.
+pub fn sweep(
+    variable: SweepVariable,
+    values: &[f64],
+    base: &SystemParams,
+    opts: &SolveOptions,
+) -> Result<Vec<SweepRow>, PetriError> {
+    let mut rows = Vec::with_capacity(values.len());
+    for &x in values {
+        let params = variable.apply(base, x);
+        let mut reliability = [0.0; 6];
+        for (slot, &(n, proactive)) in CONFIGURATIONS.iter().enumerate() {
+            reliability[slot] = expected_system_reliability(n, proactive, &params, opts)?;
+        }
+        rows.push(SweepRow { x, reliability });
+    }
+    Ok(rows)
+}
+
+/// Computes the paper's Table V: expected reliability of the six
+/// configurations at the default parameters. Returns
+/// `[n-1][usize::from(proactive)]`.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn table_v(params: &SystemParams, opts: &SolveOptions) -> Result<[[f64; 2]; 3], PetriError> {
+    let mut out = [[0.0; 2]; 3];
+    for (i, row) in out.iter_mut().enumerate() {
+        for proactive in [false, true] {
+            row[usize::from(proactive)] =
+                expected_system_reliability(i as u32 + 1, proactive, params, opts)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> SolveOptions {
+        SolveOptions { erlang_k: 8, ..SolveOptions::default() }
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn sweep_alpha_shows_monotone_degradation() {
+        let base = SystemParams::paper_table_iv();
+        let rows = sweep(
+            SweepVariable::Alpha,
+            &[0.1, 0.5, 1.0],
+            &base,
+            &fast_opts(),
+        )
+        .unwrap();
+        // Redundant configurations degrade as error dependency grows…
+        for n in [2u32, 3] {
+            for rej in [false, true] {
+                assert!(rows[0].of(n, rej) > rows[2].of(n, rej), "n={n} rej={rej}");
+            }
+        }
+        // …while the single-version configurations are insensitive to α.
+        for rej in [false, true] {
+            assert!((rows[0].of(1, rej) - rows[2].of(1, rej)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_interval_longer_is_worse_with_rejuvenation() {
+        let base = SystemParams::paper_table_iv();
+        let rows = sweep(
+            SweepVariable::RejuvenationInterval,
+            &[30.0, 3000.0],
+            &base,
+            &fast_opts(),
+        )
+        .unwrap();
+        for n in 1..=3u32 {
+            assert!(
+                rows[0].of(n, true) > rows[1].of(n, true),
+                "n={n}: shorter interval must help"
+            );
+            // Configurations without proactive rejuvenation ignore 1/γ.
+            assert!((rows[0].of(n, false) - rows[1].of(n, false)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_mttc_higher_is_better() {
+        let base = SystemParams::paper_table_iv();
+        let rows = sweep(
+            SweepVariable::MeanTimeToCompromise,
+            &[100.0, 7000.0],
+            &base,
+            &fast_opts(),
+        )
+        .unwrap();
+        for rej in [false, true] {
+            assert!(rows[1].of(1, rej) > rows[0].of(1, rej));
+        }
+    }
+
+    #[test]
+    fn sweep_p_crossover_single_rej_vs_three_norej() {
+        // Paper: "a single-version system adopting rejuvenation performs
+        // better than a three-version system without rejuvenation when
+        // p < 0.10".
+        let base = SystemParams::paper_table_iv();
+        let rows = sweep(
+            SweepVariable::HealthyInaccuracy,
+            &[0.05, 0.20],
+            &base,
+            &fast_opts(),
+        )
+        .unwrap();
+        assert!(rows[0].of(1, true) > rows[0].of(3, false), "at p=0.05");
+        assert!(rows[1].of(1, true) < rows[1].of(3, false), "at p=0.20");
+    }
+
+    #[test]
+    fn optimal_parameters_match_paper_claims() {
+        // p = 0.01, p' = 0.1, α = 0.1 → 3v w/ rej ≈ 0.99487778 and
+        // 2v w/ rej ≈ 0.9963003 (Section VI-C, "Optimal set of parameters").
+        let params = SystemParams {
+            p: 0.01,
+            p_prime: 0.1,
+            alpha: 0.1,
+            ..SystemParams::paper_table_iv()
+        };
+        let opts = SolveOptions { erlang_k: 32, ..SolveOptions::default() };
+        let r3 = expected_system_reliability(3, true, &params, &opts).unwrap();
+        let r2 = expected_system_reliability(2, true, &params, &opts).unwrap();
+        assert!((r3 - 0.99487778).abs() < 2e-3, "3v: {r3}");
+        assert!((r2 - 0.9963003).abs() < 2e-3, "2v: {r2}");
+    }
+
+    #[test]
+    fn table_v_shape() {
+        let t = table_v(&SystemParams::paper_table_iv(), &fast_opts()).unwrap();
+        for row in &t {
+            assert!(row[1] > row[0], "rejuvenation helps: {row:?}");
+        }
+        assert!(t[1][0] > t[2][0], "2v beats 3v without rejuvenation");
+    }
+
+    #[test]
+    fn labels_and_ranges() {
+        assert_eq!(configuration_label(2, true), "Two-version w/ rej.");
+        assert_eq!(configuration_label(1, false), "Single-version w/o rej.");
+        let (lo, hi) = SweepVariable::Alpha.paper_range();
+        assert_eq!((lo, hi), (0.1, 1.0));
+        let p = SweepVariable::HealthyInaccuracy.apply(&SystemParams::paper_table_iv(), 0.2);
+        assert_eq!(p.p, 0.2);
+    }
+}

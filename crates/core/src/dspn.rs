@@ -1,0 +1,379 @@
+//! DSPN models of multi-version ML systems (the paper's Figs. 2 and 3).
+//!
+//! [`reactive_only`] builds Fig. 2: `n` modules cycling
+//! `Pmh → (Tc) → Pmc → (Tf) → Pmf → (Tr) → Pmh`, with reactive rejuvenation
+//! recovering non-functional modules one at a time.
+//!
+//! [`with_proactive`] adds Fig. 3's time-triggered proactive rejuvenation: a
+//! deterministic clock `Trc` fires every `1/γ`, the trigger is accepted
+//! (`Tac`) unless a rejuvenation is already in flight (`Tdrop` returns the
+//! token and restarts the clock — see DESIGN.md §1.5 for how this resolves
+//! the paper's ambiguous `Trt` reset), and immediate transitions
+//! `Trj1`/`Trj2` pick a compromised or healthy victim with the
+//! marking-dependent weights of the paper's Table I. Reactive rejuvenation
+//! takes precedence via inhibitor arcs from `Pmf`.
+
+use crate::params::SystemParams;
+use crate::reliability::{reliability_of, SystemState};
+use mvml_petri::{
+    erlang_expand, steady_state_with, ExpectedReward, Marking, Net, NetBuilder, PetriError,
+    PlaceId, ServerSemantics, SolverOptions, WeightSpec,
+};
+use std::sync::Arc;
+
+/// A built multi-version DSPN plus the place handles needed to interpret
+/// markings as system states.
+#[derive(Debug)]
+pub struct MvmlNet {
+    /// The underlying net (may contain a deterministic clock transition).
+    pub net: Net,
+    /// Healthy modules.
+    pub pmh: PlaceId,
+    /// Compromised (still functional) modules.
+    pub pmc: PlaceId,
+    /// Non-functional modules awaiting reactive rejuvenation.
+    pub pmf: PlaceId,
+    /// Module undergoing proactive rejuvenation (proactive model only).
+    pub pmr: Option<PlaceId>,
+    /// Pending proactive action (proactive model only).
+    pub pac: Option<PlaceId>,
+}
+
+impl MvmlNet {
+    /// Interprets a marking as a system state `(i, j, k)`: rejuvenating
+    /// modules count as non-functional.
+    pub fn system_state(&self, m: &Marking) -> SystemState {
+        let rejuvenating = self.pmr.map_or(0, |p| m[p]) as usize;
+        SystemState::new(
+            m[self.pmh] as usize,
+            m[self.pmc] as usize,
+            m[self.pmf] as usize + rejuvenating,
+        )
+    }
+}
+
+fn check_n(n: u32) -> Result<(), PetriError> {
+    if n == 0 || n > 3 {
+        return Err(PetriError::InvalidParameter {
+            what: format!("n = {n}: the paper's reliability functions cover 1..=3 modules"),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the Fig. 2 DSPN: failures, attacks and reactive rejuvenation only.
+///
+/// All three timed transitions use single-server semantics: TimeNET's
+/// default, and the only choice that reproduces the paper's Table V (the
+/// adversary compromises one module at a time; the rejuvenation mechanism
+/// recovers one module at a time, per Section V-A).
+///
+/// # Errors
+///
+/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=3` or invalid
+/// rates.
+pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
+    check_n(n)?;
+    let mut b = NetBuilder::new(format!("mvml-{n}v-reactive"));
+    let pmh = b.place("Pmh", n);
+    let pmc = b.place("Pmc", 0);
+    let pmf = b.place("Pmf", 0);
+    // Single-server semantics for Tc/Tf (TimeNET's default, and the only
+    // choice that reproduces the paper's Table V: an adversary compromises
+    // one module at a time, cf. DESIGN.md).
+    let tc = b.exponential_with("Tc", params.lambda_c(), ServerSemantics::Single);
+    let tf = b.exponential_with("Tf", params.lambda(), ServerSemantics::Single);
+    let tr = b.exponential_with("Tr", params.mu(), ServerSemantics::Single);
+    b.input_arc(pmh, tc, 1)?;
+    b.output_arc(tc, pmc, 1)?;
+    b.input_arc(pmc, tf, 1)?;
+    b.output_arc(tf, pmf, 1)?;
+    b.input_arc(pmf, tr, 1)?;
+    b.output_arc(tr, pmh, 1)?;
+    Ok(MvmlNet { net: b.build()?, pmh, pmc, pmf, pmr: None, pac: None })
+}
+
+/// Builds the Fig. 3 DSPN: Fig. 2 plus the time-triggered proactive
+/// rejuvenation mechanism (clock, trigger, victim selection, rejuvenation).
+///
+/// # Errors
+///
+/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=3` or invalid
+/// rates.
+pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
+    check_n(n)?;
+    let mut b = NetBuilder::new(format!("mvml-{n}v-proactive"));
+    let pmh = b.place("Pmh", n);
+    let pmc = b.place("Pmc", 0);
+    let pmf = b.place("Pmf", 0);
+    let prc = b.place("Prc", 1);
+    let ptr = b.place("Ptr", 0);
+    let pac = b.place("Pac", 0);
+    let pmr = b.place("Pmr", 0);
+
+    // Module lifecycle (as in Fig. 2).
+    // Single-server semantics for Tc/Tf (TimeNET's default, and the only
+    // choice that reproduces the paper's Table V: an adversary compromises
+    // one module at a time, cf. DESIGN.md).
+    let tc = b.exponential_with("Tc", params.lambda_c(), ServerSemantics::Single);
+    let tf = b.exponential_with("Tf", params.lambda(), ServerSemantics::Single);
+    let tr = b.exponential_with("Tr", params.mu(), ServerSemantics::Single);
+    b.input_arc(pmh, tc, 1)?;
+    b.output_arc(tc, pmc, 1)?;
+    b.input_arc(pmc, tf, 1)?;
+    b.output_arc(tf, pmf, 1)?;
+    b.input_arc(pmf, tr, 1)?;
+    b.output_arc(tr, pmh, 1)?;
+
+    // Proactive clock: Trc fires every 1/γ (deterministic).
+    let trc = b.deterministic("Trc", params.rejuvenation_interval);
+    b.input_arc(prc, trc, 1)?;
+    b.output_arc(trc, ptr, 1)?;
+
+    // Trigger acceptance: accepted unless an action is pending or a module
+    // is already rejuvenating; either way the clock restarts (the paper's
+    // `Trt` reset, g3).
+    let pac_i = pac.index();
+    let pmr_i = pmr.index();
+    let tac = b.immediate("Tac");
+    b.input_arc(ptr, tac, 1)?;
+    b.output_arc(tac, pac, 1)?;
+    b.output_arc(tac, prc, 1)?;
+    b.guard(tac, move |m: &Marking| m.as_slice()[pac_i] + m.as_slice()[pmr_i] == 0)?;
+
+    let tdrop = b.immediate("Tdrop");
+    b.input_arc(ptr, tdrop, 1)?;
+    b.output_arc(tdrop, prc, 1)?;
+    b.guard(tdrop, move |m: &Marking| m.as_slice()[pac_i] + m.as_slice()[pmr_i] > 0)?;
+
+    // Victim selection (Table I): weights w1/w2 proportional to the number
+    // of compromised/healthy modules, with the paper's 1e-5 floor.
+    let pmh_i = pmh.index();
+    let pmc_i = pmc.index();
+    let w1 = WeightSpec::Fn(Arc::new(move |m: &Marking| {
+        let (c, h) = (m.as_slice()[pmc_i], m.as_slice()[pmh_i]);
+        if c == 0 {
+            0.000_01
+        } else {
+            f64::from(c) / f64::from(c + h)
+        }
+    }));
+    let w2 = WeightSpec::Fn(Arc::new(move |m: &Marking| {
+        let (c, h) = (m.as_slice()[pmc_i], m.as_slice()[pmh_i]);
+        if h == 0 {
+            0.000_01
+        } else {
+            f64::from(h) / f64::from(c + h)
+        }
+    }));
+    let trj1 = b.immediate_with("Trj1", 1, w1);
+    b.input_arc(pac, trj1, 1)?;
+    b.input_arc(pmc, trj1, 1)?;
+    b.output_arc(trj1, pmr, 1)?;
+    b.inhibitor_arc(pmf, trj1, 1)?; // reactive precedence (g2)
+    let trj2 = b.immediate_with("Trj2", 1, w2);
+    b.input_arc(pac, trj2, 1)?;
+    b.input_arc(pmh, trj2, 1)?;
+    b.output_arc(trj2, pmr, 1)?;
+    b.inhibitor_arc(pmf, trj2, 1)?;
+
+    // Rejuvenation itself.
+    let trj = b.exponential("Trj", params.mu_r());
+    b.input_arc(pmr, trj, 1)?;
+    b.output_arc(trj, pmh, 1)?;
+
+    Ok(MvmlNet { net: b.build()?, pmh, pmc, pmf, pmr: Some(pmr), pac: Some(pac) })
+}
+
+/// Options for [`expected_system_reliability`].
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Erlang stages used to expand the deterministic clock.
+    pub erlang_k: u32,
+    /// Underlying CTMC solver options.
+    pub solver: SolverOptions,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { erlang_k: 32, solver: SolverOptions::default() }
+    }
+}
+
+/// Solves the DSPN of an `n`-version system (with or without proactive
+/// rejuvenation) for its steady state and returns the expected output
+/// reliability `E[R]` (the paper's Eq. 3 with the rewards of Section V-B).
+///
+/// # Errors
+///
+/// Propagates parameter validation and solver errors.
+pub fn expected_system_reliability(
+    n: u32,
+    proactive: bool,
+    params: &SystemParams,
+    opts: &SolveOptions,
+) -> Result<f64, PetriError> {
+    params
+        .validate()
+        .map_err(|what| PetriError::InvalidParameter { what })?;
+    let mv = if proactive { with_proactive(n, params)? } else { reactive_only(n, params)? };
+    let solvable = if proactive {
+        erlang_expand(&mv.net, opts.erlang_k)?
+    } else {
+        mv.net
+    };
+    let pmh = mv.pmh;
+    let pmc = mv.pmc;
+    let pmf = mv.pmf;
+    let pmr = mv.pmr;
+    let params = *params;
+    let ss = steady_state_with(&solvable, &opts.solver)?;
+    Ok(ss.expected_reward(move |m| {
+        let rej = pmr.map_or(0, |p| m[p]) as usize;
+        reliability_of(
+            SystemState::new(m[pmh] as usize, m[pmc] as usize, m[pmf] as usize + rej),
+            &params,
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvml_petri::{simulate, SimConfig};
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_table_iv()
+    }
+
+    fn opts_fast() -> SolveOptions {
+        SolveOptions { erlang_k: 16, ..SolveOptions::default() }
+    }
+
+    #[test]
+    fn single_version_reactive_matches_closed_form() {
+        // H → C → N → H chain: π_H = π_C (λ_c = λ), π_N = (λ_c/μ) π_H.
+        let p = paper();
+        let got = expected_system_reliability(1, false, &p, &opts_fast()).unwrap();
+        let ratio = p.lambda_c() / p.mu();
+        let pi_h = 1.0 / (2.0 + ratio);
+        let expected = pi_h * (1.0 - p.p) + pi_h * (1.0 - p.p_prime);
+        assert!((got - expected).abs() < 1e-10, "{got} vs {expected}");
+        // And the paper's Table V value (obtained via TimeNET simulation).
+        assert!((got - 0.848211).abs() < 5e-4, "{got} vs paper 0.848211");
+    }
+
+    #[test]
+    fn table_v_reactive_only_column() {
+        let p = paper();
+        let r2 = expected_system_reliability(2, false, &p, &opts_fast()).unwrap();
+        let r3 = expected_system_reliability(3, false, &p, &opts_fast()).unwrap();
+        assert!((r2 - 0.943875).abs() < 2e-3, "2v w/o rej: {r2}");
+        assert!((r3 - 0.903190).abs() < 2e-3, "3v w/o rej: {r3}");
+    }
+
+    #[test]
+    fn table_v_proactive_column() {
+        let p = paper();
+        let r1 = expected_system_reliability(1, true, &p, &opts_fast()).unwrap();
+        let r2 = expected_system_reliability(2, true, &p, &opts_fast()).unwrap();
+        let r3 = expected_system_reliability(3, true, &p, &opts_fast()).unwrap();
+        assert!((r1 - 0.920217).abs() < 5e-3, "1v w/ rej: {r1}");
+        assert!((r2 - 0.967152).abs() < 5e-3, "2v w/ rej: {r2}");
+        assert!((r3 - 0.952998).abs() < 5e-3, "3v w/ rej: {r3}");
+    }
+
+    #[test]
+    fn orderings_of_table_v_hold() {
+        let p = paper();
+        let o = opts_fast();
+        let mut r = std::collections::HashMap::new();
+        for n in 1..=3u32 {
+            for rej in [false, true] {
+                r.insert((n, rej), expected_system_reliability(n, rej, &p, &o).unwrap());
+            }
+        }
+        // Proactive rejuvenation helps every configuration.
+        for n in 1..=3 {
+            assert!(r[&(n, true)] > r[&(n, false)], "n={n}");
+        }
+        // Two-version beats three-version beats single, with and without.
+        for rej in [false, true] {
+            assert!(r[&(2, rej)] > r[&(3, rej)], "rej={rej}");
+            assert!(r[&(3, rej)] > r[&(1, rej)], "rej={rej}");
+        }
+    }
+
+    #[test]
+    fn erlang_resolution_converges() {
+        let p = paper();
+        let coarse = expected_system_reliability(3, true, &p, &SolveOptions { erlang_k: 4, ..SolveOptions::default() }).unwrap();
+        let fine = expected_system_reliability(3, true, &p, &SolveOptions { erlang_k: 48, ..SolveOptions::default() }).unwrap();
+        // Both approximate the same DSPN; they must agree to ~1e-3.
+        assert!((coarse - fine).abs() < 2e-3, "{coarse} vs {fine}");
+    }
+
+    #[test]
+    fn analytic_solution_agrees_with_des_simulation() {
+        let p = paper();
+        let analytic = expected_system_reliability(3, true, &p, &opts_fast()).unwrap();
+        let mv = with_proactive(3, &p).unwrap();
+        let sim = simulate(
+            &mv.net,
+            &SimConfig { horizon: 2_000_000.0, warmup: 10_000.0, seed: 7, ..SimConfig::default() },
+        )
+        .unwrap();
+        let pmh = mv.pmh;
+        let pmc = mv.pmc;
+        let pmf = mv.pmf;
+        let pmr = mv.pmr.unwrap();
+        let est = sim.expected_reward(|m| {
+            reliability_of(
+                SystemState::new(
+                    m[pmh] as usize,
+                    m[pmc] as usize,
+                    (m[pmf] + m[pmr]) as usize,
+                ),
+                &p,
+            )
+        });
+        assert!((analytic - est).abs() < 5e-3, "analytic {analytic} vs sim {est}");
+    }
+
+    #[test]
+    fn marking_interpretation() {
+        let p = paper();
+        let mv = with_proactive(3, &p).unwrap();
+        let m0 = mv.net.initial_marking();
+        let s = mv.system_state(&m0);
+        assert_eq!(s, SystemState::new(3, 0, 0));
+    }
+
+    #[test]
+    fn invalid_n_rejected() {
+        let p = paper();
+        assert!(reactive_only(0, &p).is_err());
+        assert!(with_proactive(4, &p).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = paper();
+        p.p = 0.9; // violates p <= p'
+        assert!(expected_system_reliability(3, false, &p, &opts_fast()).is_err());
+    }
+
+    #[test]
+    fn net_structure_matches_figures() {
+        let p = paper();
+        let fig2 = reactive_only(3, &p).unwrap();
+        assert_eq!(fig2.net.place_count(), 3);
+        assert_eq!(fig2.net.transition_count(), 3);
+        let fig3 = with_proactive(3, &p).unwrap();
+        assert_eq!(fig3.net.place_count(), 7);
+        // Tc, Tf, Tr, Trc, Tac, Tdrop, Trj1, Trj2, Trj
+        assert_eq!(fig3.net.transition_count(), 9);
+        assert!(fig3.net.transition_by_name("Trj1").is_some());
+        assert!(fig3.net.transition_by_name("Trc").is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! # mvml-core — multi-version machine learning with rejuvenation
+//!
+//! The primary contribution of the DSN'25 paper *"Multi-version Machine
+//! Learning and Rejuvenation for Resilient Perception in Safety-critical
+//! Systems"*: an architecture of `N` diverse ML modules behind a trusted
+//! voter, kept healthy by reactive and time-triggered proactive
+//! rejuvenation, together with the analytical machinery to predict its
+//! output reliability.
+//!
+//! * [`params`] — the model's input parameters (Table IV).
+//! * [`reliability`] — the reliability functions `R_{i,j,k}`
+//!   (Eqs. 1–5) and the expected-reliability reward (Eq. 3).
+//! * [`voter`] — the trusted voter with rules R.1–R.3.
+//! * [`dspn`] — DSPN builders for Figs. 2–3 and the steady-state
+//!   reliability solver (TimeNET's role).
+//! * [`analysis`] — parameter sweeps behind Fig. 4 and Table V.
+//! * [`module`] / [`system`] — the runtime: versioned modules with health
+//!   states, fault injection, rejuvenation, and the assembled N-version
+//!   classifier.
+//! * [`rejuvenation`] — the continuous-time state process driving the
+//!   empirical (CARLA-substitute) experiments.
+//!
+//! ## Example: the paper's Table V in five lines
+//!
+//! ```
+//! use mvml_core::analysis::table_v;
+//! use mvml_core::dspn::SolveOptions;
+//! use mvml_core::params::SystemParams;
+//!
+//! # fn main() -> Result<(), mvml_petri::PetriError> {
+//! let opts = SolveOptions { erlang_k: 8, ..SolveOptions::default() };
+//! let table = table_v(&SystemParams::paper_table_iv(), &opts)?;
+//! // two-version with rejuvenation is the most reliable configuration
+//! assert!(table[1][1] > table[0][1] && table[1][1] > table[2][1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dspn;
+pub mod module;
+pub mod params;
+pub mod rejuvenation;
+pub mod reliability;
+pub mod system;
+pub mod voter;
+
+pub use module::{ModuleState, VersionedModule};
+pub use params::SystemParams;
+pub use reliability::{expected_reliability, state_reliability, SystemState};
+pub use system::{EmpiricalReliability, NVersionSystem};
+pub use voter::{vote, vote_majority, Verdict, VotingScheme};

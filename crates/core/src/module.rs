@@ -1,0 +1,301 @@
+//! Runtime ML-module versions with health states and rejuvenation.
+
+use mvml_faultinject::{random_weight_inj, FaultRecord};
+use mvml_nn::{ModelState, Sequential, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Health state of an ML module (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleState {
+    /// Operating correctly (H).
+    Healthy,
+    /// Compromised but still responsive, with degraded output (C).
+    Compromised,
+    /// Crashed / unresponsive (N); awaits reactive rejuvenation.
+    NonFunctional,
+    /// Being rejuvenated right now: unavailable, returns to healthy when
+    /// the (re)deployment from safe storage finishes.
+    Rejuvenating,
+}
+
+impl ModuleState {
+    /// Whether the module answers inference requests in this state.
+    pub fn is_operational(self) -> bool {
+        matches!(self, ModuleState::Healthy | ModuleState::Compromised)
+    }
+}
+
+/// One version of the multi-version system: a trained model, a pristine
+/// snapshot of its weights ("safe memory location"), and its health state.
+///
+/// A module may additionally carry a *diversity pool* of alternative
+/// trained variants: the paper's Section IV notes that "leveraging
+/// diversification when rejuvenating (e.g. load a different module having
+/// different characteristics such as ML model and ML framework) can harden
+/// the system" — [`VersionedModule::complete_rejuvenation_diversified`]
+/// implements that rotation.
+#[derive(Debug, Clone)]
+pub struct VersionedModule {
+    model: Sequential,
+    pristine: ModelState,
+    state: ModuleState,
+    active_fault: Option<FaultRecord>,
+    /// Alternative pristine variants for diversified rejuvenation, paired
+    /// with their snapshots; `pool_index` tracks the variant currently
+    /// deployed (0 = the original).
+    diversity_pool: Vec<(Sequential, ModelState)>,
+    pool_index: usize,
+}
+
+impl VersionedModule {
+    /// Wraps a (trained) model; its current weights become the pristine
+    /// snapshot that rejuvenation restores.
+    pub fn new(mut model: Sequential) -> Self {
+        let pristine = model.snapshot();
+        VersionedModule {
+            model,
+            pristine,
+            state: ModuleState::Healthy,
+            active_fault: None,
+            diversity_pool: Vec::new(),
+            pool_index: 0,
+        }
+    }
+
+    /// Wraps a model together with alternative trained variants that
+    /// diversified rejuvenation rotates through. The pool holds the
+    /// original as variant 0 followed by the alternates, each with its own
+    /// pristine snapshot.
+    pub fn with_diversity_pool(model: Sequential, alternates: Vec<Sequential>) -> Self {
+        let mut module = VersionedModule::new(model.clone());
+        module.diversity_pool = std::iter::once(model)
+            .chain(alternates)
+            .map(|mut m| {
+                let snap = m.snapshot();
+                (m, snap)
+            })
+            .collect();
+        module
+    }
+
+    /// Number of variants available for diversified rejuvenation.
+    pub fn variant_count(&self) -> usize {
+        self.diversity_pool.len().max(1)
+    }
+
+    /// Completes a rejuvenation *with diversification*: instead of
+    /// restoring the same pristine weights, the next variant from the pool
+    /// is deployed (round-robin). Falls back to plain
+    /// [`VersionedModule::complete_rejuvenation`] when no pool was
+    /// registered. Returns the name of the deployed model.
+    pub fn complete_rejuvenation_diversified(&mut self) -> String {
+        if self.diversity_pool.is_empty() {
+            self.complete_rejuvenation();
+            return self.model.model_name().to_string();
+        }
+        self.pool_index = (self.pool_index + 1) % self.diversity_pool.len();
+        let (variant, snap) = &self.diversity_pool[self.pool_index];
+        let mut fresh = variant.clone();
+        fresh.restore(snap);
+        // The deployed variant's snapshot becomes the module's new "safe
+        // memory location" for subsequent plain rejuvenations.
+        self.pristine = snap.clone();
+        self.model = fresh;
+        self.active_fault = None;
+        self.state = ModuleState::Healthy;
+        self.model.model_name().to_string()
+    }
+
+    /// The wrapped model's name.
+    pub fn name(&self) -> &str {
+        self.model.model_name()
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    /// The currently planted fault, if any.
+    pub fn active_fault(&self) -> Option<&FaultRecord> {
+        self.active_fault.as_ref()
+    }
+
+    /// Mutable access to the underlying model (e.g. for custom injection).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Compromises the module: injects one `random_weight_inj(layer, min,
+    /// max)` fault (PyTorchFI semantics) and moves to
+    /// [`ModuleState::Compromised`]. A fault already present is undone
+    /// first, so repeated compromises do not accumulate.
+    pub fn compromise(&mut self, nth_parametric: usize, min: f32, max: f32, seed: u64) -> &FaultRecord {
+        if self.active_fault.is_some() {
+            self.model.restore(&self.pristine);
+        }
+        let record = random_weight_inj(&mut self.model, nth_parametric, min, max, seed);
+        self.active_fault = Some(record);
+        self.state = ModuleState::Compromised;
+        self.active_fault.as_ref().expect("just set")
+    }
+
+    /// Marks the module crashed (C → N or H → N).
+    pub fn fail(&mut self) {
+        self.state = ModuleState::NonFunctional;
+    }
+
+    /// Starts a (reactive or proactive) rejuvenation: the module becomes
+    /// unavailable.
+    pub fn begin_rejuvenation(&mut self) {
+        self.state = ModuleState::Rejuvenating;
+    }
+
+    /// Completes rejuvenation: restores pristine weights and returns to
+    /// [`ModuleState::Healthy`].
+    pub fn complete_rejuvenation(&mut self) {
+        self.model.restore(&self.pristine);
+        self.active_fault = None;
+        self.state = ModuleState::Healthy;
+    }
+
+    /// Forces a health state without touching the weights; used by the
+    /// analytic-empirical cross-checks that pin the system into a specific
+    /// `(i, j, k)` state.
+    pub fn force_state(&mut self, state: ModuleState) {
+        self.state = state;
+    }
+
+    /// Classifies a batch, or `None` when the module is not operational
+    /// (non-functional modules miss their deadline; the voter sees no
+    /// proposal).
+    pub fn infer(&mut self, x: &Tensor) -> Option<Vec<usize>> {
+        if self.state.is_operational() {
+            Some(self.model.predict(x))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvml_nn::models::lenet_mini;
+
+    fn module() -> VersionedModule {
+        VersionedModule::new(lenet_mini(16, 10, 38))
+    }
+
+    #[test]
+    fn starts_healthy_and_operational() {
+        let m = module();
+        assert_eq!(m.state(), ModuleState::Healthy);
+        assert!(m.state().is_operational());
+        assert!(m.active_fault().is_none());
+        assert_eq!(m.name(), "lenet-mini");
+    }
+
+    #[test]
+    fn compromise_plants_fault_and_degrades_state() {
+        let mut m = module();
+        let rec = m.compromise(0, -10.0, 30.0, 5).clone();
+        assert_eq!(m.state(), ModuleState::Compromised);
+        assert!(m.state().is_operational());
+        assert_eq!(m.active_fault(), Some(&rec));
+    }
+
+    #[test]
+    fn repeated_compromise_does_not_accumulate() {
+        let mut m = module();
+        let _ = m.compromise(0, -10.0, 30.0, 1);
+        let _ = m.compromise(0, -10.0, 30.0, 2);
+        m.complete_rejuvenation();
+        // After rejuvenation the model must equal the pristine snapshot —
+        // if faults accumulated, the first one would linger.
+        let restored = m.model_mut().snapshot();
+        let mut fresh = lenet_mini(16, 10, 38);
+        assert_eq!(restored, fresh.snapshot());
+    }
+
+    #[test]
+    fn failed_and_rejuvenating_modules_do_not_answer() {
+        let mut m = module();
+        let x = Tensor::zeros(&[1, 1, 16, 16]);
+        assert!(m.infer(&x).is_some());
+        m.fail();
+        assert_eq!(m.state(), ModuleState::NonFunctional);
+        assert!(m.infer(&x).is_none());
+        m.begin_rejuvenation();
+        assert_eq!(m.state(), ModuleState::Rejuvenating);
+        assert!(m.infer(&x).is_none());
+        m.complete_rejuvenation();
+        assert!(m.infer(&x).is_some());
+    }
+
+    #[test]
+    fn rejuvenation_restores_behaviour() {
+        let mut m = module();
+        let x = Tensor::from_vec(&[1, 1, 16, 16], (0..256).map(|i| (i % 7) as f32 / 7.0).collect());
+        let before = m.infer(&x).unwrap();
+        // Compromise with a large fault until behaviour changes, then check
+        // rejuvenation restores the original predictions.
+        let mut changed = false;
+        for seed in 0..50 {
+            m.compromise(0, 200.0, 300.0, seed);
+            if m.infer(&x).unwrap() != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "no seed changed behaviour");
+        m.complete_rejuvenation();
+        assert_eq!(m.infer(&x).unwrap(), before);
+        assert_eq!(m.state(), ModuleState::Healthy);
+    }
+
+    #[test]
+    fn diversified_rejuvenation_rotates_variants() {
+        use mvml_nn::models::{alexnet_mini, resmlp};
+        let mut m = VersionedModule::with_diversity_pool(
+            lenet_mini(16, 10, 38),
+            vec![alexnet_mini(16, 10, 39), resmlp(16, 10, 40)],
+        );
+        assert_eq!(m.variant_count(), 3);
+        assert_eq!(m.name(), "lenet-mini");
+        m.compromise(0, -10.0, 30.0, 1);
+        // First diversified rejuvenation deploys the next variant.
+        let deployed = m.complete_rejuvenation_diversified();
+        assert_eq!(deployed, "alexnet-mini");
+        assert_eq!(m.state(), ModuleState::Healthy);
+        assert!(m.active_fault().is_none());
+        // Round-robin continues and wraps back to the original.
+        assert_eq!(m.complete_rejuvenation_diversified(), "resmlp");
+        assert_eq!(m.complete_rejuvenation_diversified(), "lenet-mini");
+        // A plain rejuvenation after a compromise restores the *current*
+        // variant's pristine weights (no cross-architecture restore).
+        assert_eq!(m.complete_rejuvenation_diversified(), "alexnet-mini");
+        m.compromise(0, -10.0, 30.0, 2);
+        m.complete_rejuvenation();
+        assert_eq!(m.name(), "alexnet-mini");
+        assert_eq!(m.state(), ModuleState::Healthy);
+    }
+
+    #[test]
+    fn diversified_rejuvenation_without_pool_falls_back() {
+        let mut m = module();
+        m.compromise(0, -10.0, 30.0, 3);
+        let deployed = m.complete_rejuvenation_diversified();
+        assert_eq!(deployed, "lenet-mini");
+        assert_eq!(m.state(), ModuleState::Healthy);
+    }
+
+    #[test]
+    fn force_state_does_not_touch_weights() {
+        let mut m = module();
+        let before = m.model_mut().snapshot();
+        m.force_state(ModuleState::Compromised);
+        assert_eq!(m.state(), ModuleState::Compromised);
+        assert_eq!(m.model_mut().snapshot(), before);
+    }
+}

@@ -1,0 +1,221 @@
+//! System parameters (the paper's Table IV).
+
+use serde::{Deserialize, Serialize};
+
+/// Input parameters of the reliability models, mirroring Table IV of the
+/// paper. All times are in seconds; rates are derived as reciprocals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Error-probability dependency α between module versions.
+    pub alpha: f64,
+    /// Output failure probability `p` of a *healthy* module.
+    pub p: f64,
+    /// Output failure probability `p' > p` of a *compromised* module.
+    pub p_prime: f64,
+    /// Mean time to compromise a module, `1/λ_c`.
+    pub mttc: f64,
+    /// Mean time for a compromised module to become non-functional, `1/λ`.
+    pub mttf: f64,
+    /// Mean duration of a reactive rejuvenation, `1/μ`.
+    pub reactive_time: f64,
+    /// Mean duration of a proactive rejuvenation, `1/μ_r`.
+    pub proactive_time: f64,
+    /// Proactive rejuvenation interval, `1/γ`.
+    pub rejuvenation_interval: f64,
+}
+
+impl Default for SystemParams {
+    /// The defaults of the paper's Table IV: the GTSRB-calibrated
+    /// `p`, `p'`, `α` and the Oboril-derived timing parameters.
+    fn default() -> Self {
+        SystemParams {
+            alpha: 0.369_952_542,
+            p: 0.062_892_584,
+            p_prime: 0.240_406_440,
+            mttc: 1523.0,
+            mttf: 1523.0,
+            reactive_time: 0.5,
+            proactive_time: 0.5,
+            rejuvenation_interval: 300.0,
+        }
+    }
+}
+
+impl SystemParams {
+    /// The paper's Table IV values (alias of [`SystemParams::default`]).
+    pub fn paper_table_iv() -> Self {
+        SystemParams::default()
+    }
+
+    /// The CARLA case-study parameters (Section VII-A): accelerated fault
+    /// clocks so failures occur within 30-second driving runs.
+    pub fn carla_case_study() -> Self {
+        SystemParams {
+            mttc: 8.0,
+            mttf: 16.0,
+            reactive_time: 0.5,
+            proactive_time: 0.5,
+            rejuvenation_interval: 3.0,
+            ..SystemParams::default()
+        }
+    }
+
+    /// Compromise rate `λ_c`.
+    pub fn lambda_c(&self) -> f64 {
+        1.0 / self.mttc
+    }
+
+    /// Failure rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.mttf
+    }
+
+    /// Reactive rejuvenation rate `μ`.
+    pub fn mu(&self) -> f64 {
+        1.0 / self.reactive_time
+    }
+
+    /// Proactive rejuvenation rate `μ_r`.
+    pub fn mu_r(&self) -> f64 {
+        1.0 / self.proactive_time
+    }
+
+    /// Rejuvenation trigger rate `γ`.
+    pub fn gamma(&self) -> f64 {
+        1.0 / self.rejuvenation_interval
+    }
+
+    /// Checks the structural validity of the parameters: probabilities in
+    /// `[0, 1]`, `p ≤ p'`, positive times, and the paper's total-probability
+    /// boundaries for two- and three-version systems
+    /// (`p(2-α) ≤ 1` and `p(3(1-α)+α²) ≤ 1`, Section V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [("alpha", self.alpha), ("p", self.p), ("p'", self.p_prime)];
+        for (name, v) in probs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} is not a probability"));
+            }
+        }
+        if self.p > self.p_prime {
+            return Err(format!(
+                "p = {} must not exceed p' = {} (compromised modules are less accurate)",
+                self.p, self.p_prime
+            ));
+        }
+        let times = [
+            ("mttc", self.mttc),
+            ("mttf", self.mttf),
+            ("reactive_time", self.reactive_time),
+            ("proactive_time", self.proactive_time),
+            ("rejuvenation_interval", self.rejuvenation_interval),
+        ];
+        for (name, v) in times {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} = {v} must be a positive time"));
+            }
+        }
+        if self.p * (2.0 - self.alpha) > 1.0 {
+            return Err(format!(
+                "two-version boundary violated: p(2-α) = {} > 1",
+                self.p * (2.0 - self.alpha)
+            ));
+        }
+        if self.p * (3.0 * (1.0 - self.alpha) + self.alpha * self.alpha) > 1.0 {
+            return Err(format!(
+                "three-version boundary violated: p(3(1-α)+α²) = {} > 1",
+                self.p * (3.0 * (1.0 - self.alpha) + self.alpha * self.alpha)
+            ));
+        }
+        // The paper states boundaries for p only; the same total-probability
+        // argument applies to every reachable state's failure expression
+        // (e.g. Eq. 5's R_{1,2,0} goes negative for large p' with α → 1,
+        // a region the paper never enters). Require every reliability
+        // function to stay within [0, 1].
+        for i in 0..=3usize {
+            for j in 0..=(3 - i) {
+                let r = crate::reliability::state_reliability(i, j, self);
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!(
+                        "reliability function R_({i},{j},{}) = {r} leaves [0, 1]; \
+                         the calibration is outside the model's valid region",
+                        3 - i - j
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let p = SystemParams::default();
+        assert!((p.alpha - 0.369952542).abs() < 1e-12);
+        assert!((p.p - 0.062892584).abs() < 1e-12);
+        assert!((p.p_prime - 0.240406440).abs() < 1e-12);
+        assert_eq!(p.mttc, 1523.0);
+        assert_eq!(p.rejuvenation_interval, 300.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn carla_params_use_fast_clocks() {
+        let p = SystemParams::carla_case_study();
+        assert_eq!(p.mttc, 8.0);
+        assert_eq!(p.mttf, 16.0);
+        assert_eq!(p.rejuvenation_interval, 3.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn rates_are_reciprocals() {
+        let p = SystemParams::default();
+        assert!((p.lambda_c() - 1.0 / 1523.0).abs() < 1e-15);
+        assert!((p.mu() - 2.0).abs() < 1e-15);
+        assert!((p.gamma() - 1.0 / 300.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_bad_probabilities() {
+        let p = SystemParams { alpha: 1.5, ..SystemParams::default() };
+        assert!(p.validate().unwrap_err().contains("alpha"));
+        let p = SystemParams { p: 0.5, p_prime: 0.3, ..SystemParams::default() };
+        assert!(p.validate().unwrap_err().contains("must not exceed"));
+    }
+
+    #[test]
+    fn validation_catches_bad_times() {
+        let p = SystemParams { mttc: 0.0, ..SystemParams::default() };
+        assert!(p.validate().unwrap_err().contains("mttc"));
+        let p = SystemParams { rejuvenation_interval: f64::NAN, ..SystemParams::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_enforces_paper_boundaries() {
+        // p(2-α) > 1 requires large p and small α
+        let p = SystemParams { p: 0.6, p_prime: 0.7, alpha: 0.1, ..SystemParams::default() };
+        assert!(p.validate().unwrap_err().contains("two-version boundary"));
+        // choose p so the 2v bound holds but the 3v bound fails:
+        // α = 0.9 → 2-α = 1.1, 3(1-α)+α² = 1.11; p = 0.905 → 0.9955 vs 1.0046
+        let p = SystemParams { p: 0.905, p_prime: 0.91, alpha: 0.9, ..SystemParams::default() };
+        assert!(p.validate().unwrap_err().contains("three-version boundary"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = SystemParams::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: SystemParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,509 @@
+//! The continuous-time module-state process with reactive and time-triggered
+//! proactive rejuvenation — the *empirical* counterpart of the DSPN models,
+//! used to drive fault injection in the AV case study (paper Section VII-A,
+//! "Parameters").
+//!
+//! The process uses the same **single-server semantics** as the DSPN models
+//! of Figs. 2–3 (and as TimeNET's defaults, which the paper's Table V
+//! numbers imply): compromises arrive at rate `λ_c = 1/mttc` *globally* (an
+//! adversary compromises one module at a time, picking a random healthy
+//! victim), compromised modules crash at global rate `λ`, and reactive
+//! rejuvenation repairs non-functional modules one at a time at rate `μ`.
+//! A deterministic clock fires every `1/γ`; an accepted trigger rejuvenates
+//! one victim (compromised modules prioritised with probability
+//! `compromised_priority`, the paper uses 2/3), holding it in
+//! `Rejuvenating` for `Exp(1/μ_r)`. Triggers are dropped while a module is
+//! non-functional or a rejuvenation is in flight (reactive precedence, the
+//! DSPN's guard `g2`).
+
+use crate::module::ModuleState;
+use crate::params::SystemParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`StateProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessConfig {
+    /// Timing parameters (`mttc`, `mttf`, rejuvenation durations/interval).
+    pub params: SystemParams,
+    /// Whether the time-triggered proactive mechanism is active.
+    pub proactive: bool,
+    /// Probability that an accepted trigger picks a compromised victim when
+    /// one exists (the paper's CARLA case study uses 2/3).
+    pub compromised_priority: f64,
+    /// When `true`, the victim is instead chosen with probability
+    /// proportional to the compromised/healthy counts — the DSPN's Table I
+    /// weights `w1 = #Pmc/(#Pmc+#Pmh)`. The paper's analytic model and its
+    /// CARLA study differ here; this flag selects which to emulate.
+    pub proportional_selection: bool,
+    /// When `true`, every module carries its own compromise/failure/repair
+    /// clock (rates scale with the number of modules in each state) — the
+    /// paper's CARLA case study, where "models become compromised
+    /// sequentially after the defined time to compromise" with per-module
+    /// exponential times. When `false`, the single-server semantics of the
+    /// DSPN models apply (one adversary, one repairman).
+    pub per_module_clocks: bool,
+}
+
+impl ProcessConfig {
+    /// The paper's CARLA case-study configuration.
+    pub fn carla(proactive: bool) -> Self {
+        ProcessConfig {
+            params: SystemParams::carla_case_study(),
+            proactive,
+            compromised_priority: 2.0 / 3.0,
+            proportional_selection: false,
+            // The paper's models "become compromised sequentially": one
+            // adversary working module by module, matching the DSPN's
+            // single-server Tc (and the only semantics under which the
+            // paper's rejuvenated system can stay ahead of the attacker).
+            per_module_clocks: false,
+        }
+    }
+
+    /// A process aligned with the DSPN of Fig. 3 (proportional victim
+    /// selection), for analytic cross-validation.
+    pub fn dspn_aligned(params: SystemParams, proactive: bool) -> Self {
+        ProcessConfig {
+            params,
+            proactive,
+            compromised_priority: 2.0 / 3.0,
+            proportional_selection: true,
+            per_module_clocks: false,
+        }
+    }
+}
+
+/// An event produced by the state process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StateEvent {
+    /// Module transitioned H → C (inject a fresh fault now).
+    Compromised {
+        /// Index of the module.
+        module: usize,
+    },
+    /// Module transitioned C → N (it stops responding).
+    Failed {
+        /// Index of the module.
+        module: usize,
+    },
+    /// Reactive rejuvenation of a non-functional module completed (N → H).
+    Recovered {
+        /// Index of the module.
+        module: usize,
+    },
+    /// A proactive trigger selected this module; it is now rejuvenating.
+    ProactiveStarted {
+        /// Index of the module.
+        module: usize,
+        /// Whether the victim was compromised (vs healthy).
+        was_compromised: bool,
+    },
+    /// Proactive rejuvenation completed (R → H).
+    ProactiveCompleted {
+        /// Index of the module.
+        module: usize,
+    },
+    /// A trigger fired while the system could not accept it and was dropped.
+    TriggerDropped,
+}
+
+/// A [`StateEvent`] with its absolute occurrence time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Absolute simulation time of the event.
+    pub time: f64,
+    /// The event itself.
+    pub event: StateEvent,
+}
+
+/// The continuous-time health process of `n` modules (Gillespie-style, with
+/// a deterministic proactive clock racing the stochastic events).
+#[derive(Debug, Clone)]
+pub struct StateProcess {
+    cfg: ProcessConfig,
+    states: Vec<ModuleState>,
+    next_trigger: f64,
+    clock: f64,
+    rng: StdRng,
+}
+
+impl StateProcess {
+    /// Creates a process with `n` healthy modules at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, the parameters fail validation, or the priority
+    /// is outside `[0, 1]`.
+    pub fn new(n: usize, cfg: ProcessConfig, seed: u64) -> Self {
+        assert!(n > 0, "need at least one module");
+        cfg.params.validate().expect("invalid parameters");
+        assert!(
+            (0.0..=1.0).contains(&cfg.compromised_priority),
+            "priority must be a probability"
+        );
+        StateProcess {
+            cfg,
+            states: vec![ModuleState::Healthy; n],
+            next_trigger: if cfg.proactive { cfg.params.rejuvenation_interval } else { f64::INFINITY },
+            clock: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current module states.
+    pub fn states(&self) -> &[ModuleState] {
+        &self.states
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    /// `(healthy, compromised, non-functional-or-rejuvenating)` counts.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.states {
+            match s {
+                ModuleState::Healthy => c.0 += 1,
+                ModuleState::Compromised => c.1 += 1,
+                _ => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    fn count(&self, state: ModuleState) -> usize {
+        self.states.iter().filter(|&&s| s == state).count()
+    }
+
+    fn random_in_state(&mut self, state: ModuleState) -> usize {
+        let candidates: Vec<usize> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == state)
+            .map(|(i, _)| i)
+            .collect();
+        candidates[self.rng.random_range(0..candidates.len())]
+    }
+
+    /// Rates of the four stochastic event classes in the current marking:
+    /// compromise (Tc), crash (Tf), reactive repair (Tr), proactive
+    /// completion (Trj) — single-server (DSPN semantics) or scaled by the
+    /// per-state module count (the CARLA study's per-module clocks).
+    fn rates(&self) -> [f64; 4] {
+        let p = &self.cfg.params;
+        let scale = |n: usize| -> f64 {
+            if n == 0 {
+                0.0
+            } else if self.cfg.per_module_clocks {
+                n as f64
+            } else {
+                1.0
+            }
+        };
+        [
+            p.lambda_c() * scale(self.count(ModuleState::Healthy)),
+            p.lambda() * scale(self.count(ModuleState::Compromised)),
+            p.mu() * scale(self.count(ModuleState::NonFunctional)),
+            p.mu_r() * scale(self.count(ModuleState::Rejuvenating)),
+        ]
+    }
+
+    /// Advances the process by `dt`, returning every event that occurred,
+    /// in chronological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance(&mut self, dt: f64) -> Vec<TimedEvent> {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be non-negative");
+        let deadline = self.clock + dt;
+        let mut events = Vec::new();
+        loop {
+            let rates = self.rates();
+            let total: f64 = rates.iter().sum();
+            // Sample the next stochastic event (or never, if nothing is
+            // enabled), then race it against the deterministic trigger.
+            let stochastic_at = if total > 0.0 {
+                let u: f64 = self.rng.random();
+                self.clock + (-(1.0 - u).ln() / total)
+            } else {
+                f64::INFINITY
+            };
+            let trigger_at = self.next_trigger;
+            let next = stochastic_at.min(trigger_at);
+            if next > deadline {
+                break;
+            }
+            self.clock = next;
+            if trigger_at <= stochastic_at {
+                self.fire_trigger(&mut events);
+            } else {
+                self.fire_stochastic(&rates, total, &mut events);
+            }
+        }
+        self.clock = deadline;
+        events
+    }
+
+    fn fire_stochastic(&mut self, rates: &[f64; 4], total: f64, events: &mut Vec<TimedEvent>) {
+        let mut pick = self.rng.random::<f64>() * total;
+        let mut class = 3;
+        for (i, &r) in rates.iter().enumerate() {
+            if pick < r {
+                class = i;
+                break;
+            }
+            pick -= r;
+        }
+        let (from, to, mk): (ModuleState, ModuleState, fn(usize) -> StateEvent) = match class {
+            0 => (ModuleState::Healthy, ModuleState::Compromised, |m| StateEvent::Compromised { module: m }),
+            1 => (ModuleState::Compromised, ModuleState::NonFunctional, |m| StateEvent::Failed { module: m }),
+            2 => (ModuleState::NonFunctional, ModuleState::Healthy, |m| StateEvent::Recovered { module: m }),
+            _ => (ModuleState::Rejuvenating, ModuleState::Healthy, |m| StateEvent::ProactiveCompleted { module: m }),
+        };
+        let module = self.random_in_state(from);
+        self.states[module] = to;
+        events.push(TimedEvent { time: self.clock, event: mk(module) });
+    }
+
+    fn fire_trigger(&mut self, events: &mut Vec<TimedEvent>) {
+        self.next_trigger = self.clock + self.cfg.params.rejuvenation_interval;
+        // Reactive precedence (DSPN guard g2): drop the trigger while a
+        // module is non-functional or already rejuvenating.
+        let blocked = self
+            .states
+            .iter()
+            .any(|s| matches!(s, ModuleState::NonFunctional | ModuleState::Rejuvenating));
+        if blocked {
+            events.push(TimedEvent { time: self.clock, event: StateEvent::TriggerDropped });
+            return;
+        }
+        let compromised = self.count(ModuleState::Compromised);
+        let healthy = self.count(ModuleState::Healthy);
+        let have_compromised = compromised > 0;
+        let have_healthy = healthy > 0;
+        let priority = if self.cfg.proportional_selection {
+            compromised as f64 / (compromised + healthy).max(1) as f64
+        } else {
+            self.cfg.compromised_priority
+        };
+        let pick_compromised =
+            have_compromised && (!have_healthy || self.rng.random::<f64>() < priority);
+        if !pick_compromised && !have_healthy {
+            events.push(TimedEvent { time: self.clock, event: StateEvent::TriggerDropped });
+            return;
+        }
+        let victim = if pick_compromised {
+            self.random_in_state(ModuleState::Compromised)
+        } else {
+            self.random_in_state(ModuleState::Healthy)
+        };
+        self.states[victim] = ModuleState::Rejuvenating;
+        events.push(TimedEvent {
+            time: self.clock,
+            event: StateEvent::ProactiveStarted { module: victim, was_compromised: pick_compromised },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn carla_proc(proactive: bool, seed: u64) -> StateProcess {
+        StateProcess::new(3, ProcessConfig::carla(proactive), seed)
+    }
+
+    #[test]
+    fn starts_all_healthy() {
+        let p = carla_proc(true, 0);
+        assert_eq!(p.states(), &[ModuleState::Healthy; 3]);
+        assert_eq!(p.state_counts(), (3, 0, 0));
+        assert_eq!(p.time(), 0.0);
+    }
+
+    #[test]
+    fn modules_degrade_over_time_without_proactive() {
+        let mut p = carla_proc(false, 1);
+        let events = p.advance(60.0);
+        assert!(p.time() == 60.0);
+        // With a global compromise rate of 1/8 s⁻¹ over 60 s, compromises
+        // are near-certain.
+        assert!(
+            events.iter().any(|e| matches!(e.event, StateEvent::Compromised { .. })),
+            "no compromise in 60 s is implausible"
+        );
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e.event, StateEvent::ProactiveStarted { .. } | StateEvent::TriggerDropped)));
+    }
+
+    #[test]
+    fn proactive_triggers_fire_at_interval() {
+        let mut p = carla_proc(true, 2);
+        let events = p.advance(10.0);
+        let proactive: Vec<&TimedEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    StateEvent::ProactiveStarted { .. } | StateEvent::TriggerDropped
+                )
+            })
+            .collect();
+        // Interval 3 s over 10 s → triggers at 3, 6, 9 (some may be dropped).
+        assert_eq!(proactive.len(), 3, "{proactive:?}");
+        assert!((proactive[0].time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_are_chronological() {
+        let mut p = carla_proc(true, 3);
+        let events = p.advance(120.0);
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = carla_proc(true, 42);
+        let mut b = carla_proc(true, 42);
+        assert_eq!(a.advance(50.0), b.advance(50.0));
+        let mut c = carla_proc(true, 43);
+        assert_ne!(a.advance(50.0), c.advance(50.0));
+    }
+
+    #[test]
+    fn proactive_keeps_more_modules_healthy() {
+        let healthy_fraction = |proactive: bool, seed: u64| {
+            let mut p = carla_proc(proactive, seed);
+            let mut healthy_time = 0.0;
+            let step = 0.05;
+            let total = 2_000.0;
+            let mut t = 0.0;
+            while t < total {
+                let _ = p.advance(step);
+                healthy_time += p.state_counts().0 as f64 * step;
+                t += step;
+            }
+            healthy_time / (total * 3.0)
+        };
+        let with = healthy_fraction(true, 7);
+        let without = healthy_fraction(false, 7);
+        assert!(
+            with > without + 0.1,
+            "proactive {with} should clearly beat reactive-only {without}"
+        );
+    }
+
+    #[test]
+    fn compromises_are_sequential_by_default() {
+        // With rejuvenation disabled, measure the mean first-compromise
+        // time over many seeds; sequential semantics give ≈ mttc.
+        let mut first_times = Vec::new();
+        for seed in 0..400 {
+            let mut p = carla_proc(false, seed);
+            let events = p.advance(200.0);
+            if let Some(e) = events
+                .iter()
+                .find(|e| matches!(e.event, StateEvent::Compromised { .. }))
+            {
+                first_times.push(e.time);
+            }
+        }
+        let mean: f64 = first_times.iter().sum::<f64>() / first_times.len() as f64;
+        // Sequential (single-server) semantics: mean first compromise ≈ 8 s
+        // (three per-module clocks racing would give ≈ 8/3 s).
+        assert!((mean - 8.0).abs() < 1.2, "mean first compromise {mean}");
+    }
+
+    #[test]
+    fn rejuvenating_modules_block_triggers() {
+        let mut p = StateProcess::new(
+            3,
+            ProcessConfig {
+                params: SystemParams {
+                    mttc: 1e12, // effectively never compromise
+                    mttf: 1e12,
+                    proactive_time: 100.0, // rejuvenation outlasts interval
+                    rejuvenation_interval: 3.0,
+                    ..SystemParams::carla_case_study()
+                },
+                proactive: true,
+                compromised_priority: 2.0 / 3.0,
+                proportional_selection: false,
+                per_module_clocks: true,
+            },
+            0,
+        );
+        let events = p.advance(7.0);
+        let started = events
+            .iter()
+            .filter(|e| matches!(e.event, StateEvent::ProactiveStarted { .. }))
+            .count();
+        let dropped = events
+            .iter()
+            .filter(|e| matches!(e.event, StateEvent::TriggerDropped))
+            .count();
+        assert_eq!(started, 1, "only the first trigger is accepted");
+        assert_eq!(dropped, 1, "the second trigger (t=6) is dropped");
+    }
+
+    #[test]
+    fn reactive_recovery_happens() {
+        let mut p = carla_proc(false, 9);
+        let events = p.advance(400.0);
+        assert!(events.iter().any(|e| matches!(e.event, StateEvent::Failed { .. })));
+        assert!(events.iter().any(|e| matches!(e.event, StateEvent::Recovered { .. })));
+    }
+
+    #[test]
+    fn empirical_occupancy_matches_dspn_steady_state() {
+        // The whole point of the single-server alignment: the empirical
+        // process and the Fig. 3 DSPN describe the same system. Compare the
+        // long-run healthy-count distribution against the analytic steady
+        // state.
+        use crate::dspn::{with_proactive, SolveOptions};
+        use mvml_petri::{steady_state_with, ExpectedReward};
+
+        let params = SystemParams::carla_case_study();
+        let cfg = ProcessConfig::dspn_aligned(params, true);
+        let mut p = StateProcess::new(3, cfg, 5);
+        let mut time_h: [f64; 4] = [0.0; 4];
+        let step = 0.02;
+        let total_t = 30_000.0;
+        let mut t = 0.0;
+        while t < total_t {
+            let _ = p.advance(step);
+            time_h[p.state_counts().0] += step;
+            t += step;
+        }
+        let empirical: Vec<f64> = time_h.iter().map(|v| v / total_t).collect();
+
+        let mv = with_proactive(3, &params).expect("net");
+        let expanded = mvml_petri::erlang_expand(&mv.net, 32).expect("erlang");
+        let ss = steady_state_with(&expanded, &SolveOptions::default().solver).expect("solve");
+        let pmh = mv.pmh;
+        for h in 0..=3u32 {
+            let analytic = ss.probability(|m| m[pmh] == h);
+            assert!(
+                (empirical[h as usize] - analytic).abs() < 0.05,
+                "healthy={h}: empirical {} vs analytic {analytic}",
+                empirical[h as usize]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn zero_modules_rejected() {
+        let _ = StateProcess::new(0, ProcessConfig::carla(true), 0);
+    }
+}

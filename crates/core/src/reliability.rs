@@ -1,0 +1,287 @@
+//! Reliability functions for single-, two- and three-version ML systems
+//! (the paper's Section V-B, Eqs. 4–5, and the classical Eqs. 1–2).
+
+use crate::params::SystemParams;
+
+/// A system state `(i, j, k)`: the number of healthy, compromised-but-
+/// functional, and non-functional modules. Modules undergoing rejuvenation
+/// count as non-functional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SystemState {
+    /// Healthy module count `i`.
+    pub healthy: usize,
+    /// Compromised (but responsive) module count `j`.
+    pub compromised: usize,
+    /// Non-functional module count `k` (crashed or rejuvenating).
+    pub non_functional: usize,
+}
+
+impl SystemState {
+    /// Creates a state from `(i, j, k)`.
+    pub fn new(healthy: usize, compromised: usize, non_functional: usize) -> Self {
+        SystemState { healthy, compromised, non_functional }
+    }
+
+    /// Total number of modules `n = i + j + k`.
+    pub fn total(&self) -> usize {
+        self.healthy + self.compromised + self.non_functional
+    }
+
+    /// Number of modules able to answer inference requests (`i + j`).
+    pub fn functional(&self) -> usize {
+        self.healthy + self.compromised
+    }
+}
+
+impl std::fmt::Display for SystemState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.healthy, self.compromised, self.non_functional)
+    }
+}
+
+/// Classical failure probability of a TMR system with *independent* errors
+/// (Lyons & Vanderkulk): `F = 3(1-p)p² + p³`.
+pub fn tmr_failure_independent(p: f64) -> f64 {
+    3.0 * (1.0 - p) * p * p + p * p * p
+}
+
+/// Failure probability of a three-version system with a common dependency
+/// factor α (Ege et al., the paper's Eq. 1): `F = 3αp(1-α) + α²p`.
+pub fn three_version_failure_ege(p: f64, alpha: f64) -> f64 {
+    3.0 * alpha * p * (1.0 - alpha) + alpha * alpha * p
+}
+
+/// Failure probability of a three-version ML system with per-pair
+/// dependencies (Wen & Machida, the paper's Eq. 2):
+/// `F = α₁₂p₁ + α₁₃p₁ + α₂₃p₂ − 2α₁₂α₁₃p₁`.
+pub fn three_version_failure_pairwise(
+    p1: f64,
+    p2: f64,
+    alpha12: f64,
+    alpha13: f64,
+    alpha23: f64,
+) -> f64 {
+    alpha12 * p1 + alpha13 * p1 + alpha23 * p2 - 2.0 * alpha12 * alpha13 * p1
+}
+
+/// Output reliability `R_{i,j,k}` of a state (Eqs. 4–5 of the paper,
+/// assembled into one function over the functional-module counts).
+///
+/// The reliability depends only on the functional modules `(i, j)`:
+/// non-functional modules contribute nothing, and a state with no
+/// functional module has reliability 0. States with more than three
+/// functional modules are outside the paper's model.
+///
+/// # Panics
+///
+/// Panics if `i + j > 3`.
+pub fn state_reliability(healthy: usize, compromised: usize, params: &SystemParams) -> f64 {
+    let (p, pp, a) = (params.p, params.p_prime, params.alpha);
+    match (healthy, compromised) {
+        (0, 0) => 0.0,
+        (1, 0) => 1.0 - p,
+        (0, 1) => 1.0 - pp,
+        (2, 0) => 1.0 - a * p,
+        (1, 1) => 1.0 - ((p + pp) / 2.0) * a,
+        (0, 2) => 1.0 - a * pp,
+        (3, 0) => 1.0 - (3.0 * a * p * (1.0 - a) + a * a) * p,
+        (2, 1) => 1.0 - (a * p + a * (p + pp) * (1.0 - (p + pp) / 2.0)),
+        (1, 2) => 1.0 - (a * pp + a * (p + pp) * (1.0 - (p + pp) / 2.0)),
+        (0, 3) => 1.0 - (3.0 * a * pp * (1.0 - a) + a * a) * pp,
+        _ => panic!("state ({healthy},{compromised}) has more than three functional modules"),
+    }
+}
+
+/// Reliability of a [`SystemState`] (convenience wrapper over
+/// [`state_reliability`]).
+pub fn reliability_of(state: SystemState, params: &SystemParams) -> f64 {
+    state_reliability(state.healthy, state.compromised, params)
+}
+
+/// The reliability-function matrix `R_f2` of Eq. 4: entry `(j, i)` is
+/// `R_{i,j,2-i-j}` (rows indexed by compromised count, columns by healthy
+/// count), 0 for unreachable combinations.
+pub fn reliability_matrix_2v(params: &SystemParams) -> [[f64; 3]; 3] {
+    let mut m = [[0.0; 3]; 3];
+    for (j, row) in m.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            if i + j <= 2 {
+                *cell = state_reliability(i, j, params);
+            }
+        }
+    }
+    // The (0,0) entry — both modules non-functional — is defined as 0.
+    m[0][0] = 0.0;
+    m
+}
+
+/// The reliability-function matrix `R_f3` of Eq. 5: entry `(j, i)` is
+/// `R_{i,j,3-i-j}`, 0 for unreachable combinations.
+pub fn reliability_matrix_3v(params: &SystemParams) -> [[f64; 4]; 4] {
+    let mut m = [[0.0; 4]; 4];
+    for (j, row) in m.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            if i + j <= 3 {
+                *cell = state_reliability(i, j, params);
+            }
+        }
+    }
+    m[0][0] = 0.0;
+    m
+}
+
+/// Expected system reliability `E[R] = Σ π_s R_s` (the paper's Eq. 3) for a
+/// distribution over system states.
+pub fn expected_reliability<I>(distribution: I, params: &SystemParams) -> f64
+where
+    I: IntoIterator<Item = (SystemState, f64)>,
+{
+    distribution
+        .into_iter()
+        .map(|(s, prob)| prob * reliability_of(s, params))
+        .sum()
+}
+
+/// All reachable states of an `n`-version system (`i + j + k = n`).
+pub fn enumerate_states(n: usize) -> Vec<SystemState> {
+    let mut out = Vec::new();
+    for i in 0..=n {
+        for j in 0..=(n - i) {
+            out.push(SystemState::new(i, j, n - i - j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_table_iv()
+    }
+
+    /// The paper's Table III, verbatim.
+    const TABLE_III: [((usize, usize, usize), f64); 9] = [
+        ((3, 0, 0), 0.988626295),
+        ((2, 0, 1), 0.976732729),
+        ((2, 1, 0), 0.881542506),
+        ((1, 0, 2), 0.937107416),
+        ((1, 1, 1), 0.943896878),
+        ((1, 2, 0), 0.815870804),
+        ((0, 3, 0), 0.926682718),
+        ((0, 2, 1), 0.911061026),
+        ((0, 1, 2), 0.759593560),
+    ];
+
+    #[test]
+    fn reproduces_paper_table_iii() {
+        let params = paper();
+        for ((i, j, k), expected) in TABLE_III {
+            let got = reliability_of(SystemState::new(i, j, k), &params);
+            assert!(
+                (got - expected).abs() < 2e-5,
+                "R_({i},{j},{k}) = {got}, paper says {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_functional_modules_means_zero_reliability() {
+        let params = paper();
+        assert_eq!(reliability_of(SystemState::new(0, 0, 3), &params), 0.0);
+        assert_eq!(reliability_of(SystemState::new(0, 0, 1), &params), 0.0);
+    }
+
+    #[test]
+    fn state_orderings_match_table_iii() {
+        // The paper's formulas are not globally monotone in the number of
+        // compromised modules (notably R_{0,3,0} > R_{1,2,0}, because three
+        // agreeing-compromised modules still out-vote correlated errors);
+        // verify the orderings Table III actually exhibits.
+        let params = paper();
+        let r = |i, j| state_reliability(i, j, &params);
+        assert!(r(3, 0) > r(2, 0) && r(2, 0) > r(1, 0)); // more healthy is better
+        assert!(r(1, 0) > r(0, 1)); // healthy beats compromised singleton
+        assert!(r(2, 0) > r(1, 1) && r(1, 1) > r(0, 2)); // pairs degrade with j
+        assert!(r(3, 0) > r(2, 1) && r(2, 1) > r(1, 2)); // triples degrade with j…
+        assert!(r(0, 3) > r(1, 2)); // …except the all-compromised quirk
+    }
+
+    #[test]
+    fn matrices_match_state_function() {
+        let params = paper();
+        let m2 = reliability_matrix_2v(&params);
+        assert!((m2[0][1] - (1.0 - params.p)).abs() < 1e-12);
+        assert!((m2[0][2] - (1.0 - params.alpha * params.p)).abs() < 1e-12);
+        assert!((m2[1][0] - (1.0 - params.p_prime)).abs() < 1e-12);
+        assert_eq!(m2[0][0], 0.0);
+        assert_eq!(m2[2][1], 0.0, "unreachable (1,2) in a 2-version system");
+
+        let m3 = reliability_matrix_3v(&params);
+        assert!((m3[0][3] - 0.988626295).abs() < 2e-5);
+        assert!((m3[1][2] - 0.881542506).abs() < 2e-5);
+        assert!((m3[3][0] - 0.926682718).abs() < 2e-5);
+        assert_eq!(m3[3][1], 0.0);
+    }
+
+    #[test]
+    fn expected_reliability_weights_states() {
+        let params = paper();
+        let dist = vec![
+            (SystemState::new(3, 0, 0), 0.5),
+            (SystemState::new(0, 0, 3), 0.5),
+        ];
+        let e = expected_reliability(dist, &params);
+        assert!((e - 0.988626295 / 2.0).abs() < 2e-5);
+    }
+
+    #[test]
+    fn enumerate_states_counts() {
+        assert_eq!(enumerate_states(1).len(), 3);
+        assert_eq!(enumerate_states(2).len(), 6);
+        assert_eq!(enumerate_states(3).len(), 10);
+        for s in enumerate_states(3) {
+            assert_eq!(s.total(), 3);
+        }
+    }
+
+    #[test]
+    fn classical_formulas() {
+        // Lyons & Vanderkulk at p = 0.1: F = 3*0.9*0.01 + 0.001 = 0.028
+        assert!((tmr_failure_independent(0.1) - 0.028).abs() < 1e-12);
+        // Ege with α = 1 degenerates to F = 3p(1-1)+p = p
+        assert!((three_version_failure_ege(0.2, 1.0) - 0.2).abs() < 1e-12);
+        // pairwise with equal parameters reduces consistently
+        let f = three_version_failure_pairwise(0.1, 0.1, 0.5, 0.5, 0.5);
+        assert!((f - (0.05 + 0.05 + 0.05 - 2.0 * 0.25 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependency_reduces_failure_masking() {
+        // With lower α, the three-version state (3,0,0) must be MORE
+        // reliable (less correlated errors to defeat the vote).
+        let mut lo = paper();
+        lo.alpha = 0.1;
+        let mut hi = paper();
+        hi.alpha = 0.9;
+        assert!(
+            state_reliability(3, 0, &lo) > state_reliability(3, 0, &hi),
+            "lower dependency must help"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more than three")]
+    fn four_functional_modules_rejected() {
+        let _ = state_reliability(4, 0, &paper());
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let s = SystemState::new(2, 1, 0);
+        assert_eq!(s.to_string(), "(2,1,0)");
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.functional(), 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! The assembled N-version classification system: modules + trusted voter.
+
+use crate::module::{ModuleState, VersionedModule};
+use crate::voter::{vote, Verdict, VotingScheme};
+use mvml_nn::{Dataset, Sequential, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Outcome counts of an empirical evaluation run (the implementation of the
+/// paper's "we implemented the voting rules to evaluate the reliability with
+/// which the ML system produces the correct outputs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmpiricalReliability {
+    /// Voter produced the ground-truth class.
+    pub correct: usize,
+    /// Voter produced a wrong class (the failure the reliability functions
+    /// quantify).
+    pub wrong: usize,
+    /// Voter safely skipped (R.1/R.2 divergence).
+    pub skipped: usize,
+    /// No operational module.
+    pub no_output: usize,
+}
+
+impl EmpiricalReliability {
+    /// Total samples evaluated.
+    pub fn total(&self) -> usize {
+        self.correct + self.wrong + self.skipped + self.no_output
+    }
+
+    /// Output reliability `1 − P(error)`: skips are safe, not failures,
+    /// matching the semantics of the paper's `R_{i,j,k}` functions.
+    pub fn reliability(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.wrong as f64 / self.total() as f64
+    }
+
+    /// Fraction of samples for which an output was produced at all.
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.correct + self.wrong) as f64 / self.total() as f64
+    }
+}
+
+/// An N-version ML classification system: several [`VersionedModule`]s in
+/// front of a trusted voter.
+#[derive(Debug, Clone)]
+pub struct NVersionSystem {
+    modules: Vec<VersionedModule>,
+    scheme: VotingScheme,
+}
+
+impl NVersionSystem {
+    /// Assembles a system from trained models using the paper's default
+    /// voting rules (R.1–R.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(models: Vec<Sequential>) -> Self {
+        NVersionSystem::with_scheme(models, VotingScheme::MajorityWithSkip)
+    }
+
+    /// Assembles a system with an explicit voting scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn with_scheme(models: Vec<Sequential>, scheme: VotingScheme) -> Self {
+        assert!(!models.is_empty(), "an N-version system needs at least one module");
+        NVersionSystem {
+            modules: models.into_iter().map(VersionedModule::new).collect(),
+            scheme,
+        }
+    }
+
+    /// Number of module versions.
+    pub fn version_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Immutable module access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn module(&self, i: usize) -> &VersionedModule {
+        &self.modules[i]
+    }
+
+    /// Mutable module access (inject faults, force states, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn module_mut(&mut self, i: usize) -> &mut VersionedModule {
+        &mut self.modules[i]
+    }
+
+    /// Current `(healthy, compromised, non-functional)` counts; modules
+    /// being rejuvenated count as non-functional.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for m in &self.modules {
+            match m.state() {
+                ModuleState::Healthy => counts.0 += 1,
+                ModuleState::Compromised => counts.1 += 1,
+                ModuleState::NonFunctional | ModuleState::Rejuvenating => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Classifies a batch `[N, C, H, W]`, returning one verdict per sample.
+    pub fn classify_batch(&mut self, x: &Tensor) -> Vec<Verdict<usize>> {
+        let n = x.shape()[0];
+        let proposals: Vec<Option<Vec<usize>>> =
+            self.modules.iter_mut().map(|m| m.infer(x)).collect();
+        (0..n)
+            .map(|i| {
+                let row: Vec<Option<usize>> =
+                    proposals.iter().map(|p| p.as_ref().map(|v| v[i])).collect();
+                vote(self.scheme, &row)
+            })
+            .collect()
+    }
+
+    /// Evaluates the system on a labelled dataset, batch by batch.
+    pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> EmpiricalReliability {
+        let mut report = EmpiricalReliability { correct: 0, wrong: 0, skipped: 0, no_output: 0 };
+        let mut i = 0;
+        while i < data.len() {
+            let end = (i + batch_size).min(data.len());
+            let idx: Vec<usize> = (i..end).collect();
+            let (x, labels) = data.batch(&idx);
+            for (verdict, label) in self.classify_batch(&x).into_iter().zip(labels) {
+                match verdict {
+                    Verdict::Output(class) if class == label => report.correct += 1,
+                    Verdict::Output(_) => report.wrong += 1,
+                    Verdict::Skip => report.skipped += 1,
+                    Verdict::NoModules => report.no_output += 1,
+                }
+            }
+            i = end;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvml_nn::models::three_versions;
+    use mvml_nn::signs::{generate, SignConfig};
+    use mvml_nn::train::{train_classifier, TrainConfig};
+
+    fn easy_cfg() -> SignConfig {
+        SignConfig {
+            classes: 5,
+            image_size: 12,
+            noise_std: 0.05,
+            max_translate: 0.5,
+            scale_jitter: 0.05,
+            brightness_jitter: 0.05,
+            occlusion_prob: 0.0,
+        }
+    }
+
+    fn trained_system() -> (NVersionSystem, Dataset) {
+        let cfg = easy_cfg();
+        let train = generate(&cfg, 300, 0);
+        let test = generate(&cfg, 100, 1);
+        let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.08, ..TrainConfig::default() };
+        let mut models = three_versions(cfg.image_size, cfg.classes, 38);
+        for m in &mut models {
+            let _ = train_classifier(m, &train, &tc);
+        }
+        (NVersionSystem::new(models), test)
+    }
+
+    #[test]
+    fn healthy_system_is_reliable_and_covers() {
+        let (mut sys, test) = trained_system();
+        assert_eq!(sys.version_count(), 3);
+        assert_eq!(sys.state_counts(), (3, 0, 0));
+        let report = sys.evaluate(&test, 32);
+        assert_eq!(report.total(), 100);
+        assert!(report.reliability() > 0.85, "reliability {}", report.reliability());
+        assert!(report.coverage() > 0.8, "coverage {}", report.coverage());
+    }
+
+    #[test]
+    fn degraded_system_follows_voting_rules() {
+        let (mut sys, test) = trained_system();
+        // Two modules down → single-version pass-through (R.3).
+        sys.module_mut(0).fail();
+        sys.module_mut(1).begin_rejuvenation();
+        assert_eq!(sys.state_counts(), (1, 0, 2));
+        let report = sys.evaluate(&test, 32);
+        assert_eq!(report.skipped, 0, "R.3 never skips");
+        assert_eq!(report.no_output, 0);
+
+        // All modules down → no output at all.
+        sys.module_mut(2).fail();
+        let report = sys.evaluate(&test, 32);
+        assert_eq!(report.no_output, report.total());
+        assert_eq!(report.reliability(), 1.0 - 0.0); // no wrong outputs
+    }
+
+    #[test]
+    fn two_version_mode_can_skip() {
+        let (mut sys, test) = trained_system();
+        sys.module_mut(2).fail();
+        assert_eq!(sys.state_counts(), (2, 0, 1));
+        let report = sys.evaluate(&test, 32);
+        // With two independent (trained, imperfect) models, some divergence
+        // is expected over 100 samples; but no hard requirement — just check
+        // bookkeeping adds up.
+        assert_eq!(
+            report.correct + report.wrong + report.skipped + report.no_output,
+            report.total()
+        );
+        assert_eq!(report.no_output, 0);
+    }
+
+    #[test]
+    fn compromised_majority_lowers_reliability() {
+        let (mut sys, test) = trained_system();
+        let healthy = sys.evaluate(&test, 32).reliability();
+        // Plant strong faults in two modules (seeds chosen large enough to
+        // visibly break them).
+        sys.module_mut(0).compromise(0, 200.0, 400.0, 3);
+        sys.module_mut(1).compromise(0, 200.0, 400.0, 4);
+        let compromised = sys.evaluate(&test, 32).reliability();
+        assert!(
+            compromised <= healthy + 1e-9,
+            "compromised {compromised} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn empirical_report_arithmetic() {
+        let r = EmpiricalReliability { correct: 70, wrong: 10, skipped: 15, no_output: 5 };
+        assert_eq!(r.total(), 100);
+        assert!((r.reliability() - 0.9).abs() < 1e-12);
+        assert!((r.coverage() - 0.8).abs() < 1e-12);
+        let empty = EmpiricalReliability { correct: 0, wrong: 0, skipped: 0, no_output: 0 };
+        assert_eq!(empty.reliability(), 0.0);
+        assert_eq!(empty.coverage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_system_rejected() {
+        let _ = NVersionSystem::new(Vec::new());
+    }
+}

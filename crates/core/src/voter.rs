@@ -1,0 +1,271 @@
+//! The trusted voter and its decision rules (the paper's Section IV,
+//! rules R.1–R.3).
+//!
+//! The voter is assumed fault-free (it is simple enough to run in a trusted
+//! hypervisor or hardware, per the paper's fault model). It receives one
+//! proposal per *operational* module — non-functional modules contribute
+//! nothing — and decides:
+//!
+//! * **R.1** — three operational modules: output needs ≥ 2 equal proposals;
+//!   with three mutually distinct proposals the decision is *skipped*.
+//! * **R.2** — two operational modules: output needs both proposals equal,
+//!   otherwise the voter *safely skips*.
+//! * **R.3** — one operational module: its proposal is accepted as-is.
+
+use serde::{Deserialize, Serialize};
+
+/// The voter's decision for one inference round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict<T> {
+    /// A value met the rule's agreement requirement.
+    Output(T),
+    /// Proposals diverged; the voter safely skips the decision
+    /// (the vehicle keeps its previous driving properties).
+    Skip,
+    /// No module was operational; no decision is possible.
+    NoModules,
+}
+
+impl<T> Verdict<T> {
+    /// Returns the output value, if any.
+    pub fn output(self) -> Option<T> {
+        match self {
+            Verdict::Output(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Verdict::Skip`].
+    pub fn is_skip(&self) -> bool {
+        matches!(self, Verdict::Skip)
+    }
+}
+
+/// Available voting schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VotingScheme {
+    /// The paper's rules R.1–R.3: majority with safe skip, singleton
+    /// pass-through.
+    MajorityWithSkip,
+    /// All operational modules must agree (e.g. 3-out-of-3); otherwise skip.
+    /// A single operational module still passes through (R.3).
+    Unanimous,
+}
+
+/// Applies `scheme` to the proposals of an `n`-module system.
+///
+/// `proposals[i]` is `None` when module `i` is non-functional (it produced
+/// no response by its deadline) and `Some(value)` otherwise. Equality of
+/// proposals is decided by `PartialEq`; for detection sets see
+/// `mvml-avsim`'s approximate matching, which canonicalises detections
+/// before voting.
+pub fn vote<T: PartialEq + Clone>(scheme: VotingScheme, proposals: &[Option<T>]) -> Verdict<T> {
+    let operational: Vec<&T> = proposals.iter().flatten().collect();
+    match operational.len() {
+        0 => Verdict::NoModules,
+        1 => Verdict::Output(operational[0].clone()),
+        n => match scheme {
+            VotingScheme::MajorityWithSkip => {
+                let needed = n / 2 + 1;
+                for (idx, candidate) in operational.iter().enumerate() {
+                    // Count support for this candidate; skip candidates
+                    // already counted as supporters of an earlier one.
+                    if operational[..idx].iter().any(|prev| prev == candidate) {
+                        continue;
+                    }
+                    let support = operational.iter().filter(|o| o == &candidate).count();
+                    if support >= needed {
+                        return Verdict::Output((*candidate).clone());
+                    }
+                }
+                Verdict::Skip
+            }
+            VotingScheme::Unanimous => {
+                if operational.iter().all(|o| *o == operational[0]) {
+                    Verdict::Output(operational[0].clone())
+                } else {
+                    Verdict::Skip
+                }
+            }
+        },
+    }
+}
+
+/// Convenience wrapper: the paper's default rules R.1–R.3.
+pub fn vote_majority<T: PartialEq + Clone>(proposals: &[Option<T>]) -> Verdict<T> {
+    vote(VotingScheme::MajorityWithSkip, proposals)
+}
+
+/// Weighted voting — one of the schemes the paper names as future work
+/// (Section VIII, "weighted or approximate voting").
+///
+/// Each module carries a trust weight (e.g. derived from its measured
+/// accuracy). A value is emitted if the weight supporting it strictly
+/// exceeds `quorum` as a fraction of the *operational* weight; otherwise
+/// the decision is skipped. `quorum = 0.5` generalises majority voting;
+/// `quorum → 1.0` approaches unanimity. A single operational module still
+/// passes through (rule R.3).
+///
+/// # Panics
+///
+/// Panics if lengths differ, a weight is negative/non-finite, or `quorum`
+/// is outside `[0, 1)`.
+pub fn vote_weighted<T: PartialEq + Clone>(
+    proposals: &[Option<T>],
+    weights: &[f64],
+    quorum: f64,
+) -> Verdict<T> {
+    assert_eq!(proposals.len(), weights.len(), "one weight per module");
+    assert!((0.0..1.0).contains(&quorum), "quorum must be in [0, 1)");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be non-negative"
+    );
+    let operational: Vec<(&T, f64)> = proposals
+        .iter()
+        .zip(weights)
+        .filter_map(|(p, &w)| p.as_ref().map(|v| (v, w)))
+        .collect();
+    match operational.len() {
+        0 => Verdict::NoModules,
+        1 => Verdict::Output(operational[0].0.clone()),
+        _ => {
+            let total: f64 = operational.iter().map(|&(_, w)| w).sum();
+            if total <= 0.0 {
+                return Verdict::Skip;
+            }
+            for (idx, &(candidate, _)) in operational.iter().enumerate() {
+                if operational[..idx].iter().any(|&(prev, _)| prev == candidate) {
+                    continue;
+                }
+                let support: f64 = operational
+                    .iter()
+                    .filter(|&&(v, _)| v == candidate)
+                    .map(|&(_, w)| w)
+                    .sum();
+                if support > quorum * total {
+                    return Verdict::Output(candidate.clone());
+                }
+            }
+            Verdict::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_three_modules_majority_wins() {
+        let v = vote_majority(&[Some(7), Some(7), Some(3)]);
+        assert_eq!(v, Verdict::Output(7));
+        let v = vote_majority(&[Some(3), Some(7), Some(7)]);
+        assert_eq!(v, Verdict::Output(7));
+        let v = vote_majority(&[Some(9), Some(9), Some(9)]);
+        assert_eq!(v, Verdict::Output(9));
+    }
+
+    #[test]
+    fn r1_three_distinct_proposals_skip() {
+        let v = vote_majority(&[Some(1), Some(2), Some(3)]);
+        assert_eq!(v, Verdict::Skip);
+        assert!(v.is_skip());
+    }
+
+    #[test]
+    fn r2_two_modules_agree_or_skip() {
+        assert_eq!(vote_majority(&[Some(5), None, Some(5)]), Verdict::Output(5));
+        assert_eq!(vote_majority(&[Some(5), None, Some(6)]), Verdict::Skip);
+        assert_eq!(vote_majority(&[None, Some(1), Some(1)]), Verdict::Output(1));
+    }
+
+    #[test]
+    fn r3_single_module_passes_through() {
+        assert_eq!(vote_majority(&[None, Some(4), None]), Verdict::Output(4));
+        assert_eq!(vote_majority::<u32>(&[Some(0)]), Verdict::Output(0));
+    }
+
+    #[test]
+    fn no_operational_modules() {
+        assert_eq!(vote_majority::<u32>(&[None, None, None]), Verdict::NoModules);
+        assert_eq!(vote_majority::<u32>(&[]), Verdict::NoModules);
+        assert_eq!(Verdict::<u32>::NoModules.output(), None);
+    }
+
+    #[test]
+    fn majority_can_be_wrong_but_is_consistent() {
+        // Two agreeing wrong answers out-vote one correct: the documented
+        // failure mode the reliability functions quantify.
+        let v = vote_majority(&[Some(42), Some(13), Some(13)]);
+        assert_eq!(v, Verdict::Output(13));
+    }
+
+    #[test]
+    fn unanimous_requires_full_agreement() {
+        assert_eq!(
+            vote(VotingScheme::Unanimous, &[Some(2), Some(2), Some(2)]),
+            Verdict::Output(2)
+        );
+        assert_eq!(
+            vote(VotingScheme::Unanimous, &[Some(2), Some(2), Some(3)]),
+            Verdict::Skip
+        );
+        // R.3 pass-through still applies with a single operational module.
+        assert_eq!(vote(VotingScheme::Unanimous, &[None, Some(8), None]), Verdict::Output(8));
+    }
+
+    #[test]
+    fn verdict_output_accessor() {
+        assert_eq!(Verdict::Output(3).output(), Some(3));
+        assert_eq!(Verdict::<i32>::Skip.output(), None);
+    }
+
+    #[test]
+    fn works_with_non_copy_payloads() {
+        let a = vec![1u8, 2, 3];
+        let v = vote_majority(&[Some(a.clone()), Some(a.clone()), None]);
+        assert_eq!(v, Verdict::Output(a));
+    }
+
+    #[test]
+    fn weighted_voting_respects_trust() {
+        // A heavily-trusted module out-votes two light ones.
+        let proposals = [Some(1), Some(2), Some(2)];
+        let weights = [5.0, 1.0, 1.0];
+        assert_eq!(vote_weighted(&proposals, &weights, 0.5), Verdict::Output(1));
+        // With equal weights the pair wins.
+        assert_eq!(vote_weighted(&proposals, &[1.0; 3], 0.5), Verdict::Output(2));
+        // Higher quorum forces a skip on a 5:2 split (5/7 < 0.75).
+        assert_eq!(vote_weighted(&proposals, &weights, 0.75), Verdict::Skip);
+    }
+
+    #[test]
+    fn weighted_voting_edge_cases() {
+        assert_eq!(vote_weighted::<u8>(&[None, None], &[1.0, 1.0], 0.5), Verdict::NoModules);
+        // R.3 pass-through ignores the weight.
+        assert_eq!(vote_weighted(&[Some(9), None], &[0.0, 1.0], 0.5), Verdict::Output(9));
+        // All-zero weights cannot form a quorum.
+        assert_eq!(vote_weighted(&[Some(1), Some(1)], &[0.0, 0.0], 0.5), Verdict::Skip);
+        // Weighted voting ignores non-operational weights in the quorum.
+        assert_eq!(
+            vote_weighted(&[Some(4), Some(4), None], &[1.0, 1.0, 100.0], 0.5),
+            Verdict::Output(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per module")]
+    fn weighted_voting_length_mismatch_panics() {
+        let _ = vote_weighted(&[Some(1)], &[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn five_version_majority_generalises() {
+        let v = vote_majority(&[Some(1), Some(2), Some(2), Some(2), Some(9)]);
+        assert_eq!(v, Verdict::Output(2));
+        let v = vote_majority(&[Some(1), Some(2), Some(2), Some(3), Some(9)]);
+        assert_eq!(v, Verdict::Skip);
+    }
+}

@@ -1,0 +1,170 @@
+//! Labelled image datasets and batching.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A labelled image-classification dataset held in memory.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor, // [N, C, H, W]
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor `[N, C, H, W]` and `N` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/label mismatch or out-of-range labels.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.shape().len(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.shape()[0], labels.len(), "image/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Dataset { images, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shape of a single sample: `[C, H, W]`.
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The full image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Gathers the samples at `indices` into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample: usize = self.sample_shape().iter().product();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        let xs = self.images.as_slice();
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&xs[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(self.sample_shape());
+        (Tensor::from_vec(&shape, data), labels)
+    }
+
+    /// A shuffled permutation of all sample indices.
+    pub fn shuffled_indices(&self, rng: &mut StdRng) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx
+    }
+
+    /// Splits into `(first, second)` with `frac` of (shuffled) samples in
+    /// the first part.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac < 1` and both parts end up non-empty.
+    pub fn split(&self, frac: f64, rng: &mut StdRng) -> (Dataset, Dataset) {
+        assert!(frac > 0.0 && frac < 1.0, "frac must be in (0,1)");
+        let idx = self.shuffled_indices(rng);
+        let cut = ((self.len() as f64) * frac).round() as usize;
+        assert!(cut > 0 && cut < self.len(), "split produced an empty part");
+        let (a, b) = idx.split_at(cut);
+        let (ia, la) = self.batch(a);
+        let (ib, lb) = self.batch(b);
+        (
+            Dataset::new(ia, la, self.num_classes),
+            Dataset::new(ib, lb, self.num_classes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec(&[4, 1, 1, 2], (0..8).map(|v| v as f32).collect());
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.sample_shape(), &[1, 1, 2]);
+        assert_eq!(d.labels(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = toy();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 1, 1, 2]);
+        assert_eq!(x.as_slice(), &[4., 5., 0., 1.]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, b) = d.split(0.5, &mut rng);
+        assert_eq!(a.len() + b.len(), d.len());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let d = toy();
+        let p1 = d.shuffled_indices(&mut StdRng::seed_from_u64(7));
+        let p2 = d.shuffled_indices(&mut StdRng::seed_from_u64(7));
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(&[1, 1, 1, 1]);
+        let _ = Dataset::new(images, vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_rejects_bad_index() {
+        let _ = toy().batch(&[9]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Weight initialisation helpers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// He-normal initialisation: `N(0, sqrt(2 / fan_in))`, the standard choice
+/// before ReLU activations.
+pub fn he_normal(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
+    let std = (2.0 / fan_in as f64).sqrt() as f32;
+    (0..n).map(|_| standard_normal(rng) * std).collect()
+}
+
+/// Xavier-uniform initialisation: `U(-a, a)` with `a = sqrt(6/(fan_in+fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    (0..n).map(|_| (rng.random::<f64>() * 2.0 * a - a) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f32> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = he_normal(&mut rng, 200, 20_000);
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / xs.len() as f32;
+        assert!((var - 0.01).abs() < 0.002, "var={var}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = (6.0f32 / 300.0).sqrt();
+        let xs = xavier_uniform(&mut rng, 100, 200, 10_000);
+        assert!(xs.iter().all(|x| x.abs() <= a + 1e-6));
+        assert!(xs.iter().any(|x| x.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_normal(&mut StdRng::seed_from_u64(7), 10, 32);
+        let b = he_normal(&mut StdRng::seed_from_u64(7), 10, 32);
+        assert_eq!(a, b);
+    }
+}

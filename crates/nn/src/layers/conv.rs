@@ -1,0 +1,308 @@
+//! 2-D convolution (stride 1, symmetric zero padding).
+
+use crate::init::he_normal;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A 2-D convolution over `[N, C, H, W]` inputs with stride 1 and symmetric
+/// zero padding.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    weight: Tensor, // [OC, IC, K, K]
+    bias: Tensor,   // [OC]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let n = out_channels * fan_in;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            weight: Tensor::from_vec(&[out_channels, in_channels, kernel, kernel], he_normal(rng, fan_in, n)),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_w: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_b: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding - self.kernel + 1, w + 2 * self.padding - self.kernel + 1)
+    }
+
+    /// Copies `x` (`[N, C, H, W]`) into a zero-padded buffer
+    /// `[N, C, H+2p, W+2p]`, so the convolution loops need no bounds checks
+    /// and vectorise.
+    fn pad_input(&self, x: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
+        let p = self.padding;
+        let (ph, pw) = (h + 2 * p, w + 2 * p);
+        let mut out = vec![0.0f32; n * c * ph * pw];
+        let xs = x.as_slice();
+        for plane in 0..n * c {
+            for y in 0..h {
+                let src = plane * h * w + y * w;
+                let dst = plane * ph * pw + (y + p) * pw + p;
+                out[dst..dst + w].copy_from_slice(&xs[src..src + w]);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("conv2d expects [N,C,H,W]");
+        assert_eq!(c, self.in_channels, "conv2d channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        assert!(oh > 0 && ow > 0, "conv2d output collapsed to zero size");
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        let k = self.kernel;
+        let pw = w + 2 * self.padding;
+        let xpad = self.pad_input(x, n, c, h, w);
+        let ws = self.weight.as_slice();
+        let bs = self.bias.as_slice();
+        let ph = h + 2 * self.padding;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let os = out.as_mut_slice();
+        for img in 0..n {
+            for (oc, &bias) in bs.iter().enumerate() {
+                let o_base = ((img * self.out_channels) + oc) * oh * ow;
+                os[o_base..o_base + oh * ow].fill(bias);
+                for ic in 0..c {
+                    let x_base = ((img * c) + ic) * ph * pw;
+                    let w_base = ((oc * c) + ic) * k * k;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let weight = ws[w_base + ky * k + kx];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let xrow = x_base + (oy + ky) * pw + kx;
+                                let orow = o_base + oy * ow;
+                                let (xr, or) =
+                                    (&xpad[xrow..xrow + ow], &mut os[orow..orow + ow]);
+                                for (o, &v) in or.iter_mut().zip(xr) {
+                                    *o += weight * v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.clone().expect("backward before forward(train=true)");
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("cached input shape");
+        let [gn, goc, oh, ow]: [usize; 4] = grad_out.shape().try_into().expect("grad shape");
+        assert_eq!(gn, n);
+        assert_eq!(goc, self.out_channels);
+        let k = self.kernel;
+        let p = self.padding;
+        let (ph, pw) = (h + 2 * p, w + 2 * p);
+        let xpad = self.pad_input(&x, n, c, h, w);
+        let mut gipad = vec![0.0f32; n * c * ph * pw];
+        let gs = grad_out.as_slice();
+        let ws = self.weight.as_slice();
+        let gw = self.grad_w.as_mut_slice();
+        let gb = self.grad_b.as_mut_slice();
+        for img in 0..n {
+            for (oc, gb_v) in gb.iter_mut().enumerate() {
+                let g_base = ((img * self.out_channels) + oc) * oh * ow;
+                *gb_v += gs[g_base..g_base + oh * ow].iter().sum::<f32>();
+                for ic in 0..c {
+                    let x_base = ((img * c) + ic) * ph * pw;
+                    let w_base = ((oc * c) + ic) * k * k;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let widx = w_base + ky * k + kx;
+                            let weight = ws[widx];
+                            let mut wacc = 0.0f32;
+                            for oy in 0..oh {
+                                let xrow = x_base + (oy + ky) * pw + kx;
+                                let grow = g_base + oy * ow;
+                                let xr = &xpad[xrow..xrow + ow];
+                                let gr = &gs[grow..grow + ow];
+                                let gir = &mut gipad[xrow..xrow + ow];
+                                for ((gi_v, &g), &xv) in gir.iter_mut().zip(gr).zip(xr) {
+                                    wacc += g * xv;
+                                    *gi_v += g * weight;
+                                }
+                            }
+                            gw[widx] += wacc;
+                        }
+                    }
+                }
+            }
+        }
+        // Un-pad the input gradient.
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let gi = grad_in.as_mut_slice();
+        for plane in 0..n * c {
+            for y in 0..h {
+                let src = plane * ph * pw + (y + p) * pw + p;
+                let dst = plane * h * w + y * w;
+                gi[dst..dst + w].copy_from_slice(&gipad[src..src + w]);
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { name: "weight", values: self.weight.as_mut_slice(), grads: self.grad_w.as_mut_slice() },
+            Param { name: "bias", values: self.bias.as_mut_slice(), grads: self.grad_b.as_mut_slice() },
+        ]
+    }
+
+    fn param_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input[2], input[3]);
+        vec![input[0], self.out_channels, oh, ow]
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        let (oh, ow) = self.out_hw(input[2], input[3]);
+        (input[0] * self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ident_kernel_conv() -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng);
+        {
+            let mut ps = conv.params();
+            ps[0].values.fill(0.0);
+            ps[0].values[4] = 1.0; // centre tap -> identity
+            ps[1].values.fill(0.0);
+        }
+        conv
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut conv = ident_kernel_conv();
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn valid_convolution_known_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 2, 0, &mut rng);
+        {
+            let mut ps = conv.params();
+            ps[0].values.copy_from_slice(&[1., 2., 3., 4.]);
+            ps[1].values[0] = 0.5;
+        }
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 1., 1., 1.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_slice(), &[10.5]);
+    }
+
+    #[test]
+    fn gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let x = Tensor::from_vec(
+            &[1, 2, 4, 4],
+            (0..32).map(|i| ((i * 7) % 11) as f32 / 11.0 - 0.5).collect(),
+        );
+        let y = conv.forward(&x, true);
+        let gout = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let gx = conv.backward(&gout);
+
+        let eps = 1e-2f32;
+        let loss = |c: &mut Conv2d, x: &Tensor| -> f32 { c.forward(x, false).as_slice().iter().sum() };
+        for &idx in &[0usize, 7, 20, 53] {
+            let base = conv.params()[0].values[idx];
+            conv.params()[0].values[idx] = base + eps;
+            let lp = loss(&mut conv, &x);
+            conv.params()[0].values[idx] = base - eps;
+            let lm = loss(&mut conv, &x);
+            conv.params()[0].values[idx] = base;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.params()[0].grads[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "w[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // input gradient
+        let mut x2 = x.clone();
+        for &idx in &[3usize, 17] {
+            let base = x2.as_slice()[idx];
+            x2.as_mut_slice()[idx] = base + eps;
+            let lp = loss(&mut conv, &x2);
+            x2.as_mut_slice()[idx] = base - eps;
+            let lm = loss(&mut conv, &x2);
+            x2.as_mut_slice()[idx] = base;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.as_slice()[idx]).abs() < 0.05 * numeric.abs().max(1.0));
+        }
+        // bias gradient: dL/db = number of output pixels per channel
+        let per_channel = 4.0 * 4.0;
+        for oc in 0..3 {
+            assert!((conv.params()[1].grads[oc] - per_channel).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shapes_and_macs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(3, 8, 5, 0, &mut rng);
+        assert_eq!(conv.output_shape(&[2, 3, 16, 16]), vec![2, 8, 12, 12]);
+        assert_eq!(conv.param_len(), 8 * 3 * 25 + 8);
+        assert_eq!(conv.macs(&[1, 3, 16, 16]), (8 * 12 * 12 * 3 * 25) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_channel_mismatch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 1, 3, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 3, 4, 4]), false);
+    }
+}

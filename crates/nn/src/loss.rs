@@ -1,0 +1,243 @@
+//! Loss functions with fused gradients.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits.
+///
+/// `logits` is `[N, K]`, `labels` holds `N` class indices. Returns the mean
+/// loss and the gradient w.r.t. the logits (already divided by `N`).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [N, K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let mut grad = Tensor::zeros(&[n, k]);
+    let gs = grad.as_mut_slice();
+    let xs = logits.as_slice();
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &xs[i * k..(i + 1) * k];
+        let label = labels[i];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - max));
+        for j in 0..k {
+            let softmax = (row[j] - max).exp() / denom;
+            gs[i * k + j] = (softmax - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Probabilities (softmax) for a `[N, K]` logit tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    let os = out.as_mut_slice();
+    let xs = logits.as_slice();
+    for i in 0..n {
+        let row = &xs[i * k..(i + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        for j in 0..k {
+            os[i * k + j] = (row[j] - max).exp() / denom;
+        }
+    }
+    out
+}
+
+/// Binary cross-entropy on logits with a numerically stable formulation.
+///
+/// `logits` and `targets` have identical shapes; targets are in `[0, 1]`.
+/// Returns the mean loss and gradient w.r.t. the logits. Used to train the
+/// BEV objectness head of the YOLO-substitute detector.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    bce_with_logits_weighted(logits, targets, 1.0)
+}
+
+/// Binary cross-entropy on logits with a positive-class weight, matching
+/// PyTorch's `BCEWithLogitsLoss(pos_weight=…)`. Positive targets contribute
+/// `pos_weight ×` their usual loss/gradient — essential when positives are
+/// rare, as for occupied BEV cells (< 1% of the grid), where unweighted BCE
+/// collapses to the all-negative predictor.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-positive `pos_weight`.
+pub fn bce_with_logits_weighted(logits: &Tensor, targets: &Tensor, pos_weight: f32) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert!(pos_weight > 0.0, "pos_weight must be positive");
+    let n = logits.len() as f32;
+    let mut grad = Tensor::zeros(logits.shape());
+    let gs = grad.as_mut_slice();
+    let mut loss = 0.0f64;
+    for (i, (&x, &t)) in logits.as_slice().iter().zip(targets.as_slice()).enumerate() {
+        // Numerically stable log-sigmoids:
+        //   ln σ(x)     = min(x, 0) − ln(1 + e^{−|x|})
+        //   ln(1−σ(x))  = min(−x, 0) − ln(1 + e^{−|x|})
+        let log1p = (1.0 + (-x.abs()).exp()).ln();
+        let log_sigma = x.min(0.0) - log1p;
+        let log_one_minus = (-x).min(0.0) - log1p;
+        let l = -pos_weight * t * log_sigma - (1.0 - t) * log_one_minus;
+        loss += f64::from(l);
+        let sigma = 1.0 / (1.0 + (-x).exp());
+        gs[i] = (sigma * (1.0 - t) - pos_weight * t * (1.0 - sigma)) / n;
+    }
+    ((loss / f64::from(n)) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.3, -0.1, 0.7]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[j] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &[2]);
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[j] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &[2]);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[j]).abs() < 1e-3,
+                "j={j}: {numeric} vs {}",
+                grad.as_slice()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let p = softmax(&logits);
+        for row in p.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0]));
+        let b = softmax(&Tensor::from_vec(&[1, 2], vec![1001.0, 1002.0]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn bce_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(&[4], vec![0.5, -1.5, 2.0, 0.0]);
+        let targets = Tensor::from_vec(&[4], vec![1.0, 0.0, 0.5, 1.0]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3f32;
+        for j in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[j] += eps;
+            let (loss_p, _) = bce_with_logits(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[j] -= eps;
+            let (loss_m, _) = bce_with_logits(&lm, &targets);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[j]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(&[2], vec![100.0, -100.0]);
+        let targets = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn weighted_bce_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(&[3], vec![0.4, -0.9, 1.5]);
+        let targets = Tensor::from_vec(&[3], vec![1.0, 0.0, 1.0]);
+        let w = 25.0;
+        let (_, grad) = bce_with_logits_weighted(&logits, &targets, w);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[j] += eps;
+            let (loss_p, _) = bce_with_logits_weighted(&lp, &targets, w);
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[j] -= eps;
+            let (loss_m, _) = bce_with_logits_weighted(&lm, &targets, w);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[j]).abs() < 2e-2,
+                "j={j}: {numeric} vs {}",
+                grad.as_slice()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_bce_amplifies_positive_gradient() {
+        let logits = Tensor::from_vec(&[1], vec![0.0]);
+        let targets = Tensor::from_vec(&[1], vec![1.0]);
+        let (_, g1) = bce_with_logits_weighted(&logits, &targets, 1.0);
+        let (_, g10) = bce_with_logits_weighted(&logits, &targets, 10.0);
+        assert!((g10.as_slice()[0] / g1.as_slice()[0] - 10.0).abs() < 1e-4);
+        // negative targets are unaffected by pos_weight
+        let neg = Tensor::from_vec(&[1], vec![0.0]);
+        let (_, n1) = bce_with_logits_weighted(&logits, &neg, 1.0);
+        let (_, n10) = bce_with_logits_weighted(&logits, &neg, 10.0);
+        assert_eq!(n1.as_slice()[0], n10.as_slice()[0]);
+    }
+
+    #[test]
+    fn weighted_bce_is_finite_for_extreme_logits() {
+        let logits = Tensor::from_vec(&[2], vec![500.0, -500.0]);
+        let targets = Tensor::from_vec(&[2], vec![0.0, 1.0]);
+        let (loss, grad) = bce_with_logits_weighted(&logits, &targets, 40.0);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+}

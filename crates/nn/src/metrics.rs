@@ -1,0 +1,184 @@
+//! Evaluation metrics: accuracy, error sets, confusion matrices.
+//!
+//! *Error sets* are the central calibration object of the paper: for each
+//! model `m_i`, `E_i` is the set of test inputs it misclassifies, and the
+//! pairwise error dependency `α_{i,j} = |E_i ∩ E_j| / max(|E_i|, |E_j|)`
+//! (paper Eq. 8) feeds the reliability functions.
+
+use crate::data::Dataset;
+use crate::model::Sequential;
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation");
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Per-sample error indicators (`true` = misclassified) for `model` over the
+/// whole dataset, evaluated in batches of `batch_size`.
+pub fn error_set(model: &mut Sequential, data: &Dataset, batch_size: usize) -> Vec<bool> {
+    let mut errors = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        let end = (i + batch_size).min(data.len());
+        let idx: Vec<usize> = (i..end).collect();
+        let (x, y) = data.batch(&idx);
+        let preds = model.predict(&x);
+        errors.extend(preds.iter().zip(&y).map(|(p, l)| p != l));
+        i = end;
+    }
+    errors
+}
+
+/// Accuracy of `model` over `data`.
+pub fn evaluate_accuracy(model: &mut Sequential, data: &Dataset, batch_size: usize) -> f64 {
+    let errors = error_set(model, data, batch_size);
+    1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64
+}
+
+/// `k × k` confusion matrix; `matrix[truth][prediction]` counts samples.
+///
+/// # Panics
+///
+/// Panics if any index is `>= k` or lengths mismatch.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], k: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; k]; k];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Pairwise error-set dependency `α_{i,j}` (paper Eq. 8):
+/// `|E_i ∩ E_j| / max(|E_i|, |E_j|)`. Returns 0 when both error sets are
+/// empty.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn alpha_pair(errors_i: &[bool], errors_j: &[bool]) -> f64 {
+    assert_eq!(errors_i.len(), errors_j.len(), "error-set length mismatch");
+    let ei = errors_i.iter().filter(|&&e| e).count();
+    let ej = errors_j.iter().filter(|&&e| e).count();
+    let both = errors_i
+        .iter()
+        .zip(errors_j)
+        .filter(|(&a, &b)| a && b)
+        .count();
+    let denom = ei.max(ej);
+    if denom == 0 {
+        0.0
+    } else {
+        both as f64 / denom as f64
+    }
+}
+
+/// Mean pairwise dependency over all model pairs (paper Eq. 9 for three
+/// models, generalised to `n`).
+///
+/// # Panics
+///
+/// Panics with fewer than two error sets.
+pub fn alpha_mean(error_sets: &[Vec<bool>]) -> f64 {
+    assert!(error_sets.len() >= 2, "need at least two error sets");
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..error_sets.len() {
+        for j in (i + 1)..error_sets.len() {
+            total += alpha_pair(&error_sets[i], &error_sets[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    fn alpha_pair_intersection_over_max() {
+        let ei = vec![true, true, false, false];
+        let ej = vec![true, false, true, false];
+        // |Ei|=2, |Ej|=2, intersection=1
+        assert_eq!(alpha_pair(&ei, &ej), 0.5);
+    }
+
+    #[test]
+    fn alpha_pair_identical_sets_is_one() {
+        let e = vec![true, false, true];
+        assert_eq!(alpha_pair(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn alpha_pair_disjoint_sets_is_zero() {
+        let ei = vec![true, false];
+        let ej = vec![false, true];
+        assert_eq!(alpha_pair(&ei, &ej), 0.0);
+    }
+
+    #[test]
+    fn alpha_pair_empty_sets() {
+        let e = vec![false, false];
+        assert_eq!(alpha_pair(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn alpha_pair_asymmetric_sizes_use_max() {
+        let ei = vec![true, true, true, true];
+        let ej = vec![true, false, false, false];
+        // intersection 1, max 4
+        assert_eq!(alpha_pair(&ei, &ej), 0.25);
+    }
+
+    #[test]
+    fn alpha_mean_averages_pairs() {
+        let e1 = vec![true, false, false];
+        let e2 = vec![true, false, false];
+        let e3 = vec![false, true, false];
+        // α12 = 1, α13 = 0, α23 = 0 → mean 1/3
+        let a = alpha_mean(&[e1, e2, e3]);
+        assert!((a - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_set_matches_model_behaviour() {
+        use crate::layers::Flatten;
+        use crate::signs::{generate, SignConfig};
+        // identity "model": flatten only → predicts argmax pixel, which is
+        // essentially arbitrary; just verify sizes and consistency with
+        // evaluate_accuracy.
+        let cfg = SignConfig { classes: 5, ..SignConfig::default() };
+        let data = generate(&cfg, 20, 0);
+        let mut m = Sequential::new("flat");
+        m.push(Flatten::new());
+        let errors = error_set(&mut m, &data, 7);
+        assert_eq!(errors.len(), 20);
+        let acc = evaluate_accuracy(&mut m, &data, 7);
+        let err_rate = errors.iter().filter(|&&e| e).count() as f64 / 20.0;
+        assert!((acc + err_rate - 1.0).abs() < 1e-12);
+    }
+}

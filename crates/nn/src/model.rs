@@ -1,0 +1,311 @@
+//! Model containers: [`Sequential`] and weight snapshots.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable snapshot of every parameter in a model.
+///
+/// Snapshots implement the paper's "reload the ML module from a safe memory
+/// location" rejuvenation step: a pristine snapshot is taken after training
+/// and restored whenever the module is rejuvenated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelState {
+    /// Per layer, per parameter: `(name, values)`.
+    pub layers: Vec<Vec<(String, Vec<f32>)>>,
+}
+
+/// A feed-forward stack of layers.
+///
+/// `Sequential` itself implements [`Layer`], so stacks can nest (used by
+/// [`crate::layers::Residual`]).
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential { name: self.name.clone(), layers: self.layers.clone() }
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential(name={:?}, layers=[", self.name)?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential { name: name.into(), layers: Vec::new() }
+    }
+
+    /// The model's name.
+    pub fn model_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Name of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_name(&self, i: usize) -> &'static str {
+        self.layers[i].name()
+    }
+
+    /// Mutable parameter views of layer `i` (empty for stateless layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_params(&mut self, i: usize) -> Vec<Param<'_>> {
+        self.layers[i].params()
+    }
+
+    /// Mutable parameter views of every layer, flattened in layer order.
+    pub fn all_params(&mut self) -> Vec<Param<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Indices of layers that own at least one parameter.
+    pub fn parametric_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.param_len() > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Captures all parameters into a serialisable snapshot.
+    pub fn snapshot(&mut self) -> ModelState {
+        let layers = self
+            .layers
+            .iter_mut()
+            .map(|l| {
+                l.params()
+                    .into_iter()
+                    .map(|p| (p.name.to_string(), p.values.to_vec()))
+                    .collect()
+            })
+            .collect();
+        ModelState { layers }
+    }
+
+    /// Restores parameters from a snapshot taken on an identically-shaped
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's structure does not match this model.
+    pub fn restore(&mut self, state: &ModelState) {
+        assert_eq!(state.layers.len(), self.layers.len(), "snapshot layer count mismatch");
+        for (layer, saved) in self.layers.iter_mut().zip(&state.layers) {
+            let params = layer.params();
+            assert_eq!(params.len(), saved.len(), "snapshot param count mismatch");
+            for (p, (name, values)) in params.into_iter().zip(saved) {
+                assert_eq!(p.name, name, "snapshot param name mismatch");
+                assert_eq!(p.values.len(), values.len(), "snapshot param len mismatch");
+                p.values.copy_from_slice(values);
+            }
+        }
+    }
+
+    /// Argmax over the last dimension of the model output: class predictions
+    /// for a `[N, K]` logit tensor.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let y = self.forward(x, false);
+        let k = *y.shape().last().expect("rank >= 1");
+        y.as_slice()
+            .chunks(k)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        self.all_params()
+    }
+
+    fn param_len(&self) -> usize {
+        self.layers.iter().map(|l| l.param_len()).sum()
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let mut shape = input.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        let mut shape = input.to_vec();
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.macs(&shape);
+            shape = layer.output_shape(&shape);
+        }
+        total
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new("tiny");
+        m.push(Dense::new(4, 8, &mut rng));
+        m.push(Relu::new());
+        m.push(Dense::new(8, 3, &mut rng));
+        m
+    }
+
+    #[test]
+    fn forward_shapes_compose() {
+        let mut m = tiny_mlp(0);
+        let x = Tensor::zeros(&[5, 4]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[5, 3]);
+        assert_eq!(m.output_shape(&[5, 4]), vec![5, 3]);
+        assert_eq!(m.param_len(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(m.macs(&[1, 4]), (4 * 8 + 8 + 8 * 3) as u64);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut m = tiny_mlp(1);
+        let x = Tensor::from_vec(&[1, 4], vec![0.1, -0.2, 0.3, 0.4]);
+        let before = m.forward(&x, false);
+        let snap = m.snapshot();
+
+        // perturb all weights
+        for p in m.all_params() {
+            for v in p.values.iter_mut() {
+                *v += 1.0;
+            }
+        }
+        let perturbed = m.forward(&x, false);
+        assert_ne!(before.as_slice(), perturbed.as_slice());
+
+        m.restore(&snap);
+        let after = m.forward(&x, false);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut m = tiny_mlp(2);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ModelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn predictions_are_argmax() {
+        let mut m = Sequential::new("id");
+        m.push(Flatten::new());
+        let x = Tensor::from_vec(&[2, 3, 1, 1], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0]);
+        assert_eq!(m.predict(&x), vec![1, 0]);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut m = tiny_mlp(3);
+        let mut c = m.clone();
+        for p in c.all_params() {
+            p.values.fill(0.0);
+        }
+        // original unchanged
+        assert!(m.all_params().iter().any(|p| p.values.iter().any(|&v| v != 0.0)));
+    }
+
+    #[test]
+    fn parametric_layer_indices() {
+        let m = tiny_mlp(4);
+        assert_eq!(m.parametric_layers(), vec![0, 2]);
+        assert_eq!(m.layer_count(), 3);
+        assert_eq!(m.layer_name(1), "relu");
+        assert_eq!(m.model_name(), "tiny");
+    }
+
+    #[test]
+    fn gradient_flows_through_stack() {
+        let mut m = tiny_mlp(5);
+        let x = Tensor::from_vec(&[1, 4], vec![0.5, -0.5, 0.25, 1.0]);
+        let y = m.forward(&x, true);
+        let g = m.backward(&Tensor::from_vec(y.shape(), vec![1.0; y.len()]));
+        assert_eq!(g.shape(), x.shape());
+        // at least one weight gradient is non-zero
+        assert!(m.all_params().iter().any(|p| p.grads.iter().any(|&v| v != 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn restore_rejects_mismatched_snapshot() {
+        let mut a = tiny_mlp(6);
+        let snap = a.snapshot();
+        let mut b = Sequential::new("other");
+        let mut rng = StdRng::seed_from_u64(0);
+        b.push(Dense::new(4, 3, &mut rng));
+        b.restore(&snap);
+    }
+}

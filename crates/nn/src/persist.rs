@@ -1,0 +1,152 @@
+//! Weight persistence: the "safe memory location" rejuvenation reloads from.
+//!
+//! The paper's rejuvenation mechanism "reloads and redeploys an ML module
+//! from a safe memory location". [`save_state`]/[`load_state`] provide that
+//! location on disk: a JSON-serialised [`ModelState`] that can be restored
+//! into an identically-shaped model.
+
+use crate::model::{ModelState, Sequential};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors from weight persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialisation / deserialisation failure.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "weight file I/O failed: {e}"),
+            PersistError::Serde(e) => write!(f, "weight (de)serialisation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Snapshots `model`'s weights and writes them to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or serialisation failure.
+pub fn save_state(model: &mut Sequential, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let state = model.snapshot();
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), &state)?;
+    Ok(())
+}
+
+/// Reads a [`ModelState`] from `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or deserialisation failure.
+pub fn load_state(path: impl AsRef<Path>) -> Result<ModelState, PersistError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+/// Loads weights from `path` into `model` (which must be architecturally
+/// identical to the model that saved them).
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or deserialisation failure.
+///
+/// # Panics
+///
+/// Panics if the stored state does not match `model`'s structure (the same
+/// contract as [`Sequential::restore`]).
+pub fn load_into(model: &mut Sequential, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let state = load_state(path)?;
+    model.restore(&state);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::models::lenet_mini;
+    use crate::Tensor;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mvml-persist-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let path = temp_path("round-trip");
+        let mut m = lenet_mini(16, 10, 42);
+        let x = Tensor::from_vec(&[1, 1, 16, 16], vec![0.3; 256]);
+        let before = m.forward(&x, false);
+
+        save_state(&mut m, &path).unwrap();
+        // wreck the weights, then reload
+        for p in m.all_params() {
+            p.values.fill(0.0);
+        }
+        assert_ne!(m.forward(&x, false).as_slice(), before.as_slice());
+        load_into(&mut m, &path).unwrap();
+        assert_eq!(m.forward(&x, false).as_slice(), before.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_state("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn corrupt_file_is_serde_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, b"this is not json").unwrap();
+        let err = load_state(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Serde(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn mismatched_architecture_panics_on_restore() {
+        let path = temp_path("mismatch");
+        let mut a = lenet_mini(16, 10, 0);
+        save_state(&mut a, &path).unwrap();
+        let mut b = crate::models::resmlp(16, 10, 0);
+        let result = load_into(&mut b, &path);
+        std::fs::remove_file(&path).ok();
+        result.unwrap();
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type shared by all analysis entry points.
+
+use std::fmt;
+
+/// Errors raised while building or analysing a Petri net.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// A place or transition id referenced an element that does not exist.
+    UnknownId {
+        /// What kind of id was looked up ("place" or "transition").
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// A transition was declared without any input arc; such a transition
+    /// would be permanently enabled and make the net unbounded.
+    NoInputArc {
+        /// Name of the offending transition.
+        transition: String,
+    },
+    /// An arc was declared with weight zero.
+    ZeroWeightArc {
+        /// Name of the transition on the arc.
+        transition: String,
+    },
+    /// A rate, delay or weight parameter was non-finite or non-positive.
+    InvalidParameter {
+        /// Description of the parameter.
+        what: String,
+    },
+    /// Reachability exploration exceeded the configured state budget.
+    StateSpaceTooLarge {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// A token count exceeded the configured per-place bound, indicating an
+    /// unbounded (or mis-specified) net.
+    TokenBoundExceeded {
+        /// Place whose bound was exceeded.
+        place: String,
+        /// The configured bound.
+        bound: u32,
+    },
+    /// A cycle of immediate transitions was detected (a vanishing loop),
+    /// which this solver does not support.
+    ImmediateCycle,
+    /// A vanishing marking had no enabled way out with positive probability.
+    DeadVanishingMarking,
+    /// The reachability graph contains no tangible marking.
+    NoTangibleMarking,
+    /// The steady-state solver failed to converge.
+    SolverDiverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+    /// The Erlang expansion requires deterministic transitions to have simple
+    /// (weight-1, single-input, no-inhibitor-interaction) arc structure.
+    UnsupportedDeterministicStructure {
+        /// Name of the offending transition.
+        transition: String,
+    },
+    /// The simulator performed too many consecutive immediate firings,
+    /// indicating a livelock of immediate transitions.
+    ImmediateLivelock,
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::UnknownId { kind, index } => {
+                write!(f, "unknown {kind} id {index}")
+            }
+            PetriError::NoInputArc { transition } => {
+                write!(f, "transition `{transition}` has no input arc")
+            }
+            PetriError::ZeroWeightArc { transition } => {
+                write!(f, "arc on transition `{transition}` has weight zero")
+            }
+            PetriError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            PetriError::StateSpaceTooLarge { limit } => {
+                write!(f, "state space exceeds the configured limit of {limit} markings")
+            }
+            PetriError::TokenBoundExceeded { place, bound } => {
+                write!(f, "place `{place}` exceeded the token bound of {bound}")
+            }
+            PetriError::ImmediateCycle => {
+                write!(f, "cycle of immediate transitions (vanishing loop) detected")
+            }
+            PetriError::DeadVanishingMarking => {
+                write!(f, "vanishing marking with no enabled immediate transition of positive weight")
+            }
+            PetriError::NoTangibleMarking => {
+                write!(f, "reachability graph contains no tangible marking")
+            }
+            PetriError::SolverDiverged { iterations, residual } => {
+                write!(
+                    f,
+                    "steady-state solver failed to converge after {iterations} iterations \
+                     (residual {residual:.3e})"
+                )
+            }
+            PetriError::UnsupportedDeterministicStructure { transition } => {
+                write!(
+                    f,
+                    "deterministic transition `{transition}` has an arc structure the Erlang \
+                     expansion does not support"
+                )
+            }
+            PetriError::ImmediateLivelock => {
+                write!(f, "simulator detected an immediate-transition livelock")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PetriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants: Vec<PetriError> = vec![
+            PetriError::UnknownId { kind: "place", index: 3 },
+            PetriError::NoInputArc { transition: "t".into() },
+            PetriError::ZeroWeightArc { transition: "t".into() },
+            PetriError::InvalidParameter { what: "rate".into() },
+            PetriError::StateSpaceTooLarge { limit: 10 },
+            PetriError::TokenBoundExceeded { place: "p".into(), bound: 255 },
+            PetriError::ImmediateCycle,
+            PetriError::DeadVanishingMarking,
+            PetriError::NoTangibleMarking,
+            PetriError::SolverDiverged { iterations: 5, residual: 0.1 },
+            PetriError::UnsupportedDeterministicStructure { transition: "t".into() },
+            PetriError::ImmediateLivelock,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PetriError>();
+    }
+}

@@ -1,0 +1,592 @@
+//! Net structure: places, transitions, arcs, guards and the builder.
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a place within a [`Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// The underlying index of this place.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a transition within a [`Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub(crate) usize);
+
+impl TransitionId {
+    /// The underlying index of this transition.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Server semantics of a timed transition, following TimeNET terminology.
+///
+/// With `Single` semantics a transition fires at its base rate whenever it is
+/// enabled; with `Infinite` semantics the rate is multiplied by the enabling
+/// degree (the number of times the transition could fire concurrently given
+/// the tokens in its input places), which models a population of independent
+/// agents; `KServer(k)` caps that multiplier at `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ServerSemantics {
+    /// Rate is independent of the enabling degree.
+    #[default]
+    Single,
+    /// Rate scales linearly with the enabling degree.
+    Infinite,
+    /// Rate scales with the enabling degree, capped at `k` servers.
+    KServer(u32),
+}
+
+/// A (possibly marking-dependent) firing rate for exponential transitions.
+#[derive(Clone)]
+pub enum RateSpec {
+    /// A constant base rate.
+    Const(f64),
+    /// A rate computed from the current marking. Must return a finite,
+    /// strictly positive value whenever the transition is enabled.
+    Fn(Arc<dyn Fn(&Marking) -> f64 + Send + Sync>),
+}
+
+impl RateSpec {
+    pub(crate) fn eval(&self, marking: &Marking) -> f64 {
+        match self {
+            RateSpec::Const(r) => *r,
+            RateSpec::Fn(f) => f(marking),
+        }
+    }
+}
+
+impl fmt::Debug for RateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSpec::Const(r) => write!(f, "RateSpec::Const({r})"),
+            RateSpec::Fn(_) => write!(f, "RateSpec::Fn(..)"),
+        }
+    }
+}
+
+impl From<f64> for RateSpec {
+    fn from(r: f64) -> Self {
+        RateSpec::Const(r)
+    }
+}
+
+/// A (possibly marking-dependent) weight for immediate transitions.
+///
+/// When several immediate transitions of the same (maximal) priority are
+/// enabled in a marking, one is selected with probability proportional to its
+/// weight — exactly the conflict-resolution rule used by the paper's `Trj1`/
+/// `Trj2` victim selection (Table I).
+#[derive(Clone)]
+pub enum WeightSpec {
+    /// A constant weight.
+    Const(f64),
+    /// A weight computed from the current marking. Must return a finite,
+    /// non-negative value.
+    Fn(Arc<dyn Fn(&Marking) -> f64 + Send + Sync>),
+}
+
+impl WeightSpec {
+    pub(crate) fn eval(&self, marking: &Marking) -> f64 {
+        match self {
+            WeightSpec::Const(w) => *w,
+            WeightSpec::Fn(f) => f(marking),
+        }
+    }
+}
+
+impl fmt::Debug for WeightSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightSpec::Const(w) => write!(f, "WeightSpec::Const({w})"),
+            WeightSpec::Fn(_) => write!(f, "WeightSpec::Fn(..)"),
+        }
+    }
+}
+
+impl From<f64> for WeightSpec {
+    fn from(w: f64) -> Self {
+        WeightSpec::Const(w)
+    }
+}
+
+/// Timing discipline of a transition.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Timing {
+    /// Fires in zero time; conflicts resolved by priority then weight.
+    Immediate {
+        /// Higher priorities pre-empt lower ones.
+        priority: u32,
+        /// Relative selection weight among equal-priority rivals.
+        weight: WeightSpec,
+    },
+    /// Fires after an exponentially distributed delay.
+    Exponential {
+        /// Base firing rate (events per time unit).
+        rate: RateSpec,
+        /// How the rate scales with the enabling degree.
+        semantics: ServerSemantics,
+    },
+    /// Fires after a fixed delay, measured from the instant the transition
+    /// became enabled (enabling memory policy).
+    Deterministic {
+        /// The fixed firing delay.
+        delay: f64,
+    },
+}
+
+impl Timing {
+    /// Whether this is an immediate transition.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, Timing::Immediate { .. })
+    }
+
+    /// Whether this is a deterministic (fixed-delay) transition.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Timing::Deterministic { .. })
+    }
+}
+
+type GuardFn = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
+
+/// A single transition of a net.
+pub(crate) struct Transition {
+    pub(crate) name: String,
+    pub(crate) timing: Timing,
+    /// `(place index, weight)` pairs consumed on firing.
+    pub(crate) inputs: Vec<(usize, u32)>,
+    /// `(place index, weight)` pairs produced on firing.
+    pub(crate) outputs: Vec<(usize, u32)>,
+    /// `(place index, weight)`: transition is disabled when tokens ≥ weight.
+    pub(crate) inhibitors: Vec<(usize, u32)>,
+    pub(crate) guard: Option<GuardFn>,
+}
+
+impl fmt::Debug for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transition")
+            .field("name", &self.name)
+            .field("timing", &self.timing)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .field("inhibitors", &self.inhibitors)
+            .field("guard", &self.guard.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// An immutable, validated Petri net.
+///
+/// Built via [`NetBuilder`]. See the [crate documentation](crate) for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) place_names: Vec<String>,
+    pub(crate) initial: Marking,
+    pub(crate) transitions: Vec<Transition>,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial marking the net was built with.
+    pub fn initial_marking(&self) -> Marking {
+        self.initial.clone()
+    }
+
+    /// Name of place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not belong to this net.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.place_names[p.0]
+    }
+
+    /// Name of transition `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not belong to this net.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.0].name
+    }
+
+    /// Looks up a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.place_names.iter().position(|n| n == name).map(PlaceId)
+    }
+
+    /// Looks up a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId)
+    }
+
+    /// Iterates over all transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> {
+        (0..self.transitions.len()).map(TransitionId)
+    }
+
+    /// Timing discipline of transition `t`.
+    pub fn timing(&self, t: TransitionId) -> &Timing {
+        &self.transitions[t.0].timing
+    }
+}
+
+/// Incremental builder for [`Net`].
+///
+/// ```
+/// use mvml_petri::NetBuilder;
+///
+/// # fn main() -> Result<(), mvml_petri::PetriError> {
+/// let mut b = NetBuilder::new("m/m/1/2");
+/// let queue = b.place("queue", 0);
+/// let free = b.place("free", 2);
+/// let arrive = b.exponential("arrive", 1.0);
+/// let serve = b.exponential("serve", 2.0);
+/// b.input_arc(free, arrive, 1)?;
+/// b.output_arc(arrive, queue, 1)?;
+/// b.input_arc(queue, serve, 1)?;
+/// b.output_arc(serve, free, 1)?;
+/// let net = b.build()?;
+/// assert_eq!(net.place_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetBuilder {
+    name: String,
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    transitions: Vec<Transition>,
+}
+
+impl NetBuilder {
+    /// Starts a new, empty net.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetBuilder {
+            name: name.into(),
+            place_names: Vec::new(),
+            initial: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a place with an initial token count, returning its id.
+    pub fn place(&mut self, name: impl Into<String>, initial_tokens: u32) -> PlaceId {
+        self.place_names.push(name.into());
+        self.initial.push(initial_tokens);
+        PlaceId(self.place_names.len() - 1)
+    }
+
+    /// Adds an immediate transition with priority 1 and constant weight 1.
+    pub fn immediate(&mut self, name: impl Into<String>) -> TransitionId {
+        self.immediate_with(name, 1, WeightSpec::Const(1.0))
+    }
+
+    /// Adds an immediate transition with an explicit priority and weight.
+    pub fn immediate_with(
+        &mut self,
+        name: impl Into<String>,
+        priority: u32,
+        weight: impl Into<WeightSpec>,
+    ) -> TransitionId {
+        self.push(name.into(), Timing::Immediate { priority, weight: weight.into() })
+    }
+
+    /// Adds an exponential transition with single-server semantics.
+    pub fn exponential(&mut self, name: impl Into<String>, rate: impl Into<RateSpec>) -> TransitionId {
+        self.exponential_with(name, rate, ServerSemantics::Single)
+    }
+
+    /// Adds an exponential transition with explicit server semantics.
+    pub fn exponential_with(
+        &mut self,
+        name: impl Into<String>,
+        rate: impl Into<RateSpec>,
+        semantics: ServerSemantics,
+    ) -> TransitionId {
+        self.push(name.into(), Timing::Exponential { rate: rate.into(), semantics })
+    }
+
+    /// Adds a deterministic (fixed-delay) transition.
+    pub fn deterministic(&mut self, name: impl Into<String>, delay: f64) -> TransitionId {
+        self.push(name.into(), Timing::Deterministic { delay })
+    }
+
+    fn push(&mut self, name: String, timing: Timing) -> TransitionId {
+        self.transitions.push(Transition {
+            name,
+            timing,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            inhibitors: Vec::new(),
+            guard: None,
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds an input arc of the given weight from `place` to `transition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::UnknownId`] for out-of-range ids and
+    /// [`PetriError::ZeroWeightArc`] for weight 0.
+    pub fn input_arc(&mut self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+        self.check(place, transition, weight)?;
+        self.transitions[transition.0].inputs.push((place.0, weight));
+        Ok(())
+    }
+
+    /// Adds an output arc of the given weight from `transition` to `place`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetBuilder::input_arc`].
+    pub fn output_arc(&mut self, transition: TransitionId, place: PlaceId, weight: u32) -> Result<(), PetriError> {
+        self.check(place, transition, weight)?;
+        self.transitions[transition.0].outputs.push((place.0, weight));
+        Ok(())
+    }
+
+    /// Adds an inhibitor arc: `transition` is disabled whenever `place`
+    /// holds at least `weight` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetBuilder::input_arc`].
+    pub fn inhibitor_arc(&mut self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+        self.check(place, transition, weight)?;
+        self.transitions[transition.0].inhibitors.push((place.0, weight));
+        Ok(())
+    }
+
+    /// Attaches a guard (TimeNET "enabling function") to a transition. The
+    /// transition can only fire in markings for which the guard is `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::UnknownId`] if `transition` is out of range.
+    pub fn guard(
+        &mut self,
+        transition: TransitionId,
+        guard: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+    ) -> Result<(), PetriError> {
+        let t = self
+            .transitions
+            .get_mut(transition.0)
+            .ok_or(PetriError::UnknownId { kind: "transition", index: transition.0 })?;
+        t.guard = Some(Arc::new(guard));
+        Ok(())
+    }
+
+    fn check(&self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+        if place.0 >= self.place_names.len() {
+            return Err(PetriError::UnknownId { kind: "place", index: place.0 });
+        }
+        let t = self
+            .transitions
+            .get(transition.0)
+            .ok_or(PetriError::UnknownId { kind: "transition", index: transition.0 })?;
+        if weight == 0 {
+            return Err(PetriError::ZeroWeightArc { transition: t.name.clone() });
+        }
+        Ok(())
+    }
+
+    /// Validates and freezes the net.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::NoInputArc`] if a transition has no input arc.
+    /// * [`PetriError::InvalidParameter`] for non-positive / non-finite
+    ///   constant rates or delays.
+    pub fn build(self) -> Result<Net, PetriError> {
+        for t in &self.transitions {
+            if t.inputs.is_empty() {
+                return Err(PetriError::NoInputArc { transition: t.name.clone() });
+            }
+            match &t.timing {
+                Timing::Exponential { rate: RateSpec::Const(r), .. }
+                    if !r.is_finite() || *r <= 0.0 =>
+                {
+                    return Err(PetriError::InvalidParameter {
+                        what: format!("rate {r} of transition `{}`", t.name),
+                    });
+                }
+                Timing::Deterministic { delay } if !delay.is_finite() || *delay <= 0.0 => {
+                    return Err(PetriError::InvalidParameter {
+                        what: format!("delay {delay} of transition `{}`", t.name),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(self.build_unchecked())
+    }
+
+    /// Freezes the net without validation. Useful in tests and for nets that
+    /// are assembled programmatically and known to be well-formed.
+    pub fn build_unchecked(self) -> Net {
+        Net {
+            name: self.name,
+            place_names: self.place_names,
+            initial: Marking::new(self.initial),
+            transitions: self.transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_place_builder() -> (NetBuilder, PlaceId, PlaceId) {
+        let mut b = NetBuilder::new("t");
+        let p0 = b.place("a", 1);
+        let p1 = b.place("b", 0);
+        (b, p0, p1)
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let (mut b, p0, p1) = two_place_builder();
+        assert_eq!(p0.index(), 0);
+        assert_eq!(p1.index(), 1);
+        let t0 = b.exponential("t0", 1.0);
+        let t1 = b.immediate("t1");
+        assert_eq!(t0.index(), 0);
+        assert_eq!(t1.index(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut b, _, _) = two_place_builder();
+        let t = b.exponential("fire", 1.0);
+        b.input_arc(PlaceId(0), t, 1).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.place_by_name("b"), Some(PlaceId(1)));
+        assert_eq!(net.place_by_name("zz"), None);
+        assert_eq!(net.transition_by_name("fire"), Some(t));
+        assert_eq!(net.transition_name(t), "fire");
+        assert_eq!(net.place_name(PlaceId(0)), "a");
+        assert_eq!(net.name(), "t");
+    }
+
+    #[test]
+    fn build_rejects_transition_without_input() {
+        let (mut b, _, _) = two_place_builder();
+        b.exponential("orphan", 1.0);
+        assert!(matches!(b.build(), Err(PetriError::NoInputArc { .. })));
+    }
+
+    #[test]
+    fn build_rejects_bad_rate_and_delay() {
+        let (mut b, p0, _) = two_place_builder();
+        let t = b.exponential("neg", -1.0);
+        b.input_arc(p0, t, 1).unwrap();
+        assert!(matches!(b.build(), Err(PetriError::InvalidParameter { .. })));
+
+        let (mut b, p0, _) = two_place_builder();
+        let t = b.deterministic("zero", 0.0);
+        b.input_arc(p0, t, 1).unwrap();
+        assert!(matches!(b.build(), Err(PetriError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn arcs_reject_zero_weight_and_bad_ids() {
+        let (mut b, p0, _) = two_place_builder();
+        let t = b.exponential("t", 1.0);
+        assert!(matches!(b.input_arc(p0, t, 0), Err(PetriError::ZeroWeightArc { .. })));
+        assert!(matches!(
+            b.input_arc(PlaceId(99), t, 1),
+            Err(PetriError::UnknownId { kind: "place", .. })
+        ));
+        assert!(matches!(
+            b.output_arc(TransitionId(99), p0, 1),
+            Err(PetriError::UnknownId { kind: "transition", .. })
+        ));
+        assert!(matches!(
+            b.guard(TransitionId(99), |_| true),
+            Err(PetriError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn marking_dependent_rate_eval() {
+        let r = RateSpec::Fn(Arc::new(|m: &Marking| f64::from(m.get(0)) * 0.5));
+        let m = Marking::new(vec![4]);
+        assert_eq!(r.eval(&m), 2.0);
+        let c = RateSpec::from(3.0);
+        assert_eq!(c.eval(&m), 3.0);
+    }
+
+    #[test]
+    fn weight_spec_eval_and_debug() {
+        let w = WeightSpec::Fn(Arc::new(|m: &Marking| f64::from(m.get(0))));
+        assert_eq!(w.eval(&Marking::new(vec![7])), 7.0);
+        assert!(format!("{w:?}").contains("Fn"));
+        assert!(format!("{:?}", WeightSpec::Const(1.0)).contains("Const"));
+        assert!(format!("{:?}", RateSpec::Const(1.0)).contains("Const"));
+    }
+
+    #[test]
+    fn timing_predicates() {
+        let imm = Timing::Immediate { priority: 1, weight: WeightSpec::Const(1.0) };
+        let det = Timing::Deterministic { delay: 1.0 };
+        let exp = Timing::Exponential { rate: RateSpec::Const(1.0), semantics: ServerSemantics::Single };
+        assert!(imm.is_immediate() && !imm.is_deterministic());
+        assert!(det.is_deterministic() && !det.is_immediate());
+        assert!(!exp.is_immediate() && !exp.is_deterministic());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(PlaceId(3).to_string(), "P3");
+        assert_eq!(TransitionId(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn default_server_semantics_is_single() {
+        assert_eq!(ServerSemantics::default(), ServerSemantics::Single);
+    }
+}

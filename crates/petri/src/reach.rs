@@ -1,0 +1,393 @@
+//! Reachability-graph generation with vanishing-marking elimination.
+//!
+//! Markings enabling an immediate transition are *vanishing*: the process
+//! leaves them in zero time. The explorer resolves every vanishing marking
+//! into a probability distribution over the tangible markings ultimately
+//! reached, so the resulting graph is the embedded continuous-time Markov
+//! chain over tangible markings only.
+
+use crate::enabling::{effective_rate, enabled_immediates, enabled_timed, fire, is_enabled};
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::model::{Net, Timing};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Options controlling reachability exploration.
+#[derive(Debug, Clone)]
+pub struct ReachOptions {
+    /// Abort when more than this many tangible markings are discovered.
+    pub max_states: usize,
+    /// Abort when any place accumulates more than this many tokens.
+    pub token_bound: u32,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions { max_states: 1_000_000, token_bound: 4096 }
+    }
+}
+
+/// The tangible reachability graph of a net: the state space of the embedded
+/// CTMC.
+#[derive(Debug)]
+pub struct ReachabilityGraph {
+    /// Tangible markings, indexed by state id.
+    pub markings: Vec<Marking>,
+    /// `edges[s]` lists `(target state, rate)` pairs with merged rates.
+    pub edges: Vec<Vec<(usize, f64)>>,
+    /// Distribution over tangible states the net starts in (the initial
+    /// marking may itself be vanishing).
+    pub initial: Vec<(usize, f64)>,
+}
+
+impl ReachabilityGraph {
+    /// Number of tangible states.
+    pub fn state_count(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// Total exit rate of state `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.edges[s].iter().map(|&(_, r)| r).sum()
+    }
+}
+
+/// Explores the tangible reachability graph of `net`.
+///
+/// # Errors
+///
+/// * [`PetriError::ImmediateCycle`] if immediate transitions form a loop.
+/// * [`PetriError::StateSpaceTooLarge`] / [`PetriError::TokenBoundExceeded`]
+///   when the exploration budget is exhausted.
+/// * [`PetriError::InvalidParameter`] if a deterministic transition is
+///   enabled anywhere (expand it with [`crate::erlang_expand`] first) or an
+///   exponential transition evaluates to a non-positive rate.
+pub fn explore(net: &Net, opts: &ReachOptions) -> Result<ReachabilityGraph, PetriError> {
+    let mut resolver = VanishingResolver::new(net, opts);
+
+    let initial_dist = resolver.resolve(net.initial_marking())?;
+
+    let mut index: HashMap<Marking, usize> = HashMap::new();
+    let mut markings: Vec<Marking> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let intern = |m: Marking,
+                      markings: &mut Vec<Marking>,
+                      index: &mut HashMap<Marking, usize>,
+                      queue: &mut VecDeque<usize>|
+     -> Result<usize, PetriError> {
+        if let Some(&s) = index.get(&m) {
+            return Ok(s);
+        }
+        if markings.len() >= opts.max_states {
+            return Err(PetriError::StateSpaceTooLarge { limit: opts.max_states });
+        }
+        let s = markings.len();
+        index.insert(m.clone(), s);
+        markings.push(m);
+        queue.push_back(s);
+        Ok(s)
+    };
+
+    let mut initial = Vec::new();
+    for (m, p) in initial_dist {
+        let s = intern(m, &mut markings, &mut index, &mut queue)?;
+        initial.push((s, p));
+    }
+
+    let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
+
+    while let Some(s) = queue.pop_front() {
+        debug_assert_eq!(edges.len(), s);
+        let marking = markings[s].clone();
+        let mut out: HashMap<usize, f64> = HashMap::new();
+        for t in enabled_timed(net, &marking) {
+            let rate = match &net.transitions[t].timing {
+                Timing::Exponential { .. } => {
+                    let r = effective_rate(net, t, &marking).expect("exponential");
+                    if !r.is_finite() || r <= 0.0 {
+                        return Err(PetriError::InvalidParameter {
+                            what: format!(
+                                "rate {r} of transition `{}` in marking {marking}",
+                                net.transitions[t].name
+                            ),
+                        });
+                    }
+                    r
+                }
+                Timing::Deterministic { .. } => {
+                    return Err(PetriError::InvalidParameter {
+                        what: format!(
+                            "deterministic transition `{}` enabled during CTMC reachability; \
+                             apply erlang_expand first",
+                            net.transitions[t].name
+                        ),
+                    });
+                }
+                Timing::Immediate { .. } => unreachable!("enabled_timed filters immediates"),
+            };
+            let succ = fire(net, t, &marking);
+            check_bound(net, &succ, opts)?;
+            for (tm, p) in resolver.resolve(succ)? {
+                let target = intern(tm, &mut markings, &mut index, &mut queue)?;
+                *out.entry(target).or_insert(0.0) += rate * p;
+            }
+        }
+        let mut out: Vec<(usize, f64)> = out.into_iter().collect();
+        out.sort_unstable_by_key(|&(t, _)| t);
+        edges.push(out);
+    }
+
+    if markings.is_empty() {
+        return Err(PetriError::NoTangibleMarking);
+    }
+
+    Ok(ReachabilityGraph { markings, edges, initial })
+}
+
+fn check_bound(net: &Net, m: &Marking, opts: &ReachOptions) -> Result<(), PetriError> {
+    for (p, t) in m.iter() {
+        if t > opts.token_bound {
+            return Err(PetriError::TokenBoundExceeded {
+                place: net.place_name(crate::model::PlaceId(p)).to_string(),
+                bound: opts.token_bound,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves vanishing markings into distributions over tangible markings,
+/// memoising results.
+struct VanishingResolver<'a> {
+    net: &'a Net,
+    opts: &'a ReachOptions,
+    memo: HashMap<Marking, Vec<(Marking, f64)>>,
+}
+
+impl<'a> VanishingResolver<'a> {
+    fn new(net: &'a Net, opts: &'a ReachOptions) -> Self {
+        VanishingResolver { net, opts, memo: HashMap::new() }
+    }
+
+    fn resolve(&mut self, m: Marking) -> Result<Vec<(Marking, f64)>, PetriError> {
+        let mut on_stack = HashSet::new();
+        self.resolve_inner(m, &mut on_stack)
+    }
+
+    fn resolve_inner(
+        &mut self,
+        m: Marking,
+        on_stack: &mut HashSet<Marking>,
+    ) -> Result<Vec<(Marking, f64)>, PetriError> {
+        let imms = enabled_immediates(self.net, &m);
+        if imms.is_empty() {
+            // A marking that enables an immediate transition whose weight is
+            // zero everywhere would be stuck; treat markings with a
+            // structurally-enabled immediate but zero total weight as dead.
+            if has_structurally_enabled_immediate(self.net, &m) {
+                return Err(PetriError::DeadVanishingMarking);
+            }
+            return Ok(vec![(m, 1.0)]);
+        }
+        if let Some(cached) = self.memo.get(&m) {
+            return Ok(cached.clone());
+        }
+        if !on_stack.insert(m.clone()) {
+            return Err(PetriError::ImmediateCycle);
+        }
+        let total: f64 = imms.iter().map(|&(_, w)| w).sum();
+        let mut acc: HashMap<Marking, f64> = HashMap::new();
+        for (t, w) in imms {
+            let succ = fire(self.net, t, &m);
+            check_bound(self.net, &succ, self.opts)?;
+            for (tm, p) in self.resolve_inner(succ, on_stack)? {
+                *acc.entry(tm).or_insert(0.0) += (w / total) * p;
+            }
+        }
+        on_stack.remove(&m);
+        let mut result: Vec<(Marking, f64)> = acc.into_iter().collect();
+        result.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.memo.insert(m, result.clone());
+        Ok(result)
+    }
+}
+
+fn has_structurally_enabled_immediate(net: &Net, m: &Marking) -> bool {
+    net.transitions
+        .iter()
+        .enumerate()
+        .any(|(i, tr)| tr.timing.is_immediate() && is_enabled(net, i, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NetBuilder, ServerSemantics};
+
+    /// Birth-death chain: p holds 0..=2 tokens.
+    fn birth_death() -> Net {
+        let mut b = NetBuilder::new("bd");
+        let pool = b.place("pool", 2);
+        let active = b.place("active", 0);
+        let birth = b.exponential("birth", 1.0);
+        let death = b.exponential_with("death", 2.0, ServerSemantics::Infinite);
+        b.input_arc(pool, birth, 1).unwrap();
+        b.output_arc(birth, active, 1).unwrap();
+        b.input_arc(active, death, 1).unwrap();
+        b.output_arc(death, pool, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_all_three_states() {
+        let g = explore(&birth_death(), &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 3);
+        // initial state is (2,0) with probability 1
+        assert_eq!(g.initial, vec![(0, 1.0)]);
+        // state 0 = (2,0): only birth enabled at rate 1
+        assert_eq!(g.edges[0].len(), 1);
+        assert!((g.exit_rate(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_server_scales_rate() {
+        let g = explore(&birth_death(), &ReachOptions::default()).unwrap();
+        // find the marking (0,2): death rate should be 2 * 2.0 = 4.0
+        let idx = g
+            .markings
+            .iter()
+            .position(|m| m.as_slice() == [0, 2])
+            .expect("state (0,2) reachable");
+        assert!((g.exit_rate(idx) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanishing_markings_are_eliminated() {
+        // p0 --exp--> p1 --imm(w 1)--> p2a | --imm(w 3)--> p2b ; both return via exp
+        let mut b = NetBuilder::new("v");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let p2a = b.place("p2a", 0);
+        let p2b = b.place("p2b", 0);
+        let go = b.exponential("go", 1.0);
+        let ia = b.immediate_with("ia", 1, 1.0);
+        let ib = b.immediate_with("ib", 1, 3.0);
+        let ra = b.exponential("ra", 1.0);
+        let rb = b.exponential("rb", 1.0);
+        b.input_arc(p0, go, 1).unwrap();
+        b.output_arc(go, p1, 1).unwrap();
+        b.input_arc(p1, ia, 1).unwrap();
+        b.output_arc(ia, p2a, 1).unwrap();
+        b.input_arc(p1, ib, 1).unwrap();
+        b.output_arc(ib, p2b, 1).unwrap();
+        b.input_arc(p2a, ra, 1).unwrap();
+        b.output_arc(ra, p0, 1).unwrap();
+        b.input_arc(p2b, rb, 1).unwrap();
+        b.output_arc(rb, p0, 1).unwrap();
+        let net = b.build().unwrap();
+
+        let g = explore(&net, &ReachOptions::default()).unwrap();
+        // Tangible states: p0, p2a, p2b — the p1 marking vanishes.
+        assert_eq!(g.state_count(), 3);
+        for m in &g.markings {
+            assert_eq!(m.get(1), 0, "vanishing marking {m} must not appear");
+        }
+        // From p0, edges split 1:3 between p2a and p2b.
+        let out = &g.edges[0];
+        assert_eq!(out.len(), 2);
+        let total: f64 = out.iter().map(|&(_, r)| r).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let rates: Vec<f64> = out.iter().map(|&(_, r)| r).collect();
+        let (lo, hi) = (rates[0].min(rates[1]), rates[0].max(rates[1]));
+        assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_cycle_detected() {
+        let mut b = NetBuilder::new("cycle");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let a = b.immediate("a");
+        let z = b.immediate("z");
+        b.input_arc(p0, a, 1).unwrap();
+        b.output_arc(a, p1, 1).unwrap();
+        b.input_arc(p1, z, 1).unwrap();
+        b.output_arc(z, p0, 1).unwrap();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            explore(&net, &ReachOptions::default()),
+            Err(PetriError::ImmediateCycle)
+        ));
+    }
+
+    #[test]
+    fn deterministic_transition_rejected() {
+        let mut b = NetBuilder::new("det");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let t = b.deterministic("tick", 5.0);
+        b.input_arc(p0, t, 1).unwrap();
+        b.output_arc(t, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            explore(&net, &ReachOptions::default()),
+            Err(PetriError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn state_budget_enforced() {
+        // Unbounded-ish net capped by max_states.
+        let mut b = NetBuilder::new("grow");
+        let src = b.place("src", 1);
+        let sink = b.place("sink", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(src, t, 1).unwrap();
+        b.output_arc(t, src, 1).unwrap();
+        b.output_arc(t, sink, 1).unwrap();
+        let net = b.build().unwrap();
+        let opts = ReachOptions { max_states: 10, token_bound: 1_000_000 };
+        assert!(matches!(
+            explore(&net, &opts),
+            Err(PetriError::StateSpaceTooLarge { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn token_bound_enforced() {
+        let mut b = NetBuilder::new("grow");
+        let src = b.place("src", 1);
+        let sink = b.place("sink", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(src, t, 1).unwrap();
+        b.output_arc(t, src, 1).unwrap();
+        b.output_arc(t, sink, 1).unwrap();
+        let net = b.build().unwrap();
+        let opts = ReachOptions { max_states: 1_000_000, token_bound: 5 };
+        assert!(matches!(
+            explore(&net, &opts),
+            Err(PetriError::TokenBoundExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn vanishing_initial_marking_is_resolved() {
+        let mut b = NetBuilder::new("vi");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let i = b.immediate("i");
+        let back = b.exponential("back", 1.0);
+        b.input_arc(p0, i, 1).unwrap();
+        b.output_arc(i, p1, 1).unwrap();
+        b.input_arc(p1, back, 1).unwrap();
+        b.output_arc(back, p0, 1).unwrap();
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachOptions::default()).unwrap();
+        // (1,0) is vanishing; the only tangible states are (0,1) and — after
+        // `back` fires — (1,0) resolves straight back to (0,1).
+        assert_eq!(g.state_count(), 1);
+        assert_eq!(g.markings[0].as_slice(), &[0, 1]);
+        assert_eq!(g.initial, vec![(0, 1.0)]);
+    }
+}

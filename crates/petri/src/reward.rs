@@ -1,0 +1,43 @@
+//! Reward evaluation over stationary (or time-averaged) distributions.
+//!
+//! The paper assigns a reliability `R_{i,j,k}` to each system state and
+//! computes the expected system reliability as `E[R] = Σ π_{i,j,k} R_{i,j,k}`
+//! (its Eq. 3). [`ExpectedReward`] is exactly that operation, abstracted over
+//! whether `π` came from an exact CTMC solution or a simulation.
+
+use crate::marking::Marking;
+
+/// Types that carry a probability (or time-fraction) distribution over
+/// markings and can integrate a reward function against it.
+pub trait ExpectedReward {
+    /// Expected value of `reward` under the distribution (the paper's Eq. 3).
+    fn expected_reward<F: Fn(&Marking) -> f64>(&self, reward: F) -> f64;
+
+    /// Probability mass of markings satisfying `pred`.
+    fn probability<F: Fn(&Marking) -> bool>(&self, pred: F) -> f64 {
+        self.expected_reward(|m| if pred(m) { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<(Marking, f64)>);
+
+    impl ExpectedReward for Fixed {
+        fn expected_reward<F: Fn(&Marking) -> f64>(&self, reward: F) -> f64 {
+            self.0.iter().map(|(m, p)| p * reward(m)).sum()
+        }
+    }
+
+    #[test]
+    fn probability_is_indicator_reward() {
+        let d = Fixed(vec![
+            (Marking::new(vec![1]), 0.25),
+            (Marking::new(vec![2]), 0.75),
+        ]);
+        assert!((d.probability(|m| m.get(0) == 2) - 0.75).abs() < 1e-15);
+        assert!((d.expected_reward(|m| f64::from(m.get(0))) - 1.75).abs() < 1e-15);
+    }
+}

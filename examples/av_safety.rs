@@ -1,0 +1,60 @@
+//! The driving-safety case study in miniature (the paper's Section VII):
+//! run route #1 with the three-version perception system, with and without
+//! time-triggered proactive rejuvenation, and compare collision metrics.
+//!
+//! Run with: `cargo run --release --example av_safety`
+
+use resilient_perception::avsim::detector::{train_detector, yolo_mini, DetectorTrainConfig};
+use resilient_perception::avsim::runner::{run_route, RunConfig};
+use resilient_perception::avsim::town::route;
+use resilient_perception::avsim::DetectorBank;
+
+fn main() {
+    // Train a (smallish) detector bank: three YOLO-mini variants learning to
+    // spot vehicles in noisy bird's-eye-view grids.
+    println!("training the 3-variant detector bank…");
+    let cfg = DetectorTrainConfig { scenes: 500, epochs: 3, ..DetectorTrainConfig::default() };
+    let models = (0..3)
+        .map(|i| {
+            let mut m = yolo_mini(["yolomini-s", "yolomini-m", "yolomini-l"][i as usize], 4 + 2 * i as usize, i);
+            let loss = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+            println!("  {:<11} final BCE loss {loss:.4}", m.model_name());
+            m
+        })
+        .collect();
+    let bank = DetectorBank::from_models(models);
+
+    let r1 = route(1).expect("route 1");
+    println!(
+        "\nroute #1 ({}, {:.0} m, lead vehicle brakes at t=8 s), 3 runs per configuration:",
+        r1.town,
+        r1.path().length()
+    );
+
+    for proactive in [true, false] {
+        let label = if proactive { "w/  rejuvenation" } else { "w/o rejuvenation" };
+        println!("\n{label} (λc=8 s, λ=16 s, μ=μr=0.5 s, γ=3 s):");
+        let mut total_collisions = 0;
+        for seed in 0..3u64 {
+            let cfg = RunConfig::case_study(proactive, 0xD0 + seed);
+            let m = run_route(&r1, &bank, &cfg);
+            println!(
+                "  seed {seed}: {} frames, collision frames {}, first collision {}, skips {:.1}%",
+                m.frames,
+                m.collision_frames,
+                m.first_collision.map_or("NA".to_string(), |f| f.to_string()),
+                100.0 * m.skip_ratio()
+            );
+            if m.first_collision.is_some() {
+                total_collisions += 1;
+            }
+        }
+        println!("  runs with a collision: {total_collisions}/3");
+    }
+
+    println!(
+        "\nexpected shape (paper Table VI): with rejuvenation the system tolerates\n\
+         compromised detectors and avoids collisions; without it, compromised\n\
+         majorities mislead or stall the voter and the ego rear-ends the lead."
+    );
+}

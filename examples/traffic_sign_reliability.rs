@@ -1,0 +1,95 @@
+//! The full traffic-sign reliability study in miniature (the paper's
+//! Section VI): train three versions, inject faults to obtain compromised
+//! versions, calibrate `p`, `p'`, `α` from measured error sets (Eqs. 6–9),
+//! evaluate the reliability functions (Table III) and solve the DSPN models
+//! for the expected system reliability of all six configurations (Table V).
+//!
+//! Run with: `cargo run --release --example traffic_sign_reliability`
+
+use resilient_perception::faultinject::search_compromise_seed;
+use resilient_perception::mvml::analysis::{configuration_label, table_v};
+use resilient_perception::mvml::dspn::SolveOptions;
+use resilient_perception::mvml::reliability::{reliability_of, SystemState};
+use resilient_perception::mvml::SystemParams;
+use resilient_perception::nn::metrics::{alpha_mean, error_set};
+use resilient_perception::nn::models::three_versions;
+use resilient_perception::nn::signs::{generate, SignConfig};
+use resilient_perception::nn::train::{train_classifier, TrainConfig};
+
+fn main() {
+    // --- Phase 1: train and measure (Table II pipeline, reduced size). ---
+    let sign = SignConfig { classes: 12, ..SignConfig::default() };
+    let train = generate(&sign, sign.classes * 60, 0xA11CE);
+    let test = generate(&sign, sign.classes * 30, 0xB0B);
+    let tc = TrainConfig { epochs: 8, batch_size: 128, lr: 0.08, ..TrainConfig::default() };
+
+    println!("phase 1 — training and fault injection");
+    let mut models = three_versions(sign.image_size, sign.classes, 38);
+    let mut healthy_acc = Vec::new();
+    let mut compromised_acc = Vec::new();
+    let mut error_sets = Vec::new();
+    for model in &mut models {
+        let _ = train_classifier(model, &train, &tc);
+        let errors = error_set(model, &test, 128);
+        let acc = 1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64;
+        // Find an injection seed that lands the compromised accuracy well
+        // below healthy (the paper's seeds 5/183/34 were found this way).
+        let found = search_compromise_seed(model, 0, -10.0, 30.0, 0.30, 0.90, 300, |m| {
+            let e = error_set(m, &test, 128);
+            1.0 - e.iter().filter(|&&x| x).count() as f64 / e.len() as f64
+        })
+        .expect("no compromising seed found");
+        println!(
+            "  {:<14} healthy {:.3}  compromised {:.3} (seed {})",
+            model.model_name(),
+            acc,
+            found.accuracy,
+            found.seed
+        );
+        healthy_acc.push(acc);
+        compromised_acc.push(found.accuracy);
+        error_sets.push(errors);
+    }
+
+    // --- Phase 2: calibrate the reliability-model parameters. ---
+    let p = 1.0 - healthy_acc.iter().sum::<f64>() / 3.0;
+    let p_prime = 1.0 - compromised_acc.iter().sum::<f64>() / 3.0;
+    let alpha = alpha_mean(&error_sets);
+    println!("\nphase 2 — calibrated parameters: p = {p:.4}, p' = {p_prime:.4}, α = {alpha:.4}");
+    let params = SystemParams { p, p_prime, alpha, ..SystemParams::paper_table_iv() };
+    params.validate().expect("calibrated parameters are valid");
+
+    // --- Phase 3: per-state reliability functions (Table III). ---
+    println!("\nphase 3 — reliability functions R_(i,j,k) at the calibrated parameters:");
+    for (i, j, k) in [
+        (3, 0, 0),
+        (2, 0, 1),
+        (2, 1, 0),
+        (1, 0, 2),
+        (1, 1, 1),
+        (1, 2, 0),
+        (0, 3, 0),
+        (0, 2, 1),
+        (0, 1, 2),
+    ] {
+        println!("  R_({i},{j},{k}) = {:.6}", reliability_of(SystemState::new(i, j, k), &params));
+    }
+
+    // --- Phase 4: DSPN solution (Table V). ---
+    println!("\nphase 4 — expected system reliability (DSPN steady state):");
+    let opts = SolveOptions { erlang_k: 16, ..SolveOptions::default() };
+    let table = table_v(&params, &opts).expect("DSPN solution");
+    for n in 1..=3u32 {
+        for proactive in [false, true] {
+            println!(
+                "  {:<26} E[R] = {:.6}",
+                configuration_label(n, proactive),
+                table[(n - 1) as usize][usize::from(proactive)]
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: rejuvenation helps every configuration; the two-version\n\
+         system (with its safe-skip voter) beats the three-version system."
+    );
+}

@@ -1,0 +1,21 @@
+//! # resilient-perception
+//!
+//! Umbrella crate for the reproduction of *"Multi-version Machine Learning
+//! and Rejuvenation for Resilient Perception in Safety-critical Systems"*
+//! (DSN 2025). Re-exports the public API of every workspace crate:
+//!
+//! * [`petri`] — DSPN modelling, CTMC solution, Erlang expansion, simulation.
+//! * [`nn`] — neural-network substrate and the synthetic sign dataset.
+//! * [`faultinject`] — PyTorchFI-equivalent fault injection.
+//! * [`mvml`] — the paper's contribution: multi-version ML + rejuvenation.
+//! * [`avsim`] — CARLA-substitute driving simulator with 3-version perception.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use mvml_avsim as avsim;
+pub use mvml_core as mvml;
+pub use mvml_faultinject as faultinject;
+pub use mvml_nn as nn;
+pub use mvml_petri as petri;

@@ -1,0 +1,123 @@
+//! Integration tests pinning the reproduction to the paper's published
+//! numbers: Table III (exact formula evaluation) and Table V (DSPN steady
+//! state), plus the qualitative claims of Section VI-C.
+
+use resilient_perception::mvml::analysis::{linspace, sweep, SweepVariable};
+use resilient_perception::mvml::dspn::{expected_system_reliability, SolveOptions};
+use resilient_perception::mvml::reliability::{reliability_of, SystemState};
+use resilient_perception::mvml::SystemParams;
+
+fn opts() -> SolveOptions {
+    SolveOptions { erlang_k: 32, ..SolveOptions::default() }
+}
+
+#[test]
+fn table_iii_reproduced_exactly() {
+    let params = SystemParams::paper_table_iv();
+    let expected = [
+        ((3, 0, 0), 0.988626295),
+        ((2, 0, 1), 0.976732729),
+        ((2, 1, 0), 0.881542506),
+        ((1, 0, 2), 0.937107416),
+        ((1, 1, 1), 0.943896878),
+        ((1, 2, 0), 0.815870804),
+        ((0, 3, 0), 0.926682718),
+        ((0, 2, 1), 0.911061026),
+        ((0, 1, 2), 0.759593560),
+    ];
+    for ((i, j, k), value) in expected {
+        let got = reliability_of(SystemState::new(i, j, k), &params);
+        assert!((got - value).abs() < 2e-5, "R({i},{j},{k}) = {got} vs paper {value}");
+    }
+}
+
+#[test]
+fn table_v_reproduced_within_tolerance() {
+    let params = SystemParams::paper_table_iv();
+    let paper = [
+        (1u32, false, 0.848211),
+        (1, true, 0.920217),
+        (2, false, 0.943875),
+        (2, true, 0.967152),
+        (3, false, 0.903190),
+        (3, true, 0.952998),
+    ];
+    for (n, proactive, value) in paper {
+        let got = expected_system_reliability(n, proactive, &params, &opts()).unwrap();
+        let tol = if proactive { 5e-3 } else { 5e-5 };
+        assert!(
+            (got - value).abs() < tol,
+            "{n}v proactive={proactive}: {got} vs paper {value}"
+        );
+    }
+}
+
+#[test]
+fn section_vi_c_crossovers() {
+    // "a single-version system adopting rejuvenation performs better than a
+    //  three-version system without rejuvenation when p < 0.10"
+    let base = SystemParams::paper_table_iv();
+    let rows = sweep(
+        SweepVariable::HealthyInaccuracy,
+        &linspace(0.01, 0.23, 12),
+        &base,
+        &opts(),
+    )
+    .unwrap();
+    for row in &rows {
+        let single_rej = row.of(1, true);
+        let three_norej = row.of(3, false);
+        if row.x < 0.08 {
+            assert!(single_rej > three_norej, "at p = {}", row.x);
+        }
+        if row.x > 0.15 {
+            assert!(single_rej < three_norej, "at p = {}", row.x);
+        }
+    }
+}
+
+#[test]
+fn alpha_sweep_degradations_match_prose() {
+    // "The reliability of the two-version and three-version without
+    //  rejuvenation drops by about 13% and 26% when varying α from 0.1 to 1."
+    let base = SystemParams::paper_table_iv();
+    let rows = sweep(SweepVariable::Alpha, &[0.1, 1.0], &base, &opts()).unwrap();
+    let drop2 = rows[0].of(2, false) - rows[1].of(2, false);
+    let drop3 = rows[0].of(3, false) - rows[1].of(3, false);
+    assert!((drop2 - 0.13).abs() < 0.03, "2v drop {drop2}");
+    assert!((drop3 - 0.26).abs() < 0.03, "3v drop {drop3}");
+}
+
+#[test]
+fn p_prime_sweep_matches_prose() {
+    // "While the reliability of systems adopting proactive rejuvenation
+    //  dropped less than 4%, the negative impact on systems with reactive
+    //  rejuvenation was more than 10%. The most harmed configuration …
+    //  was the single-version … reliability dropped by 27%."
+    let base = SystemParams::paper_table_iv();
+    let rows = sweep(SweepVariable::CompromisedInaccuracy, &[0.1, 0.6], &base, &opts()).unwrap();
+    let drop = |n: u32, rej: bool| rows[0].of(n, rej) - rows[1].of(n, rej);
+    for n in 2..=3u32 {
+        assert!(drop(n, true) < 0.05, "{n}v w/ rej dropped {}", drop(n, true));
+    }
+    assert!(drop(1, false) > 0.20, "1v w/o rej dropped only {}", drop(1, false));
+    assert!(
+        drop(1, false) > drop(2, false) && drop(1, false) > drop(3, false),
+        "single-version must be the most harmed"
+    );
+}
+
+#[test]
+fn optimal_parameter_claim() {
+    // p=0.01, p'=0.1, α=0.1 → 3v w/ rej ≈ 0.99487778, 2v w/ rej ≈ 0.9963003.
+    let params = SystemParams {
+        p: 0.01,
+        p_prime: 0.1,
+        alpha: 0.1,
+        ..SystemParams::paper_table_iv()
+    };
+    let r3 = expected_system_reliability(3, true, &params, &opts()).unwrap();
+    let r2 = expected_system_reliability(2, true, &params, &opts()).unwrap();
+    assert!((r3 - 0.99487778).abs() < 2e-3, "3v: {r3}");
+    assert!((r2 - 0.9963003).abs() < 2e-3, "2v: {r2}");
+}

