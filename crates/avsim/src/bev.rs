@@ -101,7 +101,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn actor_at(x: f64, y: f64) -> ObjectTruth {
-        ObjectTruth { position: Vec2::new(x, y), heading: 0.0 }
+        ObjectTruth {
+            position: Vec2::new(x, y),
+            heading: 0.0,
+        }
     }
 
     #[test]
@@ -144,7 +147,9 @@ mod tests {
             &[actor_at(0.0, 25.0)],
         );
         let data = grid.as_slice();
-        let hit = (0..CELLS * CELLS).find(|&i| data[i] > 0.5).expect("visible");
+        let hit = (0..CELLS * CELLS)
+            .find(|&i| data[i] > 0.5)
+            .expect("visible");
         let (fwd, lat) = cell_centre(hit as u16);
         assert!(fwd > 20.0 && fwd < 30.0);
         assert!(lat.abs() < 4.0);

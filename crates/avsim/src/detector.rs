@@ -138,17 +138,18 @@ impl Default for DetectorTrainConfig {
 
 /// Generates `(noisy input, clean target)` scene pairs with 0–3 randomly
 /// placed actors, biased toward the driving corridor.
-pub fn training_scenes(cfg: &DetectorTrainConfig, count: usize, seed: u64) -> Vec<(Tensor, Tensor)> {
+pub fn training_scenes(
+    cfg: &DetectorTrainConfig,
+    count: usize,
+    seed: u64,
+) -> Vec<(Tensor, Tensor)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let n = rng.random_range(0..=3usize);
             let actors: Vec<ObjectTruth> = (0..n)
                 .map(|_| ObjectTruth {
-                    position: Vec2::new(
-                        rng.random_range(4.0..60.0),
-                        rng.random_range(-10.0..10.0),
-                    ),
+                    position: Vec2::new(rng.random_range(4.0..60.0), rng.random_range(-10.0..10.0)),
                     heading: 0.0,
                 })
                 .collect();
@@ -206,7 +207,10 @@ fn stack(scenes: &[(Tensor, Tensor)], idx: &[usize]) -> (Tensor, Tensor) {
 /// Decodes a `[1, 1, CELLS, CELLS]` logit map into the set of cells whose
 /// objectness probability exceeds `threshold`.
 pub fn decode(logits: &Tensor, threshold: f32) -> DetectionSet {
-    assert!((0.0..1.0).contains(&threshold), "threshold must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&threshold),
+        "threshold must be in (0,1)"
+    );
     let logit_threshold = (threshold / (1.0 - threshold)).ln();
     logits
         .as_slice()
@@ -241,8 +245,16 @@ pub fn detection_quality(
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     (precision, recall)
 }
 
@@ -251,7 +263,11 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> DetectorTrainConfig {
-        DetectorTrainConfig { scenes: 220, epochs: 3, ..DetectorTrainConfig::default() }
+        DetectorTrainConfig {
+            scenes: 220,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        }
     }
 
     #[test]
@@ -291,7 +307,10 @@ mod tests {
         let p: Vec<usize> = models.iter().map(|m| m.param_len()).collect();
         assert!(p[0] < p[1] && p[1] < p[2], "{p:?}");
         for m in &models {
-            assert_eq!(m.output_shape(&[1, 1, CELLS, CELLS]), vec![1, 1, CELLS, CELLS]);
+            assert_eq!(
+                m.output_shape(&[1, 1, CELLS, CELLS]),
+                vec![1, 1, CELLS, CELLS]
+            );
         }
     }
 

@@ -110,7 +110,12 @@ pub struct OrientedBox {
 impl OrientedBox {
     /// Creates a box.
     pub fn new(centre: Vec2, heading: f64, length: f64, width: f64) -> Self {
-        OrientedBox { centre, heading, length, width }
+        OrientedBox {
+            centre,
+            heading,
+            length,
+            width,
+        }
     }
 
     /// The four corners, counter-clockwise.
@@ -195,7 +200,10 @@ impl Polyline {
     /// Point at arc length `s` (clamped to the ends).
     pub fn point_at(&self, s: f64) -> Vec2 {
         let s = s.clamp(0.0, self.length());
-        let seg = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+        let seg = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).unwrap())
+        {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         };
@@ -225,7 +233,10 @@ impl Polyline {
     /// Tangent heading (radians) at arc length `s`.
     pub fn heading_at(&self, s: f64) -> f64 {
         let s = s.clamp(0.0, self.length());
-        let seg = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+        let seg = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).unwrap())
+        {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         };
@@ -273,12 +284,7 @@ mod tests {
         let b = OrientedBox::new(Vec2::new(2.8, 1.2), std::f64::consts::FRAC_PI_4, 4.0, 2.0);
         assert!(a.intersects(&b));
         // Diagonal neighbour that axis-aligned AABBs would falsely hit.
-        let c = OrientedBox::new(
-            Vec2::new(2.8, 2.4),
-            std::f64::consts::FRAC_PI_4,
-            1.0,
-            1.0,
-        );
+        let c = OrientedBox::new(Vec2::new(2.8, 2.4), std::f64::consts::FRAC_PI_4, 1.0, 1.0);
         assert!(!a.intersects(&c));
     }
 
@@ -340,7 +346,11 @@ mod tests {
 
     #[test]
     fn polyline_point_exactly_on_vertex() {
-        let p = Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(4.0, 0.0), Vec2::new(8.0, 0.0)]);
+        let p = Polyline::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(4.0, 0.0),
+            Vec2::new(8.0, 0.0),
+        ]);
         assert_eq!(p.point_at(4.0), Vec2::new(4.0, 0.0));
         assert_eq!(p.point_at(8.0), Vec2::new(8.0, 0.0));
     }

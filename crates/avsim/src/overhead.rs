@@ -47,10 +47,16 @@ fn estimate(samples: &[f64], z: f64) -> Estimate {
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     if samples.len() < 2 {
-        return Estimate { mean, half_width: f64::INFINITY };
+        return Estimate {
+            mean,
+            half_width: f64::INFINITY,
+        };
     }
     let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
-    Estimate { mean, half_width: z * (var / n).sqrt() }
+    Estimate {
+        mean,
+        half_width: z * (var / n).sqrt(),
+    }
 }
 
 /// One row of the overhead comparison.
@@ -75,8 +81,11 @@ pub fn measure_overhead(
     base_seed: u64,
     runs: usize,
 ) -> Vec<OverheadRow> {
-    let configs: [(&str, usize, bool); 3] =
-        [("Single-v", 1, false), ("Three-v", 3, false), ("Three-v w/rej", 3, true)];
+    let configs: [(&str, usize, bool); 3] = [
+        ("Single-v", 1, false),
+        ("Three-v", 3, false),
+        ("Three-v w/rej", 3, true),
+    ];
     configs
         .iter()
         .map(|(label, versions, proactive)| {
@@ -122,9 +131,18 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = Estimate { mean: 10.0, half_width: 2.0 };
-        let b = Estimate { mean: 11.0, half_width: 2.0 };
-        let c = Estimate { mean: 20.0, half_width: 1.0 };
+        let a = Estimate {
+            mean: 10.0,
+            half_width: 2.0,
+        };
+        let b = Estimate {
+            mean: 11.0,
+            half_width: 2.0,
+        };
+        let c = Estimate {
+            mean: 20.0,
+            half_width: 1.0,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -133,11 +151,21 @@ mod tests {
     #[test]
     fn three_version_costs_more_than_single() {
         // Tiny bank + short runs: enough to compare compute, not absolute FPS.
-        let cfg = DetectorTrainConfig { scenes: 120, epochs: 2, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 120,
+            epochs: 2,
+            ..DetectorTrainConfig::default()
+        };
         let models = (0..3)
             .map(|i| {
                 let mut m = yolo_mini("tiny", 4, i);
-                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                let _ = train_detector(
+                    &mut m,
+                    &DetectorTrainConfig {
+                        seed: 38 + i,
+                        ..cfg
+                    },
+                );
                 m
             })
             .collect();

@@ -2,11 +2,14 @@
 //! trusted voter over detection sets, and the health/rejuvenation process.
 
 use crate::bev::{add_sensor_noise, CELLS};
-use crate::detector::{decode, train_detector, yolo_mini, DetectionSet, DetectorTrainConfig, VARIANTS};
+use crate::detector::{
+    decode, train_detector, yolo_mini, DetectionSet, DetectorTrainConfig, VARIANTS,
+};
 use mvml_core::rejuvenation::{ProcessConfig, StateEvent, StateProcess, TimedEvent};
 use mvml_core::{ModuleState, Verdict};
 use mvml_faultinject::random_weight_inj;
 use mvml_nn::layer::Layer;
+use mvml_nn::parallel::ThreadPool;
 use mvml_nn::{ModelState, Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,17 +125,21 @@ pub struct DetectorBank {
 }
 
 impl DetectorBank {
-    /// Trains the three YOLO-mini variants (s/m/l analogues).
+    /// Trains the three YOLO-mini variants (s/m/l analogues), fanned out
+    /// across [`ThreadPool`] workers (`MVML_THREADS`). Each variant trains
+    /// from its own seed with no shared mutable state, so the resulting
+    /// bank is identical for any thread count.
     pub fn train(cfg: &DetectorTrainConfig) -> Self {
-        let models = VARIANTS
+        let jobs: Vec<(usize, &str, usize)> = VARIANTS
             .iter()
             .enumerate()
-            .map(|(i, (name, channels))| {
-                let mut m = yolo_mini(name, *channels, cfg.seed + i as u64);
-                let _ = train_detector(&mut m, cfg);
-                m
-            })
+            .map(|(i, (name, channels))| (i, *name, *channels))
             .collect();
+        let models = ThreadPool::new().map(jobs, |(i, name, channels)| {
+            let mut m = yolo_mini(name, channels, cfg.seed + i as u64);
+            let _ = train_detector(&mut m, cfg);
+            m
+        });
         DetectorBank { models }
     }
 
@@ -206,7 +213,12 @@ impl MultiVersionPerception {
     /// # Panics
     ///
     /// Panics if `cfg.versions` is 0 or exceeds the bank size.
-    pub fn new(bank: &DetectorBank, cfg: PerceptionConfig, process_cfg: ProcessConfig, seed: u64) -> Self {
+    pub fn new(
+        bank: &DetectorBank,
+        cfg: PerceptionConfig,
+        process_cfg: ProcessConfig,
+        seed: u64,
+    ) -> Self {
         assert!(
             cfg.versions >= 1 && cfg.versions <= bank.len(),
             "versions must be in 1..={}",
@@ -265,24 +277,41 @@ impl MultiVersionPerception {
     /// detection set, and the voter fuses the proposals.
     pub fn perceive(&mut self, clean_grid: &Tensor) -> PerceptionFrame {
         let states: Vec<ModuleState> = self.process.states().to_vec();
+        // Draw every operational module's sensor view serially first: the
+        // RNG stream advances in module order exactly as it always did, so
+        // per-seed replays are byte-identical for any `MVML_THREADS` value.
         let mut macs = 0u64;
-        let proposals: Vec<Option<DetectionSet>> = self
-            .modules
-            .iter_mut()
-            .zip(&states)
-            .map(|(module, state)| {
-                if !state.is_operational() {
-                    return None;
-                }
-                let noisy =
-                    add_sensor_noise(clean_grid, self.cfg.noise_sigma, self.cfg.clutter, &mut self.rng);
-                macs += module.model.macs(noisy.shape());
-                let logits = module.model.forward(&noisy, false);
-                Some(decode(&logits, self.cfg.threshold))
-            })
-            .collect();
+        let mut proposals: Vec<Option<DetectionSet>> = vec![None; self.modules.len()];
+        let mut jobs: Vec<(usize, &mut Sequential, Tensor)> = Vec::new();
+        for (i, (module, state)) in self.modules.iter_mut().zip(&states).enumerate() {
+            if !state.is_operational() {
+                continue;
+            }
+            let noisy = add_sensor_noise(
+                clean_grid,
+                self.cfg.noise_sigma,
+                self.cfg.clutter,
+                &mut self.rng,
+            );
+            macs += module.model.macs(noisy.shape());
+            jobs.push((i, &mut module.model, noisy));
+        }
+        // The model forwards touch no shared state, so they fan out across
+        // versions — the paper's "independent ML modules" run concurrently.
+        let threshold = self.cfg.threshold;
+        let decoded = ThreadPool::new().map(jobs, |(i, model, noisy)| {
+            let logits = model.forward(&noisy, false);
+            (i, decode(&logits, threshold))
+        });
+        for (i, set) in decoded {
+            proposals[i] = Some(set);
+        }
         let verdict = vote_detections(&proposals, self.cfg.agreement_tolerance);
-        PerceptionFrame { verdict, states, macs }
+        PerceptionFrame {
+            verdict,
+            states,
+            macs,
+        }
     }
 }
 
@@ -310,7 +339,11 @@ mod tests {
     #[test]
     fn vote_three_way_all_disagree_skips() {
         let v = vote_detections(
-            &[Some(set(&[1, 2, 3])), Some(set(&[40, 41, 42])), Some(set(&[90, 91, 92]))],
+            &[
+                Some(set(&[1, 2, 3])),
+                Some(set(&[40, 41, 42])),
+                Some(set(&[90, 91, 92])),
+            ],
             1,
         );
         assert_eq!(v, Verdict::Skip);
@@ -341,20 +374,27 @@ mod tests {
     #[test]
     fn fused_majority_cells() {
         // cell 5 flagged by 2/3, cell 9 by 1/3
-        let v = vote_detections(
-            &[Some(set(&[5, 9])), Some(set(&[5])), Some(set(&[5]))],
-            3,
-        );
+        let v = vote_detections(&[Some(set(&[5, 9])), Some(set(&[5])), Some(set(&[5]))], 3);
         assert_eq!(v, Verdict::Output(set(&[5])));
     }
 
     fn tiny_bank() -> DetectorBank {
-        let cfg = DetectorTrainConfig { scenes: 200, epochs: 3, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 200,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        };
         // Train three small-but-distinct variants quickly.
         let models = (0..3)
             .map(|i| {
                 let mut m = yolo_mini("tiny", 4, i);
-                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                let _ = train_detector(
+                    &mut m,
+                    &DetectorTrainConfig {
+                        seed: 38 + i,
+                        ..cfg
+                    },
+                );
                 m
             })
             .collect();
@@ -387,18 +427,28 @@ mod tests {
         let clean = rasterize(
             Vec2::new(0.0, 0.0),
             0.0,
-            &[ObjectTruth { position: Vec2::new(20.0, 0.0), heading: 0.0 }],
+            &[ObjectTruth {
+                position: Vec2::new(20.0, 0.0),
+                heading: 0.0,
+            }],
         );
         let mut hits = 0;
         for _ in 0..10 {
             let frame = p.perceive(&clean);
             if let Verdict::Output(dets) = frame.verdict {
-                if dets.nearest_obstacle_ahead(3.0).map(|d| (d - 20.0).abs() < 6.0) == Some(true) {
+                if dets
+                    .nearest_obstacle_ahead(3.0)
+                    .map(|d| (d - 20.0).abs() < 6.0)
+                    == Some(true)
+                {
                     hits += 1;
                 }
             }
         }
-        assert!(hits >= 7, "healthy perception found the lead in only {hits}/10 frames");
+        assert!(
+            hits >= 7,
+            "healthy perception found the lead in only {hits}/10 frames"
+        );
     }
 
     #[test]
@@ -417,7 +467,10 @@ mod tests {
         let clean = rasterize(
             Vec2::new(0.0, 0.0),
             0.0,
-            &[ObjectTruth { position: Vec2::new(20.0, 0.0), heading: 0.0 }],
+            &[ObjectTruth {
+                position: Vec2::new(20.0, 0.0),
+                heading: 0.0,
+            }],
         );
         let mut clean_hits = 0;
         for _ in 0..10 {
@@ -458,14 +511,20 @@ mod tests {
         let before: Vec<ModelState> = p.modules.iter_mut().map(|m| m.model.snapshot()).collect();
         let events = p.advance(20.0);
         assert!(
-            events.iter().any(|e| matches!(e.event, StateEvent::Compromised { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e.event, StateEvent::Compromised { .. })),
             "no compromise in 20 s with mttc = 0.5 s"
         );
         // After enough rejuvenations, any healthy module must hold pristine
         // weights again.
         for (i, state) in p.states().to_vec().iter().enumerate() {
             if *state == ModuleState::Healthy {
-                assert_eq!(p.modules[i].model.snapshot(), before[i], "module {i} not pristine");
+                assert_eq!(
+                    p.modules[i].model.snapshot(),
+                    before[i],
+                    "module {i} not pristine"
+                );
             }
         }
     }
@@ -485,7 +544,10 @@ mod tests {
         // Kill two modules via the process? Simpler: rebuild with 1 version.
         let mut single = MultiVersionPerception::new(
             &bank,
-            PerceptionConfig { versions: 1, ..PerceptionConfig::default() },
+            PerceptionConfig {
+                versions: 1,
+                ..PerceptionConfig::default()
+            },
             no_fault_process(false),
             1,
         );
@@ -494,11 +556,48 @@ mod tests {
     }
 
     #[test]
+    fn replay_is_identical_for_any_thread_count() {
+        use mvml_nn::parallel::with_thread_count;
+        let bank = tiny_bank();
+        let clean = rasterize(
+            Vec2::new(0.0, 0.0),
+            0.0,
+            &[ObjectTruth {
+                position: Vec2::new(18.0, 0.0),
+                heading: 0.0,
+            }],
+        );
+        let run = || {
+            let mut p = MultiVersionPerception::new(
+                &bank,
+                PerceptionConfig::default(),
+                no_fault_process(true),
+                21,
+            );
+            let mut log = Vec::new();
+            for _ in 0..6 {
+                let _ = p.advance(0.5);
+                let frame = p.perceive(&clean);
+                log.push((frame.verdict, frame.states, frame.macs));
+            }
+            log
+        };
+        let serial = with_thread_count(1, run);
+        for threads in [2, 4] {
+            let parallel = with_thread_count(threads, run);
+            assert_eq!(serial, parallel, "replay diverged at {threads} threads");
+        }
+    }
+
+    #[test]
     fn detection_voting_ignores_cell_payload_order() {
         let a: DetectionSet = [3u16, 1, 2].into_iter().collect();
         let b: DetectionSet = [2u16, 3, 1].into_iter().collect();
         assert_eq!(a, b);
-        assert_eq!(vote_detections(&[Some(a.clone()), Some(b), None], 0), Verdict::Output(a));
+        assert_eq!(
+            vote_detections(&[Some(a.clone()), Some(b), None], 0),
+            Verdict::Output(a)
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub struct AccPlanner {
 impl AccPlanner {
     /// Creates a planner; the initial held command is "coast" (0 m/s²).
     pub fn new(cfg: PlannerConfig) -> Self {
-        AccPlanner { cfg, last_command: 0.0 }
+        AccPlanner {
+            cfg,
+            last_command: 0.0,
+        }
     }
 
     /// The most recent acceleration command.
@@ -139,7 +142,10 @@ mod tests {
     fn ignores_far_obstacles() {
         let mut p = planner();
         let a = p.plan(&Verdict::Output(Some(51.0)), 8.0);
-        assert!(a >= 0.0 || a.abs() < 0.2, "far obstacle must not trigger braking, got {a}");
+        assert!(
+            a >= 0.0 || a.abs() < 0.2,
+            "far obstacle must not trigger braking, got {a}"
+        );
     }
 
     #[test]
@@ -149,7 +155,10 @@ mod tests {
         let a = p.plan(&Verdict::Output(Some(30.0)), 8.0);
         assert!(a < 0.0 && a > -3.0, "expected gentle braking, got {a}");
         let hard = p.plan(&Verdict::Output(Some(12.0)), 8.0);
-        assert!(hard < a, "inside the gap must brake harder than the comfort zone");
+        assert!(
+            hard < a,
+            "inside the gap must brake harder than the comfort zone"
+        );
     }
 
     #[test]
@@ -169,7 +178,10 @@ mod tests {
         let mut p = planner();
         let far = p.plan(&Verdict::Output(Some(17.0)), 8.0);
         let near = p.plan(&Verdict::Output(Some(5.0)), 8.0);
-        assert!(near < far, "closer obstacle must brake harder ({near} vs {far})");
+        assert!(
+            near < far,
+            "closer obstacle must brake harder ({near} vs {far})"
+        );
     }
 
     #[test]
@@ -191,7 +203,10 @@ mod tests {
             }
         }
         assert!(speed == 0.0, "never stopped");
-        assert!(distance > 0.5, "stopped only {distance} m before the obstacle");
+        assert!(
+            distance > 0.5,
+            "stopped only {distance} m before the obstacle"
+        );
     }
 
     #[test]
@@ -200,6 +215,9 @@ mod tests {
         let braking = p.plan(&Verdict::Output(Some(5.0)), 6.0);
         assert!(braking < 0.0);
         let resumed = p.plan(&Verdict::Output(None), 1.0);
-        assert!(resumed > 0.0, "must accelerate again once the road is clear");
+        assert!(
+            resumed > 0.0,
+            "must accelerate again once the road is clear"
+        );
     }
 }

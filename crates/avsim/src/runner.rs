@@ -34,7 +34,10 @@ impl RunConfig {
     /// fault clocks, 20 FPS.
     pub fn case_study(proactive: bool, seed: u64) -> Self {
         RunConfig {
-            perception: PerceptionConfig { proactive, ..PerceptionConfig::default() },
+            perception: PerceptionConfig {
+                proactive,
+                ..PerceptionConfig::default()
+            },
             process: ProcessConfig::carla(proactive),
             dt: 0.05,
             max_frames: 900,
@@ -114,8 +117,7 @@ pub fn nearest_obstacle_on_path(
 pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> RunMetrics {
     let mut world = World::new(route);
     let path = route.path();
-    let mut perception =
-        MultiVersionPerception::new(bank, cfg.perception, cfg.process, cfg.seed);
+    let mut perception = MultiVersionPerception::new(bank, cfg.perception, cfg.process, cfg.seed);
     let planner_cfg = PlannerConfig::for_target_speed(route.target_speed);
     let mut planner = AccPlanner::new(planner_cfg);
 
@@ -208,18 +210,27 @@ pub fn aggregate_route(
 ) -> RouteAggregate {
     let results: Vec<RunMetrics> = (0..runs)
         .map(|i| {
-            let cfg = RunConfig { seed: base.seed.wrapping_add(1000 * i as u64 + route.id as u64), ..*base };
+            let cfg = RunConfig {
+                seed: base.seed.wrapping_add(1000 * i as u64 + route.id as u64),
+                ..*base
+            };
             run_route(route, bank, &cfg)
         })
         .collect();
-    let collided: Vec<&RunMetrics> = results.iter().filter(|r| r.first_collision.is_some()).collect();
+    let collided: Vec<&RunMetrics> = results
+        .iter()
+        .filter(|r| r.first_collision.is_some())
+        .collect();
     RouteAggregate {
         route_id: route.id,
         first_collision_frame: if collided.is_empty() {
             None
         } else {
             Some(
-                collided.iter().map(|r| r.first_collision.unwrap() as f64).sum::<f64>()
+                collided
+                    .iter()
+                    .map(|r| r.first_collision.unwrap() as f64)
+                    .sum::<f64>()
                     / collided.len() as f64,
             )
         },
@@ -239,11 +250,21 @@ mod tests {
     use mvml_core::SystemParams;
 
     fn tiny_bank() -> DetectorBank {
-        let cfg = DetectorTrainConfig { scenes: 220, epochs: 3, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 220,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        };
         let models = (0..3)
             .map(|i| {
                 let mut m = yolo_mini("tiny", 4, i);
-                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                let _ = train_detector(
+                    &mut m,
+                    &DetectorTrainConfig {
+                        seed: 38 + i,
+                        ..cfg
+                    },
+                );
                 m
             })
             .collect();
@@ -254,7 +275,11 @@ mod tests {
         // Fault clocks effectively disabled: perception stays healthy.
         let mut cfg = RunConfig::case_study(false, seed);
         cfg.process = mvml_core::rejuvenation::ProcessConfig {
-            params: SystemParams { mttc: 1e12, mttf: 1e12, ..SystemParams::carla_case_study() },
+            params: SystemParams {
+                mttc: 1e12,
+                mttf: 1e12,
+                ..SystemParams::carla_case_study()
+            },
             proactive: false,
             compromised_priority: 2.0 / 3.0,
             proportional_selection: false,
@@ -271,7 +296,11 @@ mod tests {
         assert_eq!(m.collision_frames, 0, "healthy run collided: {m:?}");
         assert!(m.frames > 100);
         assert!(m.macs > 0);
-        assert!(m.skip_ratio() < 0.25, "excessive skipping: {}", m.skip_ratio());
+        assert!(
+            m.skip_ratio() < 0.25,
+            "excessive skipping: {}",
+            m.skip_ratio()
+        );
     }
 
     #[test]

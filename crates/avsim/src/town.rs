@@ -131,7 +131,11 @@ pub fn all_routes() -> Vec<RouteSpec> {
             ],
             target_speed: 8.0,
             npcs: vec![
-                NpcBehavior::Lead { start_offset: 32.0, cruise: 7.0, stops: vec![(11.0, 7.0)] },
+                NpcBehavior::Lead {
+                    start_offset: 32.0,
+                    cruise: 7.0,
+                    stops: vec![(11.0, 7.0)],
+                },
                 NpcBehavior::Crossing {
                     path: vec![v(150.0, -90.0), v(150.0, 10.0)],
                     depart: 15.0,
@@ -175,7 +179,11 @@ pub fn all_routes() -> Vec<RouteSpec> {
             ],
             target_speed: 8.5,
             npcs: vec![
-                NpcBehavior::Lead { start_offset: 28.0, cruise: 7.5, stops: vec![(10.0, 6.0)] },
+                NpcBehavior::Lead {
+                    start_offset: 28.0,
+                    cruise: 7.5,
+                    stops: vec![(10.0, 6.0)],
+                },
                 NpcBehavior::Crossing {
                     path: vec![v(100.0, 75.0), v(100.0, -22.0)],
                     depart: 10.0,
@@ -252,7 +260,12 @@ mod tests {
     fn lead_offsets_leave_reaction_room() {
         for r in all_routes() {
             for npc in &r.npcs {
-                if let NpcBehavior::Lead { start_offset, cruise, .. } = npc {
+                if let NpcBehavior::Lead {
+                    start_offset,
+                    cruise,
+                    ..
+                } = npc
+                {
                     assert!(*start_offset >= 20.0, "route {}", r.id);
                     assert!(*cruise < r.target_speed + 0.1, "lead should not outrun ego");
                 }
@@ -279,7 +292,9 @@ mod tests {
         // routes must not contain one.
         for r in all_routes() {
             assert!(
-                !r.npcs.iter().any(|n| matches!(n, NpcBehavior::Parked { .. })),
+                !r.npcs
+                    .iter()
+                    .any(|n| matches!(n, NpcBehavior::Parked { .. })),
                 "route {} contains a lane-blocking parked obstacle",
                 r.id
             );

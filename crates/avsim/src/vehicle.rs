@@ -25,7 +25,11 @@ impl PathVehicle {
     /// Places a vehicle on `path` at arc length `start_offset` with an
     /// initial speed.
     pub fn new(path: Polyline, start_offset: f64, speed: f64) -> Self {
-        PathVehicle { path, s: start_offset, speed: speed.max(0.0) }
+        PathVehicle {
+            path,
+            s: start_offset,
+            speed: speed.max(0.0),
+        }
     }
 
     /// Current arc-length position.
@@ -50,7 +54,12 @@ impl PathVehicle {
 
     /// The vehicle's oriented footprint.
     pub fn footprint(&self) -> OrientedBox {
-        OrientedBox::new(self.position(), self.heading(), VEHICLE_LENGTH, VEHICLE_WIDTH)
+        OrientedBox::new(
+            self.position(),
+            self.heading(),
+            VEHICLE_LENGTH,
+            VEHICLE_WIDTH,
+        )
     }
 
     /// `true` once the vehicle has reached the end of its path.
@@ -75,7 +84,13 @@ impl PathVehicle {
 
     /// Drives toward `target_speed` with bounded acceleration, returning
     /// the applied acceleration. Used by scripted NPC vehicles.
-    pub fn drive_toward(&mut self, target_speed: f64, max_accel: f64, max_brake: f64, dt: f64) -> f64 {
+    pub fn drive_toward(
+        &mut self,
+        target_speed: f64,
+        max_accel: f64,
+        max_brake: f64,
+        dt: f64,
+    ) -> f64 {
         let error = target_speed - self.speed;
         let accel = (error / dt.max(1e-6)).clamp(-max_brake, max_accel);
         self.step(accel, dt);

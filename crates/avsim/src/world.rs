@@ -74,9 +74,11 @@ impl World {
             .iter()
             .map(|behavior| {
                 let (vehicle, active) = match behavior {
-                    NpcBehavior::Lead { start_offset, cruise, .. } => {
-                        (PathVehicle::new(path.clone(), *start_offset, *cruise), true)
-                    }
+                    NpcBehavior::Lead {
+                        start_offset,
+                        cruise,
+                        ..
+                    } => (PathVehicle::new(path.clone(), *start_offset, *cruise), true),
                     NpcBehavior::Crossing { path: cp, .. } => {
                         (PathVehicle::new(Polyline::new(cp.clone()), 0.0, 0.0), false)
                     }
@@ -84,10 +86,19 @@ impl World {
                         (PathVehicle::new(path.clone(), *at_offset, 0.0), true)
                     }
                 };
-                Npc { vehicle, behavior: behavior.clone(), active }
+                Npc {
+                    vehicle,
+                    behavior: behavior.clone(),
+                    active,
+                }
             })
             .collect();
-        World { ego, npcs, time: 0.0, crashed: false }
+        World {
+            ego,
+            npcs,
+            time: 0.0,
+            crashed: false,
+        }
     }
 
     /// Current simulation time.
@@ -144,12 +155,18 @@ impl World {
         self.npcs
             .iter()
             .filter(|n| n.active)
-            .map(|n| ObjectTruth { position: n.vehicle.position(), heading: n.vehicle.heading() })
+            .map(|n| ObjectTruth {
+                position: n.vehicle.position(),
+                heading: n.vehicle.heading(),
+            })
             .collect()
     }
 
     fn active_footprints(&self) -> impl Iterator<Item = OrientedBox> + '_ {
-        self.npcs.iter().filter(|n| n.active).map(|n| n.vehicle.footprint())
+        self.npcs
+            .iter()
+            .filter(|n| n.active)
+            .map(|n| n.vehicle.footprint())
     }
 }
 
@@ -165,7 +182,10 @@ mod tests {
             let w = World::new(&r);
             assert!(!w.ego_collides(), "route {id} starts in collision");
             assert!(!w.route_completed());
-            assert!(!w.ground_truth().is_empty(), "route {id} has no visible traffic");
+            assert!(
+                !w.ground_truth().is_empty(),
+                "route {id} has no visible traffic"
+            );
         }
     }
 
@@ -210,7 +230,10 @@ mod tests {
         let mut w = World::new(&r);
         for _ in 0..600 {
             w.step(-10.0, 0.05); // brake to a halt immediately
-            assert!(!w.ego_collides(), "a stopped ego at the origin must stay safe");
+            assert!(
+                !w.ego_collides(),
+                "a stopped ego at the origin must stay safe"
+            );
         }
     }
 
@@ -224,7 +247,10 @@ mod tests {
             w.step(0.0, 0.05);
         }
         let after = w.ground_truth().len();
-        assert!(after > before, "crossing vehicle never activated ({before} -> {after})");
+        assert!(
+            after > before,
+            "crossing vehicle never activated ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -247,7 +273,11 @@ mod tests {
         // During the stop window the lead barely moves.
         let p11 = pos_at(11.0);
         let p13 = pos_at(13.0);
-        assert!(p11.distance(p13) < 1.0, "lead moved {} m while stopped", p11.distance(p13));
+        assert!(
+            p11.distance(p13) < 1.0,
+            "lead moved {} m while stopped",
+            p11.distance(p13)
+        );
         // After the window it moves again.
         let p16 = pos_at(16.0);
         let p19 = pos_at(19.0);

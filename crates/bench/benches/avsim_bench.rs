@@ -12,11 +12,21 @@ use mvml_core::rejuvenation::ProcessConfig;
 use std::hint::black_box;
 
 fn quick_bank() -> DetectorBank {
-    let cfg = DetectorTrainConfig { scenes: 250, epochs: 3, ..DetectorTrainConfig::default() };
+    let cfg = DetectorTrainConfig {
+        scenes: 250,
+        epochs: 3,
+        ..DetectorTrainConfig::default()
+    };
     let models = (0..3)
         .map(|i| {
             let mut m = yolo_mini("bench", 4, i);
-            let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+            let _ = train_detector(
+                &mut m,
+                &DetectorTrainConfig {
+                    seed: 38 + i,
+                    ..cfg
+                },
+            );
             m
         })
         .collect();

@@ -18,7 +18,10 @@ fn bench_steady_state(c: &mut Criterion) {
     });
     for k in [8u32, 32] {
         c.bench_function(&format!("dspn_solve_3v_proactive_erlang{k}"), |b| {
-            let opts = SolveOptions { erlang_k: k, ..SolveOptions::default() };
+            let opts = SolveOptions {
+                erlang_k: k,
+                ..SolveOptions::default()
+            };
             b.iter(|| expected_system_reliability(3, true, &params, &opts).expect("reliability"));
         });
     }
@@ -31,7 +34,12 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter(|| {
             simulate(
                 &mv.net,
-                &SimConfig { horizon: 100_000.0, warmup: 100.0, seed: 1, ..SimConfig::default() },
+                &SimConfig {
+                    horizon: 100_000.0,
+                    warmup: 100.0,
+                    seed: 1,
+                    ..SimConfig::default()
+                },
             )
             .expect("simulation")
         });

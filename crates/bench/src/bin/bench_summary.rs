@@ -1,0 +1,238 @@
+//! Emits `results/BENCH_nn.json`: kernel-level and pipeline-level timings
+//! for the GEMM rewrite — direct-vs-GEMM convolution, the blocked GEMM at
+//! several worker counts, and single- vs three-version perception FPS at
+//! several worker counts (the Table VIII overhead angle).
+//!
+//! Numbers are medians of wall-clock samples on the current host; the host
+//! core count is recorded alongside so single-core results (where extra
+//! worker threads cannot help wall-clock) read honestly.
+
+use mvml_avsim::bev::rasterize;
+use mvml_avsim::detector::DetectorTrainConfig;
+use mvml_avsim::geometry::Vec2;
+use mvml_avsim::perception::{DetectorBank, MultiVersionPerception, PerceptionConfig};
+use mvml_avsim::world::ObjectTruth;
+use mvml_core::rejuvenation::ProcessConfig;
+use mvml_core::SystemParams;
+use mvml_nn::gemm::gemm;
+use mvml_nn::layer::Layer;
+use mvml_nn::layers::{Conv2d, KernelPath};
+use mvml_nn::parallel::{thread_count, with_thread_count};
+use mvml_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ConvRow {
+    shape: String,
+    direct_ns: f64,
+    gemm_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct GemmRow {
+    threads: usize,
+    ns_per_iter: f64,
+}
+
+#[derive(Serialize)]
+struct PerceptionRow {
+    threads: usize,
+    single_v_fps: f64,
+    three_v_fps: f64,
+    /// Three-version cost relative to single-version (1.0 = free diversity;
+    /// 3.0 = paying full triple cost). Extra worker threads can only narrow
+    /// this on multi-core hosts.
+    three_v_cost_factor: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    host_cores: usize,
+    default_threads: usize,
+    conv_forward_batch32: Vec<ConvRow>,
+    gemm_256x256x256: Vec<GemmRow>,
+    perception_fps: Vec<PerceptionRow>,
+}
+
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        v.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn conv_rows() -> Vec<ConvRow> {
+    // The LeNet-mini conv stack at batch 32 (the acceptance shapes).
+    let shapes: [(&str, usize, usize, usize, usize, usize); 2] = [
+        ("conv1 1->6 k5 28x28", 1, 6, 5, 0, 28),
+        ("conv2 6->16 k3 12x12", 6, 16, 3, 0, 12),
+    ];
+    shapes
+        .iter()
+        .map(|&(label, ic, oc, k, pad, hw)| {
+            let x = Tensor::from_vec(
+                &[32, ic, hw, hw],
+                (0..32 * ic * hw * hw)
+                    .map(|i| ((i * 13) % 29) as f32 / 29.0 - 0.5)
+                    .collect(),
+            );
+            let time_path = |path: KernelPath| {
+                let mut rng = StdRng::seed_from_u64(38);
+                let mut conv = Conv2d::new(ic, oc, k, pad, &mut rng);
+                conv.set_kernel_path(path);
+                median_ns(7, 10, || {
+                    std::hint::black_box(conv.forward(std::hint::black_box(&x), false));
+                })
+            };
+            let direct_ns = time_path(KernelPath::Direct);
+            let gemm_ns = time_path(KernelPath::Gemm);
+            ConvRow {
+                shape: label.to_string(),
+                direct_ns,
+                gemm_ns,
+                speedup: direct_ns / gemm_ns,
+            }
+        })
+        .collect()
+}
+
+fn gemm_rows() -> Vec<GemmRow> {
+    let (m, k, n) = (256usize, 256, 256);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 31) % 101) as f32 / 101.0 - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 17) % 97) as f32 / 97.0 - 0.5)
+        .collect();
+    let mut out = vec![0.0f32; m * n];
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let ns = with_thread_count(threads, || {
+                median_ns(7, 5, || {
+                    gemm(
+                        m,
+                        k,
+                        n,
+                        std::hint::black_box(&a),
+                        std::hint::black_box(&b),
+                        &mut out,
+                    )
+                })
+            });
+            GemmRow {
+                threads,
+                ns_per_iter: ns,
+            }
+        })
+        .collect()
+}
+
+fn quiet_process() -> ProcessConfig {
+    ProcessConfig {
+        params: SystemParams {
+            mttc: 1e12,
+            mttf: 1e12,
+            ..SystemParams::carla_case_study()
+        },
+        proactive: false,
+        compromised_priority: 2.0 / 3.0,
+        proportional_selection: false,
+        per_module_clocks: true,
+    }
+}
+
+fn perception_rows(bank: &DetectorBank) -> Vec<PerceptionRow> {
+    let clean = rasterize(
+        Vec2::new(0.0, 0.0),
+        0.0,
+        &[ObjectTruth {
+            position: Vec2::new(20.0, 0.0),
+            heading: 0.0,
+        }],
+    );
+    let fps = |versions: usize| {
+        let mut p = MultiVersionPerception::new(
+            bank,
+            PerceptionConfig {
+                versions,
+                ..PerceptionConfig::default()
+            },
+            quiet_process(),
+            7,
+        );
+        let frames = 60;
+        let t = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(p.perceive(&clean));
+        }
+        frames as f64 / t.elapsed().as_secs_f64()
+    };
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            with_thread_count(threads, || {
+                let single = fps(1);
+                let three = fps(3);
+                PerceptionRow {
+                    threads,
+                    single_v_fps: single,
+                    three_v_fps: three,
+                    three_v_cost_factor: single / three,
+                }
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("training detector bank (reduced schedule)...");
+    let bank = DetectorBank::train(&DetectorTrainConfig {
+        scenes: 200,
+        epochs: 2,
+        ..DetectorTrainConfig::default()
+    });
+
+    let summary = Summary {
+        host_cores: cores,
+        default_threads: thread_count(),
+        conv_forward_batch32: conv_rows(),
+        gemm_256x256x256: gemm_rows(),
+        perception_fps: perception_rows(&bank),
+    };
+
+    for row in &summary.conv_forward_batch32 {
+        println!(
+            "{}: direct {:.0} ns, gemm {:.0} ns, speedup {:.2}x",
+            row.shape, row.direct_ns, row.gemm_ns, row.speedup
+        );
+    }
+    for row in &summary.gemm_256x256x256 {
+        println!(
+            "gemm 256^3 @ {} threads: {:.0} ns/iter",
+            row.threads, row.ns_per_iter
+        );
+    }
+    for row in &summary.perception_fps {
+        println!(
+            "perception @ {} threads: 1v {:.1} fps, 3v {:.1} fps, cost factor {:.2}",
+            row.threads, row.single_v_fps, row.three_v_fps, row.three_v_cost_factor
+        );
+    }
+
+    let json = serde_json::to_string(&summary).expect("serialise summary");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_nn.json", json).expect("write BENCH_nn.json");
+    println!("wrote results/BENCH_nn.json");
+}

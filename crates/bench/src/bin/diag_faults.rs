@@ -17,7 +17,11 @@ use rand::SeedableRng;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = if quick {
-        DetectorTrainConfig { scenes: 300, epochs: 3, ..DetectorTrainConfig::default() }
+        DetectorTrainConfig {
+            scenes: 300,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        }
     } else {
         DetectorTrainConfig::default()
     };
@@ -29,7 +33,10 @@ fn main() {
         rasterize(
             Vec2::new(0.0, 0.0),
             0.0,
-            &[ObjectTruth { position: Vec2::new(d, 0.0), heading: 0.0 }],
+            &[ObjectTruth {
+                position: Vec2::new(d, 0.0),
+                heading: 0.0,
+            }],
         )
     };
     let mut rng = StdRng::seed_from_u64(1);
@@ -46,12 +53,21 @@ fn main() {
                 Some(decode(&m.forward(&noisy, false), 0.5))
             })
             .collect();
-        sizes.push(proposals.iter().map(|p| p.as_ref().unwrap().len()).collect::<Vec<_>>());
+        sizes.push(
+            proposals
+                .iter()
+                .map(|p| p.as_ref().unwrap().len())
+                .collect::<Vec<_>>(),
+        );
         if vote_detections(&proposals, 2).is_skip() {
             skips += 1;
         }
     }
-    println!("healthy: skip rate {}/200, sample sizes {:?}", skips, &sizes[..4]);
+    println!(
+        "healthy: skip rate {}/200, sample sizes {:?}",
+        skips,
+        &sizes[..4]
+    );
 
     // Pairwise symmetric differences between healthy variants.
     let clean = scene(20.0);
@@ -119,7 +135,11 @@ fn main() {
         match vote_detections(&proposals, 2) {
             Verdict::Skip => skip += 1,
             Verdict::Output(set) => {
-                if set.nearest_obstacle_ahead(3.0).map(|d| (d - 20.0).abs() < 6.0) == Some(true) {
+                if set
+                    .nearest_obstacle_ahead(3.0)
+                    .map(|d| (d - 20.0).abs() < 6.0)
+                    == Some(true)
+                {
                     ok += 1;
                 } else {
                     agree_garbage += 1;
@@ -130,7 +150,9 @@ fn main() {
         undo(&mut models[0], &r0);
         undo(&mut models[1], &r1);
     }
-    println!("two compromised: skip {skip}/60, correct-output {ok}/60, wrong-output {agree_garbage}/60");
+    println!(
+        "two compromised: skip {skip}/60, correct-output {ok}/60, wrong-output {agree_garbage}/60"
+    );
 
     // Dangerous-miss statistic: two compromised modules, does the fused
     // output MISS the obstacle entirely?
@@ -176,7 +198,10 @@ fn main() {
             let mut records = Vec::new();
             for (m, model) in models.iter_mut().enumerate().take(n_comp) {
                 for b in 0..burst {
-                    records.push((m, random_weight_inj(model, layer, lo, hi, seed * 31 + (m * burst + b) as u64)));
+                    records.push((
+                        m,
+                        random_weight_inj(model, layer, lo, hi, seed * 31 + (m * burst + b) as u64),
+                    ));
                 }
             }
             let proposals: Vec<Option<DetectionSet>> = models

@@ -25,15 +25,26 @@ fn main() {
         };
         let train = generate(&sign, sign.classes * 100, 0xA11CE);
         let test = generate(&sign, sign.classes * 25, 0xB0B);
-        let tc = TrainConfig { epochs, batch_size: 128, lr, lr_decay: 0.93, ..TrainConfig::default() };
+        let tc = TrainConfig {
+            epochs,
+            batch_size: 128,
+            lr,
+            lr_decay: 0.93,
+            ..TrainConfig::default()
+        };
         let mut accs = Vec::new();
         for mut model in three_versions(sign.image_size, sign.classes, 38) {
             let _ = train_classifier(&mut model, &train, &tc);
-            accs.push((model.model_name().to_string(), evaluate_accuracy(&mut model, &test, 128)));
+            accs.push((
+                model.model_name().to_string(),
+                evaluate_accuracy(&mut model, &test, 128),
+            ));
         }
         println!(
             "noise={noise} tr={translate} occ={occl} br={bright} ep={epochs} lr={lr}: {:?}",
-            accs.iter().map(|(n, a)| format!("{n}={a:.3}")).collect::<Vec<_>>()
+            accs.iter()
+                .map(|(n, a)| format!("{n}={a:.3}"))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -42,15 +42,33 @@ fn main() {
     let policies: Vec<(&str, ProcessConfig)> = vec![
         (
             "fixed priority 2/3 (paper case study)",
-            ProcessConfig { params, proactive: true, compromised_priority: 2.0 / 3.0, proportional_selection: false, per_module_clocks: true },
+            ProcessConfig {
+                params,
+                proactive: true,
+                compromised_priority: 2.0 / 3.0,
+                proportional_selection: false,
+                per_module_clocks: true,
+            },
         ),
         (
             "fixed priority 1.0 (always compromised)",
-            ProcessConfig { params, proactive: true, compromised_priority: 1.0, proportional_selection: false, per_module_clocks: true },
+            ProcessConfig {
+                params,
+                proactive: true,
+                compromised_priority: 1.0,
+                proportional_selection: false,
+                per_module_clocks: true,
+            },
         ),
         (
             "fixed priority 1/3 (mostly healthy)",
-            ProcessConfig { params, proactive: true, compromised_priority: 1.0 / 3.0, proportional_selection: false, per_module_clocks: true },
+            ProcessConfig {
+                params,
+                proactive: true,
+                compromised_priority: 1.0 / 3.0,
+                proportional_selection: false,
+                per_module_clocks: true,
+            },
         ),
         (
             "proportional (DSPN Table I weights)",
@@ -58,7 +76,13 @@ fn main() {
         ),
         (
             "no proactive rejuvenation",
-            ProcessConfig { params, proactive: false, compromised_priority: 0.0, proportional_selection: false, per_module_clocks: true },
+            ProcessConfig {
+                params,
+                proactive: false,
+                compromised_priority: 0.0,
+                proportional_selection: false,
+                per_module_clocks: true,
+            },
         ),
     ];
     let rows: Vec<Vec<String>> = policies
@@ -70,7 +94,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Policy", "healthy fraction", "healthy-majority fraction"], &rows)
+        render_table(
+            &["Policy", "healthy fraction", "healthy-majority fraction"],
+            &rows
+        )
     );
 
     println!("Ablation 2 — rejuvenation interval, three-version analytic E[R]\n");
@@ -79,7 +106,10 @@ fn main() {
     let rows: Vec<Vec<String>> = [30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 3000.0]
         .iter()
         .map(|&interval| {
-            let p = SystemParams { rejuvenation_interval: interval, ..base };
+            let p = SystemParams {
+                rejuvenation_interval: interval,
+                ..base
+            };
             let r = expected_system_reliability(3, true, &p, &opts).expect("solve");
             vec![f(interval, 0), f(r, 6)]
         })
@@ -90,7 +120,10 @@ fn main() {
     let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32, 64, 96]
         .iter()
         .map(|&k| {
-            let o = SolveOptions { erlang_k: k, ..SolveOptions::default() };
+            let o = SolveOptions {
+                erlang_k: k,
+                ..SolveOptions::default()
+            };
             let r = expected_system_reliability(3, true, &base, &o).expect("solve");
             vec![format!("{k}"), f(r, 7)]
         })

@@ -19,8 +19,14 @@ use mvml_petri::{erlang_expand, ExpectedReward, ReachOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let t_max: f64 = args.first().map(|a| a.parse().expect("t_max")).unwrap_or(3000.0);
-    let points: usize = args.get(1).map(|a| a.parse().expect("points")).unwrap_or(10);
+    let t_max: f64 = args
+        .first()
+        .map(|a| a.parse().expect("t_max"))
+        .unwrap_or(3000.0);
+    let points: usize = args
+        .get(1)
+        .map(|a| a.parse().expect("points"))
+        .unwrap_or(10);
 
     let params = SystemParams::paper_table_iv();
     let times: Vec<f64> = (0..=points)

@@ -16,12 +16,24 @@ use mvml_core::SystemParams;
 
 fn panel(letter: char) -> (SweepVariable, &'static str) {
     match letter {
-        'a' => (SweepVariable::RejuvenationInterval, "rejuvenation interval 1/γ (s)"),
-        'b' => (SweepVariable::RejuvenationDuration, "rejuvenation duration 1/μr (s)"),
-        'c' => (SweepVariable::MeanTimeToCompromise, "mean time to compromise 1/λc (s)"),
+        'a' => (
+            SweepVariable::RejuvenationInterval,
+            "rejuvenation interval 1/γ (s)",
+        ),
+        'b' => (
+            SweepVariable::RejuvenationDuration,
+            "rejuvenation duration 1/μr (s)",
+        ),
+        'c' => (
+            SweepVariable::MeanTimeToCompromise,
+            "mean time to compromise 1/λc (s)",
+        ),
         'd' => (SweepVariable::Alpha, "error dependency α"),
         'e' => (SweepVariable::HealthyInaccuracy, "healthy inaccuracy p"),
-        'f' => (SweepVariable::CompromisedInaccuracy, "compromised inaccuracy p'"),
+        'f' => (
+            SweepVariable::CompromisedInaccuracy,
+            "compromised inaccuracy p'",
+        ),
         other => panic!("unknown panel `{other}` (use a..f or all)"),
     }
 }

@@ -15,7 +15,11 @@ use mvml_bench::format::{f, render_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { CalibrationConfig::quick() } else { CalibrationConfig::default() };
+    let cfg = if quick {
+        CalibrationConfig::quick()
+    } else {
+        CalibrationConfig::default()
+    };
     eprintln!(
         "calibrating: {} classes x {} train/class, {} epochs{}",
         cfg.sign.classes,
@@ -48,7 +52,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Model", "Acc. healthy", "Acc. compromised", "inj. seed", "paper (H / C)"],
+            &[
+                "Model",
+                "Acc. healthy",
+                "Acc. compromised",
+                "inj. seed",
+                "paper (H / C)"
+            ],
             &rows
         )
     );

@@ -32,7 +32,11 @@ fn main() {
 
     // Optional columns: our calibration, analytic and empirical.
     let calibration = if empirical {
-        let cfg = if quick { CalibrationConfig::quick() } else { CalibrationConfig::default() };
+        let cfg = if quick {
+            CalibrationConfig::quick()
+        } else {
+            CalibrationConfig::default()
+        };
         eprintln!("calibrating models for the empirical column…");
         Some(calibrate(&cfg))
     } else {
@@ -73,16 +77,25 @@ fn empirical_state_reliability(
     disabled: usize,
 ) -> f64 {
     assert_eq!(healthy + compromised + disabled, 3);
-    let compromised_mask: Vec<bool> = (0..3).map(|m| m >= healthy && m < healthy + compromised).collect();
-    with_compromised(cal, &compromised_mask, cal.trained_models.clone(), |models| {
-        let mut system = NVersionSystem::new(models.to_vec());
-        for (m, &is_compromised) in compromised_mask.iter().enumerate() {
-            if m >= healthy + compromised {
-                system.module_mut(m).fail();
-            } else if is_compromised {
-                system.module_mut(m).force_state(mvml_core::ModuleState::Compromised);
+    let compromised_mask: Vec<bool> = (0..3)
+        .map(|m| m >= healthy && m < healthy + compromised)
+        .collect();
+    with_compromised(
+        cal,
+        &compromised_mask,
+        cal.trained_models.clone(),
+        |models| {
+            let mut system = NVersionSystem::new(models.to_vec());
+            for (m, &is_compromised) in compromised_mask.iter().enumerate() {
+                if m >= healthy + compromised {
+                    system.module_mut(m).fail();
+                } else if is_compromised {
+                    system
+                        .module_mut(m)
+                        .force_state(mvml_core::ModuleState::Compromised);
+                }
             }
-        }
-        system.evaluate(&cal.test, 128).reliability()
-    })
+            system.evaluate(&cal.test, 128).reliability()
+        },
+    )
 }

@@ -24,22 +24,63 @@ fn main() {
 
     println!("Table IV — default input parameters\n");
     let rows = vec![
-        vec!["α".into(), "error probability dependency".into(), f(params.alpha, 6)],
-        vec!["p".into(), "output failure probability (healthy)".into(), f(params.p, 6)],
-        vec!["p'".into(), "output failure probability (compromised)".into(), f(params.p_prime, 6)],
-        vec!["1/λc".into(), "mean time to compromise (s)".into(), f(params.mttc, 0)],
-        vec!["1/λ".into(), "module mean time to failure (s)".into(), f(params.mttf, 0)],
-        vec!["1/μ".into(), "mean time to reactive rejuvenate (s)".into(), f(params.reactive_time, 1)],
-        vec!["1/μr".into(), "mean time to proactive rejuvenate (s)".into(), f(params.proactive_time, 1)],
-        vec!["1/γ".into(), "rejuvenation interval (s)".into(), f(params.rejuvenation_interval, 0)],
+        vec![
+            "α".into(),
+            "error probability dependency".into(),
+            f(params.alpha, 6),
+        ],
+        vec![
+            "p".into(),
+            "output failure probability (healthy)".into(),
+            f(params.p, 6),
+        ],
+        vec![
+            "p'".into(),
+            "output failure probability (compromised)".into(),
+            f(params.p_prime, 6),
+        ],
+        vec![
+            "1/λc".into(),
+            "mean time to compromise (s)".into(),
+            f(params.mttc, 0),
+        ],
+        vec![
+            "1/λ".into(),
+            "module mean time to failure (s)".into(),
+            f(params.mttf, 0),
+        ],
+        vec![
+            "1/μ".into(),
+            "mean time to reactive rejuvenate (s)".into(),
+            f(params.reactive_time, 1),
+        ],
+        vec![
+            "1/μr".into(),
+            "mean time to proactive rejuvenate (s)".into(),
+            f(params.proactive_time, 1),
+        ],
+        vec![
+            "1/γ".into(),
+            "rejuvenation interval (s)".into(),
+            f(params.rejuvenation_interval, 0),
+        ],
     ];
-    println!("{}", render_table(&["Param", "Description", "Value"], &rows));
+    println!(
+        "{}",
+        render_table(&["Param", "Description", "Value"], &rows)
+    );
 
     let opts = SolveOptions::default();
-    eprintln!("solving 6 DSPN configurations (Erlang-k = {})…", opts.erlang_k);
+    eprintln!(
+        "solving 6 DSPN configurations (Erlang-k = {})…",
+        opts.erlang_k
+    );
     let table = table_v(&params, &opts).expect("DSPN solution");
 
-    println!("Table V — expected output reliability (analytic, Erlang-{})\n", opts.erlang_k);
+    println!(
+        "Table V — expected output reliability (analytic, Erlang-{})\n",
+        opts.erlang_k
+    );
     let mut rows = Vec::new();
     for n in 1..=3usize {
         let mut row = vec![configuration_label(n as u32, false).replace(" w/o rej.", "")];
@@ -97,7 +138,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["Configuration", "simulated E[R] (95% CI)", "analytic"], &rows)
+            render_table(
+                &["Configuration", "simulated E[R] (95% CI)", "analytic"],
+                &rows
+            )
         );
     }
 }

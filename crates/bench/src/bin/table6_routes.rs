@@ -20,7 +20,11 @@ fn main() {
 
     eprintln!("training detector bank…");
     let bank = if quick {
-        let cfg = DetectorTrainConfig { scenes: 300, epochs: 3, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 300,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        };
         DetectorBank::train(&cfg)
     } else {
         mvml_bench::casestudy::standard_bank()
@@ -48,19 +52,51 @@ fn main() {
     }
     // Average / total row, as in the paper.
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-    let first_w: Vec<f64> = with_rej.iter().filter_map(|a| a.first_collision_frame).collect();
-    let first_wo: Vec<f64> = without.iter().filter_map(|a| a.first_collision_frame).collect();
+    let first_w: Vec<f64> = with_rej
+        .iter()
+        .filter_map(|a| a.first_collision_frame)
+        .collect();
+    let first_wo: Vec<f64> = without
+        .iter()
+        .filter_map(|a| a.first_collision_frame)
+        .collect();
     rows.push(vec![
         "Avg/Total".to_string(),
-        if first_w.is_empty() { "NA".into() } else { f(avg(&first_w), 0) },
-        if first_wo.is_empty() { "NA".into() } else { f(avg(&first_wo), 0) },
-        f(avg(&with_rej.iter().map(|a| a.avg_frames).collect::<Vec<_>>()), 0),
-        f(avg(&without.iter().map(|a| a.avg_frames).collect::<Vec<_>>()), 0),
-        f(avg(&with_rej.iter().map(|a| a.collision_rate).collect::<Vec<_>>()), 2),
-        f(avg(&without.iter().map(|a| a.collision_rate).collect::<Vec<_>>()), 2),
+        if first_w.is_empty() {
+            "NA".into()
+        } else {
+            f(avg(&first_w), 0)
+        },
+        if first_wo.is_empty() {
+            "NA".into()
+        } else {
+            f(avg(&first_wo), 0)
+        },
+        f(
+            avg(&with_rej.iter().map(|a| a.avg_frames).collect::<Vec<_>>()),
+            0,
+        ),
+        f(
+            avg(&without.iter().map(|a| a.avg_frames).collect::<Vec<_>>()),
+            0,
+        ),
+        f(
+            avg(&with_rej
+                .iter()
+                .map(|a| a.collision_rate)
+                .collect::<Vec<_>>()),
+            2,
+        ),
+        f(
+            avg(&without.iter().map(|a| a.collision_rate).collect::<Vec<_>>()),
+            2,
+        ),
         format!(
             "{}/{}",
-            with_rej.iter().map(|a| a.runs_with_collision).sum::<usize>(),
+            with_rej
+                .iter()
+                .map(|a| a.runs_with_collision)
+                .sum::<usize>(),
             with_rej.iter().map(|a| a.runs).sum::<usize>()
         ),
         format!(

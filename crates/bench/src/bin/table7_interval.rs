@@ -19,7 +19,11 @@ fn main() {
 
     eprintln!("training detector bank…");
     let bank = if quick {
-        let cfg = DetectorTrainConfig { scenes: 300, epochs: 3, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 300,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        };
         DetectorBank::train(&cfg)
     } else {
         mvml_bench::casestudy::standard_bank()
@@ -52,14 +56,27 @@ fn main() {
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
     rows.push(vec![
         "Avg/Total".to_string(),
-        if totals.0.is_empty() { "NA".into() } else { f(avg(&totals.0), 0) },
+        if totals.0.is_empty() {
+            "NA".into()
+        } else {
+            f(avg(&totals.0), 0)
+        },
         f(avg(&totals.1), 0),
         format!("{}%", f(avg(&totals.2), 2)),
         format!("{}/{}", totals.3, totals.4),
     ]);
     println!(
         "{}",
-        render_table(&["1/γ (s)", "1st coll.", "Total frames", "Coll. rate", "#Coll."], &rows)
+        render_table(
+            &[
+                "1/γ (s)",
+                "1st coll.",
+                "Total frames",
+                "Coll. rate",
+                "#Coll."
+            ],
+            &rows
+        )
     );
     println!("Paper reference: 3s→0.00% (0/5), 5s→1.27% (1/5), 7s→8.93% (2/5), 9s→10.44% (3/5).");
 }

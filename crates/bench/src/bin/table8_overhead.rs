@@ -21,7 +21,11 @@ fn main() {
 
     eprintln!("training detector bank…");
     let bank = if quick {
-        let cfg = DetectorTrainConfig { scenes: 300, epochs: 3, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 300,
+            epochs: 3,
+            ..DetectorTrainConfig::default()
+        };
         DetectorBank::train(&cfg)
     } else {
         mvml_bench::casestudy::standard_bank()
@@ -49,7 +53,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["System", "FPS [CI]", "CPU-% [CI]", "Compute-% [CI] (GPU proxy)"], &rows)
+        render_table(
+            &[
+                "System",
+                "FPS [CI]",
+                "CPU-% [CI]",
+                "Compute-% [CI] (GPU proxy)"
+            ],
+            &rows
+        )
     );
     println!(
         "Paper reference: Single-v 5.85 FPS / 3.62 CPU% / 28 GPU%; Three-v 4.27 / 3.97 / 35; \

@@ -7,6 +7,7 @@ use mvml_core::SystemParams;
 use mvml_faultinject::{random_weight_inj, undo};
 use mvml_nn::metrics::{alpha_mean, alpha_pair, error_set};
 use mvml_nn::models::three_versions;
+use mvml_nn::parallel::ThreadPool;
 use mvml_nn::signs::{generate, SignConfig};
 use mvml_nn::train::{train_classifier, TrainConfig};
 use mvml_nn::{Dataset, Sequential};
@@ -59,10 +60,18 @@ impl CalibrationConfig {
     /// A much smaller configuration for tests and the quickstart example.
     pub fn quick() -> Self {
         CalibrationConfig {
-            sign: SignConfig { classes: 10, ..SignConfig::default() },
+            sign: SignConfig {
+                classes: 10,
+                ..SignConfig::default()
+            },
             train_per_class: 40,
             test_per_class: 20,
-            train: TrainConfig { epochs: 6, batch_size: 64, lr: 0.08, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 64,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
             target_band: (0.30, 0.92),
             max_seeds: 150,
             ..CalibrationConfig::default()
@@ -125,17 +134,17 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
     let train = generate(&cfg.sign, cfg.sign.classes * cfg.train_per_class, 0xA11CE);
     let test = generate(&cfg.sign, cfg.sign.classes * cfg.test_per_class, 0xB0B);
 
-    let mut models = three_versions(cfg.sign.image_size, cfg.sign.classes, cfg.train.seed);
-    let mut rows = Vec::with_capacity(models.len());
-    let mut healthy_error_sets = Vec::with_capacity(models.len());
-
-    for model in &mut models {
+    let models = three_versions(cfg.sign.image_size, cfg.sign.classes, cfg.train.seed);
+    // Each version trains and seed-searches independently against the shared
+    // (read-only) datasets, so the three calibrations fan out across
+    // `MVML_THREADS` workers; `ThreadPool::map` preserves model order, so
+    // the result is identical for any thread count.
+    let calibrated = ThreadPool::new().map(models, |mut model| {
         let name = model.model_name().to_string();
-        let _ = train_classifier(model, &train, &cfg.train);
-        let errors = error_set(model, &test, cfg.batch);
+        let _ = train_classifier(&mut model, &train, &cfg.train);
+        let errors = error_set(&mut model, &test, cfg.batch);
         let healthy_accuracy =
             1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64;
-        healthy_error_sets.push(errors);
 
         let (lo, hi) = cfg.injection_range;
         let (band_lo, band_hi) = cfg.target_band;
@@ -161,9 +170,9 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
         let mut nearest: Option<(u64, f64)> = None;
         let mut found = None;
         for seed in 0..cfg.max_seeds {
-            let record = random_weight_inj(model, 0, lo, hi, seed);
-            let accuracy = subsample_accuracy(model);
-            undo(model, &record);
+            let record = random_weight_inj(&mut model, 0, lo, hi, seed);
+            let accuracy = subsample_accuracy(&mut model);
+            undo(&mut model, &record);
             // A valid compromised version must be inside the band AND
             // clearly below the healthy accuracy (wide bands may include
             // the healthy level for weakly-trained quick configs).
@@ -180,23 +189,36 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
         let (seed, _) = found.or(nearest).unwrap_or_else(|| {
             panic!("no injection seed degraded `{name}` below its healthy accuracy")
         });
-        let found = mvml_faultinject::SeedSearchResult { seed, accuracy: 0.0 };
+        let found = mvml_faultinject::SeedSearchResult {
+            seed,
+            accuracy: 0.0,
+        };
         // Re-measure the chosen seed over the full test set.
-        let record = random_weight_inj(model, 0, lo, hi, found.seed);
-        let errs = error_set(model, &test, batch);
+        let record = random_weight_inj(&mut model, 0, lo, hi, found.seed);
+        let errs = error_set(&mut model, &test, batch);
         let compromised_accuracy =
             1.0 - errs.iter().filter(|&&e| e).count() as f64 / errs.len() as f64;
-        undo(model, &record);
-        rows.push(ModelCalibration {
+        undo(&mut model, &record);
+        let row = ModelCalibration {
             name,
             healthy_accuracy,
             compromised_accuracy,
             injection_seed: found.seed,
-        });
+        };
+        (model, row, errors)
+    });
+    let mut models = Vec::with_capacity(calibrated.len());
+    let mut rows = Vec::with_capacity(calibrated.len());
+    let mut healthy_error_sets = Vec::with_capacity(calibrated.len());
+    for (model, row, errors) in calibrated {
+        models.push(model);
+        rows.push(row);
+        healthy_error_sets.push(errors);
     }
 
     let p = 1.0 - rows.iter().map(|r| r.healthy_accuracy).sum::<f64>() / rows.len() as f64;
-    let p_prime = 1.0 - rows.iter().map(|r| r.compromised_accuracy).sum::<f64>() / rows.len() as f64;
+    let p_prime =
+        1.0 - rows.iter().map(|r| r.compromised_accuracy).sum::<f64>() / rows.len() as f64;
     let alpha_pairs = [
         alpha_pair(&healthy_error_sets[0], &healthy_error_sets[1]),
         alpha_pair(&healthy_error_sets[0], &healthy_error_sets[2]),
@@ -204,7 +226,15 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
     ];
     let alpha = alpha_mean(&healthy_error_sets);
 
-    Calibration { models: rows, p, p_prime, alpha_pairs, alpha, trained_models: models, test }
+    Calibration {
+        models: rows,
+        p,
+        p_prime,
+        alpha_pairs,
+        alpha,
+        trained_models: models,
+        test,
+    }
 }
 
 /// Applies each model's calibrated compromise fault, runs `f`, and restores
@@ -220,7 +250,10 @@ pub fn with_compromised<R>(
     for (i, (&c, model)) in compromised.iter().zip(models.iter_mut()).enumerate() {
         if c {
             let (lo, hi) = (-10.0, 30.0);
-            records.push((i, random_weight_inj(model, 0, lo, hi, calibration.models[i].injection_seed)));
+            records.push((
+                i,
+                random_weight_inj(model, 0, lo, hi, calibration.models[i].injection_seed),
+            ));
         }
     }
     let result = f(&mut models);
@@ -239,7 +272,12 @@ mod tests {
         let cfg = CalibrationConfig {
             train_per_class: 25,
             test_per_class: 12,
-            train: TrainConfig { epochs: 4, batch_size: 64, lr: 0.08, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 64,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
             ..CalibrationConfig::quick()
         };
         let cal = calibrate(&cfg);

@@ -41,11 +41,21 @@ mod tests {
     fn parallel_campaign_covers_all_routes() {
         // Tiny bank, healthy process, single short run per route — just the
         // plumbing, not the physics.
-        let cfg = DetectorTrainConfig { scenes: 150, epochs: 2, ..DetectorTrainConfig::default() };
+        let cfg = DetectorTrainConfig {
+            scenes: 150,
+            epochs: 2,
+            ..DetectorTrainConfig::default()
+        };
         let models = (0..3)
             .map(|i| {
                 let mut m = yolo_mini("tiny", 4, i);
-                let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+                let _ = train_detector(
+                    &mut m,
+                    &DetectorTrainConfig {
+                        seed: 38 + i,
+                        ..cfg
+                    },
+                );
                 m
             })
             .collect();
@@ -53,7 +63,11 @@ mod tests {
         let mut base = RunConfig::case_study(true, 3);
         base.max_frames = 80;
         base.process = mvml_core::rejuvenation::ProcessConfig {
-            params: SystemParams { mttc: 1e12, mttf: 1e12, ..SystemParams::carla_case_study() },
+            params: SystemParams {
+                mttc: 1e12,
+                mttf: 1e12,
+                ..SystemParams::carla_case_study()
+            },
             proactive: false,
             compromised_priority: 2.0 / 3.0,
             proportional_selection: false,

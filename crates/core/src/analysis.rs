@@ -154,7 +154,10 @@ mod tests {
     use super::*;
 
     fn fast_opts() -> SolveOptions {
-        SolveOptions { erlang_k: 8, ..SolveOptions::default() }
+        SolveOptions {
+            erlang_k: 8,
+            ..SolveOptions::default()
+        }
     }
 
     #[test]
@@ -166,13 +169,7 @@ mod tests {
     #[test]
     fn sweep_alpha_shows_monotone_degradation() {
         let base = SystemParams::paper_table_iv();
-        let rows = sweep(
-            SweepVariable::Alpha,
-            &[0.1, 0.5, 1.0],
-            &base,
-            &fast_opts(),
-        )
-        .unwrap();
+        let rows = sweep(SweepVariable::Alpha, &[0.1, 0.5, 1.0], &base, &fast_opts()).unwrap();
         // Redundant configurations degrade as error dependency grows…
         for n in [2u32, 3] {
             for rej in [false, true] {
@@ -247,7 +244,10 @@ mod tests {
             alpha: 0.1,
             ..SystemParams::paper_table_iv()
         };
-        let opts = SolveOptions { erlang_k: 32, ..SolveOptions::default() };
+        let opts = SolveOptions {
+            erlang_k: 32,
+            ..SolveOptions::default()
+        };
         let r3 = expected_system_reliability(3, true, &params, &opts).unwrap();
         let r2 = expected_system_reliability(2, true, &params, &opts).unwrap();
         assert!((r3 - 0.99487778).abs() < 2e-3, "3v: {r3}");

@@ -90,7 +90,14 @@ pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErro
     b.output_arc(tf, pmf, 1)?;
     b.input_arc(pmf, tr, 1)?;
     b.output_arc(tr, pmh, 1)?;
-    Ok(MvmlNet { net: b.build()?, pmh, pmc, pmf, pmr: None, pac: None })
+    Ok(MvmlNet {
+        net: b.build()?,
+        pmh,
+        pmc,
+        pmf,
+        pmr: None,
+        pac: None,
+    })
 }
 
 /// Builds the Fig. 3 DSPN: Fig. 2 plus the time-triggered proactive
@@ -139,12 +146,16 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
     b.input_arc(ptr, tac, 1)?;
     b.output_arc(tac, pac, 1)?;
     b.output_arc(tac, prc, 1)?;
-    b.guard(tac, move |m: &Marking| m.as_slice()[pac_i] + m.as_slice()[pmr_i] == 0)?;
+    b.guard(tac, move |m: &Marking| {
+        m.as_slice()[pac_i] + m.as_slice()[pmr_i] == 0
+    })?;
 
     let tdrop = b.immediate("Tdrop");
     b.input_arc(ptr, tdrop, 1)?;
     b.output_arc(tdrop, prc, 1)?;
-    b.guard(tdrop, move |m: &Marking| m.as_slice()[pac_i] + m.as_slice()[pmr_i] > 0)?;
+    b.guard(tdrop, move |m: &Marking| {
+        m.as_slice()[pac_i] + m.as_slice()[pmr_i] > 0
+    })?;
 
     // Victim selection (Table I): weights w1/w2 proportional to the number
     // of compromised/healthy modules, with the paper's 1e-5 floor.
@@ -182,7 +193,14 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
     b.input_arc(pmr, trj, 1)?;
     b.output_arc(trj, pmh, 1)?;
 
-    Ok(MvmlNet { net: b.build()?, pmh, pmc, pmf, pmr: Some(pmr), pac: Some(pac) })
+    Ok(MvmlNet {
+        net: b.build()?,
+        pmh,
+        pmc,
+        pmf,
+        pmr: Some(pmr),
+        pac: Some(pac),
+    })
 }
 
 /// Options for [`expected_system_reliability`].
@@ -196,7 +214,10 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { erlang_k: 32, solver: SolverOptions::default() }
+        SolveOptions {
+            erlang_k: 32,
+            solver: SolverOptions::default(),
+        }
     }
 }
 
@@ -216,7 +237,11 @@ pub fn expected_system_reliability(
     params
         .validate()
         .map_err(|what| PetriError::InvalidParameter { what })?;
-    let mv = if proactive { with_proactive(n, params)? } else { reactive_only(n, params)? };
+    let mv = if proactive {
+        with_proactive(n, params)?
+    } else {
+        reactive_only(n, params)?
+    };
     let solvable = if proactive {
         erlang_expand(&mv.net, opts.erlang_k)?
     } else {
@@ -247,7 +272,10 @@ mod tests {
     }
 
     fn opts_fast() -> SolveOptions {
-        SolveOptions { erlang_k: 16, ..SolveOptions::default() }
+        SolveOptions {
+            erlang_k: 16,
+            ..SolveOptions::default()
+        }
     }
 
     #[test]
@@ -290,7 +318,10 @@ mod tests {
         let mut r = std::collections::HashMap::new();
         for n in 1..=3u32 {
             for rej in [false, true] {
-                r.insert((n, rej), expected_system_reliability(n, rej, &p, &o).unwrap());
+                r.insert(
+                    (n, rej),
+                    expected_system_reliability(n, rej, &p, &o).unwrap(),
+                );
             }
         }
         // Proactive rejuvenation helps every configuration.
@@ -307,8 +338,26 @@ mod tests {
     #[test]
     fn erlang_resolution_converges() {
         let p = paper();
-        let coarse = expected_system_reliability(3, true, &p, &SolveOptions { erlang_k: 4, ..SolveOptions::default() }).unwrap();
-        let fine = expected_system_reliability(3, true, &p, &SolveOptions { erlang_k: 48, ..SolveOptions::default() }).unwrap();
+        let coarse = expected_system_reliability(
+            3,
+            true,
+            &p,
+            &SolveOptions {
+                erlang_k: 4,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        let fine = expected_system_reliability(
+            3,
+            true,
+            &p,
+            &SolveOptions {
+                erlang_k: 48,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
         // Both approximate the same DSPN; they must agree to ~1e-3.
         assert!((coarse - fine).abs() < 2e-3, "{coarse} vs {fine}");
     }
@@ -320,7 +369,12 @@ mod tests {
         let mv = with_proactive(3, &p).unwrap();
         let sim = simulate(
             &mv.net,
-            &SimConfig { horizon: 2_000_000.0, warmup: 10_000.0, seed: 7, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 2_000_000.0,
+                warmup: 10_000.0,
+                seed: 7,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let pmh = mv.pmh;
@@ -329,15 +383,14 @@ mod tests {
         let pmr = mv.pmr.unwrap();
         let est = sim.expected_reward(|m| {
             reliability_of(
-                SystemState::new(
-                    m[pmh] as usize,
-                    m[pmc] as usize,
-                    (m[pmf] + m[pmr]) as usize,
-                ),
+                SystemState::new(m[pmh] as usize, m[pmc] as usize, (m[pmf] + m[pmr]) as usize),
                 &p,
             )
         });
-        assert!((analytic - est).abs() < 5e-3, "analytic {analytic} vs sim {est}");
+        assert!(
+            (analytic - est).abs() < 5e-3,
+            "analytic {analytic} vs sim {est}"
+        );
     }
 
     #[test]

@@ -130,7 +130,13 @@ impl VersionedModule {
     /// max)` fault (PyTorchFI semantics) and moves to
     /// [`ModuleState::Compromised`]. A fault already present is undone
     /// first, so repeated compromises do not accumulate.
-    pub fn compromise(&mut self, nth_parametric: usize, min: f32, max: f32, seed: u64) -> &FaultRecord {
+    pub fn compromise(
+        &mut self,
+        nth_parametric: usize,
+        min: f32,
+        max: f32,
+        seed: u64,
+    ) -> &FaultRecord {
         if self.active_fault.is_some() {
             self.model.restore(&self.pristine);
         }
@@ -236,7 +242,10 @@ mod tests {
     #[test]
     fn rejuvenation_restores_behaviour() {
         let mut m = module();
-        let x = Tensor::from_vec(&[1, 1, 16, 16], (0..256).map(|i| (i % 7) as f32 / 7.0).collect());
+        let x = Tensor::from_vec(
+            &[1, 1, 16, 16],
+            (0..256).map(|i| (i % 7) as f32 / 7.0).collect(),
+        );
         let before = m.infer(&x).unwrap();
         // Compromise with a large fault until behaviour changes, then check
         // rejuvenation restores the original predictions.

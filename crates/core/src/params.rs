@@ -186,28 +186,51 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_probabilities() {
-        let p = SystemParams { alpha: 1.5, ..SystemParams::default() };
+        let p = SystemParams {
+            alpha: 1.5,
+            ..SystemParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("alpha"));
-        let p = SystemParams { p: 0.5, p_prime: 0.3, ..SystemParams::default() };
+        let p = SystemParams {
+            p: 0.5,
+            p_prime: 0.3,
+            ..SystemParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("must not exceed"));
     }
 
     #[test]
     fn validation_catches_bad_times() {
-        let p = SystemParams { mttc: 0.0, ..SystemParams::default() };
+        let p = SystemParams {
+            mttc: 0.0,
+            ..SystemParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("mttc"));
-        let p = SystemParams { rejuvenation_interval: f64::NAN, ..SystemParams::default() };
+        let p = SystemParams {
+            rejuvenation_interval: f64::NAN,
+            ..SystemParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn validation_enforces_paper_boundaries() {
         // p(2-α) > 1 requires large p and small α
-        let p = SystemParams { p: 0.6, p_prime: 0.7, alpha: 0.1, ..SystemParams::default() };
+        let p = SystemParams {
+            p: 0.6,
+            p_prime: 0.7,
+            alpha: 0.1,
+            ..SystemParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("two-version boundary"));
         // choose p so the 2v bound holds but the 3v bound fails:
         // α = 0.9 → 2-α = 1.1, 3(1-α)+α² = 1.11; p = 0.905 → 0.9955 vs 1.0046
-        let p = SystemParams { p: 0.905, p_prime: 0.91, alpha: 0.9, ..SystemParams::default() };
+        let p = SystemParams {
+            p: 0.905,
+            p_prime: 0.91,
+            alpha: 0.9,
+            ..SystemParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("three-version boundary"));
     }
 

@@ -146,7 +146,11 @@ impl StateProcess {
         StateProcess {
             cfg,
             states: vec![ModuleState::Healthy; n],
-            next_trigger: if cfg.proactive { cfg.params.rejuvenation_interval } else { f64::INFINITY },
+            next_trigger: if cfg.proactive {
+                cfg.params.rejuvenation_interval
+            } else {
+                f64::INFINITY
+            },
             clock: 0.0,
             rng: StdRng::seed_from_u64(seed),
         }
@@ -261,14 +265,25 @@ impl StateProcess {
             pick -= r;
         }
         let (from, to, mk): (ModuleState, ModuleState, fn(usize) -> StateEvent) = match class {
-            0 => (ModuleState::Healthy, ModuleState::Compromised, |m| StateEvent::Compromised { module: m }),
-            1 => (ModuleState::Compromised, ModuleState::NonFunctional, |m| StateEvent::Failed { module: m }),
-            2 => (ModuleState::NonFunctional, ModuleState::Healthy, |m| StateEvent::Recovered { module: m }),
-            _ => (ModuleState::Rejuvenating, ModuleState::Healthy, |m| StateEvent::ProactiveCompleted { module: m }),
+            0 => (ModuleState::Healthy, ModuleState::Compromised, |m| {
+                StateEvent::Compromised { module: m }
+            }),
+            1 => (ModuleState::Compromised, ModuleState::NonFunctional, |m| {
+                StateEvent::Failed { module: m }
+            }),
+            2 => (ModuleState::NonFunctional, ModuleState::Healthy, |m| {
+                StateEvent::Recovered { module: m }
+            }),
+            _ => (ModuleState::Rejuvenating, ModuleState::Healthy, |m| {
+                StateEvent::ProactiveCompleted { module: m }
+            }),
         };
         let module = self.random_in_state(from);
         self.states[module] = to;
-        events.push(TimedEvent { time: self.clock, event: mk(module) });
+        events.push(TimedEvent {
+            time: self.clock,
+            event: mk(module),
+        });
     }
 
     fn fire_trigger(&mut self, events: &mut Vec<TimedEvent>) {
@@ -280,7 +295,10 @@ impl StateProcess {
             .iter()
             .any(|s| matches!(s, ModuleState::NonFunctional | ModuleState::Rejuvenating));
         if blocked {
-            events.push(TimedEvent { time: self.clock, event: StateEvent::TriggerDropped });
+            events.push(TimedEvent {
+                time: self.clock,
+                event: StateEvent::TriggerDropped,
+            });
             return;
         }
         let compromised = self.count(ModuleState::Compromised);
@@ -295,7 +313,10 @@ impl StateProcess {
         let pick_compromised =
             have_compromised && (!have_healthy || self.rng.random::<f64>() < priority);
         if !pick_compromised && !have_healthy {
-            events.push(TimedEvent { time: self.clock, event: StateEvent::TriggerDropped });
+            events.push(TimedEvent {
+                time: self.clock,
+                event: StateEvent::TriggerDropped,
+            });
             return;
         }
         let victim = if pick_compromised {
@@ -306,7 +327,10 @@ impl StateProcess {
         self.states[victim] = ModuleState::Rejuvenating;
         events.push(TimedEvent {
             time: self.clock,
-            event: StateEvent::ProactiveStarted { module: victim, was_compromised: pick_compromised },
+            event: StateEvent::ProactiveStarted {
+                module: victim,
+                was_compromised: pick_compromised,
+            },
         });
     }
 }
@@ -335,12 +359,15 @@ mod tests {
         // With a global compromise rate of 1/8 s⁻¹ over 60 s, compromises
         // are near-certain.
         assert!(
-            events.iter().any(|e| matches!(e.event, StateEvent::Compromised { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e.event, StateEvent::Compromised { .. })),
             "no compromise in 60 s is implausible"
         );
-        assert!(!events
-            .iter()
-            .any(|e| matches!(e.event, StateEvent::ProactiveStarted { .. } | StateEvent::TriggerDropped)));
+        assert!(!events.iter().any(|e| matches!(
+            e.event,
+            StateEvent::ProactiveStarted { .. } | StateEvent::TriggerDropped
+        )));
     }
 
     #[test]
@@ -460,8 +487,12 @@ mod tests {
     fn reactive_recovery_happens() {
         let mut p = carla_proc(false, 9);
         let events = p.advance(400.0);
-        assert!(events.iter().any(|e| matches!(e.event, StateEvent::Failed { .. })));
-        assert!(events.iter().any(|e| matches!(e.event, StateEvent::Recovered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, StateEvent::Failed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, StateEvent::Recovered { .. })));
     }
 
     #[test]

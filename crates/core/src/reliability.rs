@@ -19,7 +19,11 @@ pub struct SystemState {
 impl SystemState {
     /// Creates a state from `(i, j, k)`.
     pub fn new(healthy: usize, compromised: usize, non_functional: usize) -> Self {
-        SystemState { healthy, compromised, non_functional }
+        SystemState {
+            healthy,
+            compromised,
+            non_functional,
+        }
     }
 
     /// Total number of modules `n = i + j + k`.
@@ -35,7 +39,11 @@ impl SystemState {
 
 impl std::fmt::Display for SystemState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "({},{},{})", self.healthy, self.compromised, self.non_functional)
+        write!(
+            f,
+            "({},{},{})",
+            self.healthy, self.compromised, self.non_functional
+        )
     }
 }
 

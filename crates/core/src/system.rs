@@ -70,7 +70,10 @@ impl NVersionSystem {
     ///
     /// Panics if `models` is empty.
     pub fn with_scheme(models: Vec<Sequential>, scheme: VotingScheme) -> Self {
-        assert!(!models.is_empty(), "an N-version system needs at least one module");
+        assert!(
+            !models.is_empty(),
+            "an N-version system needs at least one module"
+        );
         NVersionSystem {
             modules: models.into_iter().map(VersionedModule::new).collect(),
             scheme,
@@ -130,7 +133,12 @@ impl NVersionSystem {
 
     /// Evaluates the system on a labelled dataset, batch by batch.
     pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> EmpiricalReliability {
-        let mut report = EmpiricalReliability { correct: 0, wrong: 0, skipped: 0, no_output: 0 };
+        let mut report = EmpiricalReliability {
+            correct: 0,
+            wrong: 0,
+            skipped: 0,
+            no_output: 0,
+        };
         let mut i = 0;
         while i < data.len() {
             let end = (i + batch_size).min(data.len());
@@ -173,7 +181,12 @@ mod tests {
         let cfg = easy_cfg();
         let train = generate(&cfg, 300, 0);
         let test = generate(&cfg, 100, 1);
-        let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.08, ..TrainConfig::default() };
+        let tc = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.08,
+            ..TrainConfig::default()
+        };
         let mut models = three_versions(cfg.image_size, cfg.classes, 38);
         for m in &mut models {
             let _ = train_classifier(m, &train, &tc);
@@ -188,7 +201,11 @@ mod tests {
         assert_eq!(sys.state_counts(), (3, 0, 0));
         let report = sys.evaluate(&test, 32);
         assert_eq!(report.total(), 100);
-        assert!(report.reliability() > 0.85, "reliability {}", report.reliability());
+        assert!(
+            report.reliability() > 0.85,
+            "reliability {}",
+            report.reliability()
+        );
         assert!(report.coverage() > 0.8, "coverage {}", report.coverage());
     }
 
@@ -229,25 +246,41 @@ mod tests {
     #[test]
     fn compromised_majority_lowers_reliability() {
         let (mut sys, test) = trained_system();
-        let healthy = sys.evaluate(&test, 32).reliability();
-        // Plant strong faults in two modules (seeds chosen large enough to
-        // visibly break them).
+        let healthy = sys.evaluate(&test, 32);
+        let healthy_acc = healthy.correct as f64 / healthy.total() as f64;
+        // Plant strong faults in two modules (injection values far outside
+        // the trained weight range, so both modules visibly break).
         sys.module_mut(0).compromise(0, 200.0, 400.0, 3);
         sys.module_mut(1).compromise(0, 200.0, 400.0, 4);
-        let compromised = sys.evaluate(&test, 32).reliability();
+        let compromised = sys.evaluate(&test, 32);
+        let compromised_acc = compromised.correct as f64 / compromised.total() as f64;
+        // `reliability()` treats safe skips as reliable, so two broken
+        // modules can *raise* it by shattering the majority; the monotone
+        // observable is the correct-output rate, which must drop when only
+        // one of three voters is still healthy.
         assert!(
-            compromised <= healthy + 1e-9,
-            "compromised {compromised} vs healthy {healthy}"
+            compromised_acc < healthy_acc,
+            "compromised correct-rate {compromised_acc} vs healthy {healthy_acc}"
         );
     }
 
     #[test]
     fn empirical_report_arithmetic() {
-        let r = EmpiricalReliability { correct: 70, wrong: 10, skipped: 15, no_output: 5 };
+        let r = EmpiricalReliability {
+            correct: 70,
+            wrong: 10,
+            skipped: 15,
+            no_output: 5,
+        };
         assert_eq!(r.total(), 100);
         assert!((r.reliability() - 0.9).abs() < 1e-12);
         assert!((r.coverage() - 0.8).abs() < 1e-12);
-        let empty = EmpiricalReliability { correct: 0, wrong: 0, skipped: 0, no_output: 0 };
+        let empty = EmpiricalReliability {
+            correct: 0,
+            wrong: 0,
+            skipped: 0,
+            no_output: 0,
+        };
         assert_eq!(empty.reliability(), 0.0);
         assert_eq!(empty.coverage(), 0.0);
     }

@@ -136,7 +136,10 @@ pub fn vote_weighted<T: PartialEq + Clone>(
                 return Verdict::Skip;
             }
             for (idx, &(candidate, _)) in operational.iter().enumerate() {
-                if operational[..idx].iter().any(|&(prev, _)| prev == candidate) {
+                if operational[..idx]
+                    .iter()
+                    .any(|&(prev, _)| prev == candidate)
+                {
                     continue;
                 }
                 let support: f64 = operational
@@ -189,7 +192,10 @@ mod tests {
 
     #[test]
     fn no_operational_modules() {
-        assert_eq!(vote_majority::<u32>(&[None, None, None]), Verdict::NoModules);
+        assert_eq!(
+            vote_majority::<u32>(&[None, None, None]),
+            Verdict::NoModules
+        );
         assert_eq!(vote_majority::<u32>(&[]), Verdict::NoModules);
         assert_eq!(Verdict::<u32>::NoModules.output(), None);
     }
@@ -213,7 +219,10 @@ mod tests {
             Verdict::Skip
         );
         // R.3 pass-through still applies with a single operational module.
-        assert_eq!(vote(VotingScheme::Unanimous, &[None, Some(8), None]), Verdict::Output(8));
+        assert_eq!(
+            vote(VotingScheme::Unanimous, &[None, Some(8), None]),
+            Verdict::Output(8)
+        );
     }
 
     #[test]
@@ -236,18 +245,30 @@ mod tests {
         let weights = [5.0, 1.0, 1.0];
         assert_eq!(vote_weighted(&proposals, &weights, 0.5), Verdict::Output(1));
         // With equal weights the pair wins.
-        assert_eq!(vote_weighted(&proposals, &[1.0; 3], 0.5), Verdict::Output(2));
+        assert_eq!(
+            vote_weighted(&proposals, &[1.0; 3], 0.5),
+            Verdict::Output(2)
+        );
         // Higher quorum forces a skip on a 5:2 split (5/7 < 0.75).
         assert_eq!(vote_weighted(&proposals, &weights, 0.75), Verdict::Skip);
     }
 
     #[test]
     fn weighted_voting_edge_cases() {
-        assert_eq!(vote_weighted::<u8>(&[None, None], &[1.0, 1.0], 0.5), Verdict::NoModules);
+        assert_eq!(
+            vote_weighted::<u8>(&[None, None], &[1.0, 1.0], 0.5),
+            Verdict::NoModules
+        );
         // R.3 pass-through ignores the weight.
-        assert_eq!(vote_weighted(&[Some(9), None], &[0.0, 1.0], 0.5), Verdict::Output(9));
+        assert_eq!(
+            vote_weighted(&[Some(9), None], &[0.0, 1.0], 0.5),
+            Verdict::Output(9)
+        );
         // All-zero weights cannot form a quorum.
-        assert_eq!(vote_weighted(&[Some(1), Some(1)], &[0.0, 0.0], 0.5), Verdict::Skip);
+        assert_eq!(
+            vote_weighted(&[Some(1), Some(1)], &[0.0, 0.0], 0.5),
+            Verdict::Skip
+        );
         // Weighted voting ignores non-operational weights in the quorum.
         assert_eq!(
             vote_weighted(&[Some(4), Some(4), None], &[1.0, 1.0, 100.0], 0.5),

@@ -20,12 +20,20 @@ impl Dataset {
     /// Panics on shape/label mismatch or out-of-range labels.
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(images.shape().len(), 4, "images must be [N, C, H, W]");
-        assert_eq!(images.shape()[0], labels.len(), "image/label count mismatch");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "image/label count mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Dataset { images, labels, num_classes }
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.

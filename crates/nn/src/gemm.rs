@@ -1,0 +1,509 @@
+//! Cache-blocked, register-tiled f32 matrix multiplication.
+//!
+//! The kernel follows the classic BLIS decomposition: the operands are cut
+//! into `MC`×`KC` / `KC`×`NC` cache blocks, each block is repacked into
+//! contiguous `MR`-row / `NR`-column panels, and an `MR`×`NR` register-tile
+//! microkernel accumulates into a fixed-size array the compiler keeps in
+//! vector registers. Everything is safe Rust (`chunks_exact` + arrays), so
+//! the crate's `#![forbid(unsafe_code)]` holds; autovectorization does the
+//! rest.
+//!
+//! Three orientations cover every product the layers need without ever
+//! materializing a transpose:
+//!
+//! - [`gemm`]: `C = A·B` (forward passes)
+//! - [`gemm_tn`]: `C = Aᵀ·B` (weight-space gradients, `Wᵀ·dY`)
+//! - [`gemm_nt`] / [`gemm_nt_acc`]: `C (+)= A·Bᵀ` (input-space gradients,
+//!   `dY·colᵀ` accumulation)
+//!
+//! ## Determinism
+//!
+//! Every output element is accumulated in exactly the same order — `k`
+//! ascending, `KC` blocks ascending — no matter how many threads run the
+//! kernel: the parallel driver partitions the **rows of C** into disjoint
+//! ranges, so threading changes which worker computes an element, never the
+//! floating-point order within it. `MVML_THREADS=1` and `MVML_THREADS=64`
+//! produce bitwise-identical results (asserted in this module's tests).
+
+use crate::parallel;
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile (two 4-lane SSE / one 8-lane AVX vector).
+const NR: usize = 8;
+/// Rows of A packed per cache block (fits L1/L2 alongside the B panel).
+const MC: usize = 64;
+/// Shared dimension per cache block.
+const KC: usize = 256;
+/// Columns of B packed per cache block.
+const NC: usize = 256;
+
+/// Minimum number of multiply-adds before the parallel driver engages;
+/// below this, thread-spawn latency dominates any speedup.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 17;
+
+/// A borrowed row-major matrix, optionally accessed transposed.
+///
+/// `Mat::normal(data, r, c)` views `data` as `r`×`c`; `Mat::transposed`
+/// views the same storage as its transpose without moving any element.
+#[derive(Clone, Copy)]
+struct Mat<'a> {
+    data: &'a [f32],
+    /// Row stride of the *stored* layout.
+    stride: usize,
+    transposed: bool,
+}
+
+impl<'a> Mat<'a> {
+    fn normal(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        Mat {
+            data,
+            stride: cols,
+            transposed: false,
+        }
+    }
+
+    fn transposed(data: &'a [f32], stored_rows: usize, stored_cols: usize) -> Self {
+        debug_assert_eq!(data.len(), stored_rows * stored_cols);
+        Mat {
+            data,
+            stride: stored_cols,
+            transposed: true,
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f32 {
+        if self.transposed {
+            self.data[j * self.stride + i]
+        } else {
+            self.data[i * self.stride + j]
+        }
+    }
+}
+
+/// `C = A·B` with `A: [m, k]`, `B: [k, n]`, `C: [m, n]`, all row-major.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k}");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::normal(a, m, k),
+        Mat::normal(b, k, n),
+        c,
+        false,
+    );
+}
+
+/// `C = Aᵀ·B` with `A` **stored** `[k, m]`, `B: [k, n]`, `C: [m, n]`.
+///
+/// Computes the same result as `A.transpose().matmul(B)` without building
+/// the transpose.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be stored {k}x{m}");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::transposed(a, k, m),
+        Mat::normal(b, k, n),
+        c,
+        false,
+    );
+}
+
+/// `C += Aᵀ·B` — the accumulating variant of [`gemm_tn`], used to sum
+/// weight gradients across backward calls without a scratch matrix.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be stored {k}x{m}");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::transposed(a, k, m),
+        Mat::normal(b, k, n),
+        c,
+        true,
+    );
+}
+
+/// `C = A·Bᵀ` with `A: [m, k]`, `B` **stored** `[n, k]`, `C: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k}");
+    assert_eq!(b.len(), n * k, "B must be stored {n}x{k}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::normal(a, m, k),
+        Mat::transposed(b, n, k),
+        c,
+        false,
+    );
+}
+
+/// `C += A·Bᵀ` — the accumulating variant of [`gemm_nt`], used to sum
+/// per-image weight gradients without a scratch matrix per image.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k}");
+    assert_eq!(b.len(), n * k, "B must be stored {n}x{k}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::normal(a, m, k),
+        Mat::transposed(b, n, k),
+        c,
+        true,
+    );
+}
+
+/// Row-partitioned parallel driver: splits `C`'s rows across
+/// [`parallel::thread_count`] workers and runs the blocked kernel on each
+/// disjoint range. Small products stay serial.
+fn driver(m: usize, k: usize, n: usize, a: Mat<'_>, b: Mat<'_>, c: &mut [f32], accumulate: bool) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let threads = parallel::thread_count().min(m);
+    if threads <= 1 || m * k * n < PARALLEL_FLOP_THRESHOLD {
+        block_panel(m, k, n, 0, a, b, c, accumulate);
+        return;
+    }
+    // Round row chunks up to MR so tile boundaries stay aligned and no
+    // worker gets an empty range.
+    let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, c_rows) in c.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            let rows = c_rows.len() / n;
+            scope.spawn(move |_| {
+                block_panel(rows, k, n, row0, a, b, c_rows, accumulate);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Blocked kernel over a row range: computes `C[row0..row0+rows, :]` into
+/// `c` (a `rows`×`n` slice). Accumulation order per element is fixed: `KC`
+/// blocks ascending, `k` ascending within each block.
+#[allow(clippy::too_many_arguments)]
+fn block_panel(
+    rows: usize,
+    k: usize,
+    n: usize,
+    row0: usize,
+    a: Mat<'_>,
+    b: Mat<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    if !accumulate {
+        c.fill(0.0);
+    }
+    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut b_pack = vec![0.0f32; KC * NC];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&mut b_pack, b, pc, kc, jc, nc);
+            for ic in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ic);
+                pack_a(&mut a_pack, a, row0 + ic, mc, pc, kc);
+                multiply_block(&a_pack, &b_pack, c, ic, mc, jc, nc, kc, n);
+            }
+        }
+    }
+}
+
+/// Packs `A[row0..row0+mc, pc..pc+kc]` into `MR`-row panels, each panel
+/// stored k-major (`panel[p*MR + r]`), zero-padding the row remainder so
+/// the microkernel never branches. When `A` is a stored transpose, each
+/// panel slot is a contiguous run of the stored layout and packs with
+/// `copy_from_slice` instead of scalar gathers.
+fn pack_a(pack: &mut [f32], a: Mat<'_>, row0: usize, mc: usize, pc: usize, kc: usize) {
+    for (panel_idx, panel) in pack.chunks_mut(MR * KC).enumerate().take(mc.div_ceil(MR)) {
+        let r0 = panel_idx * MR;
+        let live = MR.min(mc - r0);
+        if a.transposed && live == MR {
+            for (p, slot) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
+                let src = &a.data[(pc + p) * a.stride + row0 + r0..][..MR];
+                slot.copy_from_slice(src);
+            }
+        } else {
+            for (p, slot) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
+                for (r, out) in slot.iter_mut().enumerate() {
+                    *out = if r < live {
+                        a.get(row0 + r0 + r, pc + p)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-column panels, each panel
+/// stored k-major (`panel[p*NR + c]`), zero-padding the column remainder.
+/// For row-major `B` each panel slot is a contiguous row run, so the
+/// common case is a straight `copy_from_slice` — packing cost matters for
+/// flat operands like im2col matrices where `k` is small.
+fn pack_b(pack: &mut [f32], b: Mat<'_>, pc: usize, kc: usize, jc: usize, nc: usize) {
+    for (panel_idx, panel) in pack.chunks_mut(NR * KC).enumerate().take(nc.div_ceil(NR)) {
+        let c0 = panel_idx * NR;
+        let live = NR.min(nc - c0);
+        if !b.transposed && live == NR {
+            for (p, slot) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+                let src = &b.data[(pc + p) * b.stride + jc + c0..][..NR];
+                slot.copy_from_slice(src);
+            }
+        } else {
+            for (p, slot) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+                for (cc, out) in slot.iter_mut().enumerate() {
+                    *out = if cc < live {
+                        b.get(pc + p, jc + c0 + cc)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies one packed `mc`×`kc` A block against one packed `kc`×`nc` B
+/// block, adding into `C[ic.., jc..]` (`ldc = n`).
+#[allow(clippy::too_many_arguments)]
+fn multiply_block(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+    n: usize,
+) {
+    for (a_idx, a_panel) in a_pack.chunks(MR * KC).enumerate().take(mc.div_ceil(MR)) {
+        let r0 = a_idx * MR;
+        let live_rows = MR.min(mc - r0);
+        for (b_idx, b_panel) in b_pack.chunks(NR * KC).enumerate().take(nc.div_ceil(NR)) {
+            let c0 = b_idx * NR;
+            let live_cols = NR.min(nc - c0);
+            let tile = microkernel(kc, a_panel, b_panel);
+            for (r, tile_row) in tile.iter().enumerate().take(live_rows) {
+                let row = ic + r0 + r;
+                let dst = &mut c[row * n + jc + c0..row * n + jc + c0 + live_cols];
+                for (out, add) in dst.iter_mut().zip(tile_row) {
+                    *out += add;
+                }
+            }
+        }
+    }
+}
+
+/// The `MR`×`NR` register tile: `tile[r][c] = Σ_p a_panel[p][r] ·
+/// b_panel[p][c]` over `kc` steps. Fixed-size arrays + `chunks_exact` keep
+/// the accumulators in registers and let LLVM vectorize the `NR` lane loop.
+#[inline]
+fn microkernel(kc: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+    let mut tile = [[0.0f32; NR]; MR];
+    for (a, b) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(kc)
+    {
+        let b: &[f32; NR] = b.try_into().expect("NR chunk");
+        for (r, tile_row) in tile.iter_mut().enumerate() {
+            let ar = a[r];
+            for (acc, &bv) in tile_row.iter_mut().zip(b) {
+                *acc += ar * bv;
+            }
+        }
+    }
+    tile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_thread_count;
+
+    /// Reference triple loop, k ascending — the accumulation order the
+    /// blocked kernel must reproduce exactly for k ≤ KC.
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        // Small deterministic pseudo-random values without pulling in rand.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (16, 150, 64),
+            (65, 13, 9),
+            (7, 300, 33),
+        ] {
+            let a = arb(m * k, 1 + m as u64);
+            let b = arb(k * n, 2 + n as u64);
+            let mut c = vec![f32::NAN; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            for (got, want) in c.iter().zip(&want) {
+                assert!((got - want).abs() <= 1e-4, "({m},{k},{n}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_to_naive_within_one_k_block() {
+        // For k ≤ KC the accumulation order is literally identical, so the
+        // result must match the naive loop bit for bit.
+        let (m, k, n) = (10, 100, 20);
+        let a = arb(m * k, 3);
+        let b = arb(k * n, 4);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (m, k, n) = (6, 11, 9);
+        let a_t = arb(k * m, 5); // stored [k, m]
+        let b = arb(k * n, 6);
+        let mut c = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &a_t, &b, &mut c);
+        // Explicitly transpose then gemm.
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut want);
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose_and_accumulates() {
+        let (m, k, n) = (5, 13, 8);
+        let a = arb(m * k, 7);
+        let b_t = arb(n * k, 8); // stored [n, k]
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a, &b_t, &mut c);
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut want);
+        assert_eq!(c, want);
+
+        // Accumulating variant adds on top.
+        let mut acc = want.clone();
+        gemm_nt_acc(m, k, n, &a, &b_t, &mut acc);
+        for (x, w) in acc.iter().zip(&want) {
+            assert_eq!(*x, 2.0 * w);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        // Large enough to cross PARALLEL_FLOP_THRESHOLD and span several
+        // row chunks and KC blocks.
+        let (m, k, n) = (96, 300, 48);
+        let a = arb(m * k, 9);
+        let b = arb(k * n, 10);
+        let serial = with_thread_count(1, || {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            c
+        });
+        for threads in [2, 3, 4, 7] {
+            let parallel = with_thread_count(threads, || {
+                let mut c = vec![0.0f32; m * n];
+                gemm(m, k, n, &a, &b, &mut c);
+                c
+            });
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_or_preserves() {
+        let mut c = vec![1.0f32; 6];
+        gemm(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0; 6]);
+        let mut c = vec![1.0f32; 6];
+        gemm_nt_acc(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![1.0; 6]);
+    }
+}

@@ -25,7 +25,9 @@ pub fn he_normal(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
 /// Xavier-uniform initialisation: `U(-a, a)` with `a = sqrt(6/(fan_in+fan_out))`.
 pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
-    (0..n).map(|_| (rng.random::<f64>() * 2.0 * a - a) as f32).collect()
+    (0..n)
+        .map(|_| (rng.random::<f64>() * 2.0 * a - a) as f32)
+        .collect()
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.cached_mask.is_empty(), "backward before forward(train=true)");
+        assert!(
+            !self.cached_mask.is_empty(),
+            "backward before forward(train=true)"
+        );
         let mut g = grad_out.clone();
         for (v, &keep) in g.as_mut_slice().iter_mut().zip(&self.cached_mask) {
             if !keep {
@@ -90,7 +93,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("backward before forward(train=true)");
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward(train=true)");
         let mut g = grad_out.clone();
         for (gv, &yv) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
             *gv *= yv * (1.0 - yv);

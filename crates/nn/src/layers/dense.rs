@@ -1,5 +1,8 @@
-//! Fully-connected layer.
+//! Fully-connected layer, computed with the cache-blocked [`crate::gemm`]
+//! kernels. The backward pass uses the transposed-operand GEMM variants
+//! directly on the stored layouts, so no transpose is ever materialised.
 
+use crate::gemm;
 use crate::init::he_normal;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
@@ -57,8 +60,16 @@ impl Layer for Dense {
         if train {
             self.cached_input = Some(x.clone());
         }
-        let mut y = x.matmul(&self.weight);
         let n = x.shape()[0];
+        let mut y = Tensor::zeros(&[n, self.out_features]);
+        gemm::gemm(
+            n,
+            self.in_features,
+            self.out_features,
+            x.as_slice(),
+            self.weight.as_slice(),
+            y.as_mut_slice(),
+        );
         let ys = y.as_mut_slice();
         let bs = self.bias.as_slice();
         for i in 0..n {
@@ -70,11 +81,21 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward(train=true)");
-        // grad_w += x^T g ; grad_b += colsum g ; grad_x = g W^T
-        let gw = x.transpose().matmul(grad_out);
-        self.grad_w.add_assign(&gw);
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward(train=true)");
         let n = grad_out.shape()[0];
+        // grad_w += x^T g: x is stored [N, in], i.e. already the transposed
+        // left operand for the TN kernel.
+        gemm::gemm_tn_acc(
+            self.in_features,
+            n,
+            self.out_features,
+            x.as_slice(),
+            grad_out.as_slice(),
+            self.grad_w.as_mut_slice(),
+        );
         let gb = self.grad_b.as_mut_slice();
         let g = grad_out.as_slice();
         for i in 0..n {
@@ -82,13 +103,32 @@ impl Layer for Dense {
                 gb[j] += g[i * self.out_features + j];
             }
         }
-        grad_out.matmul(&self.weight.transpose())
+        // grad_x = g W^T: W is stored [in, out], the transposed right
+        // operand for the NT kernel.
+        let mut gx = Tensor::zeros(&[n, self.in_features]);
+        gemm::gemm_nt(
+            n,
+            self.out_features,
+            self.in_features,
+            g,
+            self.weight.as_slice(),
+            gx.as_mut_slice(),
+        );
+        gx
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { name: "weight", values: self.weight.as_mut_slice(), grads: self.grad_w.as_mut_slice() },
-            Param { name: "bias", values: self.bias.as_mut_slice(), grads: self.grad_b.as_mut_slice() },
+            Param {
+                name: "weight",
+                values: self.weight.as_mut_slice(),
+                grads: self.grad_w.as_mut_slice(),
+            },
+            Param {
+                name: "bias",
+                values: self.bias.as_mut_slice(),
+                grads: self.grad_b.as_mut_slice(),
+            },
         ]
     }
 
@@ -144,7 +184,8 @@ mod tests {
         let eps = 1e-3f32;
         // check dL/dw for a few entries
         for &idx in &[0usize, 2, 5] {
-            let loss = |d: &mut Dense, x: &Tensor| -> f32 { d.forward(x, false).as_slice().iter().sum() };
+            let loss =
+                |d: &mut Dense, x: &Tensor| -> f32 { d.forward(x, false).as_slice().iter().sum() };
             let base_val = d.params()[0].values[idx];
             d.params()[0].values[idx] = base_val + eps;
             let lp = loss(&mut d, &x);
@@ -153,7 +194,10 @@ mod tests {
             d.params()[0].values[idx] = base_val;
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = d.params()[0].grads[idx];
-            assert!((numeric - analytic).abs() < 1e-2, "idx={idx}: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "idx={idx}: {numeric} vs {analytic}"
+            );
         }
         // check dL/dx numerically for one entry
         let mut x2 = x.clone();

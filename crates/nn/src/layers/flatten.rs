@@ -31,7 +31,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.cached_shape.is_empty(), "backward before forward(train=true)");
+        assert!(
+            !self.cached_shape.is_empty(),
+            "backward before forward(train=true)"
+        );
         grad_out.reshape(&self.cached_shape)
     }
 

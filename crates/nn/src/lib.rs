@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod gemm;
 pub mod init;
 pub mod layer;
 pub mod layers;
@@ -43,6 +44,7 @@ pub mod metrics;
 pub mod model;
 pub mod models;
 pub mod optim;
+pub mod parallel;
 pub mod persist;
 pub mod signs;
 pub mod tensor;

@@ -79,7 +79,11 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
 /// # Panics
 ///
 /// Panics on shape mismatch or non-positive `pos_weight`.
-pub fn bce_with_logits_weighted(logits: &Tensor, targets: &Tensor, pos_weight: f32) -> (f32, Tensor) {
+pub fn bce_with_logits_weighted(
+    logits: &Tensor,
+    targets: &Tensor,
+    pos_weight: f32,
+) -> (f32, Tensor) {
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
     assert!(pos_weight > 0.0, "pos_weight must be positive");
     let n = logits.len() as f32;

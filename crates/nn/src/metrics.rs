@@ -16,7 +16,11 @@ use crate::model::Sequential;
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     assert!(!labels.is_empty(), "empty evaluation");
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / labels.len() as f64
 }
 
@@ -171,7 +175,10 @@ mod tests {
         // identity "model": flatten only → predicts argmax pixel, which is
         // essentially arbitrary; just verify sizes and consistency with
         // evaluate_accuracy.
-        let cfg = SignConfig { classes: 5, ..SignConfig::default() };
+        let cfg = SignConfig {
+            classes: 5,
+            ..SignConfig::default()
+        };
         let data = generate(&cfg, 20, 0);
         let mut m = Sequential::new("flat");
         m.push(Flatten::new());

@@ -26,7 +26,10 @@ pub struct Sequential {
 
 impl Clone for Sequential {
     fn clone(&self) -> Self {
-        Sequential { name: self.name.clone(), layers: self.layers.clone() }
+        Sequential {
+            name: self.name.clone(),
+            layers: self.layers.clone(),
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates an empty stack.
     pub fn new(name: impl Into<String>) -> Self {
-        Sequential { name: name.into(), layers: Vec::new() }
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// The model's name.
@@ -120,7 +126,11 @@ impl Sequential {
     ///
     /// Panics if the snapshot's structure does not match this model.
     pub fn restore(&mut self, state: &ModelState) {
-        assert_eq!(state.layers.len(), self.layers.len(), "snapshot layer count mismatch");
+        assert_eq!(
+            state.layers.len(),
+            self.layers.len(),
+            "snapshot layer count mismatch"
+        );
         for (layer, saved) in self.layers.iter_mut().zip(&state.layers) {
             let params = layer.params();
             assert_eq!(params.len(), saved.len(), "snapshot param count mismatch");
@@ -275,7 +285,10 @@ mod tests {
             p.values.fill(0.0);
         }
         // original unchanged
-        assert!(m.all_params().iter().any(|p| p.values.iter().any(|&v| v != 0.0)));
+        assert!(m
+            .all_params()
+            .iter()
+            .any(|p| p.values.iter().any(|&v| v != 0.0)));
     }
 
     #[test]
@@ -295,7 +308,10 @@ mod tests {
         let g = m.backward(&Tensor::from_vec(y.shape(), vec![1.0; y.len()]));
         assert_eq!(g.shape(), x.shape());
         // at least one weight gradient is non-zero
-        assert!(m.all_params().iter().any(|p| p.grads.iter().any(|&v| v != 0.0)));
+        assert!(m
+            .all_params()
+            .iter()
+            .any(|p| p.grads.iter().any(|&v| v != 0.0)));
     }
 
     #[test]

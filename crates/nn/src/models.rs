@@ -132,7 +132,10 @@ mod tests {
             let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
             let gx = m.backward(&g);
             assert_eq!(gx.shape(), x.shape());
-            let has_grad = m.all_params().iter().any(|p| p.grads.iter().any(|&v| v != 0.0));
+            let has_grad = m
+                .all_params()
+                .iter()
+                .any(|p| p.grads.iter().any(|&v| v != 0.0));
             assert!(has_grad, "{} produced no gradients", m.model_name());
         }
     }

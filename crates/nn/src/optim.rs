@@ -19,7 +19,12 @@ impl Sgd {
     /// Creates an optimiser with the given learning rate, no momentum, no
     /// weight decay.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Sets the momentum factor (builder style).
@@ -47,10 +52,19 @@ impl Sgd {
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| vec![0.0; p.values.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter structure changed");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter structure changed"
+        );
         for (p, vel) in params.into_iter().zip(&mut self.velocity) {
             assert_eq!(vel.len(), p.values.len(), "parameter size changed");
-            for ((w, g), v) in p.values.iter_mut().zip(p.grads.iter_mut()).zip(vel.iter_mut()) {
+            for ((w, g), v) in p
+                .values
+                .iter_mut()
+                .zip(p.grads.iter_mut())
+                .zip(vel.iter_mut())
+            {
                 let grad = *g + self.weight_decay * *w;
                 *v = self.momentum * *v + grad;
                 *w -= self.lr * *v;
@@ -105,7 +119,10 @@ mod tests {
         m.backward(&grad);
         let mut opt = Sgd::new(0.1);
         opt.step(&mut m);
-        assert!(m.all_params().iter().all(|p| p.grads.iter().all(|&g| g == 0.0)));
+        assert!(m
+            .all_params()
+            .iter()
+            .all(|p| p.grads.iter().all(|&g| g == 0.0)));
     }
 
     #[test]
@@ -129,7 +146,10 @@ mod tests {
         let w2 = m1.all_params()[0].values[0];
         let step1 = (w1 - w0).abs();
         let step2 = (w2 - w1).abs();
-        assert!(step2 > step1, "momentum should grow the step: {step1} vs {step2}");
+        assert!(
+            step2 > step1,
+            "momentum should grow the step: {step1} vs {step2}"
+        );
     }
 
     #[test]

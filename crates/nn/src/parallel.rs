@@ -1,0 +1,222 @@
+//! Deterministic fan-out helpers for the compute-heavy outer loops.
+//!
+//! The thread count is controlled by the `MVML_THREADS` environment variable
+//! (falling back to the machine's available parallelism), so benchmark and
+//! table-regeneration runs are reproducible: every parallelized loop in this
+//! workspace partitions work so that **results are identical for any thread
+//! count** — threads only change which worker computes which disjoint slice,
+//! never the accumulation order within a slice.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide override installed by [`with_thread_count`]; 0 = none.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_thread_count`] callers so concurrent tests don't race
+/// on the override.
+static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
+
+/// The number of worker threads compute kernels should use.
+///
+/// Resolution order: an active [`with_thread_count`] override, then the
+/// `MVML_THREADS` environment variable (a positive integer), then the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("MVML_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+thread_local! {
+    /// True while this thread is inside [`with_thread_count`], making
+    /// nested calls skip the (non-reentrant) guard mutex.
+    static HOLDING_GUARD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Restores the previous override even if the wrapped closure panics.
+struct RestoreOverride {
+    previous: usize,
+    took_guard: bool,
+}
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.previous, Ordering::SeqCst);
+        if self.took_guard {
+            HOLDING_GUARD.with(|h| h.set(false));
+        }
+    }
+}
+
+/// Runs `f` with [`thread_count`] forced to `n` — the in-process equivalent
+/// of setting `MVML_THREADS`, used by determinism tests to compare thread
+/// counts without re-spawning the process. Concurrent callers from other
+/// threads are serialized; nested calls on the same thread are re-entrant.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "thread count must be positive");
+    let nested = HOLDING_GUARD.with(|h| h.replace(true));
+    let _guard = if nested {
+        None
+    } else {
+        Some(OVERRIDE_GUARD.lock().unwrap_or_else(|e| e.into_inner()))
+    };
+    let _restore = RestoreOverride {
+        previous: OVERRIDE.swap(n, Ordering::SeqCst),
+        took_guard: !nested,
+    };
+    f()
+}
+
+/// A scoped fan-out pool over a fixed number of workers.
+///
+/// Not a persistent pool: workers are scoped threads spawned per call,
+/// which keeps the implementation safe-Rust and borrow-friendly (closures
+/// may borrow from the caller's stack). With one worker every method runs
+/// inline on the calling thread, so `MVML_THREADS=1` gives a genuinely
+/// serial, easily-profiled execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool sized by [`thread_count`].
+    pub fn new() -> Self {
+        ThreadPool {
+            workers: thread_count(),
+        }
+    }
+
+    /// A pool with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        ThreadPool { workers }
+    }
+
+    /// Number of workers this pool fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, in parallel across workers, returning
+    /// results in input order. Items are split into contiguous chunks (one
+    /// per worker), so output order never depends on scheduling.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let total = items.len();
+        if self.workers == 1 || total <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = total.div_ceil(self.workers);
+        let mut chunks: Vec<Vec<I>> = Vec::new();
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(items);
+            items = rest;
+        }
+        let f = &f;
+        let mut gathered: Vec<Vec<T>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<T>>()))
+                .collect();
+            for handle in handles {
+                gathered.push(handle.join().expect("pool worker panicked"));
+            }
+        })
+        .expect("pool scope");
+        gathered.into_iter().flatten().collect()
+    }
+
+    /// Applies `f` to every element of `items` in place, in parallel across
+    /// workers. Each element is touched by exactly one worker.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let total = items.len();
+        if self.workers == 1 || total <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = total.div_ceil(self.workers);
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            for (c, slice) in items.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, item) in slice.iter_mut().enumerate() {
+                        f(c * chunk + i, item);
+                    }
+                });
+            }
+        })
+        .expect("pool scope");
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::with_workers(workers);
+            let got = pool.map(items.clone(), |x| x * x);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_index_once() {
+        for workers in [1, 3, 5] {
+            let mut data = vec![0usize; 23];
+            ThreadPool::with_workers(workers).for_each_mut(&mut data, |i, slot| {
+                *slot += i + 1;
+            });
+            let expect: Vec<usize> = (1..=23).collect();
+            assert_eq!(data, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn with_thread_count_overrides_and_restores() {
+        let inside = with_thread_count(3, thread_count);
+        assert_eq!(inside, 3);
+        let nested = with_thread_count(2, || with_thread_count(5, thread_count));
+        assert_eq!(nested, 5);
+    }
+
+    #[test]
+    fn pool_default_uses_thread_count() {
+        let workers = with_thread_count(4, || ThreadPool::new().workers());
+        assert_eq!(workers, 4);
+    }
+}

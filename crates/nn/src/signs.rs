@@ -92,10 +92,10 @@ impl SignConfig {
 /// silhouette `shape` (unit-scale: the silhouette spans roughly [-1, 1]).
 fn in_shape(shape: usize, u: f64, v: f64) -> bool {
     match shape {
-        0 => u * u + v * v <= 1.0,                            // circle
-        1 => v <= 0.8 && v >= 1.8 * u.abs() - 1.0,            // triangle up
-        2 => v >= -0.8 && v <= 1.0 - 1.8 * u.abs(),           // triangle down
-        3 => u.abs() + v.abs() <= 1.0,                        // diamond
+        0 => u * u + v * v <= 1.0,                                     // circle
+        1 => v <= 0.8 && v >= 1.8 * u.abs() - 1.0,                     // triangle up
+        2 => v >= -0.8 && v <= 1.0 - 1.8 * u.abs(),                    // triangle down
+        3 => u.abs() + v.abs() <= 1.0,                                 // diamond
         _ => u.abs().max(v.abs()) <= 0.92 && u.abs() + v.abs() <= 1.3, // octagon
     }
 }
@@ -186,7 +186,11 @@ pub fn generate(cfg: &SignConfig, count: usize, seed: u64) -> Dataset {
         data.extend_from_slice(img.as_slice());
         labels.push(class);
     }
-    Dataset::new(Tensor::from_vec(&[count, 1, s, s], data), labels, cfg.classes)
+    Dataset::new(
+        Tensor::from_vec(&[count, 1, s, s], data),
+        labels,
+        cfg.classes,
+    )
 }
 
 #[cfg(test)]
@@ -200,7 +204,10 @@ mod tests {
         for c in 0..cfg.classes {
             let img = render_prototype(&cfg, c);
             let quantised: Vec<u8> = img.as_slice().iter().map(|&v| (v * 20.0) as u8).collect();
-            assert!(!seen.contains(&quantised), "class {c} duplicates an earlier class");
+            assert!(
+                !seen.contains(&quantised),
+                "class {c} duplicates an earlier class"
+            );
             seen.push(quantised);
         }
     }
@@ -218,7 +225,10 @@ mod tests {
 
     #[test]
     fn labels_cover_all_classes_evenly() {
-        let cfg = SignConfig { classes: 10, ..SignConfig::default() };
+        let cfg = SignConfig {
+            classes: 10,
+            ..SignConfig::default()
+        };
         let d = generate(&cfg, 100, 0);
         let mut counts = [0usize; 10];
         for &l in d.labels() {
@@ -230,7 +240,11 @@ mod tests {
     #[test]
     fn pixels_are_in_unit_range() {
         let d = generate(&SignConfig::default(), 200, 1);
-        assert!(d.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(d
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -259,7 +273,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "classes must be in")]
     fn too_many_classes_rejected() {
-        let cfg = SignConfig { classes: 99, ..SignConfig::default() };
+        let cfg = SignConfig {
+            classes: 99,
+            ..SignConfig::default()
+        };
         cfg.validate();
     }
 

@@ -23,7 +23,10 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
         assert!(n > 0, "tensor shape {shape:?} has zero elements");
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor from explicit data.
@@ -33,8 +36,16 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, data.len(), "shape {shape:?} needs {n} elements, got {}", data.len());
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} needs {n} elements, got {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -70,8 +81,16 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "cannot reshape {:?} to {shape:?}", self.shape);
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            n,
+            self.data.len(),
+            "cannot reshape {:?} to {shape:?}",
+            self.shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Elementwise addition.
@@ -87,7 +106,10 @@ impl Tensor {
             .zip(&other.data)
             .map(|(a, b)| a + b)
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise in-place addition.
@@ -127,20 +149,11 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        crate::gemm::gemm(m, k, n, &self.data, &other.data, &mut out);
+        Tensor {
+            shape: vec![m, n],
+            data: out,
         }
-        Tensor { shape: vec![m, n], data: out }
     }
 
     /// Transposes a rank-2 tensor.
@@ -157,7 +170,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data: out }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
     }
 }
 

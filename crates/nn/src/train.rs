@@ -81,7 +81,10 @@ pub fn train_classifier(model: &mut Sequential, data: &Dataset, cfg: &TrainConfi
         epoch_losses.push((total / batches as f64) as f32);
     }
     let final_train_accuracy = crate::metrics::evaluate_accuracy(model, data, cfg.batch_size);
-    TrainReport { epoch_losses, final_train_accuracy }
+    TrainReport {
+        epoch_losses,
+        final_train_accuracy,
+    }
 }
 
 #[cfg(test)]
@@ -121,10 +124,19 @@ mod tests {
     fn learns_separable_problem() {
         let data = separable_dataset(64);
         let mut model = mlp(4, 8, 2, 0);
-        let cfg = TrainConfig { epochs: 20, batch_size: 16, lr: 0.1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
         let report = train_classifier(&mut model, &data, &cfg);
         assert_eq!(report.epoch_losses.len(), 20);
-        assert!(report.final_train_accuracy > 0.95, "acc={}", report.final_train_accuracy);
+        assert!(
+            report.final_train_accuracy > 0.95,
+            "acc={}",
+            report.final_train_accuracy
+        );
         assert!(report.epoch_losses.last().unwrap() < &0.3);
     }
 
@@ -135,7 +147,12 @@ mod tests {
         let report = train_classifier(
             &mut model,
             &data,
-            &TrainConfig { epochs: 10, batch_size: 8, lr: 0.05, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 8,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
         );
         assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
     }
@@ -143,7 +160,11 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let data = separable_dataset(32);
-        let cfg = TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
         let mut a = mlp(4, 8, 2, 7);
         let mut b = mlp(4, 8, 2, 7);
         let ra = train_classifier(&mut a, &data, &cfg);
@@ -167,7 +188,12 @@ mod tests {
         let train = generate(&cfg, 250, 0);
         let test = generate(&cfg, 100, 1);
         let mut model = mlp(144, 32, 5, 3);
-        let tc = TrainConfig { epochs: 15, batch_size: 32, lr: 0.1, ..TrainConfig::default() };
+        let tc = TrainConfig {
+            epochs: 15,
+            batch_size: 32,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
         let _ = train_classifier(&mut model, &train, &tc);
         let acc = crate::metrics::evaluate_accuracy(&mut model, &test, 32);
         assert!(acc > 0.8, "test accuracy {acc}");

@@ -1,0 +1,91 @@
+//! `MVML_THREADS` must never change numbers: every parallel kernel in this
+//! crate partitions work without altering accumulation order, so any thread
+//! count produces bitwise-identical results on a fixed seed.
+
+use mvml_nn::gemm::gemm;
+use mvml_nn::metrics::evaluate_accuracy;
+use mvml_nn::models::lenet_mini;
+use mvml_nn::parallel::with_thread_count;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::train::{train_classifier, TrainConfig};
+
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let cfg = SignConfig {
+        classes: 4,
+        noise_std: 0.05,
+        ..SignConfig::default()
+    };
+    let train = generate(&cfg, 80, 5);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    let run = || {
+        let mut model = lenet_mini(cfg.image_size, cfg.classes, 11);
+        let report = train_classifier(&mut model, &train, &tc);
+        (model.snapshot(), report.epoch_losses)
+    };
+    let (weights_1, losses_1) = with_thread_count(1, run);
+    for threads in [2, 4] {
+        let (weights_n, losses_n) = with_thread_count(threads, run);
+        assert_eq!(
+            losses_1, losses_n,
+            "epoch losses differ at {threads} threads"
+        );
+        assert_eq!(weights_1, weights_n, "weights differ at {threads} threads");
+    }
+}
+
+#[test]
+fn inference_is_bitwise_identical_across_thread_counts() {
+    let cfg = SignConfig {
+        classes: 4,
+        noise_std: 0.05,
+        ..SignConfig::default()
+    };
+    let train = generate(&cfg, 60, 3);
+    let test = generate(&cfg, 24, 4);
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    let mut model = lenet_mini(cfg.image_size, cfg.classes, 9);
+    let _ = train_classifier(&mut model, &train, &tc);
+    let acc_1 = with_thread_count(1, || evaluate_accuracy(&mut model, &test, 8));
+    for threads in [3, 4] {
+        let acc_n = with_thread_count(threads, || evaluate_accuracy(&mut model, &test, 8));
+        assert_eq!(
+            acc_1.to_bits(),
+            acc_n.to_bits(),
+            "accuracy differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn large_gemm_is_bitwise_identical_across_thread_counts() {
+    // Big enough to clear the parallel-dispatch threshold (2*m*k*n flops).
+    let (m, k, n) = (128, 96, 64);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 31) % 101) as f32 / 101.0 - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 17) % 97) as f32 / 97.0 - 0.5)
+        .collect();
+    let mut serial = vec![0.0f32; m * n];
+    with_thread_count(1, || gemm(m, k, n, &a, &b, &mut serial));
+    for threads in [2, 5, 8] {
+        let mut parallel = vec![0.0f32; m * n];
+        with_thread_count(threads, || gemm(m, k, n, &a, &b, &mut parallel));
+        assert!(
+            serial
+                .iter()
+                .zip(&parallel)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "gemm output differs at {threads} threads"
+        );
+    }
+}

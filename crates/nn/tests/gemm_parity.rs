@@ -1,0 +1,200 @@
+//! Property-based parity: the blocked GEMM kernels against naive references,
+//! and the layers' GEMM paths against the direct-loop reference kernels.
+
+use mvml_nn::gemm::{gemm, gemm_nt, gemm_tn};
+use mvml_nn::layer::Layer;
+use mvml_nn::layers::{Conv2d, Dense, KernelPath};
+use mvml_nn::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-random fill in `[-0.5, 0.5)`: keeps the property
+/// tests reproducible independent of the strategy RNG's draw order.
+fn fill(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked GEMM agrees with the naive triple loop across awkward shapes,
+    /// including k spanning multiple KC blocks.
+    #[test]
+    fn gemm_matches_naive(m in 1usize..24, k in 1usize..320, n in 1usize..24, salt in 0u64..1_000) {
+        let a = fill(m * k, salt);
+        let b = fill(k * n, salt ^ 0xABCD);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let reference = naive_gemm(m, k, n, &a, &b);
+        for (got, want) in c.iter().zip(&reference) {
+            prop_assert!(
+                (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                "gemm {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// The transposed-operand kernels agree with materialising the
+    /// transpose and calling plain GEMM.
+    #[test]
+    fn transposed_kernels_match_materialised_transpose(
+        m in 1usize..16, k in 1usize..48, n in 1usize..16, salt in 0u64..1_000,
+    ) {
+        // TN: A stored [k, m].
+        let a_t = fill(k * m, salt);
+        let b = fill(k * n, salt ^ 0x1111);
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut via_tn = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &a_t, &b, &mut via_tn);
+        let mut direct = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut direct);
+        prop_assert_eq!(&via_tn, &direct);
+
+        // NT: B stored [n, k].
+        let b_t = fill(n * k, salt ^ 0x2222);
+        let mut b2 = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b2[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut via_nt = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a, &b_t, &mut via_nt);
+        let mut direct2 = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b2, &mut direct2);
+        prop_assert_eq!(&via_nt, &direct2);
+    }
+
+    /// Conv2d's GEMM path agrees with the direct loops — forward outputs to
+    /// 1e-5, input gradients to 1e-4, weight gradients to 1e-3 — for random
+    /// shapes, kernels and paddings.
+    #[test]
+    fn conv_paths_agree(
+        n in 1usize..3,
+        c in 1usize..4,
+        oc in 1usize..4,
+        hw in 4usize..10,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+        salt in 0u64..1_000,
+    ) {
+        prop_assume!(hw + 2 * padding >= kernel);
+        let mut rng = StdRng::seed_from_u64(salt);
+        let mut direct = Conv2d::new(c, oc, kernel, padding, &mut rng);
+        let mut gemm_conv = direct.clone();
+        direct.set_kernel_path(KernelPath::Direct);
+        gemm_conv.set_kernel_path(KernelPath::Gemm);
+        let x = Tensor::from_vec(&[n, c, hw, hw], fill(n * c * hw * hw, salt ^ 0x5A5A));
+        let ya = direct.forward(&x, true);
+        let yb = gemm_conv.forward(&x, true);
+        for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + a.abs()), "forward {a} vs {b}");
+        }
+        let gout = Tensor::from_vec(ya.shape(), fill(ya.len(), salt ^ 0x7777));
+        let ga = direct.backward(&gout);
+        let gb = gemm_conv.backward(&gout);
+        for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "input grad {a} vs {b}");
+        }
+        for (a, b) in direct.params()[0].grads.iter().zip(gemm_conv.params()[0].grads.iter()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "weight grad {a} vs {b}");
+        }
+    }
+
+    /// Dense forward stays a plain affine map after the GEMM rewrite.
+    #[test]
+    fn dense_matches_naive_affine(
+        n in 1usize..8, input in 1usize..24, output in 1usize..12, salt in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(salt);
+        let mut layer = Dense::new(input, output, &mut rng);
+        let x = Tensor::from_vec(&[n, input], fill(n * input, salt ^ 0x33));
+        let y = layer.forward(&x, false);
+        let mut weight = vec![0.0f32; input * output];
+        weight.copy_from_slice(layer.params()[0].values);
+        let mut bias = vec![0.0f32; output];
+        bias.copy_from_slice(layer.params()[1].values);
+        for i in 0..n {
+            for j in 0..output {
+                let mut want = bias[j];
+                for p in 0..input {
+                    want += x.as_slice()[i * input + p] * weight[p * output + j];
+                }
+                let got = y.as_slice()[i * output + j];
+                prop_assert!((got - want).abs() <= 1e-5 * (1.0 + want.abs()), "{got} vs {want}");
+            }
+        }
+    }
+}
+
+/// Numerical gradient check with the kernel path pinned to im2col + GEMM
+/// (a shape `Auto` may legitimately keep on the direct path).
+#[test]
+fn gemm_conv_gradients_match_numeric_on_large_shape() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut conv = Conv2d::new(3, 4, 3, 1, &mut rng);
+    conv.set_kernel_path(KernelPath::Gemm);
+    let x = Tensor::from_vec(&[2, 3, 12, 12], fill(2 * 3 * 144, 97));
+
+    let y = conv.forward(&x, true);
+    let gout = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+    let gx = conv.backward(&gout);
+
+    let eps = 1e-2f32;
+    let loss = |c: &mut Conv2d, x: &Tensor| -> f32 { c.forward(x, false).as_slice().iter().sum() };
+    for &idx in &[0usize, 13, 57, 100] {
+        let base = conv.params()[0].values[idx];
+        conv.params()[0].values[idx] = base + eps;
+        let lp = loss(&mut conv, &x);
+        conv.params()[0].values[idx] = base - eps;
+        let lm = loss(&mut conv, &x);
+        conv.params()[0].values[idx] = base;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = conv.params()[0].grads[idx];
+        assert!(
+            (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+            "w[{idx}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+    for &idx in &[5usize, 200, 601] {
+        let mut x2 = x.clone();
+        let base = x2.as_slice()[idx];
+        x2.as_mut_slice()[idx] = base + eps;
+        let lp = loss(&mut conv, &x2);
+        x2.as_mut_slice()[idx] = base - eps;
+        let lm = loss(&mut conv, &x2);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - gx.as_slice()[idx]).abs() < 0.05 * numeric.abs().max(1.0),
+            "x[{idx}]: numeric {numeric} vs analytic {}",
+            gx.as_slice()[idx]
+        );
+    }
+}

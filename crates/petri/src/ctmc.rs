@@ -110,7 +110,10 @@ pub fn steady_state_of_graph(
             Err(e) => return Err(e),
         }
     };
-    Ok(SteadyState { markings: graph.markings.clone(), probs })
+    Ok(SteadyState {
+        markings: graph.markings.clone(),
+        probs,
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +186,11 @@ mod tests {
         let down_p = net.place_by_name("down").unwrap();
         for j in 0..=k {
             let expected = unnorm[j as usize] / norm;
-            let got = ss.iter().find(|(m, _)| m[down_p] == j).map(|(_, p)| p).unwrap();
+            let got = ss
+                .iter()
+                .find(|(m, _)| m[down_p] == j)
+                .map(|(_, p)| p)
+                .unwrap();
             assert!((got - expected).abs() < 1e-12);
         }
     }
@@ -193,12 +200,18 @@ mod tests {
         let net = mm1k(0.9, 1.3, 60);
         let dense = steady_state_with(
             &net,
-            &SolverOptions { dense_threshold: 1_000, ..SolverOptions::default() },
+            &SolverOptions {
+                dense_threshold: 1_000,
+                ..SolverOptions::default()
+            },
         )
         .unwrap();
         let sparse = steady_state_with(
             &net,
-            &SolverOptions { dense_threshold: 0, ..SolverOptions::default() },
+            &SolverOptions {
+                dense_threshold: 0,
+                ..SolverOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(dense.state_count(), sparse.state_count());

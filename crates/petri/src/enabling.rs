@@ -80,12 +80,15 @@ pub(crate) fn enabled_immediates(net: &Net, marking: &Marking) -> Vec<(usize, f6
                 let w = weight.eval(marking);
                 if w > 0.0 {
                     result.push((i, *priority, w));
-                    best_priority = Some(best_priority.map_or(*priority, |b: u32| b.max(*priority)));
+                    best_priority =
+                        Some(best_priority.map_or(*priority, |b: u32| b.max(*priority)));
                 }
             }
         }
     }
-    let Some(best) = best_priority else { return Vec::new() };
+    let Some(best) = best_priority else {
+        return Vec::new();
+    };
     result
         .into_iter()
         .filter(|&(_, p, _)| p == best)
@@ -187,6 +190,9 @@ mod tests {
     fn timed_enumeration() {
         let net = simple_net();
         assert_eq!(enabled_timed(&net, &Marking::new(vec![2, 0])), vec![0]);
-        assert_eq!(enabled_timed(&net, &Marking::new(vec![0, 2])), Vec::<usize>::new());
+        assert_eq!(
+            enabled_timed(&net, &Marking::new(vec![0, 2])),
+            Vec::<usize>::new()
+        );
     }
 }

@@ -38,7 +38,9 @@ pub const DEFAULT_ERLANG_K: u32 = 32;
 ///   docs).
 pub fn erlang_expand(net: &Net, k: u32) -> Result<Net, PetriError> {
     if k == 0 {
-        return Err(PetriError::InvalidParameter { what: "erlang stage count k = 0".to_string() });
+        return Err(PetriError::InvalidParameter {
+            what: "erlang stage count k = 0".to_string(),
+        });
     }
 
     // Collect places consumed by non-deterministic transitions, to detect
@@ -109,7 +111,11 @@ pub fn erlang_expand(net: &Net, k: u32) -> Result<Net, PetriError> {
                         },
                         inputs,
                         outputs,
-                        inhibitors: if is_first { tr.inhibitors.clone() } else { Vec::new() },
+                        inhibitors: if is_first {
+                            tr.inhibitors.clone()
+                        } else {
+                            Vec::new()
+                        },
                         guard: if is_first { tr.guard.clone() } else { None },
                     });
                 }

@@ -83,21 +83,33 @@ impl fmt::Display for PetriError {
                 write!(f, "invalid parameter: {what}")
             }
             PetriError::StateSpaceTooLarge { limit } => {
-                write!(f, "state space exceeds the configured limit of {limit} markings")
+                write!(
+                    f,
+                    "state space exceeds the configured limit of {limit} markings"
+                )
             }
             PetriError::TokenBoundExceeded { place, bound } => {
                 write!(f, "place `{place}` exceeded the token bound of {bound}")
             }
             PetriError::ImmediateCycle => {
-                write!(f, "cycle of immediate transitions (vanishing loop) detected")
+                write!(
+                    f,
+                    "cycle of immediate transitions (vanishing loop) detected"
+                )
             }
             PetriError::DeadVanishingMarking => {
-                write!(f, "vanishing marking with no enabled immediate transition of positive weight")
+                write!(
+                    f,
+                    "vanishing marking with no enabled immediate transition of positive weight"
+                )
             }
             PetriError::NoTangibleMarking => {
                 write!(f, "reachability graph contains no tangible marking")
             }
-            PetriError::SolverDiverged { iterations, residual } => {
+            PetriError::SolverDiverged {
+                iterations,
+                residual,
+            } => {
                 write!(
                     f,
                     "steady-state solver failed to converge after {iterations} iterations \
@@ -127,17 +139,34 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_every_variant() {
         let variants: Vec<PetriError> = vec![
-            PetriError::UnknownId { kind: "place", index: 3 },
-            PetriError::NoInputArc { transition: "t".into() },
-            PetriError::ZeroWeightArc { transition: "t".into() },
-            PetriError::InvalidParameter { what: "rate".into() },
+            PetriError::UnknownId {
+                kind: "place",
+                index: 3,
+            },
+            PetriError::NoInputArc {
+                transition: "t".into(),
+            },
+            PetriError::ZeroWeightArc {
+                transition: "t".into(),
+            },
+            PetriError::InvalidParameter {
+                what: "rate".into(),
+            },
             PetriError::StateSpaceTooLarge { limit: 10 },
-            PetriError::TokenBoundExceeded { place: "p".into(), bound: 255 },
+            PetriError::TokenBoundExceeded {
+                place: "p".into(),
+                bound: 255,
+            },
             PetriError::ImmediateCycle,
             PetriError::DeadVanishingMarking,
             PetriError::NoTangibleMarking,
-            PetriError::SolverDiverged { iterations: 5, residual: 0.1 },
-            PetriError::UnsupportedDeterministicStructure { transition: "t".into() },
+            PetriError::SolverDiverged {
+                iterations: 5,
+                residual: 0.1,
+            },
+            PetriError::UnsupportedDeterministicStructure {
+                transition: "t".into(),
+            },
             PetriError::ImmediateLivelock,
         ];
         for v in variants {

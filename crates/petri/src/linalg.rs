@@ -99,7 +99,10 @@ pub fn solve_dense(edges: &[Vec<(usize, f64)>]) -> Result<Vec<f64>, PetriError> 
             }
         }
         if best < 1e-300 {
-            return Err(PetriError::SolverDiverged { iterations: 0, residual: best });
+            return Err(PetriError::SolverDiverged {
+                iterations: 0,
+                residual: best,
+            });
         }
         if pivot != col {
             for k in 0..n {
@@ -136,7 +139,10 @@ pub fn solve_dense(edges: &[Vec<(usize, f64)>]) -> Result<Vec<f64>, PetriError> 
         sum += *v;
     }
     if !(sum.is_finite()) || sum <= 0.0 {
-        return Err(PetriError::SolverDiverged { iterations: 0, residual: sum });
+        return Err(PetriError::SolverDiverged {
+            iterations: 0,
+            residual: sum,
+        });
     }
     for v in &mut x {
         *v /= sum;
@@ -185,7 +191,10 @@ pub fn solve_gauss_seidel(
         }
         let sum: f64 = pi.iter().sum();
         if sum <= 0.0 || !sum.is_finite() {
-            return Err(PetriError::SolverDiverged { iterations: sweep, residual: sum });
+            return Err(PetriError::SolverDiverged {
+                iterations: sweep,
+                residual: sum,
+            });
         }
         for v in &mut pi {
             *v /= sum;
@@ -202,7 +211,10 @@ pub fn solve_gauss_seidel(
     if residual < 1e-8 {
         return Ok(pi);
     }
-    Err(PetriError::SolverDiverged { iterations: max_sweeps, residual })
+    Err(PetriError::SolverDiverged {
+        iterations: max_sweeps,
+        residual,
+    })
 }
 
 /// Maximum relative violation of the global balance equations.
@@ -247,7 +259,8 @@ mod tests {
             vec![(0, 3.0), (2, 0.1)],
         ];
         let dense = solve_dense(&edges).unwrap();
-        let gs = solve_gauss_seidel(&SparseGenerator::from_outgoing(&edges), 1e-14, 100_000).unwrap();
+        let gs =
+            solve_gauss_seidel(&SparseGenerator::from_outgoing(&edges), 1e-14, 100_000).unwrap();
         for (d, g) in dense.iter().zip(&gs) {
             assert!((d - g).abs() < 1e-9, "dense={d} gs={g}");
         }
@@ -257,13 +270,10 @@ mod tests {
     fn gauss_seidel_handles_stiff_rates() {
         // Rates spanning seven orders of magnitude (the paper's models mix
         // 1/1523 s⁻¹ compromise rates with 2 s⁻¹ repairs).
-        let edges = vec![
-            vec![(1, 6.57e-4)],
-            vec![(2, 6.57e-4)],
-            vec![(0, 2.0)],
-        ];
+        let edges = vec![vec![(1, 6.57e-4)], vec![(2, 6.57e-4)], vec![(0, 2.0)]];
         let dense = solve_dense(&edges).unwrap();
-        let gs = solve_gauss_seidel(&SparseGenerator::from_outgoing(&edges), 1e-14, 100_000).unwrap();
+        let gs =
+            solve_gauss_seidel(&SparseGenerator::from_outgoing(&edges), 1e-14, 100_000).unwrap();
         for (d, g) in dense.iter().zip(&gs) {
             assert!((d - g).abs() < 1e-10);
         }

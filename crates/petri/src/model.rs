@@ -330,11 +330,21 @@ impl NetBuilder {
         priority: u32,
         weight: impl Into<WeightSpec>,
     ) -> TransitionId {
-        self.push(name.into(), Timing::Immediate { priority, weight: weight.into() })
+        self.push(
+            name.into(),
+            Timing::Immediate {
+                priority,
+                weight: weight.into(),
+            },
+        )
     }
 
     /// Adds an exponential transition with single-server semantics.
-    pub fn exponential(&mut self, name: impl Into<String>, rate: impl Into<RateSpec>) -> TransitionId {
+    pub fn exponential(
+        &mut self,
+        name: impl Into<String>,
+        rate: impl Into<RateSpec>,
+    ) -> TransitionId {
         self.exponential_with(name, rate, ServerSemantics::Single)
     }
 
@@ -345,7 +355,13 @@ impl NetBuilder {
         rate: impl Into<RateSpec>,
         semantics: ServerSemantics,
     ) -> TransitionId {
-        self.push(name.into(), Timing::Exponential { rate: rate.into(), semantics })
+        self.push(
+            name.into(),
+            Timing::Exponential {
+                rate: rate.into(),
+                semantics,
+            },
+        )
     }
 
     /// Adds a deterministic (fixed-delay) transition.
@@ -371,9 +387,16 @@ impl NetBuilder {
     ///
     /// Returns [`PetriError::UnknownId`] for out-of-range ids and
     /// [`PetriError::ZeroWeightArc`] for weight 0.
-    pub fn input_arc(&mut self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+    pub fn input_arc(
+        &mut self,
+        place: PlaceId,
+        transition: TransitionId,
+        weight: u32,
+    ) -> Result<(), PetriError> {
         self.check(place, transition, weight)?;
-        self.transitions[transition.0].inputs.push((place.0, weight));
+        self.transitions[transition.0]
+            .inputs
+            .push((place.0, weight));
         Ok(())
     }
 
@@ -382,9 +405,16 @@ impl NetBuilder {
     /// # Errors
     ///
     /// Same conditions as [`NetBuilder::input_arc`].
-    pub fn output_arc(&mut self, transition: TransitionId, place: PlaceId, weight: u32) -> Result<(), PetriError> {
+    pub fn output_arc(
+        &mut self,
+        transition: TransitionId,
+        place: PlaceId,
+        weight: u32,
+    ) -> Result<(), PetriError> {
         self.check(place, transition, weight)?;
-        self.transitions[transition.0].outputs.push((place.0, weight));
+        self.transitions[transition.0]
+            .outputs
+            .push((place.0, weight));
         Ok(())
     }
 
@@ -394,9 +424,16 @@ impl NetBuilder {
     /// # Errors
     ///
     /// Same conditions as [`NetBuilder::input_arc`].
-    pub fn inhibitor_arc(&mut self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+    pub fn inhibitor_arc(
+        &mut self,
+        place: PlaceId,
+        transition: TransitionId,
+        weight: u32,
+    ) -> Result<(), PetriError> {
         self.check(place, transition, weight)?;
-        self.transitions[transition.0].inhibitors.push((place.0, weight));
+        self.transitions[transition.0]
+            .inhibitors
+            .push((place.0, weight));
         Ok(())
     }
 
@@ -414,21 +451,37 @@ impl NetBuilder {
         let t = self
             .transitions
             .get_mut(transition.0)
-            .ok_or(PetriError::UnknownId { kind: "transition", index: transition.0 })?;
+            .ok_or(PetriError::UnknownId {
+                kind: "transition",
+                index: transition.0,
+            })?;
         t.guard = Some(Arc::new(guard));
         Ok(())
     }
 
-    fn check(&self, place: PlaceId, transition: TransitionId, weight: u32) -> Result<(), PetriError> {
+    fn check(
+        &self,
+        place: PlaceId,
+        transition: TransitionId,
+        weight: u32,
+    ) -> Result<(), PetriError> {
         if place.0 >= self.place_names.len() {
-            return Err(PetriError::UnknownId { kind: "place", index: place.0 });
+            return Err(PetriError::UnknownId {
+                kind: "place",
+                index: place.0,
+            });
         }
         let t = self
             .transitions
             .get(transition.0)
-            .ok_or(PetriError::UnknownId { kind: "transition", index: transition.0 })?;
+            .ok_or(PetriError::UnknownId {
+                kind: "transition",
+                index: transition.0,
+            })?;
         if weight == 0 {
-            return Err(PetriError::ZeroWeightArc { transition: t.name.clone() });
+            return Err(PetriError::ZeroWeightArc {
+                transition: t.name.clone(),
+            });
         }
         Ok(())
     }
@@ -443,12 +496,15 @@ impl NetBuilder {
     pub fn build(self) -> Result<Net, PetriError> {
         for t in &self.transitions {
             if t.inputs.is_empty() {
-                return Err(PetriError::NoInputArc { transition: t.name.clone() });
+                return Err(PetriError::NoInputArc {
+                    transition: t.name.clone(),
+                });
             }
             match &t.timing {
-                Timing::Exponential { rate: RateSpec::Const(r), .. }
-                    if !r.is_finite() || *r <= 0.0 =>
-                {
+                Timing::Exponential {
+                    rate: RateSpec::Const(r),
+                    ..
+                } if !r.is_finite() || *r <= 0.0 => {
                     return Err(PetriError::InvalidParameter {
                         what: format!("rate {r} of transition `{}`", t.name),
                     });
@@ -524,26 +580,38 @@ mod tests {
         let (mut b, p0, _) = two_place_builder();
         let t = b.exponential("neg", -1.0);
         b.input_arc(p0, t, 1).unwrap();
-        assert!(matches!(b.build(), Err(PetriError::InvalidParameter { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::InvalidParameter { .. })
+        ));
 
         let (mut b, p0, _) = two_place_builder();
         let t = b.deterministic("zero", 0.0);
         b.input_arc(p0, t, 1).unwrap();
-        assert!(matches!(b.build(), Err(PetriError::InvalidParameter { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
     fn arcs_reject_zero_weight_and_bad_ids() {
         let (mut b, p0, _) = two_place_builder();
         let t = b.exponential("t", 1.0);
-        assert!(matches!(b.input_arc(p0, t, 0), Err(PetriError::ZeroWeightArc { .. })));
+        assert!(matches!(
+            b.input_arc(p0, t, 0),
+            Err(PetriError::ZeroWeightArc { .. })
+        ));
         assert!(matches!(
             b.input_arc(PlaceId(99), t, 1),
             Err(PetriError::UnknownId { kind: "place", .. })
         ));
         assert!(matches!(
             b.output_arc(TransitionId(99), p0, 1),
-            Err(PetriError::UnknownId { kind: "transition", .. })
+            Err(PetriError::UnknownId {
+                kind: "transition",
+                ..
+            })
         ));
         assert!(matches!(
             b.guard(TransitionId(99), |_| true),
@@ -571,9 +639,15 @@ mod tests {
 
     #[test]
     fn timing_predicates() {
-        let imm = Timing::Immediate { priority: 1, weight: WeightSpec::Const(1.0) };
+        let imm = Timing::Immediate {
+            priority: 1,
+            weight: WeightSpec::Const(1.0),
+        };
         let det = Timing::Deterministic { delay: 1.0 };
-        let exp = Timing::Exponential { rate: RateSpec::Const(1.0), semantics: ServerSemantics::Single };
+        let exp = Timing::Exponential {
+            rate: RateSpec::Const(1.0),
+            semantics: ServerSemantics::Single,
+        };
         assert!(imm.is_immediate() && !imm.is_deterministic());
         assert!(det.is_deterministic() && !det.is_immediate());
         assert!(!exp.is_immediate() && !exp.is_deterministic());

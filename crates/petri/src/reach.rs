@@ -23,7 +23,10 @@ pub struct ReachOptions {
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        ReachOptions { max_states: 1_000_000, token_bound: 4096 }
+        ReachOptions {
+            max_states: 1_000_000,
+            token_bound: 4096,
+        }
     }
 }
 
@@ -72,15 +75,17 @@ pub fn explore(net: &Net, opts: &ReachOptions) -> Result<ReachabilityGraph, Petr
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     let intern = |m: Marking,
-                      markings: &mut Vec<Marking>,
-                      index: &mut HashMap<Marking, usize>,
-                      queue: &mut VecDeque<usize>|
+                  markings: &mut Vec<Marking>,
+                  index: &mut HashMap<Marking, usize>,
+                  queue: &mut VecDeque<usize>|
      -> Result<usize, PetriError> {
         if let Some(&s) = index.get(&m) {
             return Ok(s);
         }
         if markings.len() >= opts.max_states {
-            return Err(PetriError::StateSpaceTooLarge { limit: opts.max_states });
+            return Err(PetriError::StateSpaceTooLarge {
+                limit: opts.max_states,
+            });
         }
         let s = markings.len();
         index.insert(m.clone(), s);
@@ -142,7 +147,11 @@ pub fn explore(net: &Net, opts: &ReachOptions) -> Result<ReachabilityGraph, Petr
         return Err(PetriError::NoTangibleMarking);
     }
 
-    Ok(ReachabilityGraph { markings, edges, initial })
+    Ok(ReachabilityGraph {
+        markings,
+        edges,
+        initial,
+    })
 }
 
 fn check_bound(net: &Net, m: &Marking, opts: &ReachOptions) -> Result<(), PetriError> {
@@ -167,7 +176,11 @@ struct VanishingResolver<'a> {
 
 impl<'a> VanishingResolver<'a> {
     fn new(net: &'a Net, opts: &'a ReachOptions) -> Self {
-        VanishingResolver { net, opts, memo: HashMap::new() }
+        VanishingResolver {
+            net,
+            opts,
+            memo: HashMap::new(),
+        }
     }
 
     fn resolve(&mut self, m: Marking) -> Result<Vec<(Marking, f64)>, PetriError> {
@@ -347,7 +360,10 @@ mod tests {
         b.output_arc(t, src, 1).unwrap();
         b.output_arc(t, sink, 1).unwrap();
         let net = b.build().unwrap();
-        let opts = ReachOptions { max_states: 10, token_bound: 1_000_000 };
+        let opts = ReachOptions {
+            max_states: 10,
+            token_bound: 1_000_000,
+        };
         assert!(matches!(
             explore(&net, &opts),
             Err(PetriError::StateSpaceTooLarge { limit: 10 })
@@ -364,7 +380,10 @@ mod tests {
         b.output_arc(t, src, 1).unwrap();
         b.output_arc(t, sink, 1).unwrap();
         let net = b.build().unwrap();
-        let opts = ReachOptions { max_states: 1_000_000, token_bound: 5 };
+        let opts = ReachOptions {
+            max_states: 1_000_000,
+            token_bound: 5,
+        };
         assert!(matches!(
             explore(&net, &opts),
             Err(PetriError::TokenBoundExceeded { .. })

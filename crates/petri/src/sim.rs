@@ -91,7 +91,10 @@ impl SimResult {
 
 impl ExpectedReward for SimResult {
     fn expected_reward<F: Fn(&Marking) -> f64>(&self, reward: F) -> f64 {
-        self.occupancy.iter().map(|(m, frac)| frac * reward(m)).sum()
+        self.occupancy
+            .iter()
+            .map(|(m, frac)| frac * reward(m))
+            .sum()
     }
 }
 
@@ -112,13 +115,19 @@ fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
 /// * [`PetriError::ImmediateLivelock`] if immediate transitions fire
 ///   `max_immediate_chain` times without time advancing.
 pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
-    if cfg.horizon <= 0.0 || cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon || !cfg.horizon.is_finite() {
+    if cfg.horizon <= 0.0
+        || cfg.warmup < 0.0
+        || cfg.warmup >= cfg.horizon
+        || !cfg.horizon.is_finite()
+    {
         return Err(PetriError::InvalidParameter {
             what: format!("horizon {} / warmup {}", cfg.horizon, cfg.warmup),
         });
     }
     if cfg.batches == 0 {
-        return Err(PetriError::InvalidParameter { what: "batches = 0".to_string() });
+        return Err(PetriError::InvalidParameter {
+            what: "batches = 0".to_string(),
+        });
     }
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -130,15 +139,23 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
     let mut firings: u64 = 0;
 
     let mut marking = net.initial_marking();
-    fire_immediates(net, &mut marking, &mut rng, cfg.max_immediate_chain, &mut firings)?;
+    fire_immediates(
+        net,
+        &mut marking,
+        &mut rng,
+        cfg.max_immediate_chain,
+        &mut firings,
+    )?;
 
     // Enabling-memory timers for deterministic transitions.
     let mut det_remaining: HashMap<usize, f64> = HashMap::new();
 
     let mut t = 0.0f64;
-    let accumulate = |marking: &Marking, from: f64, to: f64,
-                          occupancy: &mut HashMap<Marking, f64>,
-                          batch_occupancy: &mut Vec<HashMap<Marking, f64>>| {
+    let accumulate = |marking: &Marking,
+                      from: f64,
+                      to: f64,
+                      occupancy: &mut HashMap<Marking, f64>,
+                      batch_occupancy: &mut Vec<HashMap<Marking, f64>>| {
         let a = from.max(cfg.warmup);
         let b = to.min(cfg.horizon);
         if b <= a {
@@ -160,7 +177,13 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
         let timed = enabled_timed(net, &marking);
         if timed.is_empty() {
             // Dead (absorbing) marking: stay here until the horizon.
-            accumulate(&marking, t, cfg.horizon, &mut occupancy, &mut batch_occupancy);
+            accumulate(
+                &marking,
+                t,
+                cfg.horizon,
+                &mut occupancy,
+                &mut batch_occupancy,
+            );
             break;
         }
 
@@ -213,7 +236,13 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
 
         marking = fire(net, winner, &marking);
         firings += 1;
-        fire_immediates(net, &mut marking, &mut rng, cfg.max_immediate_chain, &mut firings)?;
+        fire_immediates(
+            net,
+            &mut marking,
+            &mut rng,
+            cfg.max_immediate_chain,
+            &mut firings,
+        )?;
     }
 
     // Normalise to fractions.
@@ -226,7 +255,12 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
         }
     }
 
-    Ok(SimResult { occupancy, batch_occupancy, observed_time: observed, firings })
+    Ok(SimResult {
+        occupancy,
+        batch_occupancy,
+        observed_time: observed,
+        firings,
+    })
 }
 
 fn fire_immediates(
@@ -279,7 +313,12 @@ mod tests {
     #[test]
     fn simulation_matches_analytic_availability() {
         let net = two_state(0.1, 1.0);
-        let cfg = SimConfig { horizon: 200_000.0, warmup: 1_000.0, seed: 7, ..SimConfig::default() };
+        let cfg = SimConfig {
+            horizon: 200_000.0,
+            warmup: 1_000.0,
+            seed: 7,
+            ..SimConfig::default()
+        };
         let res = simulate(&net, &cfg).unwrap();
         let up = net.place_by_name("up").unwrap();
         let avail = res.probability(|m| m[up] == 1);
@@ -295,7 +334,12 @@ mod tests {
         let ss = steady_state(&net).unwrap();
         let res = simulate(
             &net,
-            &SimConfig { horizon: 500_000.0, warmup: 100.0, seed: 42, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 500_000.0,
+                warmup: 100.0,
+                seed: 42,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let up = net.place_by_name("up").unwrap();
@@ -323,7 +367,12 @@ mod tests {
 
         let res = simulate(
             &net,
-            &SimConfig { horizon: 120_000.0, warmup: 500.0, seed: 3, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 120_000.0,
+                warmup: 500.0,
+                seed: 3,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let up_id = net.place_by_name("up").unwrap();
@@ -359,7 +408,12 @@ mod tests {
 
         let res = simulate(
             &net,
-            &SimConfig { horizon: 150_000.0, warmup: 100.0, seed: 11, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 150_000.0,
+                warmup: 100.0,
+                seed: 11,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let a_id = net.place_by_name("a").unwrap();
@@ -373,7 +427,12 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let net = two_state(0.2, 0.9);
-        let cfg = SimConfig { horizon: 5_000.0, warmup: 10.0, seed: 99, ..SimConfig::default() };
+        let cfg = SimConfig {
+            horizon: 5_000.0,
+            warmup: 10.0,
+            seed: 99,
+            ..SimConfig::default()
+        };
         let r1 = simulate(&net, &cfg).unwrap();
         let r2 = simulate(&net, &cfg).unwrap();
         assert_eq!(r1.firings, r2.firings);
@@ -395,7 +454,12 @@ mod tests {
         let net = b.build().unwrap();
         let res = simulate(
             &net,
-            &SimConfig { horizon: 1_000.0, warmup: 1.0, seed: 1, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 1_000.0,
+                warmup: 1.0,
+                seed: 1,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let q_id = net.place_by_name("q").unwrap();
@@ -423,10 +487,23 @@ mod tests {
     #[test]
     fn config_validation() {
         let net = two_state(0.1, 1.0);
-        let bad = SimConfig { horizon: 10.0, warmup: 10.0, ..SimConfig::default() };
-        assert!(matches!(simulate(&net, &bad), Err(PetriError::InvalidParameter { .. })));
-        let bad = SimConfig { batches: 0, ..SimConfig::default() };
-        assert!(matches!(simulate(&net, &bad), Err(PetriError::InvalidParameter { .. })));
+        let bad = SimConfig {
+            horizon: 10.0,
+            warmup: 10.0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            simulate(&net, &bad),
+            Err(PetriError::InvalidParameter { .. })
+        ));
+        let bad = SimConfig {
+            batches: 0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            simulate(&net, &bad),
+            Err(PetriError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -434,7 +511,12 @@ mod tests {
         let net = two_state(0.5, 0.5);
         let res = simulate(
             &net,
-            &SimConfig { horizon: 100_000.0, warmup: 100.0, seed: 5, ..SimConfig::default() },
+            &SimConfig {
+                horizon: 100_000.0,
+                warmup: 100.0,
+                seed: 5,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let up = net.place_by_name("up").unwrap();

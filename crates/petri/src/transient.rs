@@ -17,7 +17,7 @@ use crate::ctmc::SteadyState;
 use crate::error::PetriError;
 use crate::marking::Marking;
 use crate::model::Net;
-use crate::reach::{explore, ReachabilityGraph, ReachOptions};
+use crate::reach::{explore, ReachOptions, ReachabilityGraph};
 use crate::reward::ExpectedReward;
 
 /// The state distribution of a net at one time point.
@@ -78,11 +78,15 @@ pub fn transient_of_graph(
     tol: f64,
 ) -> Result<Vec<TransientSolution>, PetriError> {
     if !(tol > 0.0 && tol < 1.0) {
-        return Err(PetriError::InvalidParameter { what: format!("tolerance {tol}") });
+        return Err(PetriError::InvalidParameter {
+            what: format!("tolerance {tol}"),
+        });
     }
     for &t in times {
         if !(t.is_finite() && t >= 0.0) {
-            return Err(PetriError::InvalidParameter { what: format!("time {t}") });
+            return Err(PetriError::InvalidParameter {
+                what: format!("time {t}"),
+            });
         }
     }
     let n = graph.state_count();
@@ -164,7 +168,11 @@ pub fn transient_of_graph(
                 *a /= total;
             }
         }
-        solutions.push(TransientSolution { markings: graph.markings.clone(), probs: acc, time: t });
+        solutions.push(TransientSolution {
+            markings: graph.markings.clone(),
+            probs: acc,
+            time: t,
+        });
     }
     Ok(solutions)
 }
@@ -237,7 +245,13 @@ mod tests {
     #[test]
     fn probabilities_remain_normalised() {
         let net = two_state(2.0, 0.1);
-        let sols = transient(&net, &[0.1, 1.0, 10.0, 100.0], &ReachOptions::default(), 1e-10).unwrap();
+        let sols = transient(
+            &net,
+            &[0.1, 1.0, 10.0, 100.0],
+            &ReachOptions::default(),
+            1e-10,
+        )
+        .unwrap();
         for sol in sols {
             let total: f64 = sol.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-9, "t={}: {total}", sol.time);

@@ -13,11 +13,25 @@ fn main() {
     // Train a (smallish) detector bank: three YOLO-mini variants learning to
     // spot vehicles in noisy bird's-eye-view grids.
     println!("training the 3-variant detector bank…");
-    let cfg = DetectorTrainConfig { scenes: 500, epochs: 3, ..DetectorTrainConfig::default() };
+    let cfg = DetectorTrainConfig {
+        scenes: 500,
+        epochs: 3,
+        ..DetectorTrainConfig::default()
+    };
     let models = (0..3)
         .map(|i| {
-            let mut m = yolo_mini(["yolomini-s", "yolomini-m", "yolomini-l"][i as usize], 4 + 2 * i as usize, i);
-            let loss = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+            let mut m = yolo_mini(
+                ["yolomini-s", "yolomini-m", "yolomini-l"][i as usize],
+                4 + 2 * i as usize,
+                i,
+            );
+            let loss = train_detector(
+                &mut m,
+                &DetectorTrainConfig {
+                    seed: 38 + i,
+                    ..cfg
+                },
+            );
             println!("  {:<11} final BCE loss {loss:.4}", m.model_name());
             m
         })
@@ -32,7 +46,11 @@ fn main() {
     );
 
     for proactive in [true, false] {
-        let label = if proactive { "w/  rejuvenation" } else { "w/o rejuvenation" };
+        let label = if proactive {
+            "w/  rejuvenation"
+        } else {
+            "w/o rejuvenation"
+        };
         println!("\n{label} (λc=8 s, λ=16 s, μ=μr=0.5 s, γ=3 s):");
         let mut total_collisions = 0;
         for seed in 0..3u64 {
@@ -42,7 +60,8 @@ fn main() {
                 "  seed {seed}: {} frames, collision frames {}, first collision {}, skips {:.1}%",
                 m.frames,
                 m.collision_frames,
-                m.first_collision.map_or("NA".to_string(), |f| f.to_string()),
+                m.first_collision
+                    .map_or("NA".to_string(), |f| f.to_string()),
                 100.0 * m.skip_ratio()
             );
             if m.first_collision.is_some() {

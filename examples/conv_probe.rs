@@ -1,0 +1,59 @@
+//! Per-shape direct-vs-GEMM convolution timing (detector inference shapes,
+//! LeNet-style training shapes). The `KernelPath::Auto` thresholds in
+//! `mvml_nn::layers::Conv2d` were measured with this probe — re-run it when
+//! retuning them for a new host.
+use mvml_nn::layers::{Conv2d, KernelPath};
+use mvml_nn::Layer;
+use mvml_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        v.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let shapes: &[(&str, usize, usize, usize, usize, usize, usize)] = &[
+        ("det stem 1->6 k3 32x32 b1", 1, 1, 6, 3, 1, 32),
+        ("det mid 6->6 k3 32x32 b1", 1, 6, 6, 3, 1, 32),
+        ("det mid 8->8 k3 32x32 b1", 1, 8, 8, 3, 1, 32),
+        ("det head 6->1 k1 32x32 b1", 1, 6, 1, 1, 0, 32),
+        ("mid batch8 6->6 k3 32x32", 8, 6, 6, 3, 1, 32),
+        ("mid batch32 6->6 k3 32x32", 32, 6, 6, 3, 1, 32),
+        ("mid batch32 8->8 k3 32x32", 32, 8, 8, 3, 1, 32),
+        ("mid batch1 16->16 k3 32x32", 1, 16, 16, 3, 1, 32),
+        ("mid batch8 16->16 k3 32x32", 8, 16, 16, 3, 1, 32),
+    ];
+    for &(label, n, ic, oc, k, pad, hw) in shapes {
+        let x = Tensor::from_vec(
+            &[n, ic, hw, hw],
+            (0..n * ic * hw * hw)
+                .map(|i| ((i * 13) % 29) as f32 / 29.0 - 0.5)
+                .collect(),
+        );
+        let time_path = |path: KernelPath| {
+            let mut rng = StdRng::seed_from_u64(38);
+            let mut conv = Conv2d::new(ic, oc, k, pad, &mut rng);
+            conv.set_kernel_path(path);
+            median_ns(9, 50, || {
+                std::hint::black_box(conv.forward(std::hint::black_box(&x), false));
+            })
+        };
+        let d = time_path(KernelPath::Direct);
+        let g = time_path(KernelPath::Gemm);
+        println!(
+            "{label}: direct {d:.0} ns, gemm {g:.0} ns, speedup {:.2}x",
+            d / g
+        );
+    }
+}

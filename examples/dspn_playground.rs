@@ -26,17 +26,21 @@ fn main() {
     let ss = steady_state(&fig2.net).expect("CTMC solution");
     println!("tangible markings: {}", ss.state_count());
     println!("steady-state distribution over (healthy, compromised, failed):");
-    let mut states: Vec<(SystemState, f64)> = ss
-        .iter()
-        .map(|(m, p)| (fig2.system_state(m), p))
-        .collect();
+    let mut states: Vec<(SystemState, f64)> =
+        ss.iter().map(|(m, p)| (fig2.system_state(m), p)).collect();
     states.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (s, prob) in &states {
         if *prob > 1e-6 {
-            println!("  π{s} = {prob:.6}   R{s} = {:.6}", reliability_of(*s, &params));
+            println!(
+                "  π{s} = {prob:.6}   R{s} = {:.6}",
+                reliability_of(*s, &params)
+            );
         }
     }
-    let expected: f64 = states.iter().map(|(s, p)| p * reliability_of(*s, &params)).sum();
+    let expected: f64 = states
+        .iter()
+        .map(|(s, p)| p * reliability_of(*s, &params))
+        .sum();
     println!("E[R] (Eq. 3) = {expected:.6}   (paper Table V: 0.903190)\n");
 
     // --- The Fig. 3 model: proactive clock, Erlang-expanded then solved. ---
@@ -53,11 +57,7 @@ fn main() {
         let (pmh, pmc, pmf, pmr) = (fig3.pmh, fig3.pmc, fig3.pmf, fig3.pmr.expect("pmr"));
         let reward = ss.expected_reward(|m| {
             reliability_of(
-                SystemState::new(
-                    m[pmh] as usize,
-                    m[pmc] as usize,
-                    (m[pmf] + m[pmr]) as usize,
-                ),
+                SystemState::new(m[pmh] as usize, m[pmc] as usize, (m[pmf] + m[pmr]) as usize),
                 &params,
             )
         });
@@ -70,7 +70,12 @@ fn main() {
     // --- Cross-check by simulation (the paper solved Table V this way). ---
     let sim = simulate(
         &fig3.net,
-        &SimConfig { horizon: 2_000_000.0, warmup: 10_000.0, seed: 42, ..SimConfig::default() },
+        &SimConfig {
+            horizon: 2_000_000.0,
+            warmup: 10_000.0,
+            seed: 42,
+            ..SimConfig::default()
+        },
     )
     .expect("simulation");
     let (pmh, pmc, pmf, pmr) = (fig3.pmh, fig3.pmc, fig3.pmf, fig3.pmr.expect("pmr"));

@@ -25,10 +25,19 @@ fn main() {
     //    AlexNet / ResNet / LeNet roles).
     println!("training three diverse model versions…");
     let mut models = three_versions(sign.image_size, sign.classes, 38);
-    let tc = TrainConfig { epochs: 8, batch_size: 64, lr: 0.08, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 8,
+        batch_size: 64,
+        lr: 0.08,
+        ..TrainConfig::default()
+    };
     for m in &mut models {
         let report = train_classifier(m, &train, &tc);
-        println!("  {:<14} train accuracy {:.3}", m.model_name(), report.final_train_accuracy);
+        println!(
+            "  {:<14} train accuracy {:.3}",
+            m.model_name(),
+            report.final_train_accuracy
+        );
     }
 
     // 3. Assemble the N-version system (trusted voter, rules R.1–R.3).
@@ -62,7 +71,9 @@ fn main() {
         .expect("no degrading seed found");
         seeds.push(found);
     }
-    system.module_mut(0).compromise(0, -10.0, 30.0, seeds[0].seed);
+    system
+        .module_mut(0)
+        .compromise(0, -10.0, 30.0, seeds[0].seed);
     let one_bad = system.evaluate(&test, 64);
     println!(
         "one compromised module: reliability {:.3} (module at {:.3} accuracy, fault masked by 2-out-of-3 voting)",
@@ -71,7 +82,9 @@ fn main() {
     );
 
     // 5. Compromise a second module — now wrong majorities and skips appear.
-    system.module_mut(1).compromise(0, -10.0, 30.0, seeds[1].seed);
+    system
+        .module_mut(1)
+        .compromise(0, -10.0, 30.0, seeds[1].seed);
     let two_bad = system.evaluate(&test, 64);
     println!(
         "two compromised modules: reliability {:.3}, coverage {:.3} ({} safe skips — \
@@ -86,7 +99,10 @@ fn main() {
     system.module_mut(0).complete_rejuvenation();
     system.module_mut(1).complete_rejuvenation();
     let recovered = system.evaluate(&test, 64);
-    println!("after rejuvenation:     reliability {:.3}", recovered.reliability());
+    println!(
+        "after rejuvenation:     reliability {:.3}",
+        recovered.reliability()
+    );
 
     // 7. Degraded operation: with one module down the voter runs 2-out-of-2
     //    and safely skips on divergence (R.2).

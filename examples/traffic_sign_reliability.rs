@@ -18,10 +18,18 @@ use resilient_perception::nn::train::{train_classifier, TrainConfig};
 
 fn main() {
     // --- Phase 1: train and measure (Table II pipeline, reduced size). ---
-    let sign = SignConfig { classes: 12, ..SignConfig::default() };
+    let sign = SignConfig {
+        classes: 12,
+        ..SignConfig::default()
+    };
     let train = generate(&sign, sign.classes * 60, 0xA11CE);
     let test = generate(&sign, sign.classes * 30, 0xB0B);
-    let tc = TrainConfig { epochs: 8, batch_size: 128, lr: 0.08, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 8,
+        batch_size: 128,
+        lr: 0.08,
+        ..TrainConfig::default()
+    };
 
     println!("phase 1 — training and fault injection");
     let mut models = three_versions(sign.image_size, sign.classes, 38);
@@ -56,7 +64,12 @@ fn main() {
     let p_prime = 1.0 - compromised_acc.iter().sum::<f64>() / 3.0;
     let alpha = alpha_mean(&error_sets);
     println!("\nphase 2 — calibrated parameters: p = {p:.4}, p' = {p_prime:.4}, α = {alpha:.4}");
-    let params = SystemParams { p, p_prime, alpha, ..SystemParams::paper_table_iv() };
+    let params = SystemParams {
+        p,
+        p_prime,
+        alpha,
+        ..SystemParams::paper_table_iv()
+    };
     params.validate().expect("calibrated parameters are valid");
 
     // --- Phase 3: per-state reliability functions (Table III). ---
@@ -72,12 +85,18 @@ fn main() {
         (0, 2, 1),
         (0, 1, 2),
     ] {
-        println!("  R_({i},{j},{k}) = {:.6}", reliability_of(SystemState::new(i, j, k), &params));
+        println!(
+            "  R_({i},{j},{k}) = {:.6}",
+            reliability_of(SystemState::new(i, j, k), &params)
+        );
     }
 
     // --- Phase 4: DSPN solution (Table V). ---
     println!("\nphase 4 — expected system reliability (DSPN steady state):");
-    let opts = SolveOptions { erlang_k: 16, ..SolveOptions::default() };
+    let opts = SolveOptions {
+        erlang_k: 16,
+        ..SolveOptions::default()
+    };
     let table = table_v(&params, &opts).expect("DSPN solution");
     for n in 1..=3u32 {
         for proactive in [false, true] {

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface this workspace's `harness = false` bench
+//! targets use: `Criterion::bench_function`, `benchmark_group` (+
+//! `sample_size`/`finish`), `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: calibrate an iteration count until a
+//! sample takes long enough to time reliably, collect a handful of samples,
+//! and report the median ns/iter to stdout. No statistics engine, no HTML
+//! reports. Under `cargo test` (which passes `--test` to bench binaries)
+//! every benchmark body runs exactly once as a smoke test.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility,
+/// the shim times each batch of one iteration individually regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` outside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark manager; one per bench binary.
+pub struct Criterion {
+    sample_count: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            sample_count: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (or smoke-tests) one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_count;
+        self.run(name, samples, f);
+        self
+    }
+
+    /// Starts a named group whose benchmarks can share a sample count.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+
+        // Calibrate: double the iteration count until one sample is long
+        // enough to time meaningfully.
+        let target = Duration::from_millis(40);
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Measure: median over the requested number of samples.
+        let mut estimates = Vec::with_capacity(samples.max(1));
+        for _ in 0..samples.max(1) {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            estimates.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let per_iter_ns = estimates[estimates.len() / 2];
+
+        println!(
+            "{name:<50} {:>14.1} ns/iter  ({iters} iters x {samples} samples)",
+            per_iter_ns
+        );
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        self.criterion.run(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_count: 2,
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn group_filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_count: 1,
+            test_mode: true,
+            filter: Some("only_this".to_string()),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("other", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread` scoped spawning is provided, implemented as a
+//! thin wrapper over `std::thread::scope` (available since Rust 1.63, which
+//! makes crossbeam's own scoped threads unnecessary for this workspace).
+//! The wrapper keeps crossbeam's call shape — `scope` returns a `Result`,
+//! and spawned closures receive a `&Scope` argument for nested spawns.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Boxed payload of a panicked thread.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// A scope for spawning threads that may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns its closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again so
+        /// it can spawn nested threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope; all threads spawned within are joined before it
+    /// returns. Returns `Err` with the panic payload if an unjoined thread
+    /// panicked (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread ok"))
+                .sum::<u32>()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let result = thread::scope(|scope| {
+            scope
+                .spawn(|inner_scope| inner_scope.spawn(|_| 21u32).join().expect("inner ok") * 2)
+                .join()
+                .expect("outer ok")
+        })
+        .expect("scope ok");
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn joined_panic_surfaces_in_handle() {
+        let caught = thread::scope(|scope| {
+            let handle = scope.spawn(|_| panic!("boom"));
+            handle.join().is_err()
+        })
+        .expect("scope itself ok when panic was joined");
+        assert!(caught);
+    }
+}

@@ -1,0 +1,462 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` in the offline container).
+//! Supports exactly the item shapes this workspace derives on: named-field
+//! structs, tuple/newtype structs, unit structs, and enums whose variants
+//! are unit, newtype, tuple or struct-like — optionally with plain type
+//! parameters (e.g. `Verdict<T>`). Field attributes are not supported; the
+//! workspace uses none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ----------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["T"]` for `Verdict<T>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    /// Tuple struct with this many fields (1 = newtype).
+    TupleStruct(usize),
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+
+    // Optional generics: collect type-parameter idents at depth 1.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut at_param_start = true;
+            while depth > 0 {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        at_param_start = true;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        // Lifetime: consume its ident, it is not a type param.
+                        tokens.next();
+                        at_param_start = false;
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 && at_param_start => {
+                        generics.push(id.to_string());
+                        at_param_start = false;
+                    }
+                    Some(_) => at_param_start = false,
+                    None => panic!("derive: unterminated generics on {name}"),
+                }
+            }
+        }
+    }
+
+    let kind = match item_kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            other => panic!("derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility and the (angle-depth-aware) type tokens.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+/// `#[derive(Serialize)]` for the offline serde stand-in.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty) = impl_header(&item, "::serde::Serialize");
+    let name = &item.name;
+
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::serialize(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::variant({vname:?}, \
+                             ::serde::Serialize::serialize(__f0)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::variant({vname:?}, \
+                                 ::serde::Value::Array(vec![{}])),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::variant({vname:?}, \
+                                 ::serde::Value::Object(vec![{}])),",
+                                fields.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derived Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` for the offline serde stand-in.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty) = impl_header(&item, "::serde::Deserialize");
+    let name = &item.name;
+
+    let body = match &item.kind {
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::expect_tuple(__v, {n}, {name:?})?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::take_field(__fields, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "let __fields = ::serde::expect_object(__v, {name:?})?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                items.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::core::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                   let __items = ::serde::expect_tuple(__inner, {n}, {name:?})?;\n\
+                                   ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::take_field(__fields, {f:?}, {name:?})?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                   let __fields = ::serde::expect_object(__inner, {name:?})?;\n\
+                                   ::core::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                items.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit}\n\
+                     __other => ::core::result::Result::Err(::serde::Error::msg(\
+                       format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__fields[0];\n\
+                     match __tag.as_str() {{\n\
+                       {data}\n\
+                       __other => ::core::result::Result::Err(::serde::Error::msg(\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   _ => ::core::result::Result::Err(::serde::Error::expected(\
+                     \"variant string or single-key object\", {name:?})),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derived Deserialize impl parses")
+}

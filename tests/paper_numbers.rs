@@ -8,7 +8,10 @@ use resilient_perception::mvml::reliability::{reliability_of, SystemState};
 use resilient_perception::mvml::SystemParams;
 
 fn opts() -> SolveOptions {
-    SolveOptions { erlang_k: 32, ..SolveOptions::default() }
+    SolveOptions {
+        erlang_k: 32,
+        ..SolveOptions::default()
+    }
 }
 
 #[test]
@@ -27,7 +30,10 @@ fn table_iii_reproduced_exactly() {
     ];
     for ((i, j, k), value) in expected {
         let got = reliability_of(SystemState::new(i, j, k), &params);
-        assert!((got - value).abs() < 2e-5, "R({i},{j},{k}) = {got} vs paper {value}");
+        assert!(
+            (got - value).abs() < 2e-5,
+            "R({i},{j},{k}) = {got} vs paper {value}"
+        );
     }
 }
 
@@ -95,12 +101,26 @@ fn p_prime_sweep_matches_prose() {
     //  rejuvenation was more than 10%. The most harmed configuration …
     //  was the single-version … reliability dropped by 27%."
     let base = SystemParams::paper_table_iv();
-    let rows = sweep(SweepVariable::CompromisedInaccuracy, &[0.1, 0.6], &base, &opts()).unwrap();
+    let rows = sweep(
+        SweepVariable::CompromisedInaccuracy,
+        &[0.1, 0.6],
+        &base,
+        &opts(),
+    )
+    .unwrap();
     let drop = |n: u32, rej: bool| rows[0].of(n, rej) - rows[1].of(n, rej);
     for n in 2..=3u32 {
-        assert!(drop(n, true) < 0.05, "{n}v w/ rej dropped {}", drop(n, true));
+        assert!(
+            drop(n, true) < 0.05,
+            "{n}v w/ rej dropped {}",
+            drop(n, true)
+        );
     }
-    assert!(drop(1, false) > 0.20, "1v w/o rej dropped only {}", drop(1, false));
+    assert!(
+        drop(1, false) > 0.20,
+        "1v w/o rej dropped only {}",
+        drop(1, false)
+    );
     assert!(
         drop(1, false) > drop(2, false) && drop(1, false) > drop(3, false),
         "single-version must be the most harmed"

@@ -12,11 +12,21 @@ use resilient_perception::mvml::SystemParams;
 
 /// A moderately trained bank — good enough for near-zero healthy skip rate.
 fn bank() -> DetectorBank {
-    let cfg = DetectorTrainConfig { scenes: 700, epochs: 4, ..DetectorTrainConfig::default() };
+    let cfg = DetectorTrainConfig {
+        scenes: 700,
+        epochs: 4,
+        ..DetectorTrainConfig::default()
+    };
     let models = (0..3)
         .map(|i| {
             let mut m = yolo_mini(["s", "m", "l"][i as usize], 4 + 2 * i as usize, i);
-            let _ = train_detector(&mut m, &DetectorTrainConfig { seed: 38 + i, ..cfg });
+            let _ = train_detector(
+                &mut m,
+                &DetectorTrainConfig {
+                    seed: 38 + i,
+                    ..cfg
+                },
+            );
             m
         })
         .collect();
@@ -25,7 +35,11 @@ fn bank() -> DetectorBank {
 
 fn healthy_process() -> ProcessConfig {
     ProcessConfig {
-        params: SystemParams { mttc: 1e12, mttf: 1e12, ..SystemParams::carla_case_study() },
+        params: SystemParams {
+            mttc: 1e12,
+            mttf: 1e12,
+            ..SystemParams::carla_case_study()
+        },
         proactive: false,
         compromised_priority: 2.0 / 3.0,
         proportional_selection: false,
@@ -74,7 +88,10 @@ fn rejuvenation_reduces_collisions_under_attack() {
         with_rej <= without,
         "rejuvenation must not increase collisions ({with_rej} vs {without})"
     );
-    assert!(without >= 1, "unprotected runs should collide at least once in 6 seeds");
+    assert!(
+        without >= 1,
+        "unprotected runs should collide at least once in 6 seeds"
+    );
 }
 
 #[test]
@@ -98,6 +115,12 @@ fn degraded_module_states_follow_the_process() {
     let frame = p.perceive(&grid);
     assert_eq!(frame.states.len(), 3);
     for s in frame.states {
-        let _ = matches!(s, ModuleState::Healthy | ModuleState::Compromised | ModuleState::NonFunctional | ModuleState::Rejuvenating);
+        let _ = matches!(
+            s,
+            ModuleState::Healthy
+                | ModuleState::Compromised
+                | ModuleState::NonFunctional
+                | ModuleState::Rejuvenating
+        );
     }
 }

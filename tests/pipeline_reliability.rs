@@ -16,7 +16,10 @@ use resilient_perception::nn::train::{train_classifier, TrainConfig};
 #[test]
 fn calibrate_and_solve_end_to_end() {
     // Small but non-trivial: 10 classes, 3 diverse models.
-    let sign = SignConfig { classes: 10, ..SignConfig::default() };
+    let sign = SignConfig {
+        classes: 10,
+        ..SignConfig::default()
+    };
     let train = generate(&sign, 600, 7);
     let test = generate(&sign, 200, 8);
     let tc = TrainConfig {
@@ -36,7 +39,10 @@ fn calibrate_and_solve_end_to_end() {
         let errors = error_set(model, &test, 64);
         let acc = 1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64;
         assert!(acc > 0.55, "{} failed to learn: {acc}", model.model_name());
-        let found = search_compromise_seed(model, 0, -10.0, 30.0, 0.10, 0.95, 200, |m| {
+        // Cap the band strictly below the healthy accuracy so the selected
+        // seed is guaranteed to be a real compromise, whatever RNG stream
+        // the weight-fault search walks.
+        let found = search_compromise_seed(model, 0, -10.0, 30.0, 0.10, acc - 0.02, 200, |m| {
             let e = error_set(m, &test, 64);
             1.0 - e.iter().filter(|&&x| x).count() as f64 / e.len() as f64
         })
@@ -51,11 +57,19 @@ fn calibrate_and_solve_end_to_end() {
     let p = 1.0 - healthy.iter().sum::<f64>() / 3.0;
     let p_prime = (1.0 - compromised.iter().sum::<f64>() / 3.0).max(p + 1e-6);
     let alpha = alpha_mean(&error_sets).clamp(1e-6, 1.0);
-    let params = SystemParams { p, p_prime, alpha, ..SystemParams::paper_table_iv() };
+    let params = SystemParams {
+        p,
+        p_prime,
+        alpha,
+        ..SystemParams::paper_table_iv()
+    };
     params.validate().expect("calibrated params valid");
 
     // …and produce a Table V with the paper's qualitative structure.
-    let opts = SolveOptions { erlang_k: 8, ..SolveOptions::default() };
+    let opts = SolveOptions {
+        erlang_k: 8,
+        ..SolveOptions::default()
+    };
     let table = table_v(&params, &opts).expect("DSPN solution");
     for (n, row) in table.iter().enumerate() {
         assert!(
@@ -75,7 +89,10 @@ fn calibrate_and_solve_end_to_end() {
 fn forced_state_empirical_vote_tracks_formula_ordering() {
     // Train a small system, force (3,0,0) vs (1,2,0) vs (0,1,2) states and
     // check the measured voting reliability follows the formula ordering.
-    let sign = SignConfig { classes: 8, ..SignConfig::default() };
+    let sign = SignConfig {
+        classes: 8,
+        ..SignConfig::default()
+    };
     let train = generate(&sign, 480, 1);
     let test = generate(&sign, 160, 2);
     let tc = TrainConfig {
@@ -116,6 +133,11 @@ fn forced_state_empirical_vote_tracks_formula_ordering() {
     assert!((r_restored - r_healthy).abs() < 1e-12);
 
     // Formula sanity at an arbitrary calibration: same ordering.
-    let params = SystemParams { p: 0.08, p_prime: 0.4, alpha: 0.4, ..SystemParams::paper_table_iv() };
+    let params = SystemParams {
+        p: 0.08,
+        p_prime: 0.4,
+        alpha: 0.4,
+        ..SystemParams::paper_table_iv()
+    };
     assert!(state_reliability(3, 0, &params) > state_reliability(1, 2, &params));
 }
