@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints (warnings are errors), full test suite.
+#
+# MIRI=1 additionally runs the nn kernel/thread-pool suite under miri to
+# catch undefined behaviour (the crate is 100% safe Rust today, but the GEMM
+# and thread-pool layers are where unsafe would land first — the gate keeps
+# working the day it does). Slow tests opt out via #[cfg_attr(miri, ignore)].
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+
+if [[ "${MIRI:-0}" == "1" ]]; then
+  if cargo miri --version >/dev/null 2>&1; then
+    echo "== miri: nn kernel + thread-pool suite =="
+    MIRIFLAGS="${MIRIFLAGS:--Zmiri-strict-provenance}" cargo miri test -p mvml-nn
+  else
+    echo "MIRI=1 requested but the miri component is not installed; skipping." >&2
+    echo "(the workspace forbids unsafe code, so this gate is currently advisory;" >&2
+    echo " install with: rustup component add miri)" >&2
+  fi
+fi

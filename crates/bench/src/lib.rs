@@ -17,6 +17,7 @@
 //! | `table6_routes` | Table VI (collision data, 8 routes, w/ vs w/o) |
 //! | `table7_interval` | Table VII (rejuvenation-interval impact) |
 //! | `table8_overhead` | Table VIII (FPS / CPU / compute overhead) |
+//! | `petri_analyze` | Structural certificates for the paper nets (`results/ANALYSIS_petri.json`) |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

@@ -52,13 +52,41 @@ impl MvmlNet {
     }
 }
 
+/// Largest module count accepted for net construction. Structural analysis
+/// and reachability handle far more, but the state space grows fast enough
+/// that anything beyond this is almost certainly a typo.
+pub const MAX_MODULES: u32 = 16;
+
 fn check_n(n: u32) -> Result<(), PetriError> {
+    if n == 0 || n > MAX_MODULES {
+        return Err(PetriError::InvalidParameter {
+            what: format!("n = {n}: module count must be in 1..={MAX_MODULES}"),
+        });
+    }
+    Ok(())
+}
+
+fn check_reliability_n(n: u32) -> Result<(), PetriError> {
     if n == 0 || n > 3 {
         return Err(PetriError::InvalidParameter {
             what: format!("n = {n}: the paper's reliability functions cover 1..=3 modules"),
         });
     }
     Ok(())
+}
+
+/// Runs the structural analyzer on a freshly built model net and refuses to
+/// hand it out if any error-severity finding exists: every MVML net is
+/// certified before it reaches a solver.
+fn certify(net: Net) -> Result<Net, PetriError> {
+    let report = net.analyze();
+    if !report.is_certified() {
+        return Err(PetriError::StructurallyUnsound {
+            net: net.name().to_string(),
+            details: report.error_summary(),
+        });
+    }
+    Ok(net)
 }
 
 /// Builds the Fig. 2 DSPN: failures, attacks and reactive rejuvenation only.
@@ -70,8 +98,9 @@ fn check_n(n: u32) -> Result<(), PetriError> {
 ///
 /// # Errors
 ///
-/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=3` or invalid
-/// rates.
+/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=`[`MAX_MODULES`]
+/// or invalid rates, and [`PetriError::StructurallyUnsound`] if the built
+/// net fails structural certification.
 pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
     check_n(n)?;
     let mut b = NetBuilder::new(format!("mvml-{n}v-reactive"));
@@ -91,7 +120,7 @@ pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErro
     b.input_arc(pmf, tr, 1)?;
     b.output_arc(tr, pmh, 1)?;
     Ok(MvmlNet {
-        net: b.build()?,
+        net: certify(b.build()?)?,
         pmh,
         pmc,
         pmf,
@@ -105,8 +134,9 @@ pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErro
 ///
 /// # Errors
 ///
-/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=3` or invalid
-/// rates.
+/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=`[`MAX_MODULES`]
+/// or invalid rates, and [`PetriError::StructurallyUnsound`] if the built
+/// net fails structural certification.
 pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
     check_n(n)?;
     let mut b = NetBuilder::new(format!("mvml-{n}v-proactive"));
@@ -194,7 +224,7 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
     b.output_arc(trj, pmh, 1)?;
 
     Ok(MvmlNet {
-        net: b.build()?,
+        net: certify(b.build()?)?,
         pmh,
         pmc,
         pmf,
@@ -234,6 +264,7 @@ pub fn expected_system_reliability(
     params: &SystemParams,
     opts: &SolveOptions,
 ) -> Result<f64, PetriError> {
+    check_reliability_n(n)?;
     params
         .validate()
         .map_err(|what| PetriError::InvalidParameter { what })?;
@@ -406,7 +437,34 @@ mod tests {
     fn invalid_n_rejected() {
         let p = paper();
         assert!(reactive_only(0, &p).is_err());
-        assert!(with_proactive(4, &p).is_err());
+        assert!(reactive_only(MAX_MODULES + 1, &p).is_err());
+        assert!(with_proactive(0, &p).is_err());
+        // Net construction works beyond the paper's 3 modules…
+        assert!(with_proactive(4, &p).is_ok());
+        assert!(reactive_only(6, &p).is_ok());
+        // …but the reliability rewards stay limited to the paper's range.
+        assert!(expected_system_reliability(4, true, &p, &opts_fast()).is_err());
+    }
+
+    #[test]
+    fn paper_nets_are_structurally_certified() {
+        let p = paper();
+        for n in 1..=6u32 {
+            let reactive = reactive_only(n, &p).unwrap();
+            let report = reactive.net.analyze();
+            assert!(report.is_certified(), "reactive n={n}: {report}");
+            assert!(report.is_structurally_bounded(), "reactive n={n}");
+
+            let proactive = with_proactive(n, &p).unwrap();
+            let report = proactive.net.analyze();
+            assert!(report.is_certified(), "proactive n={n}: {report}");
+            // Pac is deliberately not covered by any P-invariant (Tac puts a
+            // token into both Pac and Prc), so the proactive net carries an
+            // info-severity "no certificate" finding rather than full
+            // structural boundedness.
+            let pac = proactive.pac.unwrap().index();
+            assert!(report.place_bounds[pac].is_none(), "proactive n={n}");
+        }
     }
 
     #[test]

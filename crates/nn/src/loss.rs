@@ -106,6 +106,9 @@ pub fn bce_with_logits_weighted(
 }
 
 #[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -9,7 +9,11 @@ use mvml_nn::parallel::with_thread_count;
 use mvml_nn::signs::{generate, SignConfig};
 use mvml_nn::train::{train_classifier, TrainConfig};
 
+// Policy: full training runs are far too slow for the miri interpreter; the
+// thread-pool determinism property itself stays covered under miri by the
+// (shrunken) GEMM test below.
 #[test]
+#[cfg_attr(miri, ignore)]
 fn training_is_bitwise_identical_across_thread_counts() {
     let cfg = SignConfig {
         classes: 4,
@@ -39,6 +43,7 @@ fn training_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)]
 fn inference_is_bitwise_identical_across_thread_counts() {
     let cfg = SignConfig {
         classes: 4,
@@ -67,8 +72,14 @@ fn inference_is_bitwise_identical_across_thread_counts() {
 
 #[test]
 fn large_gemm_is_bitwise_identical_across_thread_counts() {
-    // Big enough to clear the parallel-dispatch threshold (2*m*k*n flops).
-    let (m, k, n) = (128, 96, 64);
+    // Big enough to clear the parallel-dispatch threshold (2*m*k*n flops);
+    // under miri the smallest shape past the threshold keeps the interpreter
+    // run tractable while still exercising the scoped-thread partitioning.
+    let (m, k, n) = if cfg!(miri) {
+        (64, 64, 32)
+    } else {
+        (128, 96, 64)
+    };
     let a: Vec<f32> = (0..m * k)
         .map(|i| ((i * 31) % 101) as f32 / 101.0 - 0.5)
         .collect();

@@ -65,6 +65,41 @@ pub enum PetriError {
     /// The simulator performed too many consecutive immediate firings,
     /// indicating a livelock of immediate transitions.
     ImmediateLivelock,
+    /// Two places or two transitions share the same name, defeating lookup
+    /// by name and making analysis reports ambiguous.
+    DuplicateName {
+        /// What kind of element ("place" or "transition").
+        kind: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// Two arcs of the same kind connect the same place and transition. The
+    /// enabling test checks each arc individually while firing debits their
+    /// sum, so duplicate input arcs would underflow token counts; merge the
+    /// weights into a single arc instead.
+    DuplicateArc {
+        /// Name of the transition on the arcs.
+        transition: String,
+        /// Name of the place on the arcs.
+        place: String,
+    },
+    /// A transition needs at least as many tokens on a place as the
+    /// inhibitor threshold that disables it on the same place; it can never
+    /// fire.
+    ContradictoryInhibitor {
+        /// Name of the transition.
+        transition: String,
+        /// Name of the place carrying both arcs.
+        place: String,
+    },
+    /// Structural analysis found error-severity defects in a net that was
+    /// required to be certified before solving.
+    StructurallyUnsound {
+        /// Name of the offending net.
+        net: String,
+        /// Summary of the error-severity findings.
+        details: String,
+    },
 }
 
 impl fmt::Display for PetriError {
@@ -126,6 +161,26 @@ impl fmt::Display for PetriError {
             PetriError::ImmediateLivelock => {
                 write!(f, "simulator detected an immediate-transition livelock")
             }
+            PetriError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            PetriError::DuplicateArc { transition, place } => {
+                write!(
+                    f,
+                    "duplicate arc between place `{place}` and transition `{transition}`; \
+                     merge the weights into a single arc"
+                )
+            }
+            PetriError::ContradictoryInhibitor { transition, place } => {
+                write!(
+                    f,
+                    "transition `{transition}` both requires and is inhibited by tokens on \
+                     place `{place}`; it can never fire"
+                )
+            }
+            PetriError::StructurallyUnsound { net, details } => {
+                write!(f, "net `{net}` failed structural certification: {details}")
+            }
         }
     }
 }
@@ -168,6 +223,22 @@ mod tests {
                 transition: "t".into(),
             },
             PetriError::ImmediateLivelock,
+            PetriError::DuplicateName {
+                kind: "place",
+                name: "p".into(),
+            },
+            PetriError::DuplicateArc {
+                transition: "t".into(),
+                place: "p".into(),
+            },
+            PetriError::ContradictoryInhibitor {
+                transition: "t".into(),
+                place: "p".into(),
+            },
+            PetriError::StructurallyUnsound {
+                net: "n".into(),
+                details: "dead-transition: t".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -21,6 +21,9 @@
 //!
 //! ## Solution methods
 //!
+//! * [`analysis`] — structural (static) verification from the incidence
+//!   matrix alone: P/T-invariants, boundedness certificates, dead-transition
+//!   and immediate-cycle detection, surfaced via [`Net::analyze`].
 //! * [`reach`] — explicit reachability-graph generation with on-the-fly
 //!   elimination of *vanishing* markings (markings that enable an immediate
 //!   transition).
@@ -72,6 +75,7 @@ mod error;
 mod marking;
 mod model;
 
+pub mod analysis;
 pub mod ctmc;
 pub mod erlang;
 pub mod linalg;
@@ -80,6 +84,9 @@ pub mod reward;
 pub mod sim;
 pub mod transient;
 
+pub use analysis::{
+    analyze_with, AnalysisOptions, Finding, FindingKind, Invariant, Severity, StructuralReport,
+};
 pub use ctmc::{steady_state, steady_state_with, SolverOptions, SteadyState};
 pub use erlang::erlang_expand;
 pub use error::PetriError;

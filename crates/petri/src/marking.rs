@@ -14,7 +14,7 @@ use std::ops::Index;
 ///
 /// let mut b = NetBuilder::new("demo");
 /// let p = b.place("p", 2);
-/// let net = b.build_unchecked();
+/// let net = b.build().unwrap();
 /// assert_eq!(net.initial_marking()[p], 2);
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

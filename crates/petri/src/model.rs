@@ -488,17 +488,64 @@ impl NetBuilder {
 
     /// Validates and freezes the net.
     ///
+    /// Runs the cheap always-on structural pass: malformed structure is a
+    /// hard error here, while softer diagnostics (dead transitions, missing
+    /// boundedness certificates, immediate cycles) are reported by the full
+    /// [`Net::analyze`](crate::analysis) pass.
+    ///
     /// # Errors
     ///
+    /// * [`PetriError::DuplicateName`] if two places or two transitions
+    ///   share a name.
     /// * [`PetriError::NoInputArc`] if a transition has no input arc.
+    /// * [`PetriError::DuplicateArc`] if two arcs of the same kind connect
+    ///   the same place and transition (firing would debit their sum while
+    ///   enabling checks them individually — an underflow in the making).
+    /// * [`PetriError::ContradictoryInhibitor`] if a transition requires at
+    ///   least as many tokens on a place as the inhibitor threshold that
+    ///   disables it there.
     /// * [`PetriError::InvalidParameter`] for non-positive / non-finite
     ///   constant rates or delays.
     pub fn build(self) -> Result<Net, PetriError> {
+        for (i, name) in self.place_names.iter().enumerate() {
+            if self.place_names[..i].contains(name) {
+                return Err(PetriError::DuplicateName {
+                    kind: "place",
+                    name: name.clone(),
+                });
+            }
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            if self.transitions[..i].iter().any(|u| u.name == t.name) {
+                return Err(PetriError::DuplicateName {
+                    kind: "transition",
+                    name: t.name.clone(),
+                });
+            }
+        }
         for t in &self.transitions {
             if t.inputs.is_empty() {
                 return Err(PetriError::NoInputArc {
                     transition: t.name.clone(),
                 });
+            }
+            for arcs in [&t.inputs, &t.outputs, &t.inhibitors] {
+                for (i, &(p, _)) in arcs.iter().enumerate() {
+                    if arcs[..i].iter().any(|&(q, _)| q == p) {
+                        return Err(PetriError::DuplicateArc {
+                            transition: t.name.clone(),
+                            place: self.place_names[p].clone(),
+                        });
+                    }
+                }
+            }
+            for &(p, wi) in &t.inputs {
+                if t.inhibitors.iter().any(|&(q, wh)| q == p && wh <= wi) {
+                    return Err(PetriError::ContradictoryInhibitor {
+                        transition: t.name.clone(),
+                        place: self.place_names[p].clone(),
+                    });
+                }
             }
             match &t.timing {
                 Timing::Exponential {
@@ -520,9 +567,13 @@ impl NetBuilder {
         Ok(self.build_unchecked())
     }
 
-    /// Freezes the net without validation. Useful in tests and for nets that
-    /// are assembled programmatically and known to be well-formed.
-    pub fn build_unchecked(self) -> Net {
+    /// Freezes the net without validation.
+    ///
+    /// Crate-internal escape hatch: unit tests use it to construct
+    /// deliberately malformed nets for the analyser, and the Erlang
+    /// expansion assembles stage nets that are correct by construction. All
+    /// public construction goes through [`NetBuilder::build`].
+    pub(crate) fn build_unchecked(self) -> Net {
         Net {
             name: self.name,
             place_names: self.place_names,
@@ -533,6 +584,9 @@ impl NetBuilder {
 }
 
 #[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -617,6 +671,65 @@ mod tests {
             b.guard(TransitionId(99), |_| true),
             Err(PetriError::UnknownId { .. })
         ));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_place_name() {
+        let mut b = NetBuilder::new("t");
+        b.place("same", 1);
+        b.place("same", 0);
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::DuplicateName { kind: "place", .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_transition_name() {
+        let (mut b, p0, _) = two_place_builder();
+        let t0 = b.exponential("same", 1.0);
+        let t1 = b.exponential("same", 2.0);
+        b.input_arc(p0, t0, 1).unwrap();
+        b.input_arc(p0, t1, 1).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::DuplicateName {
+                kind: "transition",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_input_arc() {
+        let (mut b, p0, _) = two_place_builder();
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p0, t, 1).unwrap();
+        b.input_arc(p0, t, 1).unwrap();
+        assert!(matches!(b.build(), Err(PetriError::DuplicateArc { .. })));
+    }
+
+    #[test]
+    fn build_rejects_contradictory_inhibitor() {
+        let (mut b, p0, _) = two_place_builder();
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p0, t, 2).unwrap();
+        b.inhibitor_arc(p0, t, 2).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::ContradictoryInhibitor { .. })
+        ));
+    }
+
+    #[test]
+    fn build_accepts_inhibitor_above_input_weight() {
+        let (mut b, p0, p1) = two_place_builder();
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p0, t, 1).unwrap();
+        b.output_arc(t, p1, 1).unwrap();
+        // Disabled only at ≥ 3 tokens while needing 1: satisfiable.
+        b.inhibitor_arc(p0, t, 3).unwrap();
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub fn explore(net: &Net, opts: &ReachOptions) -> Result<ReachabilityGraph, Petr
     let mut markings: Vec<Marking> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
 
+    // In debug builds every explored marking is cross-checked against the
+    // net's P-invariants: firing preserves each weighted token sum, so any
+    // violation means the explorer or vanishing resolver corrupted a state.
+    #[cfg(debug_assertions)]
+    let invariants = crate::analysis::p_invariants(net);
+
     let intern = |m: Marking,
                   markings: &mut Vec<Marking>,
                   index: &mut HashMap<Marking, usize>,
@@ -86,6 +92,16 @@ pub fn explore(net: &Net, opts: &ReachOptions) -> Result<ReachabilityGraph, Petr
             return Err(PetriError::StateSpaceTooLarge {
                 limit: opts.max_states,
             });
+        }
+        #[cfg(debug_assertions)]
+        for inv in &invariants {
+            debug_assert_eq!(
+                inv.weighted_sum(&m),
+                inv.token_sum,
+                "marking {m} of net `{}` violates P-invariant {:?}",
+                net.name(),
+                inv.weights,
+            );
         }
         let s = markings.len();
         index.insert(m.clone(), s);

@@ -292,6 +292,9 @@ fn fire_immediates(
 }
 
 #[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::ctmc::steady_state;

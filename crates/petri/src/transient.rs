@@ -187,6 +187,9 @@ pub fn distance_to_steady_state(solution: &TransientSolution, steady: &SteadySta
 }
 
 #[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::ctmc::steady_state;

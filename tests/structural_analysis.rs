@@ -1,0 +1,89 @@
+//! Cross-checks between the structural analyzer and the reachability
+//! explorer on the paper's nets.
+//!
+//! The reactive model's single P-invariant `Pmh + Pmc + Pmf = n` implies
+//! exactly `C(n+2, 2)` feasible markings — the `(i, j, k)` system states
+//! that index the paper's Table III reliabilities — and the explorer must
+//! find exactly those and never exceed the structural bound. The proactive
+//! model is not fully covered (no certificate for `Pac`), so there the
+//! check is conservation: every marking the explorer visits satisfies every
+//! P-invariant of the (Erlang-expanded) net.
+
+use mvml_core::dspn::{reactive_only, with_proactive};
+use mvml_core::SystemParams;
+use mvml_petri::analysis::p_invariants;
+use mvml_petri::erlang_expand;
+use mvml_petri::reach::{explore, ReachOptions};
+
+/// Number of `(i, j, k)` states with `i + j + k = n`: `C(n+2, 2)`.
+fn module_states(n: u64) -> u64 {
+    (n + 1) * (n + 2) / 2
+}
+
+#[test]
+fn reactive_invariant_bound_implies_table_iii_state_counts() {
+    let params = SystemParams::paper_table_iv();
+    for n in 2..=6u32 {
+        let mv = reactive_only(n, &params).unwrap();
+        let report = mv.net.analyze();
+        assert!(report.is_certified(), "n={n}: {report}");
+        assert!(report.is_structurally_bounded(), "n={n}");
+        // One conservation law bounds every module place at n tokens…
+        for (place, bound) in report.place_names.iter().zip(&report.place_bounds) {
+            assert_eq!(*bound, Some(u64::from(n)), "n={n}, place {place}");
+        }
+        // …and pins the feasible space to the Table III state count.
+        assert_eq!(report.feasible_markings, Some(module_states(u64::from(n))));
+
+        let graph = explore(&mv.net, &ReachOptions::default()).unwrap();
+        let reached = graph.state_count() as u64;
+        let bound = report.feasible_markings.unwrap();
+        assert!(reached <= bound, "n={n}: reach {reached} > bound {bound}");
+        // For this net the bound is tight: every feasible marking is
+        // reachable from (n, 0, 0).
+        assert_eq!(reached, bound, "n={n}");
+    }
+}
+
+#[test]
+fn proactive_exploration_conserves_every_invariant() {
+    let params = SystemParams::paper_table_iv();
+    for n in 2..=4u32 {
+        let mv = with_proactive(n, &params).unwrap();
+        let expanded = erlang_expand(&mv.net, 8).unwrap();
+        let invariants = p_invariants(&expanded);
+        assert!(!invariants.is_empty(), "n={n}");
+
+        let graph = explore(&expanded, &ReachOptions::default()).unwrap();
+        assert!(graph.state_count() > 0);
+        for m in &graph.markings {
+            for inv in &invariants {
+                assert_eq!(
+                    inv.weighted_sum(m),
+                    inv.token_sum,
+                    "n={n}: marking {m} breaks a conservation law"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn proactive_module_conservation_law_has_token_sum_n() {
+    let params = SystemParams::paper_table_iv();
+    for n in 2..=6u32 {
+        let mv = with_proactive(n, &params).unwrap();
+        let report = mv.net.analyze();
+        let module_law = report
+            .p_invariants
+            .iter()
+            .find(|inv| inv.covers(mv.pmh.index()))
+            .expect("module conservation law");
+        assert_eq!(module_law.token_sum, u64::from(n), "n={n}");
+        // The clock law Prc + Ptr = 1 must also be found.
+        assert!(report
+            .p_invariants
+            .iter()
+            .any(|inv| inv.token_sum == 1 && !inv.covers(mv.pmh.index())));
+    }
+}
