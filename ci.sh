@@ -10,6 +10,12 @@ cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Docs are part of the contract: broken intra-doc links and undocumented
+# public items fail the gate. First-party crates only — the offline
+# dependency stand-ins aren't held to the same bar.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p resilient-perception -p mvml-core -p mvml-petri -p mvml-nn \
+  -p mvml-avsim -p mvml-faultinject -p mvml-bench
 cargo test --workspace -q
 
 if [[ "${MIRI:-0}" == "1" ]]; then

@@ -5,7 +5,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mvml_core::dspn::{expected_system_reliability, reactive_only, with_proactive, SolveOptions};
 use mvml_core::SystemParams;
-use mvml_petri::{simulate, steady_state, SimConfig};
+use mvml_petri::reach::explore;
+use mvml_petri::{
+    erlang_expand, simulate, solve_graph, steady_state, ReachOptions, SimConfig, SolutionMethod,
+    SolverOptions,
+};
 
 fn bench_steady_state(c: &mut Criterion) {
     let params = SystemParams::paper_table_iv();
@@ -27,6 +31,26 @@ fn bench_steady_state(c: &mut Criterion) {
     }
 }
 
+/// Dense elimination vs Gauss–Seidel on the same pre-explored chain — the
+/// six-version proactive net at Erlang-8, the kind of state space the
+/// `nscale` sweep hands the [`SolutionMethod`] facade.
+fn bench_solution_methods(c: &mut Criterion) {
+    let params = SystemParams::paper_table_iv();
+    let mv = with_proactive(6, &params).expect("net");
+    let net = erlang_expand(&mv.net, 8).expect("expansion");
+    let graph = explore(&net, &ReachOptions::default()).expect("reachability");
+    let opts = SolverOptions::default();
+    let mut group = c.benchmark_group("ctmc_solve_6v_proactive_erlang8");
+    group.sample_size(10);
+    group.bench_function("dense", |b| {
+        b.iter(|| solve_graph(&graph, &SolutionMethod::Dense, &opts).expect("solution"));
+    });
+    group.bench_function("gauss_seidel", |b| {
+        b.iter(|| solve_graph(&graph, &SolutionMethod::GaussSeidel, &opts).expect("solution"));
+    });
+    group.finish();
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let params = SystemParams::paper_table_iv();
     let mv = with_proactive(3, &params).expect("net");
@@ -46,5 +70,10 @@ fn bench_simulation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_steady_state, bench_simulation);
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_solution_methods,
+    bench_simulation
+);
 criterion_main!(benches);

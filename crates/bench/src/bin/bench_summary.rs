@@ -1,7 +1,14 @@
-//! Emits `results/BENCH_nn.json`: kernel-level and pipeline-level timings
-//! for the GEMM rewrite — direct-vs-GEMM convolution, the blocked GEMM at
-//! several worker counts, and single- vs three-version perception FPS at
-//! several worker counts (the Table VIII overhead angle).
+//! Emits `results/BENCH_petri.json` and `results/BENCH_nn.json`.
+//!
+//! The petri summary times the steady-state backends (dense elimination vs
+//! Gauss–Seidel) on the same pre-explored chain — the six-version proactive
+//! net at Erlang-8 — recording each backend's solve time, residual and
+//! state count, plus DES throughput on the unexpanded net.
+//!
+//! The NN summary covers kernel-level and pipeline-level timings for the
+//! GEMM rewrite — direct-vs-GEMM convolution, the blocked GEMM at several
+//! worker counts, and single- vs three-version perception FPS at several
+//! worker counts (the Table VIII overhead angle).
 //!
 //! Numbers are medians of wall-clock samples on the current host; the host
 //! core count is recorded alongside so single-core results (where extra
@@ -12,6 +19,7 @@ use mvml_avsim::detector::DetectorTrainConfig;
 use mvml_avsim::geometry::Vec2;
 use mvml_avsim::perception::{DetectorBank, MultiVersionPerception, PerceptionConfig};
 use mvml_avsim::world::ObjectTruth;
+use mvml_core::dspn::with_proactive;
 use mvml_core::rejuvenation::ProcessConfig;
 use mvml_core::SystemParams;
 use mvml_nn::gemm::gemm;
@@ -19,6 +27,10 @@ use mvml_nn::layer::Layer;
 use mvml_nn::layers::{Conv2d, KernelPath};
 use mvml_nn::parallel::{thread_count, with_thread_count};
 use mvml_nn::Tensor;
+use mvml_petri::reach::explore;
+use mvml_petri::{
+    erlang_expand, simulate, solve_graph, ReachOptions, SimConfig, SolutionMethod, SolverOptions,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -56,6 +68,22 @@ struct Summary {
     conv_forward_batch32: Vec<ConvRow>,
     gemm_256x256x256: Vec<GemmRow>,
     perception_fps: Vec<PerceptionRow>,
+}
+
+#[derive(Serialize)]
+struct SolveRow {
+    backend: &'static str,
+    states: usize,
+    ns_per_solve: f64,
+    residual: f64,
+}
+
+#[derive(Serialize)]
+struct PetriSummary {
+    model: &'static str,
+    erlang_k: u32,
+    steady_state_solves: Vec<SolveRow>,
+    des_simulate_100k_s_ns: f64,
 }
 
 fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
@@ -138,6 +166,51 @@ fn gemm_rows() -> Vec<GemmRow> {
         .collect()
 }
 
+fn petri_summary() -> PetriSummary {
+    let erlang_k = 8;
+    let params = SystemParams::paper_table_iv();
+    let mv = with_proactive(6, &params).expect("net");
+    let expanded = erlang_expand(&mv.net, erlang_k).expect("expansion");
+    let graph = explore(&expanded, &ReachOptions::default()).expect("reachability");
+    let opts = SolverOptions::default();
+
+    let steady_state_solves = [SolutionMethod::Dense, SolutionMethod::GaussSeidel]
+        .into_iter()
+        .map(|method| {
+            let sol = solve_graph(&graph, &method, &opts).expect("solution");
+            let info = sol.info();
+            SolveRow {
+                backend: info.backend.name(),
+                states: info.states,
+                residual: info.residual,
+                ns_per_solve: median_ns(5, 1, || {
+                    std::hint::black_box(
+                        solve_graph(std::hint::black_box(&graph), &method, &opts)
+                            .expect("solution"),
+                    );
+                }),
+            }
+        })
+        .collect();
+
+    let cfg = SimConfig {
+        horizon: 100_000.0,
+        warmup: 100.0,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let des_simulate_100k_s_ns = median_ns(5, 1, || {
+        std::hint::black_box(simulate(std::hint::black_box(&mv.net), &cfg).expect("simulation"));
+    });
+
+    PetriSummary {
+        model: "6v proactive (Fig. 3)",
+        erlang_k,
+        steady_state_solves,
+        des_simulate_100k_s_ns,
+    }
+}
+
 fn quiet_process() -> ProcessConfig {
     ProcessConfig {
         params: SystemParams {
@@ -197,6 +270,24 @@ fn perception_rows(bank: &DetectorBank) -> Vec<PerceptionRow> {
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    std::fs::create_dir_all("results").expect("results dir");
+
+    println!("timing DSPN steady-state backends (6v proactive, Erlang-8)...");
+    let petri = petri_summary();
+    for row in &petri.steady_state_solves {
+        println!(
+            "{} over {} states: {:.2e} ns/solve, residual {:.2e}",
+            row.backend, row.states, row.ns_per_solve, row.residual
+        );
+    }
+    println!(
+        "des 100k s horizon: {:.2e} ns/run",
+        petri.des_simulate_100k_s_ns
+    );
+    let json = serde_json::to_string(&petri).expect("serialise petri summary");
+    std::fs::write("results/BENCH_petri.json", json).expect("write BENCH_petri.json");
+    println!("wrote results/BENCH_petri.json");
+
     println!("training detector bank (reduced schedule)...");
     let bank = DetectorBank::train(&DetectorTrainConfig {
         scenes: 200,

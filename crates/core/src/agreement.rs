@@ -1,0 +1,193 @@
+//! Agreement-pattern combinatorics shared by the empirical voter
+//! ([`crate::voter`]) and the analytic reliability model
+//! ([`crate::reliability`]).
+//!
+//! Both sides of the reproduction answer the same question — *when does a
+//! set of equal proposals decide the vote?* — and they must answer it with
+//! the same arithmetic. The voter observes concrete proposals, groups them
+//! into agreement classes ([`classify`]) and emits the first class whose
+//! support reaches the majority threshold ([`majority_threshold`],
+//! [`is_decisive`]). The analytic model never sees proposals; it sums the
+//! probability of every agreement pattern in which some *wrong* class is
+//! decisive, using the same threshold plus the counting helpers below
+//! ([`binomial`], [`clique_cover_coefficients`]). Keeping the majority-vote
+//! math in one module is what guarantees the closed-form rewards and the
+//! empirical voter cannot drift apart.
+
+/// The majority threshold of the paper's voter: over `operational`
+/// responsive modules, a value needs `⌊operational/2⌋ + 1` equal proposals
+/// to be emitted (rules R.1–R.2; rule R.3 is the `operational == 1` case,
+/// where the threshold is 1 and the single proposal passes through).
+pub fn majority_threshold(operational: usize) -> usize {
+    operational / 2 + 1
+}
+
+/// `true` when an agreement class of `support` equal proposals decides the
+/// vote among `operational` responsive modules.
+pub fn is_decisive(support: usize, operational: usize) -> bool {
+    operational > 0 && support >= majority_threshold(operational)
+}
+
+/// Groups proposals into *agreement classes* of pairwise-equal values.
+///
+/// Returns one class id per item; ids are dense and numbered in order of
+/// first appearance (`classify(&[a, b, a]) == [0, 1, 0]` when `a != b`).
+/// Quadratic in the number of proposals, which is bounded by the module
+/// count (≤ [`crate::dspn::MAX_MODULES`]) everywhere it is used.
+pub fn classify<T: PartialEq>(items: &[T]) -> Vec<usize> {
+    let mut classes: Vec<usize> = Vec::with_capacity(items.len());
+    let mut reps: Vec<usize> = Vec::new(); // index of each class representative
+    for (i, item) in items.iter().enumerate() {
+        match reps.iter().position(|&r| items[r] == *item) {
+            Some(c) => classes.push(c),
+            None => {
+                reps.push(i);
+                classes.push(reps.len() - 1);
+            }
+        }
+    }
+    classes
+}
+
+/// Support (member count) of each agreement class produced by [`classify`].
+pub fn class_supports(classes: &[usize]) -> Vec<usize> {
+    let n_classes = classes.iter().max().map_or(0, |&c| c + 1);
+    let mut supports = vec![0usize; n_classes];
+    for &c in classes {
+        supports[c] += 1;
+    }
+    supports
+}
+
+/// Exact binomial coefficient `C(n, k)` as an integer.
+///
+/// Uses the incremental identity `C(n, i+1) = C(n, i)·(n−i)/(i+1)`, whose
+/// intermediate values are themselves binomials and therefore exact in
+/// integer arithmetic. Sufficient for every `n` this crate meets (module
+/// counts ≤ 16; overflow would need `n` near 128).
+pub fn binomial_exact(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// `C(n, k)` as an `f64` (exact for the module counts used here).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    binomial_exact(n, k) as f64
+}
+
+/// Inclusion–exclusion coefficients for the union of *threshold-sized
+/// agreement cliques* under single-common-cause merging.
+///
+/// Let `A_S` be the event "the modules in `S` emit one common (wrong)
+/// value", for every `S` with `|S| ≥ threshold` out of `n` modules, and let
+/// intersections merge (`A_S ∩ A_T = A_{S∪T}`: one shared error cause).
+/// Then
+///
+/// ```text
+/// P(∪ A_S) = Σ_{u=threshold}^{n} c_u · Σ_{|S|=u} P(A_S)
+/// ```
+///
+/// where the returned `c_u` (index `u − threshold`) satisfy the exact
+/// integer recurrence `c_u = 1 − Σ_{w=threshold}^{u−1} C(u, w)·c_w`: each
+/// `u`-set must end up counted exactly once, however many of its
+/// threshold-sized subsets contribute. For `threshold = 2` this yields the
+/// familiar `c_u = (−1)^u (u−1)`; the paper's `−2·P(triple)` term in Eq. 5
+/// is `c_3 = −2`.
+pub fn clique_cover_coefficients(threshold: usize, n: usize) -> Vec<f64> {
+    assert!(threshold >= 1, "threshold must be at least 1");
+    if n < threshold {
+        return Vec::new();
+    }
+    // c[u - threshold] as exact integers; magnitudes are bounded by the
+    // ordered-set-partition (Fubini) numbers, far inside i128 for n ≤ 16.
+    let mut c: Vec<i128> = Vec::with_capacity(n - threshold + 1);
+    for u in threshold..=n {
+        let mut v: i128 = 1;
+        for (idx, &cw) in c.iter().enumerate() {
+            let w = threshold + idx;
+            let bin = i128::try_from(binomial_exact(u, w)).expect("binomial fits i128");
+            v -= bin * cw;
+        }
+        c.push(v);
+    }
+    c.into_iter().map(|v| v as f64).collect()
+}
+
+#[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic (integer) arithmetic being tested.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper_rules() {
+        // R.3: one module, threshold 1. R.2: two modules, both must agree.
+        // R.1: three modules, two suffice.
+        assert_eq!(majority_threshold(1), 1);
+        assert_eq!(majority_threshold(2), 2);
+        assert_eq!(majority_threshold(3), 2);
+        assert_eq!(majority_threshold(4), 3);
+        assert_eq!(majority_threshold(5), 3);
+        assert!(is_decisive(2, 3));
+        assert!(!is_decisive(1, 3));
+        assert!(!is_decisive(0, 0));
+        assert!(is_decisive(3, 5) && !is_decisive(2, 5));
+    }
+
+    #[test]
+    fn classify_groups_equal_values() {
+        assert_eq!(classify(&[7, 7, 3]), vec![0, 0, 1]);
+        assert_eq!(classify(&[1, 2, 3]), vec![0, 1, 2]);
+        assert_eq!(classify(&[5, 6, 5, 6, 6]), vec![0, 1, 0, 1, 1]);
+        assert_eq!(classify::<u8>(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn supports_count_members() {
+        assert_eq!(class_supports(&classify(&[5, 6, 5, 6, 6])), vec![2, 3]);
+        assert_eq!(class_supports(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn binomials_are_exact() {
+        assert_eq!(binomial_exact(0, 0), 1);
+        assert_eq!(binomial_exact(5, 2), 10);
+        assert_eq!(binomial_exact(16, 8), 12_870);
+        assert_eq!(binomial_exact(3, 7), 0);
+        assert_eq!(binomial(6, 3), 20.0);
+    }
+
+    #[test]
+    fn cover_coefficients_known_values() {
+        // threshold 1: classic inclusion–exclusion over singletons,
+        // c_u = (−1)^{u−1}.
+        assert_eq!(clique_cover_coefficients(1, 4), vec![1.0, -1.0, 1.0, -1.0]);
+        // threshold 2: c_u = (−1)^u (u−1); c_3 = −2 is the paper's Eq. 5.
+        assert_eq!(clique_cover_coefficients(2, 5), vec![1.0, -2.0, 3.0, -4.0]);
+        // threshold 3 (five-module majority).
+        assert_eq!(clique_cover_coefficients(3, 5), vec![1.0, -3.0, 6.0]);
+        assert!(clique_cover_coefficients(4, 3).is_empty());
+    }
+
+    #[test]
+    fn cover_coefficients_count_each_set_once() {
+        // Defining property: for every u, Σ_{w=m}^{u} C(u, w)·c_w = 1 — a
+        // u-clique is covered exactly once by the signed sum over its
+        // threshold-or-larger subsets.
+        for m in 1..=5usize {
+            let c = clique_cover_coefficients(m, 12);
+            for u in m..=12 {
+                let total: f64 = (m..=u).map(|w| binomial(u, w) * c[w - m]).sum();
+                assert_eq!(total, 1.0, "m={m} u={u}");
+            }
+        }
+    }
+}

@@ -14,10 +14,10 @@
 //! takes precedence via inhibitor arcs from `Pmf`.
 
 use crate::params::SystemParams;
-use crate::reliability::{reliability_of, SystemState};
+use crate::reliability::{StateReliability, SystemState};
 use mvml_petri::{
-    erlang_expand, steady_state_with, ExpectedReward, Marking, Net, NetBuilder, PetriError,
-    PlaceId, ServerSemantics, SolverOptions, WeightSpec,
+    erlang_expand, solve_steady, ExpectedReward, Marking, Net, NetBuilder, PetriError, PlaceId,
+    ServerSemantics, SolutionInfo, SolutionMethod, SolverOptions, WeightSpec,
 };
 use std::sync::Arc;
 
@@ -61,15 +61,6 @@ fn check_n(n: u32) -> Result<(), PetriError> {
     if n == 0 || n > MAX_MODULES {
         return Err(PetriError::InvalidParameter {
             what: format!("n = {n}: module count must be in 1..={MAX_MODULES}"),
-        });
-    }
-    Ok(())
-}
-
-fn check_reliability_n(n: u32) -> Result<(), PetriError> {
-    if n == 0 || n > 3 {
-        return Err(PetriError::InvalidParameter {
-            what: format!("n = {n}: the paper's reliability functions cover 1..=3 modules"),
         });
     }
     Ok(())
@@ -236,10 +227,14 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
 /// Options for [`expected_system_reliability`].
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
-    /// Erlang stages used to expand the deterministic clock.
+    /// Erlang stages used to expand the deterministic clock (ignored by the
+    /// simulation backend, which handles deterministic delays natively).
     pub erlang_k: u32,
     /// Underlying CTMC solver options.
     pub solver: SolverOptions,
+    /// Steady-state backend: auto (dense/Gauss–Seidel by size), a forced
+    /// analytic solver, or discrete-event simulation.
+    pub method: SolutionMethod,
 }
 
 impl Default for SolveOptions {
@@ -247,13 +242,64 @@ impl Default for SolveOptions {
         SolveOptions {
             erlang_k: 32,
             solver: SolverOptions::default(),
+            method: SolutionMethod::Auto,
         }
     }
 }
 
 /// Solves the DSPN of an `n`-version system (with or without proactive
 /// rejuvenation) for its steady state and returns the expected output
-/// reliability `E[R]` (the paper's Eq. 3 with the rewards of Section V-B).
+/// reliability `E[R]` (the paper's Eq. 3) together with the backend
+/// provenance of the solve.
+///
+/// The reward is the generic [`StateReliability`] model, so any `n` in
+/// `1..=`[`MAX_MODULES`] is accepted; at `n ≤ 3` the result coincides with
+/// the paper's closed forms (Section V-B) to machine precision.
+///
+/// # Errors
+///
+/// Propagates parameter validation and solver errors.
+pub fn expected_system_reliability_with_info(
+    n: u32,
+    proactive: bool,
+    params: &SystemParams,
+    opts: &SolveOptions,
+) -> Result<(f64, SolutionInfo), PetriError> {
+    check_n(n)?;
+    params
+        .validate()
+        .map_err(|what| PetriError::InvalidParameter { what })?;
+    let mv = if proactive {
+        with_proactive(n, params)?
+    } else {
+        reactive_only(n, params)?
+    };
+    // The DES backend handles the deterministic clock natively; the
+    // analytic backends need its Erlang phase expansion first.
+    let needs_expansion = proactive && !matches!(opts.method, SolutionMethod::Simulation(_));
+    let solvable = if needs_expansion {
+        erlang_expand(&mv.net, opts.erlang_k)?
+    } else {
+        mv.net
+    };
+    let pmh = mv.pmh;
+    let pmc = mv.pmc;
+    let pmf = mv.pmf;
+    let pmr = mv.pmr;
+    let model = StateReliability::new(params);
+    let solution = solve_steady(&solvable, &opts.method, &opts.solver)?;
+    let value = solution.expected_reward(move |m| {
+        let rej = pmr.map_or(0, |p| m[p]) as usize;
+        model.reliability_of(SystemState::new(
+            m[pmh] as usize,
+            m[pmc] as usize,
+            m[pmf] as usize + rej,
+        ))
+    });
+    Ok((value, solution.info().clone()))
+}
+
+/// [`expected_system_reliability_with_info`] without the provenance.
 ///
 /// # Errors
 ///
@@ -264,38 +310,13 @@ pub fn expected_system_reliability(
     params: &SystemParams,
     opts: &SolveOptions,
 ) -> Result<f64, PetriError> {
-    check_reliability_n(n)?;
-    params
-        .validate()
-        .map_err(|what| PetriError::InvalidParameter { what })?;
-    let mv = if proactive {
-        with_proactive(n, params)?
-    } else {
-        reactive_only(n, params)?
-    };
-    let solvable = if proactive {
-        erlang_expand(&mv.net, opts.erlang_k)?
-    } else {
-        mv.net
-    };
-    let pmh = mv.pmh;
-    let pmc = mv.pmc;
-    let pmf = mv.pmf;
-    let pmr = mv.pmr;
-    let params = *params;
-    let ss = steady_state_with(&solvable, &opts.solver)?;
-    Ok(ss.expected_reward(move |m| {
-        let rej = pmr.map_or(0, |p| m[p]) as usize;
-        reliability_of(
-            SystemState::new(m[pmh] as usize, m[pmc] as usize, m[pmf] as usize + rej),
-            &params,
-        )
-    }))
+    expected_system_reliability_with_info(n, proactive, params, opts).map(|(value, _)| value)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reliability::reliability_of;
     use mvml_petri::{simulate, SimConfig};
 
     fn paper() -> SystemParams {
@@ -442,8 +463,72 @@ mod tests {
         // Net construction works beyond the paper's 3 modules…
         assert!(with_proactive(4, &p).is_ok());
         assert!(reactive_only(6, &p).is_ok());
-        // …but the reliability rewards stay limited to the paper's range.
-        assert!(expected_system_reliability(4, true, &p, &opts_fast()).is_err());
+        // …and since the generic reliability reward, so does the solver.
+        assert!(expected_system_reliability(4, true, &p, &opts_fast()).is_ok());
+        assert!(expected_system_reliability(0, true, &p, &opts_fast()).is_err());
+        assert!(expected_system_reliability(MAX_MODULES + 1, false, &p, &opts_fast()).is_err());
+    }
+
+    #[test]
+    fn reliability_solves_beyond_three_versions() {
+        // The tentpole: every n the net layer can build, the reliability
+        // layer can evaluate. Five-version reactive sits between certain
+        // failure and perfection, and more versions keep helping through
+        // the odd counts (the voter masks more error patterns).
+        let p = paper();
+        let o = opts_fast();
+        let r3 = expected_system_reliability(3, false, &p, &o).unwrap();
+        let r5 = expected_system_reliability(5, false, &p, &o).unwrap();
+        let r7 = expected_system_reliability(7, false, &p, &o).unwrap();
+        assert!(r3 > 0.0 && r7 < 1.0, "r3={r3} r7={r7}");
+        assert!(r5 > r3 && r7 > r5, "r3={r3} r5={r5} r7={r7}");
+        // Proactive rejuvenation still helps at n = 4.
+        let without = expected_system_reliability(4, false, &p, &o).unwrap();
+        let with = expected_system_reliability(4, true, &p, &o).unwrap();
+        assert!(with > without, "{with} vs {without}");
+    }
+
+    #[test]
+    fn solution_methods_agree_and_report_backends() {
+        let p = paper();
+        let base = opts_fast();
+        let dense = SolveOptions {
+            method: SolutionMethod::Dense,
+            ..base.clone()
+        };
+        let gs = SolveOptions {
+            method: SolutionMethod::GaussSeidel,
+            ..base.clone()
+        };
+        let (vd, id) = expected_system_reliability_with_info(2, true, &p, &dense).unwrap();
+        let (vg, ig) = expected_system_reliability_with_info(2, true, &p, &gs).unwrap();
+        assert_eq!(id.backend.name(), "dense");
+        assert_eq!(ig.backend.name(), "gauss-seidel");
+        assert_eq!(id.states, ig.states);
+        assert!(id.residual < 1e-8 && ig.residual < 1e-6);
+        assert!((vd - vg).abs() < 1e-9, "dense {vd} vs gauss-seidel {vg}");
+    }
+
+    #[test]
+    fn simulation_method_approximates_analytic() {
+        let p = paper();
+        let analytic = expected_system_reliability(3, true, &p, &opts_fast()).unwrap();
+        let sim_opts = SolveOptions {
+            method: SolutionMethod::Simulation(mvml_petri::SimConfig {
+                horizon: 500_000.0,
+                warmup: 5_000.0,
+                seed: 11,
+                ..mvml_petri::SimConfig::default()
+            }),
+            ..SolveOptions::default()
+        };
+        let (est, info) = expected_system_reliability_with_info(3, true, &p, &sim_opts).unwrap();
+        assert_eq!(info.backend.name(), "simulation");
+        assert!(info.residual.is_finite() && info.residual > 0.0);
+        assert!(
+            (analytic - est).abs() < 0.01,
+            "analytic {analytic} vs {est}"
+        );
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! output reliability.
 //!
 //! * [`params`] — the model's input parameters (Table IV).
-//! * [`reliability`] — the reliability functions `R_{i,j,k}`
-//!   (Eqs. 1–5) and the expected-reliability reward (Eq. 3).
+//! * [`agreement`] — majority-vote combinatorics shared by the empirical
+//!   voter and the analytic reliability model.
+//! * [`reliability`] — the reliability functions `R_{i,j,k}` (Eqs. 1–5,
+//!   generalized to arbitrary n by [`StateReliability`]) and the
+//!   expected-reliability reward (Eq. 3).
 //! * [`voter`] — the trusted voter with rules R.1–R.3.
 //! * [`dspn`] — DSPN builders for Figs. 2–3 and the steady-state
 //!   reliability solver (TimeNET's role).
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agreement;
 pub mod analysis;
 pub mod dspn;
 pub mod module;
@@ -50,6 +54,6 @@ pub mod voter;
 
 pub use module::{ModuleState, VersionedModule};
 pub use params::SystemParams;
-pub use reliability::{expected_reliability, state_reliability, SystemState};
+pub use reliability::{expected_reliability, state_reliability, StateReliability, SystemState};
 pub use system::{EmpiricalReliability, NVersionSystem};
 pub use voter::{vote, vote_majority, Verdict, VotingScheme};

@@ -1,6 +1,9 @@
-//! Reliability functions for single-, two- and three-version ML systems
-//! (the paper's Section V-B, Eqs. 4–5, and the classical Eqs. 1–2).
+//! Reliability functions of multi-version ML systems: the paper's n ≤ 3
+//! closed forms (Section V-B, Eqs. 4–5, and the classical Eqs. 1–2) and the
+//! generic [`StateReliability`] model that extends them to arbitrary module
+//! counts by enumerating voter agreement patterns.
 
+use crate::agreement;
 use crate::params::SystemParams;
 
 /// A system state `(i, j, k)`: the number of healthy, compromised-but-
@@ -72,13 +75,17 @@ pub fn three_version_failure_pairwise(
     alpha12 * p1 + alpha13 * p1 + alpha23 * p2 - 2.0 * alpha12 * alpha13 * p1
 }
 
-/// Output reliability `R_{i,j,k}` of a state (Eqs. 4–5 of the paper,
-/// assembled into one function over the functional-module counts).
+/// Output reliability `R_{i,j,k}` of a state — the paper's hand-derived
+/// closed forms (Eqs. 4–5), assembled into one function over the
+/// functional-module counts.
 ///
 /// The reliability depends only on the functional modules `(i, j)`:
 /// non-functional modules contribute nothing, and a state with no
 /// functional module has reliability 0. States with more than three
-/// functional modules are outside the paper's model.
+/// functional modules are outside the paper's derivation; use
+/// [`StateReliability`] for arbitrary counts. This function is retained
+/// verbatim as the *regression oracle* the generic model must reproduce
+/// (see the parity tests here and in `tests/reliability_generalization.rs`).
 ///
 /// # Panics
 ///
@@ -100,10 +107,143 @@ pub fn state_reliability(healthy: usize, compromised: usize, params: &SystemPara
     }
 }
 
-/// Reliability of a [`SystemState`] (convenience wrapper over
-/// [`state_reliability`]).
+/// Generic output-reliability model for an arbitrary number of functional
+/// modules, built from the same voter combinatorics the empirical voter
+/// uses ([`crate::agreement`]).
+///
+/// A system output is *wrong* exactly when some set of at least
+/// `⌊n_f/2⌋ + 1` functional modules emits one common wrong value
+/// ([`agreement::majority_threshold`] — the voter's decisiveness rule run
+/// in reverse). The model assigns that event a probability from the
+/// per-version error probabilities `p` (healthy), `p'` (compromised) and
+/// the dependency factor `α`, and matches the paper's Eqs. 4–5 exactly at
+/// every state with ≤ 3 functional modules (enforced to ≤ 1e-12 by the
+/// parity tests).
+///
+/// The paper's closed forms are *piecewise* — no single probability law
+/// reproduces both the homogeneous and the mixed states (substituting
+/// `p' → p` into Eq. 5's `R_{2,1,0}` does **not** recover `R_{3,0,0}`), so
+/// the generalization keeps the paper's two regimes, each extended to
+/// arbitrary counts by exact enumeration over agreement-clique sizes:
+///
+/// * **Homogeneous** (all functional modules of one kind, error
+///   probability `q`): a wrong output needs *every* module to err and a
+///   common-error clique of size ≥ m to form among them. Seeding the
+///   clique costs `q`, each additional member joins with probability `α`,
+///   and the remaining modules err independently:
+///   `F = Σ_{k=m}^{n_f} C(n_f,k) · α^{k−1} q · ((1−α)q)^{n_f−k}`.
+///   At `n_f ∈ {1, 2, 3}` this is exactly `p` / `αp` / `3α(1−α)p² + α²p`.
+/// * **Mixed** (both kinds present): the paper models the common-error
+///   event of a module set `S` directly as `P(A_S) = α·ū_S^{|S|−1}` with
+///   `ū_S` the mean error probability over the kinds in `S` (`p`, `p'`,
+///   or `(p+p')/2`), intersections merging into larger cliques. The union
+///   over all decisive sets follows by inclusion–exclusion with the
+///   [`agreement::clique_cover_coefficients`]:
+///   `F = α · Σ_{u=m}^{n_f} c_u [C(h,u)p^{u−1} + C(c,u)p'^{u−1} +
+///   (C(n_f,u)−C(h,u)−C(c,u)) ū^{u−1}]`.
+///   At `(h,c) ∈ {(1,1),(2,1),(1,2)}` this is exactly Eq. 4/5.
+///
+/// See DESIGN.md §"Arbitrary-n reliability" for the derivation and for why
+/// the regimes cannot be unified without changing the paper's numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateReliability {
+    p: f64,
+    p_prime: f64,
+    alpha: f64,
+}
+
+impl StateReliability {
+    /// Builds the model from validated system parameters.
+    pub fn new(params: &SystemParams) -> Self {
+        StateReliability {
+            p: params.p,
+            p_prime: params.p_prime,
+            alpha: params.alpha,
+        }
+    }
+
+    /// Builds the model from raw probabilities (for grids/property tests
+    /// that explore beyond the paper's Table IV operating point). All three
+    /// arguments are interpreted as probabilities in `[0, 1]`.
+    pub fn from_probabilities(p: f64, p_prime: f64, alpha: f64) -> Self {
+        StateReliability { p, p_prime, alpha }
+    }
+
+    /// Probability that the voted output is wrong in a state with the given
+    /// functional-module counts. With no functional module the voter emits
+    /// nothing, counted as failure probability 1 (so that
+    /// `reliability = 1 − failure` holds uniformly).
+    pub fn failure_probability(&self, healthy: usize, compromised: usize) -> f64 {
+        let n_f = healthy + compromised;
+        if n_f == 0 {
+            return 1.0;
+        }
+        let m = agreement::majority_threshold(n_f);
+        let f = if healthy == 0 || compromised == 0 {
+            let q = if compromised == 0 {
+                self.p
+            } else {
+                self.p_prime
+            };
+            self.homogeneous_failure(n_f, m, q)
+        } else {
+            self.mixed_failure(healthy, compromised, m)
+        };
+        // The alternating mixed-regime sum can leave [0, 1] by roundoff at
+        // extreme probabilities; clamp so the result is always a probability.
+        f.clamp(0.0, 1.0)
+    }
+
+    /// Output reliability `R_{i,j,k} = 1 − F` of a state; 0 when no module
+    /// is functional.
+    pub fn reliability(&self, healthy: usize, compromised: usize) -> f64 {
+        1.0 - self.failure_probability(healthy, compromised)
+    }
+
+    /// Reliability of a [`SystemState`].
+    pub fn reliability_of(&self, state: SystemState) -> f64 {
+        self.reliability(state.healthy, state.compromised)
+    }
+
+    /// Homogeneous regime: every functional module errs, and a decisive
+    /// common-error clique of size `k ≥ m` forms among the `n_f` of them.
+    fn homogeneous_failure(&self, n_f: usize, m: usize, q: f64) -> f64 {
+        let a = self.alpha;
+        let mut sum = 0.0;
+        for k in m..=n_f {
+            let clique = a.powi(k as i32 - 1) * q;
+            let independent = ((1.0 - a) * q).powi((n_f - k) as i32);
+            sum += agreement::binomial(n_f, k) * clique * independent;
+        }
+        sum
+    }
+
+    /// Mixed regime: inclusion–exclusion over decisive common-error
+    /// cliques, `P(A_S) = α·ū_S^{|S|−1}` with kind-averaged `ū_S`.
+    fn mixed_failure(&self, healthy: usize, compromised: usize, m: usize) -> f64 {
+        let (p, pp, a) = (self.p, self.p_prime, self.alpha);
+        let n_f = healthy + compromised;
+        let u_bar = 0.5 * (p + pp);
+        let coeffs = agreement::clique_cover_coefficients(m, n_f);
+        let mut sum = 0.0;
+        for (idx, &c_u) in coeffs.iter().enumerate() {
+            let u = m + idx;
+            let all_healthy = agreement::binomial(healthy, u);
+            let all_compromised = agreement::binomial(compromised, u);
+            let mixed = agreement::binomial(n_f, u) - all_healthy - all_compromised;
+            let e = u as i32 - 1;
+            sum += c_u
+                * (all_healthy * p.powi(e) + all_compromised * pp.powi(e) + mixed * u_bar.powi(e));
+        }
+        a * sum
+    }
+}
+
+/// Reliability of a [`SystemState`] for arbitrary module counts (the
+/// generic [`StateReliability`] model; identical to the paper's
+/// [`state_reliability`] closed forms wherever those are defined).
 pub fn reliability_of(state: SystemState, params: &SystemParams) -> f64 {
-    state_reliability(state.healthy, state.compromised, params)
+    StateReliability::new(params).reliability_of(state)
 }
 
 /// The reliability-function matrix `R_f2` of Eq. 4: entry `(j, i)` is
@@ -139,14 +279,15 @@ pub fn reliability_matrix_3v(params: &SystemParams) -> [[f64; 4]; 4] {
 }
 
 /// Expected system reliability `E[R] = Σ π_s R_s` (the paper's Eq. 3) for a
-/// distribution over system states.
+/// distribution over system states, valid for arbitrary module counts.
 pub fn expected_reliability<I>(distribution: I, params: &SystemParams) -> f64
 where
     I: IntoIterator<Item = (SystemState, f64)>,
 {
+    let model = StateReliability::new(params);
     distribution
         .into_iter()
-        .map(|(s, prob)| prob * reliability_of(s, params))
+        .map(|(s, prob)| prob * model.reliability_of(s))
         .sum()
 }
 
@@ -284,8 +425,59 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "more than three")]
-    fn four_functional_modules_rejected() {
+    fn four_functional_modules_rejected_by_oracle() {
         let _ = state_reliability(4, 0, &paper());
+    }
+
+    #[test]
+    fn generic_model_reproduces_all_closed_forms() {
+        // The tentpole invariant: the generic model agrees with the paper's
+        // nine closed forms to ≤ 1e-12 at the Table IV operating point
+        // (a broad (p, p', α) grid is covered by the root parity tests).
+        let params = paper();
+        let model = StateReliability::new(&params);
+        for i in 0..=3usize {
+            for j in 0..=(3 - i) {
+                let oracle = state_reliability(i, j, &params);
+                let generic = model.reliability(i, j);
+                assert!(
+                    (oracle - generic).abs() <= 1e-12,
+                    "({i},{j}): oracle {oracle} vs generic {generic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_model_covers_large_states() {
+        let model = StateReliability::new(&paper());
+        for n in 1..=16usize {
+            for h in 0..=n {
+                let r = model.reliability(h, n - h);
+                assert!((0.0..=1.0).contains(&r), "R({h},{}) = {r}", n - h);
+            }
+        }
+        // More healthy replicas help at the paper's operating point: a
+        // 5-healthy state beats the 3-healthy state, which beats 1.
+        let r = |h| model.reliability(h, 0);
+        assert!(r(5) > r(3) && r(3) > r(1));
+    }
+
+    #[test]
+    fn no_functional_modules_is_certain_failure() {
+        let model = StateReliability::new(&paper());
+        assert_eq!(model.failure_probability(0, 0), 1.0);
+        assert_eq!(model.reliability(0, 0), 0.0);
+        assert_eq!(model.reliability_of(SystemState::new(0, 0, 7)), 0.0);
+    }
+
+    #[test]
+    fn from_probabilities_matches_params_route() {
+        let params = paper();
+        let a = StateReliability::new(&params);
+        let b = StateReliability::from_probabilities(params.p, params.p_prime, params.alpha);
+        assert_eq!(a, b);
+        assert_eq!(a.reliability(4, 2), b.reliability(4, 2));
     }
 
     #[test]

@@ -11,7 +11,14 @@
 //! * **R.2** — two operational modules: output needs both proposals equal,
 //!   otherwise the voter *safely skips*.
 //! * **R.3** — one operational module: its proposal is accepted as-is.
+//!
+//! All three rules are one statement — *an agreement class wins when its
+//! support reaches `⌊operational/2⌋ + 1`* — and the voter evaluates it via
+//! [`crate::agreement`], the same combinatorics module the analytic
+//! reliability model ([`crate::reliability::StateReliability`]) enumerates
+//! agreement patterns with. One implementation, two consumers.
 
+use crate::agreement;
 use serde::{Deserialize, Serialize};
 
 /// The voter's decision for one inference round.
@@ -65,30 +72,29 @@ pub fn vote<T: PartialEq + Clone>(scheme: VotingScheme, proposals: &[Option<T>])
     match operational.len() {
         0 => Verdict::NoModules,
         1 => Verdict::Output(operational[0].clone()),
-        n => match scheme {
-            VotingScheme::MajorityWithSkip => {
-                let needed = n / 2 + 1;
-                for (idx, candidate) in operational.iter().enumerate() {
-                    // Count support for this candidate; skip candidates
-                    // already counted as supporters of an earlier one.
-                    if operational[..idx].iter().any(|prev| prev == candidate) {
-                        continue;
-                    }
-                    let support = operational.iter().filter(|o| o == &candidate).count();
-                    if support >= needed {
-                        return Verdict::Output((*candidate).clone());
+        n => {
+            let classes = agreement::classify(&operational);
+            let supports = agreement::class_supports(&classes);
+            match scheme {
+                VotingScheme::MajorityWithSkip => {
+                    // At most one class can reach the majority threshold.
+                    match supports.iter().position(|&s| agreement::is_decisive(s, n)) {
+                        Some(winner) => {
+                            let rep = classes.iter().position(|&c| c == winner).expect("member");
+                            Verdict::Output(operational[rep].clone())
+                        }
+                        None => Verdict::Skip,
                     }
                 }
-                Verdict::Skip
-            }
-            VotingScheme::Unanimous => {
-                if operational.iter().all(|o| *o == operational[0]) {
-                    Verdict::Output(operational[0].clone())
-                } else {
-                    Verdict::Skip
+                VotingScheme::Unanimous => {
+                    if supports.len() == 1 {
+                        Verdict::Output(operational[0].clone())
+                    } else {
+                        Verdict::Skip
+                    }
                 }
             }
-        },
+        }
     }
 }
 
@@ -135,20 +141,19 @@ pub fn vote_weighted<T: PartialEq + Clone>(
             if total <= 0.0 {
                 return Verdict::Skip;
             }
-            for (idx, &(candidate, _)) in operational.iter().enumerate() {
-                if operational[..idx]
-                    .iter()
-                    .any(|&(prev, _)| prev == candidate)
-                {
-                    continue;
-                }
-                let support: f64 = operational
-                    .iter()
-                    .filter(|&&(v, _)| v == candidate)
-                    .map(|&(_, w)| w)
-                    .sum();
-                if support > quorum * total {
-                    return Verdict::Output(candidate.clone());
+            let values: Vec<&T> = operational.iter().map(|&(v, _)| v).collect();
+            let classes = agreement::classify(&values);
+            let n_classes = classes.iter().max().expect("non-empty") + 1;
+            let mut class_weight = vec![0.0f64; n_classes];
+            for (&c, &(_, w)) in classes.iter().zip(&operational) {
+                class_weight[c] += w;
+            }
+            // Class ids are in first-appearance order, preserving the
+            // historical tie-breaking when quorum < 0.5 admits several.
+            for (c, &w) in class_weight.iter().enumerate() {
+                if w > quorum * total {
+                    let rep = classes.iter().position(|&x| x == c).expect("member");
+                    return Verdict::Output(values[rep].clone());
                 }
             }
             Verdict::Skip

@@ -1,11 +1,12 @@
 //! Exact steady-state solution of the embedded CTMC.
 
 use crate::error::PetriError;
-use crate::linalg::{solve_dense, solve_gauss_seidel, SparseGenerator};
 use crate::marking::Marking;
 use crate::model::Net;
 use crate::reach::{explore, ReachOptions, ReachabilityGraph};
 use crate::reward::ExpectedReward;
+use crate::solve::{solve_graph, SolutionMethod};
+use std::collections::HashMap;
 
 /// Options for [`steady_state_with`].
 #[derive(Debug, Clone)]
@@ -37,9 +38,27 @@ impl Default for SolverOptions {
 pub struct SteadyState {
     markings: Vec<Marking>,
     probs: Vec<f64>,
+    /// Marking → state id, so point lookups are O(1) instead of a linear
+    /// scan over the (possibly Erlang-expanded, thousands-of-states) space.
+    index: HashMap<Marking, usize>,
 }
 
 impl SteadyState {
+    /// Assembles a solution, building the marking-lookup index.
+    pub(crate) fn new(markings: Vec<Marking>, probs: Vec<f64>) -> Self {
+        debug_assert_eq!(markings.len(), probs.len());
+        let index = markings
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i))
+            .collect();
+        SteadyState {
+            markings,
+            probs,
+            index,
+        }
+    }
+
     /// Number of tangible markings.
     pub fn state_count(&self) -> usize {
         self.markings.len()
@@ -52,10 +71,7 @@ impl SteadyState {
 
     /// Stationary probability of the exact marking `m` (0 if unreachable).
     pub fn probability_of_marking(&self, m: &Marking) -> f64 {
-        self.markings
-            .iter()
-            .position(|x| x == m)
-            .map_or(0.0, |i| self.probs[i])
+        self.index.get(m).map_or(0.0, |&i| self.probs[i])
     }
 }
 
@@ -89,7 +105,9 @@ pub fn steady_state_with(net: &Net, opts: &SolverOptions) -> Result<SteadyState,
     steady_state_of_graph(&graph, opts)
 }
 
-/// Solves a pre-computed reachability graph.
+/// Solves a pre-computed reachability graph (the [`SolutionMethod::Auto`]
+/// backend policy; use [`crate::solve_graph`] to pick a backend explicitly
+/// or to inspect the residual).
 ///
 /// # Errors
 ///
@@ -98,22 +116,10 @@ pub fn steady_state_of_graph(
     graph: &ReachabilityGraph,
     opts: &SolverOptions,
 ) -> Result<SteadyState, PetriError> {
-    let n = graph.state_count();
-    let probs = if n <= opts.dense_threshold {
-        solve_dense(&graph.edges)?
-    } else {
-        let gen = SparseGenerator::from_outgoing(&graph.edges);
-        match solve_gauss_seidel(&gen, opts.tolerance, opts.max_sweeps) {
-            Ok(p) => p,
-            // Fall back to the exact solver on convergence trouble.
-            Err(PetriError::SolverDiverged { .. }) => solve_dense(&graph.edges)?,
-            Err(e) => return Err(e),
-        }
-    };
-    Ok(SteadyState {
-        markings: graph.markings.clone(),
-        probs,
-    })
+    let solution = solve_graph(graph, &SolutionMethod::Auto, opts)?;
+    Ok(solution
+        .into_steady_state()
+        .expect("analytic backend yields a steady state"))
 }
 
 #[cfg(test)]

@@ -39,6 +39,9 @@
 //!   and batch-means confidence intervals, used to cross-validate the
 //!   analytical solutions (the paper's Table V is itself produced "through
 //!   DSPN simulation").
+//! * [`solve`] — a [`SolutionMethod`] facade unifying the three backends
+//!   (dense / Gauss–Seidel / simulation); every solve reports which backend
+//!   ran and its residual via [`SolutionInfo`].
 //!
 //! ## Example
 //!
@@ -82,6 +85,7 @@ pub mod linalg;
 pub mod reach;
 pub mod reward;
 pub mod sim;
+pub mod solve;
 pub mod transient;
 
 pub use analysis::{
@@ -97,4 +101,5 @@ pub use model::{
 pub use reach::{ReachOptions, ReachabilityGraph};
 pub use reward::ExpectedReward;
 pub use sim::{simulate, SimConfig, SimResult};
+pub use solve::{solve_graph, solve_steady, Backend, Solution, SolutionInfo, SolutionMethod};
 pub use transient::{transient, TransientSolution};

@@ -87,6 +87,32 @@ impl SimResult {
         let var = means.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (b as f64 - 1.0);
         (mean, z * (var / b as f64).sqrt())
     }
+
+    /// Largest `z`-scaled batch-means confidence half-width over the
+    /// occupancy fraction of any visited marking — the simulation analogue
+    /// of an analytic solver's balance residual (reported by
+    /// [`crate::solve::SolutionInfo`]).
+    pub fn max_occupancy_half_width(&self, z: f64) -> f64 {
+        let b = self.batch_occupancy.len();
+        if b < 2 {
+            return f64::INFINITY;
+        }
+        let mut worst = 0.0f64;
+        for marking in self.occupancy.keys() {
+            let means: Vec<f64> = self
+                .batch_occupancy
+                .iter()
+                .map(|occ| occ.get(marking).copied().unwrap_or(0.0))
+                .collect();
+            let mean = means.iter().sum::<f64>() / b as f64;
+            let var = means.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (b as f64 - 1.0);
+            let hw = z * (var / b as f64).sqrt();
+            if hw > worst {
+                worst = hw;
+            }
+        }
+        worst
+    }
 }
 
 impl ExpectedReward for SimResult {
@@ -526,5 +552,9 @@ mod tests {
         let (mean, hw) = res.reward_ci(|m| if m[up] == 1 { 1.0 } else { 0.0 }, 1.96);
         assert!(hw > 0.0 && hw < 0.05);
         assert!((mean - 0.5).abs() < 3.0 * hw + 0.01);
+        // The worst per-marking occupancy half-width bounds this two-state
+        // indicator's half-width and stays a small sampling error.
+        let worst = res.max_occupancy_half_width(1.96);
+        assert!(worst >= hw - 1e-12 && worst < 0.05, "worst={worst} hw={hw}");
     }
 }

@@ -25,11 +25,29 @@ use crate::reward::ExpectedReward;
 pub struct TransientSolution {
     markings: Vec<Marking>,
     probs: Vec<f64>,
+    /// Marking → state id for O(1) point lookups (mirrors
+    /// [`SteadyState::probability_of_marking`]).
+    index: std::collections::HashMap<Marking, usize>,
     /// The time the distribution refers to.
     pub time: f64,
 }
 
 impl TransientSolution {
+    fn new(markings: Vec<Marking>, probs: Vec<f64>, time: f64) -> Self {
+        debug_assert_eq!(markings.len(), probs.len());
+        let index = markings
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i))
+            .collect();
+        TransientSolution {
+            markings,
+            probs,
+            index,
+            time,
+        }
+    }
+
     /// Iterates over `(marking, probability)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Marking, f64)> {
         self.markings.iter().zip(self.probs.iter().copied())
@@ -38,6 +56,11 @@ impl TransientSolution {
     /// Number of tangible markings.
     pub fn state_count(&self) -> usize {
         self.markings.len()
+    }
+
+    /// Probability of the exact marking `m` at this time (0 if unreachable).
+    pub fn probability_of_marking(&self, m: &Marking) -> f64 {
+        self.index.get(m).map_or(0.0, |&i| self.probs[i])
     }
 }
 
@@ -130,11 +153,11 @@ pub fn transient_of_graph(
     let mut solutions = Vec::with_capacity(times.len());
     for &t in times {
         if t == 0.0 {
-            solutions.push(TransientSolution {
-                markings: graph.markings.clone(),
-                probs: pi0.clone(),
-                time: t,
-            });
+            solutions.push(TransientSolution::new(
+                graph.markings.clone(),
+                pi0.clone(),
+                t,
+            ));
             continue;
         }
         let lt = lambda * t;
@@ -168,11 +191,7 @@ pub fn transient_of_graph(
                 *a /= total;
             }
         }
-        solutions.push(TransientSolution {
-            markings: graph.markings.clone(),
-            probs: acc,
-            time: t,
-        });
+        solutions.push(TransientSolution::new(graph.markings.clone(), acc, t));
     }
     Ok(solutions)
 }
@@ -243,6 +262,14 @@ mod tests {
         assert_eq!(sols[0].probability(|m| m[up] == 1), 1.0);
         assert_eq!(sols[0].time, 0.0);
         assert_eq!(sols[0].state_count(), 2);
+        assert_eq!(
+            sols[0].probability_of_marking(&Marking::new(vec![1, 0])),
+            1.0
+        );
+        assert_eq!(
+            sols[0].probability_of_marking(&Marking::new(vec![9, 9])),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Validation of the arbitrary-n reliability generalization.
+//!
+//! Three layers of evidence that [`StateReliability`] is a faithful
+//! extension of the paper's closed forms:
+//!
+//! 1. **Parity** — at every state with ≤ 3 functional modules the generic
+//!    model reproduces the hand-derived Eqs. 4–5 to ≤ 1e-12, across a dense
+//!    deterministic (p, p', α) grid and a property-based random sweep.
+//! 2. **Monotonicity** — the structural properties a majority-vote model
+//!    must have: swapping a healthy module for a compromised one never
+//!    raises reliability within the mixed regime, and adding a tie-breaking
+//!    module to an even ensemble never hurts (for error probabilities below
+//!    the classical 1/3 crossover).
+//! 3. **Simulation cross-check** — at n = 5, where no closed form exists,
+//!    the analytic steady-state reliability agrees with an independent
+//!    discrete-event simulation within its batch-means confidence interval.
+
+use proptest::prelude::*;
+use resilient_perception::mvml::dspn::{
+    expected_system_reliability_with_info, with_proactive, SolveOptions,
+};
+use resilient_perception::mvml::reliability::state_reliability;
+use resilient_perception::mvml::{StateReliability, SystemParams, SystemState};
+use resilient_perception::petri::{simulate, ExpectedReward, SimConfig};
+
+/// Every functional-module split the paper derives a closed form for.
+const PAPER_STATES: [(usize, usize); 9] = [
+    (1, 0),
+    (0, 1),
+    (2, 0),
+    (1, 1),
+    (0, 2),
+    (3, 0),
+    (2, 1),
+    (1, 2),
+    (0, 3),
+];
+
+fn grid(lo: f64, hi: f64, steps: usize) -> impl Iterator<Item = f64> {
+    (0..steps).map(move |i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+}
+
+#[test]
+fn generic_model_matches_closed_forms_on_grid() {
+    // The closed forms are plain polynomials in (p, p', α); parity must
+    // hold over the whole unit cube, not just the validated paper region.
+    for p in grid(0.0, 1.0, 9) {
+        for p_prime in grid(0.0, 1.0, 9) {
+            for alpha in grid(0.0, 1.0, 9) {
+                let params = SystemParams {
+                    p,
+                    p_prime,
+                    alpha,
+                    ..SystemParams::paper_table_iv()
+                };
+                let model = StateReliability::from_probabilities(p, p_prime, alpha);
+                for (h, c) in PAPER_STATES {
+                    let oracle = state_reliability(h, c, &params);
+                    // Outside the validated region a closed form may leave
+                    // [0, 1]; the generic model clamps, so compare there
+                    // only when the oracle itself is a probability.
+                    if !(0.0..=1.0).contains(&oracle) {
+                        continue;
+                    }
+                    let generic = model.reliability(h, c);
+                    assert!(
+                        (oracle - generic).abs() <= 1e-12,
+                        "({h},{c}) @ p={p} p'={p_prime} α={alpha}: \
+                         oracle {oracle} vs generic {generic}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random-sweep version of the parity grid.
+    #[test]
+    fn generic_model_matches_closed_forms_randomly(
+        p in 0.0f64..=1.0,
+        p_prime in 0.0f64..=1.0,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let params = SystemParams {
+            p,
+            p_prime,
+            alpha,
+            ..SystemParams::paper_table_iv()
+        };
+        let model = StateReliability::from_probabilities(p, p_prime, alpha);
+        for (h, c) in PAPER_STATES {
+            let oracle = state_reliability(h, c, &params);
+            if (0.0..=1.0).contains(&oracle) {
+                let generic = model.reliability(h, c);
+                prop_assert!(
+                    (oracle - generic).abs() <= 1e-12,
+                    "({},{}) oracle {} vs generic {}", h, c, oracle, generic
+                );
+            }
+        }
+    }
+
+    /// Within the mixed regime, compromising one more module (h, c) →
+    /// (h−1, c+1) never raises reliability. The paper's own forms are not
+    /// monotone *across* the regime boundary (R_{0,3,0} > R_{1,2,0}: three
+    /// agreeing compromised modules out-vote correlated errors), so the
+    /// property is asserted exactly where it holds: both states mixed.
+    #[test]
+    fn more_compromised_modules_never_help_in_mixed_states(
+        n in 3usize..=12,
+        h_seed in 0usize..12,
+        p in 0.001f64..0.35,
+        extra in 0.0f64..0.2,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let h = 2 + h_seed % (n - 2); // h in 2..n, so (h-1, c+1) stays mixed
+        let c = n - h;
+        prop_assume!(c >= 1);
+        let p_prime = (p + extra).min(0.35);
+        let model = StateReliability::from_probabilities(p, p_prime, alpha);
+        prop_assert!(
+            model.reliability(h, c) >= model.reliability(h - 1, c + 1) - 1e-12,
+            "R({},{}) < R({},{})", h, c, h - 1, c + 1
+        );
+    }
+
+    /// Adding the tie-breaking (2k+1)-th healthy module never hurts below
+    /// the classical 1/3 error-probability crossover (at q = 1/3 the
+    /// three-version and two-version failure rates coincide; beyond it
+    /// redundancy backfires, as for classical TMR).
+    #[test]
+    fn odd_ensembles_beat_even_ones(
+        k in 1usize..=7,
+        q in 0.001f64..0.33,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let model = StateReliability::from_probabilities(q, q, alpha);
+        prop_assert!(
+            model.reliability(2 * k + 1, 0) >= model.reliability(2 * k, 0) - 1e-12,
+            "R({},0) < R({},0) at q={} α={}", 2 * k + 1, 2 * k, q, alpha
+        );
+        // Same statement on the compromised side.
+        let model = StateReliability::from_probabilities(q / 2.0, q, alpha);
+        prop_assert!(
+            model.reliability(0, 2 * k + 1) >= model.reliability(0, 2 * k) - 1e-12
+        );
+    }
+
+    /// The generic model always yields probabilities, for any module split
+    /// up to the construction limit and error probabilities through the
+    /// mixed-regime validity range.
+    #[test]
+    fn generic_reliability_is_a_probability(
+        n in 1usize..=16,
+        h_seed in 0usize..=16,
+        p in 0.0f64..0.35,
+        extra in 0.0f64..0.2,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let h = h_seed % (n + 1);
+        let model = StateReliability::from_probabilities(p, (p + extra).min(0.35), alpha);
+        let r = model.reliability(h, n - h);
+        prop_assert!((0.0..=1.0).contains(&r), "R({},{}) = {}", h, n - h, r);
+    }
+}
+
+/// The generalized analytic path validated where no closed form exists:
+/// a five-version proactive system solved analytically (Erlang-expanded
+/// CTMC) against an independent DES run, compared within the simulation's
+/// 99.7% batch-means confidence half-width.
+#[test]
+fn five_version_analytic_agrees_with_simulation() {
+    let params = SystemParams::paper_table_iv();
+    let opts = SolveOptions {
+        erlang_k: 16,
+        ..SolveOptions::default()
+    };
+    let (analytic, info) = expected_system_reliability_with_info(5, true, &params, &opts).unwrap();
+    assert!(info.residual < 1e-6, "solver residual {}", info.residual);
+
+    let mv = with_proactive(5, &params).unwrap();
+    let sim = simulate(
+        &mv.net,
+        &SimConfig {
+            horizon: 2_000_000.0,
+            warmup: 10_000.0,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let model = StateReliability::new(&params);
+    let (pmh, pmc, pmf, pmr) = (mv.pmh, mv.pmc, mv.pmf, mv.pmr.unwrap());
+    let reward = |m: &resilient_perception::petri::Marking| {
+        model.reliability_of(SystemState::new(
+            m[pmh] as usize,
+            m[pmc] as usize,
+            (m[pmf] + m[pmr]) as usize,
+        ))
+    };
+    let (est, half_width) = sim.reward_ci(reward, 3.0);
+    assert!(
+        (analytic - est).abs() <= half_width,
+        "analytic {analytic} vs sim {est} ± {half_width}"
+    );
+    // And the point estimate is self-consistent with the full-run average.
+    let full = sim.expected_reward(reward);
+    assert!(
+        (full - est).abs() < 1e-6,
+        "batch mean {est} vs overall {full}"
+    );
+}
