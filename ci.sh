@@ -18,6 +18,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p mvml-avsim -p mvml-faultinject -p mvml-bench
 cargo test --workspace -q
 
+# Runtime-fault smoke gate: a reduced two-seed campaign must run end to end,
+# its report must pass schema/invariant validation, and the artefact must be
+# re-parseable from disk (the --validate path exercises exactly that).
+echo "== campaign smoke: 2-seed runtime fault-injection mini campaign =="
+SMOKE_OUT="target/campaign-smoke.json"
+cargo run -q --release -p mvml-bench --bin campaign -- --smoke --out "$SMOKE_OUT" >/dev/null
+cargo run -q --release -p mvml-bench --bin campaign -- --validate "$SMOKE_OUT"
+rm -f "$SMOKE_OUT"
+
 if [[ "${MIRI:-0}" == "1" ]]; then
   if cargo miri --version >/dev/null 2>&1; then
     echo "== miri: nn kernel + thread-pool suite =="

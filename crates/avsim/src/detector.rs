@@ -68,7 +68,7 @@ impl DetectionSet {
                 let (fwd, lat) = cell_centre(c);
                 (lat.abs() <= corridor).then_some(fwd)
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -178,18 +178,26 @@ impl Polyline {
     pub fn new(points: Vec<Vec2>) -> Self {
         assert!(points.len() >= 2, "polyline needs at least two points");
         let mut cumulative = Vec::with_capacity(points.len());
-        cumulative.push(0.0);
+        let mut total = 0.0;
+        cumulative.push(total);
         for w in points.windows(2) {
             let seg = w[0].distance(w[1]);
             assert!(seg > 1e-9, "zero-length polyline segment");
-            cumulative.push(cumulative.last().unwrap() + seg);
+            total += seg;
+            cumulative.push(total);
         }
         Polyline { points, cumulative }
     }
 
     /// Total arc length.
+    // Invariant justified in the message; no caller can recover from a
+    // structurally broken polyline.
+    #[allow(clippy::expect_used)]
     pub fn length(&self) -> f64 {
-        *self.cumulative.last().expect("non-empty")
+        *self
+            .cumulative
+            .last()
+            .expect("invariant: constructor pushes at least one entry")
     }
 
     /// The waypoints.
@@ -200,10 +208,7 @@ impl Polyline {
     /// Point at arc length `s` (clamped to the ends).
     pub fn point_at(&self, s: f64) -> Vec2 {
         let s = s.clamp(0.0, self.length());
-        let seg = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&s).unwrap())
-        {
+        let seg = match self.cumulative.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         };
@@ -233,10 +238,7 @@ impl Polyline {
     /// Tangent heading (radians) at arc length `s`.
     pub fn heading_at(&self, s: f64) -> f64 {
         let s = s.clamp(0.0, self.length());
-        let seg = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&s).unwrap())
-        {
+        let seg = match self.cumulative.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         };

@@ -6,14 +6,16 @@ use crate::detector::{
     decode, train_detector, yolo_mini, DetectionSet, DetectorTrainConfig, VARIANTS,
 };
 use mvml_core::rejuvenation::{ProcessConfig, StateEvent, StateProcess, TimedEvent};
+use mvml_core::watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};
 use mvml_core::{ModuleState, Verdict};
-use mvml_faultinject::random_weight_inj;
+use mvml_faultinject::{corrupt_in_place, random_weight_inj, RuntimeFault, RuntimeFaultPlan};
 use mvml_nn::layer::Layer;
 use mvml_nn::parallel::ThreadPool;
 use mvml_nn::{ModelState, Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Approximate agreement over detection sets: the paper's voter accepts
 /// "two equal/**similar** inputs"; two sets are similar when their
@@ -98,6 +100,14 @@ pub struct PerceptionConfig {
     /// behaviour-level severity (compromised modules mostly produce broken
     /// detection sets).
     pub faults_per_compromise: usize,
+    /// When `true` (default), a module whose logits contain a non-finite
+    /// value is withheld from the voter for that frame instead of decoding
+    /// garbage detections.
+    pub sanitize: bool,
+    /// Watchdog escalation policy for runtime faults: repeated detections
+    /// force the module non-functional through the health process, so the
+    /// reactive-rejuvenation path repairs it. `None` disables escalation.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for PerceptionConfig {
@@ -112,6 +122,8 @@ impl Default for PerceptionConfig {
             clutter: 0.002,
             threshold: 0.5,
             faults_per_compromise: 3,
+            sanitize: true,
+            watchdog: Some(WatchdogConfig::default()),
         }
     }
 }
@@ -183,6 +195,9 @@ pub struct PerceptionFrame {
     pub states: Vec<ModuleState>,
     /// Multiply-accumulate operations spent by operational modules.
     pub macs: u64,
+    /// Runtime faults detected on this frame (panics, deadline misses,
+    /// non-finite outputs, watchdog escalations).
+    pub events: Vec<FaultEvent>,
 }
 
 /// The running multi-version perception system: detector modules whose
@@ -194,6 +209,13 @@ pub struct MultiVersionPerception {
     cfg: PerceptionConfig,
     rng: StdRng,
     injection_counter: u64,
+    plan: Option<RuntimeFaultPlan>,
+    watchdog: Watchdog,
+    log: FaultLog,
+    /// Per module: the detection set decoded on the last frame that
+    /// produced one — replayed by stale-output faults.
+    last_sets: Vec<Option<DetectionSet>>,
+    frame: u64,
 }
 
 impl std::fmt::Debug for MultiVersionPerception {
@@ -238,12 +260,27 @@ impl MultiVersionPerception {
             cfg,
             rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00),
             injection_counter: 0,
+            plan: None,
+            watchdog: Watchdog::new(cfg.versions, cfg.watchdog.unwrap_or_default()),
+            log: FaultLog::new(cfg.versions, 4096),
+            last_sets: vec![None; cfg.versions],
+            frame: 0,
         }
     }
 
     /// Current module health states.
     pub fn states(&self) -> &[ModuleState] {
         self.process.states()
+    }
+
+    /// Attaches a deterministic runtime fault plan; `None` detaches it.
+    pub fn set_fault_plan(&mut self, plan: Option<RuntimeFaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The runtime fault-event log.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.log
     }
 
     /// Advances module health by `dt`, applying compromise faults and
@@ -265,6 +302,11 @@ impl MultiVersionPerception {
                 StateEvent::Recovered { module } | StateEvent::ProactiveCompleted { module } => {
                     let pristine = self.modules[module].pristine.clone();
                     self.modules[module].model.restore(&pristine);
+                    // The fresh deployment starts with a clean slate: old
+                    // faults must not count toward a new escalation, and a
+                    // stale replay must not serve pre-rejuvenation output.
+                    self.watchdog.reset(module);
+                    self.last_sets[module] = None;
                 }
                 _ => {}
             }
@@ -275,14 +317,25 @@ impl MultiVersionPerception {
     /// Runs one perception frame on a clean ground-truth BEV grid: each
     /// operational module sees its own noisy sensor view, proposes a
     /// detection set, and the voter fuses the proposals.
+    ///
+    /// The pipeline is hardened at the module boundary: forwards run under
+    /// `catch_unwind`, non-finite logits withhold the module's proposal for
+    /// the frame (when [`PerceptionConfig::sanitize`] is on), and injected
+    /// latency/stale faults degrade to a missing or replayed proposal. All
+    /// detections feed the watchdog; escalation forces the module
+    /// non-functional through the health process, so the ordinary reactive
+    /// repair picks it up.
     pub fn perceive(&mut self, clean_grid: &Tensor) -> PerceptionFrame {
         let states: Vec<ModuleState> = self.process.states().to_vec();
+        let frame = self.frame;
+        self.frame += 1;
         // Draw every operational module's sensor view serially first: the
         // RNG stream advances in module order exactly as it always did, so
         // per-seed replays are byte-identical for any `MVML_THREADS` value.
         let mut macs = 0u64;
+        let mut events: Vec<FaultEvent> = Vec::new();
         let mut proposals: Vec<Option<DetectionSet>> = vec![None; self.modules.len()];
-        let mut jobs: Vec<(usize, &mut Sequential, Tensor)> = Vec::new();
+        let mut jobs: Vec<(usize, &mut Sequential, Tensor, Option<RuntimeFault>)> = Vec::new();
         for (i, (module, state)) in self.modules.iter_mut().zip(&states).enumerate() {
             if !state.is_operational() {
                 continue;
@@ -293,24 +346,95 @@ impl MultiVersionPerception {
                 self.cfg.clutter,
                 &mut self.rng,
             );
+            let fault = self.plan.as_ref().and_then(|p| p.fault_for(i, frame));
+            if matches!(fault, Some(RuntimeFault::Stale)) {
+                // A wedged stage serves its output buffer again instead of
+                // computing; nothing to run, nothing to detect.
+                proposals[i] = self.last_sets[i].clone();
+                continue;
+            }
             macs += module.model.macs(noisy.shape());
-            jobs.push((i, &mut module.model, noisy));
+            jobs.push((i, &mut module.model, noisy, fault));
         }
         // The model forwards touch no shared state, so they fan out across
         // versions — the paper's "independent ML modules" run concurrently.
+        // Each forward is contained: a panicking module loses its proposal,
+        // not the pipeline.
         let threshold = self.cfg.threshold;
-        let decoded = ThreadPool::new().map(jobs, |(i, model, noisy)| {
-            let logits = model.forward(&noisy, false);
-            (i, decode(&logits, threshold))
+        let outputs = ThreadPool::new().map(jobs, |(i, model, noisy, fault)| {
+            let logits = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(fault, Some(RuntimeFault::Crash)) {
+                    panic!("injected crash fault");
+                }
+                let mut logits = model.forward(&noisy, false);
+                if let Some(RuntimeFault::Corrupt(mode)) = fault {
+                    corrupt_in_place(logits.as_mut_slice(), mode);
+                }
+                logits
+            }))
+            .ok();
+            (i, fault, logits)
         });
-        for (i, set) in decoded {
+        for (i, fault, logits) in outputs {
+            let Some(logits) = logits else {
+                events.push(FaultEvent {
+                    module: i,
+                    frame,
+                    kind: FaultEventKind::Panic,
+                });
+                continue;
+            };
+            let set = decode(&logits, threshold);
+            if matches!(fault, Some(RuntimeFault::Latency)) {
+                // The answer exists but arrived after the frame deadline:
+                // discard it for voting, keep it as the stale buffer.
+                events.push(FaultEvent {
+                    module: i,
+                    frame,
+                    kind: FaultEventKind::DeadlineMiss,
+                });
+                self.last_sets[i] = Some(set);
+                continue;
+            }
+            if self.cfg.sanitize && logits.as_slice().iter().any(|v| !v.is_finite()) {
+                events.push(FaultEvent {
+                    module: i,
+                    frame,
+                    kind: FaultEventKind::NonFiniteOutput { samples: 1 },
+                });
+                continue;
+            }
+            self.last_sets[i] = Some(set.clone());
             proposals[i] = Some(set);
         }
         let verdict = vote_detections(&proposals, self.cfg.agreement_tolerance);
+
+        // Escalate repeat offenders into the health process's reactive
+        // repair loop (after the vote: their proposals were already
+        // withheld or decoded).
+        if self.cfg.watchdog.is_some() {
+            let mut faulted = vec![false; self.modules.len()];
+            for e in &events {
+                faulted[e.module] = true;
+            }
+            for (m, _) in faulted.iter().enumerate().filter(|(_, &f)| f) {
+                if self.watchdog.observe(m, frame) && self.process.report_failure(m) {
+                    events.push(FaultEvent {
+                        module: m,
+                        frame,
+                        kind: FaultEventKind::Escalated,
+                    });
+                }
+            }
+        }
+        for e in &events {
+            self.log.record(*e);
+        }
         PerceptionFrame {
             verdict,
             states,
             macs,
+            events,
         }
     }
 }
@@ -587,6 +711,129 @@ mod tests {
             let parallel = with_thread_count(threads, run);
             assert_eq!(serial, parallel, "replay diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn runtime_corruption_is_withheld_and_escalated() {
+        use mvml_faultinject::CorruptionMode;
+        let bank = tiny_bank();
+        let mut p = MultiVersionPerception::new(
+            &bank,
+            PerceptionConfig::default(),
+            no_fault_process(false),
+            7,
+        );
+        // Module 0 emits NaN logits on every frame.
+        p.set_fault_plan(Some(RuntimeFaultPlan::new(1).with_rule(
+            RuntimeFault::Corrupt(CorruptionMode::Nan),
+            1.0,
+            Some(0),
+        )));
+        let clean = rasterize(
+            Vec2::new(0.0, 0.0),
+            0.0,
+            &[ObjectTruth {
+                position: Vec2::new(20.0, 0.0),
+                heading: 0.0,
+            }],
+        );
+        let frame = p.perceive(&clean);
+        assert!(
+            frame
+                .events
+                .iter()
+                .any(|e| e.module == 0 && matches!(e.kind, FaultEventKind::NonFiniteOutput { .. })),
+            "corruption must be detected: {:?}",
+            frame.events
+        );
+        assert!(
+            !matches!(frame.verdict, Verdict::NoModules),
+            "two healthy modules must keep voting"
+        );
+        // Default watchdog (3 faults / 10 frames): the repeat offender is
+        // escalated into the health process's reactive repair path.
+        let mut escalated = false;
+        for _ in 0..4 {
+            let f = p.perceive(&clean);
+            escalated |= f
+                .events
+                .iter()
+                .any(|e| e.module == 0 && matches!(e.kind, FaultEventKind::Escalated));
+        }
+        assert!(escalated, "repeated corruption must escalate");
+        assert_eq!(p.states()[0], ModuleState::NonFunctional);
+        assert!(p.fault_log().module_total(0) >= 3);
+    }
+
+    #[test]
+    fn crash_and_latency_faults_are_contained() {
+        let bank = tiny_bank();
+        let mut p = MultiVersionPerception::new(
+            &bank,
+            PerceptionConfig {
+                watchdog: None, // keep the module up; test containment only
+                ..PerceptionConfig::default()
+            },
+            no_fault_process(false),
+            9,
+        );
+        p.set_fault_plan(Some(
+            RuntimeFaultPlan::new(2)
+                .with_rule(RuntimeFault::Crash, 1.0, Some(1))
+                .with_rule(RuntimeFault::Latency, 1.0, Some(2)),
+        ));
+        let clean = rasterize(Vec2::new(0.0, 0.0), 0.0, &[]);
+        let frame = p.perceive(&clean);
+        assert!(frame
+            .events
+            .iter()
+            .any(|e| e.module == 1 && matches!(e.kind, FaultEventKind::Panic)));
+        assert!(frame
+            .events
+            .iter()
+            .any(|e| e.module == 2 && matches!(e.kind, FaultEventKind::DeadlineMiss)));
+        // Only module 0 proposed: single-version pass-through (R.3), and
+        // the pipeline survived a panicking module.
+        assert!(matches!(frame.verdict, Verdict::Output(_)));
+        assert_eq!(p.states(), &[ModuleState::Healthy; 3], "no escalation");
+    }
+
+    #[test]
+    fn stale_fault_replays_previous_detections() {
+        let bank = tiny_bank();
+        let mut p = MultiVersionPerception::new(
+            &bank,
+            PerceptionConfig {
+                versions: 1,
+                ..PerceptionConfig::default()
+            },
+            no_fault_process(false),
+            13,
+        );
+        let with_lead = rasterize(
+            Vec2::new(0.0, 0.0),
+            0.0,
+            &[ObjectTruth {
+                position: Vec2::new(18.0, 0.0),
+                heading: 0.0,
+            }],
+        );
+        let empty_road = rasterize(Vec2::new(0.0, 0.0), 0.0, &[]);
+        let fresh = p.perceive(&with_lead);
+        let Verdict::Output(fresh_set) = fresh.verdict else {
+            panic!("single version must pass through");
+        };
+        // Wedge the module: the road is now empty, but it serves the old
+        // detections — undetectable by any guard, only voting masks it.
+        p.set_fault_plan(Some(RuntimeFaultPlan::new(3).with_rule(
+            RuntimeFault::Stale,
+            1.0,
+            Some(0),
+        )));
+        let stale = p.perceive(&empty_road);
+        assert_eq!(stale.verdict, Verdict::Output(fresh_set));
+        assert!(stale.events.is_empty(), "stale output is not detectable");
+        assert_eq!(stale.macs, 0, "a wedged module computes nothing");
     }
 
     #[test]

@@ -81,31 +81,44 @@ impl AccPlanner {
     /// Computes the acceleration command for this frame.
     ///
     /// On [`Verdict::Output`] the command tracks the target speed and
-    /// brakes for the obstacle distance, if any; on [`Verdict::Skip`] or
-    /// [`Verdict::NoModules`] the previous command is *held* (the paper's
-    /// "driving properties remain unchanged").
+    /// brakes for the obstacle distance, if any. On [`Verdict::Skip`] the
+    /// previous command is *held* (the paper's "driving properties remain
+    /// unchanged" — the voter saw divergent but live modules). On
+    /// [`Verdict::NoModules`] perception is entirely dark — no module
+    /// proposed anything — so the planner degrades to a gentle safe-stop
+    /// instead of cruising blind on a stale command.
     pub fn plan(&mut self, perception: &Verdict<ObstacleAhead>, speed: f64) -> f64 {
-        if let Verdict::Output(obstacle) = perception {
-            let cruise =
-                (self.cfg.target_speed - speed).clamp(-self.cfg.max_brake, self.cfg.max_accel);
-            let command = match obstacle {
-                Some(distance) => {
-                    let desired_gap = self.cfg.standoff + self.cfg.headway * speed;
-                    if *distance < desired_gap {
-                        // Brake proportionally to the gap violation.
-                        let severity = ((desired_gap - distance) / desired_gap).clamp(0.0, 1.0);
-                        -self.cfg.max_brake * (0.4 + 0.6 * severity)
-                    } else if *distance < self.cfg.comfort_factor * desired_gap {
-                        // Comfort zone: shed speed early so brief perception
-                        // outages remain recoverable.
-                        -self.cfg.comfort_brake
-                    } else {
-                        cruise
+        match perception {
+            Verdict::Output(obstacle) => {
+                let cruise =
+                    (self.cfg.target_speed - speed).clamp(-self.cfg.max_brake, self.cfg.max_accel);
+                let command = match obstacle {
+                    Some(distance) => {
+                        let desired_gap = self.cfg.standoff + self.cfg.headway * speed;
+                        if *distance < desired_gap {
+                            // Brake proportionally to the gap violation.
+                            let severity = ((desired_gap - distance) / desired_gap).clamp(0.0, 1.0);
+                            -self.cfg.max_brake * (0.4 + 0.6 * severity)
+                        } else if *distance < self.cfg.comfort_factor * desired_gap {
+                            // Comfort zone: shed speed early so brief perception
+                            // outages remain recoverable.
+                            -self.cfg.comfort_brake
+                        } else {
+                            cruise
+                        }
                     }
-                }
-                None => cruise,
-            };
-            self.last_command = command;
+                    None => cruise,
+                };
+                self.last_command = command;
+            }
+            Verdict::Skip => {}
+            Verdict::NoModules => {
+                self.last_command = if speed > 0.0 {
+                    -self.cfg.comfort_brake
+                } else {
+                    0.0
+                };
+            }
         }
         self.last_command
     }
@@ -171,9 +184,23 @@ mod tests {
         assert!(cruise > 0.0);
         let held = p.plan(&Verdict::Skip, 4.0);
         assert_eq!(held, cruise, "skip must hold the last command");
-        let held = p.plan(&Verdict::NoModules, 4.0);
-        assert_eq!(held, cruise);
         assert_eq!(p.last_command(), cruise);
+    }
+
+    #[test]
+    fn total_outage_degrades_to_safe_stop() {
+        let mut p = planner();
+        let cruise = p.plan(&Verdict::Output(None), 4.0);
+        assert!(cruise > 0.0);
+        // No module responds: brake gently instead of cruising blind.
+        let dark = p.plan(&Verdict::NoModules, 4.0);
+        assert!(dark < 0.0, "dark perception must brake, got {dark}");
+        // Once stopped, stay stopped without commanding reverse thrust.
+        let stopped = p.plan(&Verdict::NoModules, 0.0);
+        assert_eq!(stopped, 0.0);
+        // A recovered frame resumes normal planning.
+        let resumed = p.plan(&Verdict::Output(None), 0.0);
+        assert!(resumed > 0.0);
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub struct RunMetrics {
     pub total_time: Duration,
     /// Total detector multiply-accumulates executed.
     pub macs: u64,
+    /// Runtime fault events detected by the hardened perception pipeline.
+    pub fault_events: u64,
 }
 
 impl RunMetrics {
@@ -108,9 +110,13 @@ pub fn nearest_obstacle_on_path(
             let world = ego_position + Vec2::new(fwd, lat).rotated(ego_heading);
             let (s, lateral) = path.project(world);
             let ahead = s - ego_s;
-            (lateral <= lateral_tol && ahead > 0.5 && ahead <= max_ahead).then_some(ahead)
+            // The finiteness check also rejects NaN projections (from
+            // degenerate geometry or corrupted upstream state), so the
+            // min_by below is total and can never panic.
+            (ahead.is_finite() && lateral <= lateral_tol && ahead > 0.5 && ahead <= max_ahead)
+                .then_some(ahead)
         })
-        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .min_by(f64::total_cmp)
 }
 
 /// Simulates one route with the given configuration.
@@ -131,6 +137,7 @@ pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> Run
         perception_time: Duration::ZERO,
         total_time: Duration::ZERO,
         macs: 0,
+        fault_events: 0,
     };
 
     let loop_start = Instant::now();
@@ -144,6 +151,7 @@ pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> Run
         let output = perception.perceive(&clean);
         metrics.perception_time += t0.elapsed();
         metrics.macs += output.macs;
+        metrics.fault_events += output.events.len() as u64;
 
         match &output.verdict {
             Verdict::Skip => metrics.skipped_frames += 1,
@@ -217,22 +225,13 @@ pub fn aggregate_route(
             run_route(route, bank, &cfg)
         })
         .collect();
-    let collided: Vec<&RunMetrics> = results
-        .iter()
-        .filter(|r| r.first_collision.is_some())
-        .collect();
+    let collided: Vec<usize> = results.iter().filter_map(|r| r.first_collision).collect();
     RouteAggregate {
         route_id: route.id,
         first_collision_frame: if collided.is_empty() {
             None
         } else {
-            Some(
-                collided
-                    .iter()
-                    .map(|r| r.first_collision.unwrap() as f64)
-                    .sum::<f64>()
-                    / collided.len() as f64,
-            )
+            Some(collided.iter().map(|&f| f as f64).sum::<f64>() / collided.len() as f64)
         },
         avg_frames: results.iter().map(|r| r.frames as f64).sum::<f64>() / runs as f64,
         collision_rate: results.iter().map(RunMetrics::collision_rate).sum::<f64>() / runs as f64,
@@ -349,6 +348,7 @@ mod tests {
             perception_time: Duration::from_millis(10),
             total_time: Duration::from_millis(20),
             macs: 1,
+            fault_events: 0,
         };
         assert_eq!(m.collision_rate(), 25.0);
         assert_eq!(m.skip_ratio(), 0.02);

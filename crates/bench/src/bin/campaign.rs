@@ -1,0 +1,150 @@
+//! Runs the runtime fault-injection campaign: fault kind × rate × guard
+//! grid, the 1-of-3 NaN-corruption headline comparison, and the DSPN
+//! steady-state cross-check. Writes `results/CAMPAIGN_runtime.json` (or
+//! `--out <path>`), then re-validates the written file.
+//!
+//! Usage:
+//!   cargo run -p mvml-bench --release --bin campaign
+//!   cargo run -p mvml-bench --release --bin campaign -- --smoke --out results/CAMPAIGN_smoke.json
+//!   cargo run -p mvml-bench --release --bin campaign -- --validate results/CAMPAIGN_runtime.json
+
+use mvml_bench::campaign::{run_campaign, validate_report, CampaignConfig, CampaignReport};
+use mvml_bench::format::{f, render_table};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("results/CAMPAIGN_runtime.json");
+    let mut validate_only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--validate" => validate_only = Some(args.next().expect("--validate needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_only {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let report: CampaignReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{path} is not a campaign report: {e}"));
+        if let Err(reason) = validate_report(&report) {
+            eprintln!("{path}: INVALID — {reason}");
+            std::process::exit(1);
+        }
+        println!(
+            "{path}: valid campaign report ({} grid cells)",
+            report.grid.len()
+        );
+        return;
+    }
+
+    // Injected crash faults unwind through `catch_unwind` by design; keep
+    // the default hook from spamming a backtrace for each one.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected crash fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let cfg = if smoke {
+        CampaignConfig::smoke()
+    } else {
+        CampaignConfig::full()
+    };
+    eprintln!("training {} versions ({} classes)…", 3, cfg.sign.classes);
+    let report = run_campaign(&cfg);
+
+    println!("runtime fault-injection campaign — grid\n");
+    let rows: Vec<Vec<String>> = report
+        .grid
+        .iter()
+        .map(|c| {
+            vec![
+                c.fault.clone(),
+                format!("{:.2}", c.rate),
+                c.guard.clone(),
+                f(c.reliability, 4),
+                f(c.coverage, 4),
+                c.detected_events.to_string(),
+                c.escalations.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "fault",
+                "rate",
+                "guard",
+                "E[R]",
+                "coverage",
+                "detected",
+                "escalated"
+            ],
+            &rows
+        )
+    );
+
+    let h = &report.headline;
+    println!(
+        "headline ({} rate {:.2} into module {} of 3): hardened {} vs unhardened {} (margin {}); \
+         masked module never changed the chosen class: {}",
+        h.fault,
+        h.rate,
+        h.target_module,
+        f(h.hardened_reliability, 4),
+        f(h.unhardened_reliability, 4),
+        f(h.margin, 4),
+        h.masked_never_changed_class,
+    );
+
+    println!(
+        "\nper-state reliability r[h] = {:?}",
+        report
+            .per_state_reliability
+            .iter()
+            .map(|r| f(*r, 4))
+            .collect::<Vec<_>>()
+    );
+    for c in &report.cross_check {
+        println!(
+            "{} cross-check: empirical {} ± {} vs analytic {} (DES {} ± {}) → within tolerance: {}",
+            c.variant,
+            f(c.empirical, 4),
+            f(c.empirical_half_width, 4),
+            f(c.analytic, 4),
+            f(c.des_simulated, 4),
+            f(c.des_half_width, 4),
+            c.within_tolerance,
+        );
+    }
+
+    validate_report(&report)
+        .unwrap_or_else(|reason| panic!("campaign invariants violated: {reason}"));
+
+    let json = serde_json::to_string(&report).expect("serialise report");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("output dir");
+        }
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    // Close the loop: the artefact on disk must itself pass validation.
+    let back: CampaignReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("re-read")).expect("re-parse");
+    validate_report(&back).expect("written artefact validates");
+}

@@ -1,0 +1,809 @@
+//! The runtime fault-injection campaign: the empirical counterpart of the
+//! hardened classification path (`mvml-core`'s guard/watchdog stack).
+//!
+//! Where [`calibrate`](crate::calibrate) measures *weight* faults (the
+//! paper's Table II compromise model), this campaign measures *runtime*
+//! faults — corrupted activations, crashes, deadline misses, stale
+//! replays — injected deterministically by a seeded
+//! [`RuntimeFaultPlan`] while the system classifies a frame stream. Three
+//! questions are answered, and the answers are written to
+//! `results/CAMPAIGN_runtime.json`:
+//!
+//! 1. **Grid** — for every fault kind × rate × guard configuration, what
+//!    are the empirical output reliability and coverage, how many faults
+//!    were detected, and how often did the watchdog escalate? The grid
+//!    makes the fault taxonomy measurable: detectable kinds (NaN/±∞
+//!    corruption, crashes, deadline misses) produce events under the
+//!    hardened guard and none under the unhardened baseline; undetectable
+//!    kinds (saturated-but-finite corruption, stale replays) produce no
+//!    events under either and are masked only by voting.
+//! 2. **Headline** — with activation corruption planted in 1 of 3
+//!    versions, the hardened system must be strictly more reliable than
+//!    the unhardened baseline, and the masked module must never *change*
+//!    the voter's chosen class relative to a fault-free twin — it may only
+//!    cost decisiveness (outputs become skips, never different outputs).
+//! 3. **Cross-check** — driving the module-health chain
+//!    ([`StateProcess`]) and manifesting every compromise as a NaN
+//!    corruption, the long-run empirical reliability of the
+//!    sanitize-only system must agree with the DSPN steady-state
+//!    prediction, within the combined confidence interval of the
+//!    empirical batch-means estimate and a discrete-event simulation of
+//!    the same net. (Sanitize-only, because watchdog escalation adds a
+//!    detection-speed C→N transition the analytic models do not know
+//!    about; under sanitization a corrupted module is exactly as silent
+//!    as a non-functional one, so the reward depends on `#Pmh` alone.)
+
+use mvml_core::dspn::{reactive_only, with_proactive, SolveOptions};
+use mvml_core::rejuvenation::{ProcessConfig, StateEvent, StateProcess};
+use mvml_core::watchdog::FaultEventKind;
+use mvml_core::{EmpiricalReliability, GuardConfig, NVersionSystem, SystemParams, Verdict};
+use mvml_faultinject::{CorruptionMode, RuntimeFault, RuntimeFaultPlan};
+use mvml_nn::models::three_versions;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::train::{train_classifier, TrainConfig};
+use mvml_nn::{Dataset, Sequential};
+use mvml_petri::{
+    erlang_expand, simulate, solve_steady, ExpectedReward, SimConfig, SolutionMethod,
+};
+use serde::{Deserialize, Serialize};
+
+/// The fault kinds exercised by the grid, with their report labels.
+pub const FAULT_KINDS: [(&str, RuntimeFault); 6] = [
+    ("nan-corruption", RuntimeFault::Corrupt(CorruptionMode::Nan)),
+    (
+        "posinf-corruption",
+        RuntimeFault::Corrupt(CorruptionMode::PosInf),
+    ),
+    (
+        "saturate-corruption",
+        RuntimeFault::Corrupt(CorruptionMode::Saturate),
+    ),
+    ("crash", RuntimeFault::Crash),
+    ("latency", RuntimeFault::Latency),
+    ("stale", RuntimeFault::Stale),
+];
+
+/// Configuration of the DSPN cross-check stage.
+#[derive(Debug, Clone)]
+pub struct CrossCheckConfig {
+    /// Chain timing parameters. The defaults are *accelerated* relative to
+    /// the paper's Table IV so a bounded frame stream covers many
+    /// compromise/repair cycles; the chain semantics are unchanged.
+    pub params: SystemParams,
+    /// Classification frames per variant.
+    pub frames: u64,
+    /// Simulated-time horizon the frames are spread over (seconds).
+    pub horizon: f64,
+    /// Frames discarded before tallying (chain warm-up).
+    pub warmup_frames: u64,
+    /// Batch count for the batch-means confidence interval.
+    pub batches: usize,
+    /// Discrete-event-simulation horizon for the DSPN (seconds).
+    pub des_horizon: f64,
+    /// Discrete-event-simulation warm-up (seconds).
+    pub des_warmup: f64,
+    /// Erlang stages approximating the deterministic proactive clock in
+    /// the analytic solve.
+    pub erlang_k: u32,
+    /// Seed for both the health chain and the DES.
+    pub seed: u64,
+    /// Batch size for the per-state reliability measurement.
+    pub state_eval_batch: usize,
+}
+
+/// Full configuration of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for the three model versions (architecture init + training).
+    pub model_seed: u64,
+    /// Fault-plan seeds; grid and headline tallies aggregate across them.
+    pub plan_seeds: Vec<u64>,
+    /// Synthetic sign-dataset settings.
+    pub sign: SignConfig,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class (the classified frame stream cycles these).
+    pub test_per_class: usize,
+    /// Per-frame fault rates swept by the grid.
+    pub rates: Vec<f64>,
+    /// Frames classified per grid cell (per plan seed).
+    pub frames_per_cell: usize,
+    /// Frames classified per headline run (per plan seed).
+    pub headline_frames: usize,
+    /// The DSPN cross-check stage; `None` skips it.
+    pub cross_check: Option<CrossCheckConfig>,
+}
+
+impl CampaignConfig {
+    /// The full campaign behind `results/CAMPAIGN_runtime.json`.
+    pub fn full() -> Self {
+        CampaignConfig {
+            model_seed: 38,
+            plan_seeds: vec![11, 12],
+            sign: campaign_sign_config(),
+            train: TrainConfig {
+                epochs: 10,
+                batch_size: 32,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
+            train_per_class: 80,
+            test_per_class: 80,
+            rates: vec![0.25, 1.0],
+            frames_per_cell: 400,
+            headline_frames: 600,
+            cross_check: Some(CrossCheckConfig {
+                params: accelerated_params(),
+                frames: 4_000,
+                horizon: 6_000.0,
+                warmup_frames: 400,
+                batches: 20,
+                des_horizon: 400_000.0,
+                des_warmup: 2_000.0,
+                erlang_k: 16,
+                seed: 2025,
+                state_eval_batch: 64,
+            }),
+        }
+    }
+
+    /// A reduced configuration for the CI smoke gate: same stages, smaller
+    /// training set, single rate, shorter streams.
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
+            train_per_class: 40,
+            test_per_class: 50,
+            rates: vec![1.0],
+            frames_per_cell: 120,
+            headline_frames: 250,
+            cross_check: Some(CrossCheckConfig {
+                frames: 1_200,
+                horizon: 3_000.0,
+                warmup_frames: 120,
+                batches: 12,
+                des_horizon: 120_000.0,
+                ..CampaignConfig::full()
+                    .cross_check
+                    .expect("full config defines a cross-check")
+            }),
+            ..CampaignConfig::full()
+        }
+    }
+}
+
+/// A moderately hard sign configuration: accuracy stays high but the three
+/// versions disagree on a visible fraction of frames, which is exactly the
+/// regime where an unhardened garbage vote can forge a majority.
+fn campaign_sign_config() -> SignConfig {
+    SignConfig {
+        classes: 5,
+        image_size: 12,
+        ..SignConfig::default()
+    }
+}
+
+/// Chain timing parameters sped up ~12× relative to the paper's Table IV,
+/// so a few thousand frames observe dozens of compromise/repair cycles.
+fn accelerated_params() -> SystemParams {
+    SystemParams {
+        mttc: 120.0,
+        mttf: 60.0,
+        reactive_time: 10.0,
+        proactive_time: 5.0,
+        rejuvenation_interval: 60.0,
+        ..SystemParams::paper_table_iv()
+    }
+}
+
+/// One grid cell: a fault kind at a rate under a guard configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Fault-kind label (see [`FAULT_KINDS`]).
+    pub fault: String,
+    /// Per-frame injection probability into the target module.
+    pub rate: f64,
+    /// Guard label: `"hardened"` or `"unhardened"`.
+    pub guard: String,
+    /// Index of the module the plan targets.
+    pub target_module: usize,
+    /// Voter outcomes aggregated over all plan seeds.
+    pub correct: usize,
+    /// Wrong outputs (the failures the reliability model quantifies).
+    pub wrong: usize,
+    /// Safe skips.
+    pub skipped: usize,
+    /// Frames with no operational module.
+    pub no_output: usize,
+    /// Output reliability `1 − wrong/total`.
+    pub reliability: f64,
+    /// Fraction of frames that produced an output.
+    pub coverage: f64,
+    /// Detected fault events (panics, deadline misses, non-finite logits).
+    pub detected_events: u64,
+    /// Watchdog escalations to non-functional.
+    pub escalations: u64,
+}
+
+/// The 1-of-3 NaN-corruption comparison the campaign is named for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// Fault-kind label (always `"nan-corruption"`).
+    pub fault: String,
+    /// Per-frame injection probability (1.0: a persistently compromised
+    /// version, the runtime analogue of the paper's weight-fault model).
+    pub rate: f64,
+    /// Index of the corrupted version.
+    pub target_module: usize,
+    /// Frames classified per plan seed.
+    pub frames: usize,
+    /// Reliability of the hardened system (sanitize + watchdog).
+    pub hardened_reliability: f64,
+    /// Reliability of the unhardened baseline (corrupted logits vote).
+    pub unhardened_reliability: f64,
+    /// `hardened − unhardened`; must be strictly positive.
+    pub margin: f64,
+    /// Coverage of the hardened system (what masking costs).
+    pub hardened_coverage: f64,
+    /// Coverage of the unhardened baseline.
+    pub unhardened_coverage: f64,
+    /// `true` iff on every frame where the hardened system produced an
+    /// output, a fault-free twin produced the *same* output: the masked
+    /// module never changed the chosen class, only the decisiveness.
+    pub masked_never_changed_class: bool,
+}
+
+/// One DSPN cross-check variant (reactive-only or with proactive clock).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossCheck {
+    /// `"reactive"` or `"proactive"`.
+    pub variant: String,
+    /// Steady-state prediction: occupancy-weighted per-state reliability.
+    pub analytic: f64,
+    /// The same reward estimated by discrete-event simulation of the net.
+    pub des_simulated: f64,
+    /// 99.7% batch-means half-width of the DES estimate.
+    pub des_half_width: f64,
+    /// Long-run reliability measured on the live hardened system while the
+    /// health chain injects NaN corruption into compromised modules.
+    pub empirical: f64,
+    /// 99.7% batch-means half-width of the empirical estimate.
+    pub empirical_half_width: f64,
+    /// Acceptance tolerance: `des_half_width + empirical_half_width`.
+    pub tolerance: f64,
+    /// `|empirical − analytic| ≤ tolerance`.
+    pub within_tolerance: bool,
+}
+
+/// Echo of the inputs that shaped the report (for reproducibility).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigEcho {
+    /// Number of module versions.
+    pub n: usize,
+    /// Model seed.
+    pub model_seed: u64,
+    /// Fault-plan seeds.
+    pub plan_seeds: Vec<u64>,
+    /// Classes in the sign dataset.
+    pub classes: usize,
+    /// Test-set size (the frame stream cycles it).
+    pub test_len: usize,
+    /// Healthy test accuracy of each trained version.
+    pub healthy_accuracy: Vec<f64>,
+}
+
+/// The full campaign report, serialised to `results/CAMPAIGN_runtime.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Input echo.
+    pub config: ConfigEcho,
+    /// Fault kind × rate × guard sweep.
+    pub grid: Vec<GridCell>,
+    /// The hardened-vs-unhardened 1-of-3 comparison.
+    pub headline: Headline,
+    /// Per-state reliability `r[h]` (subset-averaged over which `h` of the
+    /// `n` modules are healthy) used as the cross-check reward.
+    pub per_state_reliability: Vec<f64>,
+    /// DSPN cross-checks (empty when the stage is disabled).
+    pub cross_check: Vec<CrossCheck>,
+}
+
+/// Outcome of one classified stream.
+#[derive(Debug, Clone, Copy)]
+struct StreamOutcome {
+    tally: EmpiricalReliability,
+    detected: u64,
+    escalations: u64,
+}
+
+fn absorb(into: &mut EmpiricalReliability, from: &EmpiricalReliability) {
+    into.correct += from.correct;
+    into.wrong += from.wrong;
+    into.skipped += from.skipped;
+    into.no_output += from.no_output;
+}
+
+/// Classifies `frames` single-sample frames (cycling the test set) under
+/// `guard` and `plan`, tallying verdicts and fault events. No repair runs:
+/// an escalated module stays non-functional, so the tail of the stream
+/// measures graceful degradation rather than recovery.
+fn run_stream(
+    models: &[Sequential],
+    guard: GuardConfig,
+    plan: Option<RuntimeFaultPlan>,
+    test: &Dataset,
+    frames: usize,
+) -> StreamOutcome {
+    let mut sys = NVersionSystem::new(models.to_vec());
+    sys.set_guard(guard)
+        .expect("static guard configs are valid");
+    sys.set_fault_plan(plan);
+    let mut tally = EmpiricalReliability::zero();
+    let mut detected = 0u64;
+    let mut escalations = 0u64;
+    for f in 0..frames {
+        let i = f % test.len();
+        let (x, labels) = test.batch(&[i]);
+        let report = sys.classify_batch_detailed(&x);
+        tally.tally(&report.verdicts[0], labels[0]);
+        detected += report
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultEventKind::Escalated))
+            .count() as u64;
+        escalations += report.escalations.len() as u64;
+    }
+    StreamOutcome {
+        tally,
+        detected,
+        escalations,
+    }
+}
+
+fn run_grid(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Vec<GridCell> {
+    const TARGET: usize = 0;
+    let mut cells = Vec::new();
+    for (label, kind) in FAULT_KINDS {
+        for &rate in &cfg.rates {
+            for (guard_label, guard) in [
+                ("hardened", GuardConfig::default()),
+                ("unhardened", GuardConfig::unhardened()),
+            ] {
+                let mut tally = EmpiricalReliability::zero();
+                let mut detected = 0;
+                let mut escalations = 0;
+                for &seed in &cfg.plan_seeds {
+                    let plan = RuntimeFaultPlan::new(seed).with_rule(kind, rate, Some(TARGET));
+                    let out = run_stream(models, guard, Some(plan), test, cfg.frames_per_cell);
+                    absorb(&mut tally, &out.tally);
+                    detected += out.detected;
+                    escalations += out.escalations;
+                }
+                cells.push(GridCell {
+                    fault: label.to_string(),
+                    rate,
+                    guard: guard_label.to_string(),
+                    target_module: TARGET,
+                    correct: tally.correct,
+                    wrong: tally.wrong,
+                    skipped: tally.skipped,
+                    no_output: tally.no_output,
+                    reliability: tally.reliability(),
+                    coverage: tally.coverage(),
+                    detected_events: detected,
+                    escalations,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn run_headline(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Headline {
+    const TARGET: usize = 0;
+    const RATE: f64 = 1.0;
+    let mut hardened = EmpiricalReliability::zero();
+    let mut unhardened = EmpiricalReliability::zero();
+    let mut never_changed = true;
+    for &seed in &cfg.plan_seeds {
+        let plan = RuntimeFaultPlan::new(seed).with_rule(
+            RuntimeFault::Corrupt(CorruptionMode::Nan),
+            RATE,
+            Some(TARGET),
+        );
+        // Lock-step run of the hardened system against a fault-free twin:
+        // every output the hardened system produces must equal the twin's.
+        let mut sys = NVersionSystem::new(models.to_vec());
+        sys.set_fault_plan(Some(plan.clone()));
+        let mut twin = NVersionSystem::new(models.to_vec());
+        for f in 0..cfg.headline_frames {
+            let i = f % test.len();
+            let (x, labels) = test.batch(&[i]);
+            let verdict = sys.classify_batch(&x).remove(0);
+            let free = twin.classify_batch(&x).remove(0);
+            if let Verdict::Output(c) = verdict {
+                if free != Verdict::Output(c) {
+                    never_changed = false;
+                }
+            }
+            hardened.tally(&verdict, labels[0]);
+        }
+        let out = run_stream(
+            models,
+            GuardConfig::unhardened(),
+            Some(plan),
+            test,
+            cfg.headline_frames,
+        );
+        absorb(&mut unhardened, &out.tally);
+    }
+    Headline {
+        fault: "nan-corruption".to_string(),
+        rate: RATE,
+        target_module: TARGET,
+        frames: cfg.headline_frames,
+        hardened_reliability: hardened.reliability(),
+        unhardened_reliability: unhardened.reliability(),
+        margin: hardened.reliability() - unhardened.reliability(),
+        hardened_coverage: hardened.coverage(),
+        unhardened_coverage: unhardened.coverage(),
+        masked_never_changed_class: never_changed,
+    }
+}
+
+/// Measures `r[h]` for `h = 0..=n`: the empirical output reliability when
+/// exactly `h` modules are healthy and the rest are silent, averaged over
+/// every size-`h` subset (the chain picks victims uniformly, so the reward
+/// must be subset-symmetric). `r[0]` is vacuously 1: a system with no
+/// operational module produces no output, and no output is never wrong.
+fn per_state_reliability(models: &[Sequential], test: &Dataset, batch: usize) -> Vec<f64> {
+    let n = models.len();
+    let mut sums = vec![0.0f64; n + 1];
+    let mut counts = vec![0usize; n + 1];
+    for mask in 0u32..(1 << n) {
+        let h = mask.count_ones() as usize;
+        let mut sys = NVersionSystem::new(models.to_vec());
+        sys.set_guard(GuardConfig::sanitize_only())
+            .expect("static guard configs are valid");
+        for m in 0..n {
+            if mask & (1 << m) == 0 {
+                sys.module_mut(m).fail();
+            }
+        }
+        sums[h] += sys.evaluate(test, batch).reliability();
+        counts[h] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, &c)| s / c as f64)
+        .collect()
+}
+
+/// Runs the live system under the health chain: every `Compromised` event
+/// plants a NaN-corruption runtime fault, every crash/repair transition is
+/// mirrored into the module bank, and the sanitize-only guard classifies
+/// one frame per step. Returns the batch-means `(mean, half_width)` of the
+/// per-batch output reliability (99.7%, z = 3).
+fn empirical_under_chain(
+    models: &[Sequential],
+    test: &Dataset,
+    cfg: &CrossCheckConfig,
+    proactive: bool,
+) -> (f64, f64) {
+    let n = models.len();
+    let mut sys = NVersionSystem::new(models.to_vec());
+    sys.set_guard(GuardConfig::sanitize_only())
+        .expect("static guard configs are valid");
+    let mut process = StateProcess::new(
+        n,
+        ProcessConfig::dspn_aligned(cfg.params, proactive),
+        cfg.seed,
+    );
+    let dt = cfg.horizon / cfg.frames as f64;
+    let measured = cfg.frames - cfg.warmup_frames;
+    let mut batch_tallies = vec![EmpiricalReliability::zero(); cfg.batches];
+    for f in 0..cfg.frames {
+        for ev in process.advance(dt) {
+            match ev.event {
+                StateEvent::Compromised { module } => sys
+                    .module_mut(module)
+                    .set_runtime_fault(RuntimeFault::Corrupt(CorruptionMode::Nan)),
+                StateEvent::Failed { module } => sys.module_mut(module).fail(),
+                StateEvent::ProactiveStarted { module, .. } => {
+                    sys.module_mut(module).begin_rejuvenation();
+                }
+                StateEvent::Recovered { module } | StateEvent::ProactiveCompleted { module } => {
+                    sys.rejuvenate_module(module)
+                        .expect("chain events index existing modules");
+                }
+                StateEvent::TriggerDropped => {}
+            }
+        }
+        let i = (f as usize) % test.len();
+        let (x, labels) = test.batch(&[i]);
+        let verdict = sys.classify_batch(&x).remove(0);
+        if f >= cfg.warmup_frames {
+            let b = ((f - cfg.warmup_frames) * cfg.batches as u64 / measured) as usize;
+            batch_tallies[b.min(cfg.batches - 1)].tally(&verdict, labels[0]);
+        }
+    }
+    let means: Vec<f64> = batch_tallies.iter().map(|t| t.reliability()).collect();
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let var =
+        means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (means.len() - 1).max(1) as f64;
+    (mean, 3.0 * (var / means.len() as f64).sqrt())
+}
+
+fn run_cross_check(
+    models: &[Sequential],
+    test: &Dataset,
+    cfg: &CrossCheckConfig,
+    r_emp: &[f64],
+) -> Vec<CrossCheck> {
+    let mut out = Vec::new();
+    for proactive in [false, true] {
+        let variant = if proactive { "proactive" } else { "reactive" };
+        let mv = if proactive {
+            with_proactive(3, &cfg.params)
+        } else {
+            reactive_only(3, &cfg.params)
+        }
+        .expect("3-module DSPN builds at validated parameters");
+        let pmh = mv.pmh;
+
+        // Analytic: exact steady state of the (Erlang-expanded) chain,
+        // rewarded with the measured per-state reliability.
+        let expanded;
+        let solved = if proactive {
+            expanded = erlang_expand(&mv.net, cfg.erlang_k).expect("Erlang expansion");
+            &expanded
+        } else {
+            &mv.net
+        };
+        let sol = solve_steady(
+            solved,
+            &SolutionMethod::Auto,
+            &SolveOptions::default().solver,
+        )
+        .expect("steady state");
+        let analytic = sol.expected_reward(|m| r_emp[m[pmh] as usize]);
+
+        // DES of the same net (deterministic clock simulated natively).
+        let sim = simulate(
+            &mv.net,
+            &SimConfig {
+                horizon: cfg.des_horizon,
+                warmup: cfg.des_warmup,
+                seed: cfg.seed,
+                ..SimConfig::default()
+            },
+        )
+        .expect("DES run");
+        let (des_simulated, des_half_width) = sim.reward_ci(|m| r_emp[m[pmh] as usize], 3.0);
+
+        // Live system under the chain.
+        let (empirical, empirical_half_width) = empirical_under_chain(models, test, cfg, proactive);
+
+        let tolerance = des_half_width + empirical_half_width;
+        out.push(CrossCheck {
+            variant: variant.to_string(),
+            analytic,
+            des_simulated,
+            des_half_width,
+            empirical,
+            empirical_half_width,
+            tolerance,
+            within_tolerance: (empirical - analytic).abs() <= tolerance,
+        });
+    }
+    out
+}
+
+/// Trains the three versions and runs every campaign stage. Fully
+/// deterministic for a given configuration: the same config produces a
+/// byte-identical serialised report.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let train = generate(
+        &cfg.sign,
+        cfg.sign.classes * cfg.train_per_class,
+        cfg.model_seed,
+    );
+    let test = generate(
+        &cfg.sign,
+        cfg.sign.classes * cfg.test_per_class,
+        cfg.model_seed ^ 0xBEEF,
+    );
+    let mut models = three_versions(cfg.sign.image_size, cfg.sign.classes, cfg.model_seed);
+    let mut healthy_accuracy = Vec::with_capacity(models.len());
+    for model in &mut models {
+        let _ = train_classifier(model, &train, &cfg.train);
+        let errs = mvml_nn::metrics::error_set(model, &test, 64);
+        healthy_accuracy.push(1.0 - errs.iter().filter(|&&e| e).count() as f64 / errs.len() as f64);
+    }
+
+    let grid = run_grid(cfg, &models, &test);
+    let headline = run_headline(cfg, &models, &test);
+    let (per_state, cross_check) = match &cfg.cross_check {
+        Some(cc) => {
+            let r_emp = per_state_reliability(&models, &test, cc.state_eval_batch);
+            let checks = run_cross_check(&models, &test, cc, &r_emp);
+            (r_emp, checks)
+        }
+        None => (per_state_reliability(&models, &test, 64), Vec::new()),
+    };
+
+    CampaignReport {
+        config: ConfigEcho {
+            n: models.len(),
+            model_seed: cfg.model_seed,
+            plan_seeds: cfg.plan_seeds.clone(),
+            classes: cfg.sign.classes,
+            test_len: test.len(),
+            healthy_accuracy,
+        },
+        grid,
+        headline,
+        per_state_reliability: per_state,
+        cross_check,
+    }
+}
+
+/// Structural and semantic validation of a campaign report — the schema
+/// gate behind `campaign --validate` (and the CI smoke check). Returns the
+/// first violated invariant.
+///
+/// # Errors
+///
+/// Describes the violated invariant.
+pub fn validate_report(report: &CampaignReport) -> Result<(), String> {
+    let cfg = &report.config;
+    if cfg.n == 0 || cfg.test_len == 0 || cfg.plan_seeds.is_empty() {
+        return Err("config echo is degenerate".into());
+    }
+    if report.grid.is_empty() {
+        return Err("grid is empty".into());
+    }
+    for cell in &report.grid {
+        let total = cell.correct + cell.wrong + cell.skipped + cell.no_output;
+        if total == 0 {
+            return Err(format!(
+                "grid cell {}/{} tallied no frames",
+                cell.fault, cell.guard
+            ));
+        }
+        for (name, v) in [
+            ("reliability", cell.reliability),
+            ("coverage", cell.coverage),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!(
+                    "grid cell {}/{}: {name} = {v} outside [0, 1]",
+                    cell.fault, cell.guard
+                ));
+            }
+        }
+        // Taxonomy invariants. Detectable corruption produces events only
+        // under the hardened guard; saturated corruption and stale replays
+        // are invisible to the sanitizer under either guard.
+        let detectable_corruption =
+            cell.fault == "nan-corruption" || cell.fault == "posinf-corruption";
+        if detectable_corruption && cell.guard == "hardened" && cell.detected_events == 0 {
+            return Err(format!(
+                "hardened guard detected no {} at rate {}",
+                cell.fault, cell.rate
+            ));
+        }
+        if detectable_corruption && cell.guard == "unhardened" && cell.detected_events != 0 {
+            return Err(format!("unhardened baseline logged {} events", cell.fault));
+        }
+        if (cell.fault == "saturate-corruption" || cell.fault == "stale")
+            && cell.detected_events != 0
+        {
+            return Err(format!(
+                "{} is undetectable but logged events under the {} guard",
+                cell.fault, cell.guard
+            ));
+        }
+        if cell.guard == "unhardened" && cell.escalations != 0 {
+            return Err("unhardened baseline has no watchdog yet escalated".into());
+        }
+    }
+    let h = &report.headline;
+    if h.margin <= 0.0 {
+        return Err(format!(
+            "hardening did not pay: hardened {} vs unhardened {}",
+            h.hardened_reliability, h.unhardened_reliability
+        ));
+    }
+    if !h.masked_never_changed_class {
+        return Err("a masked NaN module changed the voter's chosen class".into());
+    }
+    if report.per_state_reliability.len() != cfg.n + 1 {
+        return Err("per-state reliability must have n + 1 entries".into());
+    }
+    if (report.per_state_reliability[0] - 1.0).abs() > 1e-12 {
+        return Err("r[0] must be vacuously 1.0 (no output is never wrong)".into());
+    }
+    for check in &report.cross_check {
+        if !check.within_tolerance {
+            return Err(format!(
+                "{} cross-check out of tolerance: empirical {} vs analytic {} (± {})",
+                check.variant, check.empirical, check.analytic, check.tolerance
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A micro configuration exercising every stage in a few seconds.
+    fn micro() -> CampaignConfig {
+        CampaignConfig {
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
+            train_per_class: 25,
+            test_per_class: 30,
+            plan_seeds: vec![11, 12],
+            rates: vec![1.0],
+            frames_per_cell: 60,
+            headline_frames: 220,
+            cross_check: Some(CrossCheckConfig {
+                frames: 500,
+                horizon: 1_500.0,
+                warmup_frames: 60,
+                batches: 8,
+                des_horizon: 60_000.0,
+                ..CampaignConfig::full()
+                    .cross_check
+                    .expect("full config defines a cross-check")
+            }),
+            ..CampaignConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn micro_campaign_is_valid_and_deterministic() {
+        let cfg = micro();
+        let a = run_campaign(&cfg);
+        validate_report(&a).expect("campaign invariants");
+        let b = run_campaign(&cfg);
+        let ja = serde_json::to_string(&a).expect("serialise");
+        let jb = serde_json::to_string(&b).expect("serialise");
+        assert_eq!(ja, jb, "same config must produce a byte-identical report");
+        // Round-trip through the on-disk representation.
+        let back: CampaignReport = serde_json::from_str(&ja).expect("parse");
+        validate_report(&back).expect("round-tripped report");
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let cfg = micro();
+        let report = run_campaign(&cfg);
+        let mut broken = report.clone();
+        broken.headline.margin = -0.1;
+        assert!(validate_report(&broken).is_err());
+        let mut broken = report.clone();
+        broken.headline.masked_never_changed_class = false;
+        assert!(validate_report(&broken).is_err());
+        let mut broken = report.clone();
+        broken.per_state_reliability = vec![0.5; 4];
+        assert!(validate_report(&broken).is_err());
+        let mut broken = report;
+        broken.grid.clear();
+        assert!(validate_report(&broken).is_err());
+    }
+}

@@ -4,6 +4,8 @@
 //! shared pipelines they build on:
 //!
 //! * [`calibrate`] — the Table II pipeline (train → inject → `p`/`p'`/`α`).
+//! * [`campaign`] — the runtime fault-injection campaign (grid, headline,
+//!   DSPN cross-check) behind `results/CAMPAIGN_runtime.json`.
 //! * [`casestudy`] — the Tables VI–VIII pipeline (detector bank, parallel
 //!   route campaigns).
 //! * [`mod@format`] — plain-text table rendering.
@@ -18,6 +20,7 @@
 //! | `table7_interval` | Table VII (rejuvenation-interval impact) |
 //! | `table8_overhead` | Table VIII (FPS / CPU / compute overhead) |
 //! | `petri_analyze` | Structural certificates for the paper nets (`results/ANALYSIS_petri.json`) |
+//! | `campaign` | Runtime fault-injection campaign (`results/CAMPAIGN_runtime.json`) |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -25,5 +28,6 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod campaign;
 pub mod casestudy;
 pub mod format;

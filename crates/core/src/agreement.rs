@@ -112,7 +112,9 @@ pub fn clique_cover_coefficients(threshold: usize, n: usize) -> Vec<f64> {
         let mut v: i128 = 1;
         for (idx, &cw) in c.iter().enumerate() {
             let w = threshold + idx;
-            let bin = i128::try_from(binomial_exact(u, w)).expect("binomial fits i128");
+            #[allow(clippy::expect_used)] // invariant justified in the message
+            let bin = i128::try_from(binomial_exact(u, w))
+                .expect("invariant: Fubini-bounded binomial fits i128 for n <= 16");
             v -= bin * cw;
         }
         c.push(v);

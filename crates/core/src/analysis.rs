@@ -84,17 +84,25 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
+    /// Reliability of configuration `(n, proactive)`, if it is one of
+    /// [`CONFIGURATIONS`].
+    pub fn get(&self, n: u32, proactive: bool) -> Option<f64> {
+        CONFIGURATIONS
+            .iter()
+            .position(|&c| c == (n, proactive))
+            .map(|idx| self.reliability[idx])
+    }
+
     /// Reliability of configuration `(n, proactive)`.
     ///
     /// # Panics
     ///
-    /// Panics for a configuration outside [`CONFIGURATIONS`].
+    /// Panics for a configuration outside [`CONFIGURATIONS`]; use
+    /// [`SweepRow::get`] for a fallible lookup.
+    #[allow(clippy::expect_used)] // documented panic with a fallible sibling
     pub fn of(&self, n: u32, proactive: bool) -> f64 {
-        let idx = CONFIGURATIONS
-            .iter()
-            .position(|&c| c == (n, proactive))
-            .expect("unknown configuration");
-        self.reliability[idx]
+        self.get(n, proactive)
+            .expect("configuration outside CONFIGURATIONS")
     }
 }
 

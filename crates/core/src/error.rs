@@ -1,0 +1,69 @@
+//! Typed errors for the runtime system layer.
+//!
+//! The analytic layers (`dspn`, `reliability`) already return
+//! `mvml_petri::PetriError`; this type covers the *runtime* half — system
+//! assembly and classification — so that misconfiguration reaches callers
+//! as a value instead of a panic (a perception stack that aborts on bad
+//! configuration is itself a safety hazard).
+
+use std::fmt;
+
+/// An error from assembling or operating an [`crate::NVersionSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// A system was assembled with zero modules.
+    EmptySystem,
+    /// A module index was out of range.
+    ModuleIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of modules in the system.
+        count: usize,
+    },
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// Which value, and why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::EmptySystem => {
+                write!(f, "an N-version system needs at least one module")
+            }
+            SystemError::ModuleIndex { index, count } => {
+                write!(f, "module index {index} out of range for {count} modules")
+            }
+            SystemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SystemError::EmptySystem
+            .to_string()
+            .contains("at least one"));
+        let e = SystemError::ModuleIndex { index: 5, count: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let e = SystemError::InvalidConfig {
+            reason: "deadline must be positive".into(),
+        };
+        assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SystemError::EmptySystem);
+        assert!(!e.to_string().is_empty());
+    }
+}

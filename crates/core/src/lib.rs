@@ -19,7 +19,12 @@
 //! * [`analysis`] — parameter sweeps behind Fig. 4 and Table V.
 //! * [`module`] / [`system`] — the runtime: versioned modules with health
 //!   states, fault injection, rejuvenation, and the assembled N-version
-//!   classifier.
+//!   classifier with its runtime guard (panic containment, deadline
+//!   budgets, non-finite sanitization).
+//! * [`watchdog`] — fault-event accounting and the escalation watchdog
+//!   that turns repeated runtime faults into reactive-rejuvenation
+//!   triggers.
+//! * [`error`] — typed errors for system assembly and operation.
 //! * [`rejuvenation`] — the continuous-time state process driving the
 //!   empirical (CARLA-substitute) experiments.
 //!
@@ -45,15 +50,19 @@
 pub mod agreement;
 pub mod analysis;
 pub mod dspn;
+pub mod error;
 pub mod module;
 pub mod params;
 pub mod rejuvenation;
 pub mod reliability;
 pub mod system;
 pub mod voter;
+pub mod watchdog;
 
+pub use error::SystemError;
 pub use module::{ModuleState, VersionedModule};
 pub use params::SystemParams;
 pub use reliability::{expected_reliability, state_reliability, StateReliability, SystemState};
-pub use system::{EmpiricalReliability, NVersionSystem};
+pub use system::{ClassifyReport, EmpiricalReliability, GuardConfig, NVersionSystem};
 pub use voter::{vote, vote_majority, Verdict, VotingScheme};
+pub use watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};

@@ -1,6 +1,7 @@
 //! Runtime ML-module versions with health states and rejuvenation.
 
-use mvml_faultinject::{random_weight_inj, FaultRecord};
+use mvml_faultinject::{random_weight_inj, FaultRecord, RuntimeFault};
+use mvml_nn::layer::Layer;
 use mvml_nn::{ModelState, Sequential, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +41,11 @@ pub struct VersionedModule {
     pristine: ModelState,
     state: ModuleState,
     active_fault: Option<FaultRecord>,
+    /// A persistent *runtime* fault manifestation: while set, every forward
+    /// pass of this module misbehaves according to the fault model (logit
+    /// corruption, panics, deadline misses, stale replays). Cleared by
+    /// rejuvenation, like the weight faults.
+    runtime_fault: Option<RuntimeFault>,
     /// Alternative pristine variants for diversified rejuvenation, paired
     /// with their snapshots; `pool_index` tracks the variant currently
     /// deployed (0 = the original).
@@ -57,6 +63,7 @@ impl VersionedModule {
             pristine,
             state: ModuleState::Healthy,
             active_fault: None,
+            runtime_fault: None,
             diversity_pool: Vec::new(),
             pool_index: 0,
         }
@@ -102,6 +109,7 @@ impl VersionedModule {
         self.pristine = snap.clone();
         self.model = fresh;
         self.active_fault = None;
+        self.runtime_fault = None;
         self.state = ModuleState::Healthy;
         self.model.model_name().to_string()
     }
@@ -143,7 +151,10 @@ impl VersionedModule {
         let record = random_weight_inj(&mut self.model, nth_parametric, min, max, seed);
         self.active_fault = Some(record);
         self.state = ModuleState::Compromised;
-        self.active_fault.as_ref().expect("just set")
+        #[allow(clippy::expect_used)] // invariant justified in the message
+        self.active_fault
+            .as_ref()
+            .expect("invariant: active_fault assigned on the previous line")
     }
 
     /// Marks the module crashed (C → N or H → N).
@@ -157,12 +168,36 @@ impl VersionedModule {
         self.state = ModuleState::Rejuvenating;
     }
 
-    /// Completes rejuvenation: restores pristine weights and returns to
+    /// Completes rejuvenation: restores pristine weights, clears any
+    /// runtime fault manifestation, and returns to
     /// [`ModuleState::Healthy`].
     pub fn complete_rejuvenation(&mut self) {
         self.model.restore(&self.pristine);
         self.active_fault = None;
+        self.runtime_fault = None;
         self.state = ModuleState::Healthy;
+    }
+
+    /// Plants a persistent runtime fault: every subsequent forward pass
+    /// manifests it until rejuvenation clears it. The paper's compromise
+    /// events can thus manifest at *runtime* (corrupted activations, crash
+    /// loops, stale buffers) instead of — or in addition to — the offline
+    /// weight faults of [`VersionedModule::compromise`].
+    pub fn set_runtime_fault(&mut self, fault: RuntimeFault) {
+        self.runtime_fault = Some(fault);
+        if self.state == ModuleState::Healthy {
+            self.state = ModuleState::Compromised;
+        }
+    }
+
+    /// Clears a planted runtime fault without touching weights or state.
+    pub fn clear_runtime_fault(&mut self) {
+        self.runtime_fault = None;
+    }
+
+    /// The currently planted runtime fault, if any.
+    pub fn runtime_fault(&self) -> Option<RuntimeFault> {
+        self.runtime_fault
     }
 
     /// Forces a health state without touching the weights; used by the
@@ -178,6 +213,18 @@ impl VersionedModule {
     pub fn infer(&mut self, x: &Tensor) -> Option<Vec<usize>> {
         if self.state.is_operational() {
             Some(self.model.predict(x))
+        } else {
+            None
+        }
+    }
+
+    /// Raw forward pass returning the logit tensor, or `None` when the
+    /// module is not operational. The hardened system path sanitizes these
+    /// logits before any argmax, so a corrupted module cannot poison the
+    /// vote with non-finite values.
+    pub fn infer_logits(&mut self, x: &Tensor) -> Option<Tensor> {
+        if self.state.is_operational() {
+            Some(self.model.forward(x, false))
         } else {
             None
         }
@@ -297,6 +344,51 @@ mod tests {
         let deployed = m.complete_rejuvenation_diversified();
         assert_eq!(deployed, "lenet-mini");
         assert_eq!(m.state(), ModuleState::Healthy);
+    }
+
+    #[test]
+    fn runtime_faults_degrade_state_and_clear_on_rejuvenation() {
+        use mvml_faultinject::{CorruptionMode, RuntimeFault};
+        let mut m = module();
+        m.set_runtime_fault(RuntimeFault::Corrupt(CorruptionMode::Nan));
+        assert_eq!(m.state(), ModuleState::Compromised);
+        assert!(m.runtime_fault().is_some());
+        // Weights are untouched — the fault lives at the activation level.
+        assert!(m.active_fault().is_none());
+        m.complete_rejuvenation();
+        assert!(m.runtime_fault().is_none());
+        assert_eq!(m.state(), ModuleState::Healthy);
+        // Clearing without rejuvenation leaves the health state alone.
+        m.set_runtime_fault(RuntimeFault::Crash);
+        m.clear_runtime_fault();
+        assert!(m.runtime_fault().is_none());
+        assert_eq!(m.state(), ModuleState::Compromised);
+    }
+
+    #[test]
+    fn infer_logits_matches_infer_argmax() {
+        let mut m = module();
+        let x = Tensor::from_vec(
+            &[2, 1, 16, 16],
+            (0..512).map(|i| (i % 11) as f32 / 11.0).collect(),
+        );
+        let classes = m.infer(&x).expect("operational");
+        let logits = m.infer_logits(&x).expect("operational");
+        let k = *logits.shape().last().expect("rank >= 1");
+        let armax: Vec<usize> = logits
+            .as_slice()
+            .chunks(k)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect();
+        assert_eq!(classes, armax);
+        m.fail();
+        assert!(m.infer_logits(&x).is_none());
     }
 
     #[test]

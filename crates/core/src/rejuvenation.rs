@@ -136,6 +136,7 @@ impl StateProcess {
     ///
     /// Panics if `n == 0`, the parameters fail validation, or the priority
     /// is outside `[0, 1]`.
+    #[allow(clippy::expect_used)] // documented constructor panic
     pub fn new(n: usize, cfg: ProcessConfig, seed: u64) -> Self {
         assert!(n > 0, "need at least one module");
         cfg.params.validate().expect("invalid parameters");
@@ -177,6 +178,28 @@ impl StateProcess {
             }
         }
         c
+    }
+
+    /// Reports an externally *detected* failure of `module` (e.g. a runtime
+    /// watchdog escalation): an operational module is forced to
+    /// [`ModuleState::NonFunctional`] immediately, where the ordinary
+    /// reactive-repair transition (rate `μ`) picks it up. Returns `true` if
+    /// the module's state changed — `false` for out-of-range indices or
+    /// modules already under repair/rejuvenation.
+    ///
+    /// This is the runtime-assurance coupling of the paper's architecture:
+    /// the DSPN's `Tf` models modules *crashing on their own*; the watchdog
+    /// adds a detection-driven path into the same repair loop, so detected
+    /// misbehaviour recovers at the modelled reactive rate instead of
+    /// lingering as a compromised voter.
+    pub fn report_failure(&mut self, module: usize) -> bool {
+        match self.states.get(module) {
+            Some(s) if s.is_operational() => {
+                self.states[module] = ModuleState::NonFunctional;
+                true
+            }
+            _ => false,
+        }
     }
 
     fn count(&self, state: ModuleState) -> usize {
@@ -533,6 +556,23 @@ mod tests {
                 empirical[h as usize]
             );
         }
+    }
+
+    #[test]
+    fn reported_failures_recover_reactively() {
+        let mut p = carla_proc(false, 11);
+        assert!(p.report_failure(1), "healthy module can be failed");
+        assert_eq!(p.states()[1], ModuleState::NonFunctional);
+        assert!(!p.report_failure(1), "already non-functional: no-op");
+        assert!(!p.report_failure(99), "out of range: no-op");
+        // The ordinary reactive repair (rate μ = 1/0.2 s⁻¹) picks it up.
+        let events = p.advance(30.0);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.event, StateEvent::Recovered { module: 1 })),
+            "reported failure must recover through the reactive path"
+        );
     }
 
     #[test]

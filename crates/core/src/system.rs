@@ -1,9 +1,36 @@
-//! The assembled N-version classification system: modules + trusted voter.
+//! The assembled N-version classification system: modules + trusted voter,
+//! hardened against *runtime* faults.
+//!
+//! The voter of the paper's Section IV assumes each operational module
+//! returns a finite, well-formed, on-time proposal. Real modules break that
+//! contract in richer ways than a weight fault: they panic mid-inference,
+//! overrun their deadline, or emit non-finite logits. The hardened
+//! classification path ([`NVersionSystem::classify_batch_detailed`])
+//! enforces the contract at the module boundary:
+//!
+//! * every forward pass runs under `std::panic::catch_unwind` — a crashing
+//!   module is a non-responsive module, not a crashed system;
+//! * an optional per-module wall-clock deadline discards late answers
+//!   (and injected [`RuntimeFault::Latency`] faults model lateness
+//!   deterministically);
+//! * any sample whose logits contain a non-finite value is withheld from
+//!   the voter — the version is treated as non-responsive *for that
+//!   sample*, feeding the voter's R.1–R.3 skip semantics instead of
+//!   poisoning the argmax;
+//! * every detection is recorded as a [`FaultEvent`], and repeated faults
+//!   escalate through the [`Watchdog`] into a reactive-rejuvenation
+//!   trigger (`ModuleState::NonFunctional`), the same path the DSPN models
+//!   predict for crashed modules.
 
+use crate::error::SystemError;
 use crate::module::{ModuleState, VersionedModule};
 use crate::voter::{vote, Verdict, VotingScheme};
+use crate::watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};
+use mvml_faultinject::{corrupt_in_place, RuntimeFault, RuntimeFaultPlan};
 use mvml_nn::{Dataset, Sequential, Tensor};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Outcome counts of an empirical evaluation run (the implementation of the
 /// paper's "we implemented the voting rules to evaluate the reliability with
@@ -22,6 +49,26 @@ pub struct EmpiricalReliability {
 }
 
 impl EmpiricalReliability {
+    /// An all-zero report (no samples observed yet).
+    pub fn zero() -> Self {
+        EmpiricalReliability {
+            correct: 0,
+            wrong: 0,
+            skipped: 0,
+            no_output: 0,
+        }
+    }
+
+    /// Accumulates one voter outcome against the ground-truth label.
+    pub fn tally(&mut self, verdict: &Verdict<usize>, label: usize) {
+        match verdict {
+            Verdict::Output(class) if *class == label => self.correct += 1,
+            Verdict::Output(_) => self.wrong += 1,
+            Verdict::Skip => self.skipped += 1,
+            Verdict::NoModules => self.no_output += 1,
+        }
+    }
+
     /// Total samples evaluated.
     pub fn total(&self) -> usize {
         self.correct + self.wrong + self.skipped + self.no_output
@@ -29,14 +76,19 @@ impl EmpiricalReliability {
 
     /// Output reliability `1 − P(error)`: skips are safe, not failures,
     /// matching the semantics of the paper's `R_{i,j,k}` functions.
+    ///
+    /// A zero-sample run is vacuously reliable (`1.0`): no output was ever
+    /// wrong. (Returning `0.0` here would make an empty cell drag down
+    /// campaign aggregates as if every decision had failed.)
     pub fn reliability(&self) -> f64 {
         if self.total() == 0 {
-            return 0.0;
+            return 1.0;
         }
         1.0 - self.wrong as f64 / self.total() as f64
     }
 
-    /// Fraction of samples for which an output was produced at all.
+    /// Fraction of samples for which an output was produced at all. Zero
+    /// for an empty run: no output was produced.
     pub fn coverage(&self) -> f64 {
         if self.total() == 0 {
             return 0.0;
@@ -45,13 +97,92 @@ impl EmpiricalReliability {
     }
 }
 
+/// Runtime-guard configuration for the hardened classification path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Per-module wall-clock inference budget. An answer arriving later is
+    /// discarded (recorded as [`FaultEventKind::DeadlineMiss`]). `None`
+    /// disables wall-clock checks, keeping classification fully
+    /// deterministic; injected [`RuntimeFault::Latency`] faults are
+    /// *always* treated as deadline misses.
+    pub deadline: Option<Duration>,
+    /// When `true` (default), any sample whose logits contain a non-finite
+    /// value is withheld from the voter. When `false` — the unhardened
+    /// baseline — corrupted logits flow into a total-order argmax and vote.
+    pub sanitize: bool,
+    /// Watchdog escalation policy; `None` disables escalation (faults are
+    /// still detected and logged, but never force a module non-functional).
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: true,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The unhardened baseline: no sanitization, no escalation. Panics are
+    /// still caught (the measurement harness must survive them), but
+    /// nothing is learned from them — this models the seed's original
+    /// pipeline, where a NaN-emitting module votes garbage instead of
+    /// being discarded.
+    pub fn unhardened() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: false,
+            watchdog: None,
+        }
+    }
+
+    /// Sanitization without watchdog escalation: detections discard the
+    /// affected samples but never change module health. This is the
+    /// configuration whose steady-state behaviour the unmodified DSPN
+    /// models predict (escalation adds a detection-speed C→N transition
+    /// the analytic models do not know about).
+    pub fn sanitize_only() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: true,
+            watchdog: None,
+        }
+    }
+}
+
+/// The outcome of one hardened classification round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyReport {
+    /// One verdict per sample of the batch.
+    pub verdicts: Vec<Verdict<usize>>,
+    /// Fault events detected during this round (also appended to the
+    /// system's [`FaultLog`]).
+    pub events: Vec<FaultEvent>,
+    /// Modules the watchdog escalated to non-functional during this round.
+    pub escalations: Vec<usize>,
+}
+
 /// An N-version ML classification system: several [`VersionedModule`]s in
-/// front of a trusted voter.
+/// front of a trusted voter, with a runtime guard between them.
 #[derive(Debug, Clone)]
 pub struct NVersionSystem {
     modules: Vec<VersionedModule>,
     scheme: VotingScheme,
+    guard: GuardConfig,
+    watchdog: Watchdog,
+    log: FaultLog,
+    plan: Option<RuntimeFaultPlan>,
+    /// Per module: the logits produced on the last frame that yielded any
+    /// (shape, values) — replayed by stale-output faults.
+    last_logits: Vec<Option<(Vec<usize>, Vec<f32>)>>,
+    frame: u64,
 }
+
+/// Capacity of the bounded fault-event log.
+const FAULT_LOG_CAPACITY: usize = 4096;
 
 impl NVersionSystem {
     /// Assembles a system from trained models using the paper's default
@@ -59,25 +190,50 @@ impl NVersionSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `models` is empty.
+    /// Panics if `models` is empty; use [`NVersionSystem::try_new`] for a
+    /// typed error.
+    #[allow(clippy::expect_used)] // documented panic with a fallible sibling
     pub fn new(models: Vec<Sequential>) -> Self {
-        NVersionSystem::with_scheme(models, VotingScheme::MajorityWithSkip)
+        NVersionSystem::try_new(models).expect("an N-version system needs at least one module")
     }
 
     /// Assembles a system with an explicit voting scheme.
     ///
     /// # Panics
     ///
-    /// Panics if `models` is empty.
+    /// Panics if `models` is empty; use [`NVersionSystem::try_with_scheme`]
+    /// for a typed error.
+    #[allow(clippy::expect_used)] // documented panic with a fallible sibling
     pub fn with_scheme(models: Vec<Sequential>, scheme: VotingScheme) -> Self {
-        assert!(
-            !models.is_empty(),
-            "an N-version system needs at least one module"
-        );
-        NVersionSystem {
+        NVersionSystem::try_with_scheme(models, scheme)
+            .expect("an N-version system needs at least one module")
+    }
+
+    /// Fallible assembly with the default voting rules.
+    pub fn try_new(models: Vec<Sequential>) -> Result<Self, SystemError> {
+        NVersionSystem::try_with_scheme(models, VotingScheme::MajorityWithSkip)
+    }
+
+    /// Fallible assembly with an explicit voting scheme.
+    pub fn try_with_scheme(
+        models: Vec<Sequential>,
+        scheme: VotingScheme,
+    ) -> Result<Self, SystemError> {
+        if models.is_empty() {
+            return Err(SystemError::EmptySystem);
+        }
+        let n = models.len();
+        let guard = GuardConfig::default();
+        Ok(NVersionSystem {
             modules: models.into_iter().map(VersionedModule::new).collect(),
             scheme,
-        }
+            guard,
+            watchdog: Watchdog::new(n, guard.watchdog.unwrap_or_default()),
+            log: FaultLog::new(n, FAULT_LOG_CAPACITY),
+            plan: None,
+            last_logits: vec![None; n],
+            frame: 0,
+        })
     }
 
     /// Number of module versions.
@@ -89,7 +245,8 @@ impl NVersionSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range; use [`NVersionSystem::try_module`]
+    /// for a typed error.
     pub fn module(&self, i: usize) -> &VersionedModule {
         &self.modules[i]
     }
@@ -98,9 +255,85 @@ impl NVersionSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range; use
+    /// [`NVersionSystem::try_module_mut`] for a typed error.
     pub fn module_mut(&mut self, i: usize) -> &mut VersionedModule {
         &mut self.modules[i]
+    }
+
+    /// Fallible immutable module access.
+    pub fn try_module(&self, i: usize) -> Result<&VersionedModule, SystemError> {
+        let count = self.modules.len();
+        self.modules
+            .get(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })
+    }
+
+    /// Fallible mutable module access.
+    pub fn try_module_mut(&mut self, i: usize) -> Result<&mut VersionedModule, SystemError> {
+        let count = self.modules.len();
+        self.modules
+            .get_mut(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })
+    }
+
+    /// The active runtime-guard configuration.
+    pub fn guard(&self) -> GuardConfig {
+        self.guard
+    }
+
+    /// Replaces the runtime-guard configuration (rebuilding the watchdog).
+    pub fn set_guard(&mut self, guard: GuardConfig) -> Result<(), SystemError> {
+        if let Some(dl) = guard.deadline {
+            if dl.is_zero() {
+                return Err(SystemError::InvalidConfig {
+                    reason: "deadline budget must be positive".into(),
+                });
+            }
+        }
+        if let Some(wd) = guard.watchdog {
+            if wd.threshold == 0 || wd.window == 0 {
+                return Err(SystemError::InvalidConfig {
+                    reason: "watchdog window and threshold must be positive".into(),
+                });
+            }
+            self.watchdog = Watchdog::new(self.modules.len(), wd);
+        }
+        self.guard = guard;
+        Ok(())
+    }
+
+    /// Attaches a deterministic runtime fault plan; `None` detaches it.
+    /// Per-module persistent faults
+    /// ([`VersionedModule::set_runtime_fault`]) take precedence over the
+    /// plan's per-frame draws.
+    pub fn set_fault_plan(&mut self, plan: Option<RuntimeFaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The fault-event log accumulated by the hardened path.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Frames classified so far (the frame counter fault plans index by).
+    pub fn frames_classified(&self) -> u64 {
+        self.frame
+    }
+
+    /// Completes a rejuvenation of module `i` through the system, so the
+    /// guard state is reset along with the weights: the watchdog window and
+    /// the stale-replay buffer forget the pre-rejuvenation fault history.
+    pub fn rejuvenate_module(&mut self, i: usize) -> Result<(), SystemError> {
+        let count = self.modules.len();
+        let module = self
+            .modules
+            .get_mut(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })?;
+        module.complete_rejuvenation();
+        self.watchdog.reset(i);
+        self.last_logits[i] = None;
+        Ok(())
     }
 
     /// Current `(healthy, compromised, non-functional)` counts; modules
@@ -118,44 +351,218 @@ impl NVersionSystem {
     }
 
     /// Classifies a batch `[N, C, H, W]`, returning one verdict per sample.
+    /// This is the hardened path; see
+    /// [`NVersionSystem::classify_batch_detailed`] for the fault events.
     pub fn classify_batch(&mut self, x: &Tensor) -> Vec<Verdict<usize>> {
-        let n = x.shape()[0];
-        let proposals: Vec<Option<Vec<usize>>> =
-            self.modules.iter_mut().map(|m| m.infer(x)).collect();
-        (0..n)
+        self.classify_batch_detailed(x).verdicts
+    }
+
+    /// Classifies a batch under the runtime guard, returning the verdicts
+    /// together with every detected fault and watchdog escalation.
+    ///
+    /// Escalated modules are moved to [`ModuleState::NonFunctional`]
+    /// *after* this round's vote (their faulty proposals were already
+    /// withheld), so the caller's health process can route them through
+    /// reactive rejuvenation.
+    pub fn classify_batch_detailed(&mut self, x: &Tensor) -> ClassifyReport {
+        let n_samples = x.shape().first().copied().unwrap_or(0);
+        let frame = self.frame;
+        self.frame += 1;
+
+        let mut proposals: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.modules.len());
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let guard = self.guard;
+        let plan = self.plan.as_ref();
+        let last_logits = &mut self.last_logits;
+
+        for (m, module) in self.modules.iter_mut().enumerate() {
+            if !module.state().is_operational() {
+                proposals.push(vec![None; n_samples]);
+                continue;
+            }
+            let fault = module
+                .runtime_fault()
+                .or_else(|| plan.and_then(|p| p.fault_for(m, frame)));
+
+            // Produce this round's logits according to the fault model.
+            let produced: Option<Tensor> = match fault {
+                Some(RuntimeFault::Stale) => {
+                    // A wedged stage serves its output buffer again; if it
+                    // never produced one, it has nothing to serve.
+                    last_logits[m]
+                        .as_ref()
+                        .filter(|(shape, _)| shape.first() == Some(&n_samples))
+                        .map(|(shape, values)| Tensor::from_vec(shape, values.clone()))
+                }
+                _ => {
+                    let started = Instant::now();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        if matches!(fault, Some(RuntimeFault::Crash)) {
+                            panic!("injected crash fault");
+                        }
+                        module.infer_logits(x)
+                    }));
+                    match run {
+                        Err(_) => {
+                            events.push(FaultEvent {
+                                module: m,
+                                frame,
+                                kind: FaultEventKind::Panic,
+                            });
+                            None
+                        }
+                        Ok(logits) => {
+                            let late = matches!(fault, Some(RuntimeFault::Latency))
+                                || guard.deadline.is_some_and(|dl| started.elapsed() > dl);
+                            if late {
+                                events.push(FaultEvent {
+                                    module: m,
+                                    frame,
+                                    kind: FaultEventKind::DeadlineMiss,
+                                });
+                                // The late answer still refreshes the stale
+                                // buffer — it was produced, just not in time.
+                                if let Some(t) = logits {
+                                    last_logits[m] =
+                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
+                                }
+                                None
+                            } else {
+                                logits.map(|mut t| {
+                                    if let Some(RuntimeFault::Corrupt(mode)) = fault {
+                                        corrupt_in_place(t.as_mut_slice(), mode);
+                                    }
+                                    last_logits[m] =
+                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
+                                    t
+                                })
+                            }
+                        }
+                    }
+                }
+            };
+
+            // Sanitize and reduce to per-sample class proposals.
+            let row = match produced {
+                None => vec![None; n_samples],
+                Some(logits) => {
+                    let (classes, poisoned) = sanitized_argmax(&logits, n_samples, guard.sanitize);
+                    if poisoned > 0 {
+                        events.push(FaultEvent {
+                            module: m,
+                            frame,
+                            kind: FaultEventKind::NonFiniteOutput { samples: poisoned },
+                        });
+                    }
+                    classes
+                }
+            };
+            proposals.push(row);
+        }
+
+        // Vote before escalation: this round's faulty proposals were
+        // already withheld sample-by-sample.
+        let verdicts: Vec<Verdict<usize>> = (0..n_samples)
             .map(|i| {
-                let row: Vec<Option<usize>> =
-                    proposals.iter().map(|p| p.as_ref().map(|v| v[i])).collect();
+                let row: Vec<Option<usize>> = proposals.iter().map(|p| p[i]).collect();
                 vote(self.scheme, &row)
             })
-            .collect()
+            .collect();
+
+        // Feed the watchdog (one observation per module per round) and
+        // escalate repeat offenders into the reactive-rejuvenation path.
+        let mut escalations = Vec::new();
+        if self.guard.watchdog.is_some() {
+            let faulted: Vec<usize> = {
+                let mut seen = vec![false; self.modules.len()];
+                for e in &events {
+                    if !matches!(e.kind, FaultEventKind::Escalated) {
+                        seen[e.module] = true;
+                    }
+                }
+                seen.iter()
+                    .enumerate()
+                    .filter_map(|(i, &s)| s.then_some(i))
+                    .collect()
+            };
+            for m in faulted {
+                if self.watchdog.observe(m, frame) {
+                    self.modules[m].fail();
+                    events.push(FaultEvent {
+                        module: m,
+                        frame,
+                        kind: FaultEventKind::Escalated,
+                    });
+                    escalations.push(m);
+                }
+            }
+        }
+
+        for e in &events {
+            self.log.record(*e);
+        }
+        ClassifyReport {
+            verdicts,
+            events,
+            escalations,
+        }
     }
 
     /// Evaluates the system on a labelled dataset, batch by batch.
     pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> EmpiricalReliability {
-        let mut report = EmpiricalReliability {
-            correct: 0,
-            wrong: 0,
-            skipped: 0,
-            no_output: 0,
-        };
+        let mut report = EmpiricalReliability::zero();
         let mut i = 0;
         while i < data.len() {
             let end = (i + batch_size).min(data.len());
             let idx: Vec<usize> = (i..end).collect();
             let (x, labels) = data.batch(&idx);
             for (verdict, label) in self.classify_batch(&x).into_iter().zip(labels) {
-                match verdict {
-                    Verdict::Output(class) if class == label => report.correct += 1,
-                    Verdict::Output(_) => report.wrong += 1,
-                    Verdict::Skip => report.skipped += 1,
-                    Verdict::NoModules => report.no_output += 1,
-                }
+                report.tally(&verdict, label);
             }
             i = end;
         }
         report
     }
+}
+
+/// Reduces a `[N, K]` logit tensor to per-sample class proposals.
+///
+/// With `sanitize`, any sample containing a non-finite logit yields `None`
+/// (the module is non-responsive for that sample); the second return is the
+/// number of such samples. Without `sanitize`, the argmax is taken over the
+/// IEEE-754 total order (NaN sorts above `+∞`), so corrupted samples vote
+/// a deterministic garbage class — the unhardened baseline's behaviour.
+///
+/// Malformed outputs (empty class dimension, wrong sample count) withhold
+/// every sample and count them all as poisoned.
+fn sanitized_argmax(
+    logits: &Tensor,
+    n_samples: usize,
+    sanitize: bool,
+) -> (Vec<Option<usize>>, usize) {
+    let k = logits.shape().last().copied().unwrap_or(0);
+    if k == 0 || logits.len() != n_samples * k {
+        return (vec![None; n_samples], n_samples);
+    }
+    let mut poisoned = 0;
+    let classes = logits
+        .as_slice()
+        .chunks(k)
+        .map(|row| {
+            let finite = row.iter().all(|v| v.is_finite());
+            if !finite {
+                poisoned += 1;
+                if sanitize {
+                    return None;
+                }
+            }
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+        })
+        .collect();
+    (classes, if sanitize { poisoned } else { 0 })
 }
 
 #[cfg(test)]
@@ -164,6 +571,7 @@ impl NVersionSystem {
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
+    use mvml_faultinject::CorruptionMode;
     use mvml_nn::models::three_versions;
     use mvml_nn::signs::{generate, SignConfig};
     use mvml_nn::train::{train_classifier, TrainConfig};
@@ -210,6 +618,8 @@ mod tests {
             report.reliability()
         );
         assert!(report.coverage() > 0.8, "coverage {}", report.coverage());
+        // A healthy run detects nothing.
+        assert_eq!(sys.fault_log().total(), 0);
     }
 
     #[test]
@@ -278,13 +688,9 @@ mod tests {
         assert_eq!(r.total(), 100);
         assert!((r.reliability() - 0.9).abs() < 1e-12);
         assert!((r.coverage() - 0.8).abs() < 1e-12);
-        let empty = EmpiricalReliability {
-            correct: 0,
-            wrong: 0,
-            skipped: 0,
-            no_output: 0,
-        };
-        assert_eq!(empty.reliability(), 0.0);
+        // A zero-sample run is vacuously reliable: nothing was ever wrong.
+        let empty = EmpiricalReliability::zero();
+        assert_eq!(empty.reliability(), 1.0);
         assert_eq!(empty.coverage(), 0.0);
     }
 
@@ -292,5 +698,176 @@ mod tests {
     #[should_panic(expected = "at least one module")]
     fn empty_system_rejected() {
         let _ = NVersionSystem::new(Vec::new());
+    }
+
+    #[test]
+    fn typed_errors_for_misconfiguration() {
+        assert_eq!(
+            NVersionSystem::try_new(Vec::new()).err(),
+            Some(SystemError::EmptySystem)
+        );
+        let (mut sys, _) = trained_system();
+        assert!(sys.try_module(2).is_ok());
+        assert_eq!(
+            sys.try_module(3).err(),
+            Some(SystemError::ModuleIndex { index: 3, count: 3 })
+        );
+        assert!(sys.try_module_mut(0).is_ok());
+        assert!(matches!(
+            sys.rejuvenate_module(9),
+            Err(SystemError::ModuleIndex { index: 9, count: 3 })
+        ));
+        assert!(matches!(
+            sys.set_guard(GuardConfig {
+                deadline: Some(Duration::ZERO),
+                ..GuardConfig::default()
+            }),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            sys.set_guard(GuardConfig {
+                watchdog: Some(WatchdogConfig {
+                    window: 0,
+                    threshold: 1
+                }),
+                ..GuardConfig::default()
+            }),
+            Err(SystemError::InvalidConfig { .. })
+        ));
+    }
+
+    /// Modules whose "network" is the identity: logits = input rows.
+    fn passthrough_system(n: usize) -> NVersionSystem {
+        let models = (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect();
+        NVersionSystem::new(models)
+    }
+
+    #[test]
+    fn nan_module_is_withheld_not_voted() {
+        // Three identity modules, one carrying a NaN-corruption fault: the
+        // corrupted version must not change the voter's class.
+        let mut sys = passthrough_system(3);
+        sys.module_mut(0)
+            .set_runtime_fault(RuntimeFault::Corrupt(CorruptionMode::Nan));
+        let x = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.2, 0.7, 0.1, 0.0]);
+        let report = sys.classify_batch_detailed(&x);
+        assert_eq!(
+            report.verdicts,
+            vec![Verdict::Output(1), Verdict::Output(0)],
+            "healthy majority decides; NaN module only loses decisiveness"
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.module == 0
+                && matches!(e.kind, FaultEventKind::NonFiniteOutput { samples: 2 })));
+    }
+
+    #[test]
+    fn unhardened_baseline_lets_nan_vote() {
+        let mut sys = passthrough_system(1);
+        sys.set_guard(GuardConfig::unhardened()).expect("config");
+        sys.module_mut(0)
+            .set_runtime_fault(RuntimeFault::Corrupt(CorruptionMode::Nan));
+        let x = Tensor::from_vec(&[1, 3], vec![0.1, 0.9, 0.2]);
+        let report = sys.classify_batch_detailed(&x);
+        // Every logit is NaN; `max_by` over the total order returns the
+        // last maximal element, so the corrupted module confidently votes
+        // the last class instead of being withheld.
+        assert_eq!(report.verdicts, vec![Verdict::Output(2)]);
+        assert!(report.events.is_empty(), "baseline detects nothing");
+    }
+
+    #[test]
+    fn crash_fault_is_caught_and_escalated() {
+        let mut sys = passthrough_system(3);
+        sys.module_mut(1).set_runtime_fault(RuntimeFault::Crash);
+        let x = Tensor::from_vec(&[1, 2], vec![0.3, 0.6]);
+        let mut escalated = Vec::new();
+        // Default watchdog: 3 faults in 10 frames.
+        for _ in 0..3 {
+            let report = sys.classify_batch_detailed(&x);
+            assert_eq!(report.verdicts, vec![Verdict::Output(1)]);
+            escalated.extend(report.escalations);
+        }
+        assert_eq!(escalated, vec![1], "third crash escalates module 1");
+        assert_eq!(sys.module(1).state(), ModuleState::NonFunctional);
+        assert!(sys.fault_log().module_total(1) >= 3);
+        // Rejuvenation through the system resets the guard state.
+        sys.rejuvenate_module(1).expect("in range");
+        assert_eq!(sys.module(1).state(), ModuleState::Healthy);
+        assert!(sys.module(1).runtime_fault().is_none());
+    }
+
+    #[test]
+    fn latency_fault_discards_output() {
+        let mut sys = passthrough_system(2);
+        sys.module_mut(0).set_runtime_fault(RuntimeFault::Latency);
+        let x = Tensor::from_vec(&[1, 2], vec![0.3, 0.6]);
+        let report = sys.classify_batch_detailed(&x);
+        // R.3: the on-time module passes through.
+        assert_eq!(report.verdicts, vec![Verdict::Output(1)]);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.module == 0 && matches!(e.kind, FaultEventKind::DeadlineMiss)));
+    }
+
+    #[test]
+    fn stale_fault_replays_previous_frame() {
+        let mut sys = passthrough_system(1);
+        // Frame 0: healthy output argmax = class 1.
+        let a = Tensor::from_vec(&[1, 3], vec![0.0, 0.9, 0.1]);
+        assert_eq!(sys.classify_batch(&a), vec![Verdict::Output(1)]);
+        // Frame 1: wedged — the input now favours class 2, but the module
+        // serves frame 0's logits.
+        sys.module_mut(0).set_runtime_fault(RuntimeFault::Stale);
+        let b = Tensor::from_vec(&[1, 3], vec![0.0, 0.1, 0.9]);
+        assert_eq!(sys.classify_batch(&b), vec![Verdict::Output(1)]);
+        // A stale module that never produced output proposes nothing.
+        let mut fresh = passthrough_system(1);
+        fresh.module_mut(0).set_runtime_fault(RuntimeFault::Stale);
+        assert_eq!(fresh.classify_batch(&b), vec![Verdict::NoModules]);
+    }
+
+    #[test]
+    fn empty_class_dimension_is_withheld() {
+        let mut sys = passthrough_system(2);
+        let x = Tensor::from_vec(&[2, 0], Vec::new());
+        let report = sys.classify_batch_detailed(&x);
+        assert_eq!(
+            report.verdicts,
+            vec![Verdict::NoModules, Verdict::NoModules]
+        );
+    }
+
+    #[test]
+    fn fault_plan_drives_deterministic_injection() {
+        let x = Tensor::from_vec(&[1, 2], vec![0.2, 0.8]);
+        let run = |seed: u64| -> Vec<Verdict<usize>> {
+            let mut sys = passthrough_system(3);
+            sys.set_fault_plan(Some(RuntimeFaultPlan::new(seed).with_rule(
+                RuntimeFault::Corrupt(CorruptionMode::Nan),
+                0.5,
+                Some(0),
+            )));
+            (0..20).flat_map(|_| sys.classify_batch(&x)).collect()
+        };
+        assert_eq!(run(3), run(3), "same plan seed, same outcome");
+        // Verdicts are unaffected (two healthy modules agree) but the log is
+        // driven by the plan.
+        let mut sys = passthrough_system(3);
+        sys.set_fault_plan(Some(RuntimeFaultPlan::new(3).with_rule(
+            RuntimeFault::Corrupt(CorruptionMode::Nan),
+            0.5,
+            Some(0),
+        )));
+        for _ in 0..20 {
+            let _ = sys.classify_batch(&x);
+        }
+        let hits = sys.fault_log().module_total(0);
+        assert!(hits > 0 && hits < 20, "rate 0.5 over 20 frames: {hits}");
     }
 }

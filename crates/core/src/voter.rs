@@ -80,7 +80,11 @@ pub fn vote<T: PartialEq + Clone>(scheme: VotingScheme, proposals: &[Option<T>])
                     // At most one class can reach the majority threshold.
                     match supports.iter().position(|&s| agreement::is_decisive(s, n)) {
                         Some(winner) => {
-                            let rep = classes.iter().position(|&c| c == winner).expect("member");
+                            #[allow(clippy::expect_used)] // invariant in message
+                            let rep = classes
+                                .iter()
+                                .position(|&c| c == winner)
+                                .expect("invariant: winner id was produced from these classes");
                             Verdict::Output(operational[rep].clone())
                         }
                         None => Verdict::Skip,
@@ -143,7 +147,12 @@ pub fn vote_weighted<T: PartialEq + Clone>(
             }
             let values: Vec<&T> = operational.iter().map(|&(v, _)| v).collect();
             let classes = agreement::classify(&values);
-            let n_classes = classes.iter().max().expect("non-empty") + 1;
+            #[allow(clippy::expect_used)] // invariant in message
+            let n_classes = classes
+                .iter()
+                .max()
+                .expect("invariant: this match arm requires operational modules")
+                + 1;
             let mut class_weight = vec![0.0f64; n_classes];
             for (&c, &(_, w)) in classes.iter().zip(&operational) {
                 class_weight[c] += w;
@@ -152,7 +161,11 @@ pub fn vote_weighted<T: PartialEq + Clone>(
             // historical tie-breaking when quorum < 0.5 admits several.
             for (c, &w) in class_weight.iter().enumerate() {
                 if w > quorum * total {
-                    let rep = classes.iter().position(|&x| x == c).expect("member");
+                    #[allow(clippy::expect_used)] // invariant in message
+                    let rep = classes
+                        .iter()
+                        .position(|&x| x == c)
+                        .expect("invariant: class id was produced from these classes");
                     return Verdict::Output(values[rep].clone());
                 }
             }

@@ -1,0 +1,222 @@
+//! Property-based hardening guarantees (the runtime-fault contract of the
+//! guard layer):
+//!
+//! * the voter never panics, and any emitted value was actually proposed
+//!   with the scheme's required support;
+//! * `NVersionSystem::classify_batch` never panics — not for non-finite
+//!   logits, injected crashes, stale replays, nor degenerate shapes;
+//! * a module emitting non-finite logits never *changes* the voter's
+//!   chosen class: under the hardened guard its samples are withheld, so
+//!   the healthy modules' agreement decides (or the voter safely skips).
+
+use mvml_core::{vote, GuardConfig, NVersionSystem, Verdict, VotingScheme};
+use mvml_faultinject::{CorruptionMode, RuntimeFault};
+use mvml_nn::{Sequential, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random logits in `[-0.5, 0.5)`, independent of the
+/// strategy RNG's draw order.
+fn fill(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Modules whose "network" is the identity: logits = input rows, so every
+/// healthy module proposes the same argmax and the fault machinery is the
+/// only source of divergence.
+fn passthrough_system(n: usize) -> NVersionSystem {
+    NVersionSystem::new(
+        (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect(),
+    )
+}
+
+/// The implementation's total-order argmax, reproduced for the oracle.
+#[allow(clippy::expect_used)] // test oracle; every caller passes a non-empty row
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty row")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The voter is total: no proposal pattern panics, `NoModules` appears
+    /// exactly when nothing is operational, and an emitted value carries
+    /// the scheme's required support among the operational proposals.
+    #[test]
+    fn vote_is_total_and_outputs_are_supported(
+        proposals in proptest::collection::vec(proptest::option::of(0usize..6), 0..8),
+        scheme_sel in 0u8..2,
+    ) {
+        let scheme = if scheme_sel == 0 {
+            VotingScheme::MajorityWithSkip
+        } else {
+            VotingScheme::Unanimous
+        };
+        let verdict = vote(scheme, &proposals);
+        let operational: Vec<usize> = proposals.iter().flatten().copied().collect();
+        match verdict {
+            Verdict::NoModules => prop_assert!(operational.is_empty()),
+            Verdict::Skip => prop_assert!(operational.len() >= 2),
+            Verdict::Output(c) => {
+                let support = operational.iter().filter(|&&v| v == c).count();
+                prop_assert!(support >= 1, "emitted value was never proposed");
+                match scheme {
+                    VotingScheme::MajorityWithSkip => prop_assert!(
+                        support > operational.len() / 2 || operational.len() == 1,
+                        "majority output lacks majority support"
+                    ),
+                    VotingScheme::Unanimous => prop_assert!(
+                        support == operational.len(),
+                        "unanimous output lacks unanimity"
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Corrupting any subset of modules with non-finite logits never
+    /// changes the chosen class: if at least one module stays clean the
+    /// verdict is exactly the clean argmax, and with every module
+    /// corrupted the voter reports `NoModules` instead of garbage.
+    #[test]
+    fn non_finite_modules_never_change_the_class(
+        n in 1usize..5,
+        corrupt_mask in 0u32..16,
+        mode_sel in 0u8..3,
+        samples in 1usize..5,
+        k in 1usize..6,
+        salt in 0u64..10_000,
+    ) {
+        let mode = [CorruptionMode::Nan, CorruptionMode::PosInf, CorruptionMode::NegInf]
+            [mode_sel as usize];
+        let mut sys = passthrough_system(n);
+        for m in 0..n {
+            if corrupt_mask & (1 << m) != 0 {
+                sys.module_mut(m).set_runtime_fault(RuntimeFault::Corrupt(mode));
+            }
+        }
+        let values = fill(samples * k, salt);
+        let x = Tensor::from_vec(&[samples, k], values.clone());
+        let verdicts = sys.classify_batch(&x);
+        prop_assert_eq!(verdicts.len(), samples);
+        let any_clean = (0..n).any(|m| corrupt_mask & (1 << m) == 0);
+        for (s, v) in verdicts.iter().enumerate() {
+            let clean_class = argmax(&values[s * k..(s + 1) * k]);
+            if any_clean {
+                prop_assert_eq!(*v, Verdict::Output(clean_class));
+            } else {
+                prop_assert_eq!(*v, Verdict::NoModules);
+            }
+        }
+    }
+
+    /// Samples whose input rows already contain non-finite values (so
+    /// every module emits them) are withheld sample-by-sample: poisoned
+    /// rows yield `NoModules`, clean rows still decide normally — and the
+    /// unhardened baseline still never panics on the same input.
+    #[test]
+    fn poisoned_rows_are_withheld_sample_by_sample(
+        n in 1usize..4,
+        samples in 1usize..5,
+        k in 1usize..5,
+        markers in proptest::collection::vec(0u8..4, 1..5),
+        salt in 0u64..10_000,
+    ) {
+        let mut values = fill(samples * k, salt);
+        let mut poisoned = vec![false; samples];
+        for s in 0..samples {
+            let marker = markers[s % markers.len()];
+            if marker != 0 {
+                let slot = s * k + (salt as usize + s) % k;
+                values[slot] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY]
+                    [(marker - 1) as usize];
+                poisoned[s] = true;
+            }
+        }
+        let x = Tensor::from_vec(&[samples, k], values.clone());
+
+        let mut sys = passthrough_system(n);
+        let verdicts = sys.classify_batch(&x);
+        for (s, v) in verdicts.iter().enumerate() {
+            if poisoned[s] {
+                prop_assert_eq!(*v, Verdict::NoModules);
+            } else {
+                let clean_class = argmax(&values[s * k..(s + 1) * k]);
+                prop_assert_eq!(*v, Verdict::Output(clean_class));
+            }
+        }
+
+        // The unhardened baseline votes garbage but must not panic, and
+        // with every module proposing the same garbage it always outputs.
+        let mut baseline = passthrough_system(n);
+        baseline.set_guard(GuardConfig::unhardened()).expect("valid guard");
+        for v in baseline.classify_batch(&x) {
+            prop_assert!(matches!(v, Verdict::Output(c) if c < k));
+        }
+    }
+
+    /// Any mix of runtime faults across modules and frames keeps
+    /// classification total: verdict count matches the batch, emitted
+    /// classes are in range, and nothing panics — crashes included.
+    #[test]
+    fn random_fault_mix_keeps_classification_total(
+        n in 1usize..5,
+        fault_sel in proptest::collection::vec(0u8..6, 1..5),
+        frames in 1usize..6,
+        samples in 1usize..4,
+        k in 1usize..5,
+        salt in 0u64..10_000,
+    ) {
+        let mut sys = passthrough_system(n);
+        for m in 0..n {
+            let fault = match fault_sel[m % fault_sel.len()] {
+                1 => Some(RuntimeFault::Corrupt(CorruptionMode::Nan)),
+                2 => Some(RuntimeFault::Corrupt(CorruptionMode::Saturate)),
+                3 => Some(RuntimeFault::Crash),
+                4 => Some(RuntimeFault::Latency),
+                5 => Some(RuntimeFault::Stale),
+                _ => None,
+            };
+            if let Some(fault) = fault {
+                sys.module_mut(m).set_runtime_fault(fault);
+            }
+        }
+        for frame in 0..frames {
+            let values = fill(samples * k, salt.wrapping_add(frame as u64));
+            let x = Tensor::from_vec(&[samples, k], values);
+            let verdicts = sys.classify_batch(&x);
+            prop_assert_eq!(verdicts.len(), samples);
+            for v in verdicts {
+                if let Verdict::Output(c) = v {
+                    prop_assert!(c < k, "class {} out of range {}", c, k);
+                }
+            }
+        }
+    }
+
+    /// Degenerate shapes — zero samples, an empty class dimension — are
+    /// answered with per-sample withholding, never a panic.
+    #[test]
+    fn degenerate_shapes_never_panic(n in 1usize..4, samples in 0usize..3) {
+        let mut sys = passthrough_system(n);
+        let x = Tensor::from_vec(&[samples, 0], Vec::new());
+        let verdicts = sys.classify_batch(&x);
+        prop_assert_eq!(verdicts.len(), samples);
+        for v in verdicts {
+            prop_assert_eq!(v, Verdict::NoModules);
+        }
+    }
+}

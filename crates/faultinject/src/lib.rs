@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runtime;
+
+pub use runtime::{corrupt_in_place, CorruptionMode, RuntimeFault, RuntimeFaultPlan};
+
 use mvml_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,10 +103,11 @@ pub fn random_weight_inj(
         .unwrap_or_else(|| panic!("model has no parametric layer #{nth_parametric}"));
     let (index, old) = {
         let mut params = model.layer_params(layer);
+        #[allow(clippy::expect_used)] // invariant justified in the message
         let weights = params
             .iter_mut()
             .find(|p| p.name == "weight")
-            .expect("parametric layer without a weight tensor");
+            .expect("invariant: parametric layers expose a weight tensor by definition");
         let index = rng.random_range(0..weights.values.len());
         (index, weights.values[index])
     };

@@ -1,0 +1,292 @@
+//! Runtime fault models: faults that strike a module *while it serves a
+//! frame*, as opposed to the offline weight perturbations of the crate
+//! root.
+//!
+//! The paper's narrative invokes modules that "crash or hang" and outputs
+//! that are malformed or late; the offline injector cannot express any of
+//! those. This module provides the four runtime fault classes the hardened
+//! pipeline (`mvml-core`) must tolerate:
+//!
+//! | Fault | Manifestation | Detectable by the guard? |
+//! |---|---|---|
+//! | [`RuntimeFault::Corrupt`] (NaN/±Inf) | non-finite logits | yes — sanitizer |
+//! | [`RuntimeFault::Corrupt`] (saturate) | huge finite logits | no — voter's job |
+//! | [`RuntimeFault::Latency`] | output misses the deadline | yes — deadline budget |
+//! | [`RuntimeFault::Crash`] | module panics mid-inference | yes — `catch_unwind` |
+//! | [`RuntimeFault::Stale`] | previous frame's logits replayed | no — voter's job |
+//!
+//! A [`RuntimeFaultPlan`] decides, deterministically per `(seed, module,
+//! frame)`, whether a fault strikes and which one. Determinism is the
+//! load-bearing property: a fault-injection campaign must be a pure
+//! function of its seed so results are replayable byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+/// How an activation-corruption fault rewrites a module's output logits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CorruptionMode {
+    /// Every logit becomes NaN (e.g. a 0/0 inside a broken kernel).
+    Nan,
+    /// Every logit becomes `+∞` (overflowing accumulator).
+    PosInf,
+    /// Every logit becomes `−∞`.
+    NegInf,
+    /// Logits saturate to `±f32::MAX` keeping their sign — still finite, so
+    /// the sanitizer cannot catch it; only voting masks it.
+    Saturate,
+}
+
+/// A runtime fault striking one module on one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RuntimeFault {
+    /// The module's forward pass completes but its output logits are
+    /// corrupted according to the [`CorruptionMode`].
+    Corrupt(CorruptionMode),
+    /// The module produces a well-formed output *after* its deadline; the
+    /// guard must discard it (a late answer is a wrong answer in a
+    /// hard-real-time perception loop).
+    Latency,
+    /// The module panics mid-inference.
+    Crash,
+    /// The module replays its previous frame's logits (a wedged pipeline
+    /// stage serving its output buffer forever).
+    Stale,
+}
+
+/// One rule of a [`RuntimeFaultPlan`]: `kind` strikes `module` (or any
+/// module when `None`) with per-frame probability `rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeFaultRule {
+    /// The fault model to inject.
+    pub kind: RuntimeFault,
+    /// Per-frame Bernoulli probability in `[0, 1]`.
+    pub rate: f64,
+    /// Target module index, or `None` for every module.
+    pub module: Option<usize>,
+}
+
+/// A deterministic schedule of runtime faults.
+///
+/// `fault_for(module, frame)` is a pure function of `(seed, module, frame)`
+/// and the rule list — two plans with the same seed and rules produce
+/// identical campaigns regardless of call order, thread count or host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeFaultPlan {
+    seed: u64,
+    rules: Vec<RuntimeFaultRule>,
+}
+
+/// SplitMix64 — the standard 64-bit mixer; a pure function, unlike an RNG
+/// stream, so draws are independent of evaluation order.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit draw to a uniform `f64` in `[0, 1)`.
+fn to_unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl RuntimeFaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RuntimeFaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule; earlier rules take precedence when several fire on the
+    /// same `(module, frame)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a probability.
+    #[must_use]
+    pub fn with_rule(mut self, kind: RuntimeFault, rate: f64, module: Option<usize>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate {rate} is not a probability"
+        );
+        self.rules.push(RuntimeFaultRule { kind, rate, module });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rules, in precedence order.
+    pub fn rules(&self) -> &[RuntimeFaultRule] {
+        &self.rules
+    }
+
+    /// The fault (if any) striking `module` on `frame`.
+    pub fn fault_for(&self, module: usize, frame: u64) -> Option<RuntimeFault> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.module.is_some_and(|m| m != module) {
+                continue;
+            }
+            // Independent draw per (seed, module, frame, rule).
+            let key = self
+                .seed
+                .wrapping_add(splitmix64(module as u64 ^ 0xA5A5_0000))
+                .wrapping_add(splitmix64(frame ^ 0x5A5A_0000_0000))
+                .wrapping_add(splitmix64(i as u64 ^ 0xC3C3));
+            if to_unit(splitmix64(key)) < rule.rate {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+}
+
+/// Applies a [`CorruptionMode`] to a logit buffer in place.
+pub fn corrupt_in_place(values: &mut [f32], mode: CorruptionMode) {
+    match mode {
+        CorruptionMode::Nan => values.fill(f32::NAN),
+        CorruptionMode::PosInf => values.fill(f32::INFINITY),
+        CorruptionMode::NegInf => values.fill(f32::NEG_INFINITY),
+        CorruptionMode::Saturate => {
+            for v in values.iter_mut() {
+                *v = f32::MAX.copysign(*v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = RuntimeFaultPlan::new(7);
+        for m in 0..4 {
+            for f in 0..100 {
+                assert_eq!(plan.fault_for(m, f), None);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let mk = |seed| {
+            RuntimeFaultPlan::new(seed)
+                .with_rule(RuntimeFault::Crash, 0.3, None)
+                .with_rule(RuntimeFault::Latency, 0.3, Some(1))
+        };
+        let a = mk(42);
+        let b = mk(42);
+        let c = mk(43);
+        let draw = |p: &RuntimeFaultPlan| -> Vec<Option<RuntimeFault>> {
+            (0..3)
+                .flat_map(|m| (0..200).map(move |f| (m, f)))
+                .map(|(m, f)| p.fault_for(m, f))
+                .collect()
+        };
+        assert_eq!(draw(&a), draw(&b));
+        assert_ne!(draw(&a), draw(&c), "different seeds, identical schedule");
+    }
+
+    #[test]
+    fn draws_are_order_independent() {
+        let plan = RuntimeFaultPlan::new(11).with_rule(RuntimeFault::Stale, 0.5, None);
+        let forward: Vec<_> = (0..100).map(|f| plan.fault_for(0, f)).collect();
+        let backward: Vec<_> = (0..100).rev().map(|f| plan.fault_for(0, f)).collect();
+        let reversed: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn rate_is_respected_empirically() {
+        let plan = RuntimeFaultPlan::new(3).with_rule(
+            RuntimeFault::Corrupt(CorruptionMode::Nan),
+            0.25,
+            None,
+        );
+        let hits = (0..10_000)
+            .filter(|&f| plan.fault_for(0, f).is_some())
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn rate_edges() {
+        let never = RuntimeFaultPlan::new(1).with_rule(RuntimeFault::Crash, 0.0, None);
+        let always = RuntimeFaultPlan::new(1).with_rule(RuntimeFault::Crash, 1.0, None);
+        for f in 0..500 {
+            assert_eq!(never.fault_for(0, f), None);
+            assert_eq!(always.fault_for(0, f), Some(RuntimeFault::Crash));
+        }
+    }
+
+    #[test]
+    fn module_targeting() {
+        let plan = RuntimeFaultPlan::new(5).with_rule(RuntimeFault::Crash, 1.0, Some(2));
+        assert_eq!(plan.fault_for(2, 0), Some(RuntimeFault::Crash));
+        assert_eq!(plan.fault_for(0, 0), None);
+        assert_eq!(plan.fault_for(1, 0), None);
+    }
+
+    #[test]
+    fn rule_precedence_is_first_match() {
+        let plan = RuntimeFaultPlan::new(5)
+            .with_rule(RuntimeFault::Latency, 1.0, None)
+            .with_rule(RuntimeFault::Crash, 1.0, None);
+        assert_eq!(plan.fault_for(0, 0), Some(RuntimeFault::Latency));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_rate_rejected() {
+        let _ = RuntimeFaultPlan::new(0).with_rule(RuntimeFault::Crash, 1.5, None);
+    }
+
+    #[test]
+    fn corruption_modes() {
+        let mut v = vec![0.5f32, -2.0, 3.0];
+        corrupt_in_place(&mut v, CorruptionMode::Nan);
+        assert!(v.iter().all(|x| x.is_nan()));
+
+        let mut v = vec![0.5f32, -2.0];
+        corrupt_in_place(&mut v, CorruptionMode::PosInf);
+        assert!(v.iter().all(|x| *x == f32::INFINITY));
+
+        let mut v = vec![0.5f32, -2.0];
+        corrupt_in_place(&mut v, CorruptionMode::NegInf);
+        assert!(v.iter().all(|x| *x == f32::NEG_INFINITY));
+
+        let mut v = vec![0.5f32, -2.0, 0.0];
+        corrupt_in_place(&mut v, CorruptionMode::Saturate);
+        assert_eq!(v, vec![f32::MAX, -f32::MAX, f32::MAX]);
+        assert!(v.iter().all(|x| x.is_finite()), "saturation stays finite");
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = RuntimeFaultPlan::new(9)
+            .with_rule(
+                RuntimeFault::Corrupt(CorruptionMode::Saturate),
+                0.1,
+                Some(1),
+            )
+            .with_rule(RuntimeFault::Stale, 0.05, None);
+        let json = serde_json::to_string(&plan).expect("serialise");
+        let back: RuntimeFaultPlan = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(plan, back);
+        assert_eq!(back.seed(), 9);
+        assert_eq!(back.rules().len(), 2);
+    }
+}

@@ -144,6 +144,12 @@ impl Sequential {
 
     /// Argmax over the last dimension of the model output: class predictions
     /// for a `[N, K]` logit tensor.
+    ///
+    /// The comparison uses the IEEE-754 total order (`f32::total_cmp`), so a
+    /// model whose weights were corrupted into emitting NaN/±∞ still yields
+    /// a deterministic (garbage) class instead of panicking mid-pipeline —
+    /// detecting and discarding such outputs is the guard layer's job, not
+    /// the argmax's.
     pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
         let y = self.forward(x, false);
         let k = *y.shape().last().expect("rank >= 1");
@@ -152,7 +158,7 @@ impl Sequential {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .expect("non-empty row")
             })

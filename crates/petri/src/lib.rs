@@ -72,6 +72,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The solver's expect/unwrap sites are invariants of already-validated
+// nets (every fallible path returns `PetriError` at the API boundary);
+// panicking on a broken internal invariant is deliberate here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 mod enabling;
 mod error;

@@ -18,7 +18,7 @@ use crate::model::{Net, Timing};
 use crate::reward::ExpectedReward;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration for [`simulate`].
 #[derive(Debug, Clone)]
@@ -51,9 +51,11 @@ impl Default for SimConfig {
 #[derive(Debug)]
 pub struct SimResult {
     /// Fraction of (post-warm-up) time spent in each visited marking.
-    occupancy: HashMap<Marking, f64>,
+    /// Ordered so reward summation is reproducible run-to-run (`HashMap`
+    /// iteration order would perturb float sums by an ulp).
+    occupancy: BTreeMap<Marking, f64>,
     /// Per-batch occupancy fractions, for confidence intervals.
-    batch_occupancy: Vec<HashMap<Marking, f64>>,
+    batch_occupancy: Vec<BTreeMap<Marking, f64>>,
     /// Observed simulated time after warm-up.
     pub observed_time: f64,
     /// Number of transition firings (timed + immediate).
@@ -160,8 +162,8 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
     let observed = cfg.horizon - cfg.warmup;
     let batch_len = observed / cfg.batches as f64;
 
-    let mut occupancy: HashMap<Marking, f64> = HashMap::new();
-    let mut batch_occupancy: Vec<HashMap<Marking, f64>> = vec![HashMap::new(); cfg.batches];
+    let mut occupancy: BTreeMap<Marking, f64> = BTreeMap::new();
+    let mut batch_occupancy: Vec<BTreeMap<Marking, f64>> = vec![BTreeMap::new(); cfg.batches];
     let mut firings: u64 = 0;
 
     let mut marking = net.initial_marking();
@@ -180,8 +182,8 @@ pub fn simulate(net: &Net, cfg: &SimConfig) -> Result<SimResult, PetriError> {
     let accumulate = |marking: &Marking,
                       from: f64,
                       to: f64,
-                      occupancy: &mut HashMap<Marking, f64>,
-                      batch_occupancy: &mut Vec<HashMap<Marking, f64>>| {
+                      occupancy: &mut BTreeMap<Marking, f64>,
+                      batch_occupancy: &mut Vec<BTreeMap<Marking, f64>>| {
         let a = from.max(cfg.warmup);
         let b = to.min(cfg.horizon);
         if b <= a {

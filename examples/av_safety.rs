@@ -3,6 +3,9 @@
 //! time-triggered proactive rejuvenation, and compare collision metrics.
 //!
 //! Run with: `cargo run --release --example av_safety`
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use resilient_perception::avsim::detector::{train_detector, yolo_mini, DetectorTrainConfig};
 use resilient_perception::avsim::runner::{run_route, RunConfig};

@@ -2,6 +2,10 @@
 //! LeNet-style training shapes). The `KernelPath::Auto` thresholds in
 //! `mvml_nn::layers::Conv2d` were measured with this probe — re-run it when
 //! retuning them for a new host.
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mvml_nn::layers::{Conv2d, KernelPath};
 use mvml_nn::Layer;
 use mvml_nn::Tensor;

@@ -4,6 +4,9 @@
 //! for.
 //!
 //! Run with: `cargo run --release --example dspn_playground`
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use resilient_perception::mvml::dspn::{reactive_only, with_proactive};
 use resilient_perception::mvml::reliability::reliability_of;

@@ -2,6 +2,9 @@
 //! voter mask the fault, and rejuvenate the module back to health.
 //!
 //! Run with: `cargo run --release --example quickstart`
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use resilient_perception::faultinject::search_compromise_seed;
 use resilient_perception::mvml::{NVersionSystem, Verdict};

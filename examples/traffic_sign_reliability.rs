@@ -5,6 +5,9 @@
 //! for the expected system reliability of all six configurations (Table V).
 //!
 //! Run with: `cargo run --release --example traffic_sign_reliability`
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use resilient_perception::faultinject::search_compromise_seed;
 use resilient_perception::mvml::analysis::{configuration_label, table_v};
