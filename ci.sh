@@ -1,31 +1,77 @@
 #!/usr/bin/env bash
-# Repo CI gate: formatting, lints (warnings are errors), full test suite.
+# Repo CI gate: formatting, lints (warnings are errors), docs, full test
+# suite, the campaign smoke + telemetry cross-validation gate, and the
+# perf-regression gate.
 #
-# MIRI=1 additionally runs the nn kernel/thread-pool suite under miri to
-# catch undefined behaviour (the crate is 100% safe Rust today, but the GEMM
-# and thread-pool layers are where unsafe would land first — the gate keeps
-# working the day it does). Slow tests opt out via #[cfg_attr(miri, ignore)].
+# Knobs:
+#   PERF_GATE=0  skip the perf-regression gate (it re-measures the NN and
+#                petri benchmarks, ~minutes, and compares against the
+#                committed `results/BENCH_*.json` — which are host-specific,
+#                so skip it on hosts the baselines weren't measured on).
+#   MIRI=1       additionally run the nn kernel/thread-pool suite under miri
+#                to catch undefined behaviour (the crate is 100% safe Rust
+#                today, but the GEMM and thread-pool layers are where unsafe
+#                would land first — the gate keeps working the day it does).
+#                Slow tests opt out via #[cfg_attr(miri, ignore)].
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
 # Docs are part of the contract: broken intra-doc links and undocumented
 # public items fail the gate. First-party crates only — the offline
-# dependency stand-ins aren't held to the same bar.
+# dependency stand-ins aren't held to the same bar. The crate list is
+# derived from the workspace metadata so new crates are covered the day
+# they are added (a hard-coded list once silently skipped one).
+DOC_CRATES=$(cargo metadata --no-deps --format-version 1 | python3 -c '
+import json, sys
+for p in json.load(sys.stdin)["packages"]:
+    if "/offline/" not in p["manifest_path"]:
+        print(p["name"])
+')
+# shellcheck disable=SC2046  # intentional word-splitting into -p pairs
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p resilient-perception -p mvml-core -p mvml-petri -p mvml-nn \
-  -p mvml-avsim -p mvml-faultinject -p mvml-bench
+  $(printf -- '-p %s ' $DOC_CRATES)
+
 cargo test --workspace -q
 
-# Runtime-fault smoke gate: a reduced two-seed campaign must run end to end,
-# its report must pass schema/invariant validation, and the artefact must be
-# re-parseable from disk (the --validate path exercises exactly that).
+# Runtime-fault smoke gate: a reduced two-seed campaign must run end to end
+# with telemetry, its report must pass schema/invariant validation, the
+# JSONL stream must tally exactly with the report, and — because telemetry
+# is observe-only — a telemetry-disabled rerun must produce a byte-identical
+# report. The wall-clock of both runs is printed so recording overhead
+# stays visible (the stream rides on the same deterministic computation).
 echo "== campaign smoke: 2-seed runtime fault-injection mini campaign =="
 SMOKE_OUT="target/campaign-smoke.json"
-cargo run -q --release -p mvml-bench --bin campaign -- --smoke --out "$SMOKE_OUT" >/dev/null
-cargo run -q --release -p mvml-bench --bin campaign -- --validate "$SMOKE_OUT"
-rm -f "$SMOKE_OUT"
+SMOKE_TEL="target/campaign-smoke.jsonl"
+SMOKE_OFF="target/campaign-smoke-notelemetry.json"
+t0=$SECONDS
+cargo run -q --release -p mvml-bench --bin campaign -- \
+  --smoke --out "$SMOKE_OUT" --telemetry "$SMOKE_TEL" >/dev/null
+t_on=$((SECONDS - t0))
+cargo run -q --release -p mvml-bench --bin campaign -- \
+  --validate "$SMOKE_OUT" --telemetry "$SMOKE_TEL"
+t0=$SECONDS
+cargo run -q --release -p mvml-bench --bin campaign -- \
+  --smoke --out "$SMOKE_OFF" --no-telemetry >/dev/null
+t_off=$((SECONDS - t0))
+cmp "$SMOKE_OUT" "$SMOKE_OFF" \
+  || { echo "telemetry perturbed the campaign report" >&2; exit 1; }
+echo "telemetry-on ${t_on}s vs telemetry-off ${t_off}s; reports byte-identical"
+rm -f "$SMOKE_OUT" "$SMOKE_TEL" "$SMOKE_OFF"
+
+# Perf-regression gate: re-measure the benchmark summaries and fail when
+# any tracked metric loses >25% of its committed-baseline throughput.
+if [[ "${PERF_GATE:-1}" == "1" ]]; then
+  echo "== perf gate: fresh benchmark summaries vs committed baselines =="
+  cargo run -q --release -p mvml-bench --bin bench_summary -- \
+    --out-dir target/perf-fresh >/dev/null
+  cargo run -q --release -p mvml-bench --bin perf_gate -- \
+    --baseline-dir results --fresh-dir target/perf-fresh
+else
+  echo "PERF_GATE=0: skipping the perf-regression gate"
+fi
 
 if [[ "${MIRI:-0}" == "1" ]]; then
   if cargo miri --version >/dev/null 2>&1; then

@@ -12,6 +12,7 @@ use mvml_faultinject::{corrupt_in_place, random_weight_inj, RuntimeFault, Runtim
 use mvml_nn::layer::Layer;
 use mvml_nn::parallel::ThreadPool;
 use mvml_nn::{ModelState, Sequential, Tensor};
+use mvml_obs::{GuardVerdict, Recorder, TelemetryEvent, Timing, VoterOutcome, VotingRule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -216,6 +217,9 @@ pub struct MultiVersionPerception {
     /// produced one — replayed by stale-output faults.
     last_sets: Vec<Option<DetectionSet>>,
     frame: u64,
+    /// Telemetry stream. Observe-only: verdicts, states and events are
+    /// byte-identical whether recording is enabled or disabled (default).
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for MultiVersionPerception {
@@ -265,7 +269,15 @@ impl MultiVersionPerception {
             log: FaultLog::new(cfg.versions, 4096),
             last_sets: vec![None; cfg.versions],
             frame: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: module inferences (with per-module
+    /// forward latency), voter decisions, watchdog escalations, pool
+    /// fan-outs and rejuvenation events are emitted. Strictly observe-only.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Current module health states.
@@ -289,6 +301,19 @@ impl MultiVersionPerception {
         let events = self.process.advance(dt);
         for e in &events {
             match e.event {
+                StateEvent::Failed { module } => {
+                    // A failed module enters the reactive repair queue.
+                    self.recorder.emit(|| TelemetryEvent::RejuvenationStarted {
+                        module,
+                        proactive: false,
+                    });
+                }
+                StateEvent::ProactiveStarted { module, .. } => {
+                    self.recorder.emit(|| TelemetryEvent::RejuvenationStarted {
+                        module,
+                        proactive: true,
+                    });
+                }
                 StateEvent::Compromised { module } => {
                     let (lo, hi) = self.cfg.injection_range;
                     let layer = self.cfg.injection_layer;
@@ -307,6 +332,8 @@ impl MultiVersionPerception {
                     // stale replay must not serve pre-rejuvenation output.
                     self.watchdog.reset(module);
                     self.last_sets[module] = None;
+                    self.recorder
+                        .emit(|| TelemetryEvent::RejuvenationCompleted { module });
                 }
                 _ => {}
             }
@@ -351,6 +378,16 @@ impl MultiVersionPerception {
                 // A wedged stage serves its output buffer again instead of
                 // computing; nothing to run, nothing to detect.
                 proposals[i] = self.last_sets[i].clone();
+                let replayed = proposals[i].is_some();
+                self.recorder.emit(|| TelemetryEvent::ModuleInference {
+                    module: i,
+                    frame,
+                    verdict: if replayed {
+                        GuardVerdict::StaleReplay
+                    } else {
+                        GuardVerdict::NoOutput
+                    },
+                });
                 continue;
             }
             macs += module.model.macs(noisy.shape());
@@ -359,55 +396,107 @@ impl MultiVersionPerception {
         // The model forwards touch no shared state, so they fan out across
         // versions — the paper's "independent ML modules" run concurrently.
         // Each forward is contained: a panicking module loses its proposal,
-        // not the pipeline.
+        // not the pipeline. Per-module latency is measured inside the
+        // worker but emitted afterwards in module order, so record order
+        // (and sequence numbers) never depend on scheduling.
         let threshold = self.cfg.threshold;
-        let outputs = ThreadPool::new().map(jobs, |(i, model, noisy, fault)| {
-            let logits = catch_unwind(AssertUnwindSafe(|| {
-                if matches!(fault, Some(RuntimeFault::Crash)) {
-                    panic!("injected crash fault");
+        let timed = self.recorder.enabled();
+        let outputs = ThreadPool::new().map_recorded(
+            &self.recorder,
+            "perception-fanout",
+            jobs,
+            |(i, model, noisy, fault)| {
+                let started = timed.then(std::time::Instant::now);
+                let logits = catch_unwind(AssertUnwindSafe(|| {
+                    if matches!(fault, Some(RuntimeFault::Crash)) {
+                        panic!("injected crash fault");
+                    }
+                    let mut logits = model.forward(&noisy, false);
+                    if let Some(RuntimeFault::Corrupt(mode)) = fault {
+                        corrupt_in_place(logits.as_mut_slice(), mode);
+                    }
+                    logits
+                }))
+                .ok();
+                let timing = started.map(|s| Timing {
+                    duration_ns: u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
+                (i, fault, logits, timing)
+            },
+        );
+        for (i, fault, logits, timing) in outputs {
+            let obs_verdict;
+            match logits {
+                None => {
+                    events.push(FaultEvent {
+                        module: i,
+                        frame,
+                        kind: FaultEventKind::Panic,
+                    });
+                    obs_verdict = GuardVerdict::Panicked;
                 }
-                let mut logits = model.forward(&noisy, false);
-                if let Some(RuntimeFault::Corrupt(mode)) = fault {
-                    corrupt_in_place(logits.as_mut_slice(), mode);
+                Some(logits) => {
+                    let set = decode(&logits, threshold);
+                    if matches!(fault, Some(RuntimeFault::Latency)) {
+                        // The answer exists but arrived after the frame
+                        // deadline: discard it for voting, keep it as the
+                        // stale buffer.
+                        events.push(FaultEvent {
+                            module: i,
+                            frame,
+                            kind: FaultEventKind::DeadlineMiss,
+                        });
+                        self.last_sets[i] = Some(set);
+                        obs_verdict = GuardVerdict::DeadlineMissed;
+                    } else if self.cfg.sanitize && logits.as_slice().iter().any(|v| !v.is_finite())
+                    {
+                        events.push(FaultEvent {
+                            module: i,
+                            frame,
+                            kind: FaultEventKind::NonFiniteOutput { samples: 1 },
+                        });
+                        obs_verdict = GuardVerdict::NonFinite { samples: 1 };
+                    } else {
+                        self.last_sets[i] = Some(set.clone());
+                        proposals[i] = Some(set);
+                        obs_verdict = GuardVerdict::Accepted;
+                    }
                 }
-                logits
-            }))
-            .ok();
-            (i, fault, logits)
-        });
-        for (i, fault, logits) in outputs {
-            let Some(logits) = logits else {
-                events.push(FaultEvent {
-                    module: i,
-                    frame,
-                    kind: FaultEventKind::Panic,
-                });
-                continue;
-            };
-            let set = decode(&logits, threshold);
-            if matches!(fault, Some(RuntimeFault::Latency)) {
-                // The answer exists but arrived after the frame deadline:
-                // discard it for voting, keep it as the stale buffer.
-                events.push(FaultEvent {
-                    module: i,
-                    frame,
-                    kind: FaultEventKind::DeadlineMiss,
-                });
-                self.last_sets[i] = Some(set);
-                continue;
             }
-            if self.cfg.sanitize && logits.as_slice().iter().any(|v| !v.is_finite()) {
-                events.push(FaultEvent {
+            self.recorder
+                .emit_timed(timing, || TelemetryEvent::ModuleInference {
                     module: i,
                     frame,
-                    kind: FaultEventKind::NonFiniteOutput { samples: 1 },
+                    verdict: obs_verdict,
                 });
-                continue;
-            }
-            self.last_sets[i] = Some(set.clone());
-            proposals[i] = Some(set);
         }
         let verdict = vote_detections(&proposals, self.cfg.agreement_tolerance);
+        self.recorder.emit(|| {
+            let proposing = proposals.iter().flatten().count();
+            let (outcome, agreeing) = match &verdict {
+                Verdict::Output(fused) => (
+                    VoterOutcome::Output { class: None },
+                    proposals
+                        .iter()
+                        .flatten()
+                        .filter(|s| {
+                            s.symmetric_difference_len(fused) <= self.cfg.agreement_tolerance
+                        })
+                        .count(),
+                ),
+                Verdict::Skip => (VoterOutcome::Skip, 0),
+                Verdict::NoModules => (VoterOutcome::NoModules, 0),
+            };
+            TelemetryEvent::VoterDecision {
+                frame,
+                sample: 0,
+                outcome,
+                rule: VotingRule::for_proposal_count(proposing),
+                proposing,
+                agreeing,
+                withheld: proposals.len() - proposing,
+            }
+        });
 
         // Escalate repeat offenders into the health process's reactive
         // repair loop (after the vote: their proposals were already
@@ -423,6 +512,12 @@ impl MultiVersionPerception {
                         module: m,
                         frame,
                         kind: FaultEventKind::Escalated,
+                    });
+                    let faults_in_window = self.watchdog.config().threshold;
+                    self.recorder.emit(|| TelemetryEvent::WatchdogEscalation {
+                        module: m,
+                        frame,
+                        faults_in_window,
                     });
                 }
             }

@@ -121,9 +121,23 @@ pub fn nearest_obstacle_on_path(
 
 /// Simulates one route with the given configuration.
 pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> RunMetrics {
+    run_route_traced(route, bank, cfg, &mvml_obs::Recorder::disabled())
+}
+
+/// [`run_route`] with telemetry: every tick emits a timed `perception` and
+/// `planner` span (plus the perception pipeline's own module/voter/
+/// watchdog/rejuvenation events through the same recorder). Metrics and
+/// simulated behaviour are byte-identical to an untraced run.
+pub fn run_route_traced(
+    route: &RouteSpec,
+    bank: &DetectorBank,
+    cfg: &RunConfig,
+    recorder: &mvml_obs::Recorder,
+) -> RunMetrics {
     let mut world = World::new(route);
     let path = route.path();
     let mut perception = MultiVersionPerception::new(bank, cfg.perception, cfg.process, cfg.seed);
+    perception.set_recorder(recorder.clone());
     let planner_cfg = PlannerConfig::for_target_speed(route.target_speed);
     let mut planner = AccPlanner::new(planner_cfg);
 
@@ -149,9 +163,19 @@ pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> Run
 
         let t0 = Instant::now();
         let output = perception.perceive(&clean);
-        metrics.perception_time += t0.elapsed();
+        let perceive_elapsed = t0.elapsed();
+        metrics.perception_time += perceive_elapsed;
         metrics.macs += output.macs;
         metrics.fault_events += output.events.len() as u64;
+        recorder.emit_timed(
+            Some(mvml_obs::Timing {
+                duration_ns: u64::try_from(perceive_elapsed.as_nanos()).unwrap_or(u64::MAX),
+            }),
+            || mvml_obs::TelemetryEvent::Tick {
+                stage: "perception".to_string(),
+                frame: frame as u64,
+            },
+        );
 
         match &output.verdict {
             Verdict::Skip => metrics.skipped_frames += 1,
@@ -172,8 +196,13 @@ pub fn run_route(route: &RouteSpec, bank: &DetectorBank, cfg: &RunConfig) -> Run
             Verdict::Skip => Verdict::Skip,
             Verdict::NoModules => Verdict::NoModules,
         };
+        let plan_span = recorder.span();
         let accel = planner.plan(&perceived, world.ego().speed());
         world.step(accel, cfg.dt);
+        recorder.emit_timed(plan_span.stop(), || mvml_obs::TelemetryEvent::Tick {
+            stage: "planner".to_string(),
+            frame: frame as u64,
+        });
         metrics.frames = frame + 1;
 
         if world.ego_collides() {
@@ -216,13 +245,25 @@ pub fn aggregate_route(
     base: &RunConfig,
     runs: usize,
 ) -> RouteAggregate {
+    aggregate_route_traced(route, bank, base, runs, &mvml_obs::Recorder::disabled())
+}
+
+/// [`aggregate_route`] with telemetry: run `i` emits under the child scope
+/// `run{i}` of `recorder`'s scope.
+pub fn aggregate_route_traced(
+    route: &RouteSpec,
+    bank: &DetectorBank,
+    base: &RunConfig,
+    runs: usize,
+    recorder: &mvml_obs::Recorder,
+) -> RouteAggregate {
     let results: Vec<RunMetrics> = (0..runs)
         .map(|i| {
             let cfg = RunConfig {
                 seed: base.seed.wrapping_add(1000 * i as u64 + route.id as u64),
                 ..*base
             };
-            run_route(route, bank, &cfg)
+            run_route_traced(route, bank, &cfg, &recorder.child(&format!("run{i}")))
         })
         .collect();
     let collided: Vec<usize> = results.iter().filter_map(|r| r.first_collision).collect();

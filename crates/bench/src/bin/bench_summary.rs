@@ -1,4 +1,6 @@
-//! Emits `results/BENCH_petri.json` and `results/BENCH_nn.json`.
+//! Emits `results/BENCH_petri.json` and `results/BENCH_nn.json` (or the
+//! same files under `--out-dir <dir>` — the perf gate measures into a
+//! scratch directory and compares against the committed baselines).
 //!
 //! The petri summary times the steady-state backends (dense elimination vs
 //! Gauss–Seidel) on the same pre-explored chain — the six-version proactive
@@ -14,263 +16,21 @@
 //! core count is recorded alongside so single-core results (where extra
 //! worker threads cannot help wall-clock) read honestly.
 
-use mvml_avsim::bev::rasterize;
-use mvml_avsim::detector::DetectorTrainConfig;
-use mvml_avsim::geometry::Vec2;
-use mvml_avsim::perception::{DetectorBank, MultiVersionPerception, PerceptionConfig};
-use mvml_avsim::world::ObjectTruth;
-use mvml_core::dspn::with_proactive;
-use mvml_core::rejuvenation::ProcessConfig;
-use mvml_core::SystemParams;
-use mvml_nn::gemm::gemm;
-use mvml_nn::layer::Layer;
-use mvml_nn::layers::{Conv2d, KernelPath};
-use mvml_nn::parallel::{thread_count, with_thread_count};
-use mvml_nn::Tensor;
-use mvml_petri::reach::explore;
-use mvml_petri::{
-    erlang_expand, simulate, solve_graph, ReachOptions, SimConfig, SolutionMethod, SolverOptions,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
-use std::time::Instant;
-
-#[derive(Serialize)]
-struct ConvRow {
-    shape: String,
-    direct_ns: f64,
-    gemm_ns: f64,
-    speedup: f64,
-}
-
-#[derive(Serialize)]
-struct GemmRow {
-    threads: usize,
-    ns_per_iter: f64,
-}
-
-#[derive(Serialize)]
-struct PerceptionRow {
-    threads: usize,
-    single_v_fps: f64,
-    three_v_fps: f64,
-    /// Three-version cost relative to single-version (1.0 = free diversity;
-    /// 3.0 = paying full triple cost). Extra worker threads can only narrow
-    /// this on multi-core hosts.
-    three_v_cost_factor: f64,
-}
-
-#[derive(Serialize)]
-struct Summary {
-    host_cores: usize,
-    default_threads: usize,
-    conv_forward_batch32: Vec<ConvRow>,
-    gemm_256x256x256: Vec<GemmRow>,
-    perception_fps: Vec<PerceptionRow>,
-}
-
-#[derive(Serialize)]
-struct SolveRow {
-    backend: &'static str,
-    states: usize,
-    ns_per_solve: f64,
-    residual: f64,
-}
-
-#[derive(Serialize)]
-struct PetriSummary {
-    model: &'static str,
-    erlang_k: u32,
-    steady_state_solves: Vec<SolveRow>,
-    des_simulate_100k_s_ns: f64,
-}
-
-fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut v = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let t = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        v.push(t.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    v[v.len() / 2]
-}
-
-fn conv_rows() -> Vec<ConvRow> {
-    // The LeNet-mini conv stack at batch 32 (the acceptance shapes).
-    let shapes: [(&str, usize, usize, usize, usize, usize); 2] = [
-        ("conv1 1->6 k5 28x28", 1, 6, 5, 0, 28),
-        ("conv2 6->16 k3 12x12", 6, 16, 3, 0, 12),
-    ];
-    shapes
-        .iter()
-        .map(|&(label, ic, oc, k, pad, hw)| {
-            let x = Tensor::from_vec(
-                &[32, ic, hw, hw],
-                (0..32 * ic * hw * hw)
-                    .map(|i| ((i * 13) % 29) as f32 / 29.0 - 0.5)
-                    .collect(),
-            );
-            let time_path = |path: KernelPath| {
-                let mut rng = StdRng::seed_from_u64(38);
-                let mut conv = Conv2d::new(ic, oc, k, pad, &mut rng);
-                conv.set_kernel_path(path);
-                median_ns(7, 10, || {
-                    std::hint::black_box(conv.forward(std::hint::black_box(&x), false));
-                })
-            };
-            let direct_ns = time_path(KernelPath::Direct);
-            let gemm_ns = time_path(KernelPath::Gemm);
-            ConvRow {
-                shape: label.to_string(),
-                direct_ns,
-                gemm_ns,
-                speedup: direct_ns / gemm_ns,
-            }
-        })
-        .collect()
-}
-
-fn gemm_rows() -> Vec<GemmRow> {
-    let (m, k, n) = (256usize, 256, 256);
-    let a: Vec<f32> = (0..m * k)
-        .map(|i| ((i * 31) % 101) as f32 / 101.0 - 0.5)
-        .collect();
-    let b: Vec<f32> = (0..k * n)
-        .map(|i| ((i * 17) % 97) as f32 / 97.0 - 0.5)
-        .collect();
-    let mut out = vec![0.0f32; m * n];
-    [1usize, 2, 4]
-        .into_iter()
-        .map(|threads| {
-            let ns = with_thread_count(threads, || {
-                median_ns(7, 5, || {
-                    gemm(
-                        m,
-                        k,
-                        n,
-                        std::hint::black_box(&a),
-                        std::hint::black_box(&b),
-                        &mut out,
-                    )
-                })
-            });
-            GemmRow {
-                threads,
-                ns_per_iter: ns,
-            }
-        })
-        .collect()
-}
-
-fn petri_summary() -> PetriSummary {
-    let erlang_k = 8;
-    let params = SystemParams::paper_table_iv();
-    let mv = with_proactive(6, &params).expect("net");
-    let expanded = erlang_expand(&mv.net, erlang_k).expect("expansion");
-    let graph = explore(&expanded, &ReachOptions::default()).expect("reachability");
-    let opts = SolverOptions::default();
-
-    let steady_state_solves = [SolutionMethod::Dense, SolutionMethod::GaussSeidel]
-        .into_iter()
-        .map(|method| {
-            let sol = solve_graph(&graph, &method, &opts).expect("solution");
-            let info = sol.info();
-            SolveRow {
-                backend: info.backend.name(),
-                states: info.states,
-                residual: info.residual,
-                ns_per_solve: median_ns(5, 1, || {
-                    std::hint::black_box(
-                        solve_graph(std::hint::black_box(&graph), &method, &opts)
-                            .expect("solution"),
-                    );
-                }),
-            }
-        })
-        .collect();
-
-    let cfg = SimConfig {
-        horizon: 100_000.0,
-        warmup: 100.0,
-        seed: 1,
-        ..SimConfig::default()
-    };
-    let des_simulate_100k_s_ns = median_ns(5, 1, || {
-        std::hint::black_box(simulate(std::hint::black_box(&mv.net), &cfg).expect("simulation"));
-    });
-
-    PetriSummary {
-        model: "6v proactive (Fig. 3)",
-        erlang_k,
-        steady_state_solves,
-        des_simulate_100k_s_ns,
-    }
-}
-
-fn quiet_process() -> ProcessConfig {
-    ProcessConfig {
-        params: SystemParams {
-            mttc: 1e12,
-            mttf: 1e12,
-            ..SystemParams::carla_case_study()
-        },
-        proactive: false,
-        compromised_priority: 2.0 / 3.0,
-        proportional_selection: false,
-        per_module_clocks: true,
-    }
-}
-
-fn perception_rows(bank: &DetectorBank) -> Vec<PerceptionRow> {
-    let clean = rasterize(
-        Vec2::new(0.0, 0.0),
-        0.0,
-        &[ObjectTruth {
-            position: Vec2::new(20.0, 0.0),
-            heading: 0.0,
-        }],
-    );
-    let fps = |versions: usize| {
-        let mut p = MultiVersionPerception::new(
-            bank,
-            PerceptionConfig {
-                versions,
-                ..PerceptionConfig::default()
-            },
-            quiet_process(),
-            7,
-        );
-        let frames = 60;
-        let t = Instant::now();
-        for _ in 0..frames {
-            std::hint::black_box(p.perceive(&clean));
-        }
-        frames as f64 / t.elapsed().as_secs_f64()
-    };
-    [1usize, 2, 4]
-        .into_iter()
-        .map(|threads| {
-            with_thread_count(threads, || {
-                let single = fps(1);
-                let three = fps(3);
-                PerceptionRow {
-                    threads,
-                    single_v_fps: single,
-                    three_v_fps: three,
-                    three_v_cost_factor: single / three,
-                }
-            })
-        })
-        .collect()
-}
+use mvml_bench::summary::{nn_summary, petri_summary};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    std::fs::create_dir_all("results").expect("results dir");
+    let mut out_dir = String::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => out_dir = args.next().expect("--out-dir needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("output dir");
 
     println!("timing DSPN steady-state backends (6v proactive, Erlang-8)...");
     let petri = petri_summary();
@@ -285,23 +45,12 @@ fn main() {
         petri.des_simulate_100k_s_ns
     );
     let json = serde_json::to_string(&petri).expect("serialise petri summary");
-    std::fs::write("results/BENCH_petri.json", json).expect("write BENCH_petri.json");
-    println!("wrote results/BENCH_petri.json");
+    let petri_path = format!("{out_dir}/BENCH_petri.json");
+    std::fs::write(&petri_path, json).expect("write BENCH_petri.json");
+    println!("wrote {petri_path}");
 
     println!("training detector bank (reduced schedule)...");
-    let bank = DetectorBank::train(&DetectorTrainConfig {
-        scenes: 200,
-        epochs: 2,
-        ..DetectorTrainConfig::default()
-    });
-
-    let summary = Summary {
-        host_cores: cores,
-        default_threads: thread_count(),
-        conv_forward_batch32: conv_rows(),
-        gemm_256x256x256: gemm_rows(),
-        perception_fps: perception_rows(&bank),
-    };
+    let summary = nn_summary();
 
     for row in &summary.conv_forward_batch32 {
         println!(
@@ -323,7 +72,7 @@ fn main() {
     }
 
     let json = serde_json::to_string(&summary).expect("serialise summary");
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_nn.json", json).expect("write BENCH_nn.json");
-    println!("wrote results/BENCH_nn.json");
+    let nn_path = format!("{out_dir}/BENCH_nn.json");
+    std::fs::write(&nn_path, json).expect("write BENCH_nn.json");
+    println!("wrote {nn_path}");
 }

@@ -1,0 +1,114 @@
+//! The CI perf-regression gate: compares freshly measured benchmark
+//! summaries against the committed baselines and fails when any tracked
+//! metric loses more than 25% of its baseline throughput.
+//!
+//! Usage (what `ci.sh` runs):
+//!   cargo run --release -p mvml-bench --bin bench_summary -- --out-dir target/perf-fresh
+//!   cargo run --release -p mvml-bench --bin perf_gate -- \
+//!       --baseline-dir results --fresh-dir target/perf-fresh
+//!
+//! Both directories must contain `BENCH_nn.json` and `BENCH_petri.json`.
+//! Metrics present on only one side are ignored: changing the benchmark
+//! set is a deliberate act that recommits the baseline, not a regression.
+//! `--tolerance <fraction>` overrides the default 0.25.
+
+use mvml_bench::format::render_table;
+use mvml_bench::summary::{compare_nn, compare_petri, NnSummary, PerfDelta, PetriSummary};
+
+fn load<T: serde::Deserialize>(dir: &str, file: &str) -> T {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not a benchmark summary: {e}"))
+}
+
+fn main() {
+    let mut baseline_dir = String::from("results");
+    let mut fresh_dir = String::from("target/perf-fresh");
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => baseline_dir = args.next().expect("--baseline-dir needs a path"),
+            "--fresh-dir" => fresh_dir = args.next().expect("--fresh-dir needs a path"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance must be a number in (0, 1)");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be a fraction in (0, 1)"
+    );
+
+    let base_petri: PetriSummary = load(&baseline_dir, "BENCH_petri.json");
+    let fresh_petri: PetriSummary = load(&fresh_dir, "BENCH_petri.json");
+    let base_nn: NnSummary = load(&baseline_dir, "BENCH_nn.json");
+    let fresh_nn: NnSummary = load(&fresh_dir, "BENCH_nn.json");
+
+    let mut deltas = compare_petri(&base_petri, &fresh_petri, tolerance);
+    deltas.extend(compare_nn(&base_nn, &fresh_nn, tolerance));
+
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d: &PerfDelta| {
+            vec![
+                d.metric.clone(),
+                format!("{:.3e}", d.baseline),
+                format!("{:.3e}", d.fresh),
+                format!("{:.1}%", 100.0 * d.throughput_ratio),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "perf gate: {baseline_dir} (baseline) vs {fresh_dir} (fresh), \
+         tolerance {:.0}% throughput\n",
+        100.0 * tolerance
+    );
+    println!(
+        "{}",
+        render_table(
+            &["metric", "baseline", "fresh", "throughput", "verdict"],
+            &rows
+        )
+    );
+    if base_nn.host_cores != fresh_nn.host_cores {
+        println!(
+            "note: baseline measured on {} cores, fresh on {} — regenerate the \
+             committed baselines on this host before trusting marginal verdicts",
+            base_nn.host_cores, fresh_nn.host_cores
+        );
+    }
+
+    let regressed: Vec<&PerfDelta> = deltas.iter().filter(|d| d.regressed).collect();
+    if regressed.is_empty() {
+        println!(
+            "all {} tracked metrics within {:.0}% of baseline throughput",
+            deltas.len(),
+            100.0 * tolerance
+        );
+    } else {
+        eprintln!(
+            "{} of {} tracked metrics regressed beyond {:.0}%:",
+            regressed.len(),
+            deltas.len(),
+            100.0 * tolerance
+        );
+        for d in &regressed {
+            eprintln!(
+                "  {} retained only {:.1}% of baseline throughput",
+                d.metric,
+                100.0 * d.throughput_ratio
+            );
+        }
+        std::process::exit(1);
+    }
+}

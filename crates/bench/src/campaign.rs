@@ -42,8 +42,9 @@ use mvml_nn::models::three_versions;
 use mvml_nn::signs::{generate, SignConfig};
 use mvml_nn::train::{train_classifier, TrainConfig};
 use mvml_nn::{Dataset, Sequential};
+use mvml_obs::{Recorder, TelemetryEvent, TelemetryRecord, VoterOutcome, VotingRule};
 use mvml_petri::{
-    erlang_expand, simulate, solve_steady, ExpectedReward, SimConfig, SolutionMethod,
+    erlang_expand, simulate, solve_steady_traced, ExpectedReward, SimConfig, SolutionMethod,
 };
 use serde::{Deserialize, Serialize};
 
@@ -340,11 +341,13 @@ fn run_stream(
     plan: Option<RuntimeFaultPlan>,
     test: &Dataset,
     frames: usize,
+    recorder: &Recorder,
 ) -> StreamOutcome {
     let mut sys = NVersionSystem::new(models.to_vec());
     sys.set_guard(guard)
         .expect("static guard configs are valid");
     sys.set_fault_plan(plan);
+    sys.set_recorder(recorder.clone());
     let mut tally = EmpiricalReliability::zero();
     let mut detected = 0u64;
     let mut escalations = 0u64;
@@ -367,7 +370,12 @@ fn run_stream(
     }
 }
 
-fn run_grid(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Vec<GridCell> {
+fn run_grid(
+    cfg: &CampaignConfig,
+    models: &[Sequential],
+    test: &Dataset,
+    recorder: &Recorder,
+) -> Vec<GridCell> {
     const TARGET: usize = 0;
     let mut cells = Vec::new();
     for (label, kind) in FAULT_KINDS {
@@ -381,7 +389,16 @@ fn run_grid(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Vec<
                 let mut escalations = 0;
                 for &seed in &cfg.plan_seeds {
                     let plan = RuntimeFaultPlan::new(seed).with_rule(kind, rate, Some(TARGET));
-                    let out = run_stream(models, guard, Some(plan), test, cfg.frames_per_cell);
+                    let scoped = recorder
+                        .scoped(&format!("grid/{label}/r{rate:.2}/{guard_label}/seed{seed}"));
+                    let out = run_stream(
+                        models,
+                        guard,
+                        Some(plan),
+                        test,
+                        cfg.frames_per_cell,
+                        &scoped,
+                    );
                     absorb(&mut tally, &out.tally);
                     detected += out.detected;
                     escalations += out.escalations;
@@ -406,7 +423,12 @@ fn run_grid(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Vec<
     cells
 }
 
-fn run_headline(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> Headline {
+fn run_headline(
+    cfg: &CampaignConfig,
+    models: &[Sequential],
+    test: &Dataset,
+    recorder: &Recorder,
+) -> Headline {
     const TARGET: usize = 0;
     const RATE: f64 = 1.0;
     let mut hardened = EmpiricalReliability::zero();
@@ -420,8 +442,11 @@ fn run_headline(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> 
         );
         // Lock-step run of the hardened system against a fault-free twin:
         // every output the hardened system produces must equal the twin's.
+        // Only the system under test is recorded — the twin is a reference
+        // oracle, not part of the experiment.
         let mut sys = NVersionSystem::new(models.to_vec());
         sys.set_fault_plan(Some(plan.clone()));
+        sys.set_recorder(recorder.scoped(&format!("headline/hardened/seed{seed}")));
         let mut twin = NVersionSystem::new(models.to_vec());
         for f in 0..cfg.headline_frames {
             let i = f % test.len();
@@ -441,6 +466,7 @@ fn run_headline(cfg: &CampaignConfig, models: &[Sequential], test: &Dataset) -> 
             Some(plan),
             test,
             cfg.headline_frames,
+            &recorder.scoped(&format!("headline/unhardened/seed{seed}")),
         );
         absorb(&mut unhardened, &out.tally);
     }
@@ -496,11 +522,13 @@ fn empirical_under_chain(
     test: &Dataset,
     cfg: &CrossCheckConfig,
     proactive: bool,
+    recorder: &Recorder,
 ) -> (f64, f64) {
     let n = models.len();
     let mut sys = NVersionSystem::new(models.to_vec());
     sys.set_guard(GuardConfig::sanitize_only())
         .expect("static guard configs are valid");
+    sys.set_recorder(recorder.clone());
     let mut process = StateProcess::new(
         n,
         ProcessConfig::dspn_aligned(cfg.params, proactive),
@@ -515,8 +543,18 @@ fn empirical_under_chain(
                 StateEvent::Compromised { module } => sys
                     .module_mut(module)
                     .set_runtime_fault(RuntimeFault::Corrupt(CorruptionMode::Nan)),
-                StateEvent::Failed { module } => sys.module_mut(module).fail(),
+                StateEvent::Failed { module } => {
+                    recorder.emit(|| TelemetryEvent::RejuvenationStarted {
+                        module,
+                        proactive: false,
+                    });
+                    sys.module_mut(module).fail();
+                }
                 StateEvent::ProactiveStarted { module, .. } => {
+                    recorder.emit(|| TelemetryEvent::RejuvenationStarted {
+                        module,
+                        proactive: true,
+                    });
                     sys.module_mut(module).begin_rejuvenation();
                 }
                 StateEvent::Recovered { module } | StateEvent::ProactiveCompleted { module } => {
@@ -546,6 +584,7 @@ fn run_cross_check(
     test: &Dataset,
     cfg: &CrossCheckConfig,
     r_emp: &[f64],
+    recorder: &Recorder,
 ) -> Vec<CrossCheck> {
     let mut out = Vec::new();
     for proactive in [false, true] {
@@ -567,15 +606,18 @@ fn run_cross_check(
         } else {
             &mv.net
         };
-        let sol = solve_steady(
+        let sol = solve_steady_traced(
             solved,
             &SolutionMethod::Auto,
             &SolveOptions::default().solver,
+            &recorder.scoped(&format!("crosscheck/{variant}/solve")),
         )
         .expect("steady state");
         let analytic = sol.expected_reward(|m| r_emp[m[pmh] as usize]);
 
         // DES of the same net (deterministic clock simulated natively).
+        let des_recorder = recorder.scoped(&format!("crosscheck/{variant}/des"));
+        let des_span = des_recorder.span();
         let sim = simulate(
             &mv.net,
             &SimConfig {
@@ -587,9 +629,21 @@ fn run_cross_check(
         )
         .expect("DES run");
         let (des_simulated, des_half_width) = sim.reward_ci(|m| r_emp[m[pmh] as usize], 3.0);
+        des_recorder.emit_timed(des_span.stop(), || TelemetryEvent::SolverRun {
+            model: mv.net.name().to_string(),
+            backend: "simulation".to_string(),
+            states: sim.distinct_markings(),
+            residual: des_half_width,
+        });
 
         // Live system under the chain.
-        let (empirical, empirical_half_width) = empirical_under_chain(models, test, cfg, proactive);
+        let (empirical, empirical_half_width) = empirical_under_chain(
+            models,
+            test,
+            cfg,
+            proactive,
+            &recorder.scoped(&format!("crosscheck/{variant}/chain")),
+        );
 
         let tolerance = des_half_width + empirical_half_width;
         out.push(CrossCheck {
@@ -610,6 +664,25 @@ fn run_cross_check(
 /// deterministic for a given configuration: the same config produces a
 /// byte-identical serialised report.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_traced(cfg, &Recorder::disabled())
+}
+
+/// [`run_campaign`] with telemetry: every experiment stage emits
+/// frame-scoped [`TelemetryEvent`]s into `recorder`, scoped so the stream
+/// can be cross-validated against the report it accompanies
+/// ([`validate_telemetry`]):
+///
+/// * `grid/{fault}/r{rate}/{guard}/seed{seed}` — one stream per grid run;
+/// * `headline/{hardened,unhardened}/seed{seed}` — the 1-of-3 comparison
+///   (the fault-free twin is an unrecorded oracle);
+/// * `crosscheck/{variant}/{solve,des,chain}` — analytic solve, DES, and
+///   the live system under the health chain.
+///
+/// Telemetry is observe-only: the returned report is byte-identical to a
+/// [`run_campaign`] run of the same configuration. Training and the
+/// per-state reward measurement are deliberately unrecorded — they are
+/// calibration, not part of any experiment stream.
+pub fn run_campaign_traced(cfg: &CampaignConfig, recorder: &Recorder) -> CampaignReport {
     let train = generate(
         &cfg.sign,
         cfg.sign.classes * cfg.train_per_class,
@@ -628,12 +701,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         healthy_accuracy.push(1.0 - errs.iter().filter(|&&e| e).count() as f64 / errs.len() as f64);
     }
 
-    let grid = run_grid(cfg, &models, &test);
-    let headline = run_headline(cfg, &models, &test);
+    let grid = run_grid(cfg, &models, &test, recorder);
+    let headline = run_headline(cfg, &models, &test, recorder);
     let (per_state, cross_check) = match &cfg.cross_check {
         Some(cc) => {
             let r_emp = per_state_reliability(&models, &test, cc.state_eval_batch);
-            let checks = run_cross_check(&models, &test, cc, &r_emp);
+            let checks = run_cross_check(&models, &test, cc, &r_emp, recorder);
             (r_emp, checks)
         }
         None => (per_state_reliability(&models, &test, 64), Vec::new()),
@@ -742,9 +815,217 @@ pub fn validate_report(report: &CampaignReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Cross-artifact validation of a campaign telemetry stream against the
+/// report it was emitted alongside — the second half of the `--validate`
+/// gate. Two layers of checks:
+///
+/// 1. **Schema** — sequence numbers strictly increase, every record is
+///    scoped, module indices stay below `n`, and voter decisions are
+///    internally consistent (`agreeing ≤ proposing`, `proposing + withheld
+///    = n`, the logged rule matches the proposal count, outputs have at
+///    least one agreeing module).
+/// 2. **Tallies** — for every grid cell, the telemetry stream under that
+///    cell's scope must reproduce the report exactly: detected-fault
+///    module verdicts ↔ `detected_events`, watchdog escalations ↔
+///    `escalations`, and voter outcomes ↔ `correct + wrong` / `skipped` /
+///    `no_output`. Headline scopes must carry one voter decision per
+///    classified frame, and each cross-check variant must show exactly one
+///    analytic solver run, one DES run, and a live chain stream.
+///
+/// A disabled recorder yields an empty stream, which is rejected: this
+/// function is only meaningful for reports produced by
+/// [`run_campaign_traced`] with an enabled recorder.
+///
+/// # Errors
+///
+/// Describes the first inconsistency between stream and report.
+pub fn validate_telemetry(
+    report: &CampaignReport,
+    records: &[TelemetryRecord],
+) -> Result<(), String> {
+    if records.is_empty() {
+        return Err("telemetry stream is empty".into());
+    }
+    let n = report.config.n;
+    let mut last_seq = None;
+    for r in records {
+        if r.scope.is_empty() {
+            return Err(format!("record {} has an empty scope", r.seq));
+        }
+        if last_seq.is_some_and(|prev| r.seq <= prev) {
+            return Err(format!(
+                "sequence numbers are not strictly increasing at seq {}",
+                r.seq
+            ));
+        }
+        last_seq = Some(r.seq);
+        match &r.event {
+            TelemetryEvent::ModuleInference { module, .. }
+            | TelemetryEvent::WatchdogEscalation { module, .. }
+            | TelemetryEvent::RejuvenationStarted { module, .. }
+            | TelemetryEvent::RejuvenationCompleted { module }
+                if *module >= n =>
+            {
+                return Err(format!(
+                    "record {}: module index {module} out of range (n = {n})",
+                    r.seq
+                ));
+            }
+            TelemetryEvent::VoterDecision {
+                outcome,
+                rule,
+                proposing,
+                agreeing,
+                withheld,
+                ..
+            } => {
+                if proposing + withheld != n {
+                    return Err(format!(
+                        "record {}: proposing {proposing} + withheld {withheld} != n {n}",
+                        r.seq
+                    ));
+                }
+                if agreeing > proposing {
+                    return Err(format!(
+                        "record {}: agreeing {agreeing} exceeds proposing {proposing}",
+                        r.seq
+                    ));
+                }
+                if *rule != VotingRule::for_proposal_count(*proposing) {
+                    return Err(format!(
+                        "record {}: rule {rule:?} does not match {proposing} proposals",
+                        r.seq
+                    ));
+                }
+                match outcome {
+                    VoterOutcome::Output { .. } if *agreeing == 0 => {
+                        return Err(format!("record {}: output with no agreeing module", r.seq));
+                    }
+                    VoterOutcome::NoModules if *proposing != 0 => {
+                        return Err(format!(
+                            "record {}: no-modules verdict despite {proposing} proposals",
+                            r.seq
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Grid cells: the scoped stream must reproduce the report's tallies.
+    for cell in &report.grid {
+        let prefix = format!("grid/{}/r{:.2}/{}/", cell.fault, cell.rate, cell.guard);
+        let mut detected = 0u64;
+        let mut escalations = 0u64;
+        let (mut outputs, mut skips, mut silent) = (0usize, 0usize, 0usize);
+        for r in records.iter().filter(|r| r.scope.starts_with(&prefix)) {
+            match &r.event {
+                TelemetryEvent::ModuleInference { verdict, .. } if verdict.is_detected_fault() => {
+                    detected += 1;
+                }
+                TelemetryEvent::WatchdogEscalation { .. } => escalations += 1,
+                TelemetryEvent::VoterDecision { outcome, .. } => match outcome {
+                    VoterOutcome::Output { .. } => outputs += 1,
+                    VoterOutcome::Skip => skips += 1,
+                    VoterOutcome::NoModules => silent += 1,
+                },
+                _ => {}
+            }
+        }
+        let cell_id = format!("{}/r{:.2}/{}", cell.fault, cell.rate, cell.guard);
+        if detected != cell.detected_events {
+            return Err(format!(
+                "grid {cell_id}: {detected} detected-fault verdicts in telemetry \
+                 vs {} detected_events in report",
+                cell.detected_events
+            ));
+        }
+        if escalations != cell.escalations {
+            return Err(format!(
+                "grid {cell_id}: {escalations} escalation records vs {} in report",
+                cell.escalations
+            ));
+        }
+        if outputs != cell.correct + cell.wrong {
+            return Err(format!(
+                "grid {cell_id}: {outputs} voter outputs vs {} (correct + wrong) in report",
+                cell.correct + cell.wrong
+            ));
+        }
+        if skips != cell.skipped {
+            return Err(format!(
+                "grid {cell_id}: {skips} voter skips vs {} in report",
+                cell.skipped
+            ));
+        }
+        if silent != cell.no_output {
+            return Err(format!(
+                "grid {cell_id}: {silent} no-module frames vs {} in report",
+                cell.no_output
+            ));
+        }
+    }
+
+    // Headline: one voter decision per classified frame under each guard.
+    let expected = report.headline.frames * report.config.plan_seeds.len();
+    for guard in ["hardened", "unhardened"] {
+        let prefix = format!("headline/{guard}/");
+        let decisions = records
+            .iter()
+            .filter(|r| r.scope.starts_with(&prefix))
+            .filter(|r| matches!(r.event, TelemetryEvent::VoterDecision { .. }))
+            .count();
+        if decisions != expected {
+            return Err(format!(
+                "headline/{guard}: {decisions} voter decisions vs {expected} frames classified"
+            ));
+        }
+    }
+
+    // Cross-check: each variant leaves an analytic solve, a DES run, and a
+    // live stream under the health chain.
+    for check in &report.cross_check {
+        let variant = &check.variant;
+        let solver_runs = |scope: &str, simulated: bool| {
+            records
+                .iter()
+                .filter(|r| r.scope == scope)
+                .filter(|r| {
+                    matches!(&r.event, TelemetryEvent::SolverRun { backend, .. }
+                        if (backend == "simulation") == simulated)
+                })
+                .count()
+        };
+        if solver_runs(&format!("crosscheck/{variant}/solve"), false) != 1 {
+            return Err(format!(
+                "crosscheck/{variant}: expected exactly one analytic solver run"
+            ));
+        }
+        if solver_runs(&format!("crosscheck/{variant}/des"), true) != 1 {
+            return Err(format!(
+                "crosscheck/{variant}: expected exactly one DES solver run"
+            ));
+        }
+        let chain = format!("crosscheck/{variant}/chain");
+        if !records
+            .iter()
+            .any(|r| r.scope == chain && matches!(r.event, TelemetryEvent::VoterDecision { .. }))
+        {
+            return Err(format!(
+                "crosscheck/{variant}: chain stream carries no voter decisions"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvml_obs::{content_streams_eq, RingBufferSink};
+    use std::sync::Arc;
 
     /// A micro configuration exercising every stage in a few seconds.
     fn micro() -> CampaignConfig {
@@ -775,15 +1056,39 @@ mod tests {
         }
     }
 
+    /// Runs the micro campaign with a ring-buffered recorder, returning the
+    /// report and the captured telemetry stream.
+    fn traced_micro(cfg: &CampaignConfig) -> (CampaignReport, Vec<TelemetryRecord>) {
+        let ring = Arc::new(RingBufferSink::new(200_000));
+        let recorder = Recorder::with_sinks(vec![ring.clone()]);
+        let report = run_campaign_traced(cfg, &recorder);
+        assert_eq!(ring.dropped(), 0, "ring buffer must hold the full stream");
+        (report, ring.snapshot())
+    }
+
     #[test]
     fn micro_campaign_is_valid_and_deterministic() {
         let cfg = micro();
         let a = run_campaign(&cfg);
         validate_report(&a).expect("campaign invariants");
-        let b = run_campaign(&cfg);
+        // Telemetry is observe-only: a traced run of the same config must
+        // produce a byte-identical report, and its stream must validate
+        // against that report.
+        let (b, records) = traced_micro(&cfg);
         let ja = serde_json::to_string(&a).expect("serialise");
         let jb = serde_json::to_string(&b).expect("serialise");
-        assert_eq!(ja, jb, "same config must produce a byte-identical report");
+        assert_eq!(
+            ja, jb,
+            "telemetry must not perturb the report (on vs off byte-identity)"
+        );
+        validate_telemetry(&b, &records).expect("telemetry ↔ report consistency");
+        // A second traced run must replay the identical stream content
+        // (sequence, scopes, events — timings excluded).
+        let (_, again) = traced_micro(&cfg);
+        assert!(
+            content_streams_eq(&records, &again),
+            "telemetry stream content must be deterministic"
+        );
         // Round-trip through the on-disk representation.
         let back: CampaignReport = serde_json::from_str(&ja).expect("parse");
         validate_report(&back).expect("round-tripped report");
@@ -792,7 +1097,7 @@ mod tests {
     #[test]
     fn validation_rejects_broken_reports() {
         let cfg = micro();
-        let report = run_campaign(&cfg);
+        let (report, records) = traced_micro(&cfg);
         let mut broken = report.clone();
         broken.headline.margin = -0.1;
         assert!(validate_report(&broken).is_err());
@@ -802,8 +1107,38 @@ mod tests {
         let mut broken = report.clone();
         broken.per_state_reliability = vec![0.5; 4];
         assert!(validate_report(&broken).is_err());
-        let mut broken = report;
+        let mut broken = report.clone();
         broken.grid.clear();
         assert!(validate_report(&broken).is_err());
+
+        // Telemetry cross-validation must reject tampered artifacts too.
+        assert!(
+            validate_telemetry(&report, &[]).is_err(),
+            "an empty stream cannot back a report"
+        );
+        let mut broken = report.clone();
+        broken.grid[0].detected_events += 1;
+        assert!(
+            validate_telemetry(&broken, &records).is_err(),
+            "detected-event tally mismatch must be caught"
+        );
+        let mut broken = report.clone();
+        broken.headline.frames += 1;
+        assert!(
+            validate_telemetry(&broken, &records).is_err(),
+            "headline frame-count mismatch must be caught"
+        );
+        let mut tampered = records.clone();
+        let voter = tampered
+            .iter()
+            .position(|r| matches!(r.event, TelemetryEvent::VoterDecision { .. }))
+            .expect("stream has voter decisions");
+        if let TelemetryEvent::VoterDecision { agreeing, .. } = &mut tampered[voter].event {
+            *agreeing = report.config.n + 1;
+        }
+        assert!(
+            validate_telemetry(&report, &tampered).is_err(),
+            "inconsistent voter decision must be caught"
+        );
     }
 }

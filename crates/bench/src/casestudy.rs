@@ -2,9 +2,11 @@
 //! a standard trained detector bank and parallel campaign execution.
 
 use crossbeam::thread;
-use mvml_avsim::runner::{aggregate_route, RouteAggregate, RunConfig};
+use mvml_avsim::runner::{aggregate_route, aggregate_route_traced, RouteAggregate, RunConfig};
 use mvml_avsim::town::all_routes;
 use mvml_avsim::{DetectorBank, DetectorTrainConfig};
+use mvml_obs::{Recorder, RingBufferSink, TelemetryRecord};
+use std::sync::Arc;
 
 /// Trains the standard three-variant detector bank used by every case-study
 /// experiment (deterministic given the fixed config).
@@ -29,6 +31,59 @@ pub fn campaign(bank: &DetectorBank, base: &RunConfig, runs: usize) -> Vec<Route
     })
     .expect("campaign scope");
     results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// [`campaign`] with telemetry. Routes still execute in parallel, but each
+/// records into a private buffer under the scope `route{id}/run{i}`; the
+/// buffers are replayed into `recorder` in route order once all threads have
+/// joined, so the exported stream is deterministic (identical content for
+/// any thread interleaving — only the replayed records' timings carry
+/// wall-clock). With a disabled recorder this is exactly [`campaign`].
+pub fn campaign_traced(
+    bank: &DetectorBank,
+    base: &RunConfig,
+    runs: usize,
+    recorder: &Recorder,
+) -> Vec<RouteAggregate> {
+    if !recorder.enabled() {
+        return campaign(bank, base, runs);
+    }
+    let routes = all_routes();
+    // Generous per-route bound: ~10 records per frame (module inferences,
+    // voter decision, pool run, ticks, occasional health events).
+    let capacity = (runs * base.max_frames).saturating_mul(64).max(4096);
+    let mut results: Vec<Option<(RouteAggregate, Vec<TelemetryRecord>)>> = vec![None; routes.len()];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for route in &routes {
+            let base = *base;
+            handles.push(scope.spawn(move |_| {
+                let ring = Arc::new(RingBufferSink::new(capacity));
+                let local = Recorder::new(ring.clone()).scoped(&format!("route{}", route.id));
+                let agg = aggregate_route_traced(route, bank, &base, runs, &local);
+                (agg, ring.snapshot())
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope");
+    let mut aggregates = Vec::with_capacity(routes.len());
+    for slot in results {
+        let (agg, records) = slot.expect("filled");
+        for record in records {
+            let TelemetryRecord {
+                scope,
+                event,
+                timing,
+                ..
+            } = record;
+            recorder.scoped(&scope).emit_timed(timing, || event);
+        }
+        aggregates.push(agg);
+    }
+    aggregates
 }
 
 #[cfg(test)]
@@ -78,6 +133,30 @@ mod tests {
         for (i, a) in aggregates.iter().enumerate() {
             assert_eq!(a.route_id, i + 1);
             assert_eq!(a.runs, 1);
+        }
+        // Telemetry is observe-only and route-ordered despite the parallel
+        // execution: traced aggregates match, and every route's stream is
+        // replayed contiguously under its own scope.
+        let ring = Arc::new(RingBufferSink::new(1 << 20));
+        let recorder = Recorder::new(ring.clone());
+        let traced = campaign_traced(&bank, &base, 1, &recorder);
+        assert_eq!(traced, aggregates, "telemetry must not perturb results");
+        let records = ring.snapshot();
+        assert_eq!(ring.dropped(), 0);
+        let route_of = |scope: &str| {
+            scope
+                .split('/')
+                .next()
+                .and_then(|s| s.strip_prefix("route"))
+                .and_then(|s| s.parse::<usize>().ok())
+                .expect("route-scoped record")
+        };
+        let order: Vec<usize> = records.iter().map(|r| route_of(&r.scope)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "streams replay in route order");
+        for id in 1..=8 {
+            assert!(order.contains(&id), "route {id} emitted no telemetry");
         }
     }
 }

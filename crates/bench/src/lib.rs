@@ -8,6 +8,8 @@
 //!   DSPN cross-check) behind `results/CAMPAIGN_runtime.json`.
 //! * [`casestudy`] — the Tables VI–VIII pipeline (detector bank, parallel
 //!   route campaigns).
+//! * [`summary`] — host benchmark summaries (`BENCH_nn.json`,
+//!   `BENCH_petri.json`) and the CI perf-regression comparison over them.
 //! * [`mod@format`] — plain-text table rendering.
 //!
 //! | Binary | Regenerates |
@@ -31,3 +33,4 @@ pub mod calibrate;
 pub mod campaign;
 pub mod casestudy;
 pub mod format;
+pub mod summary;

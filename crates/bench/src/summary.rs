@@ -1,0 +1,520 @@
+//! Host benchmark summaries and the perf-regression gate over them.
+//!
+//! [`nn_summary`] and [`petri_summary`] measure the workspace's two
+//! performance-critical layers on the current host — the GEMM-backed NN
+//! kernels (plus the multi-version perception pipeline built on them) and
+//! the DSPN steady-state backends — producing the serialisable summaries
+//! behind `results/BENCH_nn.json` and `results/BENCH_petri.json` (the
+//! `bench_summary` binary).
+//!
+//! [`compare_nn`] / [`compare_petri`] turn a committed baseline plus a
+//! fresh measurement into [`PerfDelta`] rows; the `perf_gate` binary (run
+//! by `ci.sh`) fails when any tracked metric loses more than the tolerated
+//! fraction of its baseline *throughput* — for time-per-op metrics that is
+//! `fresh_ns > baseline_ns / (1 − tolerance)`, for FPS metrics
+//! `fresh < (1 − tolerance) × baseline`.
+
+use mvml_avsim::bev::rasterize;
+use mvml_avsim::detector::DetectorTrainConfig;
+use mvml_avsim::geometry::Vec2;
+use mvml_avsim::perception::{DetectorBank, MultiVersionPerception, PerceptionConfig};
+use mvml_avsim::world::ObjectTruth;
+use mvml_core::dspn::with_proactive;
+use mvml_core::rejuvenation::ProcessConfig;
+use mvml_core::SystemParams;
+use mvml_nn::gemm::gemm;
+use mvml_nn::layer::Layer;
+use mvml_nn::layers::{Conv2d, KernelPath};
+use mvml_nn::parallel::{thread_count, with_thread_count};
+use mvml_nn::Tensor;
+use mvml_petri::reach::explore;
+use mvml_petri::{
+    erlang_expand, simulate, solve_graph, ReachOptions, SimConfig, SolutionMethod, SolverOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Direct-vs-GEMM timing of one convolution shape (batch 32).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvRow {
+    /// Human-readable shape label (stable across runs; the gate joins on it).
+    pub shape: String,
+    /// Median forward time on the direct kernel path, ns.
+    pub direct_ns: f64,
+    /// Median forward time on the GEMM kernel path, ns.
+    pub gemm_ns: f64,
+    /// `direct_ns / gemm_ns`.
+    pub speedup: f64,
+}
+
+/// Blocked-GEMM timing at one worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GemmRow {
+    /// Worker threads forced for the measurement.
+    pub threads: usize,
+    /// Median time per 256³ GEMM, ns.
+    pub ns_per_iter: f64,
+}
+
+/// Perception-pipeline throughput at one worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerceptionRow {
+    /// Worker threads forced for the measurement.
+    pub threads: usize,
+    /// Single-version frames per second.
+    pub single_v_fps: f64,
+    /// Three-version frames per second.
+    pub three_v_fps: f64,
+    /// Three-version cost relative to single-version (1.0 = free diversity;
+    /// 3.0 = paying full triple cost). Extra worker threads can only narrow
+    /// this on multi-core hosts.
+    pub three_v_cost_factor: f64,
+}
+
+/// The NN-side benchmark summary (`results/BENCH_nn.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NnSummary {
+    /// Host core count when measured (so single-core numbers read honestly).
+    pub host_cores: usize,
+    /// Default worker-thread count on the measuring host.
+    pub default_threads: usize,
+    /// Direct-vs-GEMM convolution timings.
+    pub conv_forward_batch32: Vec<ConvRow>,
+    /// Blocked GEMM at several worker counts.
+    pub gemm_256x256x256: Vec<GemmRow>,
+    /// Single- vs three-version perception FPS at several worker counts.
+    pub perception_fps: Vec<PerceptionRow>,
+}
+
+/// One steady-state backend timing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveRow {
+    /// Backend name (stable across runs; the gate joins on it).
+    pub backend: String,
+    /// Tangible states solved over.
+    pub states: usize,
+    /// Median solve time, ns.
+    pub ns_per_solve: f64,
+    /// Solution residual.
+    pub residual: f64,
+}
+
+/// The petri-side benchmark summary (`results/BENCH_petri.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PetriSummary {
+    /// Benchmarked model label.
+    pub model: String,
+    /// Erlang stages used to expand the deterministic clock.
+    pub erlang_k: u32,
+    /// Per-backend steady-state timings on the same pre-explored chain.
+    pub steady_state_solves: Vec<SolveRow>,
+    /// Median DES wall time for a 100k-second horizon, ns.
+    pub des_simulate_100k_s_ns: f64,
+}
+
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        v.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn conv_rows() -> Vec<ConvRow> {
+    // The LeNet-mini conv stack at batch 32 (the acceptance shapes).
+    let shapes: [(&str, usize, usize, usize, usize, usize); 2] = [
+        ("conv1 1->6 k5 28x28", 1, 6, 5, 0, 28),
+        ("conv2 6->16 k3 12x12", 6, 16, 3, 0, 12),
+    ];
+    shapes
+        .iter()
+        .map(|&(label, ic, oc, k, pad, hw)| {
+            let x = Tensor::from_vec(
+                &[32, ic, hw, hw],
+                (0..32 * ic * hw * hw)
+                    .map(|i| ((i * 13) % 29) as f32 / 29.0 - 0.5)
+                    .collect(),
+            );
+            let time_path = |path: KernelPath| {
+                let mut rng = StdRng::seed_from_u64(38);
+                let mut conv = Conv2d::new(ic, oc, k, pad, &mut rng);
+                conv.set_kernel_path(path);
+                median_ns(7, 10, || {
+                    std::hint::black_box(conv.forward(std::hint::black_box(&x), false));
+                })
+            };
+            let direct_ns = time_path(KernelPath::Direct);
+            let gemm_ns = time_path(KernelPath::Gemm);
+            ConvRow {
+                shape: label.to_string(),
+                direct_ns,
+                gemm_ns,
+                speedup: direct_ns / gemm_ns,
+            }
+        })
+        .collect()
+}
+
+fn gemm_rows() -> Vec<GemmRow> {
+    let (m, k, n) = (256usize, 256, 256);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 31) % 101) as f32 / 101.0 - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 17) % 97) as f32 / 97.0 - 0.5)
+        .collect();
+    let mut out = vec![0.0f32; m * n];
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let ns = with_thread_count(threads, || {
+                median_ns(7, 5, || {
+                    gemm(
+                        m,
+                        k,
+                        n,
+                        std::hint::black_box(&a),
+                        std::hint::black_box(&b),
+                        &mut out,
+                    )
+                })
+            });
+            GemmRow {
+                threads,
+                ns_per_iter: ns,
+            }
+        })
+        .collect()
+}
+
+fn quiet_process() -> ProcessConfig {
+    ProcessConfig {
+        params: SystemParams {
+            mttc: 1e12,
+            mttf: 1e12,
+            ..SystemParams::carla_case_study()
+        },
+        proactive: false,
+        compromised_priority: 2.0 / 3.0,
+        proportional_selection: false,
+        per_module_clocks: true,
+    }
+}
+
+fn perception_rows(bank: &DetectorBank) -> Vec<PerceptionRow> {
+    let clean = rasterize(
+        Vec2::new(0.0, 0.0),
+        0.0,
+        &[ObjectTruth {
+            position: Vec2::new(20.0, 0.0),
+            heading: 0.0,
+        }],
+    );
+    let fps = |versions: usize| {
+        let mut p = MultiVersionPerception::new(
+            bank,
+            PerceptionConfig {
+                versions,
+                ..PerceptionConfig::default()
+            },
+            quiet_process(),
+            7,
+        );
+        let frames = 60;
+        let t = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(p.perceive(&clean));
+        }
+        frames as f64 / t.elapsed().as_secs_f64()
+    };
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            with_thread_count(threads, || {
+                let single = fps(1);
+                let three = fps(3);
+                PerceptionRow {
+                    threads,
+                    single_v_fps: single,
+                    three_v_fps: three,
+                    three_v_cost_factor: single / three,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Measures the DSPN steady-state backends (dense elimination vs
+/// Gauss–Seidel) on the same pre-explored chain — the six-version proactive
+/// net at Erlang-8 — plus DES throughput on the unexpanded net.
+pub fn petri_summary() -> PetriSummary {
+    let erlang_k = 8;
+    let params = SystemParams::paper_table_iv();
+    let mv = with_proactive(6, &params).expect("net");
+    let expanded = erlang_expand(&mv.net, erlang_k).expect("expansion");
+    let graph = explore(&expanded, &ReachOptions::default()).expect("reachability");
+    let opts = SolverOptions::default();
+
+    let steady_state_solves = [SolutionMethod::Dense, SolutionMethod::GaussSeidel]
+        .into_iter()
+        .map(|method| {
+            let sol = solve_graph(&graph, &method, &opts).expect("solution");
+            let info = sol.info();
+            SolveRow {
+                backend: info.backend.name().to_string(),
+                states: info.states,
+                residual: info.residual,
+                // Sub-millisecond solves need several iterations per sample
+                // or scheduler noise on a shared host swamps the 25% gate.
+                ns_per_solve: median_ns(9, 5, || {
+                    std::hint::black_box(
+                        solve_graph(std::hint::black_box(&graph), &method, &opts)
+                            .expect("solution"),
+                    );
+                }),
+            }
+        })
+        .collect();
+
+    let cfg = SimConfig {
+        horizon: 100_000.0,
+        warmup: 100.0,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let des_simulate_100k_s_ns = median_ns(9, 5, || {
+        std::hint::black_box(simulate(std::hint::black_box(&mv.net), &cfg).expect("simulation"));
+    });
+
+    PetriSummary {
+        model: "6v proactive (Fig. 3)".to_string(),
+        erlang_k,
+        steady_state_solves,
+        des_simulate_100k_s_ns,
+    }
+}
+
+/// Measures kernel- and pipeline-level NN timings on the current host:
+/// direct-vs-GEMM convolution, the blocked GEMM at several worker counts,
+/// and single- vs three-version perception FPS (the Table VIII overhead
+/// angle). Trains a reduced detector bank internally — deterministic, but
+/// the timings are of course host-dependent.
+pub fn nn_summary() -> NnSummary {
+    let bank = DetectorBank::train(&DetectorTrainConfig {
+        scenes: 200,
+        epochs: 2,
+        ..DetectorTrainConfig::default()
+    });
+    NnSummary {
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        default_threads: thread_count(),
+        conv_forward_batch32: conv_rows(),
+        gemm_256x256x256: gemm_rows(),
+        perception_fps: perception_rows(&bank),
+    }
+}
+
+/// How one tracked metric moved between a committed baseline and a fresh
+/// measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfDelta {
+    /// Metric label (`petri/solve/dense`, `nn/perception/3v-fps@2t`, …).
+    pub metric: String,
+    /// Baseline value in the metric's native unit (ns or fps).
+    pub baseline: f64,
+    /// Fresh value in the same unit.
+    pub fresh: f64,
+    /// Throughput retained: `fresh/baseline` for rate metrics,
+    /// `baseline/fresh` for time metrics. 1.0 = unchanged, 0.5 = half as
+    /// fast, >1 = faster than baseline.
+    pub throughput_ratio: f64,
+    /// `throughput_ratio < 1 − tolerance`.
+    pub regressed: bool,
+}
+
+fn delta(metric: String, baseline: f64, fresh: f64, time_based: bool, tol: f64) -> PerfDelta {
+    let throughput_ratio = if time_based {
+        baseline / fresh
+    } else {
+        fresh / baseline
+    };
+    PerfDelta {
+        metric,
+        baseline,
+        fresh,
+        throughput_ratio,
+        // NaN (e.g. a zero-time baseline) counts as regressed rather than
+        // vacuously passing.
+        regressed: throughput_ratio.is_nan() || throughput_ratio < 1.0 - tol,
+    }
+}
+
+/// Compares a fresh [`PetriSummary`] against a committed baseline. Rows are
+/// joined on backend name; metrics only present on one side are ignored
+/// (changing the benchmark set is a deliberate act that recommits the
+/// baseline, not a regression).
+pub fn compare_petri(base: &PetriSummary, fresh: &PetriSummary, tol: f64) -> Vec<PerfDelta> {
+    let mut out = Vec::new();
+    for b in &base.steady_state_solves {
+        if let Some(f) = fresh
+            .steady_state_solves
+            .iter()
+            .find(|f| f.backend == b.backend)
+        {
+            out.push(delta(
+                format!("petri/solve/{}", b.backend),
+                b.ns_per_solve,
+                f.ns_per_solve,
+                true,
+                tol,
+            ));
+        }
+    }
+    out.push(delta(
+        "petri/des/100k-s".to_string(),
+        base.des_simulate_100k_s_ns,
+        fresh.des_simulate_100k_s_ns,
+        true,
+        tol,
+    ));
+    out
+}
+
+/// Compares a fresh [`NnSummary`] against a committed baseline. Conv rows
+/// join on shape label, GEMM and perception rows on thread count; the
+/// tracked metrics are the *optimised* paths (GEMM convolution, blocked
+/// GEMM, three-version FPS) — the direct kernel is a reference, not a
+/// product path.
+pub fn compare_nn(base: &NnSummary, fresh: &NnSummary, tol: f64) -> Vec<PerfDelta> {
+    let mut out = Vec::new();
+    for b in &base.conv_forward_batch32 {
+        if let Some(f) = fresh
+            .conv_forward_batch32
+            .iter()
+            .find(|f| f.shape == b.shape)
+        {
+            out.push(delta(
+                format!("nn/conv-gemm/{}", b.shape),
+                b.gemm_ns,
+                f.gemm_ns,
+                true,
+                tol,
+            ));
+        }
+    }
+    for b in &base.gemm_256x256x256 {
+        if let Some(f) = fresh
+            .gemm_256x256x256
+            .iter()
+            .find(|f| f.threads == b.threads)
+        {
+            out.push(delta(
+                format!("nn/gemm-256/{}t", b.threads),
+                b.ns_per_iter,
+                f.ns_per_iter,
+                true,
+                tol,
+            ));
+        }
+    }
+    for b in &base.perception_fps {
+        if let Some(f) = fresh.perception_fps.iter().find(|f| f.threads == b.threads) {
+            out.push(delta(
+                format!("nn/perception-3v-fps/{}t", b.threads),
+                b.three_v_fps,
+                f.three_v_fps,
+                false,
+                tol,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn petri(dense_ns: f64, des_ns: f64) -> PetriSummary {
+        PetriSummary {
+            model: "m".into(),
+            erlang_k: 8,
+            steady_state_solves: vec![SolveRow {
+                backend: "dense".into(),
+                states: 100,
+                ns_per_solve: dense_ns,
+                residual: 1e-12,
+            }],
+            des_simulate_100k_s_ns: des_ns,
+        }
+    }
+
+    #[test]
+    fn time_regression_beyond_tolerance_is_flagged() {
+        // 25% tolerance: up to 1/0.75 ≈ 1.333× slower passes, beyond fails.
+        let base = petri(1000.0, 1000.0);
+        let ok = compare_petri(&base, &petri(1300.0, 900.0), 0.25);
+        assert!(ok.iter().all(|d| !d.regressed), "{ok:?}");
+        let bad = compare_petri(&base, &petri(1400.0, 1000.0), 0.25);
+        assert!(bad[0].regressed, "{bad:?}");
+        assert!(!bad[1].regressed);
+        assert!(bad[0].throughput_ratio < 0.75);
+    }
+
+    #[test]
+    fn fps_regression_uses_rate_direction() {
+        let row = |fps: f64| NnSummary {
+            host_cores: 4,
+            default_threads: 4,
+            conv_forward_batch32: vec![],
+            gemm_256x256x256: vec![],
+            perception_fps: vec![PerceptionRow {
+                threads: 2,
+                single_v_fps: 100.0,
+                three_v_fps: fps,
+                three_v_cost_factor: 100.0 / fps,
+            }],
+        };
+        let base = row(60.0);
+        assert!(!compare_nn(&base, &row(46.0), 0.25)[0].regressed);
+        assert!(compare_nn(&base, &row(44.0), 0.25)[0].regressed);
+        // Faster than baseline reads as > 1.0 throughput, never regressed.
+        let faster = compare_nn(&base, &row(90.0), 0.25);
+        assert!(faster[0].throughput_ratio > 1.0 && !faster[0].regressed);
+    }
+
+    #[test]
+    fn unmatched_rows_are_ignored_not_failed() {
+        let mut fresh = petri(1000.0, 1000.0);
+        fresh.steady_state_solves[0].backend = "renamed".into();
+        let deltas = compare_petri(&petri(1000.0, 1000.0), &fresh, 0.25);
+        assert_eq!(deltas.len(), 1, "only the DES metric joins: {deltas:?}");
+        assert_eq!(deltas[0].metric, "petri/des/100k-s");
+    }
+
+    #[test]
+    fn non_finite_fresh_measurement_regresses() {
+        // A NaN/zero fresh value must read as a failure, not vacuously pass.
+        let bad = compare_petri(&petri(1000.0, 1000.0), &petri(f64::NAN, 0.0), 0.25);
+        assert!(bad[0].regressed, "NaN timing must regress: {bad:?}");
+        // baseline/0 = +inf throughput: a zero time is "infinitely fast",
+        // which passes — acceptable, it cannot hide a slowdown.
+        assert!(!bad[1].regressed);
+    }
+
+    #[test]
+    fn summaries_round_trip_through_json() {
+        let p = petri(123.0, 456.0);
+        let j = serde_json::to_string(&p).expect("serialise");
+        let back: PetriSummary = serde_json::from_str(&j).expect("parse");
+        assert_eq!(back.steady_state_solves[0].backend, "dense");
+        assert_eq!(back.erlang_k, 8);
+    }
+}

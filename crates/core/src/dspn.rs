@@ -15,9 +15,10 @@
 
 use crate::params::SystemParams;
 use crate::reliability::{StateReliability, SystemState};
+use mvml_obs::Recorder;
 use mvml_petri::{
-    erlang_expand, solve_steady, ExpectedReward, Marking, Net, NetBuilder, PetriError, PlaceId,
-    ServerSemantics, SolutionInfo, SolutionMethod, SolverOptions, WeightSpec,
+    erlang_expand, solve_steady_traced, ExpectedReward, Marking, Net, NetBuilder, PetriError,
+    PlaceId, ServerSemantics, SolutionInfo, SolutionMethod, SolverOptions, WeightSpec,
 };
 use std::sync::Arc;
 
@@ -265,6 +266,24 @@ pub fn expected_system_reliability_with_info(
     params: &SystemParams,
     opts: &SolveOptions,
 ) -> Result<(f64, SolutionInfo), PetriError> {
+    expected_system_reliability_traced(n, proactive, params, opts, &Recorder::disabled())
+}
+
+/// [`expected_system_reliability_with_info`] with solver telemetry: the
+/// underlying steady-state solve emits one `SolverRun` event (backend,
+/// tangible states, residual; wall time in the record's `timing` field).
+/// The computed reliability is independent of the recorder.
+///
+/// # Errors
+///
+/// Propagates parameter validation and solver errors.
+pub fn expected_system_reliability_traced(
+    n: u32,
+    proactive: bool,
+    params: &SystemParams,
+    opts: &SolveOptions,
+    recorder: &Recorder,
+) -> Result<(f64, SolutionInfo), PetriError> {
     check_n(n)?;
     params
         .validate()
@@ -287,7 +306,7 @@ pub fn expected_system_reliability_with_info(
     let pmf = mv.pmf;
     let pmr = mv.pmr;
     let model = StateReliability::new(params);
-    let solution = solve_steady(&solvable, &opts.method, &opts.solver)?;
+    let solution = solve_steady_traced(&solvable, &opts.method, &opts.solver, recorder)?;
     let value = solution.expected_reward(move |m| {
         let rej = pmr.map_or(0, |p| m[p]) as usize;
         model.reliability_of(SystemState::new(

@@ -28,6 +28,7 @@ use crate::voter::{vote, Verdict, VotingScheme};
 use crate::watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};
 use mvml_faultinject::{corrupt_in_place, RuntimeFault, RuntimeFaultPlan};
 use mvml_nn::{Dataset, Sequential, Tensor};
+use mvml_obs::{GuardVerdict, Recorder, TelemetryEvent, VoterOutcome, VotingRule};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -179,6 +180,10 @@ pub struct NVersionSystem {
     /// (shape, values) — replayed by stale-output faults.
     last_logits: Vec<Option<(Vec<usize>, Vec<f32>)>>,
     frame: u64,
+    /// Telemetry stream for the hardened path. Observe-only: verdicts,
+    /// events and escalations are byte-identical whether this recorder is
+    /// enabled or disabled (the default).
+    recorder: Recorder,
 }
 
 /// Capacity of the bounded fault-event log.
@@ -233,7 +238,23 @@ impl NVersionSystem {
             plan: None,
             last_logits: vec![None; n],
             frame: 0,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attaches a telemetry recorder to the hardened classification path.
+    ///
+    /// The recorder is strictly observe-only: module inferences (with
+    /// guard verdicts and latency), voter decisions, watchdog escalations
+    /// and rejuvenation completions are emitted, but classification
+    /// outputs never depend on whether recording is enabled.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Number of module versions.
@@ -333,6 +354,8 @@ impl NVersionSystem {
         module.complete_rejuvenation();
         self.watchdog.reset(i);
         self.last_logits[i] = None;
+        self.recorder
+            .emit(|| TelemetryEvent::RejuvenationCompleted { module: i });
         Ok(())
     }
 
@@ -374,6 +397,7 @@ impl NVersionSystem {
         let guard = self.guard;
         let plan = self.plan.as_ref();
         let last_logits = &mut self.last_logits;
+        let recorder = self.recorder.clone();
 
         for (m, module) in self.modules.iter_mut().enumerate() {
             if !module.state().is_operational() {
@@ -384,15 +408,27 @@ impl NVersionSystem {
                 .runtime_fault()
                 .or_else(|| plan.and_then(|p| p.fault_for(m, frame)));
 
+            // Telemetry: what the guard concluded about this module's
+            // proposal, refined as the fault paths below resolve. Strictly
+            // observe-only — mirrors the `events` pushes bit for bit.
+            let mut obs_verdict = GuardVerdict::Accepted;
+            let span = recorder.span();
+
             // Produce this round's logits according to the fault model.
             let produced: Option<Tensor> = match fault {
                 Some(RuntimeFault::Stale) => {
                     // A wedged stage serves its output buffer again; if it
                     // never produced one, it has nothing to serve.
-                    last_logits[m]
+                    let replay = last_logits[m]
                         .as_ref()
                         .filter(|(shape, _)| shape.first() == Some(&n_samples))
-                        .map(|(shape, values)| Tensor::from_vec(shape, values.clone()))
+                        .map(|(shape, values)| Tensor::from_vec(shape, values.clone()));
+                    obs_verdict = if replay.is_some() {
+                        GuardVerdict::StaleReplay
+                    } else {
+                        GuardVerdict::NoOutput
+                    };
+                    replay
                 }
                 _ => {
                     let started = Instant::now();
@@ -409,6 +445,7 @@ impl NVersionSystem {
                                 frame,
                                 kind: FaultEventKind::Panic,
                             });
+                            obs_verdict = GuardVerdict::Panicked;
                             None
                         }
                         Ok(logits) => {
@@ -420,6 +457,7 @@ impl NVersionSystem {
                                     frame,
                                     kind: FaultEventKind::DeadlineMiss,
                                 });
+                                obs_verdict = GuardVerdict::DeadlineMissed;
                                 // The late answer still refreshes the stale
                                 // buffer — it was produced, just not in time.
                                 if let Some(t) = logits {
@@ -428,6 +466,9 @@ impl NVersionSystem {
                                 }
                                 None
                             } else {
+                                if logits.is_none() {
+                                    obs_verdict = GuardVerdict::NoOutput;
+                                }
                                 logits.map(|mut t| {
                                     if let Some(RuntimeFault::Corrupt(mode)) = fault {
                                         corrupt_in_place(t.as_mut_slice(), mode);
@@ -441,6 +482,7 @@ impl NVersionSystem {
                     }
                 }
             };
+            let timing = span.stop();
 
             // Sanitize and reduce to per-sample class proposals.
             let row = match produced {
@@ -453,10 +495,16 @@ impl NVersionSystem {
                             frame,
                             kind: FaultEventKind::NonFiniteOutput { samples: poisoned },
                         });
+                        obs_verdict = GuardVerdict::NonFinite { samples: poisoned };
                     }
                     classes
                 }
             };
+            recorder.emit_timed(timing, || TelemetryEvent::ModuleInference {
+                module: m,
+                frame,
+                verdict: obs_verdict,
+            });
             proposals.push(row);
         }
 
@@ -465,7 +513,30 @@ impl NVersionSystem {
         let verdicts: Vec<Verdict<usize>> = (0..n_samples)
             .map(|i| {
                 let row: Vec<Option<usize>> = proposals.iter().map(|p| p[i]).collect();
-                vote(self.scheme, &row)
+                let verdict = vote(self.scheme, &row);
+                recorder.emit(|| {
+                    let proposing = row.iter().flatten().count();
+                    let (outcome, agreeing) = match &verdict {
+                        Verdict::Output(class) => (
+                            VoterOutcome::Output {
+                                class: Some(*class),
+                            },
+                            row.iter().flatten().filter(|&&c| c == *class).count(),
+                        ),
+                        Verdict::Skip => (VoterOutcome::Skip, 0),
+                        Verdict::NoModules => (VoterOutcome::NoModules, 0),
+                    };
+                    TelemetryEvent::VoterDecision {
+                        frame,
+                        sample: i,
+                        outcome,
+                        rule: VotingRule::for_proposal_count(proposing),
+                        proposing,
+                        agreeing,
+                        withheld: row.len() - proposing,
+                    }
+                });
+                verdict
             })
             .collect();
 
@@ -494,6 +565,15 @@ impl NVersionSystem {
                         kind: FaultEventKind::Escalated,
                     });
                     escalations.push(m);
+                    // The window clears exactly when it reaches the
+                    // threshold, so the count at escalation *is* the
+                    // configured threshold.
+                    let faults_in_window = self.watchdog.config().threshold;
+                    recorder.emit(|| TelemetryEvent::WatchdogEscalation {
+                        module: m,
+                        frame,
+                        faults_in_window,
+                    });
                 }
             }
         }

@@ -1,0 +1,151 @@
+//! Property-based contract of the observability layer: telemetry is
+//! *observe-only*. For any random runtime-fault plan, a recorded system
+//! must classify byte-identically to an unrecorded one, the emitted stream
+//! must tally exactly with the guard's reported events, and replaying the
+//! same run must reproduce the identical stream content (sequence, scopes,
+//! events — wall-clock timings excluded).
+
+use mvml_core::watchdog::FaultEventKind;
+use mvml_core::NVersionSystem;
+use mvml_faultinject::{CorruptionMode, RuntimeFault, RuntimeFaultPlan};
+use mvml_nn::{Sequential, Tensor};
+use mvml_obs::{content_streams_eq, Recorder, RingBufferSink, TelemetryEvent, TelemetryRecord};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random logits in `[-0.5, 0.5)`.
+fn fill(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Identity modules: logits = input rows, so the fault machinery is the
+/// only source of divergence between versions.
+fn passthrough_system(n: usize) -> NVersionSystem {
+    NVersionSystem::new(
+        (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect(),
+    )
+}
+
+fn fault_kind(sel: u8) -> RuntimeFault {
+    match sel {
+        0 => RuntimeFault::Corrupt(CorruptionMode::Nan),
+        1 => RuntimeFault::Corrupt(CorruptionMode::PosInf),
+        2 => RuntimeFault::Corrupt(CorruptionMode::Saturate),
+        3 => RuntimeFault::Crash,
+        4 => RuntimeFault::Latency,
+        _ => RuntimeFault::Stale,
+    }
+}
+
+/// Classifies `frames` frames on a fresh recorded system, returning the
+/// verdict trace, the guard's own (events, escalations) tallies, and the
+/// captured telemetry stream.
+#[allow(clippy::expect_used)] // test harness; the ring is sized for the run
+fn traced_run(
+    n: usize,
+    plan: &RuntimeFaultPlan,
+    frames: usize,
+    samples: usize,
+    k: usize,
+    salt: u64,
+    record: bool,
+) -> (
+    Vec<Vec<mvml_core::Verdict<usize>>>,
+    u64,
+    u64,
+    Vec<TelemetryRecord>,
+) {
+    let ring = Arc::new(RingBufferSink::new(1 << 16));
+    let mut sys = passthrough_system(n);
+    sys.set_fault_plan(Some(plan.clone()));
+    if record {
+        sys.set_recorder(Recorder::new(ring.clone()).scoped("prop"));
+    }
+    let mut verdicts = Vec::new();
+    let mut events = 0u64;
+    let mut escalations = 0u64;
+    for frame in 0..frames {
+        let values = fill(samples * k, salt.wrapping_add(frame as u64));
+        let x = Tensor::from_vec(&[samples, k], values);
+        let report = sys.classify_batch_detailed(&x);
+        events += report
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultEventKind::Escalated))
+            .count() as u64;
+        escalations += report.escalations.len() as u64;
+        verdicts.push(report.verdicts);
+    }
+    assert_eq!(ring.dropped(), 0, "ring must hold the whole stream");
+    (verdicts, events, escalations, ring.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For any fault plan: (1) recording changes nothing observable —
+    /// verdicts and guard tallies are identical with telemetry on or off;
+    /// (2) the stream's detected-fault inferences and escalation records
+    /// equal the guard's own counts; (3) a replay reproduces the stream
+    /// content exactly.
+    #[test]
+    fn telemetry_is_observe_only_under_random_fault_plans(
+        n in 1usize..4,
+        seed in 0u64..10_000,
+        rate_pct in 0u32..=100,
+        kind_sel in 0u8..6,
+        target in proptest::option::of(0usize..3),
+        frames in 1usize..7,
+        samples in 1usize..3,
+        k in 1usize..5,
+        salt in 0u64..10_000,
+    ) {
+        let plan = RuntimeFaultPlan::new(seed).with_rule(
+            fault_kind(kind_sel),
+            f64::from(rate_pct) / 100.0,
+            target.map(|t| t % n),
+        );
+        let (plain_v, plain_e, plain_esc, plain_stream) =
+            traced_run(n, &plan, frames, samples, k, salt, false);
+        prop_assert!(plain_stream.is_empty(), "disabled recorder must emit nothing");
+        let (traced_v, traced_e, traced_esc, stream) =
+            traced_run(n, &plan, frames, samples, k, salt, true);
+
+        prop_assert_eq!(plain_v, traced_v);
+        prop_assert_eq!(plain_e, traced_e);
+        prop_assert_eq!(plain_esc, traced_esc);
+
+        let detected = stream
+            .iter()
+            .filter(|r| matches!(&r.event,
+                TelemetryEvent::ModuleInference { verdict, .. } if verdict.is_detected_fault()))
+            .count() as u64;
+        let escalation_records = stream
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::WatchdogEscalation { .. }))
+            .count() as u64;
+        prop_assert_eq!(detected, traced_e);
+        prop_assert_eq!(escalation_records, traced_esc);
+        let decisions = stream
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::VoterDecision { .. }))
+            .count();
+        prop_assert_eq!(decisions, frames * samples);
+        prop_assert!(stream.iter().all(|r| r.scope == "prop"));
+
+        let (_, _, _, replay) = traced_run(n, &plan, frames, samples, k, salt, true);
+        prop_assert!(
+            content_streams_eq(&stream, &replay),
+            "replaying the same run must reproduce the stream content"
+        );
+    }
+}

@@ -144,6 +144,34 @@ impl ThreadPool {
         gathered.into_iter().flatten().collect()
     }
 
+    /// [`ThreadPool::map`] with telemetry: emits one
+    /// [`mvml_obs::TelemetryEvent::PoolRun`] per call, timing the whole
+    /// fan-out (queueing/chunking plus execution) as one span. Results are
+    /// identical to `map` — the recorder is observe-only, and with a
+    /// disabled recorder no clock is read and no event is built.
+    pub fn map_recorded<I, T, F>(
+        &self,
+        recorder: &mvml_obs::Recorder,
+        label: &str,
+        items: Vec<I>,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let span = recorder.span();
+        let count = items.len();
+        let out = self.map(items, f);
+        recorder.emit_timed(span.stop(), || mvml_obs::TelemetryEvent::PoolRun {
+            label: label.to_string(),
+            items: count,
+            workers: self.workers,
+        });
+        out
+    }
+
     /// Applies `f` to every element of `items` in place, in parallel across
     /// workers. Each element is touched by exactly one worker.
     pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)

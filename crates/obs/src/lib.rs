@@ -1,0 +1,69 @@
+//! # mvml-obs — structured observability for the resilient-perception stack
+//!
+//! The paper's whole argument rests on *measuring* what the voter, the
+//! watchdog and the rejuvenation machinery actually do over time: the
+//! failure and detection rates that feed the DSPN parameters are empirical
+//! quantities, and re-calibrating them from operation requires a continuous,
+//! structured event stream — not ad-hoc JSON dumps. This crate is that
+//! stream's substrate:
+//!
+//! * [`event`] — the [`TelemetryEvent`] taxonomy (module inference with its
+//!   guard verdict, voter decisions with their R.1–R.3 outcome, watchdog
+//!   escalations, rejuvenation start/complete, DSPN solver stats, thread
+//!   pool fan-outs, per-tick simulation spans) and the [`TelemetryRecord`]
+//!   envelope that carries one event with its sequence number, scope and
+//!   optional wall-clock [`Timing`].
+//! * [`metrics`] — typed [`Counter`]s, [`Gauge`]s and fixed log-bucket
+//!   latency [`Histogram`]s for aggregate views.
+//! * [`recorder`] — the [`Recorder`] handle the rest of the workspace emits
+//!   through, with a recording-disabled fast path (a disabled recorder is a
+//!   `None` check; event construction closures never run).
+//! * [`sink`] — pluggable [`Sink`]s: a bounded in-memory [`RingBufferSink`]
+//!   for tests, a [`JsonlSink`] writing one JSON record per line for
+//!   artifacts, and a [`SummarySink`] aggregating counts and latencies.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry must never perturb what it observes, and re-runs of a seeded
+//! experiment must be comparable record-by-record. Three rules follow:
+//!
+//! 1. **No behavioural coupling.** Recorders are observe-only: classify
+//!    outputs, voter verdicts and solver results are byte-identical with
+//!    recording enabled or disabled (enforced by proptests in `mvml-core`).
+//! 2. **Wall-clock isolation.** Every non-deterministic value (durations
+//!    measured from [`std::time::Instant`]) lives exclusively in the
+//!    record's `timing` field. The event payload itself is a pure function
+//!    of the seeded computation.
+//! 3. **Content equality.** [`TelemetryRecord::content_eq`] (and
+//!    [`content_streams_eq`] over whole streams) compares records with the
+//!    `timing` field masked out; rerun-equality gates use it instead of
+//!    `==`.
+//!
+//! ## Reading a telemetry artifact
+//!
+//! ```no_run
+//! use mvml_obs::{read_jsonl, TelemetryEvent};
+//! let records = read_jsonl(std::fs::File::open("results/TELEMETRY_runtime.jsonl").unwrap())
+//!     .unwrap();
+//! let escalations = records
+//!     .iter()
+//!     .filter(|r| matches!(r.event, TelemetryEvent::WatchdogEscalation { .. }))
+//!     .count();
+//! println!("{escalations} watchdog escalations across {} records", records.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{
+    content_streams_eq, GuardVerdict, TelemetryEvent, TelemetryRecord, Timing, VoterOutcome,
+    VotingRule,
+};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{Recorder, SpanTimer};
+pub use sink::{read_jsonl, JsonlSink, RingBufferSink, Sink, SummarySink, TelemetrySummary};

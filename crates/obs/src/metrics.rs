@@ -1,0 +1,301 @@
+//! Typed aggregate metrics: counters, gauges and fixed log-bucket latency
+//! histograms.
+//!
+//! These are deliberately plain (non-atomic) types: in this workspace every
+//! metric lives either behind a sink's mutex or on a single-threaded
+//! experiment loop, and plain fields keep snapshots trivially serializable.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating: a counter never wraps backwards).
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the current value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Number of buckets in a latency [`Histogram`].
+///
+/// Bucket `i` (for `1 ≤ i < HISTOGRAM_BUCKETS − 1`) covers
+/// `[2^(i−1), 2^i)` nanoseconds; bucket 0 is the underflow bucket
+/// (`< 1 ns`, which also absorbs zero, subnormal, negative and NaN
+/// observations), and the last bucket is the overflow bucket
+/// (`≥ 2^(HISTOGRAM_BUCKETS−2)` ns ≈ 9.2 minutes, which also absorbs
+/// `+∞`). The geometry is fixed so histograms from different runs and
+/// different processes merge bucket-by-bucket.
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// A fixed-geometry base-2 log-bucket histogram for latencies in
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    /// Sum of all *finite, non-negative* observations (ns). Non-finite and
+    /// negative observations are bucketed but excluded from the sum, so
+    /// [`Histogram::mean_ns`] stays finite.
+    sum_ns: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0.0,
+        }
+    }
+
+    /// The bucket an observation of `ns` nanoseconds falls into.
+    ///
+    /// Total over all of `f64`: zero, subnormals, negatives and NaN land in
+    /// the underflow bucket 0; `+∞` and anything above the top boundary
+    /// land in the overflow bucket.
+    pub fn bucket_index(ns: f64) -> usize {
+        if ns.is_nan() || ns < 1.0 {
+            // Catches 0, subnormals, negatives and NaN.
+            return 0;
+        }
+        if ns.is_infinite() {
+            return HISTOGRAM_BUCKETS - 1;
+        }
+        // ns ≥ 1.0 and finite: log2 is ≥ 0 and finite.
+        let exp = ns.log2().floor() as usize;
+        (exp + 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe(&mut self, ns: f64) {
+        self.buckets[Histogram::bucket_index(ns)] += 1;
+        self.count += 1;
+        if ns.is_finite() && ns > 0.0 {
+            self.sum_ns += ns;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite, positive observations (ns).
+    pub fn sum_ns(&self) -> f64 {
+        self.sum_ns
+    }
+
+    /// Mean of finite, positive observations (ns); 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns / self.count as f64
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile
+    /// (`0 ≤ q ≤ 1`), a conservative quantile estimate. Returns 0 for an
+    /// empty histogram and `+∞` when the quantile falls in the overflow
+    /// bucket.
+    pub fn quantile_upper_bound_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Histogram::bucket_upper_bound_ns(i);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Upper boundary (ns) of bucket `i` (exclusive); `+∞` for the overflow
+    /// bucket.
+    pub fn bucket_upper_bound_ns(i: usize) -> f64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            f64::INFINITY
+        } else {
+            (1u64 << i) as f64
+        }
+    }
+
+    /// Per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-by-bucket;
+    /// the fixed geometry makes this exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// A serializable snapshot with trailing empty buckets trimmed.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let last_used = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            buckets: self.buckets[..last_used].to_vec(),
+            count: self.count,
+            sum_ns: self.sum_ns,
+        }
+    }
+}
+
+/// A compact serialized view of a [`Histogram`] (trailing zero buckets
+/// trimmed; geometry implied by [`HISTOGRAM_BUCKETS`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Leading per-bucket counts (up to the last non-empty bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite, positive observations (ns).
+    pub sum_ns: f64,
+}
+
+#[cfg(test)]
+// Exact float assertions are deliberate here: the expected values are
+// produced by the same deterministic arithmetic being tested.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "saturating, never wrapping");
+        let mut g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn bucket_edges_zero_subnormal_infinity() {
+        // The satellite edge cases: 0, subnormal, +Inf.
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::MIN_POSITIVE / 2.0), 0);
+        assert_eq!(
+            Histogram::bucket_index(f64::INFINITY),
+            HISTOGRAM_BUCKETS - 1
+        );
+        // And the pathological companions a total function must absorb.
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(f64::NEG_INFINITY), 0);
+        // Ordinary boundaries: [2^(i-1), 2^i) ↦ bucket i.
+        assert_eq!(Histogram::bucket_index(1.0), 1);
+        assert_eq!(Histogram::bucket_index(1.99), 1);
+        assert_eq!(Histogram::bucket_index(2.0), 2);
+        assert_eq!(Histogram::bucket_index(1024.0), 11);
+        assert_eq!(Histogram::bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_tracks_sum_for_finite_positive_only() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(f64::INFINITY);
+        h.observe(100.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 150.0);
+        assert_eq!(h.mean_ns(), 150.0 / 4.0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_are_conservative() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_upper_bound_ns(0.5), 0.0, "empty histogram");
+        for _ in 0..99 {
+            h.observe(10.0); // bucket 4: [8, 16)
+        }
+        h.observe(f64::INFINITY);
+        assert_eq!(h.quantile_upper_bound_ns(0.5), 16.0);
+        assert_eq!(h.quantile_upper_bound_ns(0.99), 16.0);
+        assert_eq!(h.quantile_upper_bound_ns(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn merge_is_exact_and_snapshot_trims() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe(3.0);
+        b.observe(3.0);
+        b.observe(1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[2], 2);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets.len(), 11, "trimmed after last non-empty");
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3);
+        // Snapshot of an empty histogram is fully trimmed.
+        assert!(Histogram::new().snapshot().buckets.is_empty());
+    }
+}

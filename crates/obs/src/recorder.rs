@@ -1,0 +1,222 @@
+//! The [`Recorder`] handle instrumented code emits through.
+//!
+//! A recorder is cheap to clone (two `Arc`s) and cheap to ignore: the
+//! disabled recorder is an `Option::None` check per emission site, the
+//! event-construction closure never runs, and no [`std::time::Instant`] is
+//! ever read — the recording-disabled fast path costs < 1% on the campaign
+//! smoke (measured in `ci.sh`'s telemetry gate; see DESIGN.md §10).
+
+use crate::event::{TelemetryEvent, TelemetryRecord, Timing};
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared core of one telemetry stream: the sequence counter and the sinks
+/// every scoped handle fans records into.
+struct RecorderCore {
+    seq: AtomicU64,
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+/// A handle for emitting telemetry records into a shared stream.
+///
+/// Clones share the stream (sequence numbers interleave in emission order);
+/// [`Recorder::scoped`] derives a handle that stamps a different scope
+/// path onto its records. The default/[`Recorder::disabled`] recorder drops
+/// everything without constructing events.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    core: Option<Arc<RecorderCore>>,
+    scope: Arc<str>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.core.is_some())
+            .field("scope", &self.scope)
+            .field("sinks", &self.core.as_ref().map_or(0, |c| c.sinks.len()))
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every emission is a branch on `None`.
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder writing to one sink, with the root scope `""`.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Recorder::with_sinks(vec![sink])
+    }
+
+    /// A recorder fanning every record out to several sinks, in order.
+    pub fn with_sinks(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Recorder {
+            core: Some(Arc::new(RecorderCore {
+                seq: AtomicU64::new(0),
+                sinks,
+            })),
+            scope: Arc::from(""),
+        }
+    }
+
+    /// `true` when records actually reach a sink.
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// A handle onto the same stream that stamps `scope` onto its records
+    /// (replacing this handle's scope). Scoping a disabled recorder stays
+    /// free: no allocation happens.
+    pub fn scoped(&self, scope: &str) -> Recorder {
+        if self.core.is_none() {
+            return Recorder::disabled();
+        }
+        Recorder {
+            core: self.core.clone(),
+            scope: Arc::from(scope),
+        }
+    }
+
+    /// The scope this handle stamps onto records.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// A handle one scope segment deeper: `parent/segment` (just `segment`
+    /// at the root). Free on a disabled recorder.
+    pub fn child(&self, segment: &str) -> Recorder {
+        if self.core.is_none() {
+            return Recorder::disabled();
+        }
+        if self.scope.is_empty() {
+            return self.scoped(segment);
+        }
+        self.scoped(&format!("{}/{segment}", self.scope))
+    }
+
+    /// Emits one untimed event. `build` only runs when enabled.
+    pub fn emit(&self, build: impl FnOnce() -> TelemetryEvent) {
+        self.emit_timed(None, build);
+    }
+
+    /// Emits one event with optional wall-clock timing. `build` only runs
+    /// when enabled.
+    pub fn emit_timed(&self, timing: Option<Timing>, build: impl FnOnce() -> TelemetryEvent) {
+        let Some(core) = &self.core else { return };
+        let record = TelemetryRecord {
+            seq: core.seq.fetch_add(1, Ordering::Relaxed),
+            scope: self.scope.to_string(),
+            event: build(),
+            timing,
+        };
+        for sink in &core.sinks {
+            sink.record(&record);
+        }
+    }
+
+    /// Starts a monotonic span. On a disabled recorder no clock is read and
+    /// [`SpanTimer::stop`] returns `None`.
+    pub fn span(&self) -> SpanTimer {
+        SpanTimer {
+            start: self.core.is_some().then(Instant::now),
+        }
+    }
+
+    /// Records emitted on this stream so far (0 for a disabled recorder).
+    pub fn emitted(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.seq.load(Ordering::Relaxed))
+    }
+}
+
+/// A started monotonic measurement (see [`Recorder::span`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// The elapsed wall-clock time as a [`Timing`], or `None` when the span
+    /// was started on a disabled recorder.
+    pub fn stop(&self) -> Option<Timing> {
+        self.start.map(|s| Timing {
+            duration_ns: u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingBufferSink;
+
+    #[test]
+    fn disabled_recorder_never_builds_events() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        rec.emit(|| unreachable!("disabled recorder must not build events"));
+        assert!(rec.span().stop().is_none(), "no clock read when disabled");
+        assert_eq!(rec.emitted(), 0);
+        assert!(!rec.scoped("sub").enabled());
+    }
+
+    #[test]
+    fn scoped_handles_share_one_sequence() {
+        let ring = Arc::new(RingBufferSink::new(16));
+        let root = Recorder::new(ring.clone());
+        let a = root.scoped("a");
+        let b = root.scoped("b");
+        a.emit(|| TelemetryEvent::Tick {
+            stage: "x".into(),
+            frame: 0,
+        });
+        b.emit(|| TelemetryEvent::Tick {
+            stage: "y".into(),
+            frame: 1,
+        });
+        a.emit(|| TelemetryEvent::Tick {
+            stage: "z".into(),
+            frame: 2,
+        });
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "one interleaved sequence across scopes"
+        );
+        assert_eq!(records[0].scope, "a");
+        assert_eq!(records[1].scope, "b");
+        assert_eq!(root.emitted(), 3);
+        assert_eq!(a.scope(), "a");
+    }
+
+    #[test]
+    fn child_scopes_nest_with_slashes() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let root = Recorder::new(ring);
+        assert_eq!(root.child("a").scope(), "a");
+        assert_eq!(root.child("a").child("b").scope(), "a/b");
+        assert_eq!(root.scoped("x/y").child("z").scope(), "x/y/z");
+    }
+
+    #[test]
+    fn span_produces_timing_when_enabled() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let rec = Recorder::new(ring.clone());
+        let span = rec.span();
+        let timing = span.stop();
+        assert!(timing.is_some());
+        rec.emit_timed(timing, || TelemetryEvent::Tick {
+            stage: "timed".into(),
+            frame: 0,
+        });
+        let records = ring.snapshot();
+        assert!(records[0].timing.is_some());
+    }
+}

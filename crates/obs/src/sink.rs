@@ -1,0 +1,367 @@
+//! Pluggable telemetry sinks and the JSONL artifact format.
+//!
+//! Three sinks cover the workspace's needs: [`RingBufferSink`] holds the
+//! most recent records in memory (tests, live debugging), [`JsonlSink`]
+//! streams one JSON object per line to a writer (the
+//! `results/TELEMETRY_*.jsonl` artifacts), and [`SummarySink`] keeps only
+//! aggregates (per-kind counts and a latency histogram). All three are
+//! `Send + Sync` behind internal mutexes, so one recorder can be shared by
+//! the thread-pool fan-outs it observes.
+
+use crate::event::TelemetryRecord;
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for telemetry records.
+///
+/// `record` takes `&self`: sinks are shared across threads, so each
+/// implementation synchronises internally. Implementations must not panic
+/// on any well-formed record — telemetry must never take down the system
+/// it observes.
+pub trait Sink: Send + Sync {
+    /// Accepts one record.
+    fn record(&self, record: &TelemetryRecord);
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A sink mutex is only poisoned if another record() panicked; telemetry
+    // keeps accepting records rather than propagating the poison.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Bounded in-memory sink retaining the most recent records.
+///
+/// When full, the oldest record is overwritten and counted in
+/// [`RingBufferSink::dropped`] — a long campaign can never grow memory
+/// without bound.
+pub struct RingBufferSink {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    records: Vec<TelemetryRecord>,
+    capacity: usize,
+    /// Index the next record lands on once the buffer is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring retaining at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            inner: Mutex::new(Ring {
+                records: Vec::new(),
+                capacity: capacity.max(1),
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryRecord> {
+        let ring = lock(&self.inner);
+        let mut out = Vec::with_capacity(ring.records.len());
+        // Once wrapped, `head` points at the oldest record.
+        out.extend_from_slice(&ring.records[ring.head..]);
+        out.extend_from_slice(&ring.records[..ring.head]);
+        out
+    }
+
+    /// Records overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).records.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record(&self, record: &TelemetryRecord) {
+        let mut ring = lock(&self.inner);
+        if ring.records.len() < ring.capacity {
+            ring.records.push(record.clone());
+        } else {
+            let head = ring.head;
+            ring.records[head] = record.clone();
+            ring.head = (head + 1) % ring.capacity;
+            ring.dropped += 1;
+        }
+    }
+}
+
+/// Streams records as JSON Lines: one `TelemetryRecord` object per line.
+///
+/// Serialization failures increment [`JsonlSink::write_errors`] instead of
+/// panicking (telemetry must never take down the system it observes).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    write_errors: Mutex<u64>,
+}
+
+impl JsonlSink {
+    /// A sink writing to an arbitrary writer (buffer it yourself if the
+    /// writer is unbuffered).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            write_errors: Mutex::new(0),
+        }
+    }
+
+    /// A sink writing to a freshly created (truncated) file, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Records that failed to serialize or write.
+    pub fn write_errors(&self) -> u64 {
+        *lock(&self.write_errors)
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        lock(&self.writer).flush()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &TelemetryRecord) {
+        match serde_json::to_string(record) {
+            Ok(line) => {
+                let mut w = lock(&self.writer);
+                if w.write_all(line.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .is_err()
+                {
+                    *lock(&self.write_errors) += 1;
+                }
+            }
+            Err(_) => *lock(&self.write_errors) += 1,
+        }
+    }
+}
+
+/// Parses a JSONL telemetry stream back into records.
+///
+/// # Errors
+///
+/// Returns a description naming the first malformed line (1-based).
+pub fn read_jsonl(reader: impl Read) -> Result<Vec<TelemetryRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TelemetryRecord = serde_json::from_str(&line)
+            .map_err(|e| format!("line {}: not a telemetry record: {e}", i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Aggregate-only sink: per-kind and per-scope record counts plus one
+/// latency histogram over every timed record.
+#[derive(Default)]
+pub struct SummarySink {
+    inner: Mutex<SummaryState>,
+}
+
+#[derive(Default)]
+struct SummaryState {
+    records: Counter,
+    by_kind: BTreeMap<&'static str, Counter>,
+    by_scope: BTreeMap<String, Counter>,
+    latency: Histogram,
+}
+
+impl SummarySink {
+    /// An empty summary.
+    pub fn new() -> Self {
+        SummarySink::default()
+    }
+
+    /// The current aggregate view.
+    pub fn summary(&self) -> TelemetrySummary {
+        let state = lock(&self.inner);
+        TelemetrySummary {
+            records: state.records.get(),
+            by_kind: state
+                .by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            by_scope: state
+                .by_scope
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            latency: state.latency.snapshot(),
+        }
+    }
+}
+
+impl Sink for SummarySink {
+    fn record(&self, record: &TelemetryRecord) {
+        let mut state = lock(&self.inner);
+        state.records.inc();
+        state.by_kind.entry(record.event.kind()).or_default().inc();
+        state
+            .by_scope
+            .entry(record.scope.clone())
+            .or_default()
+            .inc();
+        if let Some(t) = record.timing {
+            state.latency.observe(t.duration_ns as f64);
+        }
+    }
+}
+
+/// Serializable aggregate of one telemetry stream (deterministic field
+/// order: the maps are sorted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Total records.
+    pub records: u64,
+    /// Records per event kind (sorted by kind label).
+    pub by_kind: BTreeMap<String, u64>,
+    /// Records per scope (sorted by scope path).
+    pub by_scope: BTreeMap<String, u64>,
+    /// Latency histogram over all timed records.
+    pub latency: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TelemetryEvent, Timing};
+
+    fn tick(seq: u64, scope: &str, ns: Option<u64>) -> TelemetryRecord {
+        TelemetryRecord {
+            seq,
+            scope: scope.to_string(),
+            event: TelemetryEvent::Tick {
+                stage: "s".into(),
+                frame: seq,
+            },
+            timing: ns.map(|duration_ns| Timing { duration_ns }),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let ring = RingBufferSink::new(3);
+        assert!(ring.is_empty());
+        for seq in 0..5 {
+            ring.record(&tick(seq, "a", None));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest first, oldest two dropped");
+        // Wrap all the way around again.
+        for seq in 5..9 {
+            ring.record(&tick(seq, "a", None));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8]);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn ring_capacity_zero_is_clamped_to_one() {
+        let ring = RingBufferSink::new(0);
+        ring.record(&tick(0, "a", None));
+        ring.record(&tick(1, "a", None));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].seq, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_a_file() {
+        let path =
+            std::env::temp_dir().join(format!("mvml-obs-roundtrip-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create temp jsonl");
+        let records = vec![
+            tick(0, "grid/nan/hardened", Some(1234)),
+            TelemetryRecord {
+                seq: 1,
+                scope: "solve".into(),
+                event: TelemetryEvent::SolverRun {
+                    model: "mvml-3v-reactive".into(),
+                    backend: "dense".into(),
+                    states: 10,
+                    residual: 3.5e-15,
+                },
+                timing: None,
+            },
+        ];
+        for r in &records {
+            sink.record(r);
+        }
+        sink.flush().expect("flush");
+        assert_eq!(sink.write_errors(), 0);
+        let back = read_jsonl(std::fs::File::open(&path).expect("open")).expect("parse");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, records, "JSONL round-trip is lossless");
+    }
+
+    #[test]
+    fn read_jsonl_reports_malformed_lines() {
+        let good = serde_json::to_string(&tick(0, "a", None)).expect("serialise");
+        let text = format!("{good}\n\nnot json\n");
+        let err = read_jsonl(text.as_bytes()).expect_err("malformed line");
+        assert!(err.starts_with("line 3"), "{err}");
+    }
+
+    #[test]
+    fn summary_aggregates_kinds_scopes_and_latency() {
+        let sink = SummarySink::new();
+        sink.record(&tick(0, "a", Some(100)));
+        sink.record(&tick(1, "a", None));
+        sink.record(&TelemetryRecord {
+            seq: 2,
+            scope: "b".into(),
+            event: TelemetryEvent::WatchdogEscalation {
+                module: 0,
+                frame: 7,
+                faults_in_window: 3,
+            },
+            timing: None,
+        });
+        let summary = sink.summary();
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.by_kind["tick"], 2);
+        assert_eq!(summary.by_kind["watchdog-escalation"], 1);
+        assert_eq!(summary.by_scope["a"], 2);
+        assert_eq!(summary.by_scope["b"], 1);
+        assert_eq!(summary.latency.count, 1);
+        // The summary itself serialises (it is embedded in reports).
+        let json = serde_json::to_string(&summary).expect("serialise");
+        let back: TelemetrySummary = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, summary);
+    }
+}

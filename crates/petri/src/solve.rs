@@ -20,6 +20,7 @@ use crate::reach::{explore, ReachabilityGraph};
 use crate::reward::ExpectedReward;
 use crate::sim::{simulate, SimConfig, SimResult};
 use crate::SolverOptions;
+use mvml_obs::{Recorder, TelemetryEvent};
 
 /// Which steady-state backend to run.
 #[derive(Debug, Clone, Default)]
@@ -162,7 +163,27 @@ pub fn solve_steady(
     method: &SolutionMethod,
     opts: &SolverOptions,
 ) -> Result<Solution, PetriError> {
-    match method {
+    solve_steady_traced(net, method, opts, &Recorder::disabled())
+}
+
+/// [`solve_steady`] with solver telemetry: emits one
+/// [`TelemetryEvent::SolverRun`] per successful solve, carrying the
+/// backend provenance (backend, state count, residual) as deterministic
+/// content and the wall-clock solve time in the record's `timing` field.
+/// With a disabled recorder this is exactly [`solve_steady`].
+///
+/// # Errors
+///
+/// Propagates reachability, solver and simulation errors; see
+/// [`crate::steady_state`] and [`crate::simulate`].
+pub fn solve_steady_traced(
+    net: &Net,
+    method: &SolutionMethod,
+    opts: &SolverOptions,
+    recorder: &Recorder,
+) -> Result<Solution, PetriError> {
+    let span = recorder.span();
+    let solution = match method {
         SolutionMethod::Simulation(cfg) => {
             let sim = simulate(net, cfg)?;
             let info = SolutionInfo {
@@ -170,16 +191,23 @@ pub fn solve_steady(
                 states: sim.distinct_markings(),
                 residual: sim.max_occupancy_half_width(1.96),
             };
-            Ok(Solution {
+            Solution {
                 repr: Repr::Simulated(sim),
                 info,
-            })
+            }
         }
         _ => {
             let graph = explore(net, &opts.reach)?;
-            solve_graph(&graph, method, opts)
+            solve_graph(&graph, method, opts)?
         }
-    }
+    };
+    recorder.emit_timed(span.stop(), || TelemetryEvent::SolverRun {
+        model: net.name().to_string(),
+        backend: solution.info.backend.name().to_string(),
+        states: solution.info.states,
+        residual: solution.info.residual,
+    });
+    Ok(solution)
 }
 
 /// Solves a pre-computed reachability graph with an *analytic* backend.

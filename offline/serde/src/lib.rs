@@ -293,6 +293,33 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| Error::msg(format!("unparseable map key `{k}`")))?;
+                    Ok((key, V::deserialize(val)?))
+                })
+                .collect(),
+            _ => Err(Error::expected("object", "BTreeMap")),
+        }
+    }
+}
+
 impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
