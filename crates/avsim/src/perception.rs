@@ -11,6 +11,7 @@ use mvml_core::{ModuleState, Verdict};
 use mvml_faultinject::{corrupt_in_place, random_weight_inj, RuntimeFault, RuntimeFaultPlan};
 use mvml_nn::layer::Layer;
 use mvml_nn::parallel::ThreadPool;
+use mvml_nn::quant::{quantize_model, QuantError};
 use mvml_nn::{ModelState, Sequential, Tensor};
 use mvml_obs::{GuardVerdict, Recorder, TelemetryEvent, Timing, VoterOutcome, VotingRule};
 use rand::rngs::StdRng;
@@ -179,6 +180,27 @@ impl DetectorBank {
     /// The trained models.
     pub fn models(&self) -> &[Sequential] {
         &self.models
+    }
+
+    /// An int8 copy of the bank: every model post-training-quantized
+    /// ([`mvml_nn::quant::quantize_model`]) and wrapped back into a
+    /// [`Sequential`], so the quantized bank drops into
+    /// [`MultiVersionPerception`] unchanged. Quantized versions expose no
+    /// injectable parameters, so use them with a quiet fault process (as
+    /// the FPS benchmarks do) or mixed with f32 versions that carry the
+    /// injection surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantError`] if any model holds an unquantizable layer
+    /// (never the case for the built-in YOLO-mini conv/relu stacks).
+    pub fn quantized(&self) -> Result<DetectorBank, QuantError> {
+        let models = self
+            .models
+            .iter()
+            .map(|m| Ok(quantize_model(m)?.into_module()))
+            .collect::<Result<Vec<_>, QuantError>>()?;
+        Ok(DetectorBank { models })
     }
 }
 
@@ -618,6 +640,35 @@ mod tests {
             })
             .collect();
         DetectorBank::from_models(models)
+    }
+
+    #[test]
+    fn quantized_bank_runs_the_perception_pipeline() {
+        let bank = DetectorBank::from_models((0..3).map(|i| yolo_mini("tiny", 4, i)).collect());
+        let qbank = bank.quantized().expect("yolo-mini stacks are quantizable");
+        assert_eq!(qbank.len(), bank.len());
+        assert!(qbank.models()[0].model_name().ends_with("-int8"));
+        // The int8 bank drives the full pipeline (quiet fault process:
+        // quantized versions expose no weight-injection surface).
+        let mut p = MultiVersionPerception::new(
+            &qbank,
+            PerceptionConfig::default(),
+            no_fault_process(false),
+            7,
+        );
+        let clean = rasterize(
+            Vec2::new(0.0, 0.0),
+            0.0,
+            &[ObjectTruth {
+                position: Vec2::new(20.0, 0.0),
+                heading: 0.0,
+            }],
+        );
+        let frame = p.perceive(&clean);
+        assert_eq!(p.states(), &[ModuleState::Healthy; 3]);
+        // Untrained weights give arbitrary detections; the contract is that
+        // the pipeline votes without panicking and yields a verdict.
+        let _ = frame.verdict;
     }
 
     fn no_fault_process(proactive: bool) -> ProcessConfig {

@@ -5,11 +5,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mvml_avsim::bev::CELLS;
 use mvml_avsim::detector::{yolo_mini, VARIANTS};
-use mvml_nn::gemm::gemm;
+use mvml_nn::gemm::{gemm, gemm_i8};
 use mvml_nn::layer::Layer;
 use mvml_nn::layers::{Conv2d, KernelPath};
 use mvml_nn::models::three_versions;
 use mvml_nn::parallel::with_thread_count;
+use mvml_nn::quant::quantize_model;
 use mvml_nn::signs::{generate, SignConfig};
 use mvml_nn::Tensor;
 use rand::rngs::StdRng;
@@ -105,12 +106,54 @@ fn bench_gemm_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// The i8×i8→i32 microkernel on the same 256³ shape as the f32 group.
+fn bench_gemm_i8_kernel(c: &mut Criterion) {
+    let (m, k, n) = (256usize, 256, 256);
+    let a: Vec<i8> = (0..m * k)
+        .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
+        .collect();
+    let b: Vec<i8> = (0..k * n)
+        .map(|i| (((i * 17) % 255) as i32 - 127) as i8)
+        .collect();
+    let mut out = vec![0i32; m * n];
+    c.bench_function("gemm_i8_256x256x256", |bench| {
+        bench.iter(|| gemm_i8(m, k, n, black_box(&a), black_box(&b), &mut out));
+    });
+}
+
+/// F32 vs int8 inference on the same models: the three sign classifiers
+/// (quantized where supported) and the detector variants.
+fn bench_quantized_inference(c: &mut Criterion) {
+    let cfg = SignConfig::default();
+    let data = generate(&cfg, 32, 0);
+    let (batch, _) = data.batch(&(0..32).collect::<Vec<_>>());
+    for model in three_versions(cfg.image_size, cfg.classes, 38) {
+        let Ok(mut quantized) = quantize_model(&model) else {
+            continue; // resmlp's residual blocks stay f32
+        };
+        let name = format!("infer_batch32_{}_int8", model.model_name());
+        c.bench_function(&name, |b| {
+            b.iter(|| quantized.forward(black_box(&batch), false));
+        });
+    }
+    let grid = Tensor::zeros(&[1, 1, CELLS, CELLS]);
+    for (i, (name, channels)) in VARIANTS.iter().enumerate() {
+        let model = yolo_mini(name, *channels, i as u64);
+        let mut quantized = quantize_model(&model).expect("yolo_mini is quantizable");
+        c.bench_function(&format!("detector_forward_{name}_int8"), |b| {
+            b.iter(|| quantized.forward(black_box(&grid), false));
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_classifier_inference,
     bench_detector_inference,
     bench_training_step,
     bench_conv_paths,
-    bench_gemm_threads
+    bench_gemm_threads,
+    bench_gemm_i8_kernel,
+    bench_quantized_inference
 );
 criterion_main!(benches);

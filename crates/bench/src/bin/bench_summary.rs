@@ -1,6 +1,11 @@
-//! Emits `results/BENCH_petri.json` and `results/BENCH_nn.json` (or the
-//! same files under `--out-dir <dir>` — the perf gate measures into a
-//! scratch directory and compares against the committed baselines).
+//! Emits `results/BENCH_petri.json`, `results/TUNE_nn.json` and
+//! `results/BENCH_nn.json` (or the same files under `--out-dir <dir>` — the
+//! perf gate measures into a scratch directory and compares against the
+//! committed baselines). The GEMM autotuner runs first and its parameters
+//! are installed for the NN measurements, so the recorded numbers reflect
+//! the dispatch a tuned deployment would use; the run fails if `Auto`
+//! routes any measured conv shape to a slower path than the direct
+//! reference.
 //!
 //! The petri summary times the steady-state backends (dense elimination vs
 //! Gauss–Seidel) on the same pre-explored chain — the six-version proactive
@@ -17,6 +22,7 @@
 //! worker threads cannot help wall-clock) read honestly.
 
 use mvml_bench::summary::{nn_summary, petri_summary};
+use mvml_nn::gemm::tune;
 
 fn main() {
     let mut out_dir = String::from("results");
@@ -49,13 +55,31 @@ fn main() {
     std::fs::write(&petri_path, json).expect("write BENCH_petri.json");
     println!("wrote {petri_path}");
 
+    println!("autotuning gemm dispatch (conv crossover + cache blocks)...");
+    let report = tune::autotune();
+    println!(
+        "tuned on {} ({} cores): mc={} kc={} nc={}, gemm thresholds oc>={} ckk>={} macs>={}",
+        report.kernel,
+        report.host_cores,
+        report.params.mc,
+        report.params.kc,
+        report.params.nc,
+        report.params.gemm_min_out_channels,
+        report.params.gemm_min_ckk,
+        report.params.gemm_min_macs,
+    );
+    tune::install(report.params);
+    let tune_path = format!("{out_dir}/TUNE_nn.json");
+    tune::save_report(&report, &tune_path).expect("write TUNE_nn.json");
+    println!("wrote {tune_path}");
+
     println!("training detector bank (reduced schedule)...");
     let summary = nn_summary();
 
     for row in &summary.conv_forward_batch32 {
         println!(
-            "{}: direct {:.0} ns, gemm {:.0} ns, speedup {:.2}x",
-            row.shape, row.direct_ns, row.gemm_ns, row.speedup
+            "{}: direct {:.0} ns, gemm {:.0} ns, speedup {:.2}x, auto={} ({:.2}x)",
+            row.shape, row.direct_ns, row.gemm_ns, row.speedup, row.auto_path, row.auto_speedup
         );
     }
     for row in &summary.gemm_256x256x256 {
@@ -64,15 +88,39 @@ fn main() {
             row.threads, row.ns_per_iter
         );
     }
+    println!("gemm i8 256^3: {:.0} ns/iter", summary.gemm_i8_256_ns);
     for row in &summary.perception_fps {
         println!(
             "perception @ {} threads: 1v {:.1} fps, 3v {:.1} fps, cost factor {:.2}",
             row.threads, row.single_v_fps, row.three_v_fps, row.three_v_cost_factor
         );
     }
+    let q = &summary.quantized;
+    println!(
+        "quantized perception: {:.1} fps ({:.2}x f32); sign accuracy f32 {:.3} vs int8 {:.3} \
+         (drop {:+.4})",
+        q.single_v_fps, q.fps_vs_f32, q.accuracy_f32, q.accuracy_int8, q.accuracy_drop
+    );
+
+    // The dispatcher contract: a shape `Auto` routes must never lose to the
+    // direct reference (that was the conv1 mis-route this tuner replaces).
+    // The same 5% margin the tuner's `gemm_wins` uses absorbs run-to-run
+    // timing noise on shared hosts while still catching the historical
+    // mis-route (conv1 at 0.93x).
+    let misrouted: Vec<&str> = summary
+        .conv_forward_batch32
+        .iter()
+        .filter(|r| r.auto_speedup < 0.95)
+        .map(|r| r.shape.as_str())
+        .collect();
 
     let json = serde_json::to_string(&summary).expect("serialise summary");
     let nn_path = format!("{out_dir}/BENCH_nn.json");
     std::fs::write(&nn_path, json).expect("write BENCH_nn.json");
     println!("wrote {nn_path}");
+
+    if !misrouted.is_empty() {
+        eprintln!("Auto routed these shapes to a slower path than direct: {misrouted:?}");
+        std::process::exit(1);
+    }
 }

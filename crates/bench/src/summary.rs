@@ -22,10 +22,15 @@ use mvml_avsim::world::ObjectTruth;
 use mvml_core::dspn::with_proactive;
 use mvml_core::rejuvenation::ProcessConfig;
 use mvml_core::SystemParams;
-use mvml_nn::gemm::gemm;
+use mvml_nn::gemm::{gemm, gemm_i8, kernels};
 use mvml_nn::layer::Layer;
 use mvml_nn::layers::{Conv2d, KernelPath};
+use mvml_nn::metrics::evaluate_accuracy;
+use mvml_nn::models::lenet_mini;
 use mvml_nn::parallel::{thread_count, with_thread_count};
+use mvml_nn::quant::quantize_model;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::train::{train_classifier, TrainConfig};
 use mvml_nn::Tensor;
 use mvml_petri::reach::explore;
 use mvml_petri::{
@@ -47,6 +52,16 @@ pub struct ConvRow {
     pub gemm_ns: f64,
     /// `direct_ns / gemm_ns`.
     pub speedup: f64,
+    /// Which path `KernelPath::Auto` routes this shape to under the
+    /// installed tune parameters (`"gemm"` or `"direct"`).
+    pub auto_path: String,
+    /// Median forward time of the Auto-routed path, ns. Auto adds no third
+    /// code path, so this reuses the matching measurement above instead of
+    /// re-timing the same kernel through a different enum variant.
+    pub auto_ns: f64,
+    /// `direct_ns / auto_ns`: ≥ 1.0 means Auto never loses to the direct
+    /// reference on this shape (the conv1 mis-route regression test).
+    pub auto_speedup: f64,
 }
 
 /// Blocked-GEMM timing at one worker count.
@@ -73,6 +88,22 @@ pub struct PerceptionRow {
     pub three_v_cost_factor: f64,
 }
 
+/// Int8 post-training-quantization measurements: quantized perception
+/// throughput plus the top-1 accuracy cost on the traffic-sign benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantSummary {
+    /// Quantized single-version perception FPS at one worker thread.
+    pub single_v_fps: f64,
+    /// `single_v_fps` over the f32 single-version FPS at one thread.
+    pub fps_vs_f32: f64,
+    /// f32 top-1 accuracy on the held-out traffic-sign split.
+    pub accuracy_f32: f64,
+    /// Int8 top-1 accuracy of the quantized model on the same split.
+    pub accuracy_int8: f64,
+    /// `accuracy_f32 − accuracy_int8` (the acceptance bound is ≤ 0.01).
+    pub accuracy_drop: f64,
+}
+
 /// The NN-side benchmark summary (`results/BENCH_nn.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NnSummary {
@@ -80,12 +111,19 @@ pub struct NnSummary {
     pub host_cores: usize,
     /// Default worker-thread count on the measuring host.
     pub default_threads: usize,
+    /// Active f32 and i8 microkernels (runtime feature detection), e.g.
+    /// `"avx2-fma-6x16 + avx2-i8-4x16"`.
+    pub kernel: String,
     /// Direct-vs-GEMM convolution timings.
     pub conv_forward_batch32: Vec<ConvRow>,
     /// Blocked GEMM at several worker counts.
     pub gemm_256x256x256: Vec<GemmRow>,
+    /// Median 256³ i8×i8→i32 GEMM time, ns (single worker by design).
+    pub gemm_i8_256_ns: f64,
     /// Single- vs three-version perception FPS at several worker counts.
     pub perception_fps: Vec<PerceptionRow>,
+    /// Quantized-path throughput and accuracy cost.
+    pub quantized: QuantSummary,
 }
 
 /// One steady-state backend timing.
@@ -152,14 +190,43 @@ fn conv_rows() -> Vec<ConvRow> {
             };
             let direct_ns = time_path(KernelPath::Direct);
             let gemm_ns = time_path(KernelPath::Gemm);
+            let mut rng = StdRng::seed_from_u64(38);
+            let conv = Conv2d::new(ic, oc, k, pad, &mut rng);
+            let auto_gemm = conv.auto_picks_gemm(&[32, ic, hw, hw]);
+            let auto_ns = if auto_gemm { gemm_ns } else { direct_ns };
             ConvRow {
                 shape: label.to_string(),
                 direct_ns,
                 gemm_ns,
                 speedup: direct_ns / gemm_ns,
+                auto_path: if auto_gemm { "gemm" } else { "direct" }.to_string(),
+                auto_ns,
+                auto_speedup: direct_ns / auto_ns,
             }
         })
         .collect()
+}
+
+fn gemm_i8_ns() -> f64 {
+    let (m, k, n) = (256usize, 256, 256);
+    // Deterministic i8 values over the full [-127, 127] kernel domain.
+    let a: Vec<i8> = (0..m * k)
+        .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
+        .collect();
+    let b: Vec<i8> = (0..k * n)
+        .map(|i| (((i * 17) % 255) as i32 - 127) as i8)
+        .collect();
+    let mut out = vec![0i32; m * n];
+    median_ns(7, 5, || {
+        gemm_i8(
+            m,
+            k,
+            n,
+            std::hint::black_box(&a),
+            std::hint::black_box(&b),
+            &mut out,
+        );
+    })
 }
 
 fn gemm_rows() -> Vec<GemmRow> {
@@ -251,6 +318,77 @@ fn perception_rows(bank: &DetectorBank) -> Vec<PerceptionRow> {
         .collect()
 }
 
+/// Measures the quantized side: int8 single-version perception FPS (one
+/// worker thread — the int8 GEMM is serial by design) and the top-1
+/// accuracy cost of post-training quantization on the traffic-sign
+/// benchmark (train a LeNet-mini, quantize it, evaluate both on the same
+/// held-out split).
+fn quant_summary(bank: &DetectorBank, f32_single_fps_1t: f64) -> QuantSummary {
+    let qbank = bank
+        .quantized()
+        .expect("detector bank uses only quantizable layers");
+    let clean = rasterize(
+        Vec2::new(0.0, 0.0),
+        0.0,
+        &[ObjectTruth {
+            position: Vec2::new(20.0, 0.0),
+            heading: 0.0,
+        }],
+    );
+    let mut p = MultiVersionPerception::new(
+        &qbank,
+        PerceptionConfig {
+            versions: 1,
+            ..PerceptionConfig::default()
+        },
+        quiet_process(),
+        7,
+    );
+    let frames = 60;
+    let single_v_fps = with_thread_count(1, || {
+        let t = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(p.perceive(&clean));
+        }
+        frames as f64 / t.elapsed().as_secs_f64()
+    });
+
+    // The reduced sign problem the examples use: small enough to train to
+    // useful accuracy inside the benchmark run, so the f32-vs-int8 delta is
+    // measured on a model that actually classifies (a random-weight model
+    // would report a meaningless 0.0 drop).
+    let cfg = SignConfig {
+        classes: 8,
+        noise_std: 0.08,
+        ..SignConfig::default()
+    };
+    let train = generate(&cfg, 800, 0);
+    let test = generate(&cfg, 240, 1);
+    let mut model = lenet_mini(cfg.image_size, cfg.classes, 38);
+    train_classifier(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 64,
+            lr: 0.08,
+            ..TrainConfig::default()
+        },
+    );
+    let accuracy_f32 = evaluate_accuracy(&mut model, &test, 32);
+    let mut quantized = quantize_model(&model)
+        .expect("lenet_mini is quantizable")
+        .into_module();
+    let accuracy_int8 = evaluate_accuracy(&mut quantized, &test, 32);
+    QuantSummary {
+        single_v_fps,
+        fps_vs_f32: single_v_fps / f32_single_fps_1t,
+        accuracy_f32,
+        accuracy_int8,
+        accuracy_drop: accuracy_f32 - accuracy_int8,
+    }
+}
+
 /// Measures the DSPN steady-state backends (dense elimination vs
 /// Gauss–Seidel) on the same pre-explored chain — the six-version proactive
 /// net at Erlang-8 — plus DES throughput on the unexpanded net.
@@ -312,12 +450,20 @@ pub fn nn_summary() -> NnSummary {
         epochs: 2,
         ..DetectorTrainConfig::default()
     });
+    let perception_fps = perception_rows(&bank);
+    let f32_single_fps_1t = perception_fps
+        .iter()
+        .find(|r| r.threads == 1)
+        .map_or(f64::NAN, |r| r.single_v_fps);
     NnSummary {
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         default_threads: thread_count(),
+        kernel: format!("{} + {}", kernels::active().name, kernels::i8_kernel_name()),
         conv_forward_batch32: conv_rows(),
         gemm_256x256x256: gemm_rows(),
-        perception_fps: perception_rows(&bank),
+        gemm_i8_256_ns: gemm_i8_ns(),
+        quantized: quant_summary(&bank, f32_single_fps_1t),
+        perception_fps,
     }
 }
 
@@ -390,8 +536,8 @@ pub fn compare_petri(base: &PetriSummary, fresh: &PetriSummary, tol: f64) -> Vec
 /// Compares a fresh [`NnSummary`] against a committed baseline. Conv rows
 /// join on shape label, GEMM and perception rows on thread count; the
 /// tracked metrics are the *optimised* paths (GEMM convolution, blocked
-/// GEMM, three-version FPS) — the direct kernel is a reference, not a
-/// product path.
+/// GEMM, the i8 GEMM, three-version FPS, quantized single-version FPS) —
+/// the direct kernel is a reference, not a product path.
 pub fn compare_nn(base: &NnSummary, fresh: &NnSummary, tol: f64) -> Vec<PerfDelta> {
     let mut out = Vec::new();
     for b in &base.conv_forward_batch32 {
@@ -424,6 +570,13 @@ pub fn compare_nn(base: &NnSummary, fresh: &NnSummary, tol: f64) -> Vec<PerfDelt
             ));
         }
     }
+    out.push(delta(
+        "nn/gemm-i8-256".to_string(),
+        base.gemm_i8_256_ns,
+        fresh.gemm_i8_256_ns,
+        true,
+        tol,
+    ));
     for b in &base.perception_fps {
         if let Some(f) = fresh.perception_fps.iter().find(|f| f.threads == b.threads) {
             out.push(delta(
@@ -435,6 +588,13 @@ pub fn compare_nn(base: &NnSummary, fresh: &NnSummary, tol: f64) -> Vec<PerfDelt
             ));
         }
     }
+    out.push(delta(
+        "nn/perception-quantized-fps".to_string(),
+        base.quantized.single_v_fps,
+        fresh.quantized.single_v_fps,
+        false,
+        tol,
+    ));
     out
 }
 
@@ -468,26 +628,62 @@ mod tests {
         assert!(bad[0].throughput_ratio < 0.75);
     }
 
-    #[test]
-    fn fps_regression_uses_rate_direction() {
-        let row = |fps: f64| NnSummary {
+    fn nn(three_v_fps: f64, quant_fps: f64) -> NnSummary {
+        NnSummary {
             host_cores: 4,
             default_threads: 4,
+            kernel: "scalar-4x8 + scalar-i8-4x16".into(),
             conv_forward_batch32: vec![],
             gemm_256x256x256: vec![],
+            gemm_i8_256_ns: 1000.0,
             perception_fps: vec![PerceptionRow {
                 threads: 2,
                 single_v_fps: 100.0,
-                three_v_fps: fps,
-                three_v_cost_factor: 100.0 / fps,
+                three_v_fps,
+                three_v_cost_factor: 100.0 / three_v_fps,
             }],
-        };
-        let base = row(60.0);
-        assert!(!compare_nn(&base, &row(46.0), 0.25)[0].regressed);
-        assert!(compare_nn(&base, &row(44.0), 0.25)[0].regressed);
+            quantized: QuantSummary {
+                single_v_fps: quant_fps,
+                fps_vs_f32: quant_fps / 100.0,
+                accuracy_f32: 0.9,
+                accuracy_int8: 0.9,
+                accuracy_drop: 0.0,
+            },
+        }
+    }
+
+    fn metric<'a>(deltas: &'a [PerfDelta], name: &str) -> &'a PerfDelta {
+        deltas
+            .iter()
+            .find(|d| d.metric == name)
+            .unwrap_or_else(|| panic!("missing metric {name}: {deltas:?}"))
+    }
+
+    #[test]
+    fn fps_regression_uses_rate_direction() {
+        let base = nn(60.0, 200.0);
+        let m = "nn/perception-3v-fps/2t";
+        assert!(!metric(&compare_nn(&base, &nn(46.0, 200.0), 0.25), m).regressed);
+        assert!(metric(&compare_nn(&base, &nn(44.0, 200.0), 0.25), m).regressed);
         // Faster than baseline reads as > 1.0 throughput, never regressed.
-        let faster = compare_nn(&base, &row(90.0), 0.25);
-        assert!(faster[0].throughput_ratio > 1.0 && !faster[0].regressed);
+        let faster = compare_nn(&base, &nn(90.0, 200.0), 0.25);
+        let d = metric(&faster, m);
+        assert!(d.throughput_ratio > 1.0 && !d.regressed);
+    }
+
+    #[test]
+    fn quantized_fps_and_i8_gemm_are_gated() {
+        let base = nn(60.0, 200.0);
+        let q = "nn/perception-quantized-fps";
+        // Quantized FPS is a rate metric: losing >25% regresses.
+        assert!(!metric(&compare_nn(&base, &nn(60.0, 151.0), 0.25), q).regressed);
+        assert!(metric(&compare_nn(&base, &nn(60.0, 149.0), 0.25), q).regressed);
+        // The i8 GEMM is a time metric: slower-by->33% regresses.
+        let mut slow = nn(60.0, 200.0);
+        slow.gemm_i8_256_ns = 1400.0;
+        assert!(metric(&compare_nn(&base, &slow, 0.25), "nn/gemm-i8-256").regressed);
+        slow.gemm_i8_256_ns = 1300.0;
+        assert!(!metric(&compare_nn(&base, &slow, 0.25), "nn/gemm-i8-256").regressed);
     }
 
     #[test]

@@ -69,6 +69,17 @@ impl VersionedModule {
         }
     }
 
+    /// Wraps an inference-only int8 model ([`mvml_nn::quant::QuantizedModel`])
+    /// as a version. The quantized module exposes no injectable parameters
+    /// ([`VersionedModule::compromise`] targets parametric layers, of which
+    /// it has none), so its fault model is runtime faults plus wholesale
+    /// rejuvenation — reloading int8 weights from the safe memory location
+    /// (`mvml_nn::persist::load_quantized`) rather than re-restoring f32
+    /// parameters.
+    pub fn from_quantized(model: mvml_nn::quant::QuantizedModel) -> Self {
+        VersionedModule::new(model.into_module())
+    }
+
     /// Wraps a model together with alternative trained variants that
     /// diversified rejuvenation rotates through. The pool holds the
     /// original as variant 0 followed by the alternates, each with its own

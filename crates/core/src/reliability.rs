@@ -169,6 +169,25 @@ impl StateReliability {
         StateReliability { p, p_prime, alpha }
     }
 
+    /// Builds the model from a *measured* degradation delta: modules at the
+    /// baseline keep failure probability `p`, while a degraded module (e.g.
+    /// an int8-quantized version whose benchmarked top-1 accuracy dropped by
+    /// `accuracy_drop`) fails with probability `p + accuracy_drop` — a drop
+    /// in accuracy is exactly an increase in output error probability. This
+    /// is how the quantization benchmark's measured accuracy delta feeds the
+    /// analytic reliability model (alongside the empirical route through
+    /// `NVersionSystem::evaluate`). Negative deltas (the int8 version
+    /// happening to score higher on the test set) are clamped to zero
+    /// rather than credited.
+    pub fn from_measured_accuracy(p: f64, accuracy_drop: f64, alpha: f64) -> Self {
+        let degraded = (p + accuracy_drop.max(0.0)).clamp(0.0, 1.0);
+        StateReliability {
+            p,
+            p_prime: degraded,
+            alpha,
+        }
+    }
+
     /// Probability that the voted output is wrong in a state with the given
     /// functional-module counts. With no functional module the voter emits
     /// nothing, counted as failure probability 1 (so that

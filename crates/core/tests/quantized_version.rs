@@ -1,0 +1,117 @@
+//! Int8 quantized models as N-version members.
+//!
+//! The quantization tentpole's acceptance story end to end: train f32
+//! versions on synthetic traffic signs, post-training-quantize one of them,
+//! and verify that the int8 model (a) serves as a version inside the
+//! hardened N-version pipeline, (b) tracks its f32 parent's accuracy
+//! closely, and (c) feeds the analytic reliability model through the
+//! measured accuracy delta.
+
+use mvml_core::{NVersionSystem, StateReliability, VersionedModule};
+use mvml_nn::metrics::evaluate_accuracy;
+use mvml_nn::models::{alexnet_mini, lenet_mini};
+use mvml_nn::quant::quantize_model;
+use mvml_nn::signs::{generate, SignConfig};
+use mvml_nn::train::{train_classifier, TrainConfig};
+use mvml_nn::Tensor;
+
+fn sign_cfg() -> SignConfig {
+    SignConfig {
+        classes: 5,
+        noise_std: 0.05,
+        ..SignConfig::default()
+    }
+}
+
+struct Trained {
+    lenet: mvml_nn::Sequential,
+    alex: mvml_nn::Sequential,
+    test: mvml_nn::Dataset,
+}
+
+fn train_pair() -> Trained {
+    let cfg = sign_cfg();
+    let train = generate(&cfg, 240, 0);
+    let test = generate(&cfg, 80, 1);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let mut lenet = lenet_mini(cfg.image_size, cfg.classes, 38);
+    let mut alex = alexnet_mini(cfg.image_size, cfg.classes, 39);
+    train_classifier(&mut lenet, &train, &tc);
+    train_classifier(&mut alex, &train, &tc);
+    Trained { lenet, alex, test }
+}
+
+#[test]
+fn quantized_version_serves_in_the_n_version_pipeline() {
+    let Trained {
+        mut lenet,
+        alex,
+        test,
+    } = train_pair();
+
+    let f32_accuracy = evaluate_accuracy(&mut lenet, &test, 32);
+    let quantized = quantize_model(&lenet).expect("lenet_mini is quantizable");
+    let mut q_module = quantized.clone().into_module();
+    let int8_accuracy = evaluate_accuracy(&mut q_module, &test, 32);
+    let drop = f32_accuracy - int8_accuracy;
+    assert!(
+        drop.abs() <= 0.05,
+        "int8 top-1 should track f32: f32 {f32_accuracy} vs int8 {int8_accuracy}"
+    );
+
+    // A mixed f32/int8 3-version system: the quantized model is one of the
+    // diverse versions, not a replacement.
+    let mut system = NVersionSystem::new(vec![alex, lenet, quantized.into_module()]);
+    let report = system.evaluate(&test, 32);
+    assert_eq!(report.total(), test.len());
+    assert!(
+        report.reliability() >= int8_accuracy - 0.10,
+        "mixed-version reliability {} should not trail the weakest member far",
+        report.reliability()
+    );
+
+    // The measured delta feeds the analytic model: the int8 version plays
+    // the degraded role, so reliability can only go down relative to an
+    // all-baseline system, and never below the fully-degraded one.
+    let drop64 = drop.max(0.0);
+    let mixed = StateReliability::from_measured_accuracy(0.05, drop64, 0.53);
+    let baseline = StateReliability::from_probabilities(0.05, 0.05, 0.53);
+    // 2 healthy f32 + 1 quantized ("compromised-role") modules vs 3 healthy.
+    assert!(mixed.reliability(2, 1) <= baseline.reliability(3, 0) + 1e-12);
+    // A larger measured drop can only degrade the same mixed state further.
+    let worse = StateReliability::from_measured_accuracy(0.05, drop64 + 0.2, 0.53);
+    assert!(worse.reliability(2, 1) <= mixed.reliability(2, 1) + 1e-12);
+}
+
+#[test]
+fn quantized_module_wraps_without_parameters() {
+    let cfg = sign_cfg();
+    let lenet = lenet_mini(cfg.image_size, cfg.classes, 40);
+    let quantized = quantize_model(&lenet).expect("quantizable");
+    let name = quantized.model_name().to_string();
+    let mut module = VersionedModule::from_quantized(quantized);
+    assert_eq!(module.name(), name);
+    assert!(module.name().ends_with("-int8"));
+    // No injectable parameters: the weight-fault surface is empty.
+    assert!(module.model_mut().parametric_layers().is_empty());
+    // Inference still flows through the module wrapper.
+    let x = Tensor::zeros(&[2, 1, cfg.image_size, cfg.image_size]);
+    let classes = module.infer(&x).expect("healthy module emits output");
+    assert_eq!(classes.len(), 2);
+}
+
+#[test]
+fn measured_accuracy_deltas_clamp_sanely() {
+    // Negative deltas (int8 luckily scoring higher) are not credited.
+    let lucky = StateReliability::from_measured_accuracy(0.05, -0.10, 0.53);
+    let flat = StateReliability::from_probabilities(0.05, 0.05, 0.53);
+    assert!((lucky.reliability(2, 1) - flat.reliability(2, 1)).abs() < 1e-12);
+    // Huge deltas saturate at probability 1 instead of leaving [0, 1].
+    let broken = StateReliability::from_measured_accuracy(0.9, 5.0, 0.53);
+    let r = broken.reliability(0, 3);
+    assert!((0.0..=1.0).contains(&r));
+}

@@ -1,12 +1,14 @@
-//! Cache-blocked, register-tiled f32 matrix multiplication.
+//! Cache-blocked, register-tiled matrix multiplication with runtime kernel
+//! dispatch.
 //!
-//! The kernel follows the classic BLIS decomposition: the operands are cut
-//! into `MC`×`KC` / `KC`×`NC` cache blocks, each block is repacked into
-//! contiguous `MR`-row / `NR`-column panels, and an `MR`×`NR` register-tile
-//! microkernel accumulates into a fixed-size array the compiler keeps in
-//! vector registers. Everything is safe Rust (`chunks_exact` + arrays), so
-//! the crate's `#![forbid(unsafe_code)]` holds; autovectorization does the
-//! rest.
+//! The driver follows the classic BLIS decomposition: operands are cut into
+//! `MC`×`KC` / `KC`×`NC` cache blocks ([`tune::TuneParams`]), each block is
+//! repacked into `MR`-row / `NR`-column k-major panels, and a register-tile
+//! microkernel accumulates each `MR`×`NR` tile. The microkernel is selected
+//! once per call from [`kernels`]: an AVX2+FMA 6×16 kernel when the `simd`
+//! feature is compiled in **and** runtime detection confirms the host
+//! supports it, a portable scalar-unrolled 4×8 kernel otherwise (or when
+//! pinned via [`kernels::with_scalar_kernel`] / `MVML_FORCE_SCALAR`).
 //!
 //! Three orientations cover every product the layers need without ever
 //! materializing a transpose:
@@ -16,31 +18,43 @@
 //! - [`gemm_nt`] / [`gemm_nt_acc`]: `C (+)= A·Bᵀ` (input-space gradients,
 //!   `dY·colᵀ` accumulation)
 //!
+//! Quantized inference uses the exact [`int8::gemm_i8`] product, and
+//! [`tune`] derives the cache-block sizes and `Auto`-path thresholds from
+//! measurement instead of guesses.
+//!
+//! ## Parallelism
+//!
+//! Products above [`tune::TuneParams::parallel_min_flops`] fan out across
+//! [`parallel::worker_count`] workers (clamped to physical cores — spawning
+//! more only adds overhead). **B is packed exactly once**, serially, into a
+//! shared read-only block-major buffer; each worker then owns a disjoint
+//! row range of `C` and a private A-panel scratch, so there is no shared
+//! mutable packing buffer to contend on and no redundant per-worker B
+//! packing (the cause of the old flat/negative thread scaling).
+//!
 //! ## Determinism
 //!
 //! Every output element is accumulated in exactly the same order — `k`
-//! ascending, `KC` blocks ascending — no matter how many threads run the
-//! kernel: the parallel driver partitions the **rows of C** into disjoint
-//! ranges, so threading changes which worker computes an element, never the
-//! floating-point order within it. `MVML_THREADS=1` and `MVML_THREADS=64`
-//! produce bitwise-identical results (asserted in this module's tests).
+//! ascending within each `KC` block, blocks ascending — no matter how many
+//! threads run the kernel: workers partition the **rows of C** into
+//! disjoint ranges, so threading changes which worker computes an element,
+//! never the floating-point order within it. `MVML_THREADS=1` and
+//! `MVML_THREADS=64` produce bitwise-identical results (asserted in this
+//! module's tests). Results *do* depend on which microkernel is selected
+//! (FMA fuses each multiply-add) and on the installed `KC` — both fixed per
+//! process, so any single host+build+environment is bitwise reproducible.
 
 use crate::parallel;
 
-/// Rows per register tile.
-const MR: usize = 4;
-/// Columns per register tile (two 4-lane SSE / one 8-lane AVX vector).
-const NR: usize = 8;
-/// Rows of A packed per cache block (fits L1/L2 alongside the B panel).
-const MC: usize = 64;
-/// Shared dimension per cache block.
-const KC: usize = 256;
-/// Columns of B packed per cache block.
-const NC: usize = 256;
+pub mod int8;
+pub mod kernels;
+pub mod tune;
 
-/// Minimum number of multiply-adds before the parallel driver engages;
-/// below this, thread-spawn latency dominates any speedup.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 17;
+pub use int8::gemm_i8;
+pub use kernels::with_scalar_kernel;
+
+use kernels::{KernelInfo, MAX_TILE};
+use tune::TuneParams;
 
 /// A borrowed row-major matrix, optionally accessed transposed.
 ///
@@ -92,6 +106,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "A must be {m}x{k}");
     assert_eq!(b.len(), k * n, "B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    let tp = tune::params();
     driver(
         m,
         k,
@@ -100,6 +115,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         Mat::normal(b, k, n),
         c,
         false,
+        &tp,
     );
 }
 
@@ -115,6 +131,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), k * m, "A must be stored {k}x{m}");
     assert_eq!(b.len(), k * n, "B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    let tp = tune::params();
     driver(
         m,
         k,
@@ -123,6 +140,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
         Mat::normal(b, k, n),
         c,
         false,
+        &tp,
     );
 }
 
@@ -136,6 +154,7 @@ pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     assert_eq!(a.len(), k * m, "A must be stored {k}x{m}");
     assert_eq!(b.len(), k * n, "B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    let tp = tune::params();
     driver(
         m,
         k,
@@ -144,6 +163,7 @@ pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         Mat::normal(b, k, n),
         c,
         true,
+        &tp,
     );
 }
 
@@ -156,6 +176,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "A must be {m}x{k}");
     assert_eq!(b.len(), n * k, "B must be stored {n}x{k}");
     assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    let tp = tune::params();
     driver(
         m,
         k,
@@ -164,6 +185,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
         Mat::transposed(b, n, k),
         c,
         false,
+        &tp,
     );
 }
 
@@ -177,6 +199,7 @@ pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     assert_eq!(a.len(), m * k, "A must be {m}x{k}");
     assert_eq!(b.len(), n * k, "B must be stored {n}x{k}");
     assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    let tp = tune::params();
     driver(
         m,
         k,
@@ -185,13 +208,51 @@ pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         Mat::transposed(b, n, k),
         c,
         true,
+        &tp,
     );
 }
 
-/// Row-partitioned parallel driver: splits `C`'s rows across
-/// [`parallel::thread_count`] workers and runs the blocked kernel on each
-/// disjoint range. Small products stay serial.
-fn driver(m: usize, k: usize, n: usize, a: Mat<'_>, b: Mat<'_>, c: &mut [f32], accumulate: bool) {
+/// [`gemm`] with explicit [`TuneParams`] — the autotuner's measurement
+/// entry point (candidate block sizes must not require installing anything
+/// process-wide).
+pub(crate) fn gemm_with_params(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    tp: &TuneParams,
+) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k}");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    driver(
+        m,
+        k,
+        n,
+        Mat::normal(a, m, k),
+        Mat::normal(b, k, n),
+        c,
+        false,
+        tp,
+    );
+}
+
+/// Picks the worker count and dispatches: serial below the tuned work
+/// threshold, otherwise partitioned across [`parallel::worker_count`]
+/// workers.
+#[allow(clippy::too_many_arguments)]
+fn driver(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Mat<'_>,
+    b: Mat<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+    tp: &TuneParams,
+) {
     if m == 0 || n == 0 {
         return;
     }
@@ -201,24 +262,148 @@ fn driver(m: usize, k: usize, n: usize, a: Mat<'_>, b: Mat<'_>, c: &mut [f32], a
         }
         return;
     }
-    let threads = parallel::thread_count().min(m);
-    if threads <= 1 || m * k * n < PARALLEL_FLOP_THRESHOLD {
-        block_panel(m, k, n, 0, a, b, c, accumulate);
+    let workers = if m.saturating_mul(k).saturating_mul(n) < tp.parallel_min_flops {
+        1
+    } else {
+        parallel::worker_count().min(m)
+    };
+    run_partitioned(workers, m, k, n, a, b, c, accumulate, tp);
+}
+
+/// Runs the blocked kernel with an explicit worker count (the driver picks
+/// it; tests call this directly to exercise the partitioned path on any
+/// host). With more than one worker, B is packed once into a shared
+/// read-only buffer and each worker computes a disjoint row range of `C`
+/// with private A-panel scratch.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned(
+    workers: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Mat<'_>,
+    b: Mat<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+    tp: &TuneParams,
+) {
+    let kern = kernels::active();
+    if workers <= 1 {
+        let mut scratch = PackScratch::new(kern, tp);
+        block_panel(
+            m,
+            k,
+            n,
+            0,
+            a,
+            BSource::Mat(b),
+            c,
+            accumulate,
+            kern,
+            tp,
+            &mut scratch,
+        );
         return;
     }
+    let packed = PackedB::build(b, k, n, kern, tp);
     // Round row chunks up to MR so tile boundaries stay aligned and no
     // worker gets an empty range.
-    let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    let rows_per = m.div_ceil(workers).div_ceil(kern.mr) * kern.mr;
     crossbeam::thread::scope(|scope| {
         for (chunk_idx, c_rows) in c.chunks_mut(rows_per * n).enumerate() {
             let row0 = chunk_idx * rows_per;
             let rows = c_rows.len() / n;
+            let packed = &packed;
             scope.spawn(move |_| {
-                block_panel(rows, k, n, row0, a, b, c_rows, accumulate);
+                let mut scratch = PackScratch::new(kern, tp);
+                block_panel(
+                    rows,
+                    k,
+                    n,
+                    row0,
+                    a,
+                    BSource::Packed(packed),
+                    c_rows,
+                    accumulate,
+                    kern,
+                    tp,
+                    &mut scratch,
+                );
             });
         }
     })
     .expect("gemm worker panicked");
+}
+
+/// Where a worker's B panels come from: packed on the fly into private
+/// scratch (serial path), or read from the shared pre-packed buffer
+/// (parallel path).
+#[derive(Clone, Copy)]
+enum BSource<'a> {
+    Mat(Mat<'a>),
+    Packed(&'a PackedB),
+}
+
+/// Per-worker packing scratch, sized once per call for the tuned block
+/// geometry (no shared mutable buffers between workers).
+struct PackScratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+}
+
+impl PackScratch {
+    fn new(kern: KernelInfo, tp: &TuneParams) -> Self {
+        PackScratch {
+            a_pack: vec![0.0; tp.mc.div_ceil(kern.mr) * kern.mr * tp.kc],
+            b_pack: vec![0.0; tp.nc.div_ceil(kern.nr) * kern.nr * tp.kc],
+        }
+    }
+}
+
+/// All of B packed once, block-major: block `(jc_idx, pc_idx)` holds the
+/// `NR`-column panels of `B[pc.., jc..]` at a fixed stride, so workers can
+/// index any block without coordination.
+struct PackedB {
+    data: Vec<f32>,
+    block_len: usize,
+    pc_blocks: usize,
+}
+
+impl PackedB {
+    fn build(b: Mat<'_>, k: usize, n: usize, kern: KernelInfo, tp: &TuneParams) -> Self {
+        let jc_blocks = n.div_ceil(tp.nc);
+        let pc_blocks = k.div_ceil(tp.kc);
+        let block_len = tp.nc.div_ceil(kern.nr) * kern.nr * tp.kc;
+        let mut data = vec![0.0f32; jc_blocks * pc_blocks * block_len];
+        for jb in 0..jc_blocks {
+            let jc = jb * tp.nc;
+            let nc = tp.nc.min(n - jc);
+            for pb in 0..pc_blocks {
+                let pc = pb * tp.kc;
+                let kc = tp.kc.min(k - pc);
+                let off = (jb * pc_blocks + pb) * block_len;
+                pack_b(
+                    &mut data[off..off + block_len],
+                    b,
+                    pc,
+                    kc,
+                    jc,
+                    nc,
+                    kern.nr,
+                    tp.kc,
+                );
+            }
+        }
+        PackedB {
+            data,
+            block_len,
+            pc_blocks,
+        }
+    }
+
+    fn block(&self, jb: usize, pb: usize) -> &[f32] {
+        &self.data[(jb * self.pc_blocks + pb) * self.block_len..][..self.block_len]
+    }
 }
 
 /// Blocked kernel over a row range: computes `C[row0..row0+rows, :]` into
@@ -231,45 +416,67 @@ fn block_panel(
     n: usize,
     row0: usize,
     a: Mat<'_>,
-    b: Mat<'_>,
+    b: BSource<'_>,
     c: &mut [f32],
     accumulate: bool,
+    kern: KernelInfo,
+    tp: &TuneParams,
+    scratch: &mut PackScratch,
 ) {
     if !accumulate {
         c.fill(0.0);
     }
-    let mut a_pack = vec![0.0f32; MC * KC];
-    let mut b_pack = vec![0.0f32; KC * NC];
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(&mut b_pack, b, pc, kc, jc, nc);
-            for ic in (0..rows).step_by(MC) {
-                let mc = MC.min(rows - ic);
-                pack_a(&mut a_pack, a, row0 + ic, mc, pc, kc);
-                multiply_block(&a_pack, &b_pack, c, ic, mc, jc, nc, kc, n);
+    let PackScratch { a_pack, b_pack } = scratch;
+    for (jb, jc) in (0..n).step_by(tp.nc).enumerate() {
+        let nc = tp.nc.min(n - jc);
+        for (pb, pc) in (0..k).step_by(tp.kc).enumerate() {
+            let kc = tp.kc.min(k - pc);
+            let b_panels: &[f32] = match b {
+                BSource::Mat(bm) => {
+                    pack_b(b_pack, bm, pc, kc, jc, nc, kern.nr, tp.kc);
+                    b_pack
+                }
+                BSource::Packed(p) => p.block(jb, pb),
+            };
+            for ic in (0..rows).step_by(tp.mc) {
+                let mc = tp.mc.min(rows - ic);
+                pack_a(a_pack, a, row0 + ic, mc, pc, kc, kern.mr, tp.kc);
+                multiply_block(a_pack, b_panels, c, ic, mc, jc, nc, kc, n, kern, tp.kc);
             }
         }
     }
 }
 
-/// Packs `A[row0..row0+mc, pc..pc+kc]` into `MR`-row panels, each panel
-/// stored k-major (`panel[p*MR + r]`), zero-padding the row remainder so
-/// the microkernel never branches. When `A` is a stored transpose, each
-/// panel slot is a contiguous run of the stored layout and packs with
-/// `copy_from_slice` instead of scalar gathers.
-fn pack_a(pack: &mut [f32], a: Mat<'_>, row0: usize, mc: usize, pc: usize, kc: usize) {
-    for (panel_idx, panel) in pack.chunks_mut(MR * KC).enumerate().take(mc.div_ceil(MR)) {
-        let r0 = panel_idx * MR;
-        let live = MR.min(mc - r0);
-        if a.transposed && live == MR {
-            for (p, slot) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
-                let src = &a.data[(pc + p) * a.stride + row0 + r0..][..MR];
+/// Packs `A[row0..row0+mc, pc..pc+kc]` into `mr`-row panels, each panel
+/// stored k-major (`panel[p*mr + r]`) at stride `mr * kc_cap`, zero-padding
+/// the row remainder so the microkernel never branches. When `A` is a
+/// stored transpose, each full panel slot is a contiguous run of the stored
+/// layout and packs with `copy_from_slice` instead of scalar gathers.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    pack: &mut [f32],
+    a: Mat<'_>,
+    row0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    mr: usize,
+    kc_cap: usize,
+) {
+    for (panel_idx, panel) in pack
+        .chunks_mut(mr * kc_cap)
+        .enumerate()
+        .take(mc.div_ceil(mr))
+    {
+        let r0 = panel_idx * mr;
+        let live = mr.min(mc - r0);
+        if a.transposed && live == mr {
+            for (p, slot) in panel.chunks_exact_mut(mr).enumerate().take(kc) {
+                let src = &a.data[(pc + p) * a.stride + row0 + r0..][..mr];
                 slot.copy_from_slice(src);
             }
         } else {
-            for (p, slot) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
+            for (p, slot) in panel.chunks_exact_mut(mr).enumerate().take(kc) {
                 for (r, out) in slot.iter_mut().enumerate() {
                     *out = if r < live {
                         a.get(row0 + r0 + r, pc + p)
@@ -282,22 +489,37 @@ fn pack_a(pack: &mut [f32], a: Mat<'_>, row0: usize, mc: usize, pc: usize, kc: u
     }
 }
 
-/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-column panels, each panel
-/// stored k-major (`panel[p*NR + c]`), zero-padding the column remainder.
-/// For row-major `B` each panel slot is a contiguous row run, so the
-/// common case is a straight `copy_from_slice` — packing cost matters for
-/// flat operands like im2col matrices where `k` is small.
-fn pack_b(pack: &mut [f32], b: Mat<'_>, pc: usize, kc: usize, jc: usize, nc: usize) {
-    for (panel_idx, panel) in pack.chunks_mut(NR * KC).enumerate().take(nc.div_ceil(NR)) {
-        let c0 = panel_idx * NR;
-        let live = NR.min(nc - c0);
-        if !b.transposed && live == NR {
-            for (p, slot) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
-                let src = &b.data[(pc + p) * b.stride + jc + c0..][..NR];
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `nr`-column panels, each panel
+/// stored k-major (`panel[p*nr + c]`) at stride `nr * kc_cap`, zero-padding
+/// the column remainder. For row-major `B` each full panel slot is a
+/// contiguous row run, so the common case is a straight `copy_from_slice` —
+/// packing cost matters for flat operands like im2col matrices where `k` is
+/// small.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    pack: &mut [f32],
+    b: Mat<'_>,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+    kc_cap: usize,
+) {
+    for (panel_idx, panel) in pack
+        .chunks_mut(nr * kc_cap)
+        .enumerate()
+        .take(nc.div_ceil(nr))
+    {
+        let c0 = panel_idx * nr;
+        let live = nr.min(nc - c0);
+        if !b.transposed && live == nr {
+            for (p, slot) in panel.chunks_exact_mut(nr).enumerate().take(kc) {
+                let src = &b.data[(pc + p) * b.stride + jc + c0..][..nr];
                 slot.copy_from_slice(src);
             }
         } else {
-            for (p, slot) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+            for (p, slot) in panel.chunks_exact_mut(nr).enumerate().take(kc) {
                 for (cc, out) in slot.iter_mut().enumerate() {
                     *out = if cc < live {
                         b.get(pc + p, jc + c0 + cc)
@@ -311,7 +533,8 @@ fn pack_b(pack: &mut [f32], b: Mat<'_>, pc: usize, kc: usize, jc: usize, nc: usi
 }
 
 /// Multiplies one packed `mc`×`kc` A block against one packed `kc`×`nc` B
-/// block, adding into `C[ic.., jc..]` (`ldc = n`).
+/// block, adding into `C[ic.., jc..]` (`ldc = n`) via the selected
+/// microkernel.
 #[allow(clippy::too_many_arguments)]
 fn multiply_block(
     a_pack: &[f32],
@@ -323,15 +546,26 @@ fn multiply_block(
     nc: usize,
     kc: usize,
     n: usize,
+    kern: KernelInfo,
+    kc_cap: usize,
 ) {
-    for (a_idx, a_panel) in a_pack.chunks(MR * KC).enumerate().take(mc.div_ceil(MR)) {
-        let r0 = a_idx * MR;
-        let live_rows = MR.min(mc - r0);
-        for (b_idx, b_panel) in b_pack.chunks(NR * KC).enumerate().take(nc.div_ceil(NR)) {
-            let c0 = b_idx * NR;
-            let live_cols = NR.min(nc - c0);
-            let tile = microkernel(kc, a_panel, b_panel);
-            for (r, tile_row) in tile.iter().enumerate().take(live_rows) {
+    let mut tile = [0.0f32; MAX_TILE];
+    for (a_idx, a_panel) in a_pack
+        .chunks(kern.mr * kc_cap)
+        .enumerate()
+        .take(mc.div_ceil(kern.mr))
+    {
+        let r0 = a_idx * kern.mr;
+        let live_rows = kern.mr.min(mc - r0);
+        for (b_idx, b_panel) in b_pack
+            .chunks(kern.nr * kc_cap)
+            .enumerate()
+            .take(nc.div_ceil(kern.nr))
+        {
+            let c0 = b_idx * kern.nr;
+            let live_cols = kern.nr.min(nc - c0);
+            kernels::run(kern, kc, a_panel, b_panel, &mut tile);
+            for (r, tile_row) in tile.chunks_exact(kern.nr).enumerate().take(live_rows) {
                 let row = ic + r0 + r;
                 let dst = &mut c[row * n + jc + c0..row * n + jc + c0 + live_cols];
                 for (out, add) in dst.iter_mut().zip(tile_row) {
@@ -340,28 +574,6 @@ fn multiply_block(
             }
         }
     }
-}
-
-/// The `MR`×`NR` register tile: `tile[r][c] = Σ_p a_panel[p][r] ·
-/// b_panel[p][c]` over `kc` steps. Fixed-size arrays + `chunks_exact` keep
-/// the accumulators in registers and let LLVM vectorize the `NR` lane loop.
-#[inline]
-fn microkernel(kc: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
-    let mut tile = [[0.0f32; NR]; MR];
-    for (a, b) in a_panel
-        .chunks_exact(MR)
-        .zip(b_panel.chunks_exact(NR))
-        .take(kc)
-    {
-        let b: &[f32; NR] = b.try_into().expect("NR chunk");
-        for (r, tile_row) in tile.iter_mut().enumerate() {
-            let ar = a[r];
-            for (acc, &bv) in tile_row.iter_mut().zip(b) {
-                *acc += ar * bv;
-            }
-        }
-    }
-    tile
 }
 
 #[cfg(test)]
@@ -373,7 +585,9 @@ mod tests {
     use crate::parallel::with_thread_count;
 
     /// Reference triple loop, k ascending — the accumulation order the
-    /// blocked kernel must reproduce exactly for k ≤ KC.
+    /// blocked kernel must reproduce exactly for k ≤ KC (scalar kernel; the
+    /// FMA kernel fuses each multiply-add, so it matches to tolerance, not
+    /// bits).
     fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut c = vec![0.0f32; m * n];
         for i in 0..m {
@@ -424,14 +638,42 @@ mod tests {
 
     #[test]
     fn bitwise_identical_to_naive_within_one_k_block() {
-        // For k ≤ KC the accumulation order is literally identical, so the
-        // result must match the naive loop bit for bit.
+        // For k ≤ KC the scalar kernel's accumulation order is literally
+        // identical to the naive loop, so (with the kernel pinned) the
+        // result must match bit for bit.
         let (m, k, n) = (10, 100, 20);
         let a = arb(m * k, 3);
         let b = arb(k * n, 4);
-        let mut c = vec![0.0f32; m * n];
-        gemm(m, k, n, &a, &b, &mut c);
+        let c = with_scalar_kernel(|| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            c
+        });
         assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_within_tolerance() {
+        // Whatever kernel runtime detection selects must agree with the
+        // pinned scalar kernel to FMA-contraction tolerance (1e-4 relative,
+        // the bound the parity proptests also use). Trivially exact on
+        // hosts where detection already selects scalar.
+        let (m, k, n) = (37, 300, 29);
+        let a = arb(m * k, 11);
+        let b = arb(k * n, 12);
+        let mut active = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut active);
+        let scalar = with_scalar_kernel(|| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            c
+        });
+        for (got, want) in active.iter().zip(&scalar) {
+            assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "{got} vs {want}"
+            );
+        }
     }
 
     #[test]
@@ -480,8 +722,10 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_bits() {
-        // Large enough to cross PARALLEL_FLOP_THRESHOLD and span several
-        // row chunks and KC blocks.
+        // Large enough to cross the parallel threshold and span several
+        // row chunks and KC blocks. (On a single-core host the worker
+        // clamp keeps all of these serial; `worker_partition_does_not_
+        // change_bits` exercises the partitioned path unconditionally.)
         let (m, k, n) = (96, 300, 48);
         let a = arb(m * k, 9);
         let b = arb(k * n, 10);
@@ -498,6 +742,111 @@ mod tests {
             });
             assert_eq!(parallel, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn worker_partition_does_not_change_bits() {
+        // Drives `run_partitioned` directly so the shared-packed-B fan-out
+        // is exercised even on hosts where `worker_count()` clamps to 1.
+        let (m, k, n) = (50, 300, 24);
+        let a = arb(m * k, 13);
+        let b = arb(k * n, 14);
+        let tp = tune::TuneParams::default();
+        let mut serial = vec![0.0f32; m * n];
+        run_partitioned(
+            1,
+            m,
+            k,
+            n,
+            Mat::normal(&a, m, k),
+            Mat::normal(&b, k, n),
+            &mut serial,
+            false,
+            &tp,
+        );
+        for workers in [2, 3, 7] {
+            let mut fanned = vec![f32::NAN; m * n];
+            run_partitioned(
+                workers,
+                m,
+                k,
+                n,
+                Mat::normal(&a, m, k),
+                Mat::normal(&b, k, n),
+                &mut fanned,
+                false,
+                &tp,
+            );
+            assert_eq!(fanned, serial, "workers = {workers}");
+        }
+        // Transposed-operand orientations through the same fan-out.
+        let mut serial_t = vec![0.0f32; m * n];
+        let a_t: Vec<f32> = {
+            let mut t = vec![0.0f32; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = a[i * k + p];
+                }
+            }
+            t
+        };
+        run_partitioned(
+            1,
+            m,
+            k,
+            n,
+            Mat::transposed(&a_t, k, m),
+            Mat::normal(&b, k, n),
+            &mut serial_t,
+            false,
+            &tp,
+        );
+        let mut fanned_t = vec![0.0f32; m * n];
+        run_partitioned(
+            4,
+            m,
+            k,
+            n,
+            Mat::transposed(&a_t, k, m),
+            Mat::normal(&b, k, n),
+            &mut fanned_t,
+            false,
+            &tp,
+        );
+        assert_eq!(fanned_t, serial_t);
+        assert_eq!(serial_t, serial);
+    }
+
+    #[test]
+    fn custom_block_sizes_match_defaults_within_tolerance() {
+        // Changing MC/NC regroups tiles but never the per-element k order,
+        // so with the scalar kernel pinned and kc unchanged the results are
+        // bitwise equal; a different KC regroups the k order and matches to
+        // tolerance only.
+        let (m, k, n) = (33, 500, 21);
+        let a = arb(m * k, 15);
+        let b = arb(k * n, 16);
+        with_scalar_kernel(|| {
+            let mut base = vec![0.0f32; m * n];
+            gemm_with_params(m, k, n, &a, &b, &mut base, &TuneParams::default());
+            let mut same_kc = vec![0.0f32; m * n];
+            let tp = TuneParams {
+                mc: 24,
+                nc: 16,
+                ..TuneParams::default()
+            };
+            gemm_with_params(m, k, n, &a, &b, &mut same_kc, &tp);
+            assert_eq!(same_kc, base);
+            let mut small_kc = vec![0.0f32; m * n];
+            let tp = TuneParams {
+                kc: 64,
+                ..TuneParams::default()
+            };
+            gemm_with_params(m, k, n, &a, &b, &mut small_kc, &tp);
+            for (got, want) in small_kc.iter().zip(&base) {
+                assert!((got - want).abs() <= 1e-4 * (1.0 + want.abs()));
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Exact i8×i8→i32 matrix multiplication for quantized inference.
+//!
+//! The panel layout is chosen for `_mm256_madd_epi16`: the k dimension is
+//! processed in **pairs** (zero-padding an odd trailing k), and each packed
+//! panel interleaves the pair —
+//!
+//! - A panels: per k-pair step, `QMR` rows × 2 bytes: `[a(k0,r), a(k1,r)]`
+//! - B panels: per k-pair step, `QNR` cols × 2 bytes: `[b(k0,c), b(k1,c)]`
+//!
+//! so one 32-byte B load covers a full 16-column tile step. The scalar
+//! fallback consumes the identical layout with immediate i32 widening,
+//! making the two kernels bit-for-bit interchangeable — integer GEMM has no
+//! accumulation-order sensitivity, so [`gemm_i8`] is deterministic across
+//! kernels, hosts and thread counts by construction.
+//!
+//! Operands are small in this workspace (weights × one frame's im2col), so
+//! the driver packs both operands whole and runs serially; module-level
+//! fan-out (one thread per N-version module) provides the parallelism.
+
+use super::kernels::{self, QMR, QNR};
+
+/// Maximum supported shared dimension: `k · 127² ≤ i32::MAX` with ~16×
+/// headroom, so tile accumulators can never wrap.
+pub const MAX_K: usize = 1 << 17;
+
+/// `C = A·B` with `A: [m, k]` i8, `B: [k, n]` i8, `C: [m, n]` i32, all
+/// row-major. Exact integer arithmetic — no rounding, no saturation.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions or `k` exceeds
+/// [`MAX_K`].
+pub fn gemm_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k}");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n}");
+    assert!(k <= MAX_K, "k = {k} exceeds i32 accumulator headroom");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0);
+        return;
+    }
+    let steps = k.div_ceil(2);
+    let a_pack = pack_a_pairs(m, k, a);
+    let b_pack = pack_b_pairs(k, n, b);
+    let row_panels = m.div_ceil(QMR);
+    let col_panels = n.div_ceil(QNR);
+    let mut tile = [0i32; QMR * QNR];
+    for rp in 0..row_panels {
+        let r0 = rp * QMR;
+        let live_rows = QMR.min(m - r0);
+        let a_panel = &a_pack[rp * steps * 2 * QMR..][..steps * 2 * QMR];
+        for cp in 0..col_panels {
+            let c0 = cp * QNR;
+            let live_cols = QNR.min(n - c0);
+            let b_panel = &b_pack[cp * steps * 2 * QNR..][..steps * 2 * QNR];
+            kernels::run_i8(steps, a_panel, b_panel, &mut tile);
+            for (r, tile_row) in tile.chunks_exact(QNR).enumerate().take(live_rows) {
+                let dst = &mut c[(r0 + r) * n + c0..][..live_cols];
+                dst.copy_from_slice(&tile_row[..live_cols]);
+            }
+        }
+    }
+}
+
+/// Packs `A: [m, k]` into `QMR`-row pair-interleaved panels, zero-padding
+/// both the row remainder and an odd trailing k (0 contributes nothing to
+/// the exact sum).
+fn pack_a_pairs(m: usize, k: usize, a: &[i8]) -> Vec<i8> {
+    let steps = k.div_ceil(2);
+    let row_panels = m.div_ceil(QMR);
+    let mut pack = vec![0i8; row_panels * steps * 2 * QMR];
+    for (rp, panel) in pack.chunks_exact_mut(steps * 2 * QMR).enumerate() {
+        let r0 = rp * QMR;
+        let live = QMR.min(m - r0);
+        for (step, slot) in panel.chunks_exact_mut(2 * QMR).enumerate() {
+            let p = step * 2;
+            for r in 0..live {
+                slot[2 * r] = a[(r0 + r) * k + p];
+                if p + 1 < k {
+                    slot[2 * r + 1] = a[(r0 + r) * k + p + 1];
+                }
+            }
+        }
+    }
+    pack
+}
+
+/// Packs `B: [k, n]` into `QNR`-column pair-interleaved panels, zero-padding
+/// the column remainder and an odd trailing k.
+fn pack_b_pairs(k: usize, n: usize, b: &[i8]) -> Vec<i8> {
+    let steps = k.div_ceil(2);
+    let col_panels = n.div_ceil(QNR);
+    let mut pack = vec![0i8; col_panels * steps * 2 * QNR];
+    for (cp, panel) in pack.chunks_exact_mut(steps * 2 * QNR).enumerate() {
+        let c0 = cp * QNR;
+        let live = QNR.min(n - c0);
+        for (step, slot) in panel.chunks_exact_mut(2 * QNR).enumerate() {
+            let p = step * 2;
+            let row0 = &b[p * n + c0..][..live];
+            for (c, &v) in row0.iter().enumerate() {
+                slot[2 * c] = v;
+            }
+            if p + 1 < k {
+                let row1 = &b[(p + 1) * n + c0..][..live];
+                for (c, &v) in row1.iter().enumerate() {
+                    slot[2 * c + 1] = v;
+                }
+            }
+        }
+    }
+    pack
+}
+
+/// Naive i32 reference used by the parity tests.
+#[cfg(test)]
+pub(crate) fn naive_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += i32::from(a[i * k + p]) * i32::from(b[p * n + j]);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::kernels::with_scalar_kernel;
+
+    fn arb_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Quantized range [-127, 127] (−128 never produced by the
+                // symmetric quantizer).
+                ((x >> 32) % 255) as i8
+            })
+            .map(|v| if v == -128 { 127 } else { v })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_awkward_shapes() {
+        // Remainder tiles in every dimension, odd k (pair padding), k and n
+        // crossing panel boundaries.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 17),
+            (7, 31, 33),
+            (13, 54, 40),
+            (6, 401, 19),
+        ] {
+            let a = arb_i8(m * k, 11 + m as u64);
+            let b = arb_i8(k * n, 13 + n as u64);
+            let mut c = vec![i32::MIN; m * n];
+            gemm_i8(m, k, n, &a, &b, &mut c);
+            assert_eq!(c, naive_i8(m, k, n, &a, &b), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_are_bitwise_identical() {
+        let (m, k, n) = (9, 77, 35);
+        let a = arb_i8(m * k, 3);
+        let b = arb_i8(k * n, 4);
+        let mut active = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut active);
+        let forced = with_scalar_kernel(|| {
+            let mut c = vec![0i32; m * n];
+            gemm_i8(m, k, n, &a, &b, &mut c);
+            c
+        });
+        assert_eq!(active, forced);
+    }
+
+    #[test]
+    fn extreme_values_do_not_wrap() {
+        // All-|127| operands at a k large enough to stress the accumulator:
+        // k · 127² = 127⁴ ≈ 2.6e8 < i32::MAX.
+        let (m, k, n) = (2, 127 * 127, 2);
+        let a = vec![127i8; m * k];
+        let b = vec![-127i8; k * n];
+        let mut c = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == -(127 * 127) * (127 * 127)));
+    }
+
+    #[test]
+    fn zero_k_zeroes_output() {
+        let mut c = vec![7i32; 6];
+        gemm_i8(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![0; 6]);
+    }
+}

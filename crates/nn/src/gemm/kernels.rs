@@ -1,0 +1,418 @@
+//! Register-tile microkernels and runtime kernel dispatch.
+//!
+//! Two f32 microkernels share one packed-panel contract (`MR`-row k-major A
+//! panels, `NR`-column k-major B panels, zero-padded remainders):
+//!
+//! | kernel           | tile  | requires                | built when |
+//! |------------------|-------|-------------------------|------------|
+//! | `scalar-4x8`     | 4×8   | nothing (portable)      | always     |
+//! | `avx2-fma-6x16`  | 6×16  | AVX2 + FMA (runtime)    | `simd` feature, x86-64, not miri |
+//!
+//! and two i8×i8→i32 kernels (exact integer arithmetic, so they are
+//! interchangeable bit-for-bit):
+//!
+//! | kernel           | tile  | requires                | built when |
+//! |------------------|-------|-------------------------|------------|
+//! | `scalar-i8-4x16` | 4×16  | nothing (portable)      | always     |
+//! | `avx2-i8-4x16`   | 4×16  | AVX2 (runtime)          | `simd` feature, x86-64, not miri |
+//!
+//! Selection happens once per call site via [`active`] /
+//! [`active_i8_is_simd`]: compiled-in SIMD kernels are used only after
+//! `is_x86_feature_detected!` confirms the host supports them, and
+//! [`with_scalar_kernel`] (or the `MVML_FORCE_SCALAR` environment variable)
+//! pins everything to the portable kernels — used by the bitwise-vs-naive
+//! tests, the SIMD-vs-scalar parity suite and CI's forced-scalar lane.
+//!
+//! ## Determinism
+//!
+//! Within a tile every output element accumulates strictly k-ascending in
+//! both kernels; the AVX2 kernel differs from scalar only by fusing each
+//! multiply-add (FMA keeps the infinitely-precise product before the add),
+//! so f32 results are deterministic *per kernel* but not bitwise identical
+//! *across kernels*. The i8 kernels are exact and therefore bitwise
+//! identical to each other.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Largest `MR` any compiled kernel uses (sizes shared tile buffers).
+pub const MAX_MR: usize = 8;
+/// Largest `NR` any compiled kernel uses.
+pub const MAX_NR: usize = 16;
+/// Length of the tile scratch buffer every kernel writes into.
+pub const MAX_TILE: usize = MAX_MR * MAX_NR;
+
+/// Rows per i8 register tile (same for scalar and AVX2, so the packed
+/// layout — and therefore the exact result — is kernel-independent).
+pub const QMR: usize = 4;
+/// Columns per i8 register tile.
+pub const QNR: usize = 16;
+
+/// Which f32 microkernel implementation runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum KernelKind {
+    /// Portable 4×8 scalar-unrolled kernel (autovectorized by LLVM).
+    Scalar,
+    /// 6×16 AVX2+FMA kernel: 12 `ymm` accumulators, 2 loads + 6 broadcasts
+    /// + 12 FMAs per k step.
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+    Avx2Fma,
+}
+
+/// A selected kernel plus the tile geometry the packing code must honour.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelInfo {
+    /// Which implementation to dispatch to.
+    pub kind: KernelKind,
+    /// Rows per register tile; A panels are packed `mr`-row k-major.
+    pub mr: usize,
+    /// Columns per register tile; B panels are packed `nr`-column k-major.
+    pub nr: usize,
+    /// Stable human-readable name (recorded in `TUNE_nn.json` /
+    /// `BENCH_nn.json`).
+    pub name: &'static str,
+}
+
+const SCALAR: KernelInfo = KernelInfo {
+    kind: KernelKind::Scalar,
+    mr: 4,
+    nr: 8,
+    name: "scalar-4x8",
+};
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+const AVX2_FMA: KernelInfo = KernelInfo {
+    kind: KernelKind::Avx2Fma,
+    mr: 6,
+    nr: 16,
+    name: "avx2-fma-6x16",
+};
+
+/// Depth of active [`with_scalar_kernel`] scopes (any > 0 forces scalar).
+/// A counter rather than a flag so concurrent test threads forcing scalar
+/// compose instead of clobbering each other.
+static FORCE_SCALAR: AtomicUsize = AtomicUsize::new(0);
+
+fn env_forces_scalar() -> bool {
+    static ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("MVML_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// True while the portable kernels are pinned (scope, env var, or a
+/// scalar-only build).
+pub fn scalar_forced() -> bool {
+    env_forces_scalar() || FORCE_SCALAR.load(Ordering::SeqCst) > 0
+}
+
+struct ForceGuard;
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCE_SCALAR.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` with every GEMM pinned to the portable scalar kernels — the
+/// in-process equivalent of `MVML_FORCE_SCALAR=1`. Used by tests that
+/// compare the SIMD and scalar kernels on identical inputs, and by the
+/// bitwise-vs-naive determinism checks (FMA contraction makes the AVX2
+/// kernel equal to the naive loop only to tolerance, not bit-for-bit).
+///
+/// Nesting and concurrent use compose: scalar stays forced until the last
+/// scope exits (even across panics).
+pub fn with_scalar_kernel<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SCALAR.fetch_add(1, Ordering::SeqCst);
+    let _guard = ForceGuard;
+    f()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+fn avx2_fma_available() -> bool {
+    static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+fn avx2_available() -> bool {
+    static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// The f32 microkernel the driver should use right now.
+pub fn active() -> KernelInfo {
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+    {
+        if !scalar_forced() && avx2_fma_available() {
+            return AVX2_FMA;
+        }
+    }
+    SCALAR
+}
+
+/// Whether the i8 GEMM dispatches to the AVX2 kernel (the scalar i8 kernel
+/// computes bitwise-identical results, so this only affects speed).
+pub fn active_i8_is_simd() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+    {
+        if !scalar_forced() && avx2_available() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Stable name of the active i8 kernel.
+pub fn i8_kernel_name() -> &'static str {
+    if active_i8_is_simd() {
+        "avx2-i8-4x16"
+    } else {
+        "scalar-i8-4x16"
+    }
+}
+
+/// Runs the selected f32 microkernel: `tile[r*info.nr + c] = Σ_p
+/// a_panel[p*info.mr + r] · b_panel[p*info.nr + c]` over `kc` steps.
+///
+/// Only the first `info.mr` rows (stride `info.nr`) of `tile` are written;
+/// callers must read back exactly that region.
+pub(crate) fn run(
+    info: KernelInfo,
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    tile: &mut [f32; MAX_TILE],
+) {
+    match info.kind {
+        KernelKind::Scalar => scalar_f32_4x8(kc, a_panel, b_panel, tile),
+        #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+        KernelKind::Avx2Fma => {
+            assert!(a_panel.len() >= kc * AVX2_FMA.mr, "A panel too short");
+            assert!(b_panel.len() >= kc * AVX2_FMA.nr, "B panel too short");
+            // SAFETY: `active()` returns `Avx2Fma` only after
+            // `is_x86_feature_detected!` confirmed AVX2 and FMA on this
+            // host, satisfying the target-feature contract; the asserts
+            // above guarantee the panel reads stay in bounds and the tile
+            // is a fixed `MAX_TILE` array larger than the 6×16 store.
+            unsafe { avx2::f32_6x16(kc, a_panel, b_panel, tile) }
+        }
+    }
+}
+
+/// Runs the selected i8 microkernel over `steps` packed k-pairs. Both
+/// implementations produce identical i32 tiles.
+pub(crate) fn run_i8(steps: usize, a_panel: &[i8], b_panel: &[i8], tile: &mut [i32]) {
+    debug_assert!(a_panel.len() >= steps * 2 * QMR);
+    debug_assert!(b_panel.len() >= steps * 2 * QNR);
+    debug_assert!(tile.len() >= QMR * QNR);
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+    {
+        if active_i8_is_simd() {
+            assert!(a_panel.len() >= steps * 2 * QMR, "i8 A panel too short");
+            assert!(b_panel.len() >= steps * 2 * QNR, "i8 B panel too short");
+            assert!(tile.len() >= QMR * QNR, "i8 tile too short");
+            // SAFETY: `active_i8_is_simd()` is true only after
+            // `is_x86_feature_detected!("avx2")` succeeded; the asserts
+            // above bound every pointer offset the kernel computes.
+            unsafe { avx2::i8_4x16(steps, a_panel, b_panel, tile) };
+            return;
+        }
+    }
+    scalar_i8_4x16(steps, a_panel, b_panel, tile);
+}
+
+/// Portable 4×8 f32 kernel: fixed-size accumulator arrays + `chunks_exact`
+/// keep the tile in registers and let LLVM vectorize the 8-lane loop. The
+/// accumulation order (k ascending, multiply then add, no fusing mandated)
+/// is the contract the bitwise determinism tests pin down.
+fn scalar_f32_4x8(kc: usize, a_panel: &[f32], b_panel: &[f32], tile: &mut [f32; MAX_TILE]) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a, b) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(kc)
+    {
+        let b: &[f32; NR] = b.try_into().expect("NR chunk");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = a[r];
+            for (slot, &bv) in acc_row.iter_mut().zip(b) {
+                *slot += ar * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        tile[r * NR..r * NR + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Portable i8 kernel over the pair-interleaved panel layout (see
+/// [`crate::gemm::int8`]): per k-pair step, A holds `QMR` row pairs
+/// `[a(k0,r), a(k1,r)]` and B holds `QNR` column pairs
+/// `[b(k0,c), b(k1,c)]`. All arithmetic widens to i32 immediately, so the
+/// result is exact and identical to the AVX2 `madd`-based kernel.
+fn scalar_i8_4x16(steps: usize, a_panel: &[i8], b_panel: &[i8], tile: &mut [i32]) {
+    let mut acc = [[0i32; QNR]; QMR];
+    for (a, b) in a_panel
+        .chunks_exact(2 * QMR)
+        .zip(b_panel.chunks_exact(2 * QNR))
+        .take(steps)
+    {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a0 = i32::from(a[2 * r]);
+            let a1 = i32::from(a[2 * r + 1]);
+            for (c, slot) in acc_row.iter_mut().enumerate() {
+                *slot += a0 * i32::from(b[2 * c]) + a1 * i32::from(b[2 * c + 1]);
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        tile[r * QNR..r * QNR + QNR].copy_from_slice(acc_row);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+mod avx2 {
+    //! The `std::arch` kernels. Callers uphold: CPU features verified at
+    //! runtime, panel slices at least `kc`/`steps` full tile steps long.
+    use super::{MAX_TILE, QMR, QNR};
+    use std::arch::x86_64::{
+        __m256, __m256i, _mm256_add_epi32, _mm256_broadcast_ss, _mm256_castsi256_si128,
+        _mm256_cvtepi8_epi16, _mm256_extracti128_si256, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32, _mm256_setzero_ps,
+        _mm256_setzero_si256, _mm256_storeu_ps, _mm256_storeu_si256,
+    };
+
+    const MR: usize = 6;
+    const NR: usize = 16;
+
+    /// 6×16 f32 tile: 12 `ymm` accumulators, per k step two B loads and per
+    /// row one broadcast + two FMAs.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee AVX2+FMA are available on the running CPU,
+    /// `a_panel.len() >= kc * 6` and `b_panel.len() >= kc * 16`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn f32_6x16(
+        kc: usize,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        tile: &mut [f32; MAX_TILE],
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let mut ap = a_panel.as_ptr();
+        let mut bp = b_panel.as_ptr();
+        for _ in 0..kc {
+            // SAFETY: caller guarantees `bp` points at ≥ 16 remaining f32s
+            // of this k step and `ap` at ≥ 6; all offsets stay within the
+            // panel slices.
+            unsafe {
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av: __m256 = _mm256_broadcast_ss(&*ap.add(r));
+                    acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                    acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+                }
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            // SAFETY: `r < 6`, so `r * 16 + 16 <= 96 < MAX_TILE`; the tile
+            // array is 16-f32 aligned enough for unaligned stores.
+            unsafe {
+                _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR), acc_row[0]);
+                _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR + 8), acc_row[1]);
+            }
+        }
+    }
+
+    /// 4×16 i8 tile over pair-interleaved panels: one 32-byte B load per k
+    /// pair is sign-extended to two i16 vectors; each row's k-pair is
+    /// broadcast as a packed `(a0, a1)` i32 and combined with
+    /// `_mm256_madd_epi16`, which computes `a0·b0 + a1·b1` per lane in
+    /// exact i32 arithmetic (|a·b| ≤ 127² so the pair sum fits i16×i16→i32
+    /// with no saturation).
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee AVX2 is available, `a_panel.len() >= steps *
+    /// 8`, `b_panel.len() >= steps * 32`, and `tile.len() >= 64`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn i8_4x16(steps: usize, a_panel: &[i8], b_panel: &[i8], tile: &mut [i32]) {
+        let mut acc = [[_mm256_setzero_si256(); 2]; QMR];
+        let mut ap = a_panel.as_ptr();
+        let mut bp = b_panel.as_ptr();
+        for _ in 0..steps {
+            // SAFETY: caller guarantees ≥ 32 bytes remain at `bp` and ≥ 8
+            // at `ap` for this step; the unaligned load reads exactly 32.
+            unsafe {
+                let bq = _mm256_loadu_si256(bp.cast::<__m256i>());
+                let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bq));
+                let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(bq, 1));
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    // Sign-extend each i8 of the row's k-pair to i16 and
+                    // pack both little-endian into one broadcast i32, so
+                    // every `madd` lane sees (a0, a1) against (b0, b1).
+                    let a0 = i32::from(*ap.add(2 * r)) as u32 & 0xFFFF;
+                    let a1 = i32::from(*ap.add(2 * r + 1)) as u32 & 0xFFFF;
+                    let av = _mm256_set1_epi32(((a1 << 16) | a0) as i32);
+                    acc_row[0] = _mm256_add_epi32(acc_row[0], _mm256_madd_epi16(av, b_lo));
+                    acc_row[1] = _mm256_add_epi32(acc_row[1], _mm256_madd_epi16(av, b_hi));
+                }
+                ap = ap.add(2 * QMR);
+                bp = bp.add(2 * QNR);
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            // SAFETY: `r < 4` and the caller guarantees `tile.len() >= 64`,
+            // so `r * 16 + 16 <= 64` i32 stores stay in bounds.
+            unsafe {
+                _mm256_storeu_si256(tile.as_mut_ptr().add(r * QNR).cast::<__m256i>(), acc_row[0]);
+                _mm256_storeu_si256(
+                    tile.as_mut_ptr().add(r * QNR + 8).cast::<__m256i>(),
+                    acc_row[1],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_force_scopes_nest_and_restore() {
+        let before = active().name;
+        with_scalar_kernel(|| {
+            assert_eq!(active().name, "scalar-4x8");
+            with_scalar_kernel(|| assert_eq!(active().name, "scalar-4x8"));
+            assert_eq!(active().name, "scalar-4x8");
+        });
+        assert_eq!(active().name, before);
+    }
+
+    #[test]
+    fn i8_kernels_agree_exactly() {
+        // Pair-interleaved panels with awkward values incl. extremes.
+        let steps = 9;
+        let a: Vec<i8> = (0..steps * 2 * QMR)
+            .map(|i| ((i * 37 + 11) % 255) as i16 as i8)
+            .map(|v| if v == -128 { -127 } else { v })
+            .collect();
+        let b: Vec<i8> = (0..steps * 2 * QNR)
+            .map(|i| ((i * 91 + 3) % 255) as i16 as i8)
+            .map(|v| if v == -128 { -127 } else { v })
+            .collect();
+        let mut scalar_tile = vec![0i32; QMR * QNR];
+        scalar_i8_4x16(steps, &a, &b, &mut scalar_tile);
+        let mut active_tile = vec![0i32; QMR * QNR];
+        run_i8(steps, &a, &b, &mut active_tile);
+        assert_eq!(scalar_tile, active_tile);
+    }
+}

@@ -1,0 +1,477 @@
+//! One-shot GEMM autotuner: measured direct-vs-GEMM crossover thresholds
+//! and cache-block sizes, replacing guessed constants.
+//!
+//! ## Why install is explicit
+//!
+//! [`params`] returns the static [`TuneParams::default`] until [`install`]
+//! is called, so library behaviour is deterministic by default: two
+//! processes (or the campaign driver's byte-compare gate) always agree
+//! without ever reading a clock. Measurement is an explicit opt-in —
+//! `bench_summary` runs [`autotune`], installs the winner for the rest of
+//! the process, and writes the full report to `results/TUNE_nn.json` for
+//! inspection and reuse ([`load_report`] / [`install`]).
+//!
+//! ## What gets measured
+//!
+//! 1. **Conv routing** ([`ConvProbe`]): each probe shape (the committed
+//!    bench shapes plus the perception-detector shapes) is timed on both
+//!    the direct loops and the im2col+GEMM path; the `Auto` thresholds
+//!    (`gemm_min_out_channels` / `gemm_min_ckk` / `gemm_min_macs`) become
+//!    the smallest values over the GEMM winners, then `gemm_min_macs` is
+//!    raised past any loser the relaxed thresholds would misroute.
+//! 2. **Cache blocking** ([`BlockProbe`]): a small MC/KC/NC candidate set
+//!    is timed on a square 256³ product and a flat im2col-shaped product;
+//!    the candidate with the best combined ratio wins.
+//! 3. **Parallel threshold**: on a multi-core host, the smallest product
+//!    where two workers beat one sets `parallel_min_flops`; on a single
+//!    core the driver never fans out, so the default stands.
+
+use super::kernels;
+use crate::layer::Layer;
+use crate::layers::{Conv2d, KernelPath};
+use crate::parallel;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Tunable GEMM/dispatch parameters.
+///
+/// The defaults reproduce the previously hardcoded constants (measured with
+/// `examples/conv_probe.rs` on the scalar kernel), except `mc = 72`, which
+/// is divisible by both compiled tile heights (4 and 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuneParams {
+    /// Rows of A packed per cache block.
+    pub mc: usize,
+    /// Shared dimension per cache block (also the bitwise-determinism
+    /// granularity: per-element accumulation order is k-ascending within
+    /// each `kc` block, blocks ascending).
+    pub kc: usize,
+    /// Columns of B packed per cache block.
+    pub nc: usize,
+    /// `KernelPath::Auto` lowers a conv to GEMM only when the layer has at
+    /// least this many output channels (GEMM rows)…
+    pub gemm_min_out_channels: usize,
+    /// …and at least this reduction depth `C·K·K` (GEMM k)…
+    pub gemm_min_ckk: usize,
+    /// …and at least this much total work `OC·CKK·N·OH·OW` (MACs).
+    pub gemm_min_macs: usize,
+    /// Minimum `m·k·n` before the GEMM driver fans out to multiple workers.
+    pub parallel_min_flops: usize,
+}
+
+impl Default for TuneParams {
+    fn default() -> Self {
+        TuneParams {
+            mc: 72,
+            kc: 256,
+            nc: 256,
+            gemm_min_out_channels: Conv2d::GEMM_MIN_OUT_CHANNELS,
+            gemm_min_ckk: Conv2d::GEMM_MIN_CKK,
+            gemm_min_macs: Conv2d::GEMM_MIN_FLOPS,
+            parallel_min_flops: 1 << 17,
+        }
+    }
+}
+
+/// One conv-shape measurement in a [`TuneReport`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvProbe {
+    /// Human-readable shape label.
+    pub shape: String,
+    /// Output channels (GEMM m).
+    pub out_channels: usize,
+    /// Reduction depth `C·K·K` (GEMM k).
+    pub ckk: usize,
+    /// Total multiply-accumulates for the probe batch.
+    pub macs: usize,
+    /// Median direct-path forward time.
+    pub direct_ns: f64,
+    /// Median im2col+GEMM forward time.
+    pub gemm_ns: f64,
+}
+
+impl ConvProbe {
+    /// Whether the GEMM path won this probe (with a 5% margin, so noise
+    /// never promotes a coin-flip shape).
+    pub fn gemm_wins(&self) -> bool {
+        self.gemm_ns < 0.95 * self.direct_ns
+    }
+}
+
+/// One cache-block-size measurement in a [`TuneReport`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockProbe {
+    /// Candidate MC.
+    pub mc: usize,
+    /// Candidate KC.
+    pub kc: usize,
+    /// Candidate NC.
+    pub nc: usize,
+    /// Median 256×256×256 GEMM time.
+    pub square_ns: f64,
+    /// Median flat (im2col-shaped, 16×54×3200) GEMM time.
+    pub flat_ns: f64,
+}
+
+/// Everything [`autotune`] measured, serialisable to `results/TUNE_nn.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// Active f32 microkernel at measurement time.
+    pub kernel: String,
+    /// Active i8 microkernel at measurement time.
+    pub i8_kernel: String,
+    /// Cores the measuring host exposed.
+    pub host_cores: usize,
+    /// The derived parameters (what [`install`] should receive).
+    pub params: TuneParams,
+    /// Per-shape conv crossover measurements.
+    pub conv_probes: Vec<ConvProbe>,
+    /// Per-candidate block-size measurements.
+    pub block_probes: Vec<BlockProbe>,
+}
+
+static INSTALLED: OnceLock<TuneParams> = OnceLock::new();
+
+/// The parameters every GEMM/conv dispatch decision reads: the installed
+/// tuned set, or the deterministic defaults.
+pub fn params() -> TuneParams {
+    INSTALLED.get().copied().unwrap_or_default()
+}
+
+/// Installs `p` process-wide. Returns `false` if a set was already
+/// installed (first install wins — dispatch parameters changing mid-run
+/// would silently change f32 accumulation grouping between calls).
+///
+/// # Panics
+///
+/// Panics if any block size is zero.
+pub fn install(p: TuneParams) -> bool {
+    assert!(p.mc > 0 && p.kc > 0 && p.nc > 0, "block sizes must be > 0");
+    INSTALLED.set(p).is_ok()
+}
+
+/// Median wall time of `f` over `samples` runs of `iters` calls each.
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn deterministic_input(shape: &[usize], seed: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data = (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// (label, in_channels, out_channels, kernel, padding, image, batch):
+/// the committed bench shapes, the perception detector trunk/head shapes,
+/// and one alexnet-mini mid layer.
+const CONV_PROBES: &[(&str, usize, usize, usize, usize, usize, usize)] = &[
+    ("conv1 1->6 k5 28x28 b32", 1, 6, 5, 0, 28, 32),
+    ("conv2 6->16 k3 12x12 b32", 6, 16, 3, 0, 12, 32),
+    ("stem 1->4 k3 32x32 b1", 1, 4, 3, 1, 32, 1),
+    ("trunk 4->6 k3 32x32 b1", 4, 6, 3, 1, 32, 1),
+    ("trunk 6->8 k3 32x32 b1", 6, 8, 3, 1, 32, 1),
+    ("head 8->6 k1 32x32 b1", 8, 6, 1, 0, 32, 1),
+    ("alex 8->16 k3 16x16 b32", 8, 16, 3, 1, 16, 32),
+];
+
+const BLOCK_CANDIDATES: &[(usize, usize, usize)] = &[
+    (72, 256, 256),
+    (48, 256, 512),
+    (96, 320, 192),
+    (72, 128, 512),
+    (120, 512, 256),
+    (64, 256, 256),
+];
+
+fn probe_convs() -> Vec<ConvProbe> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    CONV_PROBES
+        .iter()
+        .map(|&(label, ic, oc, k, pad, hw, batch)| {
+            let mut rng = StdRng::seed_from_u64(38);
+            let mut conv = Conv2d::new(ic, oc, k, pad, &mut rng);
+            let x = deterministic_input(&[batch, ic, hw, hw], 7 + oc as u64);
+            let out = hw + 2 * pad - k + 1;
+            let ckk = ic * k * k;
+            let macs = oc * ckk * batch * out * out;
+            // Scale iteration counts so tiny shapes aren't pure noise and
+            // big shapes don't dominate the tuner's runtime.
+            let iters = (1 << 22) / macs.max(1 << 18) + 2;
+            conv.set_kernel_path(KernelPath::Direct);
+            let direct_ns = median_ns(5, iters, || {
+                let _ = conv.forward(&x, false);
+            });
+            conv.set_kernel_path(KernelPath::Gemm);
+            let gemm_ns = median_ns(5, iters, || {
+                let _ = conv.forward(&x, false);
+            });
+            ConvProbe {
+                shape: label.to_string(),
+                out_channels: oc,
+                ckk,
+                macs,
+                direct_ns,
+                gemm_ns,
+            }
+        })
+        .collect()
+}
+
+/// Derives the three `Auto` thresholds from the probe outcomes: relax each
+/// to the smallest value among GEMM winners, then raise the MAC floor past
+/// any strict loser the relaxed thresholds would misroute.
+fn derive_thresholds(probes: &[ConvProbe], base: &mut TuneParams) {
+    let winners: Vec<&ConvProbe> = probes.iter().filter(|p| p.gemm_wins()).collect();
+    if winners.is_empty() {
+        return;
+    }
+    base.gemm_min_out_channels = winners.iter().map(|p| p.out_channels).min().unwrap_or(1);
+    base.gemm_min_ckk = winners.iter().map(|p| p.ckk).min().unwrap_or(1);
+    base.gemm_min_macs = winners.iter().map(|p| p.macs).min().unwrap_or(1);
+    for loser in probes.iter().filter(|p| p.gemm_ns >= p.direct_ns) {
+        let passes = loser.out_channels >= base.gemm_min_out_channels
+            && loser.ckk >= base.gemm_min_ckk
+            && loser.macs >= base.gemm_min_macs;
+        if passes {
+            base.gemm_min_macs = base.gemm_min_macs.max(loser.macs + 1);
+        }
+    }
+}
+
+fn probe_blocks(base: &mut TuneParams) -> Vec<BlockProbe> {
+    let sq = deterministic_input(&[256 * 256], 21);
+    let sq_b = deterministic_input(&[256 * 256], 22);
+    let mut sq_c = vec![0.0f32; 256 * 256];
+    let flat = deterministic_input(&[16 * 54], 23);
+    let flat_b = deterministic_input(&[54 * 3200], 24);
+    let mut flat_c = vec![0.0f32; 16 * 3200];
+    let probes: Vec<BlockProbe> = BLOCK_CANDIDATES
+        .iter()
+        .map(|&(mc, kc, nc)| {
+            let candidate = TuneParams {
+                mc,
+                kc,
+                nc,
+                ..*base
+            };
+            let square_ns = median_ns(5, 3, || {
+                super::gemm_with_params(
+                    256,
+                    256,
+                    256,
+                    sq.as_slice(),
+                    sq_b.as_slice(),
+                    &mut sq_c,
+                    &candidate,
+                );
+            });
+            let flat_ns = median_ns(5, 8, || {
+                super::gemm_with_params(
+                    16,
+                    54,
+                    3200,
+                    flat.as_slice(),
+                    flat_b.as_slice(),
+                    &mut flat_c,
+                    &candidate,
+                );
+            });
+            BlockProbe {
+                mc,
+                kc,
+                nc,
+                square_ns,
+                flat_ns,
+            }
+        })
+        .collect();
+    let best_sq = probes.iter().map(|p| p.square_ns).fold(f64::MAX, f64::min);
+    let best_flat = probes.iter().map(|p| p.flat_ns).fold(f64::MAX, f64::min);
+    if let Some(best) = probes.iter().min_by(|a, b| {
+        (a.square_ns / best_sq + a.flat_ns / best_flat)
+            .total_cmp(&(b.square_ns / best_sq + b.flat_ns / best_flat))
+    }) {
+        base.mc = best.mc;
+        base.kc = best.kc;
+        base.nc = best.nc;
+    }
+    probes
+}
+
+fn probe_parallel_threshold(base: &mut TuneParams) {
+    if parallel::worker_count() <= 1 {
+        // One core: the driver clamps to one worker and never consults the
+        // threshold, so keep the portable default for other hosts.
+        return;
+    }
+    let sizes = [64usize, 96, 128, 192, 256];
+    for &s in &sizes {
+        let a = deterministic_input(&[s * s], 31 + s as u64);
+        let b = deterministic_input(&[s * s], 32 + s as u64);
+        let mut c = vec![0.0f32; s * s];
+        let serial = parallel::with_thread_count(1, || {
+            median_ns(3, 3, || {
+                super::gemm_with_params(s, s, s, a.as_slice(), b.as_slice(), &mut c, base);
+            })
+        });
+        let fanned = parallel::with_thread_count(2, || {
+            median_ns(3, 3, || {
+                super::gemm_with_params(s, s, s, a.as_slice(), b.as_slice(), &mut c, base);
+            })
+        });
+        if fanned < 0.9 * serial {
+            base.parallel_min_flops = s * s * s;
+            return;
+        }
+    }
+    base.parallel_min_flops = usize::MAX;
+}
+
+/// Measures conv crossover, cache blocking and the parallel threshold on
+/// this host and returns the report. Does **not** install anything — pass
+/// `report.params` to [`install`] to activate.
+pub fn autotune() -> TuneReport {
+    let mut derived = TuneParams::default();
+    let conv_probes = probe_convs();
+    derive_thresholds(&conv_probes, &mut derived);
+    let block_probes = probe_blocks(&mut derived);
+    probe_parallel_threshold(&mut derived);
+    TuneReport {
+        kernel: kernels::active().name.to_string(),
+        i8_kernel: kernels::i8_kernel_name().to_string(),
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        params: derived,
+        conv_probes,
+        block_probes,
+    }
+}
+
+/// Writes `report` to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`crate::persist::PersistError`] on I/O or serialisation failure.
+pub fn save_report(
+    report: &TuneReport,
+    path: impl AsRef<Path>,
+) -> Result<(), crate::persist::PersistError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(std::io::BufWriter::new(file), report)?;
+    Ok(())
+}
+
+/// Reads a [`TuneReport`] back from `path`.
+///
+/// # Errors
+///
+/// Returns [`crate::persist::PersistError`] on I/O or deserialisation
+/// failure.
+pub fn load_report(path: impl AsRef<Path>) -> Result<TuneReport, crate::persist::PersistError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(std::io::BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_documented_conv_constants() {
+        let d = TuneParams::default();
+        assert_eq!(d.gemm_min_out_channels, Conv2d::GEMM_MIN_OUT_CHANNELS);
+        assert_eq!(d.gemm_min_ckk, Conv2d::GEMM_MIN_CKK);
+        assert_eq!(d.gemm_min_macs, Conv2d::GEMM_MIN_FLOPS);
+        assert_eq!(d.mc % 4, 0, "mc must tile the scalar kernel");
+        assert_eq!(d.mc % 6, 0, "mc must tile the AVX2 kernel");
+    }
+
+    #[test]
+    fn threshold_derivation_relaxes_to_winners_and_guards_losers() {
+        let probe = |oc: usize, ckk: usize, macs: usize, direct: f64, gemm: f64| ConvProbe {
+            shape: format!("oc{oc} ckk{ckk}"),
+            out_channels: oc,
+            ckk,
+            macs,
+            direct_ns: direct,
+            gemm_ns: gemm,
+        };
+        let probes = vec![
+            probe(6, 25, 500_000, 100.0, 50.0),   // winner: relaxes all three
+            probe(16, 54, 2_000_000, 80.0, 20.0), // winner
+            probe(8, 36, 800_000, 40.0, 60.0),    // loser that would pass -> macs guard
+        ];
+        let mut p = TuneParams::default();
+        derive_thresholds(&probes, &mut p);
+        assert_eq!(p.gemm_min_out_channels, 6);
+        assert_eq!(p.gemm_min_ckk, 25);
+        assert_eq!(p.gemm_min_macs, 800_001);
+    }
+
+    #[test]
+    fn no_winners_keeps_defaults() {
+        let probes = vec![ConvProbe {
+            shape: "s".into(),
+            out_channels: 64,
+            ckk: 64,
+            macs: 1 << 24,
+            direct_ns: 10.0,
+            gemm_ns: 20.0,
+        }];
+        let mut p = TuneParams::default();
+        derive_thresholds(&probes, &mut p);
+        assert_eq!(p, TuneParams::default());
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let report = TuneReport {
+            kernel: "scalar-4x8".into(),
+            i8_kernel: "scalar-i8-4x16".into(),
+            host_cores: 1,
+            params: TuneParams::default(),
+            conv_probes: vec![ConvProbe {
+                shape: "conv1".into(),
+                out_channels: 6,
+                ckk: 25,
+                macs: 1000,
+                direct_ns: 1.0,
+                gemm_ns: 2.0,
+            }],
+            block_probes: vec![BlockProbe {
+                mc: 72,
+                kc: 256,
+                nc: 256,
+                square_ns: 3.0,
+                flat_ns: 4.0,
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TuneReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.params, report.params);
+        assert_eq!(back.conv_probes.len(), 1);
+        assert_eq!(back.block_probes[0].kc, 256);
+        assert!(!back.conv_probes[0].gemm_wins());
+    }
+}

@@ -62,6 +62,14 @@ pub trait Layer: Send + Sync {
     /// Clones the layer into a boxed trait object.
     fn clone_box(&self) -> Box<dyn Layer>;
 
+    /// Concrete-type access for tooling that needs layer internals (the
+    /// post-training quantizer reads `Conv2d`/`Dense` weights through this).
+    /// Layers that opt out of downcasting (the default) return `None`;
+    /// stateless layers are identified by [`Layer::name`] instead.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Zeroes all gradient accumulators.
     fn zero_grad(&mut self) {
         for p in self.params() {

@@ -125,17 +125,63 @@ impl Conv2d {
         self.path = path;
     }
 
-    /// `cols` is the batched column count `N·OH·OW`.
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel side length.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Symmetric zero padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Shared view of the `[OC, IC, K, K]` weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Shared view of the `[OC]` bias tensor.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// What [`KernelPath::Auto`] resolves to for an `[N, C, H, W]` input
+    /// under the currently installed [`gemm::tune::params`] — `true` means
+    /// the im2col+GEMM path. Benchmarks report the routed path from this
+    /// predicate instead of inferring it from timings.
+    pub fn auto_picks_gemm(&self, input: &[usize]) -> bool {
+        let (oh, ow) = self.out_hw(input[2], input[3]);
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        self.auto_thresholds_pass(ckk, input[0] * oh * ow)
+    }
+
+    fn auto_thresholds_pass(&self, ckk: usize, cols: usize) -> bool {
+        let tp = gemm::tune::params();
+        !cfg!(feature = "reference")
+            && self.out_channels >= tp.gemm_min_out_channels
+            && ckk >= tp.gemm_min_ckk
+            && self.out_channels * ckk * cols >= tp.gemm_min_macs
+    }
+
+    /// `cols` is the batched column count `N·OH·OW`. `Auto` thresholds come
+    /// from [`gemm::tune::params`] — the associated constants above are the
+    /// compile-time defaults; installing an autotuned [`gemm::tune::TuneParams`]
+    /// re-routes shapes the defaults would misclassify on this host.
     fn use_gemm(&self, ckk: usize, cols: usize) -> bool {
         match self.path {
             KernelPath::Gemm => true,
             KernelPath::Direct => false,
-            KernelPath::Auto => {
-                !cfg!(feature = "reference")
-                    && self.out_channels >= Self::GEMM_MIN_OUT_CHANNELS
-                    && ckk >= Self::GEMM_MIN_CKK
-                    && self.out_channels * ckk * cols >= Self::GEMM_MIN_FLOPS
-            }
+            KernelPath::Auto => self.auto_thresholds_pass(ckk, cols),
         }
     }
 
@@ -524,6 +570,10 @@ impl Layer for Conv2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -47,6 +47,16 @@ impl Dense {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Shared view of the `[in, out]` weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Shared view of the `[out]` bias tensor.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
 }
 
 impl Layer for Dense {
@@ -146,6 +156,10 @@ impl Layer for Dense {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

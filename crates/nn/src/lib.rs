@@ -31,7 +31,13 @@
 //! let _accuracy = evaluate_accuracy(&mut model, &test, 32);
 //! ```
 
-#![forbid(unsafe_code)]
+// The only `unsafe` in the crate is the `std::arch` microkernels in
+// `gemm::kernels` (gated behind the `simd` feature and runtime CPU feature
+// detection); every block carries a `// SAFETY:` justification, enforced by
+// the workspace `undocumented_unsafe_blocks = deny` lint. Scalar-only builds
+// (`--no-default-features`) re-establish the crate-wide forbid.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_op_in_unsafe_fn))]
 #![warn(missing_docs)]
 // The substrate's expect/panic sites are documented layer contracts
 // (`backward before forward`, shape preconditions) and thread-join
@@ -52,6 +58,7 @@ pub mod models;
 pub mod optim;
 pub mod parallel;
 pub mod persist;
+pub mod quant;
 pub mod signs;
 pub mod tensor;
 pub mod train;

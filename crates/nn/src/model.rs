@@ -89,6 +89,16 @@ impl Sequential {
         self.layers[i].params()
     }
 
+    /// Shared view of layer `i`, for inspection (e.g. quantization reads
+    /// weights through [`Layer::as_any`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
     /// Mutable parameter views of every layer, flattened in layer order.
     pub fn all_params(&mut self) -> Vec<Param<'_>> {
         self.layers.iter_mut().flat_map(|l| l.params()).collect()

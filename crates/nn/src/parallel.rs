@@ -37,6 +37,20 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// [`thread_count`] clamped to the machine's available parallelism — the
+/// worker count compute-bound kernels (GEMM) should actually spawn.
+///
+/// A compute-bound kernel gains nothing from more workers than cores:
+/// oversubscribing only adds spawn latency and context-switch overhead (the
+/// committed `BENCH_nn.json` baseline recorded *negative* 1→4 thread scaling
+/// on a 1-core host for exactly this reason). Results never depend on the
+/// worker count — workers own disjoint output slices — so clamping is purely
+/// a scheduling decision, not a semantic one.
+pub fn worker_count() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    thread_count().min(cores)
+}
+
 thread_local! {
     /// True while this thread is inside [`with_thread_count`], making
     /// nested calls skip the (non-reentrant) guard mutex.

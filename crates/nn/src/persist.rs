@@ -6,6 +6,7 @@
 //! into an identically-shaped model.
 
 use crate::model::{ModelState, Sequential};
+use crate::quant::{QuantizedModel, QuantizedState};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -90,6 +91,32 @@ pub fn load_into(model: &mut Sequential, path: impl AsRef<Path>) -> Result<(), P
     Ok(())
 }
 
+/// Writes a quantized model's int8 weights to `path` as JSON — the
+/// quantized counterpart of [`save_state`] (a quantized version's "safe
+/// memory location" for rejuvenation: inference-only models are restored
+/// wholesale, not re-trained).
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or serialisation failure.
+pub fn save_quantized(model: &QuantizedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let state = model.state();
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), &state)?;
+    Ok(())
+}
+
+/// Reads a [`QuantizedModel`] back from `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or deserialisation failure.
+pub fn load_quantized(path: impl AsRef<Path>) -> Result<QuantizedModel, PersistError> {
+    let file = File::open(path)?;
+    let state: QuantizedState = serde_json::from_reader(BufReader::new(file))?;
+    Ok(QuantizedModel::from_state(state))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +145,22 @@ mod tests {
         assert_ne!(m.forward(&x, false).as_slice(), before.as_slice());
         load_into(&mut m, &path).unwrap();
         assert_eq!(m.forward(&x, false).as_slice(), before.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantized_save_load_round_trip() {
+        let path = temp_path("quantized");
+        let f32_model = lenet_mini(16, 10, 7);
+        let mut q = crate::quant::quantize_model(&f32_model).unwrap();
+        let x = Tensor::from_vec(&[1, 1, 16, 16], vec![0.25; 256]);
+        let before = q.forward(&x, false);
+
+        save_quantized(&q, &path).unwrap();
+        let mut loaded = load_quantized(&path).unwrap();
+        assert_eq!(loaded.model_name(), q.model_name());
+        assert_eq!(loaded.state(), q.state());
+        assert_eq!(loaded.forward(&x, false).as_slice(), before.as_slice());
         std::fs::remove_file(&path).ok();
     }
 

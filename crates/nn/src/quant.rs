@@ -1,0 +1,611 @@
+//! Post-training int8 quantization for inference.
+//!
+//! The scheme is deliberately simple and fully deterministic:
+//!
+//! - **Weights**: per-layer symmetric calibration. One scale per layer,
+//!   `scale = max|w| / 127`, `q = round(w / scale)` clamped to `[-127, 127]`
+//!   (−128 is never produced, keeping the i8×i8 product inside 14 bits).
+//! - **Activations**: dynamic per-tensor symmetric quantization at each
+//!   quantized layer's input; activations stay f32 *between* layers, so
+//!   ReLU/pooling/flatten run unchanged and no calibration dataset is
+//!   needed.
+//! - **Accumulation**: exact i32 via [`crate::gemm::gemm_i8`], then one
+//!   f32 rescale `acc · (w_scale · a_scale) + bias`. Biases stay f32.
+//!
+//! [`quantize_model`] converts a trained [`Sequential`] whose layers are
+//! `Conv2d`/`Dense` (via [`crate::layer::Layer::as_any`] downcasts) plus the
+//! stateless `relu`/`maxpool2`/`flatten` layers; anything else (e.g.
+//! `Residual`, `sigmoid`) is rejected with [`QuantError::Unsupported`] — the
+//! caller keeps the f32 version for such models, which is exactly the
+//! multi-version spirit: the quantized model is an additional *diverse
+//! version*, not a replacement. [`QuantizedModel`] implements [`Layer`]
+//! (inference-only — `backward` panics), so [`QuantizedModel::into_module`]
+//! yields a [`Sequential`] that slots into the hardened N-version pipeline
+//! anywhere a trained f32 model does.
+
+use crate::gemm;
+use crate::layer::{Layer, Param};
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Why a model could not be quantized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The model contains a layer kind the quantizer does not support.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Unsupported(kind) => {
+                write!(f, "cannot quantize layer kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// The symmetric scale mapping `values` onto `[-127, 127]`:
+/// `max|v| / 127`, or `1.0` for an all-zero slice (any scale represents
+/// zeros exactly).
+pub fn symmetric_scale(values: &[f32]) -> f32 {
+    let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `values` with the given symmetric scale: `round(v / scale)`
+/// clamped to `[-127, 127]` (ties round away from zero, deterministically).
+pub fn quantize(values: &[f32], scale: f32) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect()
+}
+
+/// Maps quantized values back to f32: `q · scale`.
+pub fn dequantize(values: &[i8], scale: f32) -> Vec<f32> {
+    values.iter().map(|&q| f32::from(q) * scale).collect()
+}
+
+/// Reusable per-model inference scratch (quantized input, lowered patch
+/// matrix, i32 accumulator). Lives outside the serialized state — a loaded
+/// model starts with empty scratch and grows it on first use.
+#[derive(Debug, Clone, Default)]
+struct QScratch {
+    xq: Vec<i8>,
+    col_q: Vec<i8>,
+    acc: Vec<i32>,
+}
+
+fn grown<T: Copy>(buf: &mut Vec<T>, len: usize, fill: T) -> &mut [T] {
+    buf.clear();
+    buf.resize(len, fill);
+    &mut buf[..]
+}
+
+/// Int8 convolution: the quantized counterpart of
+/// [`crate::layers::Conv2d`] (stride 1, symmetric zero padding), weights
+/// pre-lowered to the `[OC, C·K·K]` im2col layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    /// `[OC, C·K·K]` row-major — identical element order to the f32
+    /// `[OC, IC, K, K]` tensor, so lowering is a straight quantize.
+    weight: Vec<i8>,
+    weight_scale: f32,
+    bias: Vec<f32>,
+}
+
+impl QConv2d {
+    fn from_f32(conv: &crate::layers::Conv2d) -> Self {
+        let scale = symmetric_scale(conv.weight().as_slice());
+        QConv2d {
+            in_channels: conv.in_channels(),
+            out_channels: conv.out_channels(),
+            kernel: conv.kernel_size(),
+            padding: conv.padding(),
+            weight: quantize(conv.weight().as_slice(), scale),
+            weight_scale: scale,
+            bias: conv.bias().as_slice().to_vec(),
+        }
+    }
+
+    /// The layer's weight scale (tests inspect calibration).
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            h + 2 * self.padding - self.kernel + 1,
+            w + 2 * self.padding - self.kernel + 1,
+        )
+    }
+
+    /// Quantize + pad + im2col in i8, one exact integer GEMM, one f32
+    /// rescale. Quantizing the (small) padded input and lowering *bytes* is
+    /// cheaper than lowering f32 and quantizing the (K·K× larger) patch
+    /// matrix — and gives the identical result, since im2col only copies.
+    fn forward(&self, x: &Tensor, scratch: &mut QScratch) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("qconv expects [N,C,H,W]");
+        assert_eq!(c, self.in_channels, "qconv channel mismatch");
+        let (k, p) = (self.kernel, self.padding);
+        let (oh, ow) = self.out_hw(h, w);
+        assert!(oh > 0 && ow > 0, "qconv output collapsed to zero size");
+        let (ph, pw) = (h + 2 * p, w + 2 * p);
+        let (ckk, ohow) = (c * k * k, oh * ow);
+        let cols = n * ohow;
+
+        let a_scale = symmetric_scale(x.as_slice());
+        let inv = 1.0 / a_scale;
+        // Quantized padded input (zero padding is exact in i8).
+        let xpad_q = grown(&mut scratch.xq, n * c * ph * pw, 0i8);
+        let xs = x.as_slice();
+        for plane in 0..n * c {
+            for y in 0..h {
+                let src = plane * h * w + y * w;
+                let dst = plane * ph * pw + (y + p) * pw + p;
+                for (o, &v) in xpad_q[dst..dst + w].iter_mut().zip(&xs[src..src + w]) {
+                    *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        // Byte im2col, same index math as the f32 path.
+        let col_q = grown(&mut scratch.col_q, ckk * cols, 0i8);
+        for img in 0..n {
+            for ic in 0..c {
+                let x_base = (img * c + ic) * ph * pw;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let r = (ic * k + ky) * k + kx;
+                        for oy in 0..oh {
+                            let src = x_base + (oy + ky) * pw + kx;
+                            let dst = r * cols + img * ohow + oy * ow;
+                            col_q[dst..dst + ow].copy_from_slice(&xpad_q[src..src + ow]);
+                        }
+                    }
+                }
+            }
+        }
+        let acc = grown(&mut scratch.acc, self.out_channels * cols, 0i32);
+        gemm::gemm_i8(self.out_channels, ckk, cols, &self.weight, col_q, acc);
+        let rescale = self.weight_scale * a_scale;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let os = out.as_mut_slice();
+        for img in 0..n {
+            for (oc, &bias) in self.bias.iter().enumerate() {
+                let src = &acc[oc * cols + img * ohow..][..ohow];
+                let dst = &mut os[(img * self.out_channels + oc) * ohow..][..ohow];
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o = v as f32 * rescale + bias;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Int8 fully-connected layer: the quantized counterpart of
+/// [`crate::layers::Dense`], weight kept in the same `[in, out]` layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QDense {
+    in_features: usize,
+    out_features: usize,
+    /// `[in, out]` row-major i8.
+    weight: Vec<i8>,
+    weight_scale: f32,
+    bias: Vec<f32>,
+}
+
+impl QDense {
+    fn from_f32(dense: &crate::layers::Dense) -> Self {
+        let scale = symmetric_scale(dense.weight().as_slice());
+        QDense {
+            in_features: dense.in_features(),
+            out_features: dense.out_features(),
+            weight: quantize(dense.weight().as_slice(), scale),
+            weight_scale: scale,
+            bias: dense.bias().as_slice().to_vec(),
+        }
+    }
+
+    /// The layer's weight scale (tests inspect calibration).
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    fn forward(&self, x: &Tensor, scratch: &mut QScratch) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "qdense expects [N, features]");
+        assert_eq!(x.shape()[1], self.in_features, "qdense width mismatch");
+        let n = x.shape()[0];
+        let a_scale = symmetric_scale(x.as_slice());
+        let inv = 1.0 / a_scale;
+        let xq = grown(&mut scratch.xq, n * self.in_features, 0i8);
+        for (q, &v) in xq.iter_mut().zip(x.as_slice()) {
+            *q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+        }
+        let acc = grown(&mut scratch.acc, n * self.out_features, 0i32);
+        gemm::gemm_i8(
+            n,
+            self.in_features,
+            self.out_features,
+            xq,
+            &self.weight,
+            acc,
+        );
+        let rescale = self.weight_scale * a_scale;
+        let mut y = Tensor::zeros(&[n, self.out_features]);
+        let ys = y.as_mut_slice();
+        for i in 0..n {
+            for j in 0..self.out_features {
+                ys[i * self.out_features + j] =
+                    acc[i * self.out_features + j] as f32 * rescale + self.bias[j];
+            }
+        }
+        y
+    }
+}
+
+/// One layer of a quantized model. Parametric layers carry int8 weights;
+/// the stateless layers are re-implemented on f32 activations (bitwise
+/// identical to their f32 counterparts — they only compare, select and
+/// copy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QLayer {
+    /// Int8 convolution.
+    Conv(QConv2d),
+    /// Int8 affine layer.
+    Dense(QDense),
+    /// `max(0, x)`.
+    Relu,
+    /// 2×2 stride-2 max pooling, floor semantics.
+    MaxPool2,
+    /// `[N, ...] → [N, prod]` reshape.
+    Flatten,
+}
+
+impl QLayer {
+    fn forward(&self, x: &Tensor, scratch: &mut QScratch) -> Tensor {
+        match self {
+            QLayer::Conv(conv) => conv.forward(x, scratch),
+            QLayer::Dense(dense) => dense.forward(x, scratch),
+            QLayer::Relu => {
+                let mut y = x.clone();
+                for v in y.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                y
+            }
+            QLayer::MaxPool2 => {
+                let [n, c, h, w]: [usize; 4] =
+                    x.shape().try_into().expect("maxpool expects [N,C,H,W]");
+                let (oh, ow) = (h / 2, w / 2);
+                assert!(oh > 0 && ow > 0, "maxpool input too small");
+                let xs = x.as_slice();
+                let mut out = Tensor::zeros(&[n, c, oh, ow]);
+                let os = out.as_mut_slice();
+                for plane in 0..n * c {
+                    let base = plane * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let i = base + (2 * oy) * w + 2 * ox;
+                            let best = xs[i].max(xs[i + 1]).max(xs[i + w]).max(xs[i + w + 1]);
+                            os[(plane * oh + oy) * ow + ox] = best;
+                        }
+                    }
+                }
+                out
+            }
+            QLayer::Flatten => {
+                let n = x.shape()[0];
+                x.reshape(&[n, x.len() / n])
+            }
+        }
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        match self {
+            QLayer::Conv(c) => {
+                let (oh, ow) = c.out_hw(input[2], input[3]);
+                vec![input[0], c.out_channels, oh, ow]
+            }
+            QLayer::Dense(d) => vec![input[0], d.out_features],
+            QLayer::Relu => input.to_vec(),
+            QLayer::MaxPool2 => vec![input[0], input[1], input[2] / 2, input[3] / 2],
+            QLayer::Flatten => vec![input[0], input[1..].iter().product()],
+        }
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        match self {
+            QLayer::Conv(c) => {
+                let (oh, ow) = c.out_hw(input[2], input[3]);
+                (input[0] * c.out_channels * oh * ow * c.in_channels * c.kernel * c.kernel) as u64
+            }
+            QLayer::Dense(d) => (input[0] * d.in_features * d.out_features) as u64,
+            QLayer::Flatten => 0,
+            // Same element-count convention as the f32 Relu/MaxPool2 layers,
+            // so quantized and f32 versions report identical compute cost.
+            QLayer::Relu | QLayer::MaxPool2 => input.iter().product::<usize>() as u64,
+        }
+    }
+}
+
+/// The serialisable part of a [`QuantizedModel`] (everything except
+/// inference scratch); what [`crate::persist::save_quantized`] writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedState {
+    /// Model name (`"<f32 name>-int8"`).
+    pub name: String,
+    /// Layer stack, in forward order.
+    pub layers: Vec<QLayer>,
+}
+
+/// An inference-only int8 model produced by [`quantize_model`].
+///
+/// Implements [`Layer`] so it can be wrapped ([`QuantizedModel::into_module`])
+/// into a [`Sequential`] and used as a version in the N-version pipeline;
+/// `backward` panics and `params` is empty (fault injection into a quantized
+/// version's weights is not modelled — rejuvenation reloads it wholesale).
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    name: String,
+    layers: Vec<QLayer>,
+    scratch: QScratch,
+}
+
+impl QuantizedModel {
+    /// The model's name (`"<f32 name>-int8"`).
+    pub fn model_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Snapshot of the serialisable state.
+    pub fn state(&self) -> QuantizedState {
+        QuantizedState {
+            name: self.name.clone(),
+            layers: self.layers.clone(),
+        }
+    }
+
+    /// Rebuilds a model from persisted state (fresh scratch).
+    pub fn from_state(state: QuantizedState) -> Self {
+        QuantizedModel {
+            name: state.name,
+            layers: state.layers,
+            scratch: QScratch::default(),
+        }
+    }
+
+    /// Wraps the model into a single-layer [`Sequential`] carrying the same
+    /// name, so it drops into every API that takes a trained f32 model.
+    pub fn into_module(self) -> Sequential {
+        let mut m = Sequential::new(self.name.clone());
+        m.push(self);
+        m
+    }
+}
+
+impl Layer for QuantizedModel {
+    fn name(&self) -> &'static str {
+        "quantized"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mut cur = x.clone();
+        let scratch = &mut self.scratch;
+        for layer in &self.layers {
+            cur = layer.forward(&cur, scratch);
+        }
+        cur
+    }
+
+    fn backward(&mut self, _grad_out: &Tensor) -> Tensor {
+        panic!("quantized models are inference-only; train the f32 model and re-quantize");
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let mut shape = input.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        let mut shape = input.to_vec();
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.macs(&shape);
+            shape = layer.output_shape(&shape);
+        }
+        total
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Converts a trained f32 [`Sequential`] into an int8 [`QuantizedModel`]
+/// with per-layer symmetric weight calibration.
+///
+/// # Errors
+///
+/// Returns [`QuantError::Unsupported`] if the model contains any layer other
+/// than `Conv2d`, `Dense`, `relu`, `maxpool2` or `flatten` (e.g. `Residual`
+/// blocks or `sigmoid` activations).
+pub fn quantize_model(model: &Sequential) -> Result<QuantizedModel, QuantError> {
+    let mut layers = Vec::with_capacity(model.layer_count());
+    for i in 0..model.layer_count() {
+        let layer = model.layer(i);
+        if let Some(any) = layer.as_any() {
+            if let Some(conv) = any.downcast_ref::<crate::layers::Conv2d>() {
+                layers.push(QLayer::Conv(QConv2d::from_f32(conv)));
+                continue;
+            }
+            if let Some(dense) = any.downcast_ref::<crate::layers::Dense>() {
+                layers.push(QLayer::Dense(QDense::from_f32(dense)));
+                continue;
+            }
+        }
+        match layer.name() {
+            "relu" => layers.push(QLayer::Relu),
+            "maxpool2" => layers.push(QLayer::MaxPool2),
+            "flatten" => layers.push(QLayer::Flatten),
+            other => return Err(QuantError::Unsupported(other)),
+        }
+    }
+    Ok(QuantizedModel {
+        name: format!("{}-int8", model.model_name()),
+        layers,
+        scratch: QScratch::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let values = arb(1000, 42);
+        let scale = symmetric_scale(&values);
+        let back = dequantize(&quantize(&values, scale), scale);
+        for (&v, &r) in values.iter().zip(&back) {
+            assert!(
+                (v - r).abs() <= scale * 0.5 + 1e-7,
+                "{v} -> {r} exceeds half-scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_slice_gets_unit_scale() {
+        assert!((symmetric_scale(&[0.0; 8]) - 1.0).abs() < f32::EPSILON);
+        assert_eq!(quantize(&[0.0; 4], 1.0), vec![0i8; 4]);
+    }
+
+    #[test]
+    fn extremes_map_to_plus_minus_127() {
+        let values = [-2.0f32, 0.0, 2.0];
+        let scale = symmetric_scale(&values);
+        assert_eq!(quantize(&values, scale), vec![-127, 0, 127]);
+    }
+
+    #[test]
+    fn quantized_lenet_tracks_f32_outputs() {
+        let mut f32_model = models::lenet_mini(28, 10, 6);
+        let mut q = quantize_model(&f32_model).expect("lenet_mini is quantizable");
+        assert_eq!(q.model_name(), "lenet-mini-int8");
+        let x = Tensor::from_vec(&[2, 1, 28, 28], arb(2 * 28 * 28, 9));
+        let yf = f32_model.forward(&x, false);
+        let yq = q.forward(&x, false);
+        assert_eq!(yf.shape(), yq.shape());
+        // Untrained He-normal logits are O(1); int8 keeps them close.
+        let max_abs = yf.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (f, qv) in yf.as_slice().iter().zip(yq.as_slice()) {
+            assert!(
+                (f - qv).abs() <= 0.15 * max_abs.max(1.0),
+                "f32 {f} vs int8 {qv} (max_abs {max_abs})"
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_and_macs_match_f32_model() {
+        let f32_model = models::lenet_mini(28, 10, 1);
+        let q = quantize_model(&f32_model).expect("quantizable");
+        let input = [4usize, 1, 28, 28];
+        assert_eq!(q.output_shape(&input), f32_model.output_shape(&input));
+        assert_eq!(q.macs(&input), f32_model.macs(&input));
+    }
+
+    #[test]
+    fn residual_models_are_rejected() {
+        let err = quantize_model(&models::resmlp(16, 10, 0)).unwrap_err();
+        assert!(matches!(err, QuantError::Unsupported(_)));
+    }
+
+    #[test]
+    fn into_module_predicts_like_the_raw_quantized_model() {
+        let f32_model = models::alexnet_mini(32, 10, 3);
+        let q = quantize_model(&f32_model).expect("alexnet_mini is quantizable");
+        let mut direct = q.clone();
+        let mut module = q.into_module();
+        assert_eq!(module.model_name(), "alexnet-mini-int8");
+        let x = Tensor::from_vec(&[3, 1, 32, 32], arb(3 * 32 * 32, 5));
+        assert_eq!(module.predict(&x), {
+            let y = direct.forward(&x, false);
+            let k = *y.shape().last().unwrap();
+            y.as_slice()
+                .chunks(k)
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        });
+        // Inference-only: no parameters to inject faults into.
+        assert_eq!(module.param_len(), 0);
+        assert!(module.parametric_layers().is_empty());
+    }
+
+    #[test]
+    fn state_round_trip_preserves_outputs() {
+        let f32_model = models::lenet_mini(28, 10, 2);
+        let mut q = quantize_model(&f32_model).expect("quantizable");
+        let mut restored = QuantizedModel::from_state(q.state());
+        let x = Tensor::from_vec(&[1, 1, 28, 28], arb(28 * 28, 3));
+        let a = q.forward(&x, false);
+        let b = restored.forward(&x, false);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn backward_panics() {
+        let f32_model = models::lenet_mini(28, 10, 4);
+        let mut q = quantize_model(&f32_model).expect("quantizable");
+        let x = Tensor::from_vec(&[1, 1, 28, 28], arb(28 * 28, 7));
+        let _ = q.forward(&x, true);
+        let _ = q.backward(&Tensor::zeros(&[1, 10]));
+    }
+}

@@ -1,9 +1,10 @@
 //! Property-based parity: the blocked GEMM kernels against naive references,
 //! and the layers' GEMM paths against the direct-loop reference kernels.
 
-use mvml_nn::gemm::{gemm, gemm_nt, gemm_tn};
+use mvml_nn::gemm::{gemm, gemm_i8, gemm_nt, gemm_tn, with_scalar_kernel};
 use mvml_nn::layer::Layer;
 use mvml_nn::layers::{Conv2d, Dense, KernelPath};
+use mvml_nn::quant::{dequantize, quantize, symmetric_scale};
 use mvml_nn::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -49,10 +50,95 @@ proptest! {
         let mut c = vec![0.0f32; m * n];
         gemm(m, k, n, &a, &b, &mut c);
         let reference = naive_gemm(m, k, n, &a, &b);
+        // 1e-4 rather than 1e-5: the FMA microkernel fuses the rounding of
+        // each multiply-add, so cancellation-heavy dot products can drift
+        // further from the strictly-rounded naive loop.
         for (got, want) in c.iter().zip(&reference) {
             prop_assert!(
-                (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
                 "gemm {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// The SIMD microkernel agrees with the scalar-unrolled fallback to the
+    /// same relative tolerance (different accumulation grouping, so bitwise
+    /// equality is not expected — exact determinism is per-kernel).
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn simd_kernel_matches_scalar_fallback(
+        m in 1usize..24, k in 1usize..320, n in 1usize..24, salt in 0u64..1_000,
+    ) {
+        let a = fill(m * k, salt);
+        let b = fill(k * n, salt ^ 0x77);
+        let mut fast = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut fast);
+        let mut scalar = vec![0.0f32; m * n];
+        with_scalar_kernel(|| gemm(m, k, n, &a, &b, &mut scalar));
+        for (got, want) in fast.iter().zip(&scalar) {
+            prop_assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "simd vs scalar {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// The i8×i8→i32 GEMM is integer arithmetic: it must match the naive
+    /// triple loop *exactly*, remainder tiles and all, on whatever kernel
+    /// the host dispatches.
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn gemm_i8_matches_naive_exactly(
+        m in 1usize..24, k in 1usize..320, n in 1usize..24, salt in 0u64..1_000,
+    ) {
+        let quantish = |len: usize, s: u64| -> Vec<i8> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u64).wrapping_add(s).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    ((h >> 32) % 255) as i32 as i8 // wraps into [-128, 126]…
+                })
+                .map(|v| if v == i8::MIN { 0 } else { v }) // kernel domain is [-127, 127]
+                .collect()
+        };
+        let a = quantish(m * k, salt);
+        let b = quantish(k * n, salt ^ 0xBEEF);
+        let mut c = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i32 = (0..k)
+                    .map(|p| i32::from(a[i * k + p]) * i32::from(b[p * n + j]))
+                    .sum();
+                prop_assert!(
+                    c[i * n + j] == want,
+                    "i8 gemm {m}x{k}x{n} at ({i}, {j}): {} vs {want}",
+                    c[i * n + j]
+                );
+            }
+        }
+    }
+
+    /// Symmetric quantize→dequantize stays within half a quantization step
+    /// of the original for every in-range value, and the all-zero edge case
+    /// round-trips exactly.
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn quantize_round_trip_error_is_bounded(
+        len in 1usize..256, scale_exp in -6i32..6, salt in 0u64..1_000,
+    ) {
+        let spread = 2.0f32.powi(scale_exp);
+        let values: Vec<f32> = fill(len, salt).iter().map(|v| v * 2.0 * spread).collect();
+        let scale = symmetric_scale(&values);
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max_abs > 0.0 {
+            prop_assert!((scale - max_abs / 127.0).abs() <= f32::EPSILON * max_abs.max(1.0));
+        }
+        let q = quantize(&values, scale);
+        let back = dequantize(&q, scale);
+        for (orig, deq) in values.iter().zip(&back) {
+            prop_assert!(
+                (orig - deq).abs() <= 0.5 * scale * (1.0 + 1e-5),
+                "round trip {orig} -> {deq} beyond half-step {scale}"
             );
         }
     }

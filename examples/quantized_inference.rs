@@ -1,0 +1,101 @@
+//! Int8 quantized inference: post-training-quantize a trained traffic-sign
+//! classifier, compare its accuracy and memory footprint against the f32
+//! parent, persist it to the "safe memory location", and serve it as one
+//! diverse version inside the hardened N-version system.
+//!
+//! Run with: `cargo run --release --example quantized_inference`
+// Demo code: aborting on a broken step is the desired behaviour, so
+// unwrap/expect are allowed file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use resilient_perception::mvml::{NVersionSystem, StateReliability};
+use resilient_perception::nn::metrics::evaluate_accuracy;
+use resilient_perception::nn::models::{alexnet_mini, lenet_mini};
+use resilient_perception::nn::persist::{load_quantized, save_quantized};
+use resilient_perception::nn::quant::{quantize_model, QLayer};
+use resilient_perception::nn::signs::{generate, SignConfig};
+use resilient_perception::nn::train::{train_classifier, TrainConfig};
+
+fn main() {
+    // 1. A small traffic-sign problem so the example runs in seconds.
+    let sign = SignConfig {
+        classes: 8,
+        noise_std: 0.08,
+        ..SignConfig::default()
+    };
+    let train = generate(&sign, 600, 0);
+    let test = generate(&sign, 200, 1);
+
+    println!("training the f32 parent model…");
+    let mut lenet = lenet_mini(sign.image_size, sign.classes, 38);
+    let tc = TrainConfig {
+        epochs: 6,
+        batch_size: 64,
+        lr: 0.08,
+        ..TrainConfig::default()
+    };
+    train_classifier(&mut lenet, &train, &tc);
+    let f32_accuracy = evaluate_accuracy(&mut lenet, &test, 64);
+
+    // 2. Post-training quantization: per-layer symmetric int8 weights,
+    //    dynamic per-tensor activation scales at inference time.
+    let quantized = quantize_model(&lenet).expect("lenet_mini uses only quantizable layers");
+    println!("\nquantized '{}' layer scales:", quantized.model_name());
+    for (i, layer) in quantized.layers().iter().enumerate() {
+        match layer {
+            QLayer::Conv(c) => {
+                println!("  layer {i}: conv2d  weight scale {:.6}", c.weight_scale())
+            }
+            QLayer::Dense(d) => {
+                println!("  layer {i}: dense   weight scale {:.6}", d.weight_scale())
+            }
+            _ => {}
+        }
+    }
+    let weights: usize = lenet.all_params().iter().map(|p| p.values.len()).sum();
+    println!(
+        "weights: {weights} parameters, {} KiB as f32 vs {} KiB as int8",
+        weights * 4 / 1024,
+        weights / 1024
+    );
+
+    let mut q_module = quantized.clone().into_module();
+    let int8_accuracy = evaluate_accuracy(&mut q_module, &test, 64);
+    println!(
+        "\ntop-1 accuracy: f32 {f32_accuracy:.3} vs int8 {int8_accuracy:.3} (drop {:+.4})",
+        f32_accuracy - int8_accuracy
+    );
+
+    // 3. The safe memory location: rejuvenation restores a quantized
+    //    version wholesale from disk (no retraining, no re-quantization).
+    let path = std::env::temp_dir().join("quantized_lenet.json");
+    save_quantized(&quantized, &path).expect("persist quantized weights");
+    let restored = load_quantized(&path).expect("reload quantized weights");
+    assert_eq!(restored.state(), quantized.state());
+    println!("persisted + restored byte-identical int8 weights via {path:?}");
+    std::fs::remove_file(&path).ok();
+
+    // 4. Serve the int8 model as one diverse version among f32 peers.
+    println!("\ntraining an f32 peer for the mixed-precision 3-version system…");
+    let mut alex = alexnet_mini(sign.image_size, sign.classes, 39);
+    train_classifier(&mut alex, &train, &tc);
+    let mut system = NVersionSystem::new(vec![alex, lenet, restored.into_module()]);
+    let report = system.evaluate(&test, 64);
+    println!(
+        "mixed f32/int8 3-version system: reliability {:.3}, coverage {:.3}",
+        report.reliability(),
+        report.coverage()
+    );
+
+    // 5. Feed the measured accuracy delta into the analytic state model:
+    //    the quantized member plays the degraded role with
+    //    p' = p + measured drop.
+    let drop = (f32_accuracy - int8_accuracy).max(0.0);
+    let mixed = StateReliability::from_measured_accuracy(0.05, drop, 0.53);
+    let all_f32 = StateReliability::from_probabilities(0.05, 0.05, 0.53);
+    println!(
+        "analytic reliability, 2 healthy + 1 int8: {:.4} (all-f32 bound {:.4})",
+        mixed.reliability(2, 1),
+        all_f32.reliability(3, 0)
+    );
+}
