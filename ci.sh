@@ -8,6 +8,19 @@
 #                petri benchmarks, ~minutes, and compares against the
 #                committed `results/BENCH_*.json` — which are host-specific,
 #                so skip it on hosts the baselines weren't measured on).
+#   VERIFY_GATE=0 skip the static recoverability-verification gate (it
+#                re-certifies every shipped DSPN model and re-runs the
+#                mutation rejections, then ratchets against the committed
+#                `results/VERIFY_petri.json`).
+#   LOOM=0       skip the exhaustive-interleaving lane (it rebuilds mvml-nn
+#                under `--cfg loom` into target/loom and explores every
+#                sequentially-consistent schedule of the parallel-GEMM
+#                handoff model; seconds once the lane's target dir is warm).
+#   ASAN=1       additionally run the nn suite (unit + integration — the
+#                SIMD microkernels and the unsafe packing paths) under
+#                AddressSanitizer on the nightly toolchain. Gracefully
+#                skipped when no nightly toolchain is installed. Doctests
+#                are excluded: rustdoc cannot link the ASan runtime.
 #   MIRI=1       additionally run the nn kernel/thread-pool suite under miri
 #                to catch undefined behaviour. The SIMD microkernels are
 #                cfg'd out under miri (std::arch intrinsics aren't
@@ -67,6 +80,57 @@ cmp "$SMOKE_OUT" "$SMOKE_OFF" \
   || { echo "telemetry perturbed the campaign report" >&2; exit 1; }
 echo "telemetry-on ${t_on}s vs telemetry-off ${t_off}s; reports byte-identical"
 rm -f "$SMOKE_OUT" "$SMOKE_TEL" "$SMOKE_OFF"
+
+# Recoverability-verification gate: regenerate the static certificates
+# (every shipped model must satisfy its property batch with witness paths,
+# every deliberate model mutation must be rejected with a counterexample —
+# the bin exits non-zero if either direction fails), schema-validate both
+# the fresh and the committed artifact, then ratchet: a property certified
+# in the committed `results/VERIFY_petri.json` may never silently regress.
+if [[ "${VERIFY_GATE:-1}" == "1" ]]; then
+  echo "== verify gate: static recoverability certificates =="
+  VERIFY_FRESH="target/verify-fresh.json"
+  cargo run -q --release -p mvml-bench --bin verify_models -- \
+    --out "$VERIFY_FRESH" >/dev/null
+  cargo run -q --release -p mvml-bench --bin verify_models -- \
+    --validate "$VERIFY_FRESH"
+  cargo run -q --release -p mvml-bench --bin verify_models -- \
+    --validate results/VERIFY_petri.json
+  cargo run -q --release -p mvml-bench --bin verify_models -- \
+    --ratchet results/VERIFY_petri.json "$VERIFY_FRESH"
+  rm -f "$VERIFY_FRESH"
+else
+  echo "VERIFY_GATE=0: skipping the recoverability-verification gate"
+fi
+
+# Exhaustive-interleaving lane: rebuild mvml-nn under `--cfg loom` (its own
+# target dir so the flag doesn't thrash the main fingerprint cache) and run
+# the schedule explorer over the parallel-GEMM handoff models — every
+# sequentially-consistent interleaving must produce bitwise-identical
+# output, and the deliberately-racy negative model must be caught.
+if [[ "${LOOM:-1}" == "1" ]]; then
+  echo "== loom lane: exhaustive interleavings of the GEMM handoff =="
+  CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+    cargo test -q -p mvml-nn --test loom_interleavings
+else
+  echo "LOOM=0: skipping the exhaustive-interleaving lane"
+fi
+
+# AddressSanitizer lane (opt-in, mirrors the miri gate): instruments the
+# whole nn suite including the `std::arch` SIMD microkernels that miri
+# cannot interpret. Requires nightly for `-Zsanitizer=address`; the
+# explicit --target keeps the sanitizer runtime off build scripts.
+if [[ "${ASAN:-0}" == "1" ]]; then
+  if cargo +nightly --version >/dev/null 2>&1; then
+    echo "== asan: nn suite (SIMD microkernels included) =="
+    HOST_TRIPLE=$(rustc -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=address" CARGO_TARGET_DIR=target/asan \
+      cargo +nightly test -q -p mvml-nn --target "$HOST_TRIPLE" --lib --tests
+  else
+    echo "ASAN=1 requested but no nightly toolchain is installed; skipping." >&2
+    echo "(install: rustup toolchain install nightly)" >&2
+  fi
+fi
 
 # Perf-regression gate: re-measure the benchmark summaries and fail when
 # any tracked metric loses >25% of its committed-baseline throughput.

@@ -1,0 +1,234 @@
+//! Static recoverability certification of every shipped MVML model.
+//!
+//! Verifies the standard property batch (recoverability, quorum safety,
+//! token bounds, module conservation — see `mvml_core::dspn`) against the
+//! reactive and proactive DSPNs for n = 2..=6 under the paper's Table IV
+//! timing, plus the hardened-campaign accelerated configurations, and then
+//! runs the *negative* direction: every deliberate model mutation must be
+//! rejected with a counterexample trace. Both halves land in
+//! `results/VERIFY_petri.json` (witness paths and counterexamples are
+//! machine-readable certificates, not just booleans).
+//!
+//! Usage:
+//!   `verify_models [--out PATH]`            generate + self-validate
+//!   `verify_models --validate PATH`         validate an existing artifact
+//!   `verify_models --ratchet BASE FRESH`    fail on lost certificates
+//!
+//! Exits non-zero if any shipped model loses a property, any mutation goes
+//! unrejected, or validation/ratchet finds a violation.
+
+use mvml_bench::campaign::accelerated_params;
+use mvml_bench::verifyreport::{
+    model_json, ratchet, validate, MutationJson, TraceStepJson, VerifyArtifact, CERTIFIED_N,
+    PARAMS_ACCELERATED, PARAMS_PAPER, SCHEMA,
+};
+use mvml_core::dspn::{
+    broken_model, reactive_only, standard_properties, with_proactive, ModelMutation, MvmlNet,
+};
+use mvml_core::SystemParams;
+use mvml_petri::{Certificate, VerifyReport};
+use std::process::ExitCode;
+
+fn build(n: u32, proactive: bool, params: &SystemParams) -> MvmlNet {
+    if proactive {
+        with_proactive(n, params)
+    } else {
+        reactive_only(n, params)
+    }
+    .expect("shipped model must build and certify")
+}
+
+fn verify_shipped(n: u32, proactive: bool, params: &SystemParams) -> VerifyReport {
+    let mv = build(n, proactive, params);
+    let props = standard_properties(&mv, n);
+    mv.net.verify(&props).expect("verification must complete")
+}
+
+/// Runs one mutation and flattens the rejection evidence.
+fn run_mutation(
+    n: u32,
+    proactive: bool,
+    params: &SystemParams,
+    mutation: ModelMutation,
+) -> MutationJson {
+    let (mv, props) =
+        broken_model(n, proactive, params, mutation).expect("mutated model must still build");
+    let report = mv.net.verify(&props).expect("verification must complete");
+    let failed: Vec<String> = report
+        .results
+        .iter()
+        .filter(|r| !r.holds)
+        .map(|r| r.property.clone())
+        .collect();
+    let (marking, trace) = report
+        .results
+        .iter()
+        .find_map(|r| match &r.certificate {
+            Certificate::Counterexample { marking, trace, .. } => Some((
+                marking.clone(),
+                trace
+                    .iter()
+                    .map(|s| TraceStepJson {
+                        transition: s.transition.clone(),
+                        marking: s.marking.clone(),
+                    })
+                    .collect(),
+            )),
+            _ => None,
+        })
+        .unwrap_or_default();
+    MutationJson {
+        net: report.net_name.clone(),
+        n,
+        proactive,
+        mutation: mutation.tag().to_string(),
+        rejected: !report.all_hold(),
+        failed_properties: failed,
+        counterexample_marking: marking,
+        counterexample_trace: trace,
+    }
+}
+
+fn load(path: &str) -> Result<VerifyArtifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn print_violations(what: &str, errors: &[String]) {
+    eprintln!("{what}: {} violation(s)", errors.len());
+    for e in errors {
+        eprintln!("  - {e}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first().map(String::as_str) {
+        Some("--validate") => {
+            let path = args
+                .get(1)
+                .map_or("results/VERIFY_petri.json", String::as_str);
+            return match load(path).map(|a| validate(&a).map_err(|e| (a, e))) {
+                Ok(Ok(())) => {
+                    println!("{path}: schema + coverage valid");
+                    ExitCode::SUCCESS
+                }
+                Ok(Err((_, errors))) => {
+                    print_violations(path, &errors);
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("--ratchet") => {
+            let (Some(base), Some(fresh)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: verify_models --ratchet BASELINE FRESH");
+                return ExitCode::FAILURE;
+            };
+            return match (load(base), load(fresh)) {
+                (Ok(b), Ok(f)) => match ratchet(&b, &f) {
+                    Ok(()) => {
+                        println!("ratchet ok: no previously-certified property lost");
+                        ExitCode::SUCCESS
+                    }
+                    Err(errors) => {
+                        print_violations("ratchet", &errors);
+                        ExitCode::FAILURE
+                    }
+                },
+                (b, f) => {
+                    for e in [b.err(), f.err()].into_iter().flatten() {
+                        eprintln!("{e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
+
+    let out_path = match args.split_first() {
+        Some((flag, rest)) if flag == "--out" => rest
+            .first()
+            .map(String::as_str)
+            .unwrap_or("results/VERIFY_petri.json"),
+        _ => "results/VERIFY_petri.json",
+    };
+
+    let paper = SystemParams::paper_table_iv();
+    let accelerated = accelerated_params();
+    let mut models = Vec::new();
+    let mut ok = true;
+
+    // Positive direction: paper timing across the whole certified range,
+    // plus the hardened-campaign accelerated timing at the campaign's
+    // 3-module configuration.
+    let mut configs: Vec<(u32, bool, &SystemParams, &str)> = Vec::new();
+    for n in CERTIFIED_N {
+        for proactive in [false, true] {
+            configs.push((n, proactive, &paper, PARAMS_PAPER));
+        }
+    }
+    for proactive in [false, true] {
+        configs.push((3, proactive, &accelerated, PARAMS_ACCELERATED));
+    }
+    for (n, proactive, params, label) in configs {
+        let report = verify_shipped(n, proactive, params);
+        print!("{report}");
+        if !report.all_hold() {
+            eprintln!("FAIL: {} ({label}) lost a property", report.net_name);
+            ok = false;
+        }
+        models.push(model_json(&report, n, proactive, label));
+    }
+
+    // Negative direction: every mutation on both 3-module variants must be
+    // rejected with a counterexample.
+    let mut mutations = Vec::new();
+    for proactive in [false, true] {
+        for mutation in ModelMutation::ALL {
+            let m = run_mutation(3, proactive, &paper, mutation);
+            if m.rejected {
+                println!(
+                    "rejected `{}` on {}: {} fail(s), stranded at [{}]",
+                    m.mutation,
+                    m.net,
+                    m.failed_properties.len(),
+                    m.counterexample_marking
+                );
+            } else {
+                eprintln!(
+                    "FAIL: mutation `{}` on {} was NOT rejected",
+                    m.mutation, m.net
+                );
+                ok = false;
+            }
+            mutations.push(m);
+        }
+    }
+
+    let artifact = VerifyArtifact {
+        schema: SCHEMA.to_string(),
+        generator: "verify_models".to_string(),
+        models,
+        mutations,
+    };
+    if let Err(errors) = validate(&artifact) {
+        print_violations("generated artifact", &errors);
+        ok = false;
+    }
+
+    let json = serde_json::to_string(&artifact).expect("serialise verify artifact");
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

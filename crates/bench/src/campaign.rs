@@ -193,7 +193,9 @@ fn campaign_sign_config() -> SignConfig {
 
 /// Chain timing parameters sped up ~12× relative to the paper's Table IV,
 /// so a few thousand frames observe dozens of compromise/repair cycles.
-fn accelerated_params() -> SystemParams {
+/// Public so the `verify_models` gate can certify the hardened-campaign
+/// configuration alongside the paper's.
+pub fn accelerated_params() -> SystemParams {
     SystemParams {
         mttc: 120.0,
         mttf: 60.0,

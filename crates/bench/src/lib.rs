@@ -10,6 +10,8 @@
 //!   route campaigns).
 //! * [`summary`] — host benchmark summaries (`BENCH_nn.json`,
 //!   `BENCH_petri.json`) and the CI perf-regression comparison over them.
+//! * [`verifyreport`] — schema, validation and ratchet comparison for the
+//!   recoverability certificates in `results/VERIFY_petri.json`.
 //! * [`mod@format`] — plain-text table rendering.
 //!
 //! | Binary | Regenerates |
@@ -23,6 +25,7 @@
 //! | `table8_overhead` | Table VIII (FPS / CPU / compute overhead) |
 //! | `petri_analyze` | Structural certificates for the paper nets (`results/ANALYSIS_petri.json`) |
 //! | `campaign` | Runtime fault-injection campaign (`results/CAMPAIGN_runtime.json`) |
+//! | `verify_models` | Static recoverability certificates + mutation rejections (`results/VERIFY_petri.json`) |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -34,3 +37,4 @@ pub mod campaign;
 pub mod casestudy;
 pub mod format;
 pub mod summary;
+pub mod verifyreport;

@@ -1,0 +1,515 @@
+//! Schema, validation and ratchet comparison for `results/VERIFY_petri.json`
+//! — the machine-readable recoverability certificates emitted by the
+//! `verify_models` bin and gated in `ci.sh`.
+//!
+//! The artifact has two halves, and both are load-bearing: `models` holds
+//! the positive certificates (every shipped model satisfies its standard
+//! property batch, with witness paths), `mutations` holds the negative
+//! evidence (every deliberately broken variant is rejected with a concrete
+//! counterexample trace). A verifier that stopped rejecting mutations
+//! would pass the positive half trivially, so [`validate`] demands both.
+//! [`ratchet`] then compares a freshly generated artifact against the
+//! committed baseline: a property certified once may never silently
+//! regress.
+
+use mvml_petri::{Certificate, PropertyResult, VerifyReport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Current artifact schema tag.
+pub const SCHEMA: &str = "mvml-verify-v1";
+
+/// Parameter-set label for the paper's Table IV timing.
+pub const PARAMS_PAPER: &str = "paper-table-iv";
+
+/// Parameter-set label for the hardened-campaign accelerated timing.
+pub const PARAMS_ACCELERATED: &str = "accelerated-campaign";
+
+/// Module counts every shipped model is certified for.
+pub const CERTIFIED_N: std::ops::RangeInclusive<u32> = 2..=6;
+
+/// One step of a serialized witness path or counterexample trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStepJson {
+    /// Fired transition name.
+    pub transition: String,
+    /// Marking reached, rendered as `place:tokens` pairs.
+    pub marking: String,
+}
+
+/// One verified property with its flattened certificate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertyJson {
+    /// Property name (e.g. `always-recoverable`).
+    pub name: String,
+    /// Property kind tag (e.g. `always-recoverable`, `custom-safety`).
+    pub kind: String,
+    /// Whether the property holds.
+    pub holds: bool,
+    /// Certificate kind tag: `witness-path`, `invariant-bound`,
+    /// `exhaustive-check` or `counterexample`.
+    pub certificate: String,
+    /// One-line human summary of the evidence.
+    pub summary: String,
+    /// The distinguished marking: the worst reachable marking for witness
+    /// certificates, the offending marking for counterexamples.
+    pub marking: Option<String>,
+    /// Recovery-path length for witness certificates.
+    pub steps: Option<usize>,
+    /// Witness path (success) or trace from the initial marking to the
+    /// offender (failure).
+    pub trace: Vec<TraceStepJson>,
+}
+
+/// Positive certification of one shipped model configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelJson {
+    /// Net name (e.g. `mvml-3v-proactive`).
+    pub net: String,
+    /// Module count.
+    pub n: u32,
+    /// Whether the model includes proactive rejuvenation.
+    pub proactive: bool,
+    /// Parameter-set label ([`PARAMS_PAPER`] or [`PARAMS_ACCELERATED`]).
+    pub params: String,
+    /// Reachable markings explored (tangible + vanishing).
+    pub states: usize,
+    /// Tangible markings among them.
+    pub tangible_states: usize,
+    /// P-invariants every explored marking was checked against.
+    pub p_invariants: usize,
+    /// Whether every property holds.
+    pub certified: bool,
+    /// Per-property verdicts.
+    pub properties: Vec<PropertyJson>,
+}
+
+/// Negative evidence: one deliberately broken model variant and its
+/// rejection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MutationJson {
+    /// Net name of the mutated model.
+    pub net: String,
+    /// Module count.
+    pub n: u32,
+    /// Whether the mutated model includes proactive rejuvenation.
+    pub proactive: bool,
+    /// Mutation tag (e.g. `drop-rejuvenation-arc`).
+    pub mutation: String,
+    /// Whether the verifier rejected the mutated model (must be `true`).
+    pub rejected: bool,
+    /// Names of the properties that failed.
+    pub failed_properties: Vec<String>,
+    /// The stranded/offending marking of the first counterexample.
+    pub counterexample_marking: String,
+    /// Firing trace from the initial marking to that marking.
+    pub counterexample_trace: Vec<TraceStepJson>,
+}
+
+/// The full `VERIFY_petri.json` artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyArtifact {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Generating binary.
+    pub generator: String,
+    /// Positive certificates.
+    pub models: Vec<ModelJson>,
+    /// Negative (mutation-rejection) evidence.
+    pub mutations: Vec<MutationJson>,
+}
+
+/// Flattens one [`PropertyResult`] into its JSON form.
+pub fn property_json(result: &PropertyResult) -> PropertyJson {
+    let (marking, steps, trace) = match &result.certificate {
+        Certificate::Witness {
+            worst_marking,
+            recovery_steps,
+            path,
+            ..
+        } => (
+            Some(worst_marking.clone()),
+            Some(*recovery_steps),
+            path.iter()
+                .map(|s| TraceStepJson {
+                    transition: s.transition.clone(),
+                    marking: s.marking.clone(),
+                })
+                .collect(),
+        ),
+        Certificate::Counterexample { marking, trace, .. } => (
+            Some(marking.clone()),
+            None,
+            trace
+                .iter()
+                .map(|s| TraceStepJson {
+                    transition: s.transition.clone(),
+                    marking: s.marking.clone(),
+                })
+                .collect(),
+        ),
+        _ => (None, None, Vec::new()),
+    };
+    PropertyJson {
+        name: result.property.clone(),
+        kind: result.kind.to_string(),
+        holds: result.holds,
+        certificate: result.certificate.kind().to_string(),
+        summary: result.certificate.summary(),
+        marking,
+        steps,
+        trace,
+    }
+}
+
+/// Flattens a whole [`VerifyReport`] into a [`ModelJson`].
+pub fn model_json(report: &VerifyReport, n: u32, proactive: bool, params: &str) -> ModelJson {
+    ModelJson {
+        net: report.net_name.clone(),
+        n,
+        proactive,
+        params: params.to_string(),
+        states: report.states,
+        tangible_states: report.tangible_states,
+        p_invariants: report.p_invariant_count,
+        certified: report.all_hold(),
+        properties: report.results.iter().map(property_json).collect(),
+    }
+}
+
+/// Property names every model must certify; proactive models additionally
+/// certify the second list.
+pub const REQUIRED_PROPERTIES: [&str; 4] = [
+    "always-recoverable",
+    "recoverable-without-new-compromise",
+    "quorum-never-stranded",
+    "module-conservation",
+];
+
+/// Additional property names required of proactive models.
+pub const REQUIRED_PROACTIVE_PROPERTIES: [&str; 3] = [
+    "recoverable-by-rejuvenation-alone",
+    "single-rejuvenation-in-flight",
+    "single-pending-action",
+];
+
+/// Mutation tags the negative half must cover, per model variant.
+pub const REQUIRED_MUTATIONS: [&str; 3] = [
+    "drop-rejuvenation-arc",
+    "zero-repair-rate",
+    "raise-quorum-threshold",
+];
+
+fn check(cond: bool, msg: impl FnOnce() -> String, errors: &mut Vec<String>) {
+    if !cond {
+        errors.push(msg());
+    }
+}
+
+/// Validates an artifact against the schema contract: full model coverage
+/// (both variants, every certified `n`, both parameter sets), every
+/// property holding with the right certificate shape, and every required
+/// mutation rejected with a concrete counterexample.
+///
+/// # Errors
+///
+/// Returns the list of violations (empty ⇒ `Ok`).
+pub fn validate(artifact: &VerifyArtifact) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+    check(
+        artifact.schema == SCHEMA,
+        || format!("schema `{}` != `{SCHEMA}`", artifact.schema),
+        e,
+    );
+
+    // Positive coverage: n=2..=6 × both variants under the paper params,
+    // plus at least one accelerated-campaign configuration per variant.
+    for n in CERTIFIED_N {
+        for proactive in [false, true] {
+            check(
+                artifact
+                    .models
+                    .iter()
+                    .any(|m| m.n == n && m.proactive == proactive && m.params == PARAMS_PAPER),
+                || format!("missing model n={n} proactive={proactive} params={PARAMS_PAPER}"),
+                e,
+            );
+        }
+    }
+    for proactive in [false, true] {
+        check(
+            artifact
+                .models
+                .iter()
+                .any(|m| m.proactive == proactive && m.params == PARAMS_ACCELERATED),
+            || format!("missing accelerated-campaign model (proactive={proactive})"),
+            e,
+        );
+    }
+
+    for m in &artifact.models {
+        let ctx = format!("model {} ({})", m.net, m.params);
+        check(m.certified, || format!("{ctx}: not certified"), e);
+        check(m.states > 0, || format!("{ctx}: empty state space"), e);
+        check(
+            m.tangible_states <= m.states,
+            || format!("{ctx}: tangible > total states"),
+            e,
+        );
+        check(
+            m.p_invariants > 0,
+            || format!("{ctx}: no P-invariants checked"),
+            e,
+        );
+        let names: BTreeSet<&str> = m.properties.iter().map(|p| p.name.as_str()).collect();
+        let mut required: Vec<&str> = REQUIRED_PROPERTIES.to_vec();
+        if m.proactive {
+            required.extend(REQUIRED_PROACTIVE_PROPERTIES);
+        }
+        for name in required {
+            check(
+                names.contains(name),
+                || format!("{ctx}: missing property `{name}`"),
+                e,
+            );
+        }
+        for p in &m.properties {
+            let pctx = format!("{ctx} property `{}`", p.name);
+            check(p.holds, || format!("{pctx}: does not hold"), e);
+            check(
+                p.certificate != "counterexample",
+                || format!("{pctx}: counterexample certificate on a holding property"),
+                e,
+            );
+            if p.kind == "always-recoverable" {
+                check(
+                    p.certificate == "witness-path",
+                    || format!("{pctx}: expected a witness path, got `{}`", p.certificate),
+                    e,
+                );
+                check(
+                    p.marking.as_deref().is_some_and(|m| !m.is_empty()),
+                    || format!("{pctx}: witness lacks its worst marking"),
+                    e,
+                );
+                check(
+                    p.steps.is_some_and(|s| s == p.trace.len()),
+                    || format!("{pctx}: recovery steps disagree with the witness path"),
+                    e,
+                );
+            }
+        }
+    }
+
+    // Negative coverage: each mutation × each variant, all rejected.
+    for tag in REQUIRED_MUTATIONS {
+        for proactive in [false, true] {
+            check(
+                artifact
+                    .mutations
+                    .iter()
+                    .any(|m| m.mutation == tag && m.proactive == proactive),
+                || format!("missing mutation `{tag}` (proactive={proactive})"),
+                e,
+            );
+        }
+    }
+    for m in &artifact.mutations {
+        let ctx = format!("mutation `{}` on {}", m.mutation, m.net);
+        check(m.rejected, || format!("{ctx}: NOT rejected"), e);
+        check(
+            !m.failed_properties.is_empty(),
+            || format!("{ctx}: no failed properties recorded"),
+            e,
+        );
+        check(
+            !m.counterexample_marking.is_empty(),
+            || format!("{ctx}: counterexample lacks its stranded marking"),
+            e,
+        );
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// The ratchet: every property certified in `baseline` must still be
+/// certified in `fresh`, and every mutation rejected in `baseline` must
+/// still be rejected. New models/properties in `fresh` are fine; losing a
+/// certificate is not.
+///
+/// # Errors
+///
+/// Returns the list of regressions (empty ⇒ `Ok`).
+pub fn ratchet(baseline: &VerifyArtifact, fresh: &VerifyArtifact) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for bm in &baseline.models {
+        let Some(fm) = fresh
+            .models
+            .iter()
+            .find(|m| m.net == bm.net && m.params == bm.params)
+        else {
+            errors.push(format!(
+                "model {} ({}) disappeared from the fresh artifact",
+                bm.net, bm.params
+            ));
+            continue;
+        };
+        for bp in bm.properties.iter().filter(|p| p.holds) {
+            match fm.properties.iter().find(|p| p.name == bp.name) {
+                Some(fp) if fp.holds => {}
+                Some(_) => errors.push(format!(
+                    "model {} ({}): previously certified property `{}` now FAILS",
+                    bm.net, bm.params, bp.name
+                )),
+                None => errors.push(format!(
+                    "model {} ({}): previously certified property `{}` disappeared",
+                    bm.net, bm.params, bp.name
+                )),
+            }
+        }
+    }
+    for bmut in baseline.mutations.iter().filter(|m| m.rejected) {
+        match fresh
+            .mutations
+            .iter()
+            .find(|m| m.net == bmut.net && m.mutation == bmut.mutation)
+        {
+            Some(fmut) if fmut.rejected => {}
+            Some(_) => errors.push(format!(
+                "mutation `{}` on {} is no longer rejected",
+                bmut.mutation, bmut.net
+            )),
+            None => errors.push(format!(
+                "mutation `{}` on {} disappeared from the fresh artifact",
+                bmut.mutation, bmut.net
+            )),
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use mvml_core::dspn::{standard_properties, with_proactive};
+    use mvml_core::SystemParams;
+
+    fn tiny_artifact() -> VerifyArtifact {
+        // A real single-model verification flattened into artifact form,
+        // padded to full coverage by cloning across (n, variant, params):
+        // the unit under test here is validate/ratchet bookkeeping, not the
+        // verifier (the bin's output is validated end-to-end in CI).
+        let p = SystemParams::paper_table_iv();
+        let mut models = Vec::new();
+        for n in CERTIFIED_N {
+            for (proactive, params) in [(true, PARAMS_PAPER), (false, PARAMS_PAPER)] {
+                let mv = if proactive {
+                    with_proactive(n, &p).unwrap()
+                } else {
+                    mvml_core::dspn::reactive_only(n, &p).unwrap()
+                };
+                let report = mv.net.verify(&standard_properties(&mv, n)).unwrap();
+                models.push(model_json(&report, n, proactive, params));
+            }
+        }
+        for proactive in [false, true] {
+            let mut m = models[if proactive { 0 } else { 1 }].clone();
+            m.params = PARAMS_ACCELERATED.to_string();
+            models.push(m);
+        }
+        let mutations = REQUIRED_MUTATIONS
+            .iter()
+            .flat_map(|tag| {
+                [false, true].map(|proactive| MutationJson {
+                    net: format!(
+                        "mvml-3v-{}",
+                        if proactive { "proactive" } else { "reactive" }
+                    ),
+                    n: 3,
+                    proactive,
+                    mutation: (*tag).to_string(),
+                    rejected: true,
+                    failed_properties: vec!["always-recoverable".to_string()],
+                    counterexample_marking: "Pmh:2 Pmc:1 Pmf:0".to_string(),
+                    counterexample_trace: vec![TraceStepJson {
+                        transition: "Tc".to_string(),
+                        marking: "Pmh:2 Pmc:1 Pmf:0".to_string(),
+                    }],
+                })
+            })
+            .collect();
+        VerifyArtifact {
+            schema: SCHEMA.to_string(),
+            generator: "verify_models".to_string(),
+            models,
+            mutations,
+        }
+    }
+
+    #[test]
+    fn real_artifact_validates_and_roundtrips() {
+        let a = tiny_artifact();
+        validate(&a).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: VerifyArtifact = serde_json::from_str(&json).unwrap();
+        validate(&back).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_missing_coverage_and_unrejected_mutations() {
+        let mut a = tiny_artifact();
+        a.mutations[0].rejected = false;
+        a.models.retain(|m| !(m.n == 4 && m.proactive));
+        let errors = validate(&a).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("NOT rejected")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("missing model n=4")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn ratchet_flags_lost_certificates_only() {
+        let baseline = tiny_artifact();
+        let mut fresh = tiny_artifact();
+        ratchet(&baseline, &fresh).unwrap();
+        // Fresh may gain properties…
+        fresh.models[0].properties.push(PropertyJson {
+            name: "brand-new".to_string(),
+            kind: "custom-safety".to_string(),
+            holds: true,
+            certificate: "exhaustive-check".to_string(),
+            summary: String::new(),
+            marking: None,
+            steps: None,
+            trace: Vec::new(),
+        });
+        ratchet(&baseline, &fresh).unwrap();
+        // …but losing one is a regression.
+        fresh.models[0].properties[0].holds = false;
+        let errors = ratchet(&baseline, &fresh).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("now FAILS")), "{errors:?}");
+        // And a mutation that stops being rejected is too.
+        let mut fresh2 = tiny_artifact();
+        fresh2.mutations[2].rejected = false;
+        let errors = ratchet(&baseline, &fresh2).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("no longer rejected")),
+            "{errors:?}"
+        );
+    }
+}

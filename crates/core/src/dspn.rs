@@ -18,7 +18,8 @@ use crate::reliability::{StateReliability, SystemState};
 use mvml_obs::Recorder;
 use mvml_petri::{
     erlang_expand, solve_steady_traced, ExpectedReward, Marking, Net, NetBuilder, PetriError,
-    PlaceId, ServerSemantics, SolutionInfo, SolutionMethod, SolverOptions, WeightSpec,
+    PlaceId, Property, RateSpec, ServerSemantics, SolutionInfo, SolutionMethod, SolverOptions,
+    TransitionId, WeightSpec,
 };
 use std::sync::Arc;
 
@@ -94,6 +95,25 @@ fn certify(net: Net) -> Result<Net, PetriError> {
 /// or invalid rates, and [`PetriError::StructurallyUnsound`] if the built
 /// net fails structural certification.
 pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
+    build_reactive(n, params, None)
+}
+
+/// Repair rate for `Tr`: the paper's μ, or a marking-dependent rate that
+/// evaluates to zero under the [`ModelMutation::ZeroRepairRate`] mutation
+/// (the builder rejects a *constant* zero rate, but a runtime-zero rate is
+/// exactly the bug class the verifier must catch).
+fn repair_rate(params: &SystemParams, mutation: Option<ModelMutation>) -> RateSpec {
+    match mutation {
+        Some(ModelMutation::ZeroRepairRate) => RateSpec::Fn(Arc::new(|_: &Marking| 0.0)),
+        _ => RateSpec::from(params.mu()),
+    }
+}
+
+fn build_reactive(
+    n: u32,
+    params: &SystemParams,
+    mutation: Option<ModelMutation>,
+) -> Result<MvmlNet, PetriError> {
     check_n(n)?;
     let mut b = NetBuilder::new(format!("mvml-{n}v-reactive"));
     let pmh = b.place("Pmh", n);
@@ -104,15 +124,25 @@ pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErro
     // one module at a time, cf. DESIGN.md).
     let tc = b.exponential_with("Tc", params.lambda_c(), ServerSemantics::Single);
     let tf = b.exponential_with("Tf", params.lambda(), ServerSemantics::Single);
-    let tr = b.exponential_with("Tr", params.mu(), ServerSemantics::Single);
+    let tr = b.exponential_with("Tr", repair_rate(params, mutation), ServerSemantics::Single);
     b.input_arc(pmh, tc, 1)?;
     b.output_arc(tc, pmc, 1)?;
     b.input_arc(pmc, tf, 1)?;
     b.output_arc(tf, pmf, 1)?;
     b.input_arc(pmf, tr, 1)?;
-    b.output_arc(tr, pmh, 1)?;
+    if mutation != Some(ModelMutation::DropRejuvenationArc) {
+        b.output_arc(tr, pmh, 1)?;
+    }
+    let net = b.build()?;
+    // Mutated nets are deliberately broken — they skip certification so the
+    // *verifier* gets to reject them.
+    let net = if mutation.is_none() {
+        certify(net)?
+    } else {
+        net
+    };
     Ok(MvmlNet {
-        net: certify(b.build()?)?,
+        net,
         pmh,
         pmc,
         pmf,
@@ -130,6 +160,14 @@ pub fn reactive_only(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErro
 /// or invalid rates, and [`PetriError::StructurallyUnsound`] if the built
 /// net fails structural certification.
 pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriError> {
+    build_proactive(n, params, None)
+}
+
+fn build_proactive(
+    n: u32,
+    params: &SystemParams,
+    mutation: Option<ModelMutation>,
+) -> Result<MvmlNet, PetriError> {
     check_n(n)?;
     let mut b = NetBuilder::new(format!("mvml-{n}v-proactive"));
     let pmh = b.place("Pmh", n);
@@ -146,7 +184,7 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
     // one module at a time, cf. DESIGN.md).
     let tc = b.exponential_with("Tc", params.lambda_c(), ServerSemantics::Single);
     let tf = b.exponential_with("Tf", params.lambda(), ServerSemantics::Single);
-    let tr = b.exponential_with("Tr", params.mu(), ServerSemantics::Single);
+    let tr = b.exponential_with("Tr", repair_rate(params, mutation), ServerSemantics::Single);
     b.input_arc(pmh, tc, 1)?;
     b.output_arc(tc, pmc, 1)?;
     b.input_arc(pmc, tf, 1)?;
@@ -213,16 +251,211 @@ pub fn with_proactive(n: u32, params: &SystemParams) -> Result<MvmlNet, PetriErr
     // Rejuvenation itself.
     let trj = b.exponential("Trj", params.mu_r());
     b.input_arc(pmr, trj, 1)?;
-    b.output_arc(trj, pmh, 1)?;
+    if mutation != Some(ModelMutation::DropRejuvenationArc) {
+        b.output_arc(trj, pmh, 1)?;
+    }
 
+    let net = b.build()?;
+    // Mutated nets are deliberately broken — they skip certification so the
+    // *verifier* gets to reject them.
+    let net = if mutation.is_none() {
+        certify(net)?
+    } else {
+        net
+    };
     Ok(MvmlNet {
-        net: certify(b.build()?)?,
+        net,
         pmh,
         pmc,
         pmf,
         pmr: Some(pmr),
         pac: Some(pac),
     })
+}
+
+/// Looks up a transition the MVML builders always create.
+fn tid(net: &Net, name: &str) -> TransitionId {
+    match net.transition_by_name(name) {
+        Some(t) => t,
+        None => unreachable!("mvml nets always define transition `{name}`"),
+    }
+}
+
+/// The recovery-mechanism transitions: reactive rejuvenation `Tr`, plus
+/// proactive `Trj` when the model has one.
+fn recovery_transitions(mv: &MvmlNet) -> Vec<TransitionId> {
+    let mut ts = vec![tid(&mv.net, "Tr")];
+    if mv.pmr.is_some() {
+        ts.push(tid(&mv.net, "Trj"));
+    }
+    ts
+}
+
+/// The paper's voting majority for `n` modules: `⌊n/2⌋ + 1` functional
+/// (healthy or compromised) modules.
+pub fn voting_majority(n: u32) -> u32 {
+    n / 2 + 1
+}
+
+/// Builds the quorum-stranding property at an explicit threshold: every
+/// reachable tangible marking with fewer than `threshold` functional
+/// modules must have an enabled recovery transition.
+fn quorum_property(mv: &MvmlNet, name: &str, threshold: u32) -> Property {
+    let h = mv.pmh.index();
+    let c = mv.pmc.index();
+    Property::QuorumMaintained {
+        name: name.to_string(),
+        quorum: Arc::new(move |m: &Marking| m.as_slice()[h] + m.as_slice()[c] >= threshold),
+        recovery: recovery_transitions(mv),
+    }
+}
+
+/// Every transition of `net` except the named ones — the `via` sets for
+/// mechanism-restricted recoverability.
+fn all_transitions_except(net: &Net, excluded: &[&str]) -> Vec<TransitionId> {
+    net.transition_ids()
+        .filter(|&t| !excluded.contains(&net.transition_name(t)))
+        .collect()
+}
+
+/// The recoverability / safety contract every shipped MVML model must
+/// satisfy, as [`Property`] values for [`mvml_petri::verify`]:
+///
+/// * `always-recoverable` — AG EF "all `n` modules healthy".
+/// * `recoverable-without-new-compromise` — the same, via every transition
+///   except the attack `Tc`: recovery never depends on further compromises.
+/// * `quorum-never-stranded` — no reachable tangible marking is below the
+///   voting majority with no enabled recovery transition.
+/// * `module-conservation` — modules are neither created nor destroyed.
+///
+/// Proactive models additionally must satisfy:
+///
+/// * `recoverable-by-rejuvenation-alone` — recovery via the rejuvenation
+///   machinery only (no `Tc`, no `Tf`): the paper's motivation for
+///   proactive rejuvenation, mechanically checked. The reactive model
+///   *cannot* satisfy this (a compromised module must fail before `Tr` can
+///   touch it), which is why it is only asserted of proactive models.
+/// * `single-rejuvenation-in-flight` / `single-pending-action` — `Pmr` and
+///   `Pac` never exceed one token. `Pac` is the place the structural
+///   analyzer cannot bound (no covering P-invariant); the verifier closes
+///   that gap by exhaustive check.
+pub fn standard_properties(mv: &MvmlNet, n: u32) -> Vec<Property> {
+    let h = mv.pmh.index();
+    let goal_all_healthy: mvml_petri::MarkingPredicate =
+        Arc::new(move |m: &Marking| m.as_slice()[h] == n);
+    let mut props = vec![
+        Property::AlwaysRecoverable {
+            name: "always-recoverable".to_string(),
+            goal: Arc::clone(&goal_all_healthy),
+            via: None,
+        },
+        Property::AlwaysRecoverable {
+            name: "recoverable-without-new-compromise".to_string(),
+            goal: Arc::clone(&goal_all_healthy),
+            via: Some(all_transitions_except(&mv.net, &["Tc"])),
+        },
+        quorum_property(mv, "quorum-never-stranded", voting_majority(n)),
+    ];
+    let (c, f) = (mv.pmc.index(), mv.pmf.index());
+    let r = mv.pmr.map(PlaceId::index);
+    props.push(Property::Custom {
+        name: "module-conservation".to_string(),
+        pred: Arc::new(move |m: &Marking| {
+            let s = m.as_slice();
+            s[h] + s[c] + s[f] + r.map_or(0, |r| s[r]) == n
+        }),
+    });
+    if let (Some(pmr), Some(pac)) = (mv.pmr, mv.pac) {
+        props.push(Property::AlwaysRecoverable {
+            name: "recoverable-by-rejuvenation-alone".to_string(),
+            goal: goal_all_healthy,
+            via: Some(all_transitions_except(&mv.net, &["Tc", "Tf"])),
+        });
+        props.push(Property::BoundedRejuvenation {
+            name: "single-rejuvenation-in-flight".to_string(),
+            place: pmr,
+            bound: 1,
+        });
+        props.push(Property::BoundedRejuvenation {
+            name: "single-pending-action".to_string(),
+            place: pac,
+            bound: 1,
+        });
+    }
+    props
+}
+
+/// A deliberate model-breaking mutation for negative verification tests:
+/// each one models a realistic modelling or implementation slip that the
+/// steady-state solvers would quietly absorb (they would just report a
+/// lower reliability) but [`mvml_petri::verify`] must *reject* with a
+/// counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelMutation {
+    /// The rejuvenation transition consumes the module token but never
+    /// returns it to `Pmh` (`Tr → Pmh` dropped in the reactive model,
+    /// `Trj → Pmh` in the proactive one): rejuvenated modules vanish.
+    DropRejuvenationArc,
+    /// The reactive repair rate μ evaluates to zero at every marking, so
+    /// `Tr` can never actually fire and `Pmf` tokens are stuck.
+    ZeroRepairRate,
+    /// The model is untouched but the quorum threshold is raised to `n+1`
+    /// — more functional modules than exist — so even the initial marking
+    /// is a stranded sub-quorum state.
+    RaiseQuorumThreshold,
+}
+
+impl ModelMutation {
+    /// All mutations, for exhaustive negative sweeps.
+    pub const ALL: [ModelMutation; 3] = [
+        ModelMutation::DropRejuvenationArc,
+        ModelMutation::ZeroRepairRate,
+        ModelMutation::RaiseQuorumThreshold,
+    ];
+
+    /// Machine-readable tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelMutation::DropRejuvenationArc => "drop-rejuvenation-arc",
+            ModelMutation::ZeroRepairRate => "zero-repair-rate",
+            ModelMutation::RaiseQuorumThreshold => "raise-quorum-threshold",
+        }
+    }
+}
+
+/// Builds a deliberately broken variant of a shipped model together with
+/// the properties to verify against it; at least one property must fail
+/// with a counterexample (asserted by the negative tests and the
+/// `verify_models` gate). Mutated nets skip structural certification —
+/// breaking them past the *structural* analyzer while keeping them
+/// buildable is the point: only the temporal verifier can see the damage.
+///
+/// # Errors
+///
+/// Returns [`PetriError::InvalidParameter`] for `n ∉ 1..=`[`MAX_MODULES`].
+pub fn broken_model(
+    n: u32,
+    proactive: bool,
+    params: &SystemParams,
+    mutation: ModelMutation,
+) -> Result<(MvmlNet, Vec<Property>), PetriError> {
+    let structural = match mutation {
+        ModelMutation::RaiseQuorumThreshold => None,
+        other => Some(other),
+    };
+    let mv = if proactive {
+        build_proactive(n, params, structural)?
+    } else {
+        build_reactive(n, params, structural)?
+    };
+    let props = match mutation {
+        ModelMutation::RaiseQuorumThreshold => {
+            vec![quorum_property(&mv, "quorum-never-stranded-raised", n + 1)]
+        }
+        _ => standard_properties(&mv, n),
+    };
+    Ok((mv, props))
 }
 
 /// Options for [`expected_system_reliability`].

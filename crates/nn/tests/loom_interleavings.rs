@@ -1,0 +1,193 @@
+//! Exhaustive-interleaving models of the parallel GEMM handoff protocol.
+//!
+//! `mvml_nn::gemm::run_partitioned` packs B once into a shared read-only
+//! buffer, spawns scoped workers over disjoint `chunks_mut` row ranges of
+//! `C`, and fixes the per-element accumulation order (KC blocks ascending,
+//! k ascending within each block). These tests model that protocol with the
+//! offline `loom` stand-in and explore *every* sequentially-consistent
+//! interleaving of the workers' yield points:
+//!
+//! * the positive model proves the publish-before-spawn handoff plus
+//!   disjoint row ownership yields a **bitwise identical** `C` in every
+//!   schedule (float addition is not associative, so any ordering race
+//!   would flip bits — the KC values are chosen so a single reorder is
+//!   observable);
+//! * the negative model drops the disjoint-ownership discipline and
+//!   asserts the explorer *does* find the resulting lost update, i.e. the
+//!   lane has teeth.
+//!
+//! This file only builds in the loom lane (`RUSTFLAGS="--cfg loom"`,
+//! see ci.sh); the ordinary test run compiles it to nothing.
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Per-row KC-block contributions. Summed in ascending order the f32
+/// result is exactly `0.0` (`1e8 + 1.0 == 1e8` in f32); any schedule that
+/// perturbs the order (e.g. `1.0` accumulated last) yields `1.0` — a
+/// bitwise discriminator for accumulation-order races.
+const KC_VALUES: [f32; 3] = [1.0e8, 1.0, -1.0e8];
+
+/// The serial reference: ascending-k fold, the order `block_panel` fixes.
+fn ascending_sum() -> f32 {
+    KC_VALUES.iter().fold(0.0f32, |acc, &v| acc + v)
+}
+
+#[test]
+fn kc_values_discriminate_accumulation_order() {
+    // Sanity-check the discriminator itself: the ascending fold and a
+    // reordered fold must differ bitwise, otherwise the models below
+    // could not observe an ordering race at all.
+    let reordered = (KC_VALUES[0] + KC_VALUES[2]) + KC_VALUES[1];
+    assert_ne!(ascending_sum().to_bits(), reordered.to_bits());
+    assert_eq!(ascending_sum().to_bits(), 0.0f32.to_bits());
+}
+
+/// Positive model: packed-B publish-before-spawn + disjoint row ownership
+/// + ascending-k accumulation gives every interleaving the same bits.
+///
+/// Mirrors `run_partitioned`: the spawner fills the shared pack, raises
+/// the published flag, *then* spawns; each worker asserts it observes the
+/// publication, reads its row's KC blocks (each read a scheduling decision
+/// point, so worker reads interleave freely), accumulates in ascending
+/// order, and writes its own row of `C`.
+#[test]
+fn shared_packed_b_handoff_has_no_ordering_race() {
+    const WORKERS: usize = 2;
+    let schedules = std::sync::Arc::new(Mutex::new(0usize));
+    let schedules2 = std::sync::Arc::clone(&schedules);
+    loom::model(move || {
+        *schedules2.lock().expect("outcome lock") += 1;
+        // Shared pack, one row of KC blocks per worker; NaN until published
+        // so a premature read is bitwise-visible too.
+        let packed = Arc::new(UnsafeCell::new(vec![f32::NAN; WORKERS * KC_VALUES.len()]));
+        let published = Arc::new(AtomicBool::new(false));
+        let c = Arc::new(UnsafeCell::new(vec![f32::NAN; WORKERS]));
+
+        packed.with_mut(|p| {
+            // SAFETY: no worker exists yet; the spawner is the only thread
+            // touching the pack, exactly like `PackedB::build` before
+            // `scope.spawn`.
+            let p = unsafe { &mut *p };
+            for row in 0..WORKERS {
+                p[row * KC_VALUES.len()..(row + 1) * KC_VALUES.len()].copy_from_slice(&KC_VALUES);
+            }
+        });
+        published.store(true, Ordering::Release);
+
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let packed = Arc::clone(&packed);
+                let published = Arc::clone(&published);
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    // The spawn edge must make the publication visible in
+                    // every schedule — the model proves no interleaving
+                    // lets a worker start before the pack is complete.
+                    assert!(
+                        published.load(Ordering::Acquire),
+                        "worker {w} started before packed B was published"
+                    );
+                    let mut acc = 0.0f32;
+                    for kc in 0..KC_VALUES.len() {
+                        // One decision point per KC-block read: worker
+                        // reads interleave arbitrarily with the peer's.
+                        let v = packed.with(|p| {
+                            // SAFETY: the pack is read-only after
+                            // publication; all writers finished before the
+                            // spawn edge above.
+                            unsafe { (*p).as_slice()[w * KC_VALUES.len() + kc] }
+                        });
+                        acc += v;
+                    }
+                    c.with_mut(|p| {
+                        // SAFETY: row `w` is owned exclusively by worker
+                        // `w` — the disjoint partition `chunks_mut` gives
+                        // the real kernel.
+                        unsafe { (*p).as_mut_slice()[w] = acc };
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+
+        let expected = ascending_sum().to_bits();
+        c.with(|p| {
+            // SAFETY: all workers joined; the spawner is again the only
+            // thread touching `C`.
+            let c = unsafe { &*p };
+            for (w, &got) in c.iter().enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    expected,
+                    "worker {w}: accumulation order perturbed ({got} != {})",
+                    ascending_sum()
+                );
+            }
+        });
+    });
+    // The lane is only meaningful if it actually explored more than one
+    // schedule of the worker reads/writes.
+    let n = *schedules.lock().expect("outcome lock");
+    assert!(n > 1, "expected multiple interleavings, explored {n}");
+}
+
+/// Negative model: drop the disjoint-ownership discipline (both workers
+/// read-modify-write the *same* `C` element) and the explorer must find
+/// the lost update. This is the race `chunks_mut` partitioning prevents —
+/// and proof the lane would catch a future regression of that discipline.
+#[test]
+fn overlapping_row_ranges_lose_updates_and_the_explorer_finds_it() {
+    let outcomes = std::sync::Arc::new(Mutex::new(BTreeSet::new()));
+    let outcomes2 = std::sync::Arc::clone(&outcomes);
+    loom::model(move || {
+        let c = Arc::new(UnsafeCell::new(0.0f32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    // Unsynchronized read-modify-write of a shared element:
+                    // the read and the write are separate decision points,
+                    // so some schedule interleaves the peer between them.
+                    let seen = c.with(|p| {
+                        // SAFETY: the model serializes execution; the race
+                        // being modelled is the lost update between the
+                        // read and the write, not a memory-level data race.
+                        unsafe { *p }
+                    });
+                    c.with_mut(|p| {
+                        // SAFETY: as above — serialized under the model.
+                        unsafe { *p = seen + 1.0 };
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let total = c.with(|p| {
+            // SAFETY: workers joined; only this thread accesses the cell.
+            unsafe { *p }
+        });
+        outcomes2
+            .lock()
+            .expect("outcome lock")
+            .insert(total.to_bits());
+    });
+    let seen = outcomes.lock().expect("outcome lock").clone();
+    assert!(
+        seen.contains(&2.0f32.to_bits()),
+        "clean schedule never observed"
+    );
+    assert!(
+        seen.contains(&1.0f32.to_bits()),
+        "the lost update was not found — the interleaving explorer is not exhaustive"
+    );
+}

@@ -742,7 +742,11 @@ fn minimise(basis: &[(Vec<i128>, Vec<i128>)]) -> Vec<Vec<u64>> {
 
 /// Structural token bound per place from covering P-invariants:
 /// `min over {y : y[p] > 0} of ⌊y·m₀ / y[p]⌋`.
-fn place_bounds(invariants: &[Invariant], places: usize) -> Vec<Option<u64>> {
+///
+/// `None` for places no invariant covers (structurally unbounded as far as
+/// the invariant basis can tell). [`crate::verify`] uses these bounds as
+/// zero-exploration certificates for token-bound properties.
+pub fn place_bounds(invariants: &[Invariant], places: usize) -> Vec<Option<u64>> {
     (0..places)
         .map(|p| {
             invariants

@@ -42,6 +42,11 @@
 //! * [`solve`] — a [`SolutionMethod`] facade unifying the three backends
 //!   (dense / Gauss–Seidel / simulation); every solve reports which backend
 //!   ran and its residual via [`SolutionInfo`].
+//! * [`verify`] — static model checking of temporal recoverability and
+//!   safety properties (AG EF goal, quorum safety, token bounds) over the
+//!   untimed reachability graph, combining P-invariants with on-the-fly
+//!   exploration; emits witness-path / counterexample certificates via
+//!   [`Net::verify`], no CTMC solve required.
 //!
 //! ## Example
 //!
@@ -91,6 +96,7 @@ pub mod reward;
 pub mod sim;
 pub mod solve;
 pub mod transient;
+pub mod verify;
 
 pub use analysis::{
     analyze_with, AnalysisOptions, Finding, FindingKind, Invariant, Severity, StructuralReport,
@@ -109,3 +115,7 @@ pub use solve::{
     solve_graph, solve_steady, solve_steady_traced, Backend, Solution, SolutionInfo, SolutionMethod,
 };
 pub use transient::{transient, TransientSolution};
+pub use verify::{
+    verify_with, Certificate, MarkingPredicate, Property, PropertyResult, TraceStep, VerifyOptions,
+    VerifyReport,
+};

@@ -1,0 +1,1111 @@
+//! Static verification of temporal recoverability / safety properties.
+//!
+//! The steady-state solvers answer *quantitative* questions ("what fraction
+//! of time does the system spend above quorum?"). This module answers the
+//! *qualitative* ones the paper's resilience claim rests on — "from every
+//! reachable fault state, can rejuvenation restore a healthy quorum?" —
+//! without solving the CTMC at all, following the recoverability-proof
+//! programme of Nigam & Talcott (*Automating Recoverability Proofs for
+//! Cyber-Physical Systems with Runtime Assurance Architectures*).
+//!
+//! ## Property language
+//!
+//! * [`Property::AlwaysRecoverable`] — **AG EF goal**: from every reachable
+//!   marking there exists a firing path into a goal marking (e.g. "all `n`
+//!   modules healthy"), optionally restricted to a designated set of
+//!   recovery transitions (`via`). The restriction is what turns plain
+//!   reachability into a *mechanism* statement: "recoverable via
+//!   rejuvenation transitions alone", not "recoverable if further failures
+//!   happen to help".
+//! * [`Property::QuorumMaintained`] — a safety predicate over tangible
+//!   markings: every reachable tangible marking either satisfies the quorum
+//!   predicate or has at least one *enabled* recovery transition. A
+//!   violation is a **stranded** sub-quorum marking: a fault state the
+//!   rejuvenation mechanism cannot even begin to leave.
+//! * [`Property::BoundedRejuvenation`] — a token bound on a place (e.g. "at
+//!   most one module rejuvenating at a time"). Proved from a covering
+//!   P-invariant when one exists (no exploration needed), otherwise checked
+//!   exhaustively over the reachable space — which certifies exactly the
+//!   places the structural analyzer must leave uncovered (`Pac` in the
+//!   proactive model carries a `no-bound-certificate` info finding; the
+//!   verifier closes that gap).
+//! * [`Property::Custom`] — an arbitrary safety predicate checked over
+//!   every reachable marking (tangible and vanishing).
+//!
+//! ## Why invariants + untimed reachability suffice (no solve)
+//!
+//! All four properties are qualitative: they depend only on *which* firing
+//! sequences exist, never on their probability or duration. In a DSPN whose
+//! exponential rates and immediate weights are strictly positive wherever
+//! enabled, every untimed firing path has positive probability, so
+//! "reachable in the untimed graph" coincides with "reachable with positive
+//! probability" — timing can be erased. The explorer therefore fires
+//! deterministic transitions like any other timed transition (no Erlang
+//! expansion), keeps vanishing markings as first-class states (immediate
+//! firings are path edges, restricted to the highest enabled priority with
+//! positive weight, exactly as the stochastic semantics selects them), and
+//! treats a transition whose marking-dependent rate or weight evaluates to
+//! zero as disabled (it cannot fire there, so it must not smuggle in a
+//! recovery path — this is what lets the mutation tests catch a zeroed
+//! repair rate).
+//!
+//! The P-invariants from [`crate::analysis`] do three jobs: every explored
+//! marking is checked against every invariant (an exactness guard on the
+//! explorer itself — a violation aborts verification), covering invariants
+//! prove [`Property::BoundedRejuvenation`] without exploration, and a fully
+//! covered net has a finite invariant-feasible space, guaranteeing the
+//! exploration terminates within its budget.
+//!
+//! Every verdict carries a machine-checkable [`Certificate`]: a witness
+//! path from the *worst* reachable marking (the one farthest from the goal)
+//! on success, or a concrete counterexample trace from the initial marking
+//! to the offending marking on failure.
+
+use crate::analysis::{p_invariants, place_bounds, Invariant};
+use crate::enabling::{effective_rate, enabled_immediates, fire, is_enabled};
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::model::{Net, PlaceId, Timing, TransitionId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// A boolean predicate over markings, shared by several property kinds.
+pub type MarkingPredicate = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
+
+/// A temporal recoverability / safety property to verify against a net.
+#[non_exhaustive]
+pub enum Property {
+    /// From every reachable marking, a goal marking is reachable (AG EF
+    /// goal), optionally via a restricted set of transitions.
+    AlwaysRecoverable {
+        /// Name used in reports and certificates.
+        name: String,
+        /// Identifies the recovered markings (e.g. all modules healthy).
+        goal: MarkingPredicate,
+        /// When `Some`, only these transitions may appear on the recovery
+        /// path — proving recovery is achieved *by the mechanism*, not by
+        /// incidental further failures. `None` allows every transition.
+        via: Option<Vec<TransitionId>>,
+    },
+    /// Every reachable tangible marking either satisfies `quorum` or has at
+    /// least one enabled transition from `recovery` (no stranded sub-quorum
+    /// marking).
+    QuorumMaintained {
+        /// Name used in reports and certificates.
+        name: String,
+        /// The voting-quorum predicate (e.g. functional modules ≥ majority).
+        quorum: MarkingPredicate,
+        /// Transitions that count as the recovery mechanism.
+        recovery: Vec<TransitionId>,
+    },
+    /// `place` never holds more than `bound` tokens in any reachable
+    /// marking.
+    BoundedRejuvenation {
+        /// Name used in reports and certificates.
+        name: String,
+        /// The place to bound.
+        place: PlaceId,
+        /// Maximum admissible token count.
+        bound: u64,
+    },
+    /// An arbitrary safety predicate that must hold in every reachable
+    /// marking (tangible and vanishing).
+    Custom {
+        /// Name used in reports and certificates.
+        name: String,
+        /// The predicate to check.
+        pred: MarkingPredicate,
+    },
+}
+
+impl Property {
+    /// The property's report name.
+    pub fn name(&self) -> &str {
+        match self {
+            Property::AlwaysRecoverable { name, .. }
+            | Property::QuorumMaintained { name, .. }
+            | Property::BoundedRejuvenation { name, .. }
+            | Property::Custom { name, .. } => name,
+        }
+    }
+
+    /// Machine-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Property::AlwaysRecoverable { .. } => "always-recoverable",
+            Property::QuorumMaintained { .. } => "quorum-maintained",
+            Property::BoundedRejuvenation { .. } => "bounded-rejuvenation",
+            Property::Custom { .. } => "custom-safety",
+        }
+    }
+}
+
+impl fmt::Debug for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Property::{} `{}`", self.kind(), self.name())
+    }
+}
+
+/// Budgets for the untimed exploration backing [`Net::verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Abort when more than this many markings (tangible + vanishing) are
+    /// discovered.
+    pub max_states: usize,
+    /// Abort when any place accumulates more than this many tokens.
+    pub token_bound: u32,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            max_states: 250_000,
+            token_bound: 4096,
+        }
+    }
+}
+
+/// One step of a witness path or counterexample trace: the transition fired
+/// and the labeled marking it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Name of the fired transition.
+    pub transition: String,
+    /// The marking reached, rendered as `place:tokens` pairs.
+    pub marking: String,
+}
+
+/// The machine-checkable evidence attached to a [`PropertyResult`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Certificate {
+    /// The property holds; `path` recovers the *worst* reachable marking
+    /// (the one needing the most transitions) into the goal set.
+    Witness {
+        /// Markings the check covered.
+        checked_markings: usize,
+        /// The reachable marking farthest from the goal.
+        worst_marking: String,
+        /// Recovery path length from that marking.
+        recovery_steps: usize,
+        /// The recovery path itself.
+        path: Vec<TraceStep>,
+    },
+    /// The property holds by a covering P-invariant alone — no exploration
+    /// was needed for this verdict.
+    InvariantBound {
+        /// The bounded place.
+        place: String,
+        /// The structural token bound the invariant proves.
+        bound: u64,
+        /// The invariant's place weights (the algebraic witness).
+        weights: Vec<u64>,
+    },
+    /// The property holds; every reachable marking was checked.
+    Exhaustive {
+        /// Markings the check covered.
+        checked_markings: usize,
+        /// What the exhaustive sweep observed (e.g. the max token count).
+        detail: String,
+    },
+    /// The property fails at `marking`; `trace` reaches it from the initial
+    /// marking.
+    Counterexample {
+        /// Why the marking violates the property.
+        reason: String,
+        /// The offending marking, rendered as `place:tokens` pairs.
+        marking: String,
+        /// Firing sequence from the initial marking to the offender.
+        trace: Vec<TraceStep>,
+    },
+}
+
+impl Certificate {
+    /// Machine-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Certificate::Witness { .. } => "witness-path",
+            Certificate::InvariantBound { .. } => "invariant-bound",
+            Certificate::Exhaustive { .. } => "exhaustive-check",
+            Certificate::Counterexample { .. } => "counterexample",
+        }
+    }
+
+    /// One-line human summary of the evidence.
+    pub fn summary(&self) -> String {
+        match self {
+            Certificate::Witness {
+                checked_markings,
+                worst_marking,
+                recovery_steps,
+                ..
+            } => format!(
+                "all {checked_markings} reachable markings recover; worst [{worst_marking}] \
+                 needs {recovery_steps} step(s)"
+            ),
+            Certificate::InvariantBound { place, bound, .. } => {
+                format!("P-invariant bounds `{place}` at {bound}")
+            }
+            Certificate::Exhaustive {
+                checked_markings,
+                detail,
+            } => format!("{checked_markings} reachable markings checked; {detail}"),
+            Certificate::Counterexample {
+                reason,
+                marking,
+                trace,
+            } => format!(
+                "{reason} at [{marking}] ({} step(s) from the initial marking)",
+                trace.len()
+            ),
+        }
+    }
+}
+
+/// Verdict and evidence for one [`Property`].
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// Property name.
+    pub property: String,
+    /// Property kind tag (see [`Property::kind`]).
+    pub kind: &'static str,
+    /// Whether the property holds.
+    pub holds: bool,
+    /// The evidence.
+    pub certificate: Certificate,
+}
+
+/// The result of verifying a batch of properties against one net.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Name of the verified net.
+    pub net_name: String,
+    /// Reachable markings explored (tangible + vanishing).
+    pub states: usize,
+    /// Tangible markings among them.
+    pub tangible_states: usize,
+    /// P-invariants every explored marking was checked against.
+    pub p_invariant_count: usize,
+    /// Per-property verdicts, in input order.
+    pub results: Vec<PropertyResult>,
+}
+
+impl VerifyReport {
+    /// `true` when every property holds.
+    pub fn all_hold(&self) -> bool {
+        self.results.iter().all(|r| r.holds)
+    }
+
+    /// Looks up a property verdict by name.
+    pub fn result(&self, name: &str) -> Option<&PropertyResult> {
+        self.results.iter().find(|r| r.property == name)
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify report for `{}`: {} reachable markings ({} tangible), \
+             {} P-invariant(s) held throughout",
+            self.net_name, self.states, self.tangible_states, self.p_invariant_count
+        )?;
+        for r in &self.results {
+            writeln!(
+                f,
+                "  [{}] {} ({}): {}",
+                if r.holds { "ok" } else { "FAIL" },
+                r.property,
+                r.kind,
+                r.certificate.summary()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Net {
+    /// Verifies `properties` against this net's reachable marking space
+    /// with default budgets. See the [module docs](self) for semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StateSpaceTooLarge`] /
+    /// [`PetriError::TokenBoundExceeded`] when the exploration budget is
+    /// exhausted, and [`PetriError::StructurallyUnsound`] if an explored
+    /// marking violates a P-invariant (an internal-consistency failure).
+    pub fn verify(&self, properties: &[Property]) -> Result<VerifyReport, PetriError> {
+        verify_with(self, properties, &VerifyOptions::default())
+    }
+}
+
+/// [`Net::verify`] with explicit exploration budgets.
+///
+/// # Errors
+///
+/// Same conditions as [`Net::verify`].
+pub fn verify_with(
+    net: &Net,
+    properties: &[Property],
+    opts: &VerifyOptions,
+) -> Result<VerifyReport, PetriError> {
+    let invariants = p_invariants(net);
+    let graph = explore_untimed(net, &invariants, opts)?;
+    let bounds = place_bounds(&invariants, net.place_count());
+
+    let results = properties
+        .iter()
+        .map(|p| check_property(net, &graph, &invariants, &bounds, p))
+        .collect();
+
+    Ok(VerifyReport {
+        net_name: net.name().to_string(),
+        states: graph.markings.len(),
+        tangible_states: graph.tangible.iter().filter(|&&t| t).count(),
+        p_invariant_count: invariants.len(),
+        results,
+    })
+}
+
+/// The untimed reachability graph: every reachable marking (tangible and
+/// vanishing), with edges labeled by the fired transition.
+struct UntimedGraph {
+    markings: Vec<Marking>,
+    tangible: Vec<bool>,
+    /// `edges[s]` lists `(transition index, successor state)`.
+    edges: Vec<Vec<(usize, usize)>>,
+    /// BFS parent `(predecessor state, transition)` for trace
+    /// reconstruction; `None` for the initial marking.
+    parent: Vec<Option<(usize, usize)>>,
+}
+
+/// Transitions that can actually fire from `m` under the stochastic
+/// semantics: the highest-priority positive-weight immediates when the
+/// marking is vanishing, otherwise every enabled timed transition whose
+/// rate is strictly positive (deterministic transitions always fire once
+/// their delay elapses). Returns `(fireable, is_vanishing)`.
+fn fireable(net: &Net, m: &Marking) -> (Vec<usize>, bool) {
+    let vanishing = net
+        .transitions
+        .iter()
+        .enumerate()
+        .any(|(t, tr)| tr.timing.is_immediate() && is_enabled(net, t, m));
+    if vanishing {
+        // Weight-0 immediates are filtered here: they cannot be selected,
+        // so a vanishing marking whose immediates all weigh 0 is a dead end
+        // (mirroring `reach`'s DeadVanishingMarking).
+        let imms = enabled_immediates(net, m);
+        return (imms.into_iter().map(|(t, _)| t).collect(), true);
+    }
+    let fires = net
+        .transitions
+        .iter()
+        .enumerate()
+        .filter(|&(t, tr)| !tr.timing.is_immediate() && is_enabled(net, t, m))
+        .filter(|&(t, tr)| match tr.timing {
+            Timing::Deterministic { .. } => true,
+            _ => effective_rate(net, t, m).is_some_and(|r| r.is_finite() && r > 0.0),
+        })
+        .map(|(t, _)| t)
+        .collect();
+    (fires, false)
+}
+
+fn explore_untimed(
+    net: &Net,
+    invariants: &[Invariant],
+    opts: &VerifyOptions,
+) -> Result<UntimedGraph, PetriError> {
+    let check_marking = |m: &Marking| -> Result<(), PetriError> {
+        for (p, t) in m.iter() {
+            if t > opts.token_bound {
+                return Err(PetriError::TokenBoundExceeded {
+                    place: net.place_name(PlaceId(p)).to_string(),
+                    bound: opts.token_bound,
+                });
+            }
+        }
+        for inv in invariants {
+            if inv.weighted_sum(m) != inv.token_sum {
+                return Err(PetriError::StructurallyUnsound {
+                    net: net.name().to_string(),
+                    details: format!(
+                        "explored marking {m} violates P-invariant {:?} (explorer \
+                         inconsistency)",
+                        inv.weights
+                    ),
+                });
+            }
+        }
+        Ok(())
+    };
+
+    let mut index: HashMap<Marking, usize> = HashMap::new();
+    let mut markings: Vec<Marking> = Vec::new();
+    let mut tangible: Vec<bool> = Vec::new();
+    let mut edges: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut parent: Vec<Option<(usize, usize)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let m0 = net.initial_marking();
+    check_marking(&m0)?;
+    index.insert(m0.clone(), 0);
+    markings.push(m0);
+    tangible.push(false); // fixed up when the state is expanded
+    parent.push(None);
+    queue.push_back(0);
+
+    while let Some(s) = queue.pop_front() {
+        let m = markings[s].clone();
+        let (fires, vanishing) = fireable(net, &m);
+        tangible[s] = !vanishing;
+        let mut out = Vec::with_capacity(fires.len());
+        for t in fires {
+            let succ = fire(net, t, &m);
+            let id = match index.get(&succ) {
+                Some(&id) => id,
+                None => {
+                    if markings.len() >= opts.max_states {
+                        return Err(PetriError::StateSpaceTooLarge {
+                            limit: opts.max_states,
+                        });
+                    }
+                    check_marking(&succ)?;
+                    let id = markings.len();
+                    index.insert(succ.clone(), id);
+                    markings.push(succ);
+                    tangible.push(false);
+                    parent.push(Some((s, t)));
+                    queue.push_back(id);
+                    id
+                }
+            };
+            out.push((t, id));
+        }
+        edges.push(out);
+        debug_assert_eq!(edges.len(), s + 1);
+    }
+
+    Ok(UntimedGraph {
+        markings,
+        tangible,
+        edges,
+        parent,
+    })
+}
+
+/// Renders a marking as `place:tokens` pairs in place order.
+fn render_marking(net: &Net, m: &Marking) -> String {
+    m.iter()
+        .map(|(p, t)| format!("{}:{t}", net.place_name(PlaceId(p))))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reconstructs the firing trace from the initial marking to state `s`.
+fn trace_from_initial(net: &Net, graph: &UntimedGraph, s: usize) -> Vec<TraceStep> {
+    let mut steps = Vec::new();
+    let mut cur = s;
+    while let Some((pred, t)) = graph.parent[cur] {
+        steps.push(TraceStep {
+            transition: net.transitions[t].name.clone(),
+            marking: render_marking(net, &graph.markings[cur]),
+        });
+        cur = pred;
+    }
+    steps.reverse();
+    steps
+}
+
+fn check_property(
+    net: &Net,
+    graph: &UntimedGraph,
+    invariants: &[Invariant],
+    bounds: &[Option<u64>],
+    property: &Property,
+) -> PropertyResult {
+    let certificate = match property {
+        Property::AlwaysRecoverable { goal, via, .. } => {
+            check_recoverable(net, graph, goal, via.as_deref())
+        }
+        Property::QuorumMaintained {
+            quorum, recovery, ..
+        } => check_quorum(net, graph, quorum, recovery),
+        Property::BoundedRejuvenation { place, bound, .. } => {
+            check_bounded(net, graph, invariants, bounds, *place, *bound)
+        }
+        Property::Custom { pred, .. } => check_safety(net, graph, pred),
+    };
+    PropertyResult {
+        property: property.name().to_string(),
+        kind: property.kind(),
+        holds: !matches!(certificate, Certificate::Counterexample { .. }),
+        certificate,
+    }
+}
+
+/// AG EF goal, with the recovery path optionally restricted to `via`.
+fn check_recoverable(
+    net: &Net,
+    graph: &UntimedGraph,
+    goal: &MarkingPredicate,
+    via: Option<&[TransitionId]>,
+) -> Certificate {
+    let n = graph.markings.len();
+    let allowed: Option<HashSet<usize>> = via.map(|ts| ts.iter().map(|t| t.index()).collect());
+    let allowed = |t: usize| allowed.as_ref().is_none_or(|set| set.contains(&t));
+
+    // Reverse adjacency over allowed edges only.
+    let mut rev: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (s, out) in graph.edges.iter().enumerate() {
+        for &(t, succ) in out {
+            if allowed(t) {
+                rev[succ].push((t, s));
+            }
+        }
+    }
+
+    // Backward BFS from the goal set; `next[s]` records the first hop of a
+    // shortest recovery path.
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    let mut next: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (s, m) in graph.markings.iter().enumerate() {
+        if goal(m) {
+            dist[s] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    if queue.is_empty() {
+        return Certificate::Counterexample {
+            reason: "no reachable marking satisfies the recovery goal".to_string(),
+            marking: render_marking(net, &graph.markings[0]),
+            trace: Vec::new(),
+        };
+    }
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s].expect("queued states have a distance");
+        for &(t, pred) in &rev[s] {
+            if dist[pred].is_none() {
+                dist[pred] = Some(d + 1);
+                next[pred] = Some((t, s));
+                queue.push_back(pred);
+            }
+        }
+    }
+
+    if let Some(stranded) = (0..n).find(|&s| dist[s].is_none()) {
+        return Certificate::Counterexample {
+            reason: match via {
+                Some(_) => {
+                    "no path of designated recovery transitions reaches the goal".to_string()
+                }
+                None => "no firing path reaches the recovery goal".to_string(),
+            },
+            marking: render_marking(net, &graph.markings[stranded]),
+            trace: trace_from_initial(net, graph, stranded),
+        };
+    }
+
+    // Witness: the marking farthest from the goal and its recovery path.
+    let worst = (0..n)
+        .max_by_key(|&s| dist[s].expect("all states recover"))
+        .expect("non-empty state space");
+    let mut path = Vec::new();
+    let mut cur = worst;
+    while let Some((t, succ)) = next[cur] {
+        path.push(TraceStep {
+            transition: net.transitions[t].name.clone(),
+            marking: render_marking(net, &graph.markings[succ]),
+        });
+        cur = succ;
+    }
+    Certificate::Witness {
+        checked_markings: n,
+        worst_marking: render_marking(net, &graph.markings[worst]),
+        recovery_steps: dist[worst].expect("all states recover"),
+        path,
+    }
+}
+
+/// Every reachable tangible marking satisfies `quorum` or has an enabled
+/// recovery transition.
+fn check_quorum(
+    net: &Net,
+    graph: &UntimedGraph,
+    quorum: &MarkingPredicate,
+    recovery: &[TransitionId],
+) -> Certificate {
+    let recovery: HashSet<usize> = recovery.iter().map(|t| t.index()).collect();
+    let mut sub_quorum = 0usize;
+    for (s, m) in graph.markings.iter().enumerate() {
+        if !graph.tangible[s] || quorum(m) {
+            continue;
+        }
+        sub_quorum += 1;
+        let has_recovery = graph.edges[s].iter().any(|&(t, _)| recovery.contains(&t));
+        if !has_recovery {
+            return Certificate::Counterexample {
+                reason: "sub-quorum marking with no enabled recovery transition (stranded)"
+                    .to_string(),
+                marking: render_marking(net, m),
+                trace: trace_from_initial(net, graph, s),
+            };
+        }
+    }
+    let checked = graph.tangible.iter().filter(|&&t| t).count();
+    Certificate::Exhaustive {
+        checked_markings: checked,
+        detail: format!(
+            "{sub_quorum} sub-quorum marking(s), each with an enabled recovery transition"
+        ),
+    }
+}
+
+/// Token bound on a place: invariant fast path, reachability fallback.
+fn check_bounded(
+    net: &Net,
+    graph: &UntimedGraph,
+    invariants: &[Invariant],
+    bounds: &[Option<u64>],
+    place: PlaceId,
+    bound: u64,
+) -> Certificate {
+    let p = place.index();
+    if let Some(structural) = bounds[p] {
+        if structural <= bound {
+            let witness = invariants
+                .iter()
+                .filter(|inv| inv.covers(p))
+                .min_by_key(|inv| inv.token_sum / inv.weights[p])
+                .expect("a bound implies a covering invariant");
+            return Certificate::InvariantBound {
+                place: net.place_name(place).to_string(),
+                bound: structural,
+                weights: witness.weights.clone(),
+            };
+        }
+    }
+    let mut observed = 0u64;
+    for (s, m) in graph.markings.iter().enumerate() {
+        let tokens = u64::from(m.tokens(place));
+        observed = observed.max(tokens);
+        if tokens > bound {
+            return Certificate::Counterexample {
+                reason: format!(
+                    "place `{}` holds {tokens} tokens, exceeding the bound {bound}",
+                    net.place_name(place)
+                ),
+                marking: render_marking(net, m),
+                trace: trace_from_initial(net, graph, s),
+            };
+        }
+    }
+    Certificate::Exhaustive {
+        checked_markings: graph.markings.len(),
+        detail: format!(
+            "max tokens observed on `{}`: {observed} (bound {bound})",
+            net.place_name(place)
+        ),
+    }
+}
+
+/// AG pred over every reachable marking.
+fn check_safety(net: &Net, graph: &UntimedGraph, pred: &MarkingPredicate) -> Certificate {
+    for (s, m) in graph.markings.iter().enumerate() {
+        if !pred(m) {
+            return Certificate::Counterexample {
+                reason: "safety predicate violated".to_string(),
+                marking: render_marking(net, m),
+                trace: trace_from_initial(net, graph, s),
+            };
+        }
+    }
+    Certificate::Exhaustive {
+        checked_markings: graph.markings.len(),
+        detail: "safety predicate holds everywhere".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetBuilder;
+
+    /// One token circulating H → C → F → H (the module lifecycle skeleton).
+    fn ring() -> (Net, PlaceId, PlaceId, PlaceId) {
+        let mut b = NetBuilder::new("ring");
+        let h = b.place("H", 1);
+        let c = b.place("C", 0);
+        let f = b.place("F", 0);
+        let t1 = b.exponential("compromise", 1.0);
+        let t2 = b.exponential("fail", 2.0);
+        let t3 = b.exponential("repair", 3.0);
+        b.input_arc(h, t1, 1).unwrap();
+        b.output_arc(t1, c, 1).unwrap();
+        b.input_arc(c, t2, 1).unwrap();
+        b.output_arc(t2, f, 1).unwrap();
+        b.input_arc(f, t3, 1).unwrap();
+        b.output_arc(t3, h, 1).unwrap();
+        (b.build().unwrap(), h, c, f)
+    }
+
+    fn healthy_goal(h: PlaceId) -> MarkingPredicate {
+        let p = h.index();
+        Arc::new(move |m: &Marking| m.as_slice()[p] >= 1)
+    }
+
+    #[test]
+    fn ring_is_always_recoverable_with_witness() {
+        let (net, h, _, _) = ring();
+        let report = net
+            .verify(&[Property::AlwaysRecoverable {
+                name: "recover".into(),
+                goal: healthy_goal(h),
+                via: None,
+            }])
+            .unwrap();
+        assert_eq!(report.states, 3);
+        assert_eq!(report.tangible_states, 3);
+        assert!(report.all_hold(), "{report}");
+        let r = report.result("recover").unwrap();
+        assert_eq!(r.kind, "always-recoverable");
+        match &r.certificate {
+            Certificate::Witness {
+                checked_markings,
+                recovery_steps,
+                path,
+                worst_marking,
+            } => {
+                assert_eq!(*checked_markings, 3);
+                // Worst marking is C (two hops back to H via F).
+                assert_eq!(*recovery_steps, 2);
+                assert_eq!(path.len(), 2);
+                assert!(worst_marking.contains("C:1"), "{worst_marking}");
+                assert_eq!(path[0].transition, "fail");
+                assert_eq!(path[1].transition, "repair");
+            }
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn via_restriction_detects_missing_mechanism_path() {
+        // Restricting recovery to `repair` alone strands C: only `fail`
+        // moves the token out of C.
+        let (net, h, _, _) = ring();
+        let repair = net.transition_by_name("repair").unwrap();
+        let report = net
+            .verify(&[Property::AlwaysRecoverable {
+                name: "repair-only".into(),
+                goal: healthy_goal(h),
+                via: Some(vec![repair]),
+            }])
+            .unwrap();
+        let r = report.result("repair-only").unwrap();
+        assert!(!r.holds);
+        match &r.certificate {
+            Certificate::Counterexample { marking, trace, .. } => {
+                assert!(marking.contains("C:1"), "{marking}");
+                assert_eq!(trace.len(), 1);
+                assert_eq!(trace[0].transition, "compromise");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_repair_arc_yields_counterexample_trace() {
+        // H → C → F with no way back: F is stranded.
+        let mut b = NetBuilder::new("leak");
+        let h = b.place("H", 1);
+        let c = b.place("C", 0);
+        let f = b.place("F", 0);
+        let t1 = b.exponential("compromise", 1.0);
+        let t2 = b.exponential("fail", 2.0);
+        b.input_arc(h, t1, 1).unwrap();
+        b.output_arc(t1, c, 1).unwrap();
+        b.input_arc(c, t2, 1).unwrap();
+        b.output_arc(t2, f, 1).unwrap();
+        let net = b.build().unwrap();
+        let report = net
+            .verify(&[Property::AlwaysRecoverable {
+                name: "recover".into(),
+                goal: healthy_goal(h),
+                via: None,
+            }])
+            .unwrap();
+        let r = report.result("recover").unwrap();
+        assert!(!r.holds);
+        match &r.certificate {
+            Certificate::Counterexample { marking, trace, .. } => {
+                assert!(marking.contains("C:1") || marking.contains("F:1"));
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_transition_cannot_carry_recovery() {
+        // `repair` has a marking-dependent rate that evaluates to 0:
+        // build() accepts it, but it can never fire, so F is stranded.
+        let mut b = NetBuilder::new("zr");
+        let h = b.place("H", 1);
+        let c = b.place("C", 0);
+        let f = b.place("F", 0);
+        let t1 = b.exponential("compromise", 1.0);
+        let t2 = b.exponential("fail", 2.0);
+        let t3 = b.exponential("repair", crate::RateSpec::Fn(Arc::new(|_: &Marking| 0.0)));
+        b.input_arc(h, t1, 1).unwrap();
+        b.output_arc(t1, c, 1).unwrap();
+        b.input_arc(c, t2, 1).unwrap();
+        b.output_arc(t2, f, 1).unwrap();
+        b.input_arc(f, t3, 1).unwrap();
+        b.output_arc(t3, h, 1).unwrap();
+        let net = b.build().unwrap();
+        let report = net
+            .verify(&[Property::AlwaysRecoverable {
+                name: "recover".into(),
+                goal: healthy_goal(h),
+                via: None,
+            }])
+            .unwrap();
+        assert!(!report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn quorum_stranding_detected_and_absence_certified() {
+        let (net, h, _, f) = ring();
+        let repair = net.transition_by_name("repair").unwrap();
+        let fail = net.transition_by_name("fail").unwrap();
+        let hp = h.index();
+        let quorum: MarkingPredicate = Arc::new(move |m: &Marking| m.as_slice()[hp] >= 1);
+        // With `repair` and `fail` as the recovery set, every sub-quorum
+        // marking (C or F marked) has an enabled recovery transition.
+        let ok = net
+            .verify(&[Property::QuorumMaintained {
+                name: "quorum".into(),
+                quorum: Arc::new(move |m: &Marking| m.as_slice()[hp] >= 1),
+                recovery: vec![repair, fail],
+            }])
+            .unwrap();
+        assert!(ok.all_hold(), "{ok}");
+        // With only `repair`, marking C is sub-quorum and stranded.
+        let bad = net
+            .verify(&[Property::QuorumMaintained {
+                name: "quorum".into(),
+                quorum,
+                recovery: vec![repair],
+            }])
+            .unwrap();
+        let r = bad.result("quorum").unwrap();
+        assert!(!r.holds);
+        match &r.certificate {
+            Certificate::Counterexample { marking, .. } => {
+                assert!(marking.contains("C:1"), "{marking}");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn bounded_rejuvenation_invariant_fast_path_and_violation() {
+        let (net, h, _, _) = ring();
+        let report = net
+            .verify(&[
+                Property::BoundedRejuvenation {
+                    name: "h-bounded".into(),
+                    place: h,
+                    bound: 1,
+                },
+                Property::BoundedRejuvenation {
+                    name: "h-overbounded".into(),
+                    place: h,
+                    bound: 0,
+                },
+            ])
+            .unwrap();
+        let ok = report.result("h-bounded").unwrap();
+        assert!(ok.holds);
+        assert!(matches!(
+            ok.certificate,
+            Certificate::InvariantBound { bound: 1, .. }
+        ));
+        // Bound 0 is violated by the initial marking itself (H holds 1).
+        let bad = report.result("h-overbounded").unwrap();
+        assert!(!bad.holds);
+        match &bad.certificate {
+            Certificate::Counterexample { trace, .. } => assert!(trace.is_empty()),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_check_falls_back_to_reachability_for_uncovered_places() {
+        // `counter` gains a token per cycle, uncovered by any P-invariant;
+        // an inhibitor caps it at 2, which only reachability can see.
+        let mut b = NetBuilder::new("capped");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let counter = b.place("counter", 0);
+        let go = b.exponential("go", 1.0);
+        let back = b.exponential("back", 1.0);
+        b.input_arc(p, go, 1).unwrap();
+        b.output_arc(go, q, 1).unwrap();
+        b.output_arc(go, counter, 1).unwrap();
+        b.inhibitor_arc(counter, go, 3).unwrap();
+        b.input_arc(q, back, 1).unwrap();
+        b.output_arc(back, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let report = net
+            .verify(&[Property::BoundedRejuvenation {
+                name: "counter-capped".into(),
+                place: counter,
+                bound: 3,
+            }])
+            .unwrap();
+        let r = report.result("counter-capped").unwrap();
+        assert!(r.holds, "{report}");
+        match &r.certificate {
+            Certificate::Exhaustive { detail, .. } => {
+                assert!(detail.contains("max tokens observed"), "{detail}");
+            }
+            other => panic!("expected exhaustive certificate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_safety_predicate_checked_everywhere() {
+        let (net, ..) = ring();
+        let conserved: MarkingPredicate =
+            Arc::new(|m: &Marking| m.as_slice().iter().sum::<u32>() == 1);
+        let broken: MarkingPredicate = Arc::new(|m: &Marking| m.as_slice()[0] == 1);
+        let report = net
+            .verify(&[
+                Property::Custom {
+                    name: "conserved".into(),
+                    pred: conserved,
+                },
+                Property::Custom {
+                    name: "always-healthy".into(),
+                    pred: broken,
+                },
+            ])
+            .unwrap();
+        assert!(report.result("conserved").unwrap().holds);
+        assert!(!report.result("always-healthy").unwrap().holds);
+    }
+
+    #[test]
+    fn deterministic_transitions_are_explored_untimed() {
+        // A deterministic clock in the loop: `reach::explore` rejects this
+        // net, but verification does not need the Erlang expansion.
+        let mut b = NetBuilder::new("det");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let tick = b.deterministic("tick", 5.0);
+        let back = b.exponential("back", 1.0);
+        b.input_arc(p, tick, 1).unwrap();
+        b.output_arc(tick, q, 1).unwrap();
+        b.input_arc(q, back, 1).unwrap();
+        b.output_arc(back, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let goal: MarkingPredicate = Arc::new(|m: &Marking| m.as_slice()[0] == 1);
+        let report = net
+            .verify(&[Property::AlwaysRecoverable {
+                name: "recover".into(),
+                goal,
+                via: None,
+            }])
+            .unwrap();
+        assert_eq!(report.states, 2);
+        assert!(report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn vanishing_markings_are_path_states_but_not_quorum_states() {
+        // p --go--> v (vanishing) --imm--> q --back--> p
+        let mut b = NetBuilder::new("van");
+        let p = b.place("p", 1);
+        let v = b.place("v", 0);
+        let q = b.place("q", 0);
+        let go = b.exponential("go", 1.0);
+        let imm = b.immediate("imm");
+        let back = b.exponential("back", 1.0);
+        b.input_arc(p, go, 1).unwrap();
+        b.output_arc(go, v, 1).unwrap();
+        b.input_arc(v, imm, 1).unwrap();
+        b.output_arc(imm, q, 1).unwrap();
+        b.input_arc(q, back, 1).unwrap();
+        b.output_arc(back, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let vp = v.index();
+        let pp = p.index();
+        let report = net
+            .verify(&[
+                Property::AlwaysRecoverable {
+                    name: "recover".into(),
+                    goal: Arc::new(move |m: &Marking| m.as_slice()[pp] == 1),
+                    via: None,
+                },
+                // The quorum predicate fails on the vanishing marking, but
+                // vanishing markings pass in zero time and are not checked.
+                Property::QuorumMaintained {
+                    name: "no-v".into(),
+                    quorum: Arc::new(move |m: &Marking| m.as_slice()[vp] == 0),
+                    recovery: vec![],
+                },
+            ])
+            .unwrap();
+        assert_eq!(report.states, 3);
+        assert_eq!(report.tangible_states, 2);
+        assert!(report.all_hold(), "{report}");
+    }
+
+    #[test]
+    fn budget_errors_are_reported() {
+        let mut b = NetBuilder::new("grow");
+        let src = b.place("src", 1);
+        let sink = b.place("sink", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(src, t, 1).unwrap();
+        b.output_arc(t, src, 1).unwrap();
+        b.output_arc(t, sink, 1).unwrap();
+        let net = b.build().unwrap();
+        let opts = VerifyOptions {
+            max_states: 10,
+            token_bound: 1_000_000,
+        };
+        assert!(matches!(
+            verify_with(&net, &[], &opts),
+            Err(PetriError::StateSpaceTooLarge { limit: 10 })
+        ));
+        let opts = VerifyOptions {
+            max_states: 1_000_000,
+            token_bound: 5,
+        };
+        assert!(matches!(
+            verify_with(&net, &[], &opts),
+            Err(PetriError::TokenBoundExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn report_display_and_property_debug() {
+        let (net, h, _, _) = ring();
+        let prop = Property::AlwaysRecoverable {
+            name: "recover".into(),
+            goal: healthy_goal(h),
+            via: None,
+        };
+        assert!(format!("{prop:?}").contains("always-recoverable"));
+        let report = net.verify(&[prop]).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("verify report"));
+        assert!(text.contains("[ok] recover"));
+        assert_eq!(report.results[0].certificate.kind(), "witness-path");
+    }
+}
