@@ -81,6 +81,21 @@ cmp "$SMOKE_OUT" "$SMOKE_OFF" \
 echo "telemetry-on ${t_on}s vs telemetry-off ${t_off}s; reports byte-identical"
 rm -f "$SMOKE_OUT" "$SMOKE_TEL" "$SMOKE_OFF"
 
+# Serving smoke gate: boot a real mvml-serve server on a loopback socket,
+# drive three tenants with pipelined closed-loop clients while tenant 0
+# runs under a deterministic crash schedule, and enforce the isolation
+# invariants — every request answered, the faulted tenant escalates and
+# completes in-service rejuvenations, and no *unaffected* tenant drops
+# below 99% SLO attainment. The artifact is then re-validated from disk
+# (same code path the perf-gate baseline goes through).
+echo "== serve smoke: multi-tenant chaos load against mvml-serve =="
+SERVE_SMOKE="target/serve-smoke.json"
+cargo run -q --release -p mvml-bench --bin serve_loadgen -- \
+  --smoke --out "$SERVE_SMOKE" >/dev/null
+cargo run -q --release -p mvml-bench --bin serve_loadgen -- \
+  --validate "$SERVE_SMOKE"
+rm -f "$SERVE_SMOKE"
+
 # Recoverability-verification gate: regenerate the static certificates
 # (every shipped model must satisfy its property batch with witness paths,
 # every deliberate model mutation must be rejected with a counterexample —
@@ -138,6 +153,8 @@ if [[ "${PERF_GATE:-1}" == "1" ]]; then
   echo "== perf gate: fresh benchmark summaries vs committed baselines =="
   cargo run -q --release -p mvml-bench --bin bench_summary -- \
     --out-dir target/perf-fresh >/dev/null
+  cargo run -q --release -p mvml-bench --bin serve_loadgen -- \
+    --bench --out target/perf-fresh/BENCH_serve.json >/dev/null
   cargo run -q --release -p mvml-bench --bin perf_gate -- \
     --baseline-dir results --fresh-dir target/perf-fresh
 else

@@ -7,12 +7,14 @@
 //!   cargo run --release -p mvml-bench --bin perf_gate -- \
 //!       --baseline-dir results --fresh-dir target/perf-fresh
 //!
-//! Both directories must contain `BENCH_nn.json` and `BENCH_petri.json`.
+//! Both directories must contain `BENCH_nn.json`, `BENCH_petri.json` and
+//! `BENCH_serve.json` (the latter from `serve_loadgen --bench`).
 //! Metrics present on only one side are ignored: changing the benchmark
 //! set is a deliberate act that recommits the baseline, not a regression.
 //! `--tolerance <fraction>` overrides the default 0.25.
 
 use mvml_bench::format::render_table;
+use mvml_bench::serveload::{compare_serve, ServeSummary};
 use mvml_bench::summary::{compare_nn, compare_petri, NnSummary, PerfDelta, PetriSummary};
 
 fn load<T: serde::Deserialize>(dir: &str, file: &str) -> T {
@@ -52,9 +54,12 @@ fn main() {
     let fresh_petri: PetriSummary = load(&fresh_dir, "BENCH_petri.json");
     let base_nn: NnSummary = load(&baseline_dir, "BENCH_nn.json");
     let fresh_nn: NnSummary = load(&fresh_dir, "BENCH_nn.json");
+    let base_serve: ServeSummary = load(&baseline_dir, "BENCH_serve.json");
+    let fresh_serve: ServeSummary = load(&fresh_dir, "BENCH_serve.json");
 
     let mut deltas = compare_petri(&base_petri, &fresh_petri, tolerance);
     deltas.extend(compare_nn(&base_nn, &fresh_nn, tolerance));
+    deltas.extend(compare_serve(&base_serve, &fresh_serve, tolerance));
 
     let rows: Vec<Vec<String>> = deltas
         .iter()

@@ -1,0 +1,157 @@
+//! Closed-loop load generator for `mvml-serve`: boots a real server on a
+//! loopback socket, drives multiple tenants with pipelined clients while a
+//! deterministic crash schedule batters one of them, and records sustained
+//! throughput, per-tenant latency quantiles and SLO attainment.
+//!
+//! Usage (what `ci.sh` runs):
+//!   cargo run --release -p mvml-bench --bin serve_loadgen -- \
+//!       --smoke --out target/serve-smoke.json        # CI chaos smoke
+//!   cargo run --release -p mvml-bench --bin serve_loadgen -- \
+//!       --bench --out results/BENCH_serve.json       # committed baseline
+//!   cargo run --release -p mvml-bench --bin serve_loadgen -- \
+//!       --validate results/BENCH_serve.json          # invariant re-check
+//!
+//! `--smoke` and `--bench` validate their own output before writing it and
+//! exit non-zero on any violated invariant (dropped requests, a faulted
+//! tenant that never rejuvenated, or an *unaffected* tenant dipping below
+//! 99% SLO attainment — the isolation claim).
+
+use mvml_bench::format::render_table;
+use mvml_bench::serveload::{run_load, validate, ServeLoadConfig, ServeSummary};
+
+fn print_summary(summary: &ServeSummary) {
+    println!(
+        "{} tenants on {} shards, {} requests/tenant ({} completed): \
+         {:.0} req/s sustained, worst-tenant p99 {:.2} ms",
+        summary.tenants,
+        summary.shards,
+        summary.requests_per_tenant,
+        summary.completed,
+        summary.sustained_rps,
+        summary.p99_latency_ns / 1e6,
+    );
+    println!(
+        "chaos: tenant {} crash-faulted — {} escalations, {} in-service \
+         rejuvenations; unaffected SLO attainment {:.4}",
+        summary.faulted_tenant,
+        summary.faulted_escalations,
+        summary.faulted_rejuvenations,
+        summary.unaffected_slo_attainment,
+    );
+    let rows: Vec<Vec<String>> = summary
+        .tenant_rows
+        .iter()
+        .map(|t| {
+            vec![
+                format!(
+                    "{}{}",
+                    t.tenant,
+                    if t.tenant == summary.faulted_tenant {
+                        " (faulted)"
+                    } else {
+                        ""
+                    }
+                ),
+                format!("{}", t.completed),
+                format!("{:.4}", t.slo_attainment),
+                format!("{:.2}", t.p50_ns / 1e6),
+                format!("{:.2}", t.p99_ns / 1e6),
+                format!("{}", t.escalations),
+                format!("{}", t.rejuvenations),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "tenant",
+                "completed",
+                "slo",
+                "p50 ms",
+                "p99 ms",
+                "escal",
+                "rejuv"
+            ],
+            &rows
+        )
+    );
+}
+
+fn main() {
+    let mut mode: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut validate_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" | "--bench" => mode = Some(arg),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--validate" => {
+                validate_path = Some(args.next().expect("--validate needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let summary: ServeSummary = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{path} is not a serve summary: {e}"));
+        if let Err(msg) = validate(&summary) {
+            eprintln!("{path}: {msg}");
+            std::process::exit(1);
+        }
+        println!("{path}: all serve invariants hold");
+        return;
+    }
+
+    let Some(mode) = mode else {
+        eprintln!("usage: serve_loadgen (--smoke|--bench) [--out <path>] | --validate <path>");
+        std::process::exit(2);
+    };
+    // Injected crash faults unwind through `catch_unwind` by design; keep
+    // the default hook from spamming a backtrace for each one.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected crash fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let cfg = if mode == "--smoke" {
+        ServeLoadConfig::smoke()
+    } else {
+        ServeLoadConfig::bench()
+    };
+    println!(
+        "driving {} tenants x {} requests (pipeline depth {}, crash rate {} on tenant {})...",
+        cfg.tenants,
+        cfg.requests_per_tenant,
+        cfg.pipeline_depth,
+        cfg.crash_rate,
+        cfg.faulted_tenant
+    );
+    let summary = run_load(&cfg);
+    print_summary(&summary);
+    if let Err(msg) = validate(&summary) {
+        eprintln!("serve invariant violated: {msg}");
+        std::process::exit(1);
+    }
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("output dir");
+        }
+        let json = serde_json::to_string(&summary).expect("serialise summary");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -8,6 +8,7 @@ use mvml_faultinject::{random_weight_inj, undo};
 use mvml_nn::metrics::{alpha_mean, alpha_pair, error_set};
 use mvml_nn::models::three_versions;
 use mvml_nn::parallel::ThreadPool;
+use mvml_nn::quant::quantize_model;
 use mvml_nn::signs::{generate, SignConfig};
 use mvml_nn::train::{train_classifier, TrainConfig};
 use mvml_nn::{Dataset, Sequential};
@@ -33,6 +34,13 @@ pub struct CalibrationConfig {
     pub max_seeds: u64,
     /// Evaluation batch size.
     pub batch: usize,
+    /// Members (indices into the `three_versions` order) that deploy as
+    /// int8 quantized versions. A quantized member's healthy accuracy and
+    /// error set are measured on the int8 model, folding the *measured*
+    /// quantization delta into `p`, `p'` and `α` instead of pretending the
+    /// quantized version fails like its f32 parent. Empty (the default)
+    /// keeps the all-f32 calibration and its committed artifacts stable.
+    pub quantized_members: Vec<usize>,
 }
 
 impl Default for CalibrationConfig {
@@ -52,6 +60,7 @@ impl Default for CalibrationConfig {
             target_band: (0.60, 0.85),
             max_seeds: 400,
             batch: 128,
+            quantized_members: Vec::new(),
         }
     }
 }
@@ -86,10 +95,15 @@ pub struct ModelCalibration {
     pub name: String,
     /// Test accuracy of the healthy model.
     pub healthy_accuracy: f64,
-    /// Test accuracy after the seed-selected weight fault.
+    /// Test accuracy after the seed-selected weight fault (shifted by the
+    /// quantization delta for quantized members; see
+    /// [`CalibrationConfig::quantized_members`]).
     pub compromised_accuracy: f64,
     /// The injection seed that produced the compromised version.
     pub injection_seed: u64,
+    /// Measured int8 accuracy delta `healthy_f32 − healthy_int8`
+    /// (`0.0` for members served in f32).
+    pub quantized_delta: f64,
 }
 
 /// Full calibration output: the Table II rows plus the derived parameters.
@@ -129,22 +143,41 @@ impl Calibration {
 /// # Panics
 ///
 /// Panics if the seed search cannot land a compromised version inside the
-/// target band for some model (widen the band or the seed budget).
+/// target band for some model (widen the band or the seed budget), or if a
+/// [`CalibrationConfig::quantized_members`] entry names an architecture the
+/// int8 path does not support (e.g. the residual `resmlp`).
 pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
     let train = generate(&cfg.sign, cfg.sign.classes * cfg.train_per_class, 0xA11CE);
     let test = generate(&cfg.sign, cfg.sign.classes * cfg.test_per_class, 0xB0B);
 
     let models = three_versions(cfg.sign.image_size, cfg.sign.classes, cfg.train.seed);
+    let indexed: Vec<(usize, Sequential)> = models.into_iter().enumerate().collect();
     // Each version trains and seed-searches independently against the shared
     // (read-only) datasets, so the three calibrations fan out across
     // `MVML_THREADS` workers; `ThreadPool::map` preserves model order, so
     // the result is identical for any thread count.
-    let calibrated = ThreadPool::new().map(models, |mut model| {
+    let calibrated = ThreadPool::new().map(indexed, |(index, mut model)| {
         let name = model.model_name().to_string();
         let _ = train_classifier(&mut model, &train, &cfg.train);
-        let errors = error_set(&mut model, &test, cfg.batch);
-        let healthy_accuracy =
-            1.0 - errors.iter().filter(|&&e| e).count() as f64 / errors.len() as f64;
+        let f32_errors = error_set(&mut model, &test, cfg.batch);
+        let f32_accuracy =
+            1.0 - f32_errors.iter().filter(|&&e| e).count() as f64 / f32_errors.len() as f64;
+        // A member deployed int8 fails like its int8 self, not like its f32
+        // parent: measure the quantized model's accuracy and error set and
+        // let the delta flow into p/p'/α.
+        let (healthy_accuracy, errors, quantized_delta) = if cfg.quantized_members.contains(&index)
+        {
+            let int8 = quantize_model(&model)
+                .unwrap_or_else(|e| panic!("member {index} (`{name}`) cannot be served int8: {e}"));
+            let mut int8_module = int8.into_module();
+            let q_errors = error_set(&mut int8_module, &test, cfg.batch);
+            let q_accuracy =
+                1.0 - q_errors.iter().filter(|&&e| e).count() as f64 / q_errors.len() as f64;
+            (q_accuracy, q_errors, f32_accuracy - q_accuracy)
+        } else {
+            (f32_accuracy, f32_errors, 0.0)
+        };
+        let healthy_accuracy_f32 = f32_accuracy;
 
         let (lo, hi) = cfg.injection_range;
         let (band_lo, band_hi) = cfg.target_band;
@@ -176,11 +209,11 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
             // A valid compromised version must be inside the band AND
             // clearly below the healthy accuracy (wide bands may include
             // the healthy level for weakly-trained quick configs).
-            if accuracy >= band_lo && accuracy <= band_hi.min(healthy_accuracy - 0.03) {
+            if accuracy >= band_lo && accuracy <= band_hi.min(healthy_accuracy_f32 - 0.03) {
                 found = Some((seed, accuracy));
                 break;
             }
-            if accuracy < healthy_accuracy - 0.03
+            if accuracy < healthy_accuracy_f32 - 0.03
                 && nearest.is_none_or(|(_, best)| (accuracy - centre).abs() < (best - centre).abs())
             {
                 nearest = Some((seed, accuracy));
@@ -196,14 +229,19 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Calibration {
         // Re-measure the chosen seed over the full test set.
         let record = random_weight_inj(&mut model, 0, lo, hi, found.seed);
         let errs = error_set(&mut model, &test, batch);
-        let compromised_accuracy =
-            1.0 - errs.iter().filter(|&&e| e).count() as f64 / errs.len() as f64;
+        let compromised_f32 = 1.0 - errs.iter().filter(|&&e| e).count() as f64 / errs.len() as f64;
         undo(&mut model, &record);
+        // Fault injection into int8 weights is not modelled (the quantized
+        // module exposes no parameters; rejuvenation reloads it wholesale),
+        // so a quantized member's compromised accuracy is the measured f32
+        // compromised accuracy shifted by the measured quantization delta.
+        let compromised_accuracy = (compromised_f32 - quantized_delta).clamp(0.0, 1.0);
         let row = ModelCalibration {
             name,
             healthy_accuracy,
             compromised_accuracy,
             injection_seed: found.seed,
+            quantized_delta,
         };
         (model, row, errors)
     });
@@ -264,6 +302,9 @@ pub fn with_compromised<R>(
 }
 
 #[cfg(test)]
+// Exact float assertions are deliberate: a member that was never
+// quantized must carry a delta of exactly 0.0, not approximately.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -296,5 +337,47 @@ mod tests {
         // alpha is the mean of the pairs
         let mean = cal.alpha_pairs.iter().sum::<f64>() / 3.0;
         assert!((cal.alpha - mean).abs() < 1e-12);
+        assert!(
+            cal.models.iter().all(|r| r.quantized_delta == 0.0),
+            "all-f32 calibration carries no quantization delta"
+        );
+    }
+
+    #[test]
+    fn quantized_member_folds_measured_delta_into_parameters() {
+        let cfg = CalibrationConfig {
+            train_per_class: 25,
+            test_per_class: 12,
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 64,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
+            // lenet-mini deploys int8; resmlp (residual) stays f32.
+            quantized_members: vec![2],
+            ..CalibrationConfig::quick()
+        };
+        let cal = calibrate(&cfg);
+        let quantized = &cal.models[2];
+        assert!(
+            quantized.quantized_delta.is_finite() && quantized.quantized_delta.abs() < 0.5,
+            "delta should be a small measured shift, got {}",
+            quantized.quantized_delta
+        );
+        for r in &cal.models[..2] {
+            assert_eq!(r.quantized_delta, 0.0, "f32 members carry no delta");
+        }
+        // p is the mean output-failure probability over the *served*
+        // accuracies, i.e. the int8 accuracy for member 2.
+        let p = 1.0 - cal.models.iter().map(|r| r.healthy_accuracy).sum::<f64>() / 3.0;
+        assert!((cal.p - p).abs() < 1e-12);
+        assert!(cal.p_prime > cal.p);
+        for r in &cal.models {
+            assert!(
+                r.compromised_accuracy < r.healthy_accuracy + 1e-9,
+                "fault must not improve served accuracy: {r:?}"
+            );
+        }
     }
 }

@@ -10,6 +10,9 @@
 //!   route campaigns).
 //! * [`summary`] — host benchmark summaries (`BENCH_nn.json`,
 //!   `BENCH_petri.json`) and the CI perf-regression comparison over them.
+//! * [`serveload`] — closed-loop load generation against `mvml-serve`
+//!   (`BENCH_serve.json`): sustained throughput, SLO attainment and the
+//!   tenant-isolation chaos invariants.
 //! * [`verifyreport`] — schema, validation and ratchet comparison for the
 //!   recoverability certificates in `results/VERIFY_petri.json`.
 //! * [`mod@format`] — plain-text table rendering.
@@ -26,6 +29,7 @@
 //! | `petri_analyze` | Structural certificates for the paper nets (`results/ANALYSIS_petri.json`) |
 //! | `campaign` | Runtime fault-injection campaign (`results/CAMPAIGN_runtime.json`) |
 //! | `verify_models` | Static recoverability certificates + mutation rejections (`results/VERIFY_petri.json`) |
+//! | `serve_loadgen` | Multi-tenant serving benchmark + chaos smoke (`results/BENCH_serve.json`) |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -36,5 +40,6 @@ pub mod calibrate;
 pub mod campaign;
 pub mod casestudy;
 pub mod format;
+pub mod serveload;
 pub mod summary;
 pub mod verifyreport;

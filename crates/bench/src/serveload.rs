@@ -1,0 +1,404 @@
+//! Closed-loop load generation against `mvml-serve` and the serve-side
+//! perf-gate comparison (`results/BENCH_serve.json`).
+//!
+//! [`run_load`] boots a real [`mvml_serve::Server`] on a loopback socket,
+//! drives it with one pipelined closed-loop client thread per tenant, and
+//! injects a deterministic crash-fault schedule into one tenant — the
+//! chaos half of the measurement. The summary records sustained
+//! throughput, per-tenant latency quantiles and SLO attainment, and the
+//! faulted tenant's escalation/rejuvenation counts, so the committed
+//! artifact demonstrates the isolation claim: a crashing, rejuvenating
+//! tenant must not drag any other tenant below its SLO.
+//!
+//! [`validate`] is the smoke-gate half (`ci.sh`): it re-checks the
+//! artifact's internal invariants — every request answered, unaffected
+//! SLO attainment ≥ 99%, the faulted tenant actually escalated and
+//! completed in-service rejuvenations. [`compare_serve`] feeds the
+//! `serve/throughput` and `serve/p99-latency` metrics into the perf gate.
+
+use crate::summary::PerfDelta;
+use mvml_faultinject::{RuntimeFault, TenantFaultPlans};
+use mvml_nn::models::three_versions;
+use mvml_serve::protocol::{DEGRADATION_DEADLINE_MISS, DEGRADATION_NONE, DEGRADATION_VOTER_SKIP};
+use mvml_serve::{Client, ServeConfig, Server, WireRequest};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Load-run shape: how many tenants, how hard, and what breaks.
+#[derive(Debug, Clone)]
+pub struct ServeLoadConfig {
+    /// Concurrent tenants (one closed-loop client thread each).
+    pub tenants: u64,
+    /// Requests each tenant sends.
+    pub requests_per_tenant: usize,
+    /// Requests each client keeps in flight (pipelining feeds the
+    /// batching layer; depth 1 degenerates to strict request-reply).
+    pub pipeline_depth: usize,
+    /// Per-request SLO budget.
+    pub slo: Duration,
+    /// Server worker shards.
+    pub shards: usize,
+    /// Server per-tenant batch cap.
+    pub max_batch: usize,
+    /// The tenant that gets the deterministic crash schedule.
+    pub faulted_tenant: u64,
+    /// Per-frame crash probability on the faulted tenant's module 0.
+    pub crash_rate: f64,
+    /// Seed for models and the fault schedule.
+    pub seed: u64,
+}
+
+impl ServeLoadConfig {
+    /// The CI smoke shape: small enough for seconds, large enough that the
+    /// faulted tenant escalates and rejuvenates several times.
+    pub fn smoke() -> Self {
+        ServeLoadConfig {
+            tenants: 3,
+            requests_per_tenant: 150,
+            pipeline_depth: 4,
+            slo: Duration::from_millis(250),
+            shards: 2,
+            max_batch: 16,
+            faulted_tenant: 0,
+            // Per *frame*, and coalescing shrinks the frame count: at max
+            // coalescing (pipeline depth 4) the faulted tenant sees only
+            // requests/4 frames, so the rate must be high enough that a
+            // 3-in-10-frame watchdog escalation is certain even then.
+            crash_rate: 0.45,
+            seed: 38,
+        }
+    }
+
+    /// The committed-baseline shape (`results/BENCH_serve.json`): the same
+    /// scenario, longer, so throughput and p99 are stable enough to gate.
+    pub fn bench() -> Self {
+        ServeLoadConfig {
+            requests_per_tenant: 600,
+            ..ServeLoadConfig::smoke()
+        }
+    }
+}
+
+/// One tenant's aggregate results in the artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeTenantRow {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests stamped with the deadline-miss degradation.
+    pub slo_misses: u64,
+    /// `1 − slo_misses/completed`.
+    pub slo_attainment: f64,
+    /// Conservative p50 end-to-end latency, ns.
+    pub p50_ns: f64,
+    /// Conservative p99 end-to-end latency, ns.
+    pub p99_ns: f64,
+    /// Watchdog escalations inside this tenant's fault domain.
+    pub escalations: u64,
+    /// Completed in-service rejuvenations.
+    pub rejuvenations: u64,
+}
+
+/// The serve benchmark artifact (`results/BENCH_serve.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Host core count when measured.
+    pub host_cores: usize,
+    /// Tenants driven.
+    pub tenants: u64,
+    /// Server worker shards.
+    pub shards: usize,
+    /// Requests each tenant sent.
+    pub requests_per_tenant: u64,
+    /// Total requests completed across tenants.
+    pub completed: u64,
+    /// Sustained throughput over the whole run, requests/second.
+    pub sustained_rps: f64,
+    /// Worst per-tenant conservative p99 latency, ns.
+    pub p99_latency_ns: f64,
+    /// The tenant carrying the injected crash schedule.
+    pub faulted_tenant: u64,
+    /// Watchdog escalations in the faulted tenant's domain.
+    pub faulted_escalations: u64,
+    /// In-service rejuvenations completed in the faulted tenant's domain.
+    pub faulted_rejuvenations: u64,
+    /// Minimum SLO attainment over the tenants *without* injected faults
+    /// (the isolation claim: must stay ≥ 0.99).
+    pub unaffected_slo_attainment: f64,
+    /// Per-tenant rows, sorted by tenant id.
+    pub tenant_rows: Vec<ServeTenantRow>,
+}
+
+/// Boots a server, drives the closed-loop clients, and collects the
+/// summary. Panics on infrastructure failures (bind, connect, protocol) —
+/// this is a benchmark driver, not a library path.
+pub fn run_load(cfg: &ServeLoadConfig) -> ServeSummary {
+    let image = 12usize;
+    let classes = 8usize;
+    let models = three_versions(image, classes, cfg.seed);
+    let plans = TenantFaultPlans::new(cfg.seed).with_tenant_rule(
+        cfg.faulted_tenant,
+        RuntimeFault::Crash,
+        cfg.crash_rate,
+        Some(0),
+    );
+    let serve_cfg = ServeConfig {
+        shards: cfg.shards,
+        max_batch: cfg.max_batch,
+        default_slo: cfg.slo,
+        ..ServeConfig::default()
+    }
+    .with_tenant_faults(plans);
+    let server = Server::start(serve_cfg, models).expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<u64>> = (0..cfg.tenants)
+        .map(|tenant| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let sample: Vec<f32> = (0..image * image)
+                    .map(|i| ((i as u64 * 31 + tenant * 7) % 97) as f32 / 97.0 - 0.5)
+                    .collect();
+                let shape = vec![1, image, image];
+                let depth = cfg.pipeline_depth.max(1).min(cfg.requests_per_tenant);
+                let mut sent = 0u64;
+                let mut received = 0u64;
+                while sent < depth as u64 {
+                    client
+                        .send(&WireRequest::infer(
+                            sent,
+                            tenant,
+                            shape.clone(),
+                            sample.clone(),
+                        ))
+                        .expect("send");
+                    sent += 1;
+                }
+                while received < cfg.requests_per_tenant as u64 {
+                    let resp = client.recv().expect("response");
+                    assert_eq!(resp.tenant, tenant, "responses stay in their tenant");
+                    assert!(
+                        resp.degradation == DEGRADATION_NONE
+                            || resp.degradation == DEGRADATION_VOTER_SKIP
+                            || resp.degradation == DEGRADATION_DEADLINE_MISS,
+                        "unexpected degradation {:?}",
+                        resp.degradation
+                    );
+                    received += 1;
+                    if sent < cfg.requests_per_tenant as u64 {
+                        client
+                            .send(&WireRequest::infer(
+                                sent,
+                                tenant,
+                                shape.clone(),
+                                sample.clone(),
+                            ))
+                            .expect("send");
+                        sent += 1;
+                    }
+                }
+                received
+            })
+        })
+        .collect();
+    let completed: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+    let elapsed = started.elapsed();
+    let snapshot = server.shutdown();
+
+    let tenant_rows: Vec<ServeTenantRow> = snapshot
+        .tenants
+        .iter()
+        .map(|t| ServeTenantRow {
+            tenant: t.tenant,
+            completed: t.completed,
+            slo_misses: t.slo_misses,
+            slo_attainment: t.slo_attainment(),
+            p50_ns: t.p50_ns,
+            p99_ns: t.p99_ns,
+            escalations: t.escalations,
+            rejuvenations: t.rejuvenations,
+        })
+        .collect();
+    let faulted = tenant_rows
+        .iter()
+        .find(|t| t.tenant == cfg.faulted_tenant)
+        .cloned()
+        .unwrap_or_else(|| panic!("faulted tenant {} served nothing", cfg.faulted_tenant));
+    let unaffected_slo_attainment = tenant_rows
+        .iter()
+        .filter(|t| t.tenant != cfg.faulted_tenant)
+        .map(|t| t.slo_attainment)
+        .fold(1.0f64, f64::min);
+    let p99_latency_ns = tenant_rows.iter().map(|t| t.p99_ns).fold(0.0f64, f64::max);
+
+    ServeSummary {
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        tenants: cfg.tenants,
+        shards: cfg.shards,
+        requests_per_tenant: cfg.requests_per_tenant as u64,
+        completed,
+        sustained_rps: completed as f64 / elapsed.as_secs_f64(),
+        p99_latency_ns,
+        faulted_tenant: cfg.faulted_tenant,
+        faulted_escalations: faulted.escalations,
+        faulted_rejuvenations: faulted.rejuvenations,
+        unaffected_slo_attainment,
+        tenant_rows,
+    }
+}
+
+/// Re-checks a [`ServeSummary`]'s internal invariants (the smoke gate).
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a human-readable message.
+pub fn validate(summary: &ServeSummary) -> Result<(), String> {
+    let expected = summary.tenants * summary.requests_per_tenant;
+    if summary.completed != expected {
+        return Err(format!(
+            "completed {} of {expected} requests — the server dropped work",
+            summary.completed
+        ));
+    }
+    if summary.tenant_rows.len() as u64 != summary.tenants {
+        return Err(format!(
+            "expected {} tenant rows, found {}",
+            summary.tenants,
+            summary.tenant_rows.len()
+        ));
+    }
+    if !(summary.sustained_rps.is_finite() && summary.sustained_rps > 0.0) {
+        return Err(format!("non-positive throughput {}", summary.sustained_rps));
+    }
+    if !(summary.p99_latency_ns.is_finite() && summary.p99_latency_ns > 0.0) {
+        return Err(format!("non-positive p99 {}", summary.p99_latency_ns));
+    }
+    if summary.faulted_escalations == 0 {
+        return Err("the crash-faulted tenant never escalated — no chaos was injected".into());
+    }
+    if summary.faulted_rejuvenations == 0 {
+        return Err("the faulted tenant never completed an in-service rejuvenation".into());
+    }
+    if summary.unaffected_slo_attainment < 0.99 {
+        return Err(format!(
+            "isolation violated: an unaffected tenant attained only {:.4} of its SLO",
+            summary.unaffected_slo_attainment
+        ));
+    }
+    for row in &summary.tenant_rows {
+        let recomputed = if row.completed == 0 {
+            1.0
+        } else {
+            1.0 - row.slo_misses as f64 / row.completed as f64
+        };
+        if (row.slo_attainment - recomputed).abs() > 1e-9 {
+            return Err(format!(
+                "tenant {}: attainment {} disagrees with misses/completed",
+                row.tenant, row.slo_attainment
+            ));
+        }
+        if row.completed > 0 && row.p99_ns < row.p50_ns {
+            return Err(format!("tenant {}: p99 below p50", row.tenant));
+        }
+    }
+    Ok(())
+}
+
+/// Compares a fresh serve summary against the committed baseline:
+/// `serve/throughput` (rate) and `serve/p99-latency` (time).
+pub fn compare_serve(base: &ServeSummary, fresh: &ServeSummary, tol: f64) -> Vec<PerfDelta> {
+    vec![
+        crate::summary::delta(
+            "serve/throughput".to_string(),
+            base.sustained_rps,
+            fresh.sustained_rps,
+            false,
+            tol,
+        ),
+        crate::summary::delta(
+            "serve/p99-latency".to_string(),
+            base.p99_latency_ns,
+            fresh.p99_latency_ns,
+            true,
+            tol,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_load_run_meets_its_invariants() {
+        // A reduced smoke: enough traffic for several escalation cycles on
+        // the faulted tenant even when a loaded host coalesces every
+        // pipelined request into one frame (120/4 = 30 frames minimum),
+        // while keeping the test in CI seconds.
+        let cfg = ServeLoadConfig {
+            tenants: 2,
+            requests_per_tenant: 120,
+            ..ServeLoadConfig::smoke()
+        };
+        let summary = run_load(&cfg);
+        validate(&summary).expect("invariants");
+        assert_eq!(summary.completed, 240);
+        let json = serde_json::to_string(&summary).expect("serialise");
+        let back: ServeSummary = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn validate_rejects_broken_artifacts() {
+        let cfg = ServeLoadConfig {
+            tenants: 2,
+            requests_per_tenant: 40,
+            ..ServeLoadConfig::smoke()
+        };
+        let good = run_load(&cfg);
+        let mut dropped = good.clone();
+        dropped.completed -= 1;
+        assert!(validate(&dropped).is_err(), "dropped work must fail");
+        let mut unfaulted = good.clone();
+        unfaulted.faulted_rejuvenations = 0;
+        assert!(validate(&unfaulted).is_err(), "no chaos must fail");
+        let mut sloppy = good;
+        sloppy.unaffected_slo_attainment = 0.5;
+        assert!(validate(&sloppy).is_err(), "isolation violation must fail");
+    }
+
+    #[test]
+    fn serve_gate_metrics_move_in_the_right_direction() {
+        let base = ServeSummary {
+            host_cores: 4,
+            tenants: 3,
+            shards: 2,
+            requests_per_tenant: 100,
+            completed: 300,
+            sustained_rps: 1000.0,
+            p99_latency_ns: 1e6,
+            faulted_tenant: 0,
+            faulted_escalations: 5,
+            faulted_rejuvenations: 5,
+            unaffected_slo_attainment: 1.0,
+            tenant_rows: Vec::new(),
+        };
+        let mut fresh = base.clone();
+        fresh.sustained_rps = 740.0; // lost 26% throughput
+        fresh.p99_latency_ns = 1e6;
+        let deltas = compare_serve(&base, &fresh, 0.25);
+        assert!(deltas[0].regressed, "{deltas:?}");
+        assert!(!deltas[1].regressed);
+        let mut slower = base.clone();
+        slower.p99_latency_ns = 1.4e6; // >1.333x slower
+        let deltas = compare_serve(&base, &slower, 0.25);
+        assert!(!deltas[0].regressed);
+        assert!(deltas[1].regressed, "{deltas:?}");
+    }
+}

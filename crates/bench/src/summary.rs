@@ -485,7 +485,13 @@ pub struct PerfDelta {
     pub regressed: bool,
 }
 
-fn delta(metric: String, baseline: f64, fresh: f64, time_based: bool, tol: f64) -> PerfDelta {
+pub(crate) fn delta(
+    metric: String,
+    baseline: f64,
+    fresh: f64,
+    time_based: bool,
+    tol: f64,
+) -> PerfDelta {
     let throughput_ratio = if time_based {
         baseline / fresh
     } else {

@@ -1,0 +1,862 @@
+//! The reusable inference engine: the hardened per-frame classification
+//! pipeline, extracted from the batch/campaign loops so long-running
+//! services can drive it request by request.
+//!
+//! Three layers live here:
+//!
+//! * [`Session`] — module replicas + [`GuardConfig`] + watchdog state. One
+//!   session is one *fault domain*: every guard decision (crash
+//!   containment, sanitization, deadline discards, watchdog escalation,
+//!   stale-replay buffers, the frame counter fault plans index by) is
+//!   session-local. [`crate::NVersionSystem`] is now a thin wrapper around
+//!   one session; `mvml-serve` gives every tenant its own.
+//! * [`Engine`] — the typed request/response surface on top of a session:
+//!   [`Engine::submit`] classifies one [`InferenceRequest`],
+//!   [`Engine::submit_batch`] coalesces same-shaped requests into a single
+//!   batched forward pass through the im2col/GEMM path. Coalescing is an
+//!   *optimization, not a semantic*: a coalesced batch produces
+//!   byte-identical verdicts to one-by-one submission on a fault-free
+//!   session (pinned by proptest `core/tests/engine_batch.rs`).
+//! * [`InferenceRequest`] / [`InferenceResponse`] — the typed unit of work.
+//!   A response always comes back; degraded outcomes (voter skip, no
+//!   operational module, a deadline miss stamped by the serving layer) are
+//!   values of [`Degradation`], never hangs or panics.
+//!
+//! ## Guard semantics (unchanged by the extraction)
+//!
+//! The runtime guard enforces the voter's input contract at the module
+//! boundary, exactly as `core::system` did before the refactor:
+//!
+//! * every forward pass runs under `std::panic::catch_unwind` — a crashing
+//!   module is a non-responsive module, not a crashed system;
+//! * an optional per-module wall-clock deadline discards late answers (and
+//!   injected [`RuntimeFault::Latency`] faults model lateness
+//!   deterministically);
+//! * any sample whose logits contain a non-finite value is withheld from
+//!   the voter, feeding the R.1–R.3 skip semantics instead of poisoning
+//!   the argmax;
+//! * every detection is recorded as a [`FaultEvent`], and repeated faults
+//!   escalate through the [`Watchdog`] into a reactive-rejuvenation
+//!   trigger ([`ModuleState::NonFunctional`]).
+
+use crate::error::SystemError;
+use crate::module::{ModuleState, VersionedModule};
+use crate::voter::{vote, Verdict, VotingScheme};
+use crate::watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};
+use mvml_faultinject::{corrupt_in_place, RuntimeFault, RuntimeFaultPlan};
+use mvml_nn::{Sequential, Tensor};
+use mvml_obs::{GuardVerdict, Recorder, TelemetryEvent, VoterOutcome, VotingRule};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Runtime-guard configuration for the hardened classification path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Per-module wall-clock inference budget. An answer arriving later is
+    /// discarded (recorded as [`FaultEventKind::DeadlineMiss`]). `None`
+    /// disables wall-clock checks, keeping classification fully
+    /// deterministic; injected [`RuntimeFault::Latency`] faults are
+    /// *always* treated as deadline misses.
+    pub deadline: Option<Duration>,
+    /// When `true` (default), any sample whose logits contain a non-finite
+    /// value is withheld from the voter. When `false` — the unhardened
+    /// baseline — corrupted logits flow into a total-order argmax and vote.
+    pub sanitize: bool,
+    /// Watchdog escalation policy; `None` disables escalation (faults are
+    /// still detected and logged, but never force a module non-functional).
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: true,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The unhardened baseline: no sanitization, no escalation. Panics are
+    /// still caught (the measurement harness must survive them), but
+    /// nothing is learned from them — this models the seed's original
+    /// pipeline, where a NaN-emitting module votes garbage instead of
+    /// being discarded.
+    pub fn unhardened() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: false,
+            watchdog: None,
+        }
+    }
+
+    /// Sanitization without watchdog escalation: detections discard the
+    /// affected samples but never change module health. This is the
+    /// configuration whose steady-state behaviour the unmodified DSPN
+    /// models predict (escalation adds a detection-speed C→N transition
+    /// the analytic models do not know about).
+    pub fn sanitize_only() -> Self {
+        GuardConfig {
+            deadline: None,
+            sanitize: true,
+            watchdog: None,
+        }
+    }
+}
+
+/// The outcome of one hardened classification round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyReport {
+    /// One verdict per sample of the batch.
+    pub verdicts: Vec<Verdict<usize>>,
+    /// Fault events detected during this round (also appended to the
+    /// session's [`FaultLog`]).
+    pub events: Vec<FaultEvent>,
+    /// Modules the watchdog escalated to non-functional during this round.
+    pub escalations: Vec<usize>,
+}
+
+/// Capacity of the bounded fault-event log.
+const FAULT_LOG_CAPACITY: usize = 4096;
+
+/// One inference session: module replicas + guard configuration + watchdog
+/// state, forming a single fault domain.
+///
+/// This is the per-frame classification pipeline that used to live inside
+/// `NVersionSystem`, with nothing batch-loop-specific left: a session does
+/// not know about datasets, campaigns or routes — it classifies the tensors
+/// it is given and keeps its own guard state (fault log, watchdog windows,
+/// stale-replay buffers, frame counter). Everything here is deterministic
+/// for a fixed fault plan and `deadline: None`.
+#[derive(Debug, Clone)]
+pub struct Session {
+    modules: Vec<VersionedModule>,
+    scheme: VotingScheme,
+    guard: GuardConfig,
+    watchdog: Watchdog,
+    log: FaultLog,
+    plan: Option<RuntimeFaultPlan>,
+    /// Per module: the logits produced on the last frame that yielded any
+    /// (shape, values) — replayed by stale-output faults.
+    last_logits: Vec<Option<(Vec<usize>, Vec<f32>)>>,
+    frame: u64,
+    /// Telemetry stream for the hardened path. Observe-only: verdicts,
+    /// events and escalations are byte-identical whether this recorder is
+    /// enabled or disabled (the default).
+    recorder: Recorder,
+}
+
+impl Session {
+    /// Assembles a session from trained models using the paper's default
+    /// voting rules (R.1–R.3).
+    pub fn new(models: Vec<Sequential>) -> Result<Self, SystemError> {
+        Session::with_scheme(models, VotingScheme::MajorityWithSkip)
+    }
+
+    /// Assembles a session with an explicit voting scheme.
+    pub fn with_scheme(models: Vec<Sequential>, scheme: VotingScheme) -> Result<Self, SystemError> {
+        if models.is_empty() {
+            return Err(SystemError::EmptySystem);
+        }
+        let n = models.len();
+        let guard = GuardConfig::default();
+        Ok(Session {
+            modules: models.into_iter().map(VersionedModule::new).collect(),
+            scheme,
+            guard,
+            watchdog: Watchdog::new(n, guard.watchdog.unwrap_or_default()),
+            log: FaultLog::new(n, FAULT_LOG_CAPACITY),
+            plan: None,
+            last_logits: vec![None; n],
+            frame: 0,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry recorder to the hardened classification path.
+    ///
+    /// The recorder is strictly observe-only: module inferences (with
+    /// guard verdicts and latency), voter decisions, watchdog escalations
+    /// and rejuvenation completions are emitted, but classification
+    /// outputs never depend on whether recording is enabled.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Number of module versions.
+    pub fn version_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The session's module replicas.
+    pub fn modules(&self) -> &[VersionedModule] {
+        &self.modules
+    }
+
+    /// The active voting scheme.
+    pub fn scheme(&self) -> VotingScheme {
+        self.scheme
+    }
+
+    /// Fallible immutable module access.
+    pub fn try_module(&self, i: usize) -> Result<&VersionedModule, SystemError> {
+        let count = self.modules.len();
+        self.modules
+            .get(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })
+    }
+
+    /// Fallible mutable module access (inject faults, force states, …).
+    pub fn try_module_mut(&mut self, i: usize) -> Result<&mut VersionedModule, SystemError> {
+        let count = self.modules.len();
+        self.modules
+            .get_mut(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })
+    }
+
+    /// The active runtime-guard configuration.
+    pub fn guard(&self) -> GuardConfig {
+        self.guard
+    }
+
+    /// Replaces the runtime-guard configuration (rebuilding the watchdog).
+    pub fn set_guard(&mut self, guard: GuardConfig) -> Result<(), SystemError> {
+        if let Some(dl) = guard.deadline {
+            if dl.is_zero() {
+                return Err(SystemError::InvalidConfig {
+                    reason: "deadline budget must be positive".into(),
+                });
+            }
+        }
+        if let Some(wd) = guard.watchdog {
+            if wd.threshold == 0 || wd.window == 0 {
+                return Err(SystemError::InvalidConfig {
+                    reason: "watchdog window and threshold must be positive".into(),
+                });
+            }
+            self.watchdog = Watchdog::new(self.modules.len(), wd);
+        }
+        self.guard = guard;
+        Ok(())
+    }
+
+    /// Attaches a deterministic runtime fault plan; `None` detaches it.
+    /// Per-module persistent faults
+    /// ([`VersionedModule::set_runtime_fault`]) take precedence over the
+    /// plan's per-frame draws.
+    pub fn set_fault_plan(&mut self, plan: Option<RuntimeFaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The fault-event log accumulated by the hardened path.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Frames classified so far (the frame counter fault plans index by).
+    pub fn frames_classified(&self) -> u64 {
+        self.frame
+    }
+
+    /// Completes a rejuvenation of module `i` through the session, so the
+    /// guard state is reset along with the weights: the watchdog window and
+    /// the stale-replay buffer forget the pre-rejuvenation fault history.
+    pub fn rejuvenate_module(&mut self, i: usize) -> Result<(), SystemError> {
+        let count = self.modules.len();
+        let module = self
+            .modules
+            .get_mut(i)
+            .ok_or(SystemError::ModuleIndex { index: i, count })?;
+        module.complete_rejuvenation();
+        self.watchdog.reset(i);
+        self.last_logits[i] = None;
+        self.recorder
+            .emit(|| TelemetryEvent::RejuvenationCompleted { module: i });
+        Ok(())
+    }
+
+    /// Current `(healthy, compromised, non-functional)` counts; modules
+    /// being rejuvenated count as non-functional.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for m in &self.modules {
+            match m.state() {
+                ModuleState::Healthy => counts.0 += 1,
+                ModuleState::Compromised => counts.1 += 1,
+                ModuleState::NonFunctional | ModuleState::Rejuvenating => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Classifies a batch `[N, …]`, returning one verdict per sample.
+    /// This is the hardened path; see
+    /// [`Session::classify_batch_detailed`] for the fault events.
+    pub fn classify_batch(&mut self, x: &Tensor) -> Vec<Verdict<usize>> {
+        self.classify_batch_detailed(x).verdicts
+    }
+
+    /// Classifies a batch under the runtime guard, returning the verdicts
+    /// together with every detected fault and watchdog escalation.
+    ///
+    /// Escalated modules are moved to [`ModuleState::NonFunctional`]
+    /// *after* this round's vote (their faulty proposals were already
+    /// withheld), so the caller's health process can route them through
+    /// reactive rejuvenation.
+    pub fn classify_batch_detailed(&mut self, x: &Tensor) -> ClassifyReport {
+        let n_samples = x.shape().first().copied().unwrap_or(0);
+        let frame = self.frame;
+        self.frame += 1;
+
+        let mut proposals: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.modules.len());
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let guard = self.guard;
+        let plan = self.plan.as_ref();
+        let last_logits = &mut self.last_logits;
+        let recorder = self.recorder.clone();
+
+        for (m, module) in self.modules.iter_mut().enumerate() {
+            if !module.state().is_operational() {
+                proposals.push(vec![None; n_samples]);
+                continue;
+            }
+            let fault = module
+                .runtime_fault()
+                .or_else(|| plan.and_then(|p| p.fault_for(m, frame)));
+
+            // Telemetry: what the guard concluded about this module's
+            // proposal, refined as the fault paths below resolve. Strictly
+            // observe-only — mirrors the `events` pushes bit for bit.
+            let mut obs_verdict = GuardVerdict::Accepted;
+            let span = recorder.span();
+
+            // Produce this round's logits according to the fault model.
+            let produced: Option<Tensor> = match fault {
+                Some(RuntimeFault::Stale) => {
+                    // A wedged stage serves its output buffer again; if it
+                    // never produced one, it has nothing to serve.
+                    let replay = last_logits[m]
+                        .as_ref()
+                        .filter(|(shape, _)| shape.first() == Some(&n_samples))
+                        .map(|(shape, values)| Tensor::from_vec(shape, values.clone()));
+                    obs_verdict = if replay.is_some() {
+                        GuardVerdict::StaleReplay
+                    } else {
+                        GuardVerdict::NoOutput
+                    };
+                    replay
+                }
+                _ => {
+                    let started = Instant::now();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        if matches!(fault, Some(RuntimeFault::Crash)) {
+                            panic!("injected crash fault");
+                        }
+                        module.infer_logits(x)
+                    }));
+                    match run {
+                        Err(_) => {
+                            events.push(FaultEvent {
+                                module: m,
+                                frame,
+                                kind: FaultEventKind::Panic,
+                            });
+                            obs_verdict = GuardVerdict::Panicked;
+                            None
+                        }
+                        Ok(logits) => {
+                            let late = matches!(fault, Some(RuntimeFault::Latency))
+                                || guard.deadline.is_some_and(|dl| started.elapsed() > dl);
+                            if late {
+                                events.push(FaultEvent {
+                                    module: m,
+                                    frame,
+                                    kind: FaultEventKind::DeadlineMiss,
+                                });
+                                obs_verdict = GuardVerdict::DeadlineMissed;
+                                // The late answer still refreshes the stale
+                                // buffer — it was produced, just not in time.
+                                if let Some(t) = logits {
+                                    last_logits[m] =
+                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
+                                }
+                                None
+                            } else {
+                                if logits.is_none() {
+                                    obs_verdict = GuardVerdict::NoOutput;
+                                }
+                                logits.map(|mut t| {
+                                    if let Some(RuntimeFault::Corrupt(mode)) = fault {
+                                        corrupt_in_place(t.as_mut_slice(), mode);
+                                    }
+                                    last_logits[m] =
+                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
+                                    t
+                                })
+                            }
+                        }
+                    }
+                }
+            };
+            let timing = span.stop();
+
+            // Sanitize and reduce to per-sample class proposals.
+            let row = match produced {
+                None => vec![None; n_samples],
+                Some(logits) => {
+                    let (classes, poisoned) = sanitized_argmax(&logits, n_samples, guard.sanitize);
+                    if poisoned > 0 {
+                        events.push(FaultEvent {
+                            module: m,
+                            frame,
+                            kind: FaultEventKind::NonFiniteOutput { samples: poisoned },
+                        });
+                        obs_verdict = GuardVerdict::NonFinite { samples: poisoned };
+                    }
+                    classes
+                }
+            };
+            recorder.emit_timed(timing, || TelemetryEvent::ModuleInference {
+                module: m,
+                frame,
+                verdict: obs_verdict,
+            });
+            proposals.push(row);
+        }
+
+        // Vote before escalation: this round's faulty proposals were
+        // already withheld sample-by-sample.
+        let verdicts: Vec<Verdict<usize>> = (0..n_samples)
+            .map(|i| {
+                let row: Vec<Option<usize>> = proposals.iter().map(|p| p[i]).collect();
+                let verdict = vote(self.scheme, &row);
+                recorder.emit(|| {
+                    let proposing = row.iter().flatten().count();
+                    let (outcome, agreeing) = match &verdict {
+                        Verdict::Output(class) => (
+                            VoterOutcome::Output {
+                                class: Some(*class),
+                            },
+                            row.iter().flatten().filter(|&&c| c == *class).count(),
+                        ),
+                        Verdict::Skip => (VoterOutcome::Skip, 0),
+                        Verdict::NoModules => (VoterOutcome::NoModules, 0),
+                    };
+                    TelemetryEvent::VoterDecision {
+                        frame,
+                        sample: i,
+                        outcome,
+                        rule: VotingRule::for_proposal_count(proposing),
+                        proposing,
+                        agreeing,
+                        withheld: row.len() - proposing,
+                    }
+                });
+                verdict
+            })
+            .collect();
+
+        // Feed the watchdog (one observation per module per round) and
+        // escalate repeat offenders into the reactive-rejuvenation path.
+        let mut escalations = Vec::new();
+        if self.guard.watchdog.is_some() {
+            let faulted: Vec<usize> = {
+                let mut seen = vec![false; self.modules.len()];
+                for e in &events {
+                    if !matches!(e.kind, FaultEventKind::Escalated) {
+                        seen[e.module] = true;
+                    }
+                }
+                seen.iter()
+                    .enumerate()
+                    .filter_map(|(i, &s)| s.then_some(i))
+                    .collect()
+            };
+            for m in faulted {
+                if self.watchdog.observe(m, frame) {
+                    self.modules[m].fail();
+                    events.push(FaultEvent {
+                        module: m,
+                        frame,
+                        kind: FaultEventKind::Escalated,
+                    });
+                    escalations.push(m);
+                    // The window clears exactly when it reaches the
+                    // threshold, so the count at escalation *is* the
+                    // configured threshold.
+                    let faults_in_window = self.watchdog.config().threshold;
+                    recorder.emit(|| TelemetryEvent::WatchdogEscalation {
+                        module: m,
+                        frame,
+                        faults_in_window,
+                    });
+                }
+            }
+        }
+
+        for e in &events {
+            self.log.record(*e);
+        }
+        ClassifyReport {
+            verdicts,
+            events,
+            escalations,
+        }
+    }
+}
+
+/// Reduces a `[N, K]` logit tensor to per-sample class proposals.
+///
+/// With `sanitize`, any sample containing a non-finite logit yields `None`
+/// (the module is non-responsive for that sample); the second return is the
+/// number of such samples. Without `sanitize`, the argmax is taken over the
+/// IEEE-754 total order (NaN sorts above `+∞`), so corrupted samples vote
+/// a deterministic garbage class — the unhardened baseline's behaviour.
+///
+/// Malformed outputs (empty class dimension, wrong sample count) withhold
+/// every sample and count them all as poisoned.
+pub(crate) fn sanitized_argmax(
+    logits: &Tensor,
+    n_samples: usize,
+    sanitize: bool,
+) -> (Vec<Option<usize>>, usize) {
+    let k = logits.shape().last().copied().unwrap_or(0);
+    if k == 0 || logits.len() != n_samples * k {
+        return (vec![None; n_samples], n_samples);
+    }
+    let mut poisoned = 0;
+    let classes = logits
+        .as_slice()
+        .chunks(k)
+        .map(|row| {
+            let finite = row.iter().all(|v| v.is_finite());
+            if !finite {
+                poisoned += 1;
+                if sanitize {
+                    return None;
+                }
+            }
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+        })
+        .collect();
+    (classes, if sanitize { poisoned } else { 0 })
+}
+
+/// One classification request: a single input sample addressed to a tenant.
+///
+/// The input tensor carries *one* sample (e.g. `[C, H, W]` for an image or
+/// `[K]` for a feature row); the engine prepends the batch axis. Requests
+/// with identical input shapes can be coalesced by
+/// [`Engine::submit_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Tenant the request belongs to (routing + fault-domain key in
+    /// `mvml-serve`; a bare [`Engine`] serves a single implicit tenant).
+    pub tenant: u64,
+    /// One input sample, without the batch axis.
+    pub input: Tensor,
+}
+
+/// How a response degraded relative to a clean majority output.
+///
+/// Degradation is *typed*, never silent: a request always produces a
+/// response, and anything short of a voted class says exactly what
+/// happened. (`DeadlineMiss` is stamped by the serving layer, which owns
+/// the wall clock; the engine itself is deterministic.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Degradation {
+    /// The voter skipped (R.1/R.2 divergence): a safe non-answer.
+    VoterSkip,
+    /// No operational module proposed anything.
+    NoOutput,
+    /// The response exists but arrived after the request's SLO budget.
+    DeadlineMiss,
+}
+
+/// The engine's answer to one [`InferenceRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The request's tenant.
+    pub tenant: u64,
+    /// The voter's verdict for the request's sample.
+    pub verdict: Verdict<usize>,
+    /// Typed degradation, if the verdict is anything short of a voted
+    /// class. The serving layer may additionally stamp
+    /// [`Degradation::DeadlineMiss`] onto an otherwise-clean verdict.
+    pub degradation: Option<Degradation>,
+    /// Modules the watchdog escalated during the round that served this
+    /// request (shared by every request of a coalesced batch).
+    pub escalations: Vec<usize>,
+    /// Fault events detected during the round (shared by every request of
+    /// a coalesced batch).
+    pub faults: usize,
+}
+
+impl InferenceResponse {
+    fn from_verdict(
+        req: &InferenceRequest,
+        verdict: Verdict<usize>,
+        report: &ClassifyReport,
+    ) -> Self {
+        let degradation = match &verdict {
+            Verdict::Output(_) => None,
+            Verdict::Skip => Some(Degradation::VoterSkip),
+            Verdict::NoModules => Some(Degradation::NoOutput),
+        };
+        InferenceResponse {
+            id: req.id,
+            tenant: req.tenant,
+            verdict,
+            degradation,
+            escalations: report.escalations.clone(),
+            faults: report.events.len(),
+        }
+    }
+}
+
+/// The explicit submit API over one [`Session`].
+///
+/// `Engine` owns a session and exposes typed request/response semantics:
+/// one request in, one response out, degraded outcomes as values. The
+/// batching layer of `mvml-serve` collects queued requests and hands them
+/// to [`Engine::submit_batch`], which stacks same-shaped inputs into one
+/// `[k, …]` tensor so the whole round rides a single batched im2col/GEMM
+/// forward pass per module.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    session: Session,
+}
+
+impl Engine {
+    /// Wraps an existing session.
+    pub fn new(session: Session) -> Self {
+        Engine { session }
+    }
+
+    /// Builds an engine over a fresh session with default voting rules.
+    pub fn from_models(models: Vec<Sequential>) -> Result<Self, SystemError> {
+        Ok(Engine::new(Session::new(models)?))
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (guard reconfiguration,
+    /// fault plans, rejuvenation).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Classifies one request (a single-sample round).
+    pub fn submit(&mut self, req: &InferenceRequest) -> Result<InferenceResponse, SystemError> {
+        let batch = stack_inputs(std::slice::from_ref(req))?;
+        let report = self.session.classify_batch_detailed(&batch);
+        let verdict = report
+            .verdicts
+            .first()
+            .cloned()
+            .unwrap_or(Verdict::NoModules);
+        Ok(InferenceResponse::from_verdict(req, verdict, &report))
+    }
+
+    /// Classifies a coalesced batch of same-shaped requests in one round.
+    ///
+    /// All requests must carry inputs of identical shape
+    /// ([`SystemError::ShapeMismatch`] otherwise); responses come back in
+    /// request order. On a fault-free session the verdicts are
+    /// byte-identical to submitting the requests one by one — batching
+    /// only changes how many samples share a forward pass, never what any
+    /// sample's logits are (the GEMM path accumulates each output element
+    /// in a fixed k-order regardless of batch size).
+    pub fn submit_batch(
+        &mut self,
+        reqs: &[InferenceRequest],
+    ) -> Result<Vec<InferenceResponse>, SystemError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = stack_inputs(reqs)?;
+        let report = self.session.classify_batch_detailed(&batch);
+        Ok(reqs
+            .iter()
+            .zip(report.verdicts.iter())
+            .map(|(req, verdict)| InferenceResponse::from_verdict(req, *verdict, &report))
+            .collect())
+    }
+}
+
+/// Stacks the requests' single-sample inputs into one `[k, …]` batch
+/// tensor, rejecting shape mismatches with a typed error.
+fn stack_inputs(reqs: &[InferenceRequest]) -> Result<Tensor, SystemError> {
+    let first = reqs[0].input.shape().to_vec();
+    let mut data = Vec::with_capacity(reqs.len() * reqs[0].input.len());
+    for req in reqs {
+        if req.input.shape() != first.as_slice() {
+            return Err(SystemError::ShapeMismatch {
+                expected: first.clone(),
+                got: req.input.shape().to_vec(),
+            });
+        }
+        data.extend_from_slice(req.input.as_slice());
+    }
+    let mut shape = Vec::with_capacity(first.len() + 1);
+    shape.push(reqs.len());
+    shape.extend_from_slice(&first);
+    Ok(Tensor::from_vec(&shape, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Modules whose "network" is the identity: logits = input rows.
+    fn passthrough_engine(n: usize) -> Engine {
+        let models = (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect();
+        Engine::from_models(models).expect("non-empty")
+    }
+
+    fn req(id: u64, values: Vec<f32>) -> InferenceRequest {
+        let shape = [values.len()];
+        InferenceRequest {
+            id,
+            tenant: 0,
+            input: Tensor::from_vec(&shape, values),
+        }
+    }
+
+    #[test]
+    fn submit_returns_typed_response() {
+        let mut engine = passthrough_engine(3);
+        let r = engine
+            .submit(&req(7, vec![0.1, 0.9, 0.2]))
+            .expect("well-formed");
+        assert_eq!(r.id, 7);
+        assert_eq!(r.verdict, Verdict::Output(1));
+        assert_eq!(r.degradation, None);
+        assert!(r.escalations.is_empty());
+        assert_eq!(r.faults, 0);
+    }
+
+    #[test]
+    fn submit_batch_coalesces_and_preserves_order() {
+        let mut engine = passthrough_engine(3);
+        let reqs = vec![
+            req(0, vec![0.9, 0.1, 0.0]),
+            req(1, vec![0.0, 0.1, 0.9]),
+            req(2, vec![0.1, 0.8, 0.0]),
+        ];
+        let rs = engine.submit_batch(&reqs).expect("uniform shapes");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].verdict, Verdict::Output(0));
+        assert_eq!(rs[1].verdict, Verdict::Output(2));
+        assert_eq!(rs[2].verdict, Verdict::Output(1));
+        // One coalesced round = one frame.
+        assert_eq!(engine.session().frames_classified(), 1);
+    }
+
+    #[test]
+    fn submit_batch_rejects_shape_mismatch() {
+        let mut engine = passthrough_engine(1);
+        let reqs = vec![req(0, vec![0.9, 0.1]), req(1, vec![0.0, 0.1, 0.9])];
+        assert!(matches!(
+            engine.submit_batch(&reqs),
+            Err(SystemError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn degradation_is_typed_not_silent() {
+        let mut engine = passthrough_engine(2);
+        // Two modules disagree → R.2 skip.
+        engine
+            .session_mut()
+            .try_module_mut(0)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Corrupt(
+                mvml_faultinject::CorruptionMode::Saturate,
+            ));
+        let r = engine
+            .submit(&req(0, vec![-5.0, 3.0]))
+            .expect("well-formed");
+        // Saturate keeps sign: module 0 votes class 1 (3.0 → +MAX wins over
+        // -MAX) — actually both saturate to sign-preserving extremes, so
+        // argmax still picks index 1; the healthy module also picks 1, so
+        // no skip here. Force divergence with NaN instead.
+        assert_eq!(r.verdict, Verdict::Output(1));
+
+        let mut engine = passthrough_engine(1);
+        engine
+            .session_mut()
+            .try_module_mut(0)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Corrupt(mvml_faultinject::CorruptionMode::Nan));
+        let r = engine.submit(&req(0, vec![0.2, 0.8])).expect("well-formed");
+        assert_eq!(r.verdict, Verdict::NoModules);
+        assert_eq!(r.degradation, Some(Degradation::NoOutput));
+        assert_eq!(r.faults, 1);
+
+        let mut engine = passthrough_engine(2);
+        // Prime the stale buffer with a healthy frame, then wedge module 0
+        // and feed a divergent input: the replayed class clashes with the
+        // healthy module's → R.2 skip.
+        let _ = engine.submit(&req(0, vec![0.9, 0.1]));
+        engine
+            .session_mut()
+            .try_module_mut(0)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Stale);
+        let r = engine.submit(&req(1, vec![0.1, 0.9])).expect("well-formed");
+        assert_eq!(r.verdict, Verdict::Skip);
+        assert_eq!(r.degradation, Some(Degradation::VoterSkip));
+    }
+
+    #[test]
+    fn escalations_surface_in_responses() {
+        let mut engine = passthrough_engine(3);
+        engine
+            .session_mut()
+            .try_module_mut(1)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Crash);
+        let mut escalated = Vec::new();
+        for i in 0..3 {
+            let r = engine.submit(&req(i, vec![0.3, 0.6])).expect("well-formed");
+            assert_eq!(r.verdict, Verdict::Output(1));
+            escalated.extend(r.escalations);
+        }
+        assert_eq!(escalated, vec![1], "third crash escalates module 1");
+        assert_eq!(
+            engine.session().modules()[1].state(),
+            ModuleState::NonFunctional
+        );
+        // In-service rejuvenation through the session restores it.
+        engine.session_mut().rejuvenate_module(1).expect("in range");
+        assert_eq!(engine.session().modules()[1].state(), ModuleState::Healthy);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut engine = passthrough_engine(2);
+        assert!(engine.submit_batch(&[]).expect("empty").is_empty());
+        assert_eq!(engine.session().frames_classified(), 0);
+    }
+}

@@ -26,6 +26,13 @@ pub enum SystemError {
         /// Which value, and why it is invalid.
         reason: String,
     },
+    /// Requests with different input shapes were coalesced into one batch.
+    ShapeMismatch {
+        /// Shape of the first request in the batch.
+        expected: Vec<usize>,
+        /// The offending request's shape.
+        got: Vec<usize>,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -38,6 +45,12 @@ impl fmt::Display for SystemError {
                 write!(f, "module index {index} out of range for {count} modules")
             }
             SystemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SystemError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "cannot coalesce requests with input shape {got:?} into a batch of shape {expected:?}"
+                )
+            }
         }
     }
 }

@@ -17,10 +17,12 @@
 //! * [`dspn`] — DSPN builders for Figs. 2–3 and the steady-state
 //!   reliability solver (TimeNET's role).
 //! * [`analysis`] — parameter sweeps behind Fig. 4 and Table V.
-//! * [`module`] / [`system`] — the runtime: versioned modules with health
-//!   states, fault injection, rejuvenation, and the assembled N-version
-//!   classifier with its runtime guard (panic containment, deadline
-//!   budgets, non-finite sanitization).
+//! * [`module`] / [`engine`] / [`system`] — the runtime: versioned modules
+//!   with health states, the reusable inference engine (a [`Session`] per
+//!   fault domain, typed [`InferenceRequest`]/[`InferenceResponse`], the
+//!   hardened pipeline with panic containment, deadline budgets and
+//!   non-finite sanitization), and the batch-evaluation facade
+//!   [`system::NVersionSystem`] the campaign binaries drive.
 //! * [`watchdog`] — fault-event accounting and the escalation watchdog
 //!   that turns repeated runtime faults into reactive-rejuvenation
 //!   triggers.
@@ -50,6 +52,7 @@
 pub mod agreement;
 pub mod analysis;
 pub mod dspn;
+pub mod engine;
 pub mod error;
 pub mod module;
 pub mod params;
@@ -59,6 +62,7 @@ pub mod system;
 pub mod voter;
 pub mod watchdog;
 
+pub use engine::{Degradation, Engine, InferenceRequest, InferenceResponse, Session};
 pub use error::SystemError;
 pub use module::{ModuleState, VersionedModule};
 pub use params::SystemParams;

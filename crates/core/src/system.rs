@@ -1,37 +1,27 @@
 //! The assembled N-version classification system: modules + trusted voter,
 //! hardened against *runtime* faults.
 //!
-//! The voter of the paper's Section IV assumes each operational module
-//! returns a finite, well-formed, on-time proposal. Real modules break that
-//! contract in richer ways than a weight fault: they panic mid-inference,
-//! overrun their deadline, or emit non-finite logits. The hardened
-//! classification path ([`NVersionSystem::classify_batch_detailed`])
-//! enforces the contract at the module boundary:
-//!
-//! * every forward pass runs under `std::panic::catch_unwind` — a crashing
-//!   module is a non-responsive module, not a crashed system;
-//! * an optional per-module wall-clock deadline discards late answers
-//!   (and injected [`RuntimeFault::Latency`] faults model lateness
-//!   deterministically);
-//! * any sample whose logits contain a non-finite value is withheld from
-//!   the voter — the version is treated as non-responsive *for that
-//!   sample*, feeding the voter's R.1–R.3 skip semantics instead of
-//!   poisoning the argmax;
-//! * every detection is recorded as a [`FaultEvent`], and repeated faults
-//!   escalate through the [`Watchdog`] into a reactive-rejuvenation
-//!   trigger (`ModuleState::NonFunctional`), the same path the DSPN models
-//!   predict for crashed modules.
+//! Since the engine extraction, `NVersionSystem` is a thin facade over
+//! [`crate::engine::Session`] — one session is one fault domain, and the
+//! hardened per-frame pipeline (panic containment, deadline budgets,
+//! non-finite sanitization, watchdog escalation) lives in
+//! [`crate::engine`]. This type keeps the batch-evaluation surface the
+//! campaign and table binaries drive: [`NVersionSystem::evaluate`] walks a
+//! labelled dataset and tallies voter outcomes into
+//! [`EmpiricalReliability`]. Long-running callers (`mvml-serve`) use
+//! [`crate::engine::Engine`] directly instead.
 
+use crate::engine::Session;
 use crate::error::SystemError;
-use crate::module::{ModuleState, VersionedModule};
-use crate::voter::{vote, Verdict, VotingScheme};
-use crate::watchdog::{FaultEvent, FaultEventKind, FaultLog, Watchdog, WatchdogConfig};
-use mvml_faultinject::{corrupt_in_place, RuntimeFault, RuntimeFaultPlan};
+use crate::module::VersionedModule;
+use crate::voter::{Verdict, VotingScheme};
+use crate::watchdog::FaultLog;
+use mvml_faultinject::RuntimeFaultPlan;
 use mvml_nn::{Dataset, Sequential, Tensor};
-use mvml_obs::{GuardVerdict, Recorder, TelemetryEvent, VoterOutcome, VotingRule};
+use mvml_obs::Recorder;
 use serde::{Deserialize, Serialize};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+
+pub use crate::engine::{ClassifyReport, GuardConfig};
 
 /// Outcome counts of an empirical evaluation run (the implementation of the
 /// paper's "we implemented the voting rules to evaluate the reliability with
@@ -98,96 +88,14 @@ impl EmpiricalReliability {
     }
 }
 
-/// Runtime-guard configuration for the hardened classification path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GuardConfig {
-    /// Per-module wall-clock inference budget. An answer arriving later is
-    /// discarded (recorded as [`FaultEventKind::DeadlineMiss`]). `None`
-    /// disables wall-clock checks, keeping classification fully
-    /// deterministic; injected [`RuntimeFault::Latency`] faults are
-    /// *always* treated as deadline misses.
-    pub deadline: Option<Duration>,
-    /// When `true` (default), any sample whose logits contain a non-finite
-    /// value is withheld from the voter. When `false` — the unhardened
-    /// baseline — corrupted logits flow into a total-order argmax and vote.
-    pub sanitize: bool,
-    /// Watchdog escalation policy; `None` disables escalation (faults are
-    /// still detected and logged, but never force a module non-functional).
-    pub watchdog: Option<WatchdogConfig>,
-}
-
-impl Default for GuardConfig {
-    fn default() -> Self {
-        GuardConfig {
-            deadline: None,
-            sanitize: true,
-            watchdog: Some(WatchdogConfig::default()),
-        }
-    }
-}
-
-impl GuardConfig {
-    /// The unhardened baseline: no sanitization, no escalation. Panics are
-    /// still caught (the measurement harness must survive them), but
-    /// nothing is learned from them — this models the seed's original
-    /// pipeline, where a NaN-emitting module votes garbage instead of
-    /// being discarded.
-    pub fn unhardened() -> Self {
-        GuardConfig {
-            deadline: None,
-            sanitize: false,
-            watchdog: None,
-        }
-    }
-
-    /// Sanitization without watchdog escalation: detections discard the
-    /// affected samples but never change module health. This is the
-    /// configuration whose steady-state behaviour the unmodified DSPN
-    /// models predict (escalation adds a detection-speed C→N transition
-    /// the analytic models do not know about).
-    pub fn sanitize_only() -> Self {
-        GuardConfig {
-            deadline: None,
-            sanitize: true,
-            watchdog: None,
-        }
-    }
-}
-
-/// The outcome of one hardened classification round.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClassifyReport {
-    /// One verdict per sample of the batch.
-    pub verdicts: Vec<Verdict<usize>>,
-    /// Fault events detected during this round (also appended to the
-    /// system's [`FaultLog`]).
-    pub events: Vec<FaultEvent>,
-    /// Modules the watchdog escalated to non-functional during this round.
-    pub escalations: Vec<usize>,
-}
-
 /// An N-version ML classification system: several [`VersionedModule`]s in
 /// front of a trusted voter, with a runtime guard between them.
+///
+/// A facade over one [`Session`] that adds the dataset-evaluation loop.
 #[derive(Debug, Clone)]
 pub struct NVersionSystem {
-    modules: Vec<VersionedModule>,
-    scheme: VotingScheme,
-    guard: GuardConfig,
-    watchdog: Watchdog,
-    log: FaultLog,
-    plan: Option<RuntimeFaultPlan>,
-    /// Per module: the logits produced on the last frame that yielded any
-    /// (shape, values) — replayed by stale-output faults.
-    last_logits: Vec<Option<(Vec<usize>, Vec<f32>)>>,
-    frame: u64,
-    /// Telemetry stream for the hardened path. Observe-only: verdicts,
-    /// events and escalations are byte-identical whether this recorder is
-    /// enabled or disabled (the default).
-    recorder: Recorder,
+    session: Session,
 }
-
-/// Capacity of the bounded fault-event log.
-const FAULT_LOG_CAPACITY: usize = 4096;
 
 impl NVersionSystem {
     /// Assembles a system from trained models using the paper's default
@@ -216,7 +124,9 @@ impl NVersionSystem {
 
     /// Fallible assembly with the default voting rules.
     pub fn try_new(models: Vec<Sequential>) -> Result<Self, SystemError> {
-        NVersionSystem::try_with_scheme(models, VotingScheme::MajorityWithSkip)
+        Ok(NVersionSystem {
+            session: Session::new(models)?,
+        })
     }
 
     /// Fallible assembly with an explicit voting scheme.
@@ -224,22 +134,26 @@ impl NVersionSystem {
         models: Vec<Sequential>,
         scheme: VotingScheme,
     ) -> Result<Self, SystemError> {
-        if models.is_empty() {
-            return Err(SystemError::EmptySystem);
-        }
-        let n = models.len();
-        let guard = GuardConfig::default();
         Ok(NVersionSystem {
-            modules: models.into_iter().map(VersionedModule::new).collect(),
-            scheme,
-            guard,
-            watchdog: Watchdog::new(n, guard.watchdog.unwrap_or_default()),
-            log: FaultLog::new(n, FAULT_LOG_CAPACITY),
-            plan: None,
-            last_logits: vec![None; n],
-            frame: 0,
-            recorder: Recorder::disabled(),
+            session: Session::with_scheme(models, scheme)?,
         })
+    }
+
+    /// The underlying inference session (the fault domain this system
+    /// wraps). Long-running callers can lift it into an
+    /// [`crate::engine::Engine`].
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Consumes the facade, yielding the session.
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// Attaches a telemetry recorder to the hardened classification path.
@@ -249,17 +163,17 @@ impl NVersionSystem {
     /// and rejuvenation completions are emitted, but classification
     /// outputs never depend on whether recording is enabled.
     pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.recorder = recorder;
+        self.session.set_recorder(recorder);
     }
 
     /// The attached telemetry recorder (disabled by default).
     pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+        self.session.recorder()
     }
 
     /// Number of module versions.
     pub fn version_count(&self) -> usize {
-        self.modules.len()
+        self.session.version_count()
     }
 
     /// Immutable module access.
@@ -269,7 +183,7 @@ impl NVersionSystem {
     /// Panics if `i` is out of range; use [`NVersionSystem::try_module`]
     /// for a typed error.
     pub fn module(&self, i: usize) -> &VersionedModule {
-        &self.modules[i]
+        &self.session.modules()[i]
     }
 
     /// Mutable module access (inject faults, force states, …).
@@ -278,50 +192,31 @@ impl NVersionSystem {
     ///
     /// Panics if `i` is out of range; use
     /// [`NVersionSystem::try_module_mut`] for a typed error.
+    #[allow(clippy::expect_used)] // documented panic with a fallible sibling
     pub fn module_mut(&mut self, i: usize) -> &mut VersionedModule {
-        &mut self.modules[i]
+        self.session
+            .try_module_mut(i)
+            .expect("module index out of range")
     }
 
     /// Fallible immutable module access.
     pub fn try_module(&self, i: usize) -> Result<&VersionedModule, SystemError> {
-        let count = self.modules.len();
-        self.modules
-            .get(i)
-            .ok_or(SystemError::ModuleIndex { index: i, count })
+        self.session.try_module(i)
     }
 
     /// Fallible mutable module access.
     pub fn try_module_mut(&mut self, i: usize) -> Result<&mut VersionedModule, SystemError> {
-        let count = self.modules.len();
-        self.modules
-            .get_mut(i)
-            .ok_or(SystemError::ModuleIndex { index: i, count })
+        self.session.try_module_mut(i)
     }
 
     /// The active runtime-guard configuration.
     pub fn guard(&self) -> GuardConfig {
-        self.guard
+        self.session.guard()
     }
 
     /// Replaces the runtime-guard configuration (rebuilding the watchdog).
     pub fn set_guard(&mut self, guard: GuardConfig) -> Result<(), SystemError> {
-        if let Some(dl) = guard.deadline {
-            if dl.is_zero() {
-                return Err(SystemError::InvalidConfig {
-                    reason: "deadline budget must be positive".into(),
-                });
-            }
-        }
-        if let Some(wd) = guard.watchdog {
-            if wd.threshold == 0 || wd.window == 0 {
-                return Err(SystemError::InvalidConfig {
-                    reason: "watchdog window and threshold must be positive".into(),
-                });
-            }
-            self.watchdog = Watchdog::new(self.modules.len(), wd);
-        }
-        self.guard = guard;
-        Ok(())
+        self.session.set_guard(guard)
     }
 
     /// Attaches a deterministic runtime fault plan; `None` detaches it.
@@ -329,263 +224,48 @@ impl NVersionSystem {
     /// ([`VersionedModule::set_runtime_fault`]) take precedence over the
     /// plan's per-frame draws.
     pub fn set_fault_plan(&mut self, plan: Option<RuntimeFaultPlan>) {
-        self.plan = plan;
+        self.session.set_fault_plan(plan);
     }
 
     /// The fault-event log accumulated by the hardened path.
     pub fn fault_log(&self) -> &FaultLog {
-        &self.log
+        self.session.fault_log()
     }
 
     /// Frames classified so far (the frame counter fault plans index by).
     pub fn frames_classified(&self) -> u64 {
-        self.frame
+        self.session.frames_classified()
     }
 
     /// Completes a rejuvenation of module `i` through the system, so the
     /// guard state is reset along with the weights: the watchdog window and
     /// the stale-replay buffer forget the pre-rejuvenation fault history.
     pub fn rejuvenate_module(&mut self, i: usize) -> Result<(), SystemError> {
-        let count = self.modules.len();
-        let module = self
-            .modules
-            .get_mut(i)
-            .ok_or(SystemError::ModuleIndex { index: i, count })?;
-        module.complete_rejuvenation();
-        self.watchdog.reset(i);
-        self.last_logits[i] = None;
-        self.recorder
-            .emit(|| TelemetryEvent::RejuvenationCompleted { module: i });
-        Ok(())
+        self.session.rejuvenate_module(i)
     }
 
     /// Current `(healthy, compromised, non-functional)` counts; modules
     /// being rejuvenated count as non-functional.
     pub fn state_counts(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
-        for m in &self.modules {
-            match m.state() {
-                ModuleState::Healthy => counts.0 += 1,
-                ModuleState::Compromised => counts.1 += 1,
-                ModuleState::NonFunctional | ModuleState::Rejuvenating => counts.2 += 1,
-            }
-        }
-        counts
+        self.session.state_counts()
     }
 
     /// Classifies a batch `[N, C, H, W]`, returning one verdict per sample.
     /// This is the hardened path; see
     /// [`NVersionSystem::classify_batch_detailed`] for the fault events.
     pub fn classify_batch(&mut self, x: &Tensor) -> Vec<Verdict<usize>> {
-        self.classify_batch_detailed(x).verdicts
+        self.session.classify_batch(x)
     }
 
     /// Classifies a batch under the runtime guard, returning the verdicts
     /// together with every detected fault and watchdog escalation.
     ///
-    /// Escalated modules are moved to [`ModuleState::NonFunctional`]
-    /// *after* this round's vote (their faulty proposals were already
-    /// withheld), so the caller's health process can route them through
-    /// reactive rejuvenation.
+    /// Escalated modules are moved to
+    /// [`crate::ModuleState::NonFunctional`] *after* this round's vote
+    /// (their faulty proposals were already withheld), so the caller's
+    /// health process can route them through reactive rejuvenation.
     pub fn classify_batch_detailed(&mut self, x: &Tensor) -> ClassifyReport {
-        let n_samples = x.shape().first().copied().unwrap_or(0);
-        let frame = self.frame;
-        self.frame += 1;
-
-        let mut proposals: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.modules.len());
-        let mut events: Vec<FaultEvent> = Vec::new();
-        let guard = self.guard;
-        let plan = self.plan.as_ref();
-        let last_logits = &mut self.last_logits;
-        let recorder = self.recorder.clone();
-
-        for (m, module) in self.modules.iter_mut().enumerate() {
-            if !module.state().is_operational() {
-                proposals.push(vec![None; n_samples]);
-                continue;
-            }
-            let fault = module
-                .runtime_fault()
-                .or_else(|| plan.and_then(|p| p.fault_for(m, frame)));
-
-            // Telemetry: what the guard concluded about this module's
-            // proposal, refined as the fault paths below resolve. Strictly
-            // observe-only — mirrors the `events` pushes bit for bit.
-            let mut obs_verdict = GuardVerdict::Accepted;
-            let span = recorder.span();
-
-            // Produce this round's logits according to the fault model.
-            let produced: Option<Tensor> = match fault {
-                Some(RuntimeFault::Stale) => {
-                    // A wedged stage serves its output buffer again; if it
-                    // never produced one, it has nothing to serve.
-                    let replay = last_logits[m]
-                        .as_ref()
-                        .filter(|(shape, _)| shape.first() == Some(&n_samples))
-                        .map(|(shape, values)| Tensor::from_vec(shape, values.clone()));
-                    obs_verdict = if replay.is_some() {
-                        GuardVerdict::StaleReplay
-                    } else {
-                        GuardVerdict::NoOutput
-                    };
-                    replay
-                }
-                _ => {
-                    let started = Instant::now();
-                    let run = catch_unwind(AssertUnwindSafe(|| {
-                        if matches!(fault, Some(RuntimeFault::Crash)) {
-                            panic!("injected crash fault");
-                        }
-                        module.infer_logits(x)
-                    }));
-                    match run {
-                        Err(_) => {
-                            events.push(FaultEvent {
-                                module: m,
-                                frame,
-                                kind: FaultEventKind::Panic,
-                            });
-                            obs_verdict = GuardVerdict::Panicked;
-                            None
-                        }
-                        Ok(logits) => {
-                            let late = matches!(fault, Some(RuntimeFault::Latency))
-                                || guard.deadline.is_some_and(|dl| started.elapsed() > dl);
-                            if late {
-                                events.push(FaultEvent {
-                                    module: m,
-                                    frame,
-                                    kind: FaultEventKind::DeadlineMiss,
-                                });
-                                obs_verdict = GuardVerdict::DeadlineMissed;
-                                // The late answer still refreshes the stale
-                                // buffer — it was produced, just not in time.
-                                if let Some(t) = logits {
-                                    last_logits[m] =
-                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
-                                }
-                                None
-                            } else {
-                                if logits.is_none() {
-                                    obs_verdict = GuardVerdict::NoOutput;
-                                }
-                                logits.map(|mut t| {
-                                    if let Some(RuntimeFault::Corrupt(mode)) = fault {
-                                        corrupt_in_place(t.as_mut_slice(), mode);
-                                    }
-                                    last_logits[m] =
-                                        Some((t.shape().to_vec(), t.as_slice().to_vec()));
-                                    t
-                                })
-                            }
-                        }
-                    }
-                }
-            };
-            let timing = span.stop();
-
-            // Sanitize and reduce to per-sample class proposals.
-            let row = match produced {
-                None => vec![None; n_samples],
-                Some(logits) => {
-                    let (classes, poisoned) = sanitized_argmax(&logits, n_samples, guard.sanitize);
-                    if poisoned > 0 {
-                        events.push(FaultEvent {
-                            module: m,
-                            frame,
-                            kind: FaultEventKind::NonFiniteOutput { samples: poisoned },
-                        });
-                        obs_verdict = GuardVerdict::NonFinite { samples: poisoned };
-                    }
-                    classes
-                }
-            };
-            recorder.emit_timed(timing, || TelemetryEvent::ModuleInference {
-                module: m,
-                frame,
-                verdict: obs_verdict,
-            });
-            proposals.push(row);
-        }
-
-        // Vote before escalation: this round's faulty proposals were
-        // already withheld sample-by-sample.
-        let verdicts: Vec<Verdict<usize>> = (0..n_samples)
-            .map(|i| {
-                let row: Vec<Option<usize>> = proposals.iter().map(|p| p[i]).collect();
-                let verdict = vote(self.scheme, &row);
-                recorder.emit(|| {
-                    let proposing = row.iter().flatten().count();
-                    let (outcome, agreeing) = match &verdict {
-                        Verdict::Output(class) => (
-                            VoterOutcome::Output {
-                                class: Some(*class),
-                            },
-                            row.iter().flatten().filter(|&&c| c == *class).count(),
-                        ),
-                        Verdict::Skip => (VoterOutcome::Skip, 0),
-                        Verdict::NoModules => (VoterOutcome::NoModules, 0),
-                    };
-                    TelemetryEvent::VoterDecision {
-                        frame,
-                        sample: i,
-                        outcome,
-                        rule: VotingRule::for_proposal_count(proposing),
-                        proposing,
-                        agreeing,
-                        withheld: row.len() - proposing,
-                    }
-                });
-                verdict
-            })
-            .collect();
-
-        // Feed the watchdog (one observation per module per round) and
-        // escalate repeat offenders into the reactive-rejuvenation path.
-        let mut escalations = Vec::new();
-        if self.guard.watchdog.is_some() {
-            let faulted: Vec<usize> = {
-                let mut seen = vec![false; self.modules.len()];
-                for e in &events {
-                    if !matches!(e.kind, FaultEventKind::Escalated) {
-                        seen[e.module] = true;
-                    }
-                }
-                seen.iter()
-                    .enumerate()
-                    .filter_map(|(i, &s)| s.then_some(i))
-                    .collect()
-            };
-            for m in faulted {
-                if self.watchdog.observe(m, frame) {
-                    self.modules[m].fail();
-                    events.push(FaultEvent {
-                        module: m,
-                        frame,
-                        kind: FaultEventKind::Escalated,
-                    });
-                    escalations.push(m);
-                    // The window clears exactly when it reaches the
-                    // threshold, so the count at escalation *is* the
-                    // configured threshold.
-                    let faults_in_window = self.watchdog.config().threshold;
-                    recorder.emit(|| TelemetryEvent::WatchdogEscalation {
-                        module: m,
-                        frame,
-                        faults_in_window,
-                    });
-                }
-            }
-        }
-
-        for e in &events {
-            self.log.record(*e);
-        }
-        ClassifyReport {
-            verdicts,
-            events,
-            escalations,
-        }
+        self.session.classify_batch_detailed(x)
     }
 
     /// Evaluates the system on a labelled dataset, batch by batch.
@@ -605,56 +285,19 @@ impl NVersionSystem {
     }
 }
 
-/// Reduces a `[N, K]` logit tensor to per-sample class proposals.
-///
-/// With `sanitize`, any sample containing a non-finite logit yields `None`
-/// (the module is non-responsive for that sample); the second return is the
-/// number of such samples. Without `sanitize`, the argmax is taken over the
-/// IEEE-754 total order (NaN sorts above `+∞`), so corrupted samples vote
-/// a deterministic garbage class — the unhardened baseline's behaviour.
-///
-/// Malformed outputs (empty class dimension, wrong sample count) withhold
-/// every sample and count them all as poisoned.
-fn sanitized_argmax(
-    logits: &Tensor,
-    n_samples: usize,
-    sanitize: bool,
-) -> (Vec<Option<usize>>, usize) {
-    let k = logits.shape().last().copied().unwrap_or(0);
-    if k == 0 || logits.len() != n_samples * k {
-        return (vec![None; n_samples], n_samples);
-    }
-    let mut poisoned = 0;
-    let classes = logits
-        .as_slice()
-        .chunks(k)
-        .map(|row| {
-            let finite = row.iter().all(|v| v.is_finite());
-            if !finite {
-                poisoned += 1;
-                if sanitize {
-                    return None;
-                }
-            }
-            row.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-        })
-        .collect();
-    (classes, if sanitize { poisoned } else { 0 })
-}
-
 #[cfg(test)]
 // Exact float assertions are deliberate here: the expected values are
 // produced by the same deterministic arithmetic being tested.
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
-    use mvml_faultinject::CorruptionMode;
+    use crate::module::ModuleState;
+    use crate::watchdog::{FaultEventKind, WatchdogConfig};
+    use mvml_faultinject::{CorruptionMode, RuntimeFault, RuntimeFaultPlan};
     use mvml_nn::models::three_versions;
     use mvml_nn::signs::{generate, SignConfig};
     use mvml_nn::train::{train_classifier, TrainConfig};
+    use std::time::Duration;
 
     fn easy_cfg() -> SignConfig {
         SignConfig {
@@ -949,5 +592,13 @@ mod tests {
         }
         let hits = sys.fault_log().module_total(0);
         assert!(hits > 0 && hits < 20, "rate 0.5 over 20 frames: {hits}");
+    }
+
+    #[test]
+    fn facade_exposes_its_session() {
+        let sys = passthrough_system(2);
+        assert_eq!(sys.session().version_count(), 2);
+        let session = sys.into_session();
+        assert_eq!(session.version_count(), 2);
     }
 }

@@ -1,0 +1,134 @@
+//! Property-based batching transparency: coalescing requests into one
+//! batched engine round must be *byte-identical* to serving them one at a
+//! time on a fault-free session.
+//!
+//! Two layers of the claim are pinned:
+//!
+//! 1. **Engine level** — [`Engine::submit_batch`] over `k` same-shaped
+//!    requests returns the same verdicts, degradations and ordering as `k`
+//!    [`Engine::submit`] calls against an identically-built engine.
+//! 2. **Logit level** — the batched forward pass produces bitwise-equal
+//!    f32 logits per sample, regardless of batch size. This is what makes
+//!    the serve-layer coalescing safe: the GEMM path accumulates each
+//!    sample's dot products in the same fixed k-order whether the sample
+//!    rides alone or inside a batch.
+
+use mvml_core::engine::{Engine, InferenceRequest};
+use mvml_nn::layer::Layer;
+use mvml_nn::layers::{Dense, Relu};
+use mvml_nn::{Sequential, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-random fill in `[-0.5, 0.5)` (independent of the
+/// strategy RNG's draw order, so shrunk cases stay reproducible).
+fn fill(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// A small diverse bank of dense classifiers over `inputs`-dim samples.
+fn bank(inputs: usize, classes: usize, versions: usize, seed: u64) -> Vec<Sequential> {
+    (0..versions)
+        .map(|v| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(v as u64));
+            let hidden = 8 + 4 * v;
+            let mut m = Sequential::new(format!("dense-v{v}"));
+            m.push(Dense::new(inputs, hidden, &mut rng));
+            m.push(Relu::new());
+            m.push(Dense::new(hidden, classes, &mut rng));
+            m
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalesced verdicts equal one-by-one verdicts, in request order.
+    #[test]
+    fn coalesced_batch_equals_sequential_submission(
+        k in 1usize..8,
+        d in 2usize..12,
+        classes in 2usize..6,
+        versions in 1usize..4,
+        seed in 0u64..200,
+        salt in 0u64..1_000,
+    ) {
+        let models = bank(d, classes, versions, seed);
+        let reqs: Vec<InferenceRequest> = (0..k)
+            .map(|i| InferenceRequest {
+                id: i as u64,
+                tenant: 7,
+                input: Tensor::from_vec(&[d], fill(d, salt ^ (i as u64 * 0x51_7C_C1))),
+            })
+            .collect();
+
+        let mut batched = Engine::from_models(models.clone()).expect("bank is non-empty");
+        let coalesced = batched.submit_batch(&reqs).expect("same-shape batch");
+        prop_assert_eq!(coalesced.len(), reqs.len());
+
+        let mut sequential = Engine::from_models(models.clone()).expect("bank is non-empty");
+        for (req, got) in reqs.iter().zip(&coalesced) {
+            let want = sequential.submit(req).expect("single");
+            prop_assert_eq!(got.id, want.id);
+            prop_assert_eq!(got.tenant, want.tenant);
+            prop_assert!(
+                got.verdict == want.verdict,
+                "request {}: {:?} vs {:?}", req.id, got.verdict, want.verdict
+            );
+            prop_assert!(
+                got.degradation == want.degradation,
+                "request {}: {:?} vs {:?}", req.id, got.degradation, want.degradation
+            );
+        }
+    }
+
+    /// The forward pass itself is batch-size-invariant at the byte level:
+    /// sample `i` of a `[k, d]` batch produces bitwise the same logits as
+    /// the same sample alone in a `[1, d]` batch, for every version.
+    #[test]
+    fn batched_logits_are_bitwise_equal_to_single_sample_logits(
+        k in 2usize..8,
+        d in 2usize..12,
+        classes in 2usize..6,
+        versions in 1usize..4,
+        seed in 0u64..200,
+        salt in 0u64..1_000,
+    ) {
+        let models = bank(d, classes, versions, seed);
+        let samples: Vec<Vec<f32>> = (0..k)
+            .map(|i| fill(d, salt ^ (i as u64 * 0xA5)))
+            .collect();
+        let stacked = Tensor::from_vec(
+            &[k, d],
+            samples.iter().flat_map(|s| s.iter().copied()).collect(),
+        );
+        for model in &models {
+            let mut batch_model = model.clone();
+            let batch_logits = batch_model.forward(&stacked, false);
+            prop_assert_eq!(batch_logits.shape(), &[k, classes]);
+            for (i, sample) in samples.iter().enumerate() {
+                let mut single_model = model.clone();
+                let single = single_model
+                    .forward(&Tensor::from_vec(&[1, d], sample.clone()), false);
+                let got = &batch_logits.as_slice()[i * classes..(i + 1) * classes];
+                let want = single.as_slice();
+                for (class, (g, w)) in got.iter().zip(want).enumerate() {
+                    prop_assert!(
+                        g.to_bits() == w.to_bits(),
+                        "{}: sample {i} class {class}: {g} vs {w}",
+                        model.model_name()
+                    );
+                }
+            }
+        }
+    }
+}

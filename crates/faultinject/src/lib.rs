@@ -27,7 +27,9 @@
 
 pub mod runtime;
 
-pub use runtime::{corrupt_in_place, CorruptionMode, RuntimeFault, RuntimeFaultPlan};
+pub use runtime::{
+    corrupt_in_place, CorruptionMode, RuntimeFault, RuntimeFaultPlan, TenantFaultPlans,
+};
 
 use mvml_nn::Sequential;
 use rand::rngs::StdRng;

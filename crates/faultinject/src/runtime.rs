@@ -148,6 +148,101 @@ impl RuntimeFaultPlan {
     }
 }
 
+/// Deterministic per-tenant fault schedules for serve-mode chaos testing.
+///
+/// A multi-tenant server gives every tenant its own fault domain (its own
+/// `mvml-core` session and watchdog); this type gives every tenant
+/// its own *fault schedule* to match. Each tenant's plan runs under a seed
+/// derived from `(base seed, tenant id)` via SplitMix64, so:
+///
+/// * schedules are a pure function of `(seed, tenant, module, frame, rule)`
+///   — replayable byte-for-byte, independent of shard assignment, request
+///   interleaving or thread count;
+/// * adding or removing one tenant's rules never perturbs another tenant's
+///   draws (no shared RNG stream to desynchronize) — the property the
+///   tenant-isolation chaos test leans on.
+///
+/// Tenants without an entry are fault-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantFaultPlans {
+    seed: u64,
+    /// `(tenant, plan)` pairs in insertion order.
+    tenants: Vec<(u64, RuntimeFaultPlan)>,
+}
+
+impl TenantFaultPlans {
+    /// An empty schedule (every tenant fault-free) with the given base seed.
+    pub fn new(seed: u64) -> Self {
+        TenantFaultPlans {
+            seed,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The seed a tenant's plan derives from the base seed.
+    fn tenant_seed(&self, tenant: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(tenant ^ 0x7E4A_0000_0001))
+    }
+
+    /// Adds a rule to `tenant`'s plan (creating the plan on first use);
+    /// earlier rules take precedence, as in
+    /// [`RuntimeFaultPlan::with_rule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a probability.
+    #[must_use]
+    pub fn with_tenant_rule(
+        mut self,
+        tenant: u64,
+        kind: RuntimeFault,
+        rate: f64,
+        module: Option<usize>,
+    ) -> Self {
+        let seed = self.tenant_seed(tenant);
+        match self.tenants.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, plan)) => {
+                let updated = plan.clone().with_rule(kind, rate, module);
+                *plan = updated;
+            }
+            None => {
+                self.tenants.push((
+                    tenant,
+                    RuntimeFaultPlan::new(seed).with_rule(kind, rate, module),
+                ));
+            }
+        }
+        self
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Tenants with a fault plan, in insertion order.
+    pub fn tenants(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tenants.iter().map(|(t, _)| *t)
+    }
+
+    /// The plan for `tenant`, if it has one. Cloning the returned plan into
+    /// the tenant's session is the intended wiring: the session then draws
+    /// from it with its *own* frame counter, keeping the schedule
+    /// independent of how requests interleave across tenants.
+    pub fn plan_for(&self, tenant: u64) -> Option<&RuntimeFaultPlan> {
+        self.tenants
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, p)| p)
+    }
+
+    /// The fault (if any) striking `tenant`'s `module` on the tenant-local
+    /// `frame`.
+    pub fn fault_for(&self, tenant: u64, module: usize, frame: u64) -> Option<RuntimeFault> {
+        self.plan_for(tenant)?.fault_for(module, frame)
+    }
+}
+
 /// Applies a [`CorruptionMode`] to a logit buffer in place.
 pub fn corrupt_in_place(values: &mut [f32], mode: CorruptionMode) {
     match mode {
@@ -272,6 +367,59 @@ mod tests {
         corrupt_in_place(&mut v, CorruptionMode::Saturate);
         assert_eq!(v, vec![f32::MAX, -f32::MAX, f32::MAX]);
         assert!(v.iter().all(|x| x.is_finite()), "saturation stays finite");
+    }
+
+    #[test]
+    fn tenant_plans_are_isolated_and_deterministic() {
+        let base = TenantFaultPlans::new(17)
+            .with_tenant_rule(0, RuntimeFault::Crash, 0.5, None)
+            .with_tenant_rule(1, RuntimeFault::Stale, 0.5, Some(0));
+        // Determinism: same construction, same draws.
+        let again = TenantFaultPlans::new(17)
+            .with_tenant_rule(0, RuntimeFault::Crash, 0.5, None)
+            .with_tenant_rule(1, RuntimeFault::Stale, 0.5, Some(0));
+        let draw = |p: &TenantFaultPlans, t: u64| -> Vec<Option<RuntimeFault>> {
+            (0..200).map(|f| p.fault_for(t, 0, f)).collect()
+        };
+        assert_eq!(draw(&base, 0), draw(&again, 0));
+        assert_eq!(draw(&base, 1), draw(&again, 1));
+        // Isolation: adding tenant 2's rules never perturbs tenant 0 or 1.
+        let extended = base
+            .clone()
+            .with_tenant_rule(2, RuntimeFault::Latency, 0.9, None);
+        assert_eq!(draw(&base, 0), draw(&extended, 0));
+        assert_eq!(draw(&base, 1), draw(&extended, 1));
+        // Independence: distinct tenants see distinct schedules.
+        let uniform = TenantFaultPlans::new(17)
+            .with_tenant_rule(0, RuntimeFault::Crash, 0.5, None)
+            .with_tenant_rule(1, RuntimeFault::Crash, 0.5, None);
+        assert_ne!(draw(&uniform, 0), draw(&uniform, 1));
+        // Unknown tenants are fault-free.
+        assert_eq!(base.fault_for(99, 0, 0), None);
+        assert!(base.plan_for(99).is_none());
+        assert_eq!(base.tenants().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn tenant_rules_accumulate_per_tenant() {
+        let plans = TenantFaultPlans::new(3)
+            .with_tenant_rule(7, RuntimeFault::Latency, 1.0, Some(1))
+            .with_tenant_rule(7, RuntimeFault::Crash, 1.0, None);
+        let plan = plans.plan_for(7).expect("tenant 7 has a plan");
+        assert_eq!(plan.rules().len(), 2);
+        // First-match precedence within the tenant's plan.
+        assert_eq!(plans.fault_for(7, 1, 0), Some(RuntimeFault::Latency));
+        assert_eq!(plans.fault_for(7, 0, 0), Some(RuntimeFault::Crash));
+    }
+
+    #[test]
+    fn tenant_plans_serde_round_trip() {
+        let plans = TenantFaultPlans::new(5)
+            .with_tenant_rule(0, RuntimeFault::Crash, 0.2, None)
+            .with_tenant_rule(3, RuntimeFault::Corrupt(CorruptionMode::Nan), 0.1, Some(2));
+        let json = serde_json::to_string(&plans).expect("serialise");
+        let back: TenantFaultPlans = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(plans, back);
     }
 
     #[test]

@@ -66,4 +66,5 @@ pub mod train;
 pub use data::Dataset;
 pub use layer::{Layer, Param};
 pub use model::{ModelState, Sequential};
+pub use parallel::{parse_positive_env, EnvParseError, EnvParseErrorKind};
 pub use tensor::Tensor;

@@ -7,6 +7,7 @@
 //! count** — threads only change which worker computes which disjoint slice,
 //! never the accumulation order within a slice.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -17,24 +18,110 @@ static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// on the override.
 static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
 
-/// The number of worker threads compute kernels should use.
+/// A malformed environment-variable knob (`MVML_THREADS`, `MVML_SERVE_*`).
+///
+/// Misconfiguration is rejected loudly, never silently defaulted: a
+/// benchmark run with `MVML_THREADS=fourteen` quietly falling back to the
+/// machine's core count would report numbers for a configuration nobody
+/// asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// The environment variable that failed to parse.
+    pub var: String,
+    /// Its raw value.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: EnvParseErrorKind,
+}
+
+/// Why an environment knob was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnvParseErrorKind {
+    /// The value is not a base-10 unsigned integer.
+    NotAnInteger,
+    /// The value parsed but is zero (every knob here is a positive count).
+    Zero,
+}
+
+impl fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            EnvParseErrorKind::NotAnInteger => write!(
+                f,
+                "{}={:?} is not a positive integer; set a base-10 count like {}=4 or unset it",
+                self.var, self.value, self.var
+            ),
+            EnvParseErrorKind::Zero => write!(
+                f,
+                "{}=0 is not a valid count; set a positive value or unset {} to use the default",
+                self.var, self.var
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// Strictly parses a positive-integer environment knob value.
+///
+/// Accepts exactly a (whitespace-trimmed) base-10 positive integer;
+/// anything else — empty, garbage, signs, hex, or zero — is a typed
+/// [`EnvParseError`] naming the variable. Shared by `MVML_THREADS` here
+/// and the `MVML_SERVE_*` knobs in `mvml-serve`.
+pub fn parse_positive_env(var: &str, raw: &str) -> Result<usize, EnvParseError> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        // `usize::from_str` accepts a leading '+'; reject it for a strict
+        // "what you typed is what runs" contract.
+        Ok(_) if trimmed.starts_with('+') => Err(EnvParseError {
+            var: var.to_string(),
+            value: raw.to_string(),
+            reason: EnvParseErrorKind::NotAnInteger,
+        }),
+        Ok(0) => Err(EnvParseError {
+            var: var.to_string(),
+            value: raw.to_string(),
+            reason: EnvParseErrorKind::Zero,
+        }),
+        Ok(n) => Ok(n),
+        Err(_) => Err(EnvParseError {
+            var: var.to_string(),
+            value: raw.to_string(),
+            reason: EnvParseErrorKind::NotAnInteger,
+        }),
+    }
+}
+
+/// The number of worker threads compute kernels should use, or a typed
+/// error if `MVML_THREADS` is set to something invalid.
 ///
 /// Resolution order: an active [`with_thread_count`] override, then the
 /// `MVML_THREADS` environment variable (a positive integer), then the
 /// machine's available parallelism.
-pub fn thread_count() -> usize {
+pub fn try_thread_count() -> Result<usize, EnvParseError> {
     let forced = OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
-        return forced;
+        return Ok(forced);
     }
     if let Ok(raw) = std::env::var("MVML_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+        return parse_positive_env("MVML_THREADS", &raw);
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The number of worker threads compute kernels should use.
+///
+/// # Panics
+///
+/// Panics with a configuration-naming message if `MVML_THREADS` is set to
+/// zero or garbage — an invalid knob must stop the run, not silently
+/// reconfigure it. Use [`try_thread_count`] for a typed error.
+#[allow(clippy::expect_used)] // documented panic with a fallible sibling
+pub fn thread_count() -> usize {
+    try_thread_count()
+        .map_err(|e| e.to_string())
+        .expect("invalid MVML_THREADS")
 }
 
 /// [`thread_count`] clamped to the machine's available parallelism — the
@@ -246,6 +333,25 @@ mod tests {
             let expect: Vec<usize> = (1..=23).collect();
             assert_eq!(data, expect, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn env_parser_accepts_exactly_positive_integers() {
+        assert_eq!(parse_positive_env("MVML_THREADS", "4"), Ok(4));
+        assert_eq!(parse_positive_env("MVML_THREADS", "  16 "), Ok(16));
+        assert_eq!(parse_positive_env("MVML_THREADS", "1"), Ok(1));
+        for bad in ["", " ", "fourteen", "4.0", "-2", "+3", "0x10", "4 threads"] {
+            let err =
+                parse_positive_env("MVML_SERVE_SHARDS", bad).expect_err("garbage must be rejected");
+            assert_eq!(err.reason, EnvParseErrorKind::NotAnInteger, "value {bad:?}");
+            assert!(
+                err.to_string().contains("MVML_SERVE_SHARDS"),
+                "error names the variable: {err}"
+            );
+        }
+        let err = parse_positive_env("MVML_THREADS", "0").expect_err("zero rejected");
+        assert_eq!(err.reason, EnvParseErrorKind::Zero);
+        assert!(err.to_string().contains("positive"), "actionable: {err}");
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub use event::{
     content_streams_eq, GuardVerdict, TelemetryEvent, TelemetryRecord, Timing, VoterOutcome,
     VotingRule,
 };
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LatencyQuantiles, HISTOGRAM_BUCKETS,
+};
 pub use recorder::{Recorder, SpanTimer};
 pub use sink::{read_jsonl, JsonlSink, RingBufferSink, Sink, SummarySink, TelemetrySummary};

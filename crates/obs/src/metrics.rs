@@ -171,6 +171,83 @@ impl Histogram {
         }
     }
 
+    /// Lower boundary (ns) of bucket `i` (inclusive); 0 for the underflow
+    /// bucket.
+    pub fn bucket_lower_bound_ns(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (1u64 << (i - 1)) as f64
+        }
+    }
+
+    /// The `(lower, upper)` boundaries (ns) of the bucket containing the
+    /// `q`-quantile (`0 ≤ q ≤ 1`), i.e. a bracketing interval for the true
+    /// quantile.
+    ///
+    /// ## Error bounds
+    ///
+    /// The log-2 geometry makes the bracket tight in *relative* terms: for
+    /// any quantile landing in a regular bucket `i ≥ 1`,
+    /// `upper = 2 × lower`, so reporting `upper` (the conservative choice,
+    /// see [`Histogram::quantile_upper_bound_ns`]) overestimates the true
+    /// quantile by strictly less than 2× and reporting the geometric
+    /// midpoint `√(lower·upper)` is within a factor `√2 ≈ 1.41` either
+    /// way. The bracket degenerates only at the extremes: the underflow
+    /// bucket brackets to `(0, 1)` ns and the overflow bucket to
+    /// `(2^39 ns ≈ 9.2 min, +∞)`.
+    ///
+    /// Returns `(0, 0)` for an empty histogram.
+    pub fn quantile_bounds_ns(&self, q: f64) -> (f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0);
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return (
+                    Histogram::bucket_lower_bound_ns(i),
+                    Histogram::bucket_upper_bound_ns(i),
+                );
+            }
+        }
+        (
+            Histogram::bucket_lower_bound_ns(HISTOGRAM_BUCKETS - 1),
+            f64::INFINITY,
+        )
+    }
+
+    /// Conservative p50 (ns): upper bound of the median's bucket.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_upper_bound_ns(0.5)
+    }
+
+    /// Conservative p99 (ns): upper bound of the 99th percentile's bucket.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_upper_bound_ns(0.99)
+    }
+
+    /// Conservative pMAX (ns): upper bound of the largest observation's
+    /// bucket (the `q = 1` quantile).
+    pub fn pmax_ns(&self) -> f64 {
+        self.quantile_upper_bound_ns(1.0)
+    }
+
+    /// The standard SLO-reporting quantile triple, extracted once so
+    /// report writers don't re-derive quantile scans ad hoc. All three are
+    /// conservative bucket upper bounds; see
+    /// [`Histogram::quantile_bounds_ns`] for the error bounds.
+    pub fn quantiles(&self) -> LatencyQuantiles {
+        LatencyQuantiles {
+            p50_ns: self.p50_ns(),
+            p99_ns: self.p99_ns(),
+            pmax_ns: self.pmax_ns(),
+            count: self.count,
+        }
+    }
+
     /// Per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
@@ -199,6 +276,26 @@ impl Histogram {
             sum_ns: self.sum_ns,
         }
     }
+}
+
+/// The p50/p99/pMAX triple extracted from a latency [`Histogram`].
+///
+/// Every field is a conservative *bucket upper bound* in nanoseconds: the
+/// true quantile is strictly below it and above half of it (the log-2
+/// bucket geometry bounds the overestimate at 2×; see
+/// [`Histogram::quantile_bounds_ns`]). `+∞` serializes via JSON as `null`
+/// only in writers that map it; report writers should treat an overflow
+/// quantile as an SLO failure, not a number.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
+    /// Conservative median (ns).
+    pub p50_ns: f64,
+    /// Conservative 99th percentile (ns).
+    pub p99_ns: f64,
+    /// Conservative maximum (ns).
+    pub pmax_ns: f64,
+    /// Observations the quantiles were extracted from.
+    pub count: u64,
 }
 
 /// A compact serialized view of a [`Histogram`] (trailing zero buckets
@@ -279,6 +376,47 @@ mod tests {
         assert_eq!(h.quantile_upper_bound_ns(0.5), 16.0);
         assert_eq!(h.quantile_upper_bound_ns(0.99), 16.0);
         assert_eq!(h.quantile_upper_bound_ns(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_with_factor_two() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_bounds_ns(0.5), (0.0, 0.0), "empty histogram");
+        for _ in 0..100 {
+            h.observe(10.0); // bucket 4: [8, 16)
+        }
+        let (lo, hi) = h.quantile_bounds_ns(0.5);
+        assert_eq!((lo, hi), (8.0, 16.0));
+        assert_eq!(hi, 2.0 * lo, "regular buckets are a factor-2 bracket");
+        assert!(lo <= 10.0 && 10.0 < hi, "true quantile inside the bracket");
+        // Extremes: underflow brackets to (0, 1), overflow to (2^39, +inf).
+        let mut u = Histogram::new();
+        u.observe(0.0);
+        assert_eq!(u.quantile_bounds_ns(0.5), (0.0, 1.0));
+        let mut o = Histogram::new();
+        o.observe(f64::INFINITY);
+        let (lo, hi) = o.quantile_bounds_ns(0.5);
+        assert_eq!(lo, (1u64 << 39) as f64);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn quantile_triple_matches_scan() {
+        let mut h = Histogram::new();
+        // 98 fast observations, one slow, one very slow.
+        for _ in 0..98 {
+            h.observe(1_000.0); // bucket 10: [512, 1024)
+        }
+        h.observe(1_000_000.0); // ~2^20
+        h.observe(100_000_000.0); // ~2^27
+        let q = h.quantiles();
+        assert_eq!(q.count, 100);
+        assert_eq!(q.p50_ns, 1024.0);
+        assert_eq!(q.p99_ns, h.quantile_upper_bound_ns(0.99));
+        assert!(q.p99_ns >= 1_000_000.0, "p99 reaches the slow tail");
+        assert_eq!(q.pmax_ns, h.quantile_upper_bound_ns(1.0));
+        assert!(q.pmax_ns >= 100_000_000.0);
+        assert!(q.p50_ns <= q.p99_ns && q.p99_ns <= q.pmax_ns, "monotone");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Server configuration, including the hardened `MVML_SERVE_*` environment
+//! knobs.
+//!
+//! Every knob goes through the same strict parser as `MVML_THREADS`
+//! ([`mvml_nn::parse_positive_env`]): a set-but-invalid value is a typed
+//! error that stops startup, never a silent fallback — a server that
+//! quietly ignores `MVML_SERVE_SHARDS=two` is running a configuration
+//! nobody asked for.
+
+use mvml_faultinject::TenantFaultPlans;
+use mvml_nn::{parse_positive_env, EnvParseError};
+use std::time::Duration;
+
+/// Environment knob: worker-shard count.
+pub const ENV_SHARDS: &str = "MVML_SERVE_SHARDS";
+/// Environment knob: max requests coalesced into one tenant batch.
+pub const ENV_BATCH: &str = "MVML_SERVE_BATCH";
+/// Environment knob: default per-request SLO budget, milliseconds.
+pub const ENV_SLO_MS: &str = "MVML_SERVE_SLO_MS";
+/// Environment knob: drain cycles an in-service rejuvenation takes.
+pub const ENV_REJUV_CYCLES: &str = "MVML_SERVE_REJUV_CYCLES";
+
+/// Configuration for a [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards; each owns a disjoint set of tenants
+    /// (`tenant % shards`) and their replica sets.
+    pub shards: usize,
+    /// Maximum requests coalesced into one per-tenant batched forward
+    /// pass per drain cycle.
+    pub max_batch: usize,
+    /// Default per-request SLO budget (used when a request carries
+    /// `slo_us = 0`). A response completing later is stamped with a typed
+    /// deadline-miss degradation — still delivered, never a hang.
+    pub default_slo: Duration,
+    /// Drain cycles a watchdog-triggered in-service rejuvenation keeps a
+    /// module out of rotation before its weights are restored.
+    pub rejuvenation_cycles: u64,
+    /// How long an idle shard waits for more requests before draining a
+    /// partial batch (the batching window).
+    pub batch_window: Duration,
+    /// Deterministic per-tenant fault schedules for chaos testing; `None`
+    /// serves fault-free.
+    pub tenant_faults: Option<TenantFaultPlans>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            max_batch: 32,
+            default_slo: Duration::from_millis(50),
+            rejuvenation_cycles: 2,
+            batch_window: Duration::from_micros(200),
+            tenant_faults: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with every `MVML_SERVE_*` knob applied.
+    ///
+    /// Unset knobs keep their defaults; set-but-invalid knobs (zero,
+    /// garbage) are a typed [`EnvParseError`] naming the variable.
+    pub fn from_env() -> Result<Self, EnvParseError> {
+        let mut cfg = ServeConfig::default();
+        if let Ok(raw) = std::env::var(ENV_SHARDS) {
+            cfg.shards = parse_positive_env(ENV_SHARDS, &raw)?;
+        }
+        if let Ok(raw) = std::env::var(ENV_BATCH) {
+            cfg.max_batch = parse_positive_env(ENV_BATCH, &raw)?;
+        }
+        if let Ok(raw) = std::env::var(ENV_SLO_MS) {
+            cfg.default_slo = Duration::from_millis(parse_positive_env(ENV_SLO_MS, &raw)? as u64);
+        }
+        if let Ok(raw) = std::env::var(ENV_REJUV_CYCLES) {
+            cfg.rejuvenation_cycles = parse_positive_env(ENV_REJUV_CYCLES, &raw)? as u64;
+        }
+        Ok(cfg)
+    }
+
+    /// Sets the deterministic per-tenant chaos schedule.
+    #[must_use]
+    pub fn with_tenant_faults(mut self, plans: TenantFaultPlans) -> Self {
+        self.tenant_faults = Some(plans);
+        self
+    }
+
+    /// The shard owning `tenant` (stable hash: tenants never migrate).
+    pub fn shard_for(&self, tenant: u64) -> usize {
+        (tenant % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes env-mutating tests (process environment is global).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env<R>(pairs: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved: Vec<(String, Option<String>)> = pairs
+            .iter()
+            .map(|(k, _)| ((*k).to_string(), std::env::var(*k).ok()))
+            .collect();
+        for (k, v) in pairs {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        let out = f();
+        for (k, v) in saved {
+            match v {
+                Some(v) => std::env::set_var(&k, v),
+                None => std::env::remove_var(&k),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn env_knobs_apply_and_defaults_hold() {
+        let cfg = with_env(
+            &[
+                (ENV_SHARDS, Some("4")),
+                (ENV_BATCH, Some("8")),
+                (ENV_SLO_MS, Some("250")),
+                (ENV_REJUV_CYCLES, None),
+            ],
+            || ServeConfig::from_env().expect("valid knobs"),
+        );
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.default_slo, Duration::from_millis(250));
+        assert_eq!(
+            cfg.rejuvenation_cycles,
+            ServeConfig::default().rejuvenation_cycles,
+            "unset knob keeps its default"
+        );
+    }
+
+    #[test]
+    fn invalid_knobs_fail_loudly_not_silently() {
+        for bad in ["0", "two", "", "-1", "3.5"] {
+            let err = with_env(&[(ENV_SHARDS, Some(bad))], ServeConfig::from_env)
+                .expect_err("invalid knob must be rejected");
+            assert_eq!(err.var, ENV_SHARDS, "value {bad:?}");
+            assert!(err.to_string().contains(ENV_SHARDS));
+        }
+        let err = with_env(&[(ENV_SLO_MS, Some("1e3"))], ServeConfig::from_env)
+            .expect_err("scientific notation rejected");
+        assert_eq!(err.var, ENV_SLO_MS);
+    }
+
+    #[test]
+    fn sharding_is_stable() {
+        let cfg = ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        };
+        for tenant in 0..30u64 {
+            assert_eq!(cfg.shard_for(tenant), (tenant % 3) as usize);
+            assert!(cfg.shard_for(tenant) < cfg.shards);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `mvml-serve` — a batched, sharded, multi-tenant inference front-end
+//! over the N-version engine, with per-request SLOs and in-service
+//! rejuvenation.
+//!
+//! The paper's pipeline classifies one frame at a time inside a single
+//! process. This crate turns the extracted [`mvml_core::Engine`] into a
+//! long-running service:
+//!
+//! - **Wire protocol** ([`protocol`]): length-prefixed JSON frames over a
+//!   TCP socket — zero new dependencies, explicit framing, bounded
+//!   allocations.
+//! - **Tenant fault domains** ([`tenant`]): every tenant owns a full
+//!   replica set cloned from the server's master models, so one tenant's
+//!   crashes, escalations and rejuvenations never touch another's quorum.
+//! - **Sharded batching workers** ([`shard`]): `tenant % shards` routing,
+//!   drain-cycle coalescing into the batched im2col/GEMM path (within a
+//!   tenant only, byte-identical to one-by-one serving), typed
+//!   deadline-miss degradation when a response blows its SLO budget.
+//! - **In-service rejuvenation**: a watchdog escalation marks the module
+//!   `Rejuvenating` and schedules a countdown restore; the tenant keeps
+//!   serving on its remaining quorum meanwhile.
+//! - **Observability** ([`metrics`]): per-tenant p50/p99/pMAX latency from
+//!   `mvml-obs` histograms, SLO attainment, queue-depth and batch-fill
+//!   saturation gauges, merged across shards on demand.
+//! - **Server + client** ([`server`]): accept/reader/worker threading with
+//!   clean drained shutdown, plus a blocking [`Client`] used by tests and
+//!   the load generator in `mvml-bench`.
+//!
+//! Configuration comes from [`ServeConfig`], including the hardened
+//! `MVML_SERVE_*` environment knobs (strict parsing — a set-but-invalid
+//! knob stops startup with a typed error). See DESIGN.md §13 for the
+//! design rationale.
+
+pub mod config;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod tenant;
+
+pub use config::ServeConfig;
+pub use metrics::{MetricsRegistry, ServeSnapshot, ShardMetrics, TenantSnapshot};
+pub use protocol::{ProtocolError, WireRequest, WireResponse};
+pub use server::{Client, Server};
+pub use tenant::TenantDomain;

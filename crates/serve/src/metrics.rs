@@ -1,0 +1,292 @@
+//! Server-side observability, built on `mvml-obs` primitives.
+//!
+//! Each shard owns a [`ShardMetrics`] (no cross-shard contention on the
+//! hot path); [`MetricsRegistry::snapshot`] merges them into one
+//! [`ServeSnapshot`] for the `stats` wire request and the load generator.
+//! Everything here is observe-only: verdicts never depend on metrics.
+
+use mvml_obs::{Counter, Gauge, Histogram, LatencyQuantiles};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Per-shard, per-tenant latency + health accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMetrics {
+    /// `(tenant, end-to-end latency histogram)` — enqueue to completion.
+    tenants: Vec<(u64, TenantMetrics)>,
+    /// Queue depth observed at the start of each drain cycle.
+    queue_depth: Gauge,
+    /// Deepest queue ever observed.
+    max_queue_depth: u64,
+    /// Drain cycles executed.
+    cycles: Counter,
+    /// Requests coalesced into batches of size > 1.
+    coalesced: Counter,
+    /// Saturation: fraction of the batch cap used, averaged via sum/count.
+    batch_fill_sum: f64,
+    batch_fill_count: u64,
+}
+
+/// Per-tenant accounting inside one shard.
+#[derive(Debug, Clone, Default)]
+struct TenantMetrics {
+    latency: Histogram,
+    completed: Counter,
+    slo_misses: Counter,
+    escalations: Counter,
+    rejuvenations: Counter,
+}
+
+impl ShardMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        ShardMetrics::default()
+    }
+
+    fn tenant_mut(&mut self, tenant: u64) -> &mut TenantMetrics {
+        if let Some(i) = self.tenants.iter().position(|(t, _)| *t == tenant) {
+            return &mut self.tenants[i].1;
+        }
+        self.tenants.push((tenant, TenantMetrics::default()));
+        let last = self.tenants.len() - 1;
+        &mut self.tenants[last].1
+    }
+
+    /// Records one completed request: end-to-end latency and whether it
+    /// missed its SLO budget.
+    pub fn observe_completion(&mut self, tenant: u64, latency_ns: f64, slo_missed: bool) {
+        let t = self.tenant_mut(tenant);
+        t.latency.observe(latency_ns);
+        t.completed.inc();
+        if slo_missed {
+            t.slo_misses.inc();
+        }
+    }
+
+    /// Records a watchdog escalation in `tenant`'s fault domain.
+    pub fn observe_escalation(&mut self, tenant: u64) {
+        self.tenant_mut(tenant).escalations.inc();
+    }
+
+    /// Records a completed in-service rejuvenation in `tenant`'s domain.
+    pub fn observe_rejuvenation(&mut self, tenant: u64) {
+        self.tenant_mut(tenant).rejuvenations.inc();
+    }
+
+    /// Records the queue depth and batch fill of one drain cycle.
+    pub fn observe_cycle(&mut self, queue_depth: usize, batched: usize, batch_cap: usize) {
+        self.cycles.inc();
+        self.queue_depth.set(queue_depth as f64);
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth as u64);
+        if batched > 1 {
+            self.coalesced.add(batched as u64);
+        }
+        if batch_cap > 0 && batched > 0 {
+            self.batch_fill_sum += batched as f64 / batch_cap as f64;
+            self.batch_fill_count += 1;
+        }
+    }
+}
+
+/// The merged, serializable view of every shard's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Per-tenant aggregates, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Drain cycles across all shards.
+    pub cycles: u64,
+    /// Requests that shared a coalesced batch (size > 1).
+    pub coalesced_requests: u64,
+    /// Deepest queue observed on any shard.
+    pub max_queue_depth: u64,
+    /// Mean fraction of the batch cap used across non-empty drain cycles
+    /// (a saturation gauge: 1.0 = every drain filled its batch).
+    pub mean_batch_fill: f64,
+}
+
+/// One tenant's aggregate view across shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// The tenant id.
+    pub tenant: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests stamped with a deadline-miss degradation.
+    pub slo_misses: u64,
+    /// Watchdog escalations inside this tenant's fault domain.
+    pub escalations: u64,
+    /// Completed in-service rejuvenations.
+    pub rejuvenations: u64,
+    /// Conservative p50 end-to-end latency (ns); see
+    /// `mvml_obs::Histogram::quantile_bounds_ns` for error bounds.
+    pub p50_ns: f64,
+    /// Conservative p99 end-to-end latency (ns).
+    pub p99_ns: f64,
+    /// Conservative max end-to-end latency (ns).
+    pub pmax_ns: f64,
+}
+
+impl TenantSnapshot {
+    /// SLO attainment in `[0, 1]`: fraction of completed requests inside
+    /// budget. An idle tenant vacuously attains its SLO.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            return 1.0;
+        }
+        1.0 - self.slo_misses as f64 / self.completed as f64
+    }
+}
+
+/// Shared handle: one slot per shard, merged on demand.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    shards: Arc<Vec<Mutex<ShardMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// A registry with one metrics block per shard.
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: Arc::new(
+                (0..shards)
+                    .map(|_| Mutex::new(ShardMetrics::new()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Runs `f` against shard `i`'s metrics block.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut ShardMetrics) -> R) -> Option<R> {
+        let slot = self.shards.get(i)?;
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        Some(f(&mut guard))
+    }
+
+    /// Merges every shard into one snapshot.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        let mut tenants: Vec<(u64, Histogram, u64, u64, u64, u64)> = Vec::new();
+        let mut cycles = 0u64;
+        let mut coalesced = 0u64;
+        let mut max_queue_depth = 0u64;
+        let mut fill_sum = 0.0f64;
+        let mut fill_count = 0u64;
+        for slot in self.shards.iter() {
+            let shard = slot.lock().unwrap_or_else(|e| e.into_inner());
+            cycles += shard.cycles.get();
+            coalesced += shard.coalesced.get();
+            max_queue_depth = max_queue_depth.max(shard.max_queue_depth);
+            fill_sum += shard.batch_fill_sum;
+            fill_count += shard.batch_fill_count;
+            for (tenant, tm) in &shard.tenants {
+                match tenants.iter_mut().find(|(t, ..)| t == tenant) {
+                    Some((_, hist, completed, misses, esc, rejuv)) => {
+                        hist.merge(&tm.latency);
+                        *completed += tm.completed.get();
+                        *misses += tm.slo_misses.get();
+                        *esc += tm.escalations.get();
+                        *rejuv += tm.rejuvenations.get();
+                    }
+                    None => tenants.push((
+                        *tenant,
+                        tm.latency.clone(),
+                        tm.completed.get(),
+                        tm.slo_misses.get(),
+                        tm.escalations.get(),
+                        tm.rejuvenations.get(),
+                    )),
+                }
+            }
+        }
+        tenants.sort_by_key(|(t, ..)| *t);
+        ServeSnapshot {
+            tenants: tenants
+                .into_iter()
+                .map(
+                    |(tenant, hist, completed, slo_misses, escalations, rejuvenations)| {
+                        let LatencyQuantiles {
+                            p50_ns,
+                            p99_ns,
+                            pmax_ns,
+                            ..
+                        } = hist.quantiles();
+                        TenantSnapshot {
+                            tenant,
+                            completed,
+                            slo_misses,
+                            escalations,
+                            rejuvenations,
+                            p50_ns,
+                            p99_ns,
+                            pmax_ns,
+                        }
+                    },
+                )
+                .collect(),
+            cycles,
+            coalesced_requests: coalesced,
+            max_queue_depth,
+            mean_batch_fill: if fill_count == 0 {
+                0.0
+            } else {
+                fill_sum / fill_count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_merges_across_shards_and_sorts_tenants() {
+        let reg = MetricsRegistry::new(2);
+        reg.with_shard(0, |m| {
+            m.observe_completion(5, 1_000.0, false);
+            m.observe_cycle(3, 2, 4);
+        });
+        reg.with_shard(1, |m| {
+            m.observe_completion(1, 2_000.0, true);
+            m.observe_completion(5, 4_000.0, false);
+            m.observe_escalation(1);
+            m.observe_rejuvenation(1);
+            m.observe_cycle(7, 4, 4);
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.cycles, 2);
+        assert_eq!(snap.max_queue_depth, 7);
+        assert_eq!(
+            snap.tenants.iter().map(|t| t.tenant).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+        let t1 = &snap.tenants[0];
+        assert_eq!((t1.completed, t1.slo_misses), (1, 1));
+        assert_eq!((t1.escalations, t1.rejuvenations), (1, 1));
+        assert!((t1.slo_attainment() - 0.0).abs() < 1e-12);
+        let t5 = &snap.tenants[1];
+        assert_eq!(t5.completed, 2, "tenant 5 merged across shards");
+        assert!((t5.slo_attainment() - 1.0).abs() < 1e-12);
+        assert!(t5.p50_ns > 0.0 && t5.p99_ns >= t5.p50_ns);
+        // mean fill: (2/4 + 4/4) / 2
+        assert!((snap.mean_batch_fill - 0.75).abs() < 1e-12);
+        // Snapshot survives the wire (stats replies nest it as JSON).
+        let json = serde_json::to_string(&snap).expect("serialise");
+        let back: ServeSnapshot = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn idle_tenant_vacuously_attains_slo() {
+        let t = TenantSnapshot {
+            tenant: 0,
+            completed: 0,
+            slo_misses: 0,
+            escalations: 0,
+            rejuvenations: 0,
+            p50_ns: 0.0,
+            p99_ns: 0.0,
+            pmax_ns: 0.0,
+        };
+        assert!((t.slo_attainment() - 1.0).abs() < 1e-12);
+    }
+}

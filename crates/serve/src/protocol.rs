@@ -1,0 +1,247 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Zero new dependencies: each frame is a big-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON (the workspace's own
+//! `serde`/`serde_json` stand-ins). The length prefix makes framing
+//! explicit — a reader never scans for delimiters and a partial write can
+//! never be mistaken for a complete message — and caps frames at
+//! [`MAX_FRAME_BYTES`] so a corrupt or hostile length header cannot drive
+//! an unbounded allocation.
+//!
+//! The offline `serde_derive` supports no field attributes, so every wire
+//! type is a plain struct of plainly-typed fields; enums-with-meaning
+//! (request kind, degradation) travel as documented strings with explicit
+//! constants.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame's payload (16 MiB — far above any real
+/// request, small enough to bound a malicious allocation).
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// `kind` of a request that classifies a sample.
+pub const KIND_INFER: &str = "infer";
+/// `kind` of a request that asks for a metrics snapshot.
+pub const KIND_STATS: &str = "stats";
+/// `kind` of a request that asks the server to shut down cleanly.
+pub const KIND_SHUTDOWN: &str = "shutdown";
+
+/// `degradation` value for a clean voted output.
+pub const DEGRADATION_NONE: &str = "none";
+/// `degradation` value for an R.1/R.2 voter skip.
+pub const DEGRADATION_VOTER_SKIP: &str = "voter_skip";
+/// `degradation` value when no operational module proposed anything.
+pub const DEGRADATION_NO_OUTPUT: &str = "no_output";
+/// `degradation` value when the response arrived past its SLO budget.
+pub const DEGRADATION_DEADLINE_MISS: &str = "deadline_miss";
+/// `degradation` value when the server rejected the request as malformed.
+pub const DEGRADATION_REJECTED: &str = "rejected";
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// [`KIND_INFER`], [`KIND_STATS`] or [`KIND_SHUTDOWN`].
+    pub kind: String,
+    /// Client-chosen id, echoed in the response (infer only).
+    pub id: u64,
+    /// Tenant the request belongs to (fault-domain + shard routing key).
+    pub tenant: u64,
+    /// Shape of one input sample, without the batch axis (e.g. `[K]` or
+    /// `[C, H, W]`).
+    pub shape: Vec<usize>,
+    /// Row-major sample values; length must equal the shape's product.
+    pub input: Vec<f32>,
+    /// Per-request SLO budget in microseconds; 0 uses the server default.
+    pub slo_us: u64,
+}
+
+impl WireRequest {
+    /// An inference request for one sample.
+    pub fn infer(id: u64, tenant: u64, shape: Vec<usize>, input: Vec<f32>) -> Self {
+        WireRequest {
+            kind: KIND_INFER.to_string(),
+            id,
+            tenant,
+            shape,
+            input,
+            slo_us: 0,
+        }
+    }
+
+    /// Sets an explicit per-request SLO budget.
+    #[must_use]
+    pub fn with_slo_us(mut self, slo_us: u64) -> Self {
+        self.slo_us = slo_us;
+        self
+    }
+
+    /// A metrics-snapshot request.
+    pub fn stats() -> Self {
+        WireRequest {
+            kind: KIND_STATS.to_string(),
+            id: 0,
+            tenant: 0,
+            shape: Vec::new(),
+            input: Vec::new(),
+            slo_us: 0,
+        }
+    }
+
+    /// A clean-shutdown request.
+    pub fn shutdown() -> Self {
+        WireRequest {
+            kind: KIND_SHUTDOWN.to_string(),
+            id: 0,
+            tenant: 0,
+            shape: Vec::new(),
+            input: Vec::new(),
+            slo_us: 0,
+        }
+    }
+}
+
+/// One server→client message.
+///
+/// `class` is the voted class or `-1` when there is none; `degradation`
+/// is one of the `DEGRADATION_*` strings. `stats` is empty except in the
+/// reply to a [`KIND_STATS`] request, where it carries the JSON-encoded
+/// metrics snapshot (nested, so the frame stays one flat struct for the
+/// attribute-free derive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The request's tenant.
+    pub tenant: u64,
+    /// Voted class, or `-1` if the response is degraded.
+    pub class: i64,
+    /// One of the `DEGRADATION_*` strings.
+    pub degradation: String,
+    /// Server-side latency from enqueue to completion, microseconds.
+    pub latency_us: u64,
+    /// JSON metrics snapshot (stats replies only; empty otherwise).
+    pub stats: String,
+}
+
+/// Errors from reading or writing a frame.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The frame's declared length exceeds [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// The payload was not valid UTF-8 JSON for the expected type.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            ProtocolError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            ProtocolError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> Result<(), ProtocolError> {
+    let json = serde_json::to_string(value).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+    let bytes = json.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| ProtocolError::Oversized(u32::MAX))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame.
+pub fn read_frame<T: Deserialize>(reader: &mut impl Read) -> Result<T, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+    serde_json::from_str(&text).map_err(|e| ProtocolError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let req = WireRequest::infer(7, 3, vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).with_slo_us(500);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).expect("write");
+        // Prefix is the payload length, big-endian.
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(len, buf.len() - 4);
+        let back: WireRequest = read_frame(&mut buf.as_slice()).expect("read");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn consecutive_frames_do_not_bleed() {
+        let a = WireRequest::infer(1, 0, vec![1], vec![0.5]);
+        let b = WireRequest::stats();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).expect("write a");
+        write_frame(&mut buf, &b).expect("write b");
+        let mut cursor = buf.as_slice();
+        let first: WireRequest = read_frame(&mut cursor).expect("read a");
+        let second: WireRequest = read_frame(&mut cursor).expect("read b");
+        assert_eq!(first, a);
+        assert_eq!(second, b);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let err = read_frame::<WireRequest>(&mut buf.as_slice()).expect_err("oversized");
+        assert!(matches!(err, ProtocolError::Oversized(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_payload_is_a_typed_error() {
+        let payload = b"not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(payload);
+        let err = read_frame::<WireRequest>(&mut buf.as_slice()).expect_err("malformed");
+        assert!(matches!(err, ProtocolError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let req = WireRequest::shutdown();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).expect("write");
+        buf.truncate(buf.len() - 2);
+        let err = read_frame::<WireRequest>(&mut buf.as_slice()).expect_err("truncated");
+        assert!(matches!(err, ProtocolError::Io(_)), "{err}");
+    }
+}

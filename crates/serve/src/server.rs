@@ -1,0 +1,466 @@
+//! The long-running server: socket front-end, connection readers, and the
+//! wiring between them and the shard workers.
+//!
+//! ## Threading model
+//!
+//! One accept thread, one reader thread per client connection, and
+//! `shards` worker threads. Readers parse length-prefixed frames from an
+//! accumulating buffer under a short read timeout, so a timeout in the
+//! middle of a frame never loses sync — the partial bytes stay buffered
+//! and the thread just re-checks the shutdown flag. Replies are written
+//! through an `Arc<Mutex<TcpStream>>` write half shared between the
+//! rejection path (connection thread) and the shard workers.
+//!
+//! ## Shutdown
+//!
+//! Shutdown (from [`Server::shutdown`] or a `shutdown` wire request) sets
+//! a shared flag, wakes every shard queue, and self-connects once to
+//! unblock the acceptor. Workers drain their remaining queue before
+//! exiting — every accepted request is answered; clean shutdown means
+//! drained, not dropped.
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsRegistry, ServeSnapshot};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, WireRequest, WireResponse, DEGRADATION_NONE,
+    DEGRADATION_REJECTED, KIND_INFER, KIND_SHUTDOWN, KIND_STATS, MAX_FRAME_BYTES,
+};
+use crate::shard::{run_shard, Pending, Reply, ShardQueue};
+use mvml_nn::{Sequential, Tensor};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection reader blocks on the socket before re-checking
+/// the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A running multi-tenant inference server.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] for a clean, drained stop.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queues: Arc<Vec<Arc<ShardQueue>>>,
+    metrics: MetricsRegistry,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds an ephemeral localhost port, spawns the shard workers and the
+    /// acceptor, and returns the running server.
+    ///
+    /// `master_models` are the replica templates: every tenant's fault
+    /// domain clones its own replica set from them.
+    pub fn start(config: ServeConfig, master_models: Vec<Sequential>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = MetricsRegistry::new(config.shards);
+        let queues: Arc<Vec<Arc<ShardQueue>>> = Arc::new(
+            (0..config.shards)
+                .map(|_| Arc::new(ShardQueue::new(shutdown.clone())))
+                .collect(),
+        );
+        let masters = Arc::new(master_models);
+        let worker_handles: Vec<JoinHandle<()>> = (0..config.shards)
+            .map(|i| {
+                let config = config.clone();
+                let masters = masters.clone();
+                let queue = queues[i].clone();
+                let metrics = metrics.clone();
+                std::thread::spawn(move || run_shard(i, &config, &masters, &queue, &metrics))
+            })
+            .collect();
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shutdown = shutdown.clone();
+            let queues = queues.clone();
+            let metrics = metrics.clone();
+            let conn_handles = conn_handles.clone();
+            // `config` moves in here — its last owner is the acceptor.
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shutdown = shutdown.clone();
+                    let queues = queues.clone();
+                    let metrics = metrics.clone();
+                    let config = config.clone();
+                    let addr = addr;
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, &config, &queues, &metrics, &shutdown, addr);
+                    });
+                    conn_handles
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            queues,
+            metrics,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            conn_handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle onto the live metrics (snapshot any time).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Stops the server cleanly — queued requests are drained and
+    /// answered, then every thread is joined. Returns the final metrics
+    /// snapshot.
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        initiate_shutdown(&self.shutdown, &self.queues, self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.conn_handles.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+/// Sets the shutdown flag, wakes every shard queue, and unblocks the
+/// acceptor with a throwaway self-connection.
+fn initiate_shutdown(shutdown: &AtomicBool, queues: &[Arc<ShardQueue>], addr: SocketAddr) {
+    shutdown.store(true, Ordering::SeqCst);
+    for queue in queues {
+        queue.notify();
+    }
+    // Wake the blocking `accept` so the thread can observe the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+/// Pulls the first complete frame out of an accumulating read buffer.
+///
+/// Returns `Ok(None)` while the buffer holds only part of a frame.
+fn extract_frame(buf: &mut Vec<u8>) -> Result<Option<WireRequest>, ProtocolError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame: Vec<u8> = buf.drain(..total).collect();
+    let text =
+        std::str::from_utf8(&frame[4..]).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| ProtocolError::Malformed(e.to_string()))
+}
+
+/// Runs one client connection: reads frames under a poll timeout,
+/// validates them, and routes them to shard queues / metrics / shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    config: &ServeConfig,
+    queues: &[Arc<ShardQueue>],
+    metrics: &MetricsRegistry,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // Frames are small request/reply messages: Nagle + delayed ACK would
+    // add ~40ms per roundtrip, swamping every real latency in the SLO.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let write_half = Arc::new(Mutex::new(write_half));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete frame already buffered before reading more.
+        loop {
+            match extract_frame(&mut buf) {
+                Ok(Some(req)) => {
+                    if handle_request(req, config, queues, metrics, shutdown, addr, &write_half) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // Desynchronised or hostile framing: drop the connection.
+                Err(_) => return,
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Poll timeout (possibly mid-frame): buffered bytes are
+                // kept, loop re-checks the shutdown flag.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one parsed request. Returns `true` when the connection
+/// should close (shutdown requested).
+fn handle_request(
+    req: WireRequest,
+    config: &ServeConfig,
+    queues: &[Arc<ShardQueue>],
+    metrics: &MetricsRegistry,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    write_half: &Arc<Mutex<TcpStream>>,
+) -> bool {
+    match req.kind.as_str() {
+        KIND_INFER => {
+            let expected: Option<usize> = req
+                .shape
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d));
+            let valid =
+                !req.shape.is_empty() && expected.is_some_and(|n| n > 0 && n == req.input.len());
+            if !valid {
+                reject(write_half, &req);
+                return false;
+            }
+            let budget = if req.slo_us == 0 {
+                config.default_slo
+            } else {
+                Duration::from_micros(req.slo_us)
+            };
+            let shard = config.shard_for(req.tenant);
+            if let Some(queue) = queues.get(shard) {
+                queue.push(Pending {
+                    id: req.id,
+                    tenant: req.tenant,
+                    input: Tensor::from_vec(&req.shape, req.input),
+                    budget,
+                    enqueued: Instant::now(),
+                    reply: Reply::Stream(write_half.clone()),
+                });
+            }
+            false
+        }
+        KIND_STATS => {
+            let snapshot = metrics.snapshot();
+            let stats = serde_json::to_string(&snapshot).unwrap_or_default();
+            let response = WireResponse {
+                id: req.id,
+                tenant: req.tenant,
+                class: -1,
+                degradation: DEGRADATION_NONE.to_string(),
+                latency_us: 0,
+                stats,
+            };
+            let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = write_frame(&mut *guard, &response);
+            false
+        }
+        KIND_SHUTDOWN => {
+            let response = WireResponse {
+                id: req.id,
+                tenant: req.tenant,
+                class: -1,
+                degradation: DEGRADATION_NONE.to_string(),
+                latency_us: 0,
+                stats: String::new(),
+            };
+            {
+                let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = write_frame(&mut *guard, &response);
+            }
+            initiate_shutdown(shutdown, queues, addr);
+            true
+        }
+        _ => {
+            reject(write_half, &req);
+            false
+        }
+    }
+}
+
+/// Replies with the typed `rejected` degradation (malformed or unknown
+/// request); the connection stays open.
+fn reject(write_half: &Arc<Mutex<TcpStream>>, req: &WireRequest) {
+    let response = WireResponse {
+        id: req.id,
+        tenant: req.tenant,
+        class: -1,
+        degradation: DEGRADATION_REJECTED.to_string(),
+        latency_us: 0,
+        stats: String::new(),
+    };
+    let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = write_frame(&mut *guard, &response);
+}
+
+/// A blocking client for the wire protocol (tests, load generation,
+/// operational tooling).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Small request/reply frames: disable Nagle or every roundtrip
+        // pays the delayed-ACK tax.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    pub fn send(&mut self, req: &WireRequest) -> Result<(), ProtocolError> {
+        write_frame(&mut self.stream, req)
+    }
+
+    /// Receives the next response on this connection.
+    ///
+    /// With several requests in flight, responses are matched by `id`, not
+    /// by order — batching may reorder completions across tenants.
+    pub fn recv(&mut self) -> Result<WireResponse, ProtocolError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Sends one request and waits for one response.
+    pub fn roundtrip(&mut self, req: &WireRequest) -> Result<WireResponse, ProtocolError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Fetches the server's merged metrics snapshot.
+    ///
+    /// Use a dedicated connection when other requests are in flight, or
+    /// the reply may interleave with pending inference responses.
+    pub fn stats(&mut self) -> Result<ServeSnapshot, ProtocolError> {
+        let response = self.roundtrip(&WireRequest::stats())?;
+        serde_json::from_str(&response.stats).map_err(|e| ProtocolError::Malformed(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DEGRADATION_DEADLINE_MISS;
+
+    fn models(n: usize) -> Vec<Sequential> {
+        (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn serves_multiple_tenants_over_the_socket() {
+        let server = Server::start(ServeConfig::default(), models(3)).expect("start");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for id in 0..6u64 {
+            client
+                .send(&WireRequest::infer(id, id % 2, vec![2], vec![0.2, 0.8]))
+                .expect("send");
+        }
+        let mut got: Vec<WireResponse> = (0..6).map(|_| client.recv().expect("response")).collect();
+        got.sort_by_key(|r| r.id);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.tenant, i as u64 % 2);
+            assert_eq!(r.class, 1);
+            assert_eq!(r.degradation, DEGRADATION_NONE);
+        }
+        let mut stats_client = Client::connect(server.local_addr()).expect("connect");
+        let snap = stats_client.stats().expect("stats");
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants.iter().map(|t| t.completed).sum::<u64>(), 6);
+        let final_snap = server.shutdown();
+        assert_eq!(
+            final_snap.tenants.iter().map(|t| t.completed).sum::<u64>(),
+            6
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_typed_rejections() {
+        let server = Server::start(ServeConfig::default(), models(1)).expect("start");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Shape says 4 values, payload has 2.
+        let bad = WireRequest::infer(9, 0, vec![2, 2], vec![0.1, 0.2]);
+        let r = client.roundtrip(&bad).expect("reply");
+        assert_eq!(r.id, 9);
+        assert_eq!(r.degradation, DEGRADATION_REJECTED);
+        let mut unknown = WireRequest::stats();
+        unknown.kind = "dance".to_string();
+        let r = client.roundtrip(&unknown).expect("reply");
+        assert_eq!(r.degradation, DEGRADATION_REJECTED);
+        // The connection survives rejections.
+        let ok = WireRequest::infer(10, 0, vec![2], vec![0.4, 0.6]);
+        let r = client.roundtrip(&ok).expect("reply");
+        assert_eq!(r.class, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_drains_and_stops() {
+        let server = Server::start(ServeConfig::default(), models(1)).expect("start");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let r = client
+            .roundtrip(&WireRequest::infer(1, 7, vec![2], vec![0.9, 0.1]))
+            .expect("reply");
+        assert_eq!(r.class, 0);
+        let ack = client.roundtrip(&WireRequest::shutdown()).expect("ack");
+        assert_eq!(ack.degradation, DEGRADATION_NONE);
+        let snap = server.shutdown();
+        assert_eq!(snap.tenants.len(), 1);
+        assert_eq!(snap.tenants[0].completed, 1);
+    }
+
+    #[test]
+    fn per_request_slo_overrides_the_default() {
+        let server = Server::start(ServeConfig::default(), models(1)).expect("start");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // A 1µs budget is unmeetable: typed deadline miss, never a hang.
+        let req = WireRequest::infer(1, 0, vec![2], vec![0.2, 0.8]).with_slo_us(1);
+        let r = client.roundtrip(&req).expect("reply");
+        assert_eq!(r.degradation, DEGRADATION_DEADLINE_MISS);
+        assert_eq!(r.class, 1, "degraded responses still carry the verdict");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,405 @@
+//! Worker-thread shards: each shard owns a disjoint set of tenants
+//! (`tenant % shards`), a request queue, and a drain loop that coalesces
+//! queued requests into per-tenant batched forward passes.
+//!
+//! ## Batching semantics
+//!
+//! A drain cycle takes everything queued (up to `max_batch` per tenant),
+//! groups it by `(tenant, input shape)` preserving FIFO order, and runs
+//! one [`mvml_core::engine::Engine::submit_batch`] per group — one batched im2col/GEMM
+//! forward pass per module per group. Coalescing crosses *requests* but
+//! never *tenants*: a batch runs inside exactly one tenant's fault domain,
+//! so a crash-faulted module poisons only that tenant's round. Batching is
+//! byte-transparent — the GEMM path accumulates each sample independently
+//! of batch size, so coalesced verdicts equal one-by-one verdicts
+//! (pinned by proptest in `core`).
+//!
+//! ## SLO semantics
+//!
+//! Each request is stamped with `Instant::now()` at enqueue and carries a
+//! budget (its own, or the server default). When its verdict completes
+//! after the budget has elapsed, the response is stamped with the typed
+//! `deadline_miss` degradation — the verdict is still delivered; an
+//! overloaded server degrades loudly instead of hanging or dropping.
+
+use crate::config::ServeConfig;
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{
+    WireResponse, DEGRADATION_DEADLINE_MISS, DEGRADATION_NONE, DEGRADATION_NO_OUTPUT,
+    DEGRADATION_VOTER_SKIP,
+};
+use crate::tenant::TenantDomain;
+use mvml_core::engine::{Degradation, InferenceRequest, InferenceResponse};
+use mvml_core::Verdict;
+use mvml_nn::{Sequential, Tensor};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Where a completed response goes.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// Write a frame back to the client connection (shared with the
+    /// connection's reader thread and other in-flight requests).
+    Stream(Arc<Mutex<TcpStream>>),
+    /// Send through an in-process channel (tests, embedded callers).
+    Channel(Sender<WireResponse>),
+    /// Fire and forget (load shedding in benchmarks).
+    Discard,
+}
+
+/// One queued inference request.
+#[derive(Debug)]
+pub struct Pending {
+    /// Client-chosen id, echoed back.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u64,
+    /// One sample, without the batch axis.
+    pub input: Tensor,
+    /// SLO budget for this request.
+    pub budget: std::time::Duration,
+    /// Stamped at enqueue; the SLO clock.
+    pub enqueued: Instant,
+    /// Destination for the response.
+    pub reply: Reply,
+}
+
+/// A shard's queue: FIFO + wakeup + shutdown flag shared with the server.
+#[derive(Debug)]
+pub struct ShardQueue {
+    queue: Mutex<VecDeque<Pending>>,
+    wakeup: Condvar,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ShardQueue {
+    /// An empty queue wired to the server's shutdown flag.
+    pub fn new(shutdown: Arc<AtomicBool>) -> Self {
+        ShardQueue {
+            queue: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+            shutdown,
+        }
+    }
+
+    /// Enqueues a request and wakes the worker.
+    pub fn push(&self, pending: Pending) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(pending);
+        drop(q);
+        self.wakeup.notify_one();
+    }
+
+    /// Current depth (test/metrics aid).
+    pub fn depth(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Wakes the worker without enqueuing (shutdown path).
+    pub fn notify(&self) {
+        self.wakeup.notify_all();
+    }
+
+    /// Blocks until there is work or shutdown; drains up to
+    /// `max_per_tenant` requests per tenant (FIFO), leaving the rest
+    /// queued for the next cycle. Returns `(drained, depth_at_drain)`;
+    /// an empty drain with the shutdown flag set means "exit after this".
+    fn drain(&self, window: std::time::Duration, max_per_tenant: usize) -> (Vec<Pending>, usize) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while q.is_empty() && !self.shutdown.load(Ordering::SeqCst) {
+            let (guard, _timeout) = self
+                .wakeup
+                .wait_timeout(q, window)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        let depth = q.len();
+        let mut drained: Vec<Pending> = Vec::new();
+        let mut kept: VecDeque<Pending> = VecDeque::new();
+        while let Some(p) = q.pop_front() {
+            let taken = drained.iter().filter(|d| d.tenant == p.tenant).count();
+            if taken < max_per_tenant {
+                drained.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        *q = kept;
+        (drained, depth)
+    }
+}
+
+/// Renders an engine response (+ SLO verdict) as a wire response.
+fn to_wire(resp: &InferenceResponse, latency_us: u64, slo_missed: bool) -> WireResponse {
+    let class = match &resp.verdict {
+        Verdict::Output(c) => *c as i64,
+        Verdict::Skip | Verdict::NoModules => -1,
+    };
+    let degradation = if slo_missed {
+        DEGRADATION_DEADLINE_MISS
+    } else {
+        match resp.degradation {
+            None => DEGRADATION_NONE,
+            Some(Degradation::VoterSkip) => DEGRADATION_VOTER_SKIP,
+            // `Degradation` is non_exhaustive; anything unnamed is at
+            // least a missing output.
+            Some(_) => DEGRADATION_NO_OUTPUT,
+        }
+    };
+    WireResponse {
+        id: resp.id,
+        tenant: resp.tenant,
+        class,
+        degradation: degradation.to_string(),
+        latency_us,
+        stats: String::new(),
+    }
+}
+
+/// Delivers a wire response to its reply target; errors (client gone) are
+/// swallowed — a dead client must never wedge the shard.
+fn deliver(reply: &Reply, response: &WireResponse) {
+    match reply {
+        Reply::Stream(stream) => {
+            let mut guard = stream.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = crate::protocol::write_frame(&mut *guard, response);
+            let _ = guard.flush();
+        }
+        Reply::Channel(tx) => {
+            let _ = tx.send(response.clone());
+        }
+        Reply::Discard => {}
+    }
+}
+
+/// The shard worker loop: drain → batch per `(tenant, shape)` → serve →
+/// stamp SLOs → deliver → tick rejuvenations. Runs until the shutdown
+/// flag is set *and* the queue is empty (pending requests are always
+/// answered — clean shutdown means drained, not dropped).
+pub fn run_shard(
+    shard_index: usize,
+    config: &ServeConfig,
+    master_models: &Arc<Vec<Sequential>>,
+    queue: &Arc<ShardQueue>,
+    metrics: &MetricsRegistry,
+) {
+    let mut domains: Vec<TenantDomain> = Vec::new();
+    loop {
+        let (drained, depth) = queue.drain(config.batch_window, config.max_batch);
+        if drained.is_empty() {
+            if queue.shutdown.load(Ordering::SeqCst) && queue.depth() == 0 {
+                return;
+            }
+            continue;
+        }
+
+        // Group FIFO-stably by (tenant, shape): one engine round per group.
+        let mut groups: Vec<(u64, Vec<usize>, Vec<Pending>)> = Vec::new();
+        for p in drained {
+            let shape = p.input.shape().to_vec();
+            match groups
+                .iter_mut()
+                .find(|(t, s, _)| *t == p.tenant && *s == shape)
+            {
+                Some((_, _, members)) => members.push(p),
+                None => groups.push((p.tenant, shape, vec![p])),
+            }
+        }
+
+        let mut served = 0usize;
+        for (tenant, _shape, members) in groups {
+            let domain = match domains.iter_mut().position(|d| d.tenant() == tenant) {
+                Some(i) => &mut domains[i],
+                None => {
+                    let plan = config
+                        .tenant_faults
+                        .as_ref()
+                        .and_then(|p| p.plan_for(tenant))
+                        .cloned();
+                    match TenantDomain::new(tenant, master_models, plan) {
+                        Ok(d) => {
+                            domains.push(d);
+                            let last = domains.len() - 1;
+                            &mut domains[last]
+                        }
+                        // Master model list empty: nothing can serve.
+                        Err(_) => continue,
+                    }
+                }
+            };
+            let reqs: Vec<InferenceRequest> = members
+                .iter()
+                .map(|p| InferenceRequest {
+                    id: p.id,
+                    tenant: p.tenant,
+                    input: p.input.clone(),
+                })
+                .collect();
+            served += reqs.len();
+            let responses = metrics
+                .with_shard(shard_index, |m| {
+                    domain.serve_batch(&reqs, config.rejuvenation_cycles, m)
+                })
+                .unwrap_or(Ok(Vec::new()));
+            match responses {
+                Ok(responses) => {
+                    for (pending, resp) in members.iter().zip(responses.iter()) {
+                        finish(shard_index, metrics, pending, resp);
+                    }
+                }
+                // Shape mismatch cannot happen (groups are shape-keyed),
+                // but degrade per-request rather than dropping if it does.
+                Err(_) => {
+                    for pending in &members {
+                        let one = InferenceRequest {
+                            id: pending.id,
+                            tenant: pending.tenant,
+                            input: pending.input.clone(),
+                        };
+                        let resp = metrics.with_shard(shard_index, |m| {
+                            domain.serve_batch(
+                                std::slice::from_ref(&one),
+                                config.rejuvenation_cycles,
+                                m,
+                            )
+                        });
+                        if let Some(Ok(rs)) = resp {
+                            if let Some(r) = rs.first() {
+                                finish(shard_index, metrics, pending, r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // One rejuvenation tick per drain cycle, for every domain this
+        // shard owns — a tenant rejuvenates even while idle.
+        metrics.with_shard(shard_index, |m| {
+            for domain in &mut domains {
+                let _ = domain.tick(m);
+            }
+            m.observe_cycle(depth, served, config.max_batch);
+        });
+    }
+}
+
+/// Stamps the SLO verdict, records metrics, and delivers one response.
+fn finish(
+    shard_index: usize,
+    metrics: &MetricsRegistry,
+    pending: &Pending,
+    resp: &InferenceResponse,
+) {
+    let elapsed = pending.enqueued.elapsed();
+    let slo_missed = elapsed > pending.budget;
+    let latency_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    metrics.with_shard(shard_index, |m| {
+        m.observe_completion(pending.tenant, elapsed.as_nanos() as f64, slo_missed);
+    });
+    let wire = to_wire(resp, latency_us, slo_missed);
+    deliver(&pending.reply, &wire);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::thread;
+    use std::time::Duration;
+
+    fn passthrough_models(n: usize) -> Arc<Vec<Sequential>> {
+        Arc::new(
+            (0..n)
+                .map(|i| Sequential::new(format!("identity-{i}")))
+                .collect(),
+        )
+    }
+
+    fn pending(id: u64, tenant: u64, values: Vec<f32>, tx: &Sender<WireResponse>) -> Pending {
+        let shape = [values.len()];
+        Pending {
+            id,
+            tenant,
+            input: Tensor::from_vec(&shape, values),
+            budget: Duration::from_secs(5),
+            enqueued: Instant::now(),
+            reply: Reply::Channel(tx.clone()),
+        }
+    }
+
+    #[test]
+    fn shard_serves_batches_and_drains_on_shutdown() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ShardQueue::new(shutdown.clone()));
+        let metrics = MetricsRegistry::new(1);
+        let config = ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        };
+        let (tx, rx) = channel();
+        for i in 0..8 {
+            queue.push(pending(i, i % 2, vec![0.1 * i as f32, 0.9], &tx));
+        }
+        let worker = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let models = passthrough_models(3);
+            thread::spawn(move || run_shard(0, &config, &models, &queue, &metrics))
+        };
+        let mut got: Vec<WireResponse> = (0..8)
+            .map(|_| rx.recv_timeout(Duration::from_secs(10)).expect("response"))
+            .collect();
+        got.sort_by_key(|r| r.id);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.tenant, i as u64 % 2);
+            assert_eq!(r.class, 1, "identity logits favour index 1");
+            assert_eq!(r.degradation, DEGRADATION_NONE);
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        queue.notify();
+        worker.join().expect("worker exits cleanly");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants.iter().map(|t| t.completed).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn zero_budget_requests_degrade_with_deadline_miss_not_hang() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ShardQueue::new(shutdown.clone()));
+        let metrics = MetricsRegistry::new(1);
+        let config = ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        };
+        let (tx, rx) = channel();
+        queue.push(Pending {
+            id: 1,
+            tenant: 0,
+            input: Tensor::from_vec(&[2], vec![0.2, 0.8]),
+            budget: Duration::ZERO,
+            enqueued: Instant::now(),
+            reply: Reply::Channel(tx.clone()),
+        });
+        let worker = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let models = passthrough_models(1);
+            thread::spawn(move || run_shard(0, &config, &models, &queue, &metrics))
+        };
+        let r = rx.recv_timeout(Duration::from_secs(10)).expect("response");
+        assert_eq!(r.degradation, DEGRADATION_DEADLINE_MISS);
+        assert_eq!(r.class, 1, "verdict still delivered alongside the miss");
+        shutdown.store(true, Ordering::SeqCst);
+        queue.notify();
+        worker.join().expect("worker exits cleanly");
+        assert_eq!(metrics.snapshot().tenants[0].slo_misses, 1);
+    }
+}

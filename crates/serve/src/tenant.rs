@@ -1,0 +1,195 @@
+//! Per-tenant fault domains.
+//!
+//! Every tenant owns a full [`Engine`] — its own module replicas (cloned
+//! from the server's master models), guard state, watchdog windows, fault
+//! log and frame counter. That is the whole isolation argument: a crash,
+//! escalation or rejuvenation in one tenant's domain mutates only that
+//! tenant's state. The cost is one replica set per tenant; the
+//! alternative — cross-tenant weight sharing with a single session —
+//! would let one tenant's escalated module disappear from *every*
+//! tenant's quorum (see DESIGN.md §13 for why the batching layer still
+//! coalesces *within* a tenant only).
+
+use crate::metrics::ShardMetrics;
+use mvml_core::engine::{Engine, InferenceRequest, InferenceResponse};
+use mvml_core::{Session, SystemError};
+use mvml_faultinject::RuntimeFaultPlan;
+use mvml_nn::Sequential;
+
+/// One tenant's isolated inference domain plus its in-service
+/// rejuvenation ledger.
+#[derive(Debug)]
+pub struct TenantDomain {
+    tenant: u64,
+    engine: Engine,
+    /// `(module, drain cycles remaining)` for watchdog-escalated modules
+    /// currently rejuvenating in service.
+    rejuvenating: Vec<(usize, u64)>,
+}
+
+impl TenantDomain {
+    /// Builds a tenant domain by cloning the master models into a fresh
+    /// replica set, optionally attaching the tenant's deterministic fault
+    /// schedule.
+    pub fn new(
+        tenant: u64,
+        master_models: &[Sequential],
+        plan: Option<RuntimeFaultPlan>,
+    ) -> Result<Self, SystemError> {
+        let mut session = Session::new(master_models.to_vec())?;
+        session.set_fault_plan(plan);
+        Ok(TenantDomain {
+            tenant,
+            engine: Engine::new(session),
+            rejuvenating: Vec::new(),
+        })
+    }
+
+    /// The tenant id.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// The tenant's engine (its session is this tenant's fault domain).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Classifies a coalesced batch of this tenant's requests, then feeds
+    /// any watchdog escalations into the in-service rejuvenation ledger.
+    pub fn serve_batch(
+        &mut self,
+        reqs: &[InferenceRequest],
+        rejuvenation_cycles: u64,
+        metrics: &mut ShardMetrics,
+    ) -> Result<Vec<InferenceResponse>, SystemError> {
+        let responses = self.engine.submit_batch(reqs)?;
+        let escalated: Vec<usize> = responses
+            .first()
+            .map(|r| r.escalations.clone())
+            .unwrap_or_default();
+        for m in escalated {
+            metrics.observe_escalation(self.tenant);
+            // The watchdog already forced the module non-functional;
+            // begin the restore so `tick` can complete it in-service.
+            if let Ok(module) = self.engine.session_mut().try_module_mut(m) {
+                module.begin_rejuvenation();
+                if !self.rejuvenating.iter().any(|(mm, _)| *mm == m) {
+                    self.rejuvenating.push((m, rejuvenation_cycles));
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Advances every pending in-service rejuvenation by one drain cycle,
+    /// restoring modules whose countdown reaches zero. Returns the modules
+    /// restored this tick.
+    pub fn tick(&mut self, metrics: &mut ShardMetrics) -> Vec<usize> {
+        let mut restored = Vec::new();
+        let mut i = 0;
+        while i < self.rejuvenating.len() {
+            let (module, cycles) = self.rejuvenating[i];
+            if cycles <= 1 {
+                if self.engine.session_mut().rejuvenate_module(module).is_ok() {
+                    metrics.observe_rejuvenation(self.tenant);
+                    restored.push(module);
+                }
+                self.rejuvenating.remove(i);
+            } else {
+                self.rejuvenating[i] = (module, cycles - 1);
+                i += 1;
+            }
+        }
+        restored
+    }
+
+    /// Modules currently rejuvenating in service.
+    pub fn rejuvenating(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rejuvenating.iter().map(|(m, _)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvml_core::engine::InferenceRequest;
+    use mvml_core::ModuleState;
+    use mvml_faultinject::RuntimeFault;
+    use mvml_nn::Tensor;
+
+    fn passthrough_models(n: usize) -> Vec<Sequential> {
+        (0..n)
+            .map(|i| Sequential::new(format!("identity-{i}")))
+            .collect()
+    }
+
+    fn req(id: u64, tenant: u64, values: Vec<f32>) -> InferenceRequest {
+        let shape = [values.len()];
+        InferenceRequest {
+            id,
+            tenant,
+            input: Tensor::from_vec(&shape, values),
+        }
+    }
+
+    #[test]
+    fn escalation_flows_into_in_service_rejuvenation() {
+        let models = passthrough_models(3);
+        let mut domain = TenantDomain::new(0, &models, None).expect("non-empty");
+        domain
+            .engine
+            .session_mut()
+            .try_module_mut(1)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Crash);
+        let mut metrics = ShardMetrics::new();
+        // Default watchdog: third crash escalates.
+        for round in 0..3 {
+            let rs = domain
+                .serve_batch(&[req(round, 0, vec![0.2, 0.8])], 2, &mut metrics)
+                .expect("batch");
+            assert_eq!(rs.len(), 1);
+        }
+        assert_eq!(domain.rejuvenating().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            domain.engine().session().modules()[1].state(),
+            ModuleState::Rejuvenating
+        );
+        // Service continues during rejuvenation (two healthy modules).
+        let rs = domain
+            .serve_batch(&[req(10, 0, vec![0.9, 0.1])], 2, &mut metrics)
+            .expect("batch");
+        assert_eq!(rs[0].verdict, mvml_core::Verdict::Output(0));
+        // Two ticks complete the restore.
+        assert!(domain.tick(&mut metrics).is_empty());
+        assert_eq!(domain.tick(&mut metrics), vec![1]);
+        assert_eq!(
+            domain.engine().session().modules()[1].state(),
+            ModuleState::Healthy
+        );
+    }
+
+    #[test]
+    fn tenant_domains_are_isolated() {
+        let models = passthrough_models(3);
+        let mut a = TenantDomain::new(0, &models, None).expect("non-empty");
+        let mut b = TenantDomain::new(1, &models, None).expect("non-empty");
+        a.engine
+            .session_mut()
+            .try_module_mut(0)
+            .expect("in range")
+            .set_runtime_fault(RuntimeFault::Crash);
+        let mut metrics = ShardMetrics::new();
+        for round in 0..5 {
+            let _ = a.serve_batch(&[req(round, 0, vec![0.2, 0.8])], 1, &mut metrics);
+            let rb = b
+                .serve_batch(&[req(round, 1, vec![0.2, 0.8])], 1, &mut metrics)
+                .expect("batch");
+            assert_eq!(rb[0].verdict, mvml_core::Verdict::Output(1));
+            assert_eq!(rb[0].faults, 0, "tenant 1 sees none of tenant 0's faults");
+        }
+        assert!(a.engine().session().fault_log().total() > 0);
+        assert_eq!(b.engine().session().fault_log().total(), 0);
+    }
+}

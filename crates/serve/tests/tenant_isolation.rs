@@ -1,0 +1,111 @@
+//! Chaos test for the per-tenant fault-domain claim: a crash-faulted,
+//! rejuvenating tenant must never delay another tenant past its SLO.
+//!
+//! A real server runs on a loopback socket with two tenants pinned to the
+//! *same* shard (worst case: they share a worker thread and drain cycle).
+//! Tenant 0 runs under a deterministic crash schedule aggressive enough to
+//! force repeated watchdog escalations and in-service rejuvenations;
+//! tenant 2 is fault-free. The test asserts tenant 2 answers every request
+//! inside its budget while tenant 0 demonstrably crashes, escalates and
+//! restores in the background.
+
+use mvml_faultinject::{RuntimeFault, TenantFaultPlans};
+use mvml_nn::Sequential;
+use mvml_serve::protocol::DEGRADATION_DEADLINE_MISS;
+use mvml_serve::{Client, ServeConfig, Server, WireRequest};
+use std::time::Duration;
+
+fn identity_models(n: usize) -> Vec<Sequential> {
+    (0..n)
+        .map(|i| Sequential::new(format!("identity-{i}")))
+        .collect()
+}
+
+#[test]
+fn crashing_tenant_rejuvenation_never_delays_its_neighbour_past_slo() {
+    // Injected crash faults unwind through `catch_unwind` by design; keep
+    // the default hook from printing a backtrace per injected crash.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected crash fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // Two shards, tenants 0 and 2 → both on shard 0 (tenant % shards).
+    let plans = TenantFaultPlans::new(38).with_tenant_rule(0, RuntimeFault::Crash, 0.5, Some(1));
+    let config = ServeConfig {
+        shards: 2,
+        default_slo: Duration::from_millis(250),
+        ..ServeConfig::default()
+    }
+    .with_tenant_faults(plans);
+    let server = Server::start(config, identity_models(3)).expect("start");
+    let addr = server.local_addr();
+
+    let requests_per_tenant = 120u64;
+    let chaos = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        for id in 0..requests_per_tenant {
+            let r = client
+                .roundtrip(&WireRequest::infer(id, 0, vec![2], vec![0.2, 0.8]))
+                .expect("faulted tenant still answers");
+            assert_eq!(r.tenant, 0);
+        }
+    });
+    let victim = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut misses = 0u64;
+        for id in 0..requests_per_tenant {
+            let r = client
+                .roundtrip(&WireRequest::infer(id, 2, vec![2], vec![0.2, 0.8]))
+                .expect("unaffected tenant answers");
+            assert_eq!(r.tenant, 2);
+            assert_eq!(r.class, 1, "fault-free tenant gets a clean verdict");
+            if r.degradation == DEGRADATION_DEADLINE_MISS {
+                misses += 1;
+            }
+        }
+        misses
+    });
+    chaos.join().expect("chaos client");
+    let victim_misses = victim.join().expect("victim client");
+
+    let snapshot = server.shutdown();
+    let faulted = snapshot
+        .tenants
+        .iter()
+        .find(|t| t.tenant == 0)
+        .expect("faulted tenant served");
+    let unaffected = snapshot
+        .tenants
+        .iter()
+        .find(|t| t.tenant == 2)
+        .expect("unaffected tenant served");
+
+    // The chaos was real: the faulted tenant escalated and completed
+    // in-service rejuvenations while traffic kept flowing.
+    assert!(
+        faulted.escalations > 0,
+        "crash schedule never escalated: {faulted:?}"
+    );
+    assert!(
+        faulted.rejuvenations > 0,
+        "no in-service rejuvenation completed: {faulted:?}"
+    );
+    assert_eq!(faulted.completed, requests_per_tenant);
+
+    // The isolation claim: the co-sharded fault-free tenant answered every
+    // request and stayed at ≥ 99% SLO attainment.
+    assert_eq!(unaffected.completed, requests_per_tenant);
+    assert_eq!(unaffected.escalations, 0, "no cross-tenant escalations");
+    assert!(
+        unaffected.slo_attainment() >= 0.99,
+        "neighbour dropped below its SLO: attainment {} ({victim_misses} observed misses)",
+        unaffected.slo_attainment()
+    );
+}
